@@ -1,0 +1,164 @@
+//! Criterion benches: one group per paper table/figure.
+//!
+//! Each iteration runs the corresponding simulated experiment end to end,
+//! so Criterion measures the *simulator's* wall-clock cost; the virtual
+//! time results (the paper reproduction itself) are printed once per group
+//! so `cargo bench` output doubles as a compact results report. Use the
+//! `harness` binary for the full tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use elan4::NicConfig;
+use ompi_bench::measure::{
+    mpich_latency, ompi_bandwidth, ompi_latency, qdma_native_latency, Setup,
+};
+use openmpi_core::{CompletionMode, ProgressMode, RdmaScheme, StackConfig};
+use qsnet::FabricConfig;
+
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn rndv(scheme: RdmaScheme, inline: bool, dtp: bool) -> StackConfig {
+    let mut cfg = StackConfig::best();
+    cfg.scheme = scheme;
+    cfg.inline_first_frag = inline;
+    cfg.use_datatype_engine = dtp;
+    cfg.force_rendezvous = true;
+    cfg
+}
+
+/// Fig. 7: basic RDMA read/write latency (inline / no-inline / DTP).
+fn bench_fig7(c: &mut Criterion) {
+    println!("fig7 @4KB (us): read={:.2} read-noinline={:.2} read-dtp={:.2} write={:.2}",
+        ompi_latency(&Setup::paper(rndv(RdmaScheme::Read, true, false)), 4096),
+        ompi_latency(&Setup::paper(rndv(RdmaScheme::Read, false, false)), 4096),
+        ompi_latency(&Setup::paper(rndv(RdmaScheme::Read, true, true)), 4096),
+        ompi_latency(&Setup::paper(rndv(RdmaScheme::Write, true, false)), 4096),
+    );
+    let mut g = quick(c, "fig7_rdma_basic");
+    g.bench_function("read_4k", |b| {
+        let s = Setup::paper(rndv(RdmaScheme::Read, true, false));
+        b.iter(|| ompi_latency(&s, 4096))
+    });
+    g.bench_function("write_4k", |b| {
+        let s = Setup::paper(rndv(RdmaScheme::Write, true, false));
+        b.iter(|| ompi_latency(&s, 4096))
+    });
+    g.finish();
+}
+
+/// Fig. 8: chained DMA / shared completion queue.
+fn bench_fig8(c: &mut Criterion) {
+    let base = rndv(RdmaScheme::Read, false, false);
+    let mut nochain = base.clone();
+    nochain.chained_fin = false;
+    let mut oneq = base.clone();
+    oneq.completion = CompletionMode::SharedQueueCombined;
+    println!(
+        "fig8 @4KB (us): chained={:.2} nochain={:.2} one-queue={:.2}",
+        ompi_latency(&Setup::paper(base.clone()), 4096),
+        ompi_latency(&Setup::paper(nochain), 4096),
+        ompi_latency(&Setup::paper(oneq.clone()), 4096),
+    );
+    let mut g = quick(c, "fig8_completion");
+    g.bench_function("chained", |b| {
+        let s = Setup::paper(base.clone());
+        b.iter(|| ompi_latency(&s, 4096))
+    });
+    g.bench_function("one_queue", |b| {
+        let s = Setup::paper(oneq.clone());
+        b.iter(|| ompi_latency(&s, 4096))
+    });
+    g.finish();
+}
+
+/// Fig. 9: layer decomposition (native QDMA vs full stack).
+fn bench_fig9(c: &mut Criterion) {
+    let nic = NicConfig::default();
+    let fabric = FabricConfig::default();
+    println!(
+        "fig9 @64B (us): qdma={:.2} total={:.2}",
+        qdma_native_latency(&nic, &fabric, 128),
+        ompi_latency(&Setup::paper(StackConfig::best()), 64),
+    );
+    let mut g = quick(c, "fig9_layers");
+    g.bench_function("native_qdma", |b| b.iter(|| qdma_native_latency(&nic, &fabric, 128)));
+    g.bench_function("full_stack", |b| {
+        let s = Setup::paper(StackConfig::best());
+        b.iter(|| ompi_latency(&s, 64))
+    });
+    g.finish();
+}
+
+/// Table 1: asynchronous-progress modes.
+fn bench_table1(c: &mut Criterion) {
+    let basic = rndv(RdmaScheme::Read, false, false);
+    let mut one = basic.clone();
+    one.progress = ProgressMode::OneThread;
+    one.completion = CompletionMode::SharedQueueCombined;
+    println!(
+        "table1 @4B (us): basic={:.2} one-thread={:.2}",
+        ompi_latency(&Setup::paper(basic.clone()), 4),
+        ompi_latency(&Setup::paper(one.clone()), 4),
+    );
+    let mut g = quick(c, "table1_progress");
+    g.bench_function("basic", |b| {
+        let s = Setup::paper(basic.clone());
+        b.iter(|| ompi_latency(&s, 4))
+    });
+    g.bench_function("one_thread", |b| {
+        let s = Setup::paper(one.clone());
+        b.iter(|| ompi_latency(&s, 4))
+    });
+    g.finish();
+}
+
+/// Fig. 10(a/b): latency vs MPICH-QsNetII.
+fn bench_fig10_latency(c: &mut Criterion) {
+    let nic = NicConfig::default();
+    let fabric = FabricConfig::default();
+    println!(
+        "fig10a @0B (us): mpich={:.2} openmpi={:.2}",
+        mpich_latency(&nic, &fabric, 0),
+        ompi_latency(&Setup::paper(StackConfig::best()), 0),
+    );
+    let mut g = quick(c, "fig10_latency");
+    g.bench_function("mpich_0b", |b| b.iter(|| mpich_latency(&nic, &fabric, 0)));
+    g.bench_function("openmpi_0b", |b| {
+        let s = Setup::paper(StackConfig::best());
+        b.iter(|| ompi_latency(&s, 0))
+    });
+    g.finish();
+}
+
+/// Fig. 10(c/d): bandwidth vs MPICH-QsNetII.
+fn bench_fig10_bandwidth(c: &mut Criterion) {
+    let s = Setup::paper(StackConfig::best());
+    println!(
+        "fig10d @256KB (MB/s): openmpi={:.0}",
+        ompi_bandwidth(&s, 256 << 10, 8, 2),
+    );
+    let mut g = quick(c, "fig10_bandwidth");
+    g.bench_function("openmpi_256k", |b| b.iter(|| ompi_bandwidth(&s, 256 << 10, 8, 2)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_table1,
+    bench_fig10_latency,
+    bench_fig10_bandwidth
+);
+criterion_main!(benches);

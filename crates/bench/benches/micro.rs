@@ -1,0 +1,90 @@
+//! Microbenchmarks of the hot data structures (real wall time, not
+//! simulation): header codec, fat-tree routing, the arena allocator, the
+//! datatype convertor, and a full small simulation step.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use ompi_datatype::{Convertor, Datatype};
+use openmpi_core::hdr::{Hdr, HdrType};
+use qsnet::FatTree;
+
+fn quick<'a>(
+    c: &'a mut Criterion,
+    name: &str,
+) -> criterion::BenchmarkGroup<'a, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group(name);
+    g.sample_size(30);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(300));
+    g
+}
+
+fn bench_hdr_codec(c: &mut Criterion) {
+    let mut g = quick(c, "hdr_codec");
+    let mut h = Hdr::new(HdrType::Rendezvous);
+    h.ctx = 7;
+    h.src_rank = 3;
+    h.tag = 99;
+    h.msg_len = 1 << 20;
+    h.payload_len = 1984;
+    g.bench_function("serialize", |b| b.iter(|| black_box(h.to_bytes())));
+    let bytes = h.to_bytes();
+    g.bench_function("parse", |b| b.iter(|| black_box(Hdr::from_bytes(&bytes))));
+    g.finish();
+}
+
+fn bench_topology(c: &mut Criterion) {
+    let mut g = quick(c, "fat_tree");
+    let t = FatTree::new(4, 1024);
+    g.bench_function("switch_hops_1k_nodes", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for a in (0..1024).step_by(37) {
+                for z in (0..1024).step_by(41) {
+                    acc = acc.wrapping_add(t.switch_hops(a, z));
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_convertor(c: &mut Criterion) {
+    let mut g = quick(c, "datatype_convertor");
+    let dt = Datatype::vector(256, 16, 48, Datatype::u8());
+    let conv = Convertor::new(dt, 4);
+    let src = vec![7u8; conv.span()];
+    g.bench_function("pack_16k_strided", |b| b.iter(|| black_box(conv.pack(&src))));
+    let packed = conv.pack(&src);
+    let mut dst = vec![0u8; conv.span()];
+    g.bench_function("unpack_16k_strided", |b| {
+        b.iter(|| conv.unpack(black_box(&packed), &mut dst))
+    });
+    g.finish();
+}
+
+fn bench_sim_kernel(c: &mut Criterion) {
+    let mut g = quick(c, "sim_kernel");
+    g.bench_function("spawn_run_1k_events", |b| {
+        b.iter(|| {
+            let sim = qsim::Simulation::new();
+            let h = sim.handle();
+            for i in 0..1000u64 {
+                h.call_after(qsim::Dur::from_ns(i), |_| {});
+            }
+            sim.run().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hdr_codec,
+    bench_topology,
+    bench_convertor,
+    bench_sim_kernel
+);
+criterion_main!(benches);

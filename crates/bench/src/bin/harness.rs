@@ -1,0 +1,92 @@
+//! Experiment harness: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p ompi-bench --bin harness -- <experiment>...
+//! cargo run --release -p ompi-bench --bin harness -- all
+//! cargo run --release -p ompi-bench --bin harness -- fig10a --csv
+//! ```
+
+use ompi_bench::{
+    apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
+    multinet, multirail, onesided, overlap, scale, sweep_irq_cost, sweep_rndv_threshold, table1,
+    Table,
+};
+
+#[allow(clippy::type_complexity)]
+const EXPERIMENTS: &[(&str, fn() -> Table)] = &[
+    ("fig7a", fig7a as fn() -> Table),
+    ("fig7b", fig7b),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("table1", table1),
+    ("fig10a", fig10a),
+    ("fig10b", fig10b),
+    ("fig10c", fig10c),
+    ("fig10d", fig10d),
+    ("multirail", multirail),
+    ("multinet", multinet),
+    ("coll-bcast", coll_bcast),
+    ("onesided", onesided),
+    ("apps", apps_scaling),
+    ("overlap", overlap),
+    ("scale", scale),
+    ("io", io_scaling),
+    ("sweep-rndv", sweep_rndv_threshold),
+    ("sweep-irq", sweep_irq_cost),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let md = args.iter().any(|a| a == "--md");
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+
+    if selected.is_empty() {
+        eprintln!("usage: harness [--csv|--md] <experiment>... | all | paper | compare");
+        eprintln!("experiments:");
+        for (name, _) in EXPERIMENTS {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    }
+
+    if selected == ["compare"] {
+        let anchors = ompi_bench::compare::anchors();
+        print!("{}", ompi_bench::compare::render(&anchors));
+        return;
+    }
+
+    let run_list: Vec<&str> = if selected == ["all"] {
+        EXPERIMENTS.iter().map(|(n, _)| *n).collect()
+    } else if selected == ["paper"] {
+        // Only the experiments that appear in the paper's evaluation.
+        vec![
+            "fig7a", "fig7b", "fig8", "fig9", "table1", "fig10a", "fig10b", "fig10c", "fig10d",
+        ]
+    } else {
+        selected
+    };
+
+    for name in run_list {
+        let Some((_, f)) = EXPERIMENTS.iter().find(|(n, _)| *n == name) else {
+            eprintln!("unknown experiment `{name}`");
+            std::process::exit(2);
+        };
+        let start = std::time::Instant::now();
+        let table = f();
+        if csv {
+            println!("# {}", table.title);
+            print!("{}", table.to_csv());
+        } else if md {
+            println!("### {}", table.title);
+            print!("{}", table.to_markdown());
+        } else {
+            table.print();
+        }
+        eprintln!("[{name} regenerated in {:.1?} wall time]", start.elapsed());
+    }
+}

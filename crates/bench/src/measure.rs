@@ -1,0 +1,269 @@
+//! Measurement primitives: ping-pong latency and streaming bandwidth over
+//! the Open MPI stack, the MPICH-QsNet baseline, and native QDMA — all in
+//! deterministic virtual time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use elan4::{Cluster, ElanCtx, NicConfig};
+use mpich_qsnet::{run_mpich, MpichConfig};
+use openmpi_core::{Placement, StackConfig, Transports, Universe};
+use parking_lot::Mutex;
+use qsim::{Dur, Simulation};
+use qsnet::FabricConfig;
+
+/// Warm-up round trips before timing starts (the paper discards the first
+/// 100 iterations; virtual time is deterministic, so a handful suffices to
+/// reach protocol steady state).
+pub const WARMUP: usize = 4;
+/// Timed round trips per point.
+pub const ITERS: usize = 20;
+
+fn pattern(n: usize, seed: u8) -> Vec<u8> {
+    (0..n).map(|i| ((i * 31 + seed as usize) % 251) as u8).collect()
+}
+
+/// A fully specified machine + stack for one measurement.
+#[derive(Clone)]
+pub struct Setup {
+    pub nic: NicConfig,
+    pub fabric: FabricConfig,
+    pub stack: StackConfig,
+    pub transports: Transports,
+}
+
+impl Setup {
+    pub fn paper(stack: StackConfig) -> Setup {
+        Setup {
+            nic: NicConfig::default(),
+            fabric: FabricConfig::default(),
+            stack,
+            transports: Transports::default(),
+        }
+    }
+
+    fn universe(&self) -> Arc<Universe> {
+        Universe::new(
+            self.nic.clone(),
+            self.fabric.clone(),
+            self.stack.clone(),
+            self.transports.clone(),
+        )
+    }
+}
+
+/// Half round-trip latency of `len`-byte messages, in µs.
+pub fn ompi_latency(setup: &Setup, len: usize) -> f64 {
+    let lat = Arc::new(AtomicU64::new(0));
+    let l2 = lat.clone();
+    setup.universe().run_world(2, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let sbuf = mpi.alloc(len.max(1));
+        let rbuf = mpi.alloc(len.max(1));
+        mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+        let round = |i: usize| {
+            let _ = i;
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 0, &sbuf, len);
+                mpi.recv(&w, 1, 0, &rbuf, len);
+            } else {
+                mpi.recv(&w, 0, 0, &rbuf, len);
+                mpi.send(&w, 0, 0, &sbuf, len);
+            }
+        };
+        for i in 0..WARMUP {
+            round(i);
+        }
+        mpi.barrier(&w);
+        let t0 = mpi.now();
+        for i in 0..ITERS {
+            round(i);
+        }
+        if mpi.rank() == 0 {
+            l2.store((mpi.now() - t0).as_ns() / (2 * ITERS as u64), Ordering::SeqCst);
+        }
+    });
+    lat.load(Ordering::SeqCst) as f64 / 1_000.0
+}
+
+/// Streaming bandwidth in MB/s: `window` messages of `len` bytes in flight,
+/// `reps` windows, closed by a zero-byte ack.
+pub fn ompi_bandwidth(setup: &Setup, len: usize, window: usize, reps: usize) -> f64 {
+    let bw = Arc::new(Mutex::new(0.0f64));
+    let b2 = bw.clone();
+    setup.universe().run_world(2, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let bufs: Vec<_> = (0..window).map(|_| mpi.alloc(len.max(1))).collect();
+        let ack = mpi.alloc(1);
+        mpi.barrier(&w);
+        let t0 = mpi.now();
+        for _ in 0..reps {
+            if mpi.rank() == 0 {
+                let reqs: Vec<_> = bufs.iter().map(|b| mpi.isend(&w, 1, 0, b, len)).collect();
+                mpi.waitall(reqs);
+                mpi.recv(&w, 1, 1, &ack, 0);
+            } else {
+                let reqs: Vec<_> = bufs.iter().map(|b| mpi.irecv(&w, 0, 0, b, len)).collect();
+                mpi.waitall(reqs);
+                mpi.send(&w, 0, 1, &ack, 0);
+            }
+        }
+        if mpi.rank() == 0 {
+            let ns = (mpi.now() - t0).as_ns();
+            let bytes = (len * window * reps) as f64;
+            *b2.lock() = bytes / (ns as f64 / 1e9) / 1e6;
+        }
+    });
+    let v = *bw.lock();
+    v
+}
+
+/// MPICH-QsNet ping-pong latency in µs.
+pub fn mpich_latency(nic: &NicConfig, fabric: &FabricConfig, len: usize) -> f64 {
+    let cluster = Cluster::new(nic.clone(), fabric.clone());
+    let lat = Arc::new(AtomicU64::new(0));
+    let l2 = lat.clone();
+    run_mpich(&cluster, 2, MpichConfig::default(), move |r| {
+        let sbuf = r.alloc(len.max(1));
+        let rbuf = r.alloc(len.max(1));
+        r.write(&sbuf, 0, &pattern(len, r.rank() as u8));
+        let round = || {
+            if r.rank() == 0 {
+                r.send(1, 0, &sbuf, len);
+                r.recv(1, 0, &rbuf);
+            } else {
+                r.recv(0, 0, &rbuf);
+                r.send(0, 0, &sbuf, len);
+            }
+        };
+        for _ in 0..WARMUP {
+            round();
+        }
+        r.barrier();
+        let t0 = r.now();
+        for _ in 0..ITERS {
+            round();
+        }
+        if r.rank() == 0 {
+            l2.store((r.now() - t0).as_ns() / (2 * ITERS as u64), Ordering::SeqCst);
+        }
+    });
+    lat.load(Ordering::SeqCst) as f64 / 1_000.0
+}
+
+/// MPICH-QsNet streaming bandwidth in MB/s.
+pub fn mpich_bandwidth(nic: &NicConfig, fabric: &FabricConfig, len: usize, window: usize, reps: usize) -> f64 {
+    let cluster = Cluster::new(nic.clone(), fabric.clone());
+    let bw = Arc::new(Mutex::new(0.0f64));
+    let b2 = bw.clone();
+    run_mpich(&cluster, 2, MpichConfig::default(), move |r| {
+        let bufs: Vec<_> = (0..window).map(|_| r.alloc(len.max(1))).collect();
+        let ack = r.alloc(1);
+        r.barrier();
+        let t0 = r.now();
+        for _ in 0..reps {
+            if r.rank() == 0 {
+                let reqs: Vec<_> = bufs.iter().map(|b| r.isend(1, 0, b, len)).collect();
+                for q in &reqs {
+                    r.wait(q);
+                }
+                r.recv(1, 1, &ack);
+            } else {
+                let reqs: Vec<_> = bufs.iter().map(|b| r.irecv(0, 0, *b)).collect();
+                for q in &reqs {
+                    r.wait(q);
+                }
+                r.send(0, 1, &ack, 0);
+            }
+        }
+        if r.rank() == 0 {
+            let ns = (r.now() - t0).as_ns();
+            *b2.lock() = (len * window * reps) as f64 / (ns as f64 / 1e9) / 1e6;
+        }
+    });
+    let v = *bw.lock();
+    v
+}
+
+/// Native Quadrics QDMA ping-pong latency (µs) for `len`-byte messages —
+/// the baseline of the paper's §6.3 layering analysis.
+pub fn qdma_native_latency(nic: &NicConfig, fabric: &FabricConfig, len: usize) -> f64 {
+    assert!(len <= 2048);
+    let cluster = Cluster::new(nic.clone(), fabric.clone());
+    let sim = Simulation::new();
+    let lat = Arc::new(AtomicU64::new(0));
+    let a = Arc::new(ElanCtx::attach(&cluster, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cluster, 1).unwrap());
+    let (va, vb) = (a.vpid(), b.vpid());
+    let iters = ITERS;
+    {
+        let lat = lat.clone();
+        let a = a.clone();
+        sim.spawn("qdma0", move |p| {
+            let q = a.create_queue(64, 2048);
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            // Let the peer set its queue up.
+            p.advance(Dur::from_us(5));
+            let t0 = p.now();
+            for _ in 0..iters {
+                a.qdma(&p, 0, vb, elan4::QueueId(0), vec![1u8; len.max(1)], None);
+                let _ = q.wait_pop(&p, &sig, a.cluster().cfg().poll_check).unwrap();
+            }
+            lat.store((p.now() - t0).as_ns() / (2 * iters as u64), Ordering::SeqCst);
+        });
+    }
+    {
+        sim.spawn("qdma1", move |p| {
+            let q = b.create_queue(64, 2048);
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            for _ in 0..iters {
+                let _ = q.wait_pop(&p, &sig, b.cluster().cfg().poll_check).unwrap();
+                b.qdma(&p, 0, va, elan4::QueueId(0), vec![2u8; len.max(1)], None);
+            }
+        });
+    }
+    sim.run().unwrap();
+    lat.load(Ordering::SeqCst) as f64 / 1_000.0
+}
+
+/// Latency decomposition for §6.3: `(total, pml_cost, ptl_latency)` in µs.
+pub fn layer_decomposition(setup: &Setup, len: usize) -> (f64, f64, f64) {
+    let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
+    let o2 = out.clone();
+    setup.universe().run_world(2, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let sbuf = mpi.alloc(len.max(1));
+        let rbuf = mpi.alloc(len.max(1));
+        let round = || {
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 0, &sbuf, len);
+                mpi.recv(&w, 1, 0, &rbuf, len);
+            } else {
+                mpi.recv(&w, 0, 0, &rbuf, len);
+                mpi.send(&w, 0, 0, &sbuf, len);
+            }
+        };
+        for _ in 0..WARMUP {
+            round();
+        }
+        mpi.barrier(&w);
+        let t0 = mpi.now();
+        let n = 50;
+        for _ in 0..n {
+            round();
+        }
+        if mpi.rank() == 0 {
+            let total = (mpi.now() - t0).as_ns() as f64 / (2 * n) as f64 / 1_000.0;
+            let pml = mpi
+                .endpoint()
+                .pml_layer_cost()
+                .map(|d| d.as_us())
+                .unwrap_or(0.0);
+            *o2.lock() = (total, pml);
+        }
+    });
+    let (total, pml) = *out.lock();
+    (total, pml, total - pml)
+}

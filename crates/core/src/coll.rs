@@ -1,0 +1,512 @@
+//! Tree-based collectives layered on point-to-point, as in the paper's
+//! stack ("currently, collective communication is provided as a separated
+//! component on top of point-to-point communication", §2.1).
+//!
+//! All collective traffic flows on the communicator's collective context so
+//! it can never match application receives.
+
+use crate::comm::Communicator;
+use crate::mpi::Mpi;
+
+/// Reduction operators over typed byte buffers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise f64 sum.
+    SumF64,
+    /// Element-wise f64 max.
+    MaxF64,
+    /// Element-wise wrapping u64 sum.
+    SumU64,
+}
+
+impl ReduceOp {
+    /// `acc ⟵ acc ⊕ other`, element-wise.
+    pub fn apply(&self, acc: &mut [u8], other: &[u8]) {
+        assert_eq!(acc.len(), other.len());
+        match self {
+            ReduceOp::SumF64 => fold::<8>(acc, other, |a, b| {
+                (f64::from_le_bytes(a) + f64::from_le_bytes(b)).to_le_bytes()
+            }),
+            ReduceOp::MaxF64 => fold::<8>(acc, other, |a, b| {
+                f64::from_le_bytes(a).max(f64::from_le_bytes(b)).to_le_bytes()
+            }),
+            ReduceOp::SumU64 => fold::<8>(acc, other, |a, b| {
+                u64::from_le_bytes(a)
+                    .wrapping_add(u64::from_le_bytes(b))
+                    .to_le_bytes()
+            }),
+        }
+    }
+}
+
+fn fold<const N: usize>(acc: &mut [u8], other: &[u8], f: impl Fn([u8; N], [u8; N]) -> [u8; N]) {
+    assert_eq!(acc.len() % N, 0, "buffer not a whole number of elements");
+    for (a, b) in acc.chunks_exact_mut(N).zip(other.chunks_exact(N)) {
+        let r = f(a.try_into().unwrap(), b.try_into().unwrap());
+        a.copy_from_slice(&r);
+    }
+}
+
+const TAG_BARRIER: i32 = 1;
+const TAG_BCAST: i32 = 2;
+const TAG_REDUCE: i32 = 3;
+const TAG_GATHER: i32 = 4;
+const TAG_ALLTOALL: i32 = 5;
+const TAG_ALLGATHER: i32 = 6;
+const TAG_BCAST_HW: i32 = 7;
+const TAG_SCATTER: i32 = 8;
+
+impl Mpi {
+    /// Dissemination barrier: ceil(log2(n)) rounds.
+    pub fn barrier(&self, comm: &Communicator) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        if n <= 1 {
+            return;
+        }
+        let me = c.rank();
+        let buf = self.alloc(1);
+        let mut k = 1;
+        let mut round = 0;
+        while k < n {
+            let to = (me + k) % n;
+            let from = (me + n - k) % n;
+            let tag = TAG_BARRIER * 1000 + round;
+            let rr = self.irecv(&c, from as i32, tag, &buf, 0);
+            let sr = self.isend(&c, to, tag, &buf, 0);
+            self.wait(sr);
+            self.wait(rr);
+            k <<= 1;
+            round += 1;
+        }
+        self.free(buf);
+    }
+
+    /// Broadcast `len` bytes of `buf` from `root`. Uses the Elan4 hardware
+    /// broadcast when the communicator was created synchronously (the
+    /// global-virtual-address-space gate of paper §4.1); otherwise a
+    /// binomial tree over point-to-point.
+    pub fn bcast(&self, comm: &Communicator, root: usize, buf: &elan4::HostBuf, len: usize) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        if n <= 1 {
+            return;
+        }
+        if c.hw_coll && self.endpoint().transports.elan_rails > 0 {
+            return self.bcast_hw(&c, root, buf, len);
+        }
+        // Virtual rank with the root at 0.
+        let vrank = (c.rank() + n - root) % n;
+        let mut mask = 1usize;
+        // Receive once from the parent...
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % n;
+                self.recv(&c, parent as i32, TAG_BCAST, buf, len);
+                break;
+            }
+            mask <<= 1;
+        }
+        // ...then forward down the tree.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < n {
+                let child = (vrank + mask + root) % n;
+                self.send(&c, child, TAG_BCAST, buf, len);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Hardware broadcast: the root chunks the payload into ≤1984-byte
+    /// eager fragments, each delivered to every member with a single NIC
+    /// injection; members receive them as ordinary matched messages.
+    fn bcast_hw(&self, c: &Communicator, root: usize, buf: &elan4::HostBuf, len: usize) {
+        const CHUNK: usize = crate::hdr::MAX_INLINE;
+        let chunks = len.div_ceil(CHUNK).max(1);
+        if c.rank() == root {
+            for i in 0..chunks {
+                let off = i * CHUNK;
+                let take = (len - off).min(CHUNK);
+                let data = self.read(buf, off, take);
+                crate::proto::post_bcast_eager(
+                    self.proc(),
+                    self.endpoint(),
+                    c,
+                    TAG_BCAST_HW,
+                    &data,
+                );
+            }
+        } else {
+            for i in 0..chunks {
+                let off = i * CHUNK;
+                let take = (len - off).min(CHUNK);
+                let slot = buf.slice(off, take.max(1));
+                self.recv(c, root as i32, TAG_BCAST_HW, &slot, take);
+            }
+        }
+    }
+
+    /// Scatter: block `i` of `send` (root only) lands in every rank `i`'s
+    /// `recv` buffer.
+    pub fn scatter(
+        &self,
+        comm: &Communicator,
+        root: usize,
+        send: Option<&elan4::HostBuf>,
+        recv: &elan4::HostBuf,
+        block: usize,
+    ) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        if c.rank() == root {
+            let send = send.expect("root must supply a send buffer");
+            assert!(send.len >= n * block, "scatter buffer too small");
+            let own = self.read(send, root * block, block);
+            self.write(recv, 0, &own);
+            let reqs: Vec<_> = (0..n)
+                .filter(|&r| r != root)
+                .map(|r| {
+                    let slot = send.slice(r * block, block);
+                    self.isend(&c, r, TAG_SCATTER, &slot, block)
+                })
+                .collect();
+            self.waitall(reqs);
+        } else {
+            self.recv(&c, root as i32, TAG_SCATTER, recv, block);
+        }
+    }
+
+    /// Broadcast a variable-length byte vector (length prefix + payload).
+    pub fn bcast_bytes(&self, comm: &Communicator, root: usize, data: Vec<u8>) -> Vec<u8> {
+        let c = comm.coll_plane();
+        let lbuf = self.alloc(8);
+        if c.rank() == root {
+            self.write(&lbuf, 0, &(data.len() as u64).to_le_bytes());
+        }
+        self.bcast(comm, root, &lbuf, 8);
+        let len = u64::from_le_bytes(self.read(&lbuf, 0, 8).try_into().unwrap()) as usize;
+        self.free(lbuf);
+
+        let buf = self.alloc(len.max(1));
+        if c.rank() == root {
+            self.write(&buf, 0, &data);
+        }
+        self.bcast(comm, root, &buf, len);
+        let out = self.read(&buf, 0, len);
+        self.free(buf);
+        out
+    }
+
+    /// Binomial-tree reduction of `len` bytes to `root`. Every rank's `buf`
+    /// holds its contribution; on the root it holds the result afterwards.
+    pub fn reduce(
+        &self,
+        comm: &Communicator,
+        root: usize,
+        op: ReduceOp,
+        buf: &elan4::HostBuf,
+        len: usize,
+    ) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        if n <= 1 {
+            return;
+        }
+        let vrank = (c.rank() + n - root) % n;
+        let tmp = self.alloc(len.max(1));
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                let parent = (vrank - mask + root) % n;
+                self.send(&c, parent, TAG_REDUCE, buf, len);
+                break;
+            }
+            if vrank + mask < n {
+                let child = (vrank + mask + root) % n;
+                self.recv(&c, child as i32, TAG_REDUCE, &tmp, len);
+                let mut acc = self.read(buf, 0, len);
+                let other = self.read(&tmp, 0, len);
+                op.apply(&mut acc, &other);
+                self.write(buf, 0, &acc);
+            }
+            mask <<= 1;
+        }
+        self.free(tmp);
+    }
+
+    /// Reduce-to-all: reduce to rank 0 then broadcast.
+    pub fn allreduce(
+        &self,
+        comm: &Communicator,
+        op: ReduceOp,
+        buf: &elan4::HostBuf,
+        len: usize,
+    ) {
+        self.reduce(comm, 0, op, buf, len);
+        self.bcast(comm, 0, buf, len);
+    }
+
+    /// Gather `len` bytes from every rank into `recv` (root only), ordered
+    /// by rank.
+    pub fn gather(
+        &self,
+        comm: &Communicator,
+        root: usize,
+        sbuf: &elan4::HostBuf,
+        len: usize,
+        recv: Option<&elan4::HostBuf>,
+    ) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        if c.rank() == root {
+            let recv = recv.expect("root must supply a receive buffer");
+            assert!(recv.len >= n * len, "gather buffer too small");
+            let data = self.read(sbuf, 0, len);
+            self.write(recv, root * len, &data);
+            let mut reqs = Vec::new();
+            for r in 0..n {
+                if r == root {
+                    continue;
+                }
+                let slot = recv.slice(r * len, len);
+                reqs.push(self.irecv(&c, r as i32, TAG_GATHER, &slot, len));
+            }
+            self.waitall(reqs);
+        } else {
+            self.send(&c, root, TAG_GATHER, sbuf, len);
+        }
+    }
+
+    /// All-gather via gather + broadcast.
+    pub fn allgather(
+        &self,
+        comm: &Communicator,
+        sbuf: &elan4::HostBuf,
+        len: usize,
+        recv: &elan4::HostBuf,
+    ) {
+        let c = comm.coll_plane();
+        let _ = &c;
+        self.gather(comm, 0, sbuf, len, Some(recv));
+        self.bcast(comm, 0, recv, comm.size() * len);
+    }
+
+    /// All-gather of small variable payloads (equal length per rank derived
+    /// from `mine`), returned as a concatenated vector ordered by rank.
+    pub fn allgather_bytes(&self, comm: &Communicator, mine: &[u8]) -> Vec<u8> {
+        let n = comm.size();
+        let len = mine.len();
+        let sbuf = self.alloc(len.max(1));
+        self.write(&sbuf, 0, mine);
+        let rbuf = self.alloc((n * len).max(1));
+        self.allgather(comm, &sbuf, len, &rbuf);
+        let out = self.read(&rbuf, 0, n * len);
+        self.free(sbuf);
+        self.free(rbuf);
+        out
+    }
+
+    /// Pairwise-exchange all-to-all: rank `r`'s block `i` of `send` goes to
+    /// rank `i`'s block `r` of `recv`.
+    pub fn alltoall(
+        &self,
+        comm: &Communicator,
+        send: &elan4::HostBuf,
+        recv: &elan4::HostBuf,
+        block: usize,
+    ) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        let me = c.rank();
+        assert!(send.len >= n * block && recv.len >= n * block);
+        // Local block.
+        let own = self.read(send, me * block, block);
+        self.write(recv, me * block, &own);
+        // Exchange with every other rank, staggered to avoid hot spots.
+        for step in 1..n {
+            let to = (me + step) % n;
+            let from = (me + n - step) % n;
+            let sslice = send.slice(to * block, block);
+            let rslice = recv.slice(from * block, block);
+            let tag = TAG_ALLTOALL * 1000 + step as i32;
+            let rr = self.irecv(&c, from as i32, tag, &rslice, block);
+            let sr = self.isend(&c, to, tag, &sslice, block);
+            self.wait(sr);
+            self.wait(rr);
+        }
+        let _ = TAG_ALLGATHER;
+    }
+}
+
+const TAG_SCAN: i32 = 9;
+const TAG_GATHERV: i32 = 10;
+
+impl Mpi {
+    /// Inclusive prefix reduction (MPI_Scan): rank `r` ends up with the
+    /// reduction of ranks `0..=r`. Linear chain: receive from the left,
+    /// fold, forward to the right.
+    pub fn scan(
+        &self,
+        comm: &Communicator,
+        op: ReduceOp,
+        buf: &elan4::HostBuf,
+        len: usize,
+    ) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        let me = c.rank();
+        if n <= 1 {
+            return;
+        }
+        if me > 0 {
+            let tmp = self.alloc(len.max(1));
+            self.recv(&c, (me - 1) as i32, TAG_SCAN, &tmp, len);
+            let mut acc = self.read(buf, 0, len);
+            let left = self.read(&tmp, 0, len);
+            op.apply(&mut acc, &left);
+            self.write(buf, 0, &acc);
+            self.free(tmp);
+        }
+        if me < n - 1 {
+            self.send(&c, me + 1, TAG_SCAN, buf, len);
+        }
+    }
+
+    /// Reduce-scatter with equal blocks: element-wise reduction of every
+    /// rank's `send` (length `n * block`), with block `i` of the result
+    /// landing in rank `i`'s `recv`.
+    pub fn reduce_scatter(
+        &self,
+        comm: &Communicator,
+        op: ReduceOp,
+        send: &elan4::HostBuf,
+        recv: &elan4::HostBuf,
+        block: usize,
+    ) {
+        let c = comm.coll_plane();
+        let n = c.size();
+        assert!(send.len >= n * block && recv.len >= block);
+        // Reduce to rank 0, then scatter — simple and correct; a pairwise
+        // exchange would halve the traffic but the collective layer is not
+        // what the paper evaluates.
+        let work = self.alloc((n * block).max(1));
+        let data = self.read(send, 0, n * block);
+        self.write(&work, 0, &data);
+        self.reduce(comm, 0, op, &work, n * block);
+        if c.rank() == 0 {
+            self.scatter(comm, 0, Some(&work), recv, block);
+        } else {
+            self.scatter(comm, 0, None, recv, block);
+        }
+        self.free(work);
+    }
+
+    /// Variable-length gather: each rank contributes `len` bytes; the root
+    /// receives them ordered by rank, returned as (offsets, bytes).
+    pub fn gatherv(
+        &self,
+        comm: &Communicator,
+        root: usize,
+        data: &[u8],
+    ) -> Option<(Vec<usize>, Vec<u8>)> {
+        let c = comm.coll_plane();
+        let n = c.size();
+        // Gather the lengths first.
+        let mut len_bytes = Vec::with_capacity(8);
+        len_bytes.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        let lbuf = self.alloc(8);
+        self.write(&lbuf, 0, &len_bytes);
+        let lens_buf = self.alloc(8 * n);
+        self.gather(comm, root, &lbuf, 8, (c.rank() == root).then_some(&lens_buf));
+
+        let result = if c.rank() == root {
+            let lens: Vec<usize> = self
+                .read(&lens_buf, 0, 8 * n)
+                .chunks_exact(8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()) as usize)
+                .collect();
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut total = 0;
+            for l in &lens {
+                offsets.push(total);
+                total += l;
+            }
+            offsets.push(total);
+            let mut out = vec![0u8; total];
+            out[offsets[root]..offsets[root] + data.len()].copy_from_slice(data);
+            // Receive each rank's payload into its slot.
+            let mut reqs = Vec::new();
+            let mut bufs = Vec::new();
+            for (r, len) in lens.iter().enumerate() {
+                if r == root || *len == 0 {
+                    continue;
+                }
+                let b = self.alloc(*len);
+                reqs.push((r, self.irecv(&c, r as i32, TAG_GATHERV, &b, *len)));
+                bufs.push((r, b));
+            }
+            for (_, req) in &reqs {
+                self.wait(*req);
+            }
+            for (r, b) in &bufs {
+                let bytes = self.read(b, 0, lens[*r]);
+                out[offsets[*r]..offsets[*r] + lens[*r]].copy_from_slice(&bytes);
+                self.free(*b);
+            }
+            Some((offsets, out))
+        } else {
+            if !data.is_empty() {
+                let b = self.alloc(data.len());
+                self.write(&b, 0, data);
+                self.send(&c, root, TAG_GATHERV, &b, data.len());
+                self.free(b);
+            }
+            None
+        };
+        self.free(lbuf);
+        self.free(lens_buf);
+        result
+    }
+}
+
+const TAG_ALLTOALLV: i32 = 11;
+
+impl Mpi {
+    /// Variable-count all-to-all: `sends[i]` goes to rank `i`; returns the
+    /// vector received from each rank, in rank order. Lengths need not be
+    /// agreed beforehand — receivers probe for them.
+    pub fn alltoallv(&self, comm: &Communicator, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        let c = comm.coll_plane();
+        let n = c.size();
+        let me = c.rank();
+        assert_eq!(sends.len(), n, "one send vector per rank");
+
+        let mut reqs = Vec::new();
+        let mut bufs = Vec::new();
+        for (d, data) in sends.iter().enumerate() {
+            if d == me {
+                continue;
+            }
+            let b = self.alloc(data.len().max(1));
+            self.write(&b, 0, data);
+            reqs.push(self.isend(&c, d, TAG_ALLTOALLV, &b, data.len()));
+            bufs.push(b);
+        }
+
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[me] = sends[me].clone();
+        for _ in 0..n - 1 {
+            let st = self.probe(&c, crate::mpi::ANY_SOURCE, TAG_ALLTOALLV);
+            let b = self.alloc(st.len.max(1));
+            self.recv(&c, st.source as i32, TAG_ALLTOALLV, &b, st.len);
+            out[st.source] = self.read(&b, 0, st.len);
+            self.free(b);
+        }
+        self.waitall(reqs);
+        for b in bufs {
+            self.free(b);
+        }
+        out
+    }
+}

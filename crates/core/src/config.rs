@@ -1,0 +1,197 @@
+//! Protocol and host-cost configuration for the Open MPI stack.
+//!
+//! Every design choice the paper evaluates is a knob here, so each figure's
+//! series is just a different [`StackConfig`].
+
+use ompi_datatype::CopyModel;
+use qsim::Dur;
+
+/// Which long-message scheme the Elan4 PTL uses (paper §4.2, Figs. 3 & 4).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum RdmaScheme {
+    /// Sender RDMA-writes after the ACK, then sends FIN.
+    Write,
+    /// Receiver RDMA-reads after the match, then sends FIN_ACK.
+    Read,
+}
+
+/// How the host learns that its own RDMA descriptors completed (paper §4.3).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum CompletionMode {
+    /// Poll each descriptor's host event word.
+    PollEvent,
+    /// Chain a small QDMA to every RDMA, funneling completions into the
+    /// *existing* receive queue (the one-queue strategy).
+    SharedQueueCombined,
+    /// Same, but into a dedicated second queue (the two-queue strategy).
+    SharedQueueSeparate,
+}
+
+/// How pending communication is progressed (paper §3, dual-mode progress).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ProgressMode {
+    /// The application thread polls inside blocking MPI calls.
+    Polling,
+    /// The application thread blocks on NIC interrupts directly ("not really
+    /// workable" per the paper — measured for Table 1).
+    Interrupt,
+    /// One asynchronous progress thread services the (combined) queue.
+    OneThread,
+    /// Two threads: one for incoming messages, one for the separate
+    /// completion queue.
+    TwoThreads,
+}
+
+/// Configuration of the whole communication stack for one run.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    /// Long-message scheme.
+    pub scheme: RdmaScheme,
+    /// Carry up to `first_frag_payload` bytes inside the rendezvous packet.
+    /// Disabling this is the paper's §6.1 optimization.
+    pub inline_first_frag: bool,
+    /// Chain the FIN / FIN_ACK QDMA to the final RDMA (vs. the host sending
+    /// it after polling the completion).
+    pub chained_fin: bool,
+    /// Completion-notification strategy for RDMA descriptors.
+    pub completion: CompletionMode,
+    /// Progress engine.
+    pub progress: ProgressMode,
+    /// Messages at most this long (packed) go eagerly in one QDMA.
+    /// The 2 KB QDMA limit minus the 64-byte match header = 1984.
+    pub eager_limit: usize,
+    /// Force every message through the rendezvous/RDMA path (Fig. 7 studies
+    /// the RDMA path in isolation).
+    pub force_rendezvous: bool,
+    /// Route data through the datatype convertor instead of the memcpy fast
+    /// path (the "DTP" series of Fig. 7).
+    pub use_datatype_engine: bool,
+    /// Receive-queue depth (QSLOTS).
+    pub qslots: usize,
+    /// End-to-end payload integrity checking (Fletcher-16 in the header;
+    /// LA-MPI heritage, paper §3). Detection is fail-stop: a corrupt
+    /// payload aborts the rank. Recovery/retransmission is future work in
+    /// the paper (§8) and here.
+    pub integrity_check: bool,
+    /// Record every protocol transition in the endpoint's
+    /// [`crate::trace::TraceLog`].
+    pub trace: bool,
+    /// Host-side layer costs.
+    pub host: HostConfig,
+    /// Copy-engine cost model.
+    pub copy: CopyModel,
+}
+
+/// Host CPU costs of the Open MPI layers.
+#[derive(Clone, Debug)]
+pub struct HostConfig {
+    /// One matching attempt in the PML (walk posted/unexpected lists).
+    pub pml_match: Dur,
+    /// Building a 64-byte match/control header.
+    pub hdr_build: Dur,
+    /// Parsing an incoming header + dispatch.
+    pub hdr_parse: Dur,
+    /// Request allocation / completion bookkeeping.
+    pub req_bookkeep: Dur,
+    /// PML scheduling decision (choose PTL, slice message).
+    pub sched: Dur,
+    /// Fixed sender-side cost of staging payload through the pre-allocated
+    /// send buffers (charged whenever a fragment carries data). Calibrated
+    /// so the paper's no-inline rendezvous optimization wins above the
+    /// threshold (§6.1).
+    pub inline_copy_setup: Dur,
+    /// Fixed receiver-side cost of copying payload out of a queue slot.
+    pub unpack_setup: Dur,
+    /// Progress-thread to application-thread wakeup (condvar handoff).
+    pub thread_handoff: Dur,
+    /// Extra per-wakeup penalty when two progress threads contend for CPU
+    /// and memory (paper §6.4: two-thread progress is slower).
+    pub thread_contention: Dur,
+}
+
+impl Default for HostConfig {
+    fn default() -> Self {
+        HostConfig {
+            pml_match: Dur::from_ns(250),
+            hdr_build: Dur::from_ns(150),
+            hdr_parse: Dur::from_ns(100),
+            req_bookkeep: Dur::from_ns(100),
+            sched: Dur::from_ns(100),
+            inline_copy_setup: Dur::from_ns(600),
+            unpack_setup: Dur::from_ns(150),
+            thread_handoff: Dur::from_ns(4_000),
+            thread_contention: Dur::from_ns(2_300),
+        }
+    }
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            scheme: RdmaScheme::Read,
+            inline_first_frag: false,
+            chained_fin: true,
+            completion: CompletionMode::PollEvent,
+            progress: ProgressMode::Polling,
+            eager_limit: crate::hdr::MAX_INLINE,
+            force_rendezvous: false,
+            use_datatype_engine: false,
+            qslots: 128,
+            integrity_check: false,
+            trace: false,
+            host: HostConfig::default(),
+            copy: CopyModel::default(),
+        }
+    }
+}
+
+impl StackConfig {
+    /// The paper's best-performing configuration (used for Fig. 10):
+    /// chained FIN, polling progress, no shared completion queue, rendezvous
+    /// without inlined data.
+    pub fn best() -> Self {
+        StackConfig::default()
+    }
+
+    /// Sanity-check mode combinations.
+    pub fn validate(&self) {
+        match self.progress {
+            ProgressMode::OneThread => assert!(
+                self.completion == CompletionMode::SharedQueueCombined,
+                "one-thread progress requires the combined shared completion queue"
+            ),
+            ProgressMode::TwoThreads => assert!(
+                self.completion == CompletionMode::SharedQueueSeparate,
+                "two-thread progress requires the separate completion queue"
+            ),
+            _ => {}
+        }
+        assert!(self.eager_limit <= crate::hdr::MAX_INLINE);
+        assert!(self.qslots >= 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper_best() {
+        let c = StackConfig::best();
+        c.validate();
+        assert_eq!(c.scheme, RdmaScheme::Read);
+        assert!(c.chained_fin);
+        assert!(!c.inline_first_frag);
+        assert_eq!(c.eager_limit, 1984);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-thread progress requires")]
+    fn invalid_combo_rejected() {
+        let c = StackConfig {
+            progress: ProgressMode::OneThread,
+            ..Default::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,459 @@
+//! The per-rank communication endpoint: NIC resources, PML state, progress
+//! engines, and blocking-wait logic.
+//!
+//! A rank's endpoint owns its Elan4 context (claimed dynamically from the
+//! capability — paper §4.1/§5), its receive queue(s), an optional TCP inbox,
+//! and the lock-guarded [`EpState`]. Progress is driven either by the
+//! application thread (polling / interrupt modes) or by one or two
+//! asynchronous progress threads over the shared completion queue
+//! (paper §4.3).
+
+use std::sync::Arc;
+
+use elan4::{Cluster, ElanCtx, HostBuf, RxQueue};
+use ompi_rte::{ProcName, Rte};
+use parking_lot::Mutex;
+use qsim::{Dur, Proc, Signal, Time, Wait};
+
+use crate::config::{CompletionMode, ProgressMode, StackConfig};
+use crate::peer::{ElanPeer, PeerInfo, TcpPeer};
+use crate::proto;
+use crate::ptl::{PtlInfo, PtlKind, PtlRegistry};
+use crate::ptl_tcp::{TcpInbox, TcpNet};
+use crate::state::EpState;
+
+/// Which transports an endpoint activates.
+#[derive(Clone, Debug)]
+pub struct Transports {
+    /// Number of Elan4 rails used (0 disables the Elan4 PTL).
+    pub elan_rails: usize,
+    /// Activate the TCP PTL.
+    pub tcp: bool,
+}
+
+impl Default for Transports {
+    fn default() -> Self {
+        Transports {
+            elan_rails: 1,
+            tcp: false,
+        }
+    }
+}
+
+/// Instrumentation for the paper's §6.3 layering analysis.
+#[derive(Default)]
+pub struct Instr {
+    /// Set when a match-class packet is handed to the PML.
+    pub last_rx: Option<Time>,
+    /// Accumulated PML-and-above time between receipt and next send.
+    pub pml_accum: Dur,
+    /// Number of accumulated intervals.
+    pub pml_samples: u64,
+}
+
+/// Behavioural counters for tests.
+#[derive(Clone, Debug, Default)]
+pub struct EpStats {
+    /// Eager messages sent.
+    pub eager_sent: u64,
+    /// Rendezvous first fragments sent.
+    pub rndv_sent: u64,
+    /// ACK control messages sent.
+    pub acks_sent: u64,
+    /// Host-sent FIN messages (unchained write scheme).
+    pub fins_sent: u64,
+    /// Host-sent FIN_ACK messages (unchained read scheme).
+    pub fin_acks_sent: u64,
+    /// Push fragments sent (non-RDMA transports).
+    pub frags_sent: u64,
+    /// RDMA read batches issued.
+    pub rdma_reads: u64,
+    /// RDMA write batches issued.
+    pub rdma_writes: u64,
+    /// Match-class fragments that found no posted receive.
+    pub unexpected_frags: u64,
+    /// Shared-completion-queue tokens consumed.
+    pub completion_tokens: u64,
+}
+
+/// One rank's endpoint.
+pub struct Endpoint {
+    /// This process's name.
+    pub name: ProcName,
+    /// The node it runs on.
+    pub node: usize,
+    /// Protocol configuration.
+    pub cfg: StackConfig,
+    /// Activated transports.
+    pub transports: Transports,
+    /// The simulated machine.
+    pub cluster: Arc<Cluster>,
+    /// The runtime environment.
+    pub rte: Arc<Rte>,
+    /// This rank's Elan4 context (claimed dynamically at init).
+    pub ectx: Arc<ElanCtx>,
+    /// Main QDMA receive queue (when the Elan PTL is active).
+    pub main_q: Option<Arc<RxQueue>>,
+    /// Separate shared-completion queue (two-queue strategy).
+    pub comp_q: Option<Arc<RxQueue>>,
+    /// The Ethernet, when the TCP PTL is active.
+    pub tcp_net: Option<Arc<TcpNet>>,
+    /// Incoming TCP frames.
+    pub tcp_inbox: Option<Arc<TcpInbox>>,
+    /// PML state (requests, matching, peers).
+    pub state: Mutex<EpState>,
+    /// Component lifecycle registry (paper §2.2's five stages).
+    pub ptls: Mutex<PtlRegistry>,
+    /// The progress driver's wakeup signal (polling/interrupt modes).
+    pub doorbell: Mutex<Option<Signal>>,
+    /// §6.3 layer-cost instrumentation.
+    pub instr: Mutex<Instr>,
+    /// Protocol event trace (populated when `cfg.trace` is set).
+    pub trace: Mutex<crate::trace::TraceLog>,
+    /// Behavioural counters.
+    pub stats: Mutex<EpStats>,
+    /// This rank's published addressing.
+    pub my_info: PeerInfo,
+}
+
+impl Endpoint {
+    /// Bring a rank's endpoint up: claim a context, create queues, publish
+    /// addressing via the modex, and synchronize with the rest of the job.
+    #[allow(clippy::too_many_arguments)]
+    pub fn init(
+        proc: &Proc,
+        name: ProcName,
+        node: usize,
+        cfg: StackConfig,
+        transports: Transports,
+        cluster: Arc<Cluster>,
+        rte: Arc<Rte>,
+        tcp_net: Option<Arc<TcpNet>>,
+    ) -> Arc<Endpoint> {
+        cfg.validate();
+        assert!(
+            transports.elan_rails <= cluster.rails(),
+            "more rails requested than the fabric has"
+        );
+        // Dynamic join: claim an Elan4 context whenever this process starts.
+        let ectx = Arc::new(
+            ElanCtx::attach(&cluster, node).expect("Elan4 capability exhausted on node"),
+        );
+
+        let (main_q, comp_q) = if transports.elan_rails > 0 {
+            let main = Arc::new(ectx.create_queue(cfg.qslots, crate::hdr::SLOT_LEN));
+            let comp = match cfg.completion {
+                CompletionMode::SharedQueueSeparate => {
+                    Some(Arc::new(ectx.create_queue(cfg.qslots, crate::hdr::SLOT_LEN)))
+                }
+                _ => None,
+            };
+            (Some(main), comp)
+        } else {
+            (None, None)
+        };
+
+        let tcp_inbox = if transports.tcp {
+            let net = tcp_net.as_ref().expect("tcp enabled without a TcpNet");
+            let inbox = TcpInbox::new();
+            net.bind(name, node, inbox.clone());
+            Some(inbox)
+        } else {
+            None
+        };
+
+        let my_info = PeerInfo {
+            name,
+            elan: main_q.as_ref().map(|q| ElanPeer {
+                vpid: ectx.vpid(),
+                main_q: q.id(),
+                comp_q: comp_q.as_ref().map(|c| c.id()),
+                rails: transports.elan_rails as u8,
+            }),
+            tcp: transports.tcp.then_some(TcpPeer { node: node as u32 }),
+        };
+
+        // Publish addressing, then wait for the whole job before fetching
+        // (the paper's collective connection setup during MPI_Init).
+        rte.modex_put(proc, name, "ptl", my_info.to_bytes());
+        rte.barrier(proc, name.job);
+
+        let job_size = rte.job_size(name.job);
+        let mut state = EpState::new();
+        for r in 0..job_size {
+            let who = ProcName {
+                job: name.job,
+                rank: r,
+            };
+            let raw = rte.modex_get(proc, who, "ptl");
+            let info = PeerInfo::from_bytes(&raw);
+            state.peers.insert(who, info);
+        }
+
+        // Drive each component through the open -> init -> activate stages
+        // of §2.2. Opening/initializing happened physically above (queues,
+        // inbox); the registry records the lifecycle and feeds the PML
+        // scheduling heuristics.
+        let mut ptls = PtlRegistry::new();
+        for rail in 0..transports.elan_rails {
+            let info = PtlInfo::elan4(rail);
+            let kind = info.kind;
+            ptls.open(info);
+            ptls.init(kind).expect("fresh component");
+            ptls.activate(kind).expect("initialized component");
+        }
+        if transports.tcp {
+            ptls.open(PtlInfo::tcp());
+            ptls.init(PtlKind::Tcp).expect("fresh component");
+            ptls.activate(PtlKind::Tcp).expect("initialized component");
+        }
+
+        Arc::new(Endpoint {
+            name,
+            node,
+            cfg,
+            transports,
+            cluster,
+            rte,
+            ectx,
+            main_q,
+            comp_q,
+            tcp_net,
+            tcp_inbox,
+            state: Mutex::new(state),
+            ptls: Mutex::new(ptls),
+            doorbell: Mutex::new(None),
+            instr: Mutex::new(Instr::default()),
+            trace: Mutex::new(crate::trace::TraceLog::default()),
+            stats: Mutex::new(EpStats::default()),
+            my_info,
+        })
+    }
+
+    /// Install progress machinery for the configured mode. Must be called by
+    /// the rank's own process before any communication.
+    pub fn start_progress(self: &Arc<Self>, proc: &Proc) {
+        match self.cfg.progress {
+            ProgressMode::Polling | ProgressMode::Interrupt => {
+                let bell = proc.signal();
+                let irq = self.cfg.progress == ProgressMode::Interrupt;
+                if let Some(q) = &self.main_q {
+                    q.set_signal(bell.clone());
+                    q.arm_irq(irq);
+                }
+                if let Some(q) = &self.comp_q {
+                    q.set_signal(bell.clone());
+                    q.arm_irq(irq);
+                }
+                if let Some(ib) = &self.tcp_inbox {
+                    ib.set_doorbell(bell.clone());
+                }
+                *self.doorbell.lock() = Some(bell);
+            }
+            ProgressMode::OneThread => {
+                let ep = self.clone();
+                proc.spawn_daemon(&format!("progress-{}-{}", self.name.job.0, self.name.rank), move |p| {
+                    progress_thread(&p, &ep, QueueSel::Main);
+                });
+            }
+            ProgressMode::TwoThreads => {
+                let ep = self.clone();
+                proc.spawn_daemon(&format!("progress-{}-{}", self.name.job.0, self.name.rank), move |p| {
+                    progress_thread(&p, &ep, QueueSel::Main);
+                });
+                let ep2 = self.clone();
+                proc.spawn_daemon(&format!("compl-{}-{}", self.name.job.0, self.name.rank), move |p| {
+                    progress_thread(&p, &ep2, QueueSel::Completion);
+                });
+            }
+        }
+    }
+
+    /// The signal the current progress driver blocks on (polling/interrupt
+    /// modes only).
+    pub fn doorbell(&self) -> Option<Signal> {
+        self.doorbell.lock().clone()
+    }
+
+    // ---- memory helpers ----------------------------------------------------
+
+    /// Allocate host memory on this rank's node.
+    pub fn alloc(&self, len: usize) -> HostBuf {
+        self.ectx.alloc(len)
+    }
+
+    /// Free a buffer.
+    pub fn free(&self, buf: HostBuf) {
+        self.ectx.free(buf);
+    }
+
+    /// Untimed host store into a buffer.
+    pub fn write_buf(&self, buf: &HostBuf, off: usize, data: &[u8]) {
+        self.ectx.write(buf, off, data);
+    }
+
+    /// Untimed host load from a buffer.
+    pub fn read_buf(&self, buf: &HostBuf, off: usize, len: usize) -> Vec<u8> {
+        self.ectx.read(buf, off, len)
+    }
+
+    /// Host memcpy cost from the copy model.
+    pub fn memcpy_cost(&self, len: usize) -> Dur {
+        self.cfg.copy.memcpy(len)
+    }
+
+    // ---- blocking progress --------------------------------------------------
+
+    /// Drive progress until `done()` (checked under the state lock) returns
+    /// true. Used by request waits, barriers, and finalize.
+    pub fn wait_until(self: &Arc<Self>, proc: &Proc, mut done: impl FnMut(&mut EpState) -> bool) {
+        match self.cfg.progress {
+            ProgressMode::Polling | ProgressMode::Interrupt => {
+                let bell = self.doorbell().expect("progress not started");
+                loop {
+                    if done(&mut self.state.lock()) {
+                        return;
+                    }
+                    if proto::progress_pass(proc, self) {
+                        continue;
+                    }
+                    if done(&mut self.state.lock()) {
+                        return;
+                    }
+                    match proc.wait(&bell) {
+                        Wait::Signaled => {
+                            proc.advance(self.cluster.cfg().poll_check);
+                        }
+                        Wait::Shutdown => panic!("simulation shut down during MPI wait"),
+                    }
+                }
+            }
+            ProgressMode::OneThread | ProgressMode::TwoThreads => {
+                // The progress thread(s) complete requests; we sleep on a
+                // per-wait signal it notifies, paying the thread-handoff
+                // cost on each wakeup.
+                let extra = if self.cfg.progress == ProgressMode::TwoThreads {
+                    self.cfg.host.thread_contention
+                } else {
+                    Dur::ZERO
+                };
+                loop {
+                    let sig = proc.signal();
+                    {
+                        let mut st = self.state.lock();
+                        if done(&mut st) {
+                            return;
+                        }
+                        st.waiters.push(sig.clone());
+                    }
+                    match proc.wait(&sig) {
+                        Wait::Signaled => {
+                            proc.advance(self.cfg.host.thread_handoff + extra);
+                        }
+                        Wait::Shutdown => panic!("simulation shut down during MPI wait"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record a trace event (no-op unless tracing is configured).
+    pub fn trace(&self, now: Time, ev: crate::trace::TraceEvent) {
+        if self.cfg.trace {
+            self.trace.lock().record(now, ev);
+        }
+    }
+
+    /// Record the PML-handoff timestamp (paper §6.3 instrumentation).
+    pub fn instr_mark_rx(&self, now: Time) {
+        self.instr.lock().last_rx = Some(now);
+    }
+
+    /// A first fragment is leaving through the PTL: close the PML interval.
+    pub fn instr_mark_tx(&self, now: Time) {
+        let mut i = self.instr.lock();
+        if let Some(rx) = i.last_rx.take() {
+            i.pml_accum += now - rx;
+            i.pml_samples += 1;
+        }
+    }
+
+    /// Average "PML layer and above" cost per message, if measured.
+    pub fn pml_layer_cost(&self) -> Option<Dur> {
+        let i = self.instr.lock();
+        if i.pml_samples == 0 {
+            None
+        } else {
+            Some(i.pml_accum / i.pml_samples)
+        }
+    }
+
+    /// Tear the endpoint down: drain pending traffic, synchronize, release
+    /// the context (paper §4.1: finalize only after pending messages are
+    /// drained synchronously so no leftover DMA can regenerate traffic).
+    pub fn finalize(self: &Arc<Self>, proc: &Proc) {
+        self.wait_until(proc, |st| {
+            st.finalizing = true;
+            st.all_requests_done()
+        });
+        self.rte.barrier(proc, self.name.job);
+        // Stages 4 and 5: finalize and close every component, then release
+        // the context back to the capability (disjoin).
+        self.ptls.lock().shutdown();
+        if let Some(net) = &self.tcp_net {
+            net.unbind(self.name);
+        }
+        self.cluster.release_ctx(self.ectx.vpid());
+    }
+}
+
+/// Which queue a progress thread services.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum QueueSel {
+    Main,
+    Completion,
+}
+
+/// Body of an asynchronous progress thread: block on the queue's interrupt,
+/// drain it, dispatch frames, wake any waiting application threads.
+fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
+    let q = match sel {
+        QueueSel::Main => ep.main_q.clone(),
+        QueueSel::Completion => ep.comp_q.clone(),
+    };
+    let Some(q) = q else { return };
+    let sig = proc.signal();
+    q.set_signal(sig.clone());
+    q.arm_irq(true);
+    if sel == QueueSel::Main {
+        if let Some(ib) = &ep.tcp_inbox {
+            ib.set_doorbell(sig.clone());
+        }
+    }
+    loop {
+        let mut worked = false;
+        while let Some(frame) = q.pop_ready() {
+            proto::dispatch(proc, ep, frame);
+            worked = true;
+        }
+        if sel == QueueSel::Main {
+            if let Some(ib) = &ep.tcp_inbox {
+                while let Some(frame) = ib.pop() {
+                    // Kernel receive path: syscall + copy out of the socket.
+                    if let Some(net) = &ep.tcp_net {
+                        proc.advance(net.cfg().syscall + ep.cluster.cfg().memcpy(frame.len()));
+                    }
+                    proto::dispatch(proc, ep, frame);
+                    worked = true;
+                }
+            }
+        }
+        if worked {
+            continue;
+        }
+        match proc.wait(&sig) {
+            Wait::Signaled => proc.advance(ep.cluster.cfg().poll_check),
+            Wait::Shutdown => break,
+        }
+    }
+}

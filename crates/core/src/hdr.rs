@@ -1,0 +1,269 @@
+//! Wire headers.
+//!
+//! Every Open MPI fragment carries a fixed 64-byte header (the paper
+//! compares this against MPICH-QsNetII's 32-byte header in §6.5). A QDMA
+//! slot is 2 KB, so the payload that can ride along with the first fragment
+//! is `2048 - 64 = 1984` bytes — exactly the rendezvous threshold the paper
+//! quotes.
+
+/// Header size on the wire.
+pub const HDR_LEN: usize = 64;
+/// QDMA slot size.
+pub const SLOT_LEN: usize = 2048;
+/// Maximum payload inlined after a header in one QDMA.
+pub const MAX_INLINE: usize = SLOT_LEN - HDR_LEN;
+
+/// Fragment/control types.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum HdrType {
+    /// Eager message: header + whole payload.
+    Eager = 1,
+    /// Rendezvous first fragment (may carry inline payload).
+    Rendezvous = 2,
+    /// Receiver's acknowledgment for the RDMA-write scheme; carries the
+    /// destination E4 address.
+    Ack = 3,
+    /// Sender's completion notice after RDMA writes (write scheme).
+    Fin = 4,
+    /// Receiver's combined ack + completion notice (read scheme).
+    FinAck = 5,
+    /// An in-band data fragment (transports without RDMA, e.g. TCP).
+    Frag = 6,
+    /// Shared-completion-queue token: a local DMA descriptor finished.
+    Completion = 7,
+}
+
+impl HdrType {
+    fn from_u8(v: u8) -> HdrType {
+        match v {
+            1 => HdrType::Eager,
+            2 => HdrType::Rendezvous,
+            3 => HdrType::Ack,
+            4 => HdrType::Fin,
+            5 => HdrType::FinAck,
+            6 => HdrType::Frag,
+            7 => HdrType::Completion,
+            other => panic!("corrupt header type {other}"),
+        }
+    }
+}
+
+/// The 64-byte header. One struct covers all fragment kinds; unused fields
+/// are zero (the real implementation similarly unions match/ack/frag
+/// headers within the fixed envelope).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hdr {
+    /// Fragment kind.
+    pub kind: HdrType,
+    /// Communicator context id.
+    pub ctx: u32,
+    /// Sender's rank within the communicator.
+    pub src_rank: u32,
+    /// MPI tag.
+    pub tag: i32,
+    /// Per (communicator, destination) sequence number for ordered matching.
+    pub seq: u32,
+    /// Total packed length of the message.
+    pub msg_len: u64,
+    /// Sender-side request token.
+    pub send_req: u64,
+    /// Receiver-side request token.
+    pub recv_req: u64,
+    /// Exposed source (read scheme) or destination (write scheme ACK)
+    /// E4 address value.
+    pub e4_va: u64,
+    /// VPID owning `e4_va`.
+    pub e4_vpid: u32,
+    /// Byte offset of this fragment within the packed message.
+    pub offset: u64,
+    /// Payload bytes following this header.
+    pub payload_len: u32,
+    /// End-to-end payload checksum (Fletcher-16), when integrity checking
+    /// is enabled; zero otherwise.
+    pub checksum: u16,
+}
+
+impl Hdr {
+    /// A zeroed header of the given kind.
+    pub fn new(kind: HdrType) -> Hdr {
+        Hdr {
+            kind,
+            ctx: 0,
+            src_rank: 0,
+            tag: 0,
+            seq: 0,
+            msg_len: 0,
+            send_req: 0,
+            recv_req: 0,
+            e4_va: 0,
+            e4_vpid: 0,
+            offset: 0,
+            payload_len: 0,
+            checksum: 0,
+        }
+    }
+
+    /// Serialize into exactly [`HDR_LEN`] bytes.
+    pub fn to_bytes(&self) -> [u8; HDR_LEN] {
+        let mut b = [0u8; HDR_LEN];
+        b[0] = self.kind as u8;
+        b[1] = 0xE4; // magic for corruption checks
+        b[2..4].copy_from_slice(&self.checksum.to_le_bytes());
+        b[4..8].copy_from_slice(&self.ctx.to_le_bytes());
+        b[8..12].copy_from_slice(&self.src_rank.to_le_bytes());
+        b[12..16].copy_from_slice(&self.tag.to_le_bytes());
+        b[16..20].copy_from_slice(&self.seq.to_le_bytes());
+        b[20..28].copy_from_slice(&self.msg_len.to_le_bytes());
+        b[28..36].copy_from_slice(&self.send_req.to_le_bytes());
+        b[36..44].copy_from_slice(&self.recv_req.to_le_bytes());
+        b[44..52].copy_from_slice(&self.e4_va.to_le_bytes());
+        b[52..56].copy_from_slice(&self.e4_vpid.to_le_bytes());
+        // offset is bounded by msg_len (u64) but we store 48 bits + the
+        // payload length in the remaining 8 bytes.
+        b[56..62].copy_from_slice(&self.offset.to_le_bytes()[..6]);
+        b[62..64].copy_from_slice(&(self.payload_len as u16).to_le_bytes());
+        b
+    }
+
+    /// Parse a header from the front of `bytes`.
+    ///
+    /// # Panics
+    /// If `bytes` is shorter than a header or the magic byte is wrong.
+    pub fn from_bytes(bytes: &[u8]) -> Hdr {
+        assert!(bytes.len() >= HDR_LEN, "short header");
+        assert_eq!(bytes[1], 0xE4, "corrupt header magic");
+        let u32at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let mut off6 = [0u8; 8];
+        off6[..6].copy_from_slice(&bytes[56..62]);
+        Hdr {
+            kind: HdrType::from_u8(bytes[0]),
+            ctx: u32at(4),
+            src_rank: u32at(8),
+            tag: i32::from_le_bytes(bytes[12..16].try_into().unwrap()),
+            seq: u32at(16),
+            msg_len: u64at(20),
+            send_req: u64at(28),
+            recv_req: u64at(36),
+            e4_va: u64at(44),
+            e4_vpid: u32at(52),
+            offset: u64::from_le_bytes(off6),
+            payload_len: u16::from_le_bytes(bytes[62..64].try_into().unwrap()) as u32,
+            checksum: u16::from_le_bytes(bytes[2..4].try_into().unwrap()),
+        }
+    }
+
+    /// Header + payload as one QDMA-able buffer.
+    pub fn frame(&self, payload: &[u8]) -> Vec<u8> {
+        debug_assert_eq!(self.payload_len as usize, payload.len());
+        let mut v = Vec::with_capacity(HDR_LEN + payload.len());
+        v.extend_from_slice(&self.to_bytes());
+        v.extend_from_slice(payload);
+        v
+    }
+}
+
+/// Fletcher-16 checksum (the cheap end-to-end integrity check; LA-MPI
+/// heritage — paper §3's reliable-delivery requirement).
+pub fn fletcher16(data: &[u8]) -> u16 {
+    let mut a: u16 = 0;
+    let mut b: u16 = 0;
+    for &byte in data {
+        a = (a + byte as u16) % 255;
+        b = (b + a) % 255;
+    }
+    (b << 8) | a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn header_is_exactly_64_bytes() {
+        let h = Hdr::new(HdrType::Eager);
+        assert_eq!(h.to_bytes().len(), 64);
+        assert_eq!(MAX_INLINE, 1984, "paper's rendezvous threshold");
+    }
+
+    #[test]
+    fn roundtrip_all_fields() {
+        let mut h = Hdr::new(HdrType::Ack);
+        h.ctx = 7;
+        h.src_rank = 3;
+        h.tag = -42;
+        h.seq = 99;
+        h.msg_len = 1 << 33;
+        h.send_req = 0xDEAD_BEEF_CAFE;
+        h.recv_req = 0x1234_5678_9ABC;
+        h.e4_va = 0xFF_FFFF_FFFF;
+        h.e4_vpid = 511;
+        h.offset = (1 << 40) + 17;
+        h.payload_len = 1984;
+        h.checksum = 0xBEEF;
+        let parsed = Hdr::from_bytes(&h.to_bytes());
+        assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn frame_concatenates() {
+        let mut h = Hdr::new(HdrType::Eager);
+        h.payload_len = 3;
+        let f = h.frame(&[9, 8, 7]);
+        assert_eq!(f.len(), 67);
+        assert_eq!(&f[64..], &[9, 8, 7]);
+        let h2 = Hdr::from_bytes(&f);
+        assert_eq!(h2.payload_len, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "corrupt header magic")]
+    fn corruption_detected() {
+        let mut b = Hdr::new(HdrType::Fin).to_bytes();
+        b[1] = 0;
+        Hdr::from_bytes(&b);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random(
+            kind in 1u8..=7,
+            ctx in any::<u32>(),
+            src in any::<u32>(),
+            tag in any::<i32>(),
+            seq in any::<u32>(),
+            msg_len in any::<u64>(),
+            sreq in any::<u64>(),
+            rreq in any::<u64>(),
+            va in any::<u64>(),
+            vpid in any::<u32>(),
+            offset in 0u64..(1 << 48),
+            plen in 0u32..=1984,
+            csum in any::<u16>(),
+        ) {
+            let h = Hdr {
+                kind: HdrType::from_u8(kind),
+                ctx, src_rank: src, tag, seq, msg_len,
+                send_req: sreq, recv_req: rreq,
+                e4_va: va, e4_vpid: vpid, offset, payload_len: plen,
+                checksum: csum,
+            };
+            prop_assert_eq!(Hdr::from_bytes(&h.to_bytes()), h);
+        }
+
+        #[test]
+        fn fletcher_detects_single_byte_flips(
+            data in proptest::collection::vec(any::<u8>(), 1..256),
+            idx in any::<usize>(),
+            flip in 1u8..=255,
+        ) {
+            let base = fletcher16(&data);
+            let mut corrupted = data.clone();
+            let i = idx % corrupted.len();
+            corrupted[i] ^= flip;
+            prop_assert_ne!(base, fletcher16(&corrupted));
+        }
+    }
+}

@@ -1,0 +1,1262 @@
+//! The wire protocol: eager sends, the two rendezvous schemes (RDMA write +
+//! FIN, RDMA read + FIN_ACK), chained completion, the shared completion
+//! queue, and fragment push for non-RDMA transports.
+//!
+//! Lock discipline: the endpoint state lock is never held across a
+//! time-consuming call (`advance`, QDMA/RDMA issue). Handlers lock, mutate,
+//! collect work, unlock, then act.
+
+use std::sync::Arc;
+
+use elan4::{DmaKind, E4Addr, HostBuf, QdmaSpec, Vpid};
+use ompi_datatype::Convertor;
+use ompi_rte::ProcName;
+use qsim::Proc;
+
+use crate::comm::Communicator;
+use crate::config::{CompletionMode, ProgressMode, RdmaScheme};
+use crate::endpoint::Endpoint;
+use crate::hdr::{Hdr, HdrType, MAX_INLINE};
+use crate::state::{DmaRole, EpState, MatchInfo, PendingDma, RecvReq, SendReq, UnexpectedFrag};
+
+/// Payload room in one TCP frame after the 64-byte header.
+const TCP_FRAG_PAYLOAD: usize = (64 << 10) - crate::hdr::HDR_LEN;
+
+/// Request kinds, for the user-facing handle.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ReqKind {
+    /// A send request.
+    Send,
+    /// A receive request.
+    Recv,
+}
+
+/// A nonblocking-request handle.
+#[derive(Copy, Clone, Debug)]
+pub struct Request {
+    /// The request id within its endpoint.
+    pub id: u64,
+    /// Send or receive.
+    pub kind: ReqKind,
+}
+
+/// How a frame travels.
+#[derive(Copy, Clone, Debug)]
+enum Route {
+    Elan { rail: usize },
+    Tcp,
+}
+
+// ---------------------------------------------------------------------------
+// posting
+// ---------------------------------------------------------------------------
+
+/// Post a send of `conv` over `buf` to `(comm, dst_rank, tag)`.
+pub fn post_send(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    comm: &Communicator,
+    dst_rank: usize,
+    tag: i32,
+    buf: HostBuf,
+    conv: Convertor,
+) -> Request {
+    post_send_mode(proc, ep, comm, dst_rank, tag, buf, conv, false)
+}
+
+/// Like [`post_send`], with `sync` forcing MPI_Ssend semantics: the request
+/// only completes once the receiver has matched it, which the rendezvous
+/// protocol provides for free — so a synchronous send is simply a send that
+/// must take the rendezvous path regardless of size.
+#[allow(clippy::too_many_arguments)]
+pub fn post_send_mode(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    comm: &Communicator,
+    dst_rank: usize,
+    tag: i32,
+    buf: HostBuf,
+    conv: Convertor,
+    sync: bool,
+) -> Request {
+    let host = ep.cfg.host.clone();
+    proc.advance(host.req_bookkeep + host.sched);
+    let msg_len = conv.packed_len();
+    let dst = comm.group[dst_rank];
+    ensure_peer(proc, ep, dst);
+
+    let (id, seq, peer) = {
+        let mut st = ep.state.lock();
+        let id = st.alloc_req_id();
+        let c = st.comms.get_mut(&comm.ctx).expect("unknown communicator");
+        let seq = c.alloc_send_seq(dst_rank as u32);
+        let peer = st.peers[&dst].clone();
+        (id, seq, peer)
+    };
+
+    let eager = !sync && !ep.cfg.force_rendezvous && msg_len <= ep.cfg.eager_limit;
+    let route = first_route(ep, &peer);
+
+    let mut hdr = Hdr::new(if eager {
+        HdrType::Eager
+    } else {
+        HdrType::Rendezvous
+    });
+    hdr.ctx = comm.ctx;
+    hdr.src_rank = comm.my_rank as u32;
+    hdr.tag = tag;
+    hdr.seq = seq;
+    hdr.msg_len = msg_len as u64;
+    hdr.send_req = id;
+
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SendPosted {
+            req: id,
+            dst: dst_rank as u32,
+            tag,
+            len: msg_len,
+            eager,
+        },
+    );
+    if eager {
+        // The PML work ends here; staging the copy and building the frame
+        // is the PTL's job (paper §6.3 draws the layer boundary at the
+        // ptl_send call).
+        ep.instr_mark_tx(proc.now());
+        // Copy the whole message behind the header (buffered semantics:
+        // the request completes locally once the copy is staged).
+        let payload = read_packed(ep, &buf, &conv, None, 0, msg_len);
+        charge_pack(proc, ep, payload.len());
+        proc.advance(host.hdr_build);
+        send_frame(proc, ep, &peer, route, hdr, payload);
+        let mut st = ep.state.lock();
+        st.send_reqs.insert(
+            id,
+            SendReq {
+                id,
+                ctx: comm.ctx,
+                dst,
+                dst_rank: dst_rank as u32,
+                tag,
+                seq,
+                msg_len,
+                src_e4: None,
+                src_region: buf,
+                bounce: None,
+                bytes_confirmed: msg_len,
+                done: true,
+            },
+        );
+        ep.stats.lock().eager_sent += 1;
+        return Request {
+            id,
+            kind: ReqKind::Send,
+        };
+    }
+
+    // Rendezvous: expose the packed source region for RDMA (paper §4.2 —
+    // the memory descriptor is expanded with an E4 address).
+    let bounce = if conv.is_contiguous() || msg_len == 0 {
+        None
+    } else {
+        let b = ep.alloc(msg_len.max(1));
+        let span = ep.read_buf(&buf, 0, conv.span());
+        let packed = conv.pack(&span);
+        ep.write_buf(&b, 0, &packed);
+        proc.advance(ep.cfg.copy.convertor(&conv, msg_len));
+        Some(b)
+    };
+    let region = bounce.unwrap_or(buf);
+    let src_e4 = if msg_len > 0 {
+        proc.advance(host.req_bookkeep); // MMU table update
+        Some(ep.ectx.map(&region))
+    } else {
+        None
+    };
+
+    let inline_len = if ep.cfg.inline_first_frag {
+        msg_len.min(MAX_INLINE)
+    } else {
+        0
+    };
+    ep.instr_mark_tx(proc.now());
+    let payload = if inline_len > 0 {
+        let p = read_packed(ep, &buf, &conv, bounce.as_ref(), 0, inline_len);
+        charge_pack(proc, ep, inline_len);
+        p
+    } else {
+        Vec::new()
+    };
+    if let Some(e4) = src_e4 {
+        hdr.e4_va = e4.value();
+        hdr.e4_vpid = e4.owner().raw();
+    }
+    proc.advance(host.hdr_build);
+    send_frame(proc, ep, &peer, route, hdr, payload);
+
+    let mut st = ep.state.lock();
+    st.send_reqs.insert(
+        id,
+        SendReq {
+            id,
+            ctx: comm.ctx,
+            dst,
+            dst_rank: dst_rank as u32,
+            tag,
+            seq,
+            msg_len,
+            src_e4,
+            src_region: region,
+            bounce,
+            bytes_confirmed: 0,
+            done: false,
+        },
+    );
+    ep.stats.lock().rndv_sent += 1;
+    Request {
+        id,
+        kind: ReqKind::Send,
+    }
+}
+
+/// Post a receive. `src = None` is MPI_ANY_SOURCE; `tag = None` is
+/// MPI_ANY_TAG.
+pub fn post_recv(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    comm: &Communicator,
+    src: Option<u32>,
+    tag: Option<i32>,
+    buf: HostBuf,
+    conv: Convertor,
+) -> Request {
+    let host = ep.cfg.host.clone();
+    proc.advance(host.req_bookkeep);
+    let cap = conv.packed_len();
+    let bounce = if conv.is_contiguous() || cap == 0 {
+        None
+    } else {
+        Some(ep.alloc(cap.max(1)))
+    };
+    let (id, hit) = {
+        let mut st = ep.state.lock();
+        let id = st.alloc_req_id();
+        st.recv_reqs.insert(
+            id,
+            RecvReq {
+                id,
+                ctx: comm.ctx,
+                src_sel: src,
+                tag_sel: tag,
+                buf,
+                conv,
+                matched: None,
+                dst_e4: None,
+                bounce,
+                bytes_received: 0,
+                done: false,
+            },
+        );
+        // Check the unexpected queue before exposing the request.
+        let hit = st.match_unexpected(comm.ctx, src, tag);
+        if hit.is_none() {
+            st.comms
+                .get_mut(&comm.ctx)
+                .expect("unknown communicator")
+                .posted
+                .push(id);
+        }
+        (id, hit)
+    };
+    proc.advance(host.pml_match);
+    ep.trace(proc.now(), crate::trace::TraceEvent::RecvPosted { req: id });
+    if let Some(frag) = hit {
+        matched(proc, ep, id, frag);
+    }
+    Request {
+        id,
+        kind: ReqKind::Recv,
+    }
+}
+
+/// Root side of a hardware broadcast: one NIC injection delivers an eager
+/// fragment to every other member of `comm`. Only legal on communicators
+/// with the global-address-space property (`hw_coll`); the collective layer
+/// enforces that gate (paper §4.1).
+pub fn post_bcast_eager(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    comm: &Communicator,
+    tag: i32,
+    data: &[u8],
+) {
+    assert!(data.len() <= MAX_INLINE);
+    let host = ep.cfg.host.clone();
+    proc.advance(host.req_bookkeep + host.sched);
+    // Stage the payload once (single send-buffer copy for the whole group).
+    charge_pack(proc, ep, data.len());
+    proc.advance(host.hdr_build);
+
+    let targets: Vec<(Vpid, elan4::QueueId, Vec<u8>)> = {
+        let mut st = ep.state.lock();
+        let members: Vec<ProcName> = comm.group.clone();
+        let mut out = Vec::with_capacity(members.len() - 1);
+        for (rank, who) in members.iter().enumerate() {
+            if rank == comm.my_rank {
+                continue;
+            }
+            let c = st.comms.get_mut(&comm.ctx).expect("unknown communicator");
+            let seq = c.alloc_send_seq(rank as u32);
+            let mut hdr = Hdr::new(HdrType::Eager);
+            hdr.ctx = comm.ctx;
+            hdr.src_rank = comm.my_rank as u32;
+            hdr.tag = tag;
+            hdr.seq = seq;
+            hdr.msg_len = data.len() as u64;
+            hdr.payload_len = data.len() as u32;
+            let peer = st.peers[who].clone();
+            let e = peer.elan.expect("hw bcast to a peer without elan");
+            out.push((e.vpid, e.main_q, hdr.frame(data)));
+        }
+        out
+    };
+    ep.instr_mark_tx(proc.now());
+    ep.ectx.hw_bcast(proc, 0, targets, None);
+}
+
+// ---------------------------------------------------------------------------
+// waiting
+// ---------------------------------------------------------------------------
+
+/// Block until `req` completes; reaps the request.
+pub fn wait(proc: &Proc, ep: &Arc<Endpoint>, req: Request) {
+    ep.wait_until(proc, |st| req_done(st, req));
+    let mut st = ep.state.lock();
+    match req.kind {
+        ReqKind::Send => {
+            st.send_reqs.remove(&req.id);
+        }
+        ReqKind::Recv => {
+            st.recv_reqs.remove(&req.id);
+        }
+    }
+}
+
+fn req_done(st: &EpState, req: Request) -> bool {
+    match req.kind {
+        ReqKind::Send => st.send_reqs.get(&req.id).map(|r| r.done).unwrap_or(true),
+        ReqKind::Recv => st.recv_reqs.get(&req.id).map(|r| r.done).unwrap_or(true),
+    }
+}
+
+/// Block until any of `reqs` completes; returns its index and reaps it.
+pub fn waitany(proc: &Proc, ep: &Arc<Endpoint>, reqs: &[Request]) -> usize {
+    assert!(!reqs.is_empty());
+    let mut idx = 0;
+    ep.wait_until(proc, |st| {
+        for (i, r) in reqs.iter().enumerate() {
+            if req_done(st, *r) {
+                idx = i;
+                return true;
+            }
+        }
+        false
+    });
+    let mut st = ep.state.lock();
+    match reqs[idx].kind {
+        ReqKind::Send => {
+            st.send_reqs.remove(&reqs[idx].id);
+        }
+        ReqKind::Recv => {
+            st.recv_reqs.remove(&reqs[idx].id);
+        }
+    }
+    idx
+}
+
+/// Fletcher-16 cost: ~0.17 ns/B of host time.
+fn checksum_cost(len: usize) -> qsim::Dur {
+    qsim::Dur::for_bytes(len, 6000)
+}
+
+/// Nonblocking completion check (MPI_Test). Does not reap.
+pub fn test(proc: &Proc, ep: &Arc<Endpoint>, req: Request) -> bool {
+    if matches!(
+        ep.cfg.progress,
+        ProgressMode::Polling | ProgressMode::Interrupt
+    ) {
+        progress_pass(proc, ep);
+    }
+    req_done(&ep.state.lock(), req)
+}
+
+// ---------------------------------------------------------------------------
+// progress
+// ---------------------------------------------------------------------------
+
+/// One polling sweep over every incoming channel and pending DMA; returns
+/// true if any work was done.
+pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
+    let mut any = false;
+    if let Some(q) = &ep.main_q {
+        while let Some(frame) = q.pop_ready() {
+            dispatch(proc, ep, frame);
+            any = true;
+        }
+    }
+    if let Some(q) = &ep.comp_q {
+        while let Some(frame) = q.pop_ready() {
+            dispatch(proc, ep, frame);
+            any = true;
+        }
+    }
+    if let Some(ib) = &ep.tcp_inbox {
+        while let Some(frame) = ib.pop() {
+            if let Some(net) = &ep.tcp_net {
+                proc.advance(net.cfg().syscall + ep.cluster.cfg().memcpy(frame.len()));
+            }
+            dispatch(proc, ep, frame);
+            any = true;
+        }
+    }
+    // Poll outstanding DMA completion events (the Basic strategy of §6.2).
+    let fired: Vec<PendingDma> = {
+        let mut st = ep.state.lock();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < st.pending_dmas.len() {
+            if st.pending_dmas[i].event.take_fired_ready() {
+                out.push(st.pending_dmas.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        out
+    };
+    for p in fired {
+        p.event.free();
+        dma_done(proc, ep, p.role);
+        any = true;
+    }
+    any
+}
+
+/// Handle one incoming frame (from any queue or the TCP inbox).
+pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
+    proc.advance(ep.cfg.host.hdr_parse);
+    let hdr = Hdr::from_bytes(&frame);
+    let payload = frame[crate::hdr::HDR_LEN..].to_vec();
+    debug_assert_eq!(payload.len(), hdr.payload_len as usize);
+    if ep.cfg.integrity_check && !payload.is_empty() {
+        proc.advance(checksum_cost(payload.len()));
+        let got = crate::hdr::fletcher16(&payload);
+        if got != hdr.checksum {
+            // Fail-stop: detection is the paper-era guarantee (LA-MPI);
+            // recovery is listed as future work (§8).
+            panic!(
+                "end-to-end integrity check failed: {:?} fragment from rank {} \
+                 (expected {:#06x}, computed {got:#06x})",
+                hdr.kind, hdr.src_rank, hdr.checksum
+            );
+        }
+    }
+
+    match hdr.kind {
+        HdrType::Eager | HdrType::Rendezvous => {
+            ep.instr_mark_rx(proc.now());
+            handle_match_frame(proc, ep, hdr, payload);
+        }
+        HdrType::Ack => handle_ack(proc, ep, hdr),
+        HdrType::Fin => credit_recv(proc, ep, hdr.recv_req, hdr.offset as usize),
+        HdrType::FinAck => credit_send(proc, ep, hdr.send_req, hdr.offset as usize),
+        HdrType::Frag => handle_frag(proc, ep, hdr, payload),
+        HdrType::Completion => {
+            ep.stats.lock().completion_tokens += 1;
+            let token = hdr.e4_va;
+            let pending = {
+                let mut st = ep.state.lock();
+                st.pending_dmas
+                    .iter()
+                    .position(|p| p.token == token)
+                    .map(|i| st.pending_dmas.swap_remove(i))
+            };
+            if let Some(p) = pending {
+                p.event.free();
+                dma_done(proc, ep, p.role);
+            }
+        }
+    }
+}
+
+/// An Eager or Rendezvous fragment arrived: sequence-gate it, then match.
+pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payload: Vec<u8>) {
+    proc.advance(ep.cfg.host.pml_match);
+    let ctx = hdr.ctx;
+    let mut work: Vec<(u64, UnexpectedFrag)> = Vec::new();
+    {
+        let mut st = ep.state.lock();
+        if !st.comms.contains_key(&ctx) {
+            // Communicator not registered on this rank yet (e.g. a split in
+            // progress): park the frame; registration re-dispatches it.
+            st.early_frames.push((hdr, payload));
+            return;
+        }
+        let comm = st.comms.get_mut(&ctx).unwrap();
+        let from = comm.group[hdr.src_rank as usize];
+        if !comm.is_in_order(&hdr) {
+            let stamp = comm.next_arrival_stamp();
+            comm.out_of_order.push(UnexpectedFrag {
+                hdr,
+                payload,
+                from,
+                ptl: 0,
+                arrival: stamp,
+            });
+            return;
+        }
+        comm.advance_recv_seq(hdr.src_rank);
+        let stamp = comm.next_arrival_stamp();
+        let now = proc.now();
+        queue_or_match(
+            &mut st,
+            ep,
+            now,
+            UnexpectedFrag {
+                hdr,
+                payload,
+                from,
+                ptl: 0,
+                arrival: stamp,
+            },
+            &mut work,
+        );
+        // Earlier out-of-order arrivals may now be in sequence.
+        loop {
+            let comm = st.comms.get_mut(&ctx).unwrap();
+            let Some(next) = comm.take_ready_out_of_order() else {
+                break;
+            };
+            comm.advance_recv_seq(next.hdr.src_rank);
+            queue_or_match(&mut st, ep, now, next, &mut work);
+        }
+    }
+    for (rid, frag) in work {
+        matched(proc, ep, rid, frag);
+    }
+}
+
+/// Try to match `frag` against posted receives; park it if nothing matches.
+fn queue_or_match(
+    st: &mut EpState,
+    ep: &Arc<Endpoint>,
+    now: qsim::Time,
+    frag: UnexpectedFrag,
+    work: &mut Vec<(u64, UnexpectedFrag)>,
+) {
+    match st.match_posted(frag.hdr.ctx, &frag.hdr) {
+        Some(rid) => work.push((rid, frag)),
+        None => {
+            ep.stats.lock().unexpected_frags += 1;
+            ep.trace(
+                now,
+                crate::trace::TraceEvent::Unexpected {
+                    src: frag.hdr.src_rank,
+                    tag: frag.hdr.tag,
+                },
+            );
+            st.comms
+                .get_mut(&frag.hdr.ctx)
+                .unwrap()
+                .unexpected
+                .push(frag);
+        }
+    }
+}
+
+/// A receive has matched a first fragment: copy any inline payload and run
+/// the configured long-message scheme for the remainder.
+fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
+    let hdr = frag.hdr;
+    let msg_len = hdr.msg_len as usize;
+    let inline_len = hdr.payload_len as usize;
+
+    // Record the match and copy the inline bytes.
+    {
+        let mut st = ep.state.lock();
+        let r = st.recv_reqs.get_mut(&rid).expect("matched a reaped recv");
+        assert!(
+            msg_len <= r.conv.packed_len(),
+            "message truncation: incoming {} bytes into a {}-byte receive",
+            msg_len,
+            r.conv.packed_len()
+        );
+        r.matched = Some(MatchInfo {
+            src_rank: hdr.src_rank,
+            src: frag.from,
+            tag: hdr.tag,
+            msg_len,
+            send_req: hdr.send_req,
+            src_e4_va: hdr.e4_va,
+            src_e4_vpid: hdr.e4_vpid,
+        });
+    }
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::Matched {
+            req: rid,
+            src: hdr.src_rank,
+            tag: hdr.tag,
+            len: msg_len,
+        },
+    );
+    if inline_len > 0 {
+        {
+            let st = ep.state.lock();
+            write_packed(ep, &st.recv_reqs[&rid], 0, &frag.payload);
+        }
+        charge_unpack(proc, ep, inline_len);
+        ep.state.lock().recv_reqs.get_mut(&rid).unwrap().bytes_received += inline_len;
+    }
+
+    if hdr.kind == HdrType::Eager {
+        maybe_complete_recv(proc, ep, rid);
+        return;
+    }
+
+    // --- rendezvous remainder ---
+    // The sender may be from another job (dynamic spawn) and unknown to us
+    // until now: resolve its addressing before replying.
+    ensure_peer(proc, ep, frag.from);
+    let peer = {
+        let st = ep.state.lock();
+        st.peers[&frag.from].clone()
+    };
+    proc.advance(ep.cfg.host.sched);
+    let remainder = msg_len - inline_len;
+    let (elan_share, tcp_share) = plan_remainder(ep, &peer, remainder);
+    let pull_elan = ep.cfg.scheme == RdmaScheme::Read && elan_share > 0;
+
+    // Expose the destination region when RDMA will land data here.
+    let dst_e4 = if remainder > 0 && (pull_elan || (ep.cfg.scheme == RdmaScheme::Write && elan_share > 0)) {
+        let e4 = {
+            let mut st = ep.state.lock();
+            let r = st.recv_reqs.get_mut(&rid).unwrap();
+            if r.dst_e4.is_none() {
+                let region = r.bounce.unwrap_or(r.buf);
+                r.dst_e4 = Some(ep.ectx.map(&region));
+            }
+            r.dst_e4.unwrap()
+        };
+        proc.advance(ep.cfg.host.req_bookkeep);
+        Some(e4)
+    } else {
+        None
+    };
+
+    match ep.cfg.scheme {
+        RdmaScheme::Read => {
+            if pull_elan {
+                // Pull the Elan share straight out of the sender's exposed
+                // region; FIN_ACK acknowledges rendezvous + inline + pulled
+                // bytes in one control message (Fig. 4).
+                let src_e4 = E4Addr::from_raw(Vpid(hdr.e4_vpid), hdr.e4_va);
+                let credit = inline_len + elan_share;
+                issue_rdma(
+                    proc,
+                    ep,
+                    &peer,
+                    DmaKind::Read,
+                    dst_e4.unwrap().offset(inline_len),
+                    src_e4.offset(inline_len),
+                    elan_share,
+                    DmaRole::Read {
+                        recv_req: rid,
+                        bytes: elan_share,
+                        fin_ack: None,
+                    },
+                    make_fin_ack(hdr.send_req, credit),
+                );
+                ep.stats.lock().rdma_reads += 1;
+            } else {
+                // Nothing to pull: acknowledge the rendezvous (and the
+                // inline bytes) immediately.
+                proc.advance(ep.cfg.host.hdr_build);
+                send_frame(
+                    proc,
+                    ep,
+                    &peer,
+                    first_route(ep, &peer),
+                    make_fin_ack(hdr.send_req, inline_len),
+                    Vec::new(),
+                );
+                ep.stats.lock().fin_acks_sent += 1;
+                ep.trace(proc.now(), crate::trace::TraceEvent::ControlSent { kind: "FinAck" });
+            }
+            if tcp_share > 0 {
+                // Ask the sender to push the TCP share.
+                let mut ack = Hdr::new(HdrType::Ack);
+                ack.ctx = ctx_of(ep, rid);
+                ack.send_req = hdr.send_req;
+                ack.recv_req = rid;
+                ack.offset = (inline_len + elan_share) as u64;
+                ack.msg_len = tcp_share as u64;
+                proc.advance(ep.cfg.host.hdr_build);
+                send_frame(proc, ep, &peer, Route::Tcp, ack, Vec::new());
+                ep.stats.lock().acks_sent += 1;
+            }
+        }
+        RdmaScheme::Write => {
+            // Expose the destination and let the sender drive everything
+            // (Fig. 3). `seq` carries the inline credit.
+            let mut ack = Hdr::new(HdrType::Ack);
+            ack.ctx = ctx_of(ep, rid);
+            ack.send_req = hdr.send_req;
+            ack.recv_req = rid;
+            ack.offset = inline_len as u64;
+            ack.msg_len = remainder as u64;
+            ack.seq = inline_len as u32;
+            if let Some(e4) = dst_e4 {
+                ack.e4_va = e4.value();
+                ack.e4_vpid = e4.owner().raw();
+            }
+            proc.advance(ep.cfg.host.hdr_build);
+            send_frame(proc, ep, &peer, first_route(ep, &peer), ack, Vec::new());
+            ep.stats.lock().acks_sent += 1;
+            ep.trace(proc.now(), crate::trace::TraceEvent::ControlSent { kind: "Ack" });
+        }
+    }
+    maybe_complete_recv(proc, ep, rid);
+}
+
+fn ctx_of(ep: &Arc<Endpoint>, rid: u64) -> u32 {
+    ep.state.lock().recv_reqs.get(&rid).map(|r| r.ctx).unwrap_or(0)
+}
+
+/// Sender side: the receiver acknowledged a rendezvous (write scheme), or
+/// asked for a TCP push of part of the message (read-scheme striping).
+fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
+    let host = ep.cfg.host.clone();
+    let sid = hdr.send_req;
+    let credit = hdr.seq as usize;
+    let range_start = hdr.offset as usize;
+    let range_len = hdr.msg_len as usize;
+
+    let Some((peer, src_e4, src_region)) = ({
+        let mut st = ep.state.lock();
+        match st.send_reqs.get_mut(&sid) {
+            Some(r) => {
+                r.bytes_confirmed += credit;
+                let dst = r.dst;
+                let src_e4 = r.src_e4;
+                let region = r.src_region;
+                let peer = st.peers[&dst].clone();
+                Some((peer, src_e4, region))
+            }
+            None => None,
+        }
+    }) else {
+        return;
+    };
+
+    if range_len > 0 {
+        proc.advance(host.sched);
+        let (elan_share, tcp_share) = match ep.cfg.scheme {
+            // In the read scheme the receiver pulls the Elan share itself;
+            // an ACK only ever covers the TCP share.
+            RdmaScheme::Read => (0, range_len),
+            RdmaScheme::Write => plan_remainder(ep, &peer, range_len),
+        };
+        if elan_share > 0 {
+            let dst_e4 = E4Addr::from_raw(Vpid(hdr.e4_vpid), hdr.e4_va);
+            let mut fin = Hdr::new(HdrType::Fin);
+            fin.recv_req = hdr.recv_req;
+            fin.offset = elan_share as u64;
+            issue_rdma(
+                proc,
+                ep,
+                &peer,
+                DmaKind::Write,
+                src_e4
+                    .expect("rendezvous send without a mapped source")
+                    .offset(range_start),
+                dst_e4.offset(range_start),
+                elan_share,
+                DmaRole::Write {
+                    send_req: sid,
+                    bytes: elan_share,
+                    fin: None,
+                },
+                fin,
+            );
+            ep.stats.lock().rdma_writes += 1;
+        }
+        if tcp_share > 0 {
+            // Push fragments over TCP; buffered semantics credit at issue.
+            let start = range_start + elan_share;
+            let end = start + tcp_share;
+            let mut off = start;
+            while off < end {
+                let take = (end - off).min(TCP_FRAG_PAYLOAD);
+                let bytes = ep.read_buf(&src_region, off, take);
+                let mut fh = Hdr::new(HdrType::Frag);
+                fh.recv_req = hdr.recv_req;
+                fh.offset = off as u64;
+                proc.advance(host.hdr_build);
+                send_frame(proc, ep, &peer, Route::Tcp, fh, bytes);
+                ep.stats.lock().frags_sent += 1;
+                off += take;
+            }
+            let mut st = ep.state.lock();
+            if let Some(r) = st.send_reqs.get_mut(&sid) {
+                r.bytes_confirmed += tcp_share;
+            }
+        }
+    }
+    maybe_complete_send(proc, ep, sid);
+}
+
+/// A pushed fragment landed (TCP path).
+fn handle_frag(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payload: Vec<u8>) {
+    {
+        let st = ep.state.lock();
+        let Some(r) = st.recv_reqs.get(&hdr.recv_req) else {
+            return;
+        };
+        write_packed(ep, r, hdr.offset as usize, &payload);
+    }
+    proc.advance(ep.memcpy_cost(payload.len()));
+    credit_recv(proc, ep, hdr.recv_req, payload.len());
+}
+
+/// A local DMA descriptor completed (observed via event poll or a
+/// shared-completion-queue token).
+fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, role: DmaRole) {
+    let bytes = match &role {
+        DmaRole::Read { bytes, .. } | DmaRole::Write { bytes, .. } => *bytes,
+    };
+    ep.trace(proc.now(), crate::trace::TraceEvent::DmaDone { bytes });
+    match role {
+        DmaRole::Read {
+            recv_req,
+            bytes,
+            fin_ack,
+        } => {
+            if let Some((_ptl, to, hdr)) = fin_ack {
+                let peer = {
+                    let st = ep.state.lock();
+                    st.peers[&to].clone()
+                };
+                proc.advance(ep.cfg.host.hdr_build);
+                send_frame(proc, ep, &peer, first_route(ep, &peer), hdr, Vec::new());
+                ep.stats.lock().fin_acks_sent += 1;
+            }
+            credit_recv(proc, ep, recv_req, bytes);
+        }
+        DmaRole::Write {
+            send_req,
+            bytes,
+            fin,
+        } => {
+            if let Some((_ptl, to, hdr)) = fin {
+                let peer = {
+                    let st = ep.state.lock();
+                    st.peers[&to].clone()
+                };
+                proc.advance(ep.cfg.host.hdr_build);
+                send_frame(proc, ep, &peer, first_route(ep, &peer), hdr, Vec::new());
+                ep.stats.lock().fins_sent += 1;
+            }
+            credit_send(proc, ep, send_req, bytes);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// credits & completion
+// ---------------------------------------------------------------------------
+
+fn credit_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, bytes: usize) {
+    {
+        let mut st = ep.state.lock();
+        if let Some(r) = st.recv_reqs.get_mut(&rid) {
+            r.bytes_received += bytes;
+        }
+    }
+    maybe_complete_recv(proc, ep, rid);
+}
+
+fn credit_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64, bytes: usize) {
+    {
+        let mut st = ep.state.lock();
+        if let Some(r) = st.send_reqs.get_mut(&sid) {
+            r.bytes_confirmed += bytes;
+        }
+    }
+    maybe_complete_send(proc, ep, sid);
+}
+
+fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
+    let finish = {
+        let st = ep.state.lock();
+        match st.recv_reqs.get(&rid) {
+            Some(r) => {
+                !r.done
+                    && r.matched
+                        .as_ref()
+                        .map(|m| r.bytes_received >= m.msg_len)
+                        .unwrap_or(false)
+            }
+            None => false,
+        }
+    };
+    if !finish {
+        return;
+    }
+    // Unpack the bounce buffer for non-contiguous receives.
+    let unpack = {
+        let st = ep.state.lock();
+        let r = &st.recv_reqs[&rid];
+        r.bounce.map(|b| (b, r.matched.as_ref().unwrap().msg_len))
+    };
+    if let Some((bounce, msg_len)) = unpack {
+        let (packed, conv, buf) = {
+            let st = ep.state.lock();
+            let r = &st.recv_reqs[&rid];
+            (ep.read_buf(&bounce, 0, msg_len), r.conv.clone(), r.buf)
+        };
+        let mut span = ep.read_buf(&buf, 0, conv.span());
+        conv.unpack_range(&packed, 0, &mut span);
+        ep.write_buf(&buf, 0, &span);
+        proc.advance(ep.cfg.copy.convertor(&conv, msg_len));
+    }
+    let (e4, bounce) = {
+        let mut st = ep.state.lock();
+        let r = st.recv_reqs.get_mut(&rid).unwrap();
+        r.done = true;
+        (r.dst_e4.take(), r.bounce.take())
+    };
+    if let Some(e4) = e4 {
+        ep.ectx.unmap(e4);
+    }
+    if let Some(b) = bounce {
+        ep.free(b);
+    }
+    proc.advance(ep.cfg.host.req_bookkeep);
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::Completed {
+            req: rid,
+            send: false,
+        },
+    );
+    notify_waiters(proc, ep);
+}
+
+fn maybe_complete_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
+    let finish = {
+        let st = ep.state.lock();
+        match st.send_reqs.get(&sid) {
+            Some(r) => !r.done && r.bytes_confirmed >= r.msg_len,
+            None => false,
+        }
+    };
+    if !finish {
+        return;
+    }
+    let (e4, bounce) = {
+        let mut st = ep.state.lock();
+        let r = st.send_reqs.get_mut(&sid).unwrap();
+        r.done = true;
+        (r.src_e4.take(), r.bounce.take())
+    };
+    if let Some(e4) = e4 {
+        ep.ectx.unmap(e4);
+    }
+    if let Some(b) = bounce {
+        ep.free(b);
+    }
+    proc.advance(ep.cfg.host.req_bookkeep);
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::Completed {
+            req: sid,
+            send: true,
+        },
+    );
+    notify_waiters(proc, ep);
+}
+
+fn notify_waiters(proc: &Proc, ep: &Arc<Endpoint>) {
+    let waiters = std::mem::take(&mut ep.state.lock().waiters);
+    let sim = proc.sim();
+    for w in waiters {
+        w.notify(&sim);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// transport primitives
+// ---------------------------------------------------------------------------
+
+/// Pick the first-fragment transport: the lowest-latency *active*
+/// component that can reach the peer (paper §2.1's first heuristic).
+fn first_route(ep: &Arc<Endpoint>, peer: &crate::peer::PeerInfo) -> Route {
+    let reg = ep.ptls.lock();
+    let mut candidates: Vec<&crate::ptl::PtlInfo> = reg.active().collect();
+    candidates.sort_by_key(|i| i.latency_rank);
+    for info in candidates {
+        match info.kind {
+            crate::ptl::PtlKind::Elan4 { rail } if peer.elan.is_some() => {
+                return Route::Elan { rail };
+            }
+            crate::ptl::PtlKind::Tcp if peer.tcp.is_some() => return Route::Tcp,
+            _ => {}
+        }
+    }
+    panic!("no common transport with peer {:?}", peer.name);
+}
+
+fn send_frame(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    peer: &crate::peer::PeerInfo,
+    route: Route,
+    mut hdr: Hdr,
+    payload: Vec<u8>,
+) {
+    hdr.payload_len = payload.len() as u32;
+    if ep.cfg.integrity_check && !payload.is_empty() {
+        hdr.checksum = crate::hdr::fletcher16(&payload);
+        proc.advance(checksum_cost(payload.len()));
+    }
+    let frame = hdr.frame(&payload);
+    match route {
+        Route::Elan { rail } => {
+            let e = peer.elan.as_ref().expect("peer has no elan address");
+            ep.ectx.qdma(proc, rail, e.vpid, e.main_q, frame, None);
+        }
+        Route::Tcp => {
+            let net = ep.tcp_net.as_ref().expect("tcp not enabled");
+            net.send(proc, ep.cluster.cfg(), ep.node, peer.name, frame);
+        }
+    }
+}
+
+/// Split `len` bulk bytes between the RDMA-capable components (Elan rails)
+/// and the push components (TCP) by their registered bandwidth weights
+/// (paper §2.1's second heuristic).
+fn plan_remainder(ep: &Arc<Endpoint>, peer: &crate::peer::PeerInfo, len: usize) -> (usize, usize) {
+    let reg = ep.ptls.lock();
+    let ew = if peer.elan.is_some() { reg.rdma_weight() } else { 0 };
+    let tw = if peer.tcp.is_some() {
+        reg.total_weight() - reg.rdma_weight()
+    } else {
+        0
+    };
+    match (ew > 0, tw > 0) {
+        (true, false) => (len, 0),
+        (false, true) => (0, len),
+        (true, true) => {
+            let elan = (len as u64 * ew / (ew + tw)) as usize;
+            (elan, len - elan)
+        }
+        (false, false) => panic!("no transport for bulk data"),
+    }
+}
+
+/// Issue RDMA chunks for one share, set up completion notification per the
+/// configured mode, and attach chained control messages.
+#[allow(clippy::too_many_arguments)]
+fn issue_rdma(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    peer: &crate::peer::PeerInfo,
+    kind: DmaKind,
+    local: E4Addr,
+    remote: E4Addr,
+    len: usize,
+    mut role: DmaRole,
+    control: Hdr,
+) {
+    let rails = ep.transports.elan_rails.max(1);
+    let chunks = rail_chunks(len, rails);
+    let nchunks = chunks.iter().filter(|c| c.1 > 0).count().max(1) as u32;
+
+    let event = Arc::new(ep.ectx.event_create(nchunks));
+    let e_peer = peer.elan.as_ref().expect("rdma to a peer without elan");
+
+    // Chained control message (FIN / FIN_ACK) — the paper's optimization:
+    // the NIC fires it off the final RDMA without host involvement.
+    if ep.cfg.chained_fin {
+        event.chain_qdma(QdmaSpec {
+            dst: e_peer.vpid,
+            queue: e_peer.main_q,
+            data: control.frame(&[]),
+            rail: 0,
+        });
+    } else {
+        // The host sends the control message after observing completion.
+        role = match role {
+            DmaRole::Read {
+                recv_req, bytes, ..
+            } => DmaRole::Read {
+                recv_req,
+                bytes,
+                fin_ack: Some((0, peer.name, control)),
+            },
+            DmaRole::Write {
+                send_req, bytes, ..
+            } => DmaRole::Write {
+                send_req,
+                bytes,
+                fin: Some((0, peer.name, control)),
+            },
+        };
+    }
+
+    // Local completion notification.
+    let token = ep.state.lock().alloc_dma_token();
+    match ep.cfg.completion {
+        CompletionMode::PollEvent => {
+            if let Some(bell) = ep.doorbell() {
+                event.set_signal(bell);
+            }
+            if ep.cfg.progress == ProgressMode::Interrupt {
+                event.arm_irq(true);
+            }
+        }
+        CompletionMode::SharedQueueCombined | CompletionMode::SharedQueueSeparate => {
+            // Chain a small QDMA into the shared completion queue (Fig. 6):
+            // many outstanding RDMAs funnel into one host-waitable queue.
+            let my_elan = ep.my_info.elan.as_ref().unwrap();
+            let q = if ep.cfg.completion == CompletionMode::SharedQueueSeparate {
+                my_elan.comp_q.expect("two-queue mode without a comp queue")
+            } else {
+                my_elan.main_q
+            };
+            let mut tok_hdr = Hdr::new(HdrType::Completion);
+            tok_hdr.e4_va = token;
+            event.chain_qdma(QdmaSpec {
+                dst: my_elan.vpid,
+                queue: q,
+                data: tok_hdr.frame(&[]),
+                rail: 0,
+            });
+        }
+    }
+
+    ep.state.lock().pending_dmas.push(PendingDma {
+        token,
+        event: event.clone(),
+        role,
+    });
+
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::RdmaIssued {
+            read: kind == DmaKind::Read,
+            bytes: len,
+        },
+    );
+    // Fire the descriptors, striped across rails.
+    for (rail, (off, chunk_len)) in chunks.into_iter().enumerate() {
+        if chunk_len == 0 {
+            continue;
+        }
+        ep.ectx.rdma(
+            proc,
+            rail,
+            kind,
+            local.offset(off),
+            remote.offset(off),
+            chunk_len,
+            Some(event.id()),
+        );
+    }
+}
+
+/// Split `len` into per-rail `(offset, len)` chunks.
+fn rail_chunks(len: usize, rails: usize) -> Vec<(usize, usize)> {
+    let base = len / rails;
+    let extra = len % rails;
+    let mut out = Vec::with_capacity(rails);
+    let mut off = 0;
+    for r in 0..rails {
+        let l = base + usize::from(r < extra);
+        out.push((off, l));
+        off += l;
+    }
+    out
+}
+
+fn make_fin_ack(send_req: u64, credit: usize) -> Hdr {
+    let mut h = Hdr::new(HdrType::FinAck);
+    h.send_req = send_req;
+    h.offset = credit as u64;
+    h
+}
+
+// ---------------------------------------------------------------------------
+// data staging helpers
+// ---------------------------------------------------------------------------
+
+fn charge_pack(proc: &Proc, ep: &Arc<Endpoint>, len: usize) {
+    if len == 0 {
+        return;
+    }
+    let mut cost = ep.cfg.host.inline_copy_setup + ep.memcpy_cost(len);
+    if ep.cfg.use_datatype_engine {
+        cost += ep.cfg.copy.convertor_setup;
+    }
+    proc.advance(cost);
+}
+
+fn charge_unpack(proc: &Proc, ep: &Arc<Endpoint>, len: usize) {
+    if len == 0 {
+        return;
+    }
+    proc.advance(ep.cfg.host.unpack_setup + ep.memcpy_cost(len));
+}
+
+/// Read `[off, off+len)` of the packed stream of a send.
+fn read_packed(
+    ep: &Arc<Endpoint>,
+    buf: &HostBuf,
+    conv: &Convertor,
+    bounce: Option<&HostBuf>,
+    off: usize,
+    len: usize,
+) -> Vec<u8> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if let Some(b) = bounce {
+        ep.read_buf(b, off, len)
+    } else if conv.is_contiguous() {
+        ep.read_buf(buf, off, len)
+    } else {
+        let span = ep.read_buf(buf, 0, conv.span());
+        conv.pack_range(&span, off, len)
+    }
+}
+
+/// Write packed-stream bytes into a receive's landing region.
+fn write_packed(ep: &Arc<Endpoint>, r: &RecvReq, off: usize, data: &[u8]) {
+    if data.is_empty() {
+        return;
+    }
+    match &r.bounce {
+        Some(b) => ep.write_buf(b, off, data),
+        None => ep.write_buf(&r.buf, off, data),
+    }
+}
+
+fn ensure_peer(proc: &Proc, ep: &Arc<Endpoint>, who: ProcName) {
+    let known = ep.state.lock().peers.contains_key(&who);
+    if !known {
+        let raw = ep.rte.modex_get(proc, who, "ptl");
+        let info = crate::peer::PeerInfo::from_bytes(&raw);
+        ep.state.lock().peers.insert(who, info);
+    }
+}

@@ -1,0 +1,307 @@
+//! The PTL component framework (paper §2.2).
+//!
+//! "A PTL component encapsulates the functionality of a particular network
+//! transport that can be dynamically loaded at run-time; a PTL module
+//! represents an instance of a communication endpoint. In order to join and
+//! disjoin from the pool of available PTLs, a PTL has to go through five
+//! major stages: opening, initializing, communicating, finalizing and
+//! closing."
+//!
+//! This module is that lifecycle: a registry per endpoint tracks each
+//! component's stage and exposes the scheduling attributes (latency rank,
+//! bandwidth weight, RDMA capability) the PML's heuristics consume. The
+//! transports themselves live in `proto`/`ptl_tcp`; this is the control
+//! plane that decides which of them participate.
+
+use std::fmt;
+
+/// The five lifecycle stages of §2.2.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PtlStage {
+    /// Not part of the stack.
+    Closed,
+    /// Component and dependencies mapped in; sanity checks passed.
+    Opened,
+    /// Device initialized, memory/threads prepared (modules exist).
+    Initialized,
+    /// Inserted into the communication stack; the PML may schedule on it.
+    Active,
+    /// Pending communication drained; resources being released.
+    Finalized,
+}
+
+/// Transport identity of a component.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum PtlKind {
+    /// One Elan4 rail.
+    Elan4 {
+        /// The rail index.
+        rail: usize,
+    },
+    /// The TCP/IP reference transport.
+    Tcp,
+}
+
+/// Static attributes the PML scheduling heuristics consume (paper §2.1:
+/// first fragment by latency, remainder by bandwidth weight).
+#[derive(Copy, Clone, Debug)]
+pub struct PtlInfo {
+    /// Which transport this describes.
+    pub kind: PtlKind,
+    /// Lower = preferred for the first fragment.
+    pub latency_rank: u32,
+    /// Relative share of bulk data.
+    pub bandwidth_weight: u64,
+    /// Can move bulk data with RDMA (vs. push fragments).
+    pub rdma_capable: bool,
+    /// First-fragment payload capacity.
+    pub max_inline: usize,
+}
+
+impl PtlInfo {
+    /// Attributes of one Elan4 rail.
+    pub fn elan4(rail: usize) -> PtlInfo {
+        PtlInfo {
+            kind: PtlKind::Elan4 { rail },
+            latency_rank: 0,
+            bandwidth_weight: 900,
+            rdma_capable: true,
+            max_inline: crate::hdr::MAX_INLINE,
+        }
+    }
+
+    /// Attributes of the TCP transport.
+    pub fn tcp() -> PtlInfo {
+        PtlInfo {
+            kind: PtlKind::Tcp,
+            latency_rank: 10,
+            bandwidth_weight: 110,
+            rdma_capable: false,
+            max_inline: (64 << 10) - crate::hdr::HDR_LEN,
+        }
+    }
+}
+
+struct Entry {
+    info: PtlInfo,
+    stage: PtlStage,
+}
+
+/// Per-endpoint component registry.
+pub struct PtlRegistry {
+    entries: Vec<Entry>,
+}
+
+/// Lifecycle errors (illegal transitions).
+#[derive(Debug, PartialEq, Eq)]
+pub struct StageError {
+    /// The component involved.
+    pub kind: PtlKind,
+    /// Its current stage.
+    pub from: PtlStage,
+    /// The attempted stage.
+    pub to: PtlStage,
+}
+
+impl fmt::Display for StageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "illegal PTL transition {:?} -> {:?} for {:?}",
+            self.from, self.to, self.kind
+        )
+    }
+}
+
+impl std::error::Error for StageError {}
+
+impl Default for PtlRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PtlRegistry {
+    /// An empty registry.
+    pub fn new() -> PtlRegistry {
+        PtlRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Stage 1: open a component (dependency/sanity checking done by the
+    /// caller before this point).
+    pub fn open(&mut self, info: PtlInfo) {
+        assert!(
+            !self.entries.iter().any(|e| e.info.kind == info.kind),
+            "component {:?} opened twice",
+            info.kind
+        );
+        self.entries.push(Entry {
+            info,
+            stage: PtlStage::Opened,
+        });
+    }
+
+    fn transition(
+        &mut self,
+        kind: PtlKind,
+        expect: PtlStage,
+        to: PtlStage,
+    ) -> Result<(), StageError> {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.info.kind == kind)
+            .unwrap_or_else(|| panic!("unknown component {kind:?}"));
+        if e.stage != expect {
+            return Err(StageError {
+                kind,
+                from: e.stage,
+                to,
+            });
+        }
+        e.stage = to;
+        Ok(())
+    }
+
+    /// Stage 2: device initialized, modules created.
+    pub fn init(&mut self, kind: PtlKind) -> Result<(), StageError> {
+        self.transition(kind, PtlStage::Opened, PtlStage::Initialized)
+    }
+
+    /// Stage 3: insert into the communication stack.
+    pub fn activate(&mut self, kind: PtlKind) -> Result<(), StageError> {
+        self.transition(kind, PtlStage::Initialized, PtlStage::Active)
+    }
+
+    /// Stage 4: drain + release (the caller must have completed pending
+    /// traffic synchronously first — paper §4.1).
+    pub fn finalize(&mut self, kind: PtlKind) -> Result<(), StageError> {
+        self.transition(kind, PtlStage::Active, PtlStage::Finalized)
+    }
+
+    /// Stage 5: fully closed and removed from the pool.
+    pub fn close(&mut self, kind: PtlKind) -> Result<(), StageError> {
+        self.transition(kind, PtlStage::Finalized, PtlStage::Closed)
+    }
+
+    /// Current stage of a component, if opened.
+    pub fn stage(&self, kind: PtlKind) -> Option<PtlStage> {
+        self.entries
+            .iter()
+            .find(|e| e.info.kind == kind)
+            .map(|e| e.stage)
+    }
+
+    /// Components the PML may schedule on right now.
+    pub fn active(&self) -> impl Iterator<Item = &PtlInfo> {
+        self.entries
+            .iter()
+            .filter(|e| e.stage == PtlStage::Active)
+            .map(|e| &e.info)
+    }
+
+    /// The active component with the lowest latency rank (first-fragment
+    /// heuristic).
+    pub fn first_frag(&self) -> Option<&PtlInfo> {
+        self.active().min_by_key(|i| i.latency_rank)
+    }
+
+    /// Sum of active bandwidth weights (bulk-scheduling denominator).
+    pub fn total_weight(&self) -> u64 {
+        self.active().map(|i| i.bandwidth_weight).sum()
+    }
+
+    /// Active RDMA-capable weight (numerator for the RDMA share).
+    pub fn rdma_weight(&self) -> u64 {
+        self.active()
+            .filter(|i| i.rdma_capable)
+            .map(|i| i.bandwidth_weight)
+            .sum()
+    }
+
+    /// Finalize and close every active component.
+    pub fn shutdown(&mut self) {
+        let kinds: Vec<PtlKind> = self
+            .entries
+            .iter()
+            .filter(|e| e.stage == PtlStage::Active)
+            .map(|e| e.info.kind)
+            .collect();
+        for k in kinds {
+            self.finalize(k).expect("active component must finalize");
+            self.close(k).expect("finalized component must close");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_stage_lifecycle() {
+        let mut reg = PtlRegistry::new();
+        reg.open(PtlInfo::elan4(0));
+        assert_eq!(reg.stage(PtlKind::Elan4 { rail: 0 }), Some(PtlStage::Opened));
+        reg.init(PtlKind::Elan4 { rail: 0 }).unwrap();
+        reg.activate(PtlKind::Elan4 { rail: 0 }).unwrap();
+        assert_eq!(reg.active().count(), 1);
+        reg.finalize(PtlKind::Elan4 { rail: 0 }).unwrap();
+        assert_eq!(reg.active().count(), 0);
+        reg.close(PtlKind::Elan4 { rail: 0 }).unwrap();
+        assert_eq!(reg.stage(PtlKind::Elan4 { rail: 0 }), Some(PtlStage::Closed));
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut reg = PtlRegistry::new();
+        reg.open(PtlInfo::tcp());
+        // Cannot activate before init.
+        let err = reg.activate(PtlKind::Tcp).unwrap_err();
+        assert_eq!(err.from, PtlStage::Opened);
+        // Cannot finalize before active.
+        assert!(reg.finalize(PtlKind::Tcp).is_err());
+        reg.init(PtlKind::Tcp).unwrap();
+        assert!(reg.init(PtlKind::Tcp).is_err(), "double init");
+    }
+
+    #[test]
+    #[should_panic(expected = "opened twice")]
+    fn double_open_panics() {
+        let mut reg = PtlRegistry::new();
+        reg.open(PtlInfo::elan4(1));
+        reg.open(PtlInfo::elan4(1));
+    }
+
+    #[test]
+    fn scheduling_attributes() {
+        let mut reg = PtlRegistry::new();
+        for info in [PtlInfo::elan4(0), PtlInfo::elan4(1), PtlInfo::tcp()] {
+            let kind = info.kind;
+            reg.open(info);
+            reg.init(kind).unwrap();
+            reg.activate(kind).unwrap();
+        }
+        assert_eq!(reg.total_weight(), 900 + 900 + 110);
+        assert_eq!(reg.rdma_weight(), 1800);
+        // The first-fragment pick is an Elan rail, not TCP.
+        assert!(matches!(
+            reg.first_frag().unwrap().kind,
+            PtlKind::Elan4 { .. }
+        ));
+        reg.shutdown();
+        assert_eq!(reg.active().count(), 0);
+    }
+
+    #[test]
+    fn tcp_only_stack() {
+        let mut reg = PtlRegistry::new();
+        reg.open(PtlInfo::tcp());
+        reg.init(PtlKind::Tcp).unwrap();
+        reg.activate(PtlKind::Tcp).unwrap();
+        assert_eq!(reg.rdma_weight(), 0);
+        assert_eq!(reg.first_frag().unwrap().kind, PtlKind::Tcp);
+    }
+}

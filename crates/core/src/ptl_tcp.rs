@@ -1,0 +1,269 @@
+//! The TCP/IP reference transport.
+//!
+//! Open MPI's first PTL ran over TCP (paper §1); it pays operating-system
+//! overhead (syscalls) and kernel data copies on both sides, which is the
+//! motivation for the Elan4 PTL. We model a switched gigabit Ethernet as a
+//! full crossbar with per-node link occupancy, plus per-send syscall and
+//! copy costs. Frames arrive whole in a per-rank inbox (the stream framing
+//! of a real socket is below the fidelity this reproduction needs).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use elan4::NicConfig;
+use ompi_rte::ProcName;
+use parking_lot::Mutex;
+use qsim::{Dur, Proc, Signal, Time};
+
+/// Ethernet + kernel-stack timing model.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// One-way wire+switch latency.
+    pub wire_latency: Dur,
+    /// Practical link bandwidth, bytes per microsecond (1 GbE ≈ 110 MB/s).
+    pub bytes_per_us: u64,
+    /// Syscall + TCP/IP stack processing per send or receive.
+    pub syscall: Dur,
+    /// Largest frame handed to the kernel at once.
+    pub max_frame: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            wire_latency: Dur::from_us(22),
+            bytes_per_us: 110,
+            syscall: Dur::from_us_f64(2.5),
+            max_frame: 64 << 10,
+        }
+    }
+}
+
+/// Incoming frame queue of one rank.
+pub struct TcpInbox {
+    queue: Mutex<VecDeque<Vec<u8>>>,
+    doorbell: Mutex<Option<Signal>>,
+}
+
+impl TcpInbox {
+    /// An empty inbox with no doorbell.
+    pub fn new() -> Arc<TcpInbox> {
+        Arc::new(TcpInbox {
+            queue: Mutex::new(VecDeque::new()),
+            doorbell: Mutex::new(None),
+        })
+    }
+
+    /// Notify `sig` on every delivered frame.
+    pub fn set_doorbell(&self, sig: Signal) {
+        *self.doorbell.lock() = Some(sig);
+    }
+
+    /// Take the next frame, if any.
+    pub fn pop(&self) -> Option<Vec<u8>> {
+        self.queue.lock().pop_front()
+    }
+
+    /// True when no frame is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+}
+
+struct TcpNetInner {
+    inboxes: HashMap<ProcName, (usize, Arc<TcpInbox>)>,
+    tx_free: Vec<Time>,
+    rx_free: Vec<Time>,
+}
+
+/// The shared Ethernet.
+pub struct TcpNet {
+    cfg: TcpConfig,
+    inner: Mutex<TcpNetInner>,
+}
+
+impl TcpNet {
+    /// A fresh Ethernet for `nodes` hosts.
+    pub fn new(cfg: TcpConfig, nodes: usize) -> Arc<TcpNet> {
+        Arc::new(TcpNet {
+            cfg,
+            inner: Mutex::new(TcpNetInner {
+                inboxes: HashMap::new(),
+                tx_free: vec![Time::ZERO; nodes],
+                rx_free: vec![Time::ZERO; nodes],
+            }),
+        })
+    }
+
+    /// The timing model in use.
+    pub fn cfg(&self) -> &TcpConfig {
+        &self.cfg
+    }
+
+    /// Bind a rank's inbox (the `listen`/`accept` moment).
+    pub fn bind(&self, who: ProcName, node: usize, inbox: Arc<TcpInbox>) {
+        self.inner.lock().inboxes.insert(who, (node, inbox));
+    }
+
+    /// Close a rank's socket (frames in flight are dropped, like RST).
+    pub fn unbind(&self, who: ProcName) {
+        self.inner.lock().inboxes.remove(&who);
+    }
+
+    /// Send one frame from the calling process's node to `dst`. Charges the
+    /// caller the syscall + kernel copy; wire time is asynchronous. The
+    /// matching receive-side copy cost is charged when the frame is popped
+    /// (see `Endpoint` dispatch).
+    pub fn send(
+        self: &Arc<Self>,
+        proc: &Proc,
+        nic_cfg: &NicConfig,
+        src_node: usize,
+        dst: ProcName,
+        frame: Vec<u8>,
+    ) {
+        assert!(frame.len() <= self.cfg.max_frame, "frame exceeds max_frame");
+        // Kernel send path: syscall + copy into socket buffer.
+        proc.advance(self.cfg.syscall + nic_cfg.memcpy(frame.len()));
+
+        let (dst_node, inbox) = {
+            let inner = self.inner.lock();
+            match inner.inboxes.get(&dst) {
+                Some((n, i)) => (*n, i.clone()),
+                // Peer closed: TCP would RST; the frame vanishes.
+                None => return,
+            }
+        };
+        let now = proc.now();
+        let ser = Dur::for_bytes(frame.len(), self.cfg.bytes_per_us);
+        let delivered = {
+            let mut inner = self.inner.lock();
+            let start = now.max(inner.tx_free[src_node]);
+            inner.tx_free[src_node] = start + ser;
+            let arr = (start + self.cfg.wire_latency).max(inner.rx_free[dst_node]);
+            let done = arr + ser;
+            inner.rx_free[dst_node] = done;
+            done
+        };
+        proc.sim().call_at(delivered, move |s| {
+            inbox.queue.lock().push_back(frame);
+            if let Some(d) = inbox.doorbell.lock().clone() {
+                d.notify(s);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Simulation;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn tcp_latency_dominated_by_wire_and_syscalls() {
+        let net = TcpNet::new(TcpConfig::default(), 2);
+        let sim = Simulation::new();
+        let a = ProcName {
+            job: ompi_rte::JobId(0),
+            rank: 0,
+        };
+        let b = ProcName {
+            job: ompi_rte::JobId(0),
+            rank: 1,
+        };
+        let inbox = TcpInbox::new();
+        net.bind(a, 0, TcpInbox::new());
+        net.bind(b, 1, inbox.clone());
+        let t = Arc::new(AtomicU64::new(0));
+        {
+            let net = net.clone();
+            let inbox = inbox.clone();
+            let t = t.clone();
+            sim.spawn("rx", move |p| {
+                let sig = p.signal();
+                inbox.set_doorbell(sig.clone());
+                let _ = net; // keep alive
+                loop {
+                    if inbox.pop().is_some() {
+                        break;
+                    }
+                    p.wait(&sig).expect_signaled();
+                }
+                t.store(p.now().as_ns(), Ordering::SeqCst);
+            });
+        }
+        {
+            let net = net.clone();
+            sim.spawn("tx", move |p| {
+                p.advance(Dur::from_ns(10));
+                net.send(&p, &NicConfig::default(), 0, b, vec![0u8; 64]);
+            });
+        }
+        sim.run().unwrap();
+        let ns = t.load(Ordering::SeqCst);
+        // syscall 2.5us + copy + 22us wire + serialization.
+        assert!(ns > 24_000 && ns < 30_000, "tcp one-way {ns}ns");
+    }
+
+    #[test]
+    fn frames_arrive_in_order() {
+        let net = TcpNet::new(TcpConfig::default(), 2);
+        let sim = Simulation::new();
+        let b = ProcName {
+            job: ompi_rte::JobId(0),
+            rank: 1,
+        };
+        let inbox = TcpInbox::new();
+        net.bind(b, 1, inbox.clone());
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = got.clone();
+            let inbox = inbox.clone();
+            sim.spawn("rx", move |p| {
+                let sig = p.signal();
+                inbox.set_doorbell(sig.clone());
+                let mut n = 0;
+                while n < 5 {
+                    match inbox.pop() {
+                        Some(f) => {
+                            got.lock().push(f[0]);
+                            n += 1;
+                        }
+                        None => {
+                            p.wait(&sig).expect_signaled();
+                        }
+                    }
+                }
+            });
+        }
+        {
+            let net = net.clone();
+            sim.spawn("tx", move |p| {
+                for i in 0..5u8 {
+                    net.send(&p, &NicConfig::default(), 0, b, vec![i; 100]);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn send_to_unbound_peer_is_dropped() {
+        let net = TcpNet::new(TcpConfig::default(), 2);
+        let sim = Simulation::new();
+        let ghost = ProcName {
+            job: ompi_rte::JobId(9),
+            rank: 9,
+        };
+        {
+            let net = net.clone();
+            sim.spawn("tx", move |p| {
+                net.send(&p, &NicConfig::default(), 0, ghost, vec![1, 2, 3]);
+                p.advance(Dur::from_us(100));
+            });
+        }
+        sim.run().unwrap();
+    }
+}

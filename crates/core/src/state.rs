@@ -1,0 +1,497 @@
+//! Per-rank PML state: requests, communicators, and the matching engine.
+//!
+//! Everything here is plain data manipulated under the endpoint lock; no
+//! virtual time is consumed at this layer (costs are charged by the caller
+//! from the [`crate::config::HostConfig`] model).
+
+use std::collections::HashMap;
+
+use elan4::E4Addr;
+use ompi_datatype::Convertor;
+use ompi_rte::ProcName;
+use qsim::Signal;
+
+use crate::hdr::Hdr;
+use crate::peer::PeerInfo;
+
+/// MPI_ANY_SOURCE.
+pub const ANY_SOURCE: i32 = -1;
+/// MPI_ANY_TAG.
+pub const ANY_TAG: i32 = -0x7fff_fff0;
+
+/// A send request in flight.
+pub struct SendReq {
+    /// Request token (appears in wire headers).
+    pub id: u64,
+    /// Communicator context id.
+    pub ctx: u32,
+    /// Destination process.
+    pub dst: ProcName,
+    /// Destination rank within the communicator.
+    pub dst_rank: u32,
+    /// MPI tag.
+    pub tag: i32,
+    /// Ordering sequence number for this (comm, dst) pair.
+    pub seq: u32,
+
+    /// Total packed length of the message.
+    pub msg_len: usize,
+    /// Packed source region exposed for RDMA (message-base addressing).
+    pub src_e4: Option<E4Addr>,
+    /// Where the packed bytes live (the user buffer for contiguous sends,
+    /// or the bounce buffer).
+    pub src_region: elan4::HostBuf,
+    /// Bounce buffer to free on completion (non-contiguous sends).
+    pub bounce: Option<elan4::HostBuf>,
+    /// Bytes whose delivery the protocol has confirmed.
+    pub bytes_confirmed: usize,
+    /// Completed (locally for eager, fully acknowledged for rendezvous).
+    pub done: bool,
+}
+
+/// A receive request.
+pub struct RecvReq {
+    /// Request token (appears in wire headers).
+    pub id: u64,
+    /// Communicator context id.
+    pub ctx: u32,
+    /// `None` = MPI_ANY_SOURCE, else the comm-rank we accept.
+    pub src_sel: Option<u32>,
+    /// `None` = MPI_ANY_TAG.
+    pub tag_sel: Option<i32>,
+    /// The user buffer.
+    pub buf: elan4::HostBuf,
+    /// Datatype convertor for the buffer.
+    pub conv: Convertor,
+    /// Match result (set once matched).
+    pub matched: Option<MatchInfo>,
+    /// Destination region exposed for RDMA (packed-stream base).
+    pub dst_e4: Option<E4Addr>,
+    /// Bounce buffer for non-contiguous receives.
+    pub bounce: Option<elan4::HostBuf>,
+    /// Packed bytes landed so far.
+    pub bytes_received: usize,
+    /// Fully received (and unpacked, for non-contiguous types).
+    pub done: bool,
+}
+
+/// What a receive matched against.
+#[derive(Clone, Debug)]
+pub struct MatchInfo {
+    /// Sender's rank within the communicator.
+    pub src_rank: u32,
+    /// Sender's process name.
+    pub src: ProcName,
+    /// Matched tag.
+    pub tag: i32,
+    /// Total packed message length.
+    pub msg_len: usize,
+    /// Sender-side request token.
+    pub send_req: u64,
+    /// Source E4 address value (read scheme).
+    pub src_e4_va: u64,
+    /// VPID owning the source mapping.
+    pub src_e4_vpid: u32,
+}
+
+/// A fragment parked in the unexpected queue.
+pub struct UnexpectedFrag {
+    /// The fragment's header.
+    pub hdr: Hdr,
+    /// Inline payload bytes.
+    pub payload: Vec<u8>,
+    /// Sending process.
+    pub from: ProcName,
+    /// Transport the fragment arrived on.
+    pub ptl: usize,
+    /// Arrival stamp for FIFO unexpected matching.
+    pub arrival: u64,
+}
+
+/// Matching and ordering state for one communicator.
+pub struct CommState {
+    /// Context id.
+    pub ctx: u32,
+    /// Members in rank order.
+    pub group: Vec<ProcName>,
+    /// This process's rank.
+    pub my_rank: usize,
+    /// Recv request ids in post order (MPI matching is FIFO over these).
+    pub posted: Vec<u64>,
+    /// Fragments that matched no posted receive yet.
+    pub unexpected: Vec<UnexpectedFrag>,
+    /// Next sequence number per destination rank.
+    pub next_send_seq: HashMap<u32, u32>,
+    /// Next expected sequence number per source rank.
+    pub next_recv_seq: HashMap<u32, u32>,
+    /// Match-class fragments that arrived ahead of their sequence number
+    /// (possible with multi-rail striping).
+    pub out_of_order: Vec<UnexpectedFrag>,
+    arrival_counter: u64,
+}
+
+impl CommState {
+    /// Fresh matching state for one communicator.
+    pub fn new(ctx: u32, group: Vec<ProcName>, my_rank: usize) -> Self {
+        CommState {
+            ctx,
+            group,
+            my_rank,
+            posted: Vec::new(),
+            unexpected: Vec::new(),
+            next_send_seq: HashMap::new(),
+            next_recv_seq: HashMap::new(),
+            out_of_order: Vec::new(),
+            arrival_counter: 0,
+        }
+    }
+
+    /// Allocate the next ordering sequence number toward `dst_rank`.
+    pub fn alloc_send_seq(&mut self, dst_rank: u32) -> u32 {
+        let e = self.next_send_seq.entry(dst_rank).or_insert(0);
+        let s = *e;
+        *e += 1;
+        s
+    }
+
+    /// Is `hdr` the next in-order match fragment from its sender? If not,
+    /// the caller must park it in `out_of_order`.
+    pub fn is_in_order(&self, hdr: &Hdr) -> bool {
+        let expected = self.next_recv_seq.get(&hdr.src_rank).copied().unwrap_or(0);
+        hdr.seq == expected
+    }
+
+    /// Mark the current in-order fragment from `src_rank` as processed.
+    pub fn advance_recv_seq(&mut self, src_rank: u32) {
+        *self.next_recv_seq.entry(src_rank).or_insert(0) += 1;
+    }
+
+    /// Pop a parked fragment that has become in-order, if any.
+    pub fn take_ready_out_of_order(&mut self) -> Option<UnexpectedFrag> {
+        let pos = self.out_of_order.iter().position(|f| {
+            self.next_recv_seq
+                .get(&f.hdr.src_rank)
+                .copied()
+                .unwrap_or(0)
+                == f.hdr.seq
+        })?;
+        Some(self.out_of_order.remove(pos))
+    }
+
+    /// Monotonic stamp for unexpected-queue FIFO ordering.
+    pub fn next_arrival_stamp(&mut self) -> u64 {
+        self.arrival_counter += 1;
+        self.arrival_counter
+    }
+}
+
+/// Does `(src_sel, tag_sel)` accept a fragment from `src_rank` with `tag`?
+pub fn selector_matches(
+    src_sel: Option<u32>,
+    tag_sel: Option<i32>,
+    src_rank: u32,
+    tag: i32,
+) -> bool {
+    src_sel.map(|s| s == src_rank).unwrap_or(true) && tag_sel.map(|t| t == tag).unwrap_or(true)
+}
+
+/// Role of a pending local DMA descriptor.
+#[derive(Clone, Debug)]
+pub enum DmaRole {
+    /// RDMA reads issued by the receiver (read scheme); on completion the
+    /// receive gains `bytes` and the FIN_ACK must reach the sender.
+    Read {
+        /// The receive being filled.
+        recv_req: u64,
+        /// Bytes this descriptor moves.
+        bytes: usize,
+        /// FIN_ACK to send from the host if it was not chained.
+        fin_ack: Option<(usize, ProcName, Hdr)>,
+    },
+    /// RDMA writes issued by the sender (write scheme).
+    Write {
+        /// The send being drained.
+        send_req: u64,
+        /// Bytes this descriptor moves.
+        bytes: usize,
+        /// FIN to send from the host if it was not chained.
+        fin: Option<(usize, ProcName, Hdr)>,
+    },
+}
+
+/// A DMA whose completion the host still has to observe.
+pub struct PendingDma {
+    /// Token linking shared-completion-queue messages to this entry.
+    pub token: u64,
+    /// The counted completion event.
+    pub event: std::sync::Arc<elan4::ElanEvent>,
+    /// What to do when it fires.
+    pub role: DmaRole,
+}
+
+/// The lock-guarded heart of one rank's PML.
+pub struct EpState {
+    /// Matching state per registered context id.
+    pub comms: HashMap<u32, CommState>,
+    /// Live send requests by id.
+    pub send_reqs: HashMap<u64, SendReq>,
+    /// Live receive requests by id.
+    pub recv_reqs: HashMap<u64, RecvReq>,
+    /// DMA descriptors whose completion the host has not yet observed.
+    pub pending_dmas: Vec<PendingDma>,
+    /// Resolved addressing for every known peer.
+    pub peers: HashMap<ProcName, PeerInfo>,
+    /// Next request id.
+    pub next_req: u64,
+    /// Next shared-completion-queue token.
+    pub next_dma_token: u64,
+    /// Set once finalize begins (drain mode).
+    pub finalizing: bool,
+    /// Application threads blocked in thread-progress mode; notified on any
+    /// request completion.
+    pub waiters: Vec<Signal>,
+    /// Match-class frames that arrived for a communicator this rank has not
+    /// registered yet; re-dispatched at registration.
+    pub early_frames: Vec<(Hdr, Vec<u8>)>,
+}
+
+impl EpState {
+    /// Empty PML state.
+    pub fn new() -> Self {
+        EpState {
+            comms: HashMap::new(),
+            send_reqs: HashMap::new(),
+            recv_reqs: HashMap::new(),
+            pending_dmas: Vec::new(),
+            peers: HashMap::new(),
+            next_req: 1,
+            next_dma_token: 1,
+            finalizing: false,
+            waiters: Vec::new(),
+            early_frames: Vec::new(),
+        }
+    }
+
+    /// Allocate a request id.
+    pub fn alloc_req_id(&mut self) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    /// Allocate a completion-queue token.
+    pub fn alloc_dma_token(&mut self) -> u64 {
+        let t = self.next_dma_token;
+        self.next_dma_token += 1;
+        t
+    }
+
+    /// Find the first posted receive that matches `hdr` (FIFO order);
+    /// removes and returns its id.
+    pub fn match_posted(&mut self, ctx: u32, hdr: &Hdr) -> Option<u64> {
+        let comm = self.comms.get_mut(&ctx)?;
+        let mut hit = None;
+        for (i, rid) in comm.posted.iter().enumerate() {
+            let r = &self.recv_reqs[rid];
+            if selector_matches(r.src_sel, r.tag_sel, hdr.src_rank, hdr.tag) {
+                hit = Some(i);
+                break;
+            }
+        }
+        let i = hit?;
+        Some(comm.posted.remove(i))
+    }
+
+    /// Find the earliest unexpected fragment matching a new receive.
+    pub fn match_unexpected(
+        &mut self,
+        ctx: u32,
+        src_sel: Option<u32>,
+        tag_sel: Option<i32>,
+    ) -> Option<UnexpectedFrag> {
+        let comm = self.comms.get_mut(&ctx)?;
+        let mut best: Option<usize> = None;
+        for (i, f) in comm.unexpected.iter().enumerate() {
+            if selector_matches(src_sel, tag_sel, f.hdr.src_rank, f.hdr.tag)
+                && best
+                    .map(|b| comm.unexpected[b].arrival > f.arrival)
+                    .unwrap_or(true)
+            {
+                best = Some(i);
+            }
+        }
+        best.map(|i| comm.unexpected.remove(i))
+    }
+
+    /// Non-destructive probe of the unexpected queue: earliest matching
+    /// fragment's (src_rank, tag, msg_len).
+    pub fn peek_unexpected(
+        &self,
+        ctx: u32,
+        src_sel: Option<u32>,
+        tag_sel: Option<i32>,
+    ) -> Option<(u32, i32, usize)> {
+        let comm = self.comms.get(&ctx)?;
+        let mut best: Option<&UnexpectedFrag> = None;
+        for f in &comm.unexpected {
+            if selector_matches(src_sel, tag_sel, f.hdr.src_rank, f.hdr.tag)
+                && best.map(|b| b.arrival > f.arrival).unwrap_or(true)
+            {
+                best = Some(f);
+            }
+        }
+        best.map(|f| (f.hdr.src_rank, f.hdr.tag, f.hdr.msg_len as usize))
+    }
+
+    /// Are all live requests complete? (Finalize's drain condition.)
+    pub fn all_requests_done(&self) -> bool {
+        self.send_reqs.values().all(|r| r.done) && self.recv_reqs.values().all(|r| r.done)
+    }
+}
+
+impl Default for EpState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(rank: usize) -> ProcName {
+        ProcName {
+            job: ompi_rte::JobId(0),
+            rank,
+        }
+    }
+
+    fn mk_hdr(src: u32, tag: i32, seq: u32) -> Hdr {
+        let mut h = Hdr::new(crate::hdr::HdrType::Eager);
+        h.src_rank = src;
+        h.tag = tag;
+        h.seq = seq;
+        h.ctx = 0;
+        h
+    }
+
+    fn mk_state_with_comm() -> EpState {
+        let mut st = EpState::new();
+        st.comms
+            .insert(0, CommState::new(0, vec![name(0), name(1)], 0));
+        st
+    }
+
+    fn post_recv(st: &mut EpState, src: Option<u32>, tag: Option<i32>) -> u64 {
+        let id = st.alloc_req_id();
+        st.recv_reqs.insert(
+            id,
+            RecvReq {
+                id,
+                ctx: 0,
+                src_sel: src,
+                tag_sel: tag,
+                buf: elan4::HostBuf {
+                    addr: elan4::HostAddr { node: 0, off: 0 },
+                    len: 0,
+                },
+                conv: Convertor::new(ompi_datatype::Datatype::bytes(0), 0),
+                matched: None,
+                dst_e4: None,
+                bounce: None,
+                bytes_received: 0,
+                done: false,
+            },
+        );
+        st.comms.get_mut(&0).unwrap().posted.push(id);
+        id
+    }
+
+    #[test]
+    fn fifo_matching_of_posted_receives() {
+        let mut st = mk_state_with_comm();
+        let a = post_recv(&mut st, Some(1), Some(5));
+        let b = post_recv(&mut st, Some(1), Some(5));
+        let h = mk_hdr(1, 5, 0);
+        assert_eq!(st.match_posted(0, &h), Some(a));
+        assert_eq!(st.match_posted(0, &h), Some(b));
+        assert_eq!(st.match_posted(0, &h), None);
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let mut st = mk_state_with_comm();
+        let a = post_recv(&mut st, None, None);
+        let h = mk_hdr(1, 12345, 0);
+        assert_eq!(st.match_posted(0, &h), Some(a));
+    }
+
+    #[test]
+    fn selective_receive_skips_nonmatching() {
+        let mut st = mk_state_with_comm();
+        let _a = post_recv(&mut st, Some(1), Some(7));
+        let b = post_recv(&mut st, Some(1), Some(9));
+        let h = mk_hdr(1, 9, 0);
+        assert_eq!(st.match_posted(0, &h), Some(b));
+        // The tag-7 receive is still posted.
+        assert_eq!(st.comms[&0].posted.len(), 1);
+    }
+
+    #[test]
+    fn unexpected_matched_in_arrival_order() {
+        let mut st = mk_state_with_comm();
+        for tag in [4, 5, 4] {
+            let stamp = st.comms.get_mut(&0).unwrap().next_arrival_stamp();
+            let f = UnexpectedFrag {
+                hdr: mk_hdr(1, tag, 0),
+                payload: vec![tag as u8],
+                from: name(1),
+                ptl: 0,
+                arrival: stamp,
+            };
+            st.comms.get_mut(&0).unwrap().unexpected.push(f);
+        }
+        let got = st.match_unexpected(0, Some(1), Some(4)).unwrap();
+        assert_eq!(got.payload, vec![4]);
+        let got2 = st.match_unexpected(0, None, None).unwrap();
+        assert_eq!(got2.hdr.tag, 5, "earliest arrival wins for wildcards");
+    }
+
+    #[test]
+    fn sequence_ordering_detects_gaps() {
+        let mut st = mk_state_with_comm();
+        let comm = st.comms.get_mut(&0).unwrap();
+        assert!(comm.is_in_order(&mk_hdr(1, 0, 0)));
+        assert!(!comm.is_in_order(&mk_hdr(1, 0, 1)));
+        comm.advance_recv_seq(1);
+        assert!(comm.is_in_order(&mk_hdr(1, 0, 1)));
+        // Independent per source.
+        assert!(comm.is_in_order(&mk_hdr(0, 0, 0)));
+    }
+
+    #[test]
+    fn out_of_order_release() {
+        let mut st = mk_state_with_comm();
+        let comm = st.comms.get_mut(&0).unwrap();
+        comm.out_of_order.push(UnexpectedFrag {
+            hdr: mk_hdr(1, 0, 1),
+            payload: vec![],
+            from: name(1),
+            ptl: 0,
+            arrival: 0,
+        });
+        assert!(comm.take_ready_out_of_order().is_none());
+        comm.advance_recv_seq(1); // seq 0 processed
+        let f = comm.take_ready_out_of_order().unwrap();
+        assert_eq!(f.hdr.seq, 1);
+    }
+
+    #[test]
+    fn send_seq_allocation_is_per_destination() {
+        let mut st = mk_state_with_comm();
+        let comm = st.comms.get_mut(&0).unwrap();
+        assert_eq!(comm.alloc_send_seq(1), 0);
+        assert_eq!(comm.alloc_send_seq(1), 1);
+        assert_eq!(comm.alloc_send_seq(0), 0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Protocol event tracing.
+//!
+//! When [`crate::StackConfig::trace`] is on, every protocol transition is
+//! recorded with its virtual timestamp: request posting, matching,
+//! unexpected arrivals, RDMA issue/completion, and control messages. The
+//! trace is the tool for understanding *why* a latency number looks the way
+//! it does — a per-rank, virtual-time view of Figs. 2–4 of the paper.
+
+use qsim::Time;
+
+/// One recorded protocol event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A send request was posted (`eager` tells the path taken).
+    SendPosted {
+        /// Request id.
+        req: u64,
+        /// Destination rank.
+        dst: u32,
+        /// MPI tag.
+        tag: i32,
+        /// Packed length.
+        len: usize,
+        /// Eager (true) or rendezvous (false).
+        eager: bool,
+    },
+    /// A receive request was posted.
+    RecvPosted {
+        /// Request id.
+        req: u64,
+    },
+    /// An incoming first fragment matched a posted receive.
+    Matched {
+        /// The receive request.
+        req: u64,
+        /// Sender rank.
+        src: u32,
+        /// Matched tag.
+        tag: i32,
+        /// Total message length.
+        len: usize,
+    },
+    /// A first fragment arrived with no matching receive posted.
+    Unexpected {
+        /// Sender rank.
+        src: u32,
+        /// Tag of the fragment.
+        tag: i32,
+    },
+    /// RDMA descriptors were issued for a message's remainder.
+    RdmaIssued {
+        /// Read (receiver pulls) or write (sender pushes).
+        read: bool,
+        /// Bytes covered by the batch.
+        bytes: usize,
+    },
+    /// A local DMA completion was observed by the host.
+    DmaDone {
+        /// Bytes credited.
+        bytes: usize,
+    },
+    /// A control message was sent (ACK/FIN/FIN_ACK), by header kind name.
+    ControlSent {
+        /// `"Ack"`, `"Fin"` or `"FinAck"`.
+        kind: &'static str,
+    },
+    /// A request completed.
+    Completed {
+        /// The request id.
+        req: u64,
+        /// Send (true) or receive (false).
+        send: bool,
+    },
+}
+
+/// A per-endpoint trace buffer.
+#[derive(Default)]
+pub struct TraceLog {
+    events: Vec<(Time, TraceEvent)>,
+}
+
+impl TraceLog {
+    /// Record one event at `now`.
+    pub fn record(&mut self, now: Time, ev: TraceEvent) {
+        self.events.push((now, ev));
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[(Time, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of events recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Render the trace as aligned text lines.
+    pub fn dump(&self) -> Vec<String> {
+        self.events
+            .iter()
+            .map(|(t, e)| format!("{:>12} {:?}", format!("{t}"), e))
+            .collect()
+    }
+
+    /// Count events matching a predicate.
+    pub fn count(&self, f: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|(_, e)| f(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_dump() {
+        let mut log = TraceLog::default();
+        assert!(log.is_empty());
+        log.record(
+            Time::from_ns(1500),
+            TraceEvent::SendPosted {
+                req: 1,
+                dst: 1,
+                tag: 0,
+                len: 64,
+                eager: true,
+            },
+        );
+        log.record(Time::from_ns(2500), TraceEvent::Completed { req: 1, send: true });
+        assert_eq!(log.len(), 2);
+        let lines = log.dump();
+        assert!(lines[0].contains("SendPosted"));
+        assert!(lines[0].contains("1.500us"));
+        assert_eq!(
+            log.count(|e| matches!(e, TraceEvent::Completed { .. })),
+            1
+        );
+    }
+}

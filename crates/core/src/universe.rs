@@ -1,0 +1,153 @@
+//! The universe: the shared simulated machine plus everything needed to
+//! launch MPI worlds on it (and spawn further jobs dynamically).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use elan4::{Cluster, NicConfig};
+use ompi_rte::{JobId, ProcName, Rte, RteConfig};
+use qsim::Simulation;
+use qsnet::FabricConfig;
+
+use crate::comm::{register_comm, Communicator};
+use crate::config::StackConfig;
+use crate::endpoint::{Endpoint, Transports};
+use crate::mpi::Mpi;
+use crate::ptl_tcp::{TcpConfig, TcpNet};
+
+/// Where to place ranks on the simulated cluster.
+#[derive(Clone, Debug)]
+pub enum Placement {
+    /// Rank `r` on node `r % nodes` (one rank per node up to the node count).
+    RoundRobin,
+    /// Explicit node per rank.
+    Nodes(Vec<usize>),
+}
+
+impl Placement {
+    /// The node `rank` is placed on.
+    pub fn node_of(&self, rank: usize, nodes: usize) -> usize {
+        match self {
+            Placement::RoundRobin => rank % nodes,
+            Placement::Nodes(v) => v[rank],
+        }
+    }
+}
+
+/// Shared machine + configuration; cheap to clone via `Arc`.
+pub struct Universe {
+    /// The simulated machine.
+    pub cluster: Arc<Cluster>,
+    /// The runtime environment.
+    pub rte: Arc<Rte>,
+    /// The management Ethernet for the TCP PTL.
+    pub tcp_net: Arc<TcpNet>,
+    /// Stack configuration every launched rank uses.
+    pub cfg: StackConfig,
+    /// Transports every launched rank activates.
+    pub transports: Transports,
+    next_ctx: AtomicU32,
+}
+
+impl Universe {
+    /// Build a universe over a custom machine and stack configuration.
+    pub fn new(
+        nic: NicConfig,
+        fabric: FabricConfig,
+        cfg: StackConfig,
+        transports: Transports,
+    ) -> Arc<Universe> {
+        cfg.validate();
+        let nodes = fabric.nodes;
+        let cluster = Cluster::new(nic, fabric);
+        Arc::new(Universe {
+            cluster,
+            rte: Rte::new(RteConfig::default()),
+            tcp_net: TcpNet::new(TcpConfig::default(), nodes),
+            cfg,
+            transports,
+            next_ctx: AtomicU32::new(0),
+        })
+    }
+
+    /// Default machine: the paper's 8-node QS-8A testbed, Elan4 only.
+    pub fn paper_testbed(cfg: StackConfig) -> Arc<Universe> {
+        Universe::new(
+            NicConfig::default(),
+            FabricConfig::default(),
+            cfg,
+            Transports::default(),
+        )
+    }
+
+    /// Allocate a (p2p, collective) context-id pair, globally unique.
+    pub fn alloc_ctx_pair(&self) -> (u32, u32) {
+        let base = self.next_ctx.fetch_add(2, Ordering::SeqCst);
+        (base, base + 1)
+    }
+
+    /// Launch an MPI world of `n` ranks; each runs `entry`. Returns the job
+    /// id (the simulation must be driven to completion by the caller).
+    pub fn launch_world(
+        self: &Arc<Self>,
+        sim: &Simulation,
+        n: usize,
+        placement: Placement,
+        entry: impl Fn(Mpi) + Send + Sync + 'static,
+    ) -> JobId {
+        let job = self.rte.create_job(n, None);
+        let (ctx, coll_ctx) = self.alloc_ctx_pair();
+        let entry = Arc::new(entry);
+        let nodes = self.cluster.nodes();
+        for rank in 0..n {
+            let node = placement.node_of(rank, nodes);
+            let uni = self.clone();
+            let entry = entry.clone();
+            sim.spawn(&format!("rank{rank}"), move |p| {
+                let name = ProcName { job, rank };
+                let ep = Endpoint::init(
+                    &p,
+                    name,
+                    node,
+                    uni.cfg.clone(),
+                    uni.transports.clone(),
+                    uni.cluster.clone(),
+                    uni.rte.clone(),
+                    Some(uni.tcp_net.clone()),
+                );
+                ep.start_progress(&p);
+                let group = (0..n).map(|r| ProcName { job, rank: r }).collect();
+                let world = Communicator {
+                    ctx,
+                    coll_ctx,
+                    group,
+                    my_rank: rank,
+                    // Launched synchronously: the global virtual address
+                    // space exists, so hardware collectives are available.
+                    hw_coll: true,
+                };
+                register_comm(&p, &ep, &world);
+                // Everyone must have registered before traffic flows.
+                uni.rte.barrier(&p, job);
+                let mpi = Mpi::new(p, ep, uni, world);
+                entry(mpi);
+            });
+        }
+        job
+    }
+
+    /// Convenience: build a simulation, launch one world, run to completion.
+    pub fn run_world(
+        self: &Arc<Self>,
+        n: usize,
+        placement: Placement,
+        entry: impl Fn(Mpi) + Send + Sync + 'static,
+    ) -> qsim::Report {
+        let sim = Simulation::new();
+        self.launch_world(&sim, n, placement, entry);
+        match sim.run() {
+            Ok(r) => r,
+            Err(e) => panic!("simulation failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Datatype descriptions (typemaps) in the MPI sense: a tree of base types,
+//! contiguous runs, strided vectors, indexed blocks, and structs, flattened
+//! on demand into `(offset, len)` contiguous segments.
+
+/// An MPI-style datatype.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Datatype {
+    /// `len` contiguous bytes (covers all base types: we model layout, not
+    /// language-level typing).
+    Base {
+        /// Element size in bytes.
+        len: usize,
+    },
+    /// `count` copies of `inner`, laid out end to end (extent-spaced).
+    Contiguous {
+        /// Number of copies.
+        count: usize,
+        /// The repeated element type.
+        inner: Box<Datatype>,
+    },
+    /// `count` blocks of `blocklen` copies of `inner`, block `i` starting at
+    /// `i * stride * extent(inner)` — MPI_Type_vector.
+    Vector {
+        /// Number of blocks.
+        count: usize,
+        /// Elements per block.
+        blocklen: usize,
+        /// Block-to-block distance in elements.
+        stride: usize,
+        /// The element type.
+        inner: Box<Datatype>,
+    },
+    /// Blocks at explicit displacements (in bytes): MPI_Type_indexed over a
+    /// byte-granular inner type.
+    Indexed {
+        /// `(displacement_bytes, block_elements)`
+        blocks: Vec<(usize, usize)>,
+        /// The element type.
+        inner: Box<Datatype>,
+    },
+    /// Fields at explicit byte displacements: MPI_Type_create_struct.
+    Struct {
+        /// `(displacement_bytes, field_type)`, non-overlapping.
+        fields: Vec<(usize, Datatype)>,
+    },
+}
+
+impl Datatype {
+    /// One byte.
+    pub fn u8() -> Datatype {
+        Datatype::Base { len: 1 }
+    }
+
+    /// A 4-byte base type (int/float).
+    pub fn u32() -> Datatype {
+        Datatype::Base { len: 4 }
+    }
+
+    /// An 8-byte base type (long/double).
+    pub fn f64() -> Datatype {
+        Datatype::Base { len: 8 }
+    }
+
+    /// `len` contiguous bytes.
+    pub fn bytes(len: usize) -> Datatype {
+        Datatype::Base { len }
+    }
+
+    /// `count` copies of `inner`, end to end.
+    pub fn contiguous(count: usize, inner: Datatype) -> Datatype {
+        Datatype::Contiguous {
+            count,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Strided blocks (MPI_Type_vector).
+    ///
+    /// # Panics
+    /// If blocks would overlap (`stride < blocklen`).
+    pub fn vector(count: usize, blocklen: usize, stride: usize, inner: Datatype) -> Datatype {
+        assert!(stride >= blocklen, "overlapping vector blocks");
+        Datatype::Vector {
+            count,
+            blocklen,
+            stride,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Blocks at explicit displacements (MPI_Type_indexed).
+    ///
+    /// # Panics
+    /// If blocks overlap.
+    pub fn indexed(mut blocks: Vec<(usize, usize)>, inner: Datatype) -> Datatype {
+        blocks.sort_by_key(|b| b.0);
+        // Reject overlap: the pack/unpack inverse property needs it.
+        let ext = inner.extent();
+        for w in blocks.windows(2) {
+            assert!(
+                w[0].0 + w[0].1 * ext <= w[1].0,
+                "overlapping indexed blocks"
+            );
+        }
+        Datatype::Indexed {
+            blocks,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Fields at explicit displacements (MPI_Type_create_struct).
+    ///
+    /// # Panics
+    /// If fields overlap.
+    pub fn strct(mut fields: Vec<(usize, Datatype)>) -> Datatype {
+        fields.sort_by_key(|f| f.0);
+        for w in fields.windows(2) {
+            assert!(
+                w[0].0 + w[0].1.extent() <= w[1].0,
+                "overlapping struct fields"
+            );
+        }
+        Datatype::Struct { fields }
+    }
+
+    /// Packed size in bytes of one element.
+    pub fn size(&self) -> usize {
+        match self {
+            Datatype::Base { len } => *len,
+            Datatype::Contiguous { count, inner } => count * inner.size(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                inner,
+                ..
+            } => count * blocklen * inner.size(),
+            Datatype::Indexed { blocks, inner } => {
+                blocks.iter().map(|(_, n)| n * inner.size()).sum()
+            }
+            Datatype::Struct { fields } => fields.iter().map(|(_, t)| t.size()).sum(),
+        }
+    }
+
+    /// Memory extent in bytes of one element (distance between consecutive
+    /// elements in an array of this type).
+    pub fn extent(&self) -> usize {
+        match self {
+            Datatype::Base { len } => *len,
+            Datatype::Contiguous { count, inner } => count * inner.extent(),
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
+                if *count == 0 {
+                    0
+                } else {
+                    ((count - 1) * stride + blocklen) * inner.extent()
+                }
+            }
+            Datatype::Indexed { blocks, inner } => blocks
+                .iter()
+                .map(|(d, n)| d + n * inner.extent())
+                .max()
+                .unwrap_or(0),
+            Datatype::Struct { fields } => fields
+                .iter()
+                .map(|(d, t)| d + t.extent())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// True when the packed representation equals the memory representation.
+    pub fn is_contiguous(&self) -> bool {
+        self.size() == self.extent()
+    }
+
+    /// Append this element's segments, shifted by `base`, merging adjacent
+    /// runs.
+    fn collect_segments(&self, base: usize, out: &mut Vec<(usize, usize)>) {
+        fn push(out: &mut Vec<(usize, usize)>, off: usize, len: usize) {
+            if len == 0 {
+                return;
+            }
+            if let Some(last) = out.last_mut() {
+                if last.0 + last.1 == off {
+                    last.1 += len;
+                    return;
+                }
+            }
+            out.push((off, len));
+        }
+        match self {
+            Datatype::Base { len } => push(out, base, *len),
+            Datatype::Contiguous { count, inner } => {
+                let ext = inner.extent();
+                for i in 0..*count {
+                    inner.collect_segments(base + i * ext, out);
+                }
+            }
+            Datatype::Vector {
+                count,
+                blocklen,
+                stride,
+                inner,
+            } => {
+                let ext = inner.extent();
+                for i in 0..*count {
+                    let block_base = base + i * stride * ext;
+                    for j in 0..*blocklen {
+                        inner.collect_segments(block_base + j * ext, out);
+                    }
+                }
+            }
+            Datatype::Indexed { blocks, inner } => {
+                let ext = inner.extent();
+                for (disp, n) in blocks {
+                    for j in 0..*n {
+                        inner.collect_segments(base + disp + j * ext, out);
+                    }
+                }
+            }
+            Datatype::Struct { fields } => {
+                for (disp, t) in fields {
+                    t.collect_segments(base + disp, out);
+                }
+            }
+        }
+    }
+
+    /// Contiguous `(offset, len)` segments covering `count` elements.
+    pub fn segments(&self, count: usize) -> SegmentIter<'_> {
+        let mut segs = Vec::new();
+        let ext = self.extent();
+        for i in 0..count {
+            self.collect_segments(i * ext, &mut segs);
+        }
+        SegmentIter {
+            segs: segs.into_iter(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Iterator over `(offset, len)` contiguous segments.
+pub struct SegmentIter<'a> {
+    segs: std::vec::IntoIter<(usize, usize)>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl Iterator for SegmentIter<'_> {
+    type Item = (usize, usize);
+    fn next(&mut self) -> Option<(usize, usize)> {
+        self.segs.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_sizes() {
+        assert_eq!(Datatype::u8().size(), 1);
+        assert_eq!(Datatype::u32().size(), 4);
+        assert_eq!(Datatype::f64().extent(), 8);
+        assert!(Datatype::bytes(100).is_contiguous());
+    }
+
+    #[test]
+    fn contiguous_of_vector() {
+        let v = Datatype::vector(2, 1, 2, Datatype::u32()); // 2 ints every 2
+        assert_eq!(v.size(), 8);
+        assert_eq!(v.extent(), 12);
+        assert!(!v.is_contiguous());
+        let c = Datatype::contiguous(3, v);
+        assert_eq!(c.size(), 24);
+        assert_eq!(c.extent(), 36);
+    }
+
+    #[test]
+    fn segment_merging() {
+        // stride == blocklen means fully contiguous: must merge to 1 segment.
+        let v = Datatype::vector(4, 2, 2, Datatype::u8());
+        let segs: Vec<_> = v.segments(1).collect();
+        assert_eq!(segs, vec![(0, 8)]);
+        assert!(v.is_contiguous());
+    }
+
+    #[test]
+    fn vector_segments() {
+        let v = Datatype::vector(3, 2, 4, Datatype::u8());
+        let segs: Vec<_> = v.segments(1).collect();
+        assert_eq!(segs, vec![(0, 2), (4, 2), (8, 2)]);
+        // Two elements: the second starts at extent = 2*4+2 = 10, so its
+        // first block (10,2) merges with the first element's tail (8,2).
+        let segs2: Vec<_> = v.segments(2).collect();
+        assert_eq!(segs2.len(), 5);
+        assert_eq!(segs2[2], (8, 4));
+        assert_eq!(segs2[3], (14, 2));
+    }
+
+    #[test]
+    fn struct_layout() {
+        let s = Datatype::strct(vec![
+            (0, Datatype::u32()),
+            (8, Datatype::f64()),
+            (16, Datatype::bytes(3)),
+        ]);
+        assert_eq!(s.size(), 15);
+        assert_eq!(s.extent(), 19);
+        let segs: Vec<_> = s.segments(1).collect();
+        assert_eq!(segs, vec![(0, 4), (8, 11)]); // f64 at 8 merges with bytes at 16
+    }
+
+    #[test]
+    fn segments_cover_size_exactly() {
+        let t = Datatype::indexed(vec![(1, 2), (8, 3)], Datatype::u8());
+        let total: usize = t.segments(5).map(|(_, l)| l).sum();
+        assert_eq!(total, t.size() * 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping indexed blocks")]
+    fn overlapping_indexed_rejected() {
+        Datatype::indexed(vec![(0, 4), (2, 2)], Datatype::u8());
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping vector blocks")]
+    fn overlapping_vector_rejected() {
+        Datatype::vector(2, 3, 2, Datatype::u8());
+    }
+}

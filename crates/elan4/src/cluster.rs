@@ -1,0 +1,606 @@
+//! The simulated cluster: per-node main memory + PCI-X bus, per-context NIC
+//! state (MMU, receive queues, events), and the QDMA/RDMA engines that move
+//! bytes through the [`qsnet::Fabric`].
+//!
+//! All mutable state sits behind one mutex; the `qsim` kernel serializes
+//! every process and device callback, so the lock is uncontended and exists
+//! only to satisfy `Send`/`Sync`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use qsim::{SimHandle, Signal, Time};
+use qsnet::{Fabric, FabricConfig, NodeId};
+
+use crate::alloc::Allocator;
+use crate::config::NicConfig;
+use crate::mmu::Mmu;
+use crate::types::{DmaKind, E4Addr, EventId, HostAddr, QueueId, Vpid};
+
+/// A small message to be queued (QDMA) — possibly launched from a chained
+/// event without host involvement.
+#[derive(Clone, Debug)]
+pub struct QdmaSpec {
+    /// Destination context.
+    pub dst: Vpid,
+    /// Destination receive queue.
+    pub queue: QueueId,
+    /// Message bytes (≤ 2 KB).
+    pub data: Vec<u8>,
+    /// Rail to inject on.
+    pub rail: usize,
+}
+
+pub(crate) struct QueueState {
+    pub slot_size: usize,
+    pub nslots: usize,
+    pub slots: VecDeque<Vec<u8>>,
+    pub signal: Option<Signal>,
+    pub irq_armed: bool,
+    /// Deposits that found the queue full and are waiting to retry.
+    pub overflowed: u64,
+}
+
+pub(crate) struct EventState {
+    pub count: i64,
+    /// Number of times the count reached zero, minus consumed fires.
+    pub fired: u64,
+    pub signal: Option<Signal>,
+    pub irq_armed: bool,
+    pub chained: Vec<QdmaSpec>,
+    pub freed: bool,
+}
+
+pub(crate) struct CtxState {
+    #[allow(dead_code)]
+    pub node: NodeId,
+    pub mmu: Mmu,
+    pub queues: Vec<Option<QueueState>>,
+    pub events: Vec<EventState>,
+    pub tport: crate::tport::TportState,
+}
+
+pub(crate) struct NodeState {
+    pub mem: Vec<u8>,
+    pub alloc: Allocator,
+    /// PCI-X availability per rail: each Elan4 adapter sits in its own
+    /// PCI-X slot, so rails have independent host-bus bandwidth (as in the
+    /// multirail systems of Coll et al. that the paper cites).
+    pub bus_free: Vec<Time>,
+    /// NIC command-processor availability per rail: commands (QDMA/RDMA
+    /// launches) serialize through the Elan4 thread processor, which is
+    /// what bounds small-message issue rate.
+    pub cmdq_free: Vec<Time>,
+    /// Receive-side deposit engine availability per rail: queue-slot
+    /// writes also serialize, bounding small-message reception rate.
+    pub deposit_free: Vec<Time>,
+}
+
+/// Running counters for tests and benches.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterStats {
+    /// QDMA messages issued.
+    pub qdmas: u64,
+    /// Hardware broadcasts issued.
+    pub hw_bcasts: u64,
+    /// RDMA descriptors issued.
+    pub rdmas: u64,
+    /// Bytes moved by RDMA.
+    pub rdma_bytes: u64,
+    /// Chained commands launched by fired events.
+    pub chained_launches: u64,
+    /// Host interrupts generated.
+    pub interrupts: u64,
+    /// Deposits that found a full queue (each retries).
+    pub queue_overflows: u64,
+    /// Deposits corrupted by fault injection.
+    pub corrupted_deposits: u64,
+}
+
+pub(crate) struct ClusterInner {
+    pub nodes: Vec<NodeState>,
+    pub ctxs: HashMap<u32, CtxState>,
+    pub free_ctxs: Vec<Vec<u16>>,
+    pub stats: ClusterStats,
+    /// Fault injection: payload-carrying QDMA deposits to corrupt (flips
+    /// one byte past the 64-byte header).
+    pub corrupt_deposits: u64,
+}
+
+/// The whole simulated machine: fabric + NICs + node memory.
+pub struct Cluster {
+    pub(crate) cfg: NicConfig,
+    pub(crate) fabric: Arc<Fabric>,
+    pub(crate) inner: Mutex<ClusterInner>,
+}
+
+impl Cluster {
+    /// Build the simulated machine: fabric, per-node memory, NIC state.
+    pub fn new(cfg: NicConfig, fabric_cfg: FabricConfig) -> Arc<Cluster> {
+        let fabric = Fabric::new(fabric_cfg);
+        let nodes = (0..fabric.config().nodes)
+            .map(|_| NodeState {
+                mem: vec![0u8; cfg.node_mem],
+                alloc: Allocator::new(cfg.node_mem),
+                bus_free: vec![Time::ZERO; fabric.config().rails],
+                cmdq_free: vec![Time::ZERO; fabric.config().rails],
+                deposit_free: vec![Time::ZERO; fabric.config().rails],
+            })
+            .collect();
+        let free_ctxs = (0..fabric.config().nodes)
+            .map(|_| (0..cfg.ctxs_per_node).rev().collect())
+            .collect();
+        Arc::new(Cluster {
+            cfg,
+            fabric,
+            inner: Mutex::new(ClusterInner {
+                nodes,
+                ctxs: HashMap::new(),
+                free_ctxs,
+                stats: ClusterStats::default(),
+                corrupt_deposits: 0,
+            }),
+        })
+    }
+
+    /// NIC timing parameters.
+    pub fn cfg(&self) -> &NicConfig {
+        &self.cfg
+    }
+
+    /// The wire this machine is built on.
+    pub fn fabric(&self) -> &Arc<Fabric> {
+        &self.fabric
+    }
+
+    /// Host count.
+    pub fn nodes(&self) -> usize {
+        self.fabric.config().nodes
+    }
+
+    /// Rail count.
+    pub fn rails(&self) -> usize {
+        self.fabric.config().rails
+    }
+
+    /// Snapshot of the NIC-level counters.
+    pub fn stats(&self) -> ClusterStats {
+        self.inner.lock().stats.clone()
+    }
+
+    /// Bytes currently allocated on `node` (leak checks in tests).
+    pub fn mem_in_use(&self, node: NodeId) -> usize {
+        self.inner.lock().nodes[node].alloc.in_use()
+    }
+
+    /// Fault injection: corrupt one payload byte in each of the next
+    /// `count` payload-carrying QDMA deposits (models undetected wire or
+    /// DMA data corruption, which end-to-end integrity checking exists to
+    /// catch).
+    pub fn inject_payload_corruption(&self, count: u64) {
+        self.inner.lock().corrupt_deposits += count;
+    }
+
+    /// Claim a context on `node` out of the system-wide capability. This is
+    /// the dynamic-join primitive: processes may attach (and detach) at any
+    /// time during the run.
+    pub(crate) fn claim_ctx(&self, node: NodeId) -> Option<Vpid> {
+        let mut inner = self.inner.lock();
+        let ctx = inner.free_ctxs[node].pop()?;
+        let vpid = Vpid::new(node, ctx, self.cfg.ctxs_per_node);
+        inner.ctxs.insert(
+            vpid.raw(),
+            CtxState {
+                node,
+                mmu: Mmu::new(vpid, node),
+                queues: Vec::new(),
+                events: Vec::new(),
+                tport: crate::tport::TportState::default(),
+            },
+        );
+        Some(vpid)
+    }
+
+    /// Release a context back to the capability (the disjoin half of
+    /// dynamic process management). Safe to call with live traffic in
+    /// flight: subsequent DMAs to the context are dropped.
+    pub fn release_ctx(&self, vpid: Vpid) {
+        let mut inner = self.inner.lock();
+        if inner.ctxs.remove(&vpid.raw()).is_some() {
+            let node = vpid.node(self.cfg.ctxs_per_node);
+            let ctx = (vpid.raw() - node as u32 * self.cfg.ctxs_per_node as u32) as u16;
+            inner.free_ctxs[node].push(ctx);
+        }
+    }
+
+    /// Is a context currently attached? (Connection liveness for PTLs.)
+    pub fn ctx_alive(&self, vpid: Vpid) -> bool {
+        self.inner.lock().ctxs.contains_key(&vpid.raw())
+    }
+
+    // ---- host memory -----------------------------------------------------
+
+    pub(crate) fn mem_read(&self, addr: HostAddr, len: usize) -> Vec<u8> {
+        let inner = self.inner.lock();
+        inner.nodes[addr.node].mem[addr.off..addr.off + len].to_vec()
+    }
+
+    pub(crate) fn mem_write(&self, addr: HostAddr, data: &[u8]) {
+        let mut inner = self.inner.lock();
+        inner.nodes[addr.node].mem[addr.off..addr.off + data.len()].copy_from_slice(data);
+    }
+
+    // ---- engines ---------------------------------------------------------
+
+    /// Reserve the NIC command processor of `(node, rail)` starting no
+    /// earlier than `earliest`; returns the time the command has been
+    /// launched. Commands serialize: this is the per-NIC message-rate
+    /// ceiling.
+    pub(crate) fn cmdq_acquire(
+        inner: &mut ClusterInner,
+        cfg: &NicConfig,
+        node: NodeId,
+        rail: usize,
+        earliest: Time,
+    ) -> Time {
+        let start = earliest.max(inner.nodes[node].cmdq_free[rail]);
+        let done = start + cfg.cmd_process;
+        inner.nodes[node].cmdq_free[rail] = done;
+        done
+    }
+
+    /// Reserve the receive-side deposit engine of `(node, rail)`; returns
+    /// the completion time of the slot write.
+    pub(crate) fn deposit_acquire(
+        inner: &mut ClusterInner,
+        cfg: &NicConfig,
+        node: NodeId,
+        rail: usize,
+        earliest: Time,
+    ) -> Time {
+        let start = earliest.max(inner.nodes[node].deposit_free[rail]);
+        let done = start + cfg.qdma_deposit;
+        inner.nodes[node].deposit_free[rail] = done;
+        done
+    }
+
+    /// Reserve the PCI-X bus of `node`'s rail-`rail` adapter for `len`
+    /// bytes starting no earlier than `earliest`; returns the completion
+    /// time of the bus transaction.
+    pub(crate) fn bus_acquire(
+        inner: &mut ClusterInner,
+        cfg: &NicConfig,
+        node: NodeId,
+        rail: usize,
+        earliest: Time,
+        len: usize,
+    ) -> Time {
+        let start = earliest.max(inner.nodes[node].bus_free[rail]);
+        let done = start + cfg.bus_setup + cfg.bus(len);
+        inner.nodes[node].bus_free[rail] = done;
+        done
+    }
+
+    /// Issue a QDMA from `src_vpid`'s NIC: the command is already in the NIC
+    /// (launch at `start`), payload `data` goes into `dst`'s receive queue.
+    /// `local_event`, if any, fires on the issuing NIC once the payload has
+    /// been pulled from host memory (send buffer reusable).
+    pub(crate) fn qdma_from_nic(
+        self: &Arc<Self>,
+        sim: &SimHandle,
+        start: Time,
+        src_vpid: Vpid,
+        spec: QdmaSpec,
+        local_event: Option<EventId>,
+    ) {
+        let cfg = self.cfg.clone();
+        let src_node = src_vpid.node(cfg.ctxs_per_node);
+        let dst_node = spec.dst.node(cfg.ctxs_per_node);
+        let len = spec.data.len();
+
+        let (bus_done, delivered) = {
+            let mut inner = self.inner.lock();
+            inner.stats.qdmas += 1;
+            let launched = Self::cmdq_acquire(&mut inner, &cfg, src_node, spec.rail, start);
+            let bus_done = Self::bus_acquire(&mut inner, &cfg, src_node, spec.rail, launched, len);
+            drop(inner);
+            let delivered = self
+                .fabric
+                .packet_delivery(spec.rail, src_node, dst_node, len, bus_done);
+            (bus_done, delivered)
+        };
+
+        // Local completion: send buffer drained from host memory.
+        if let Some(ev) = local_event {
+            let me = self.clone();
+            sim.call_at(bus_done + cfg.event_fire, move |s| {
+                me.event_complete(s, src_vpid, ev);
+            });
+        }
+
+        // Remote deposit after the destination bus writes the slot.
+        let me = self.clone();
+        sim.call_at(delivered, move |s| {
+            let rail = spec.rail;
+            let deposit_at = {
+                let mut inner = me.inner.lock();
+                let bus = Self::bus_acquire(&mut inner, &me.cfg, dst_node, rail, s.now(), len);
+                Self::deposit_acquire(&mut inner, &me.cfg, dst_node, rail, bus)
+            };
+            let me2 = me.clone();
+            s.call_at(deposit_at, move |s| me2.deposit(s, spec));
+        });
+    }
+
+    /// Place a QDMA payload into the destination queue, retrying while full.
+    fn deposit(self: &Arc<Self>, sim: &SimHandle, mut spec: QdmaSpec) {
+        let mut inner = self.inner.lock();
+        if inner.corrupt_deposits > 0 && spec.data.len() > 64 {
+            inner.corrupt_deposits -= 1;
+            inner.stats.corrupted_deposits += 1;
+            let idx = 64 + (spec.data.len() - 64) / 2;
+            spec.data[idx] ^= 0x5A;
+        }
+        let cfg_retry = self.cfg.queue_retry;
+        let irq_latency = self.cfg.irq_latency;
+        let Some(ctx) = inner.ctxs.get_mut(&spec.dst.raw()) else {
+            // Destination detached: the message is dropped on the floor,
+            // like a DMA to a revoked context. Finalize must drain first
+            // (paper §4.1).
+            return;
+        };
+        let Some(Some(q)) = ctx.queues.get_mut(spec.queue.0 as usize) else {
+            return;
+        };
+        assert!(
+            spec.data.len() <= q.slot_size,
+            "QDMA payload {} exceeds slot size {}",
+            spec.data.len(),
+            q.slot_size
+        );
+        if q.slots.len() >= q.nslots {
+            q.overflowed += 1;
+            inner.stats.queue_overflows += 1;
+            let me = self.clone();
+            sim.call_after(cfg_retry, move |s| me.deposit(s, spec));
+            return;
+        }
+        q.slots.push_back(spec.data);
+        let signal = q.signal.clone();
+        let irq = q.irq_armed;
+        if irq {
+            inner.stats.interrupts += 1;
+        }
+        drop(inner);
+        if let Some(sig) = signal {
+            if irq {
+                sim.call_after(irq_latency, move |s| sig.notify(s));
+            } else {
+                sig.notify(sim);
+            }
+        }
+    }
+
+    /// Issue an RDMA. For `Write`, data moves local -> remote; for `Read`, a
+    /// request packet travels to the remote NIC which streams data back.
+    /// `done_event` fires on the **issuing** NIC when the transfer completes
+    /// (data landed), decrementing its count; chained QDMAs launch from the
+    /// event.
+    ///
+    /// MTU-sized chunks pipeline across the three stages (source bus, wire,
+    /// destination bus), so long transfers run at the slowest stage's rate
+    /// while short ones pay each stage's latency in sequence.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn rdma_from_nic(
+        self: &Arc<Self>,
+        sim: &SimHandle,
+        start: Time,
+        issuer: Vpid,
+        rail: usize,
+        kind: DmaKind,
+        local: E4Addr,
+        remote: E4Addr,
+        len: usize,
+        done_event: Option<EventId>,
+    ) {
+        assert_eq!(local.owner(), issuer, "local E4Addr owned by another context");
+        let cfg = self.cfg.clone();
+        let issuer_node = issuer.node(cfg.ctxs_per_node);
+        let remote_node = remote.owner().node(cfg.ctxs_per_node);
+
+        // Resolve translations up front (faults surface at issue).
+        let (local_host, remote_host) = {
+            let inner = self.inner.lock();
+            let lctx = inner
+                .ctxs
+                .get(&issuer.raw())
+                .expect("issuing context detached");
+            let rctx = inner
+                .ctxs
+                .get(&remote.owner().raw())
+                .unwrap_or_else(|| panic!("RDMA target context {} detached", remote.owner()));
+            let lh = lctx.mmu.translate(local, len).expect("local MMU fault");
+            let rh = rctx.mmu.translate(remote, len).expect("remote MMU fault");
+            (lh, rh)
+        };
+
+        let launched = {
+            let mut inner = self.inner.lock();
+            Self::cmdq_acquire(&mut inner, &cfg, issuer_node, rail, start)
+        };
+        let (src_node, dst_node, src_host, dst_host, data_start) = match kind {
+            DmaKind::Write => (issuer_node, remote_node, local_host, remote_host, launched),
+            DmaKind::Read => {
+                // Request packet to the data source, then its NIC launches.
+                let req_arrival = self.fabric.packet_delivery(
+                    rail,
+                    issuer_node,
+                    remote_node,
+                    cfg.rdma_req_bytes,
+                    launched,
+                );
+                let remote_launch = {
+                    let mut inner = self.inner.lock();
+                    Self::cmdq_acquire(&mut inner, &cfg, remote_node, rail, req_arrival)
+                };
+                (
+                    remote_node,
+                    issuer_node,
+                    remote_host,
+                    local_host,
+                    remote_launch,
+                )
+            }
+        };
+
+        {
+            let mut inner = self.inner.lock();
+            inner.stats.rdmas += 1;
+            inner.stats.rdma_bytes += len as u64;
+        }
+
+        // Chunk pipeline. A zero-length RDMA still makes one (empty) packet.
+        let mtu = self.fabric.config().mtu;
+        let mut remaining = len;
+        let mut cursor = data_start;
+        let mut completed;
+        loop {
+            let chunk = remaining.min(mtu);
+            let bus_done = {
+                let mut inner = self.inner.lock();
+                Self::bus_acquire(&mut inner, &cfg, src_node, rail, cursor, chunk)
+            };
+            let delivered = self
+                .fabric
+                .packet_delivery(rail, src_node, dst_node, chunk, bus_done);
+            let landed = {
+                let mut inner = self.inner.lock();
+                Self::bus_acquire(&mut inner, &cfg, dst_node, rail, delivered, chunk)
+            };
+            completed = landed;
+            // The source bus can start the next chunk as soon as it is free;
+            // `bus_acquire` already serializes it, so don't gate on delivery.
+            cursor = bus_done;
+            if remaining <= mtu {
+                break;
+            }
+            remaining -= chunk;
+        }
+
+        // Move the actual bytes and fire the completion event when done.
+        let me = self.clone();
+        sim.call_at(completed + cfg.event_fire, move |s| {
+            if len > 0 {
+                let data = me.mem_read(src_host, len);
+                me.mem_write(dst_host, &data);
+            }
+            if let Some(ev) = done_event {
+                me.event_complete(s, issuer, ev);
+            }
+        });
+    }
+
+    /// Hardware broadcast (paper §4.1): one NIC injection, replicated by
+    /// the Elite switches to every target queue. Requires the global
+    /// virtual address space of a synchronously-created capability — the
+    /// caller is responsible for that gate. Per-target payloads may differ
+    /// only in header sequencing; the wire carries the frame once.
+    pub(crate) fn hw_bcast_from_nic(
+        self: &Arc<Self>,
+        sim: &SimHandle,
+        start: Time,
+        src_vpid: Vpid,
+        rail: usize,
+        targets: Vec<(Vpid, QueueId, Vec<u8>)>,
+        local_event: Option<EventId>,
+    ) {
+        let cfg = self.cfg.clone();
+        let src_node = src_vpid.node(cfg.ctxs_per_node);
+        let len = targets.iter().map(|t| t.2.len()).max().unwrap_or(0);
+
+        let bus_done = {
+            let mut inner = self.inner.lock();
+            inner.stats.hw_bcasts += 1;
+            let launched = Self::cmdq_acquire(&mut inner, &cfg, src_node, rail, start);
+            Self::bus_acquire(&mut inner, &cfg, src_node, rail, launched, len)
+        };
+        if let Some(ev) = local_event {
+            let me = self.clone();
+            sim.call_at(bus_done + cfg.event_fire, move |s| {
+                me.event_complete(s, src_vpid, ev);
+            });
+        }
+        let dst_nodes: Vec<usize> = targets
+            .iter()
+            .map(|(v, _, _)| v.node(cfg.ctxs_per_node))
+            .collect();
+        let deliveries = self
+            .fabric
+            .bcast_delivery(rail, src_node, &dst_nodes, len, bus_done);
+        for ((vpid, qid, data), delivered) in targets.into_iter().zip(deliveries) {
+            let me = self.clone();
+            let dst_node = vpid.node(cfg.ctxs_per_node);
+            let spec = QdmaSpec {
+                dst: vpid,
+                queue: qid,
+                data,
+                rail,
+            };
+            sim.call_at(delivered, move |s| {
+                let deposit_at = {
+                    let mut inner = me.inner.lock();
+                    let bus = Self::bus_acquire(&mut inner, &me.cfg, dst_node, rail, s.now(), len);
+                    Self::deposit_acquire(&mut inner, &me.cfg, dst_node, rail, bus)
+                };
+                let me2 = me.clone();
+                s.call_at(deposit_at, move |s| me2.deposit(s, spec));
+            });
+        }
+    }
+
+    /// Decrement an event's count; on reaching zero: latch the fire, notify
+    /// the host (optionally via interrupt), and launch any chained QDMA.
+    pub(crate) fn event_complete(self: &Arc<Self>, sim: &SimHandle, vpid: Vpid, ev: EventId) {
+        let mut inner = self.inner.lock();
+        let irq_latency = self.cfg.irq_latency;
+        let chain_latency = self.cfg.chain_latency;
+        let Some(ctx) = inner.ctxs.get_mut(&vpid.raw()) else {
+            return;
+        };
+        let st = &mut ctx.events[ev.0 as usize];
+        if st.freed {
+            return;
+        }
+        st.count -= 1;
+        if st.count > 0 {
+            return;
+        }
+        st.fired += 1;
+        let signal = st.signal.clone();
+        let irq = st.irq_armed;
+        let chained = st.chained.clone();
+        if irq {
+            inner.stats.interrupts += 1;
+        }
+        inner.stats.chained_launches += chained.len() as u64;
+        drop(inner);
+        if let Some(sig) = signal {
+            if irq {
+                sim.call_after(irq_latency, move |s| sig.notify(s));
+            } else {
+                sig.notify(sim);
+            }
+        }
+        for spec in chained {
+            // Chained commands launch on the NIC without crossing the I/O
+            // bus: no PIO, just the chain launch latency.
+            let me = self.clone();
+            let at = sim.now() + chain_latency;
+            sim.call_at(at, move |s| {
+                me.qdma_from_nic(s, s.now(), vpid, spec, None);
+            });
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! NIC and host-side timing constants.
+//!
+//! These are the *model inputs* of the reproduction (see DESIGN.md §5).
+//! Defaults are calibrated so that the simulated testbed lands near the
+//! paper's measured points (e.g. ~3.9 µs basic 4-byte RDMA-read latency,
+//! ~900 MB/s peak bandwidth, ~+10 µs for interrupt-driven progress).
+
+use qsim::Dur;
+
+/// Timing and sizing parameters of one simulated Elan4 NIC plus the host it
+/// sits in.
+#[derive(Clone, Debug)]
+pub struct NicConfig {
+    /// Contexts available per node (sizes the system-wide capability).
+    pub ctxs_per_node: u16,
+    /// Bytes of main memory per node backing simulated allocations.
+    pub node_mem: usize,
+    /// Host programmed-I/O write of a command descriptor into the NIC
+    /// command port (per command).
+    pub pio_cmd: Dur,
+    /// NIC firmware time to launch one command.
+    pub cmd_process: Dur,
+    /// Per-DMA-transaction setup on the PCI-X bus.
+    pub bus_setup: Dur,
+    /// PCI-X 64/133 effective bandwidth, bytes per microsecond.
+    pub bus_bytes_per_us: u64,
+    /// NIC time to deposit a QDMA message into a receive-queue slot and
+    /// bump the queue's write pointer.
+    pub qdma_deposit: Dur,
+    /// Firing an Elan event (writing the host event word).
+    pub event_fire: Dur,
+    /// Launching a chained command from a fired event (stays on the NIC;
+    /// this replaces a host turnaround + PIO when chaining is used).
+    pub chain_latency: Dur,
+    /// Host cost of one poll check of a host event word.
+    pub poll_check: Dur,
+    /// Event fire -> blocked host thread resumes (interrupt delivery,
+    /// kernel IRQ path, scheduler wakeup). The paper attributes ~10 µs per
+    /// message to interrupts; a ping-pong half round trip crosses two
+    /// blocking waits.
+    pub irq_latency: Dur,
+    /// Size of the request packet a reading NIC sends to the data source.
+    pub rdma_req_bytes: usize,
+    /// Host memcpy bandwidth in bytes per microsecond (used by callers to
+    /// model copies into/out of send buffers and queue slots).
+    pub memcpy_bytes_per_us: u64,
+    /// Retry interval when a destination queue is full.
+    pub queue_retry: Dur,
+    /// NIC-side Tport costs (MPICH baseline): matching one incoming
+    /// envelope against the posted-receive table.
+    pub tport_match: Dur,
+    /// Eager/rendezvous switchover of the Tport protocol.
+    pub tport_eager: usize,
+}
+
+impl Default for NicConfig {
+    fn default() -> Self {
+        NicConfig {
+            ctxs_per_node: 64,
+            node_mem: 64 << 20,
+            pio_cmd: Dur::from_ns(250),
+            cmd_process: Dur::from_ns(200),
+            bus_setup: Dur::from_ns(300),
+            bus_bytes_per_us: 1067,
+            qdma_deposit: Dur::from_ns(600),
+            event_fire: Dur::from_ns(100),
+            chain_latency: Dur::from_ns(150),
+            poll_check: Dur::from_ns(250),
+            irq_latency: Dur::from_ns(5_400),
+            rdma_req_bytes: 32,
+            memcpy_bytes_per_us: 2850,
+            queue_retry: Dur::from_us(1),
+            tport_match: Dur::from_ns(350),
+            tport_eager: 2048 - 32,
+        }
+    }
+}
+
+impl NicConfig {
+    /// Host memcpy duration for `len` bytes.
+    pub fn memcpy(&self, len: usize) -> Dur {
+        Dur::for_bytes(len, self.memcpy_bytes_per_us)
+    }
+
+    /// Bus transfer duration for `len` bytes (excluding setup).
+    pub fn bus(&self, len: usize) -> Dur {
+        Dur::for_bytes(len, self.bus_bytes_per_us)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = NicConfig::default();
+        assert!(c.bus_bytes_per_us < 1300, "PCI-X is the bottleneck stage");
+        assert_eq!(c.memcpy(2850).as_ns(), 1_000);
+        assert_eq!(c.bus(1067).as_ns(), 1_000);
+    }
+}

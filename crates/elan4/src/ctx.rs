@@ -1,0 +1,439 @@
+//! Host-side handles: the `libelan4`-flavoured API a process uses after
+//! attaching to the NIC.
+//!
+//! Every operation that crosses the host/NIC boundary takes a [`qsim::Proc`]
+//! so its host-visible cost (PIO writes, poll checks) advances that
+//! process's virtual clock; NIC-side costs run asynchronously through the
+//! event queue.
+
+use std::sync::Arc;
+
+use qsim::{Dur, Proc, Signal, Wait};
+use qsnet::NodeId;
+
+use crate::cluster::{Cluster, EventState, QdmaSpec, QueueState};
+use crate::types::{DmaKind, E4Addr, EventId, HostAddr, HostBuf, QueueId, Vpid};
+
+/// A claimed Elan4 context: the per-process NIC endpoint.
+///
+/// Dropping the handle does *not* release the context (finalization is an
+/// explicit protocol step in the paper); call [`ElanCtx::detach`].
+pub struct ElanCtx {
+    cluster: Arc<Cluster>,
+    vpid: Vpid,
+    node: NodeId,
+}
+
+impl ElanCtx {
+    /// Claim a free context on `node` (dynamic join). Returns `None` when
+    /// the node's capability is exhausted.
+    pub fn attach(cluster: &Arc<Cluster>, node: NodeId) -> Option<ElanCtx> {
+        let vpid = cluster.claim_ctx(node)?;
+        Some(ElanCtx {
+            cluster: cluster.clone(),
+            vpid,
+            node,
+        })
+    }
+
+    /// This context's network address.
+    pub fn vpid(&self) -> Vpid {
+        self.vpid
+    }
+
+    /// The node this context lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The machine this context is attached to.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// Release the context back to the system-wide capability.
+    pub fn detach(self) {
+        self.cluster.release_ctx(self.vpid);
+    }
+
+    // ---- memory ----------------------------------------------------------
+
+    /// Allocate host memory on this node.
+    ///
+    /// # Panics
+    /// When the node arena is exhausted.
+    pub fn alloc(&self, len: usize) -> HostBuf {
+        let mut inner = self.cluster.inner.lock();
+        let off = inner.nodes[self.node]
+            .alloc
+            .alloc(len)
+            .expect("node memory exhausted");
+        HostBuf {
+            addr: HostAddr {
+                node: self.node,
+                off,
+            },
+            len,
+        }
+    }
+
+    /// Return a buffer to the node arena.
+    pub fn free(&self, buf: HostBuf) {
+        assert_eq!(buf.addr.node, self.node);
+        let mut inner = self.cluster.inner.lock();
+        inner.nodes[self.node].alloc.free(buf.addr.off, buf.len);
+    }
+
+    /// Untimed host store (cost is the caller's to model, typically via
+    /// [`ElanCtx::memcpy_cost`]).
+    pub fn write(&self, buf: &HostBuf, off: usize, data: &[u8]) {
+        assert!(off + data.len() <= buf.len, "write out of bounds");
+        self.cluster.mem_write(
+            HostAddr {
+                node: buf.addr.node,
+                off: buf.addr.off + off,
+            },
+            data,
+        );
+    }
+
+    /// Untimed host load.
+    pub fn read(&self, buf: &HostBuf, off: usize, len: usize) -> Vec<u8> {
+        assert!(off + len <= buf.len, "read out of bounds");
+        self.cluster.mem_read(
+            HostAddr {
+                node: buf.addr.node,
+                off: buf.addr.off + off,
+            },
+            len,
+        )
+    }
+
+    /// Host memcpy cost for `len` bytes.
+    pub fn memcpy_cost(&self, len: usize) -> Dur {
+        self.cluster.cfg.memcpy(len)
+    }
+
+    /// Map a buffer into Elan space (the "expanded memory descriptor" of
+    /// paper §4.2).
+    pub fn map(&self, buf: &HostBuf) -> E4Addr {
+        let mut inner = self.cluster.inner.lock();
+        inner
+            .ctxs
+            .get_mut(&self.vpid.raw())
+            .expect("context detached")
+            .mmu
+            .map(*buf)
+    }
+
+    /// Remove an Elan-space mapping; returns false if it was not mapped.
+    pub fn unmap(&self, addr: E4Addr) -> bool {
+        let mut inner = self.cluster.inner.lock();
+        inner
+            .ctxs
+            .get_mut(&self.vpid.raw())
+            .expect("context detached")
+            .mmu
+            .unmap(addr)
+    }
+
+    // ---- queues ----------------------------------------------------------
+
+    /// Create a receive queue with `nslots` slots of `slot_size` bytes (the
+    /// Quadrics QSLOTS). Slot size is capped at 2 KB like real QDMA.
+    pub fn create_queue(&self, nslots: usize, slot_size: usize) -> RxQueue {
+        assert!(slot_size <= 2048, "QDMA slots are at most 2KB");
+        assert!(nslots > 0);
+        let mut inner = self.cluster.inner.lock();
+        let ctx = inner
+            .ctxs
+            .get_mut(&self.vpid.raw())
+            .expect("context detached");
+        let qid = QueueId(ctx.queues.len() as u16);
+        ctx.queues.push(Some(QueueState {
+            slot_size,
+            nslots,
+            slots: Default::default(),
+            signal: None,
+            irq_armed: false,
+            overflowed: 0,
+        }));
+        RxQueue {
+            cluster: self.cluster.clone(),
+            vpid: self.vpid,
+            qid,
+        }
+    }
+
+    // ---- QDMA ------------------------------------------------------------
+
+    /// Post a queued DMA of `data` (≤ destination slot size) to `dst`'s
+    /// queue `qid`. Costs one PIO write on the calling process; the rest is
+    /// asynchronous. `local_event` fires once the payload has left host
+    /// memory.
+    pub fn qdma(
+        &self,
+        proc: &Proc,
+        rail: usize,
+        dst: Vpid,
+        qid: QueueId,
+        data: Vec<u8>,
+        local_event: Option<EventId>,
+    ) {
+        assert!(data.len() <= 2048, "QDMA messages are at most 2KB");
+        proc.advance(self.cluster.cfg.pio_cmd);
+        // cmd_process is charged as command-processor occupancy inside the
+        // cluster engines, not as a latency offset here.
+        let start = proc.now();
+        let spec = QdmaSpec {
+            dst,
+            queue: qid,
+            data,
+            rail,
+        };
+        self.cluster
+            .qdma_from_nic(&proc.sim(), start, self.vpid, spec, local_event);
+    }
+
+    /// Hardware broadcast: deliver one ≤2 KB frame to the queues of many
+    /// peers with a single NIC injection (the switches replicate it).
+    /// Only valid across a synchronously-created set of contexts; the
+    /// upper layer enforces the paper's global-address-space gate.
+    pub fn hw_bcast(
+        &self,
+        proc: &Proc,
+        rail: usize,
+        targets: Vec<(Vpid, QueueId, Vec<u8>)>,
+        local_event: Option<EventId>,
+    ) {
+        assert!(
+            targets.iter().all(|t| t.2.len() <= 2048),
+            "broadcast frames are at most 2KB"
+        );
+        proc.advance(self.cluster.cfg.pio_cmd);
+        let start = proc.now();
+        self.cluster
+            .hw_bcast_from_nic(&proc.sim(), start, self.vpid, rail, targets, local_event);
+    }
+
+    // ---- RDMA ------------------------------------------------------------
+
+    /// Post an RDMA descriptor. `local` must be owned by this context;
+    /// `remote` names the peer mapping. `done` fires locally on completion.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rdma(
+        &self,
+        proc: &Proc,
+        rail: usize,
+        kind: DmaKind,
+        local: E4Addr,
+        remote: E4Addr,
+        len: usize,
+        done: Option<EventId>,
+    ) {
+        proc.advance(self.cluster.cfg.pio_cmd);
+        let start = proc.now();
+        self.cluster.rdma_from_nic(
+            &proc.sim(),
+            start,
+            self.vpid,
+            rail,
+            kind,
+            local,
+            remote,
+            len,
+            done,
+        );
+    }
+
+    // ---- events ----------------------------------------------------------
+
+    /// Create an Elan event with the given completion count (Fig. 5b).
+    pub fn event_create(&self, count: u32) -> ElanEvent {
+        let mut inner = self.cluster.inner.lock();
+        let ctx = inner
+            .ctxs
+            .get_mut(&self.vpid.raw())
+            .expect("context detached");
+        let id = EventId(ctx.events.len() as u32);
+        ctx.events.push(EventState {
+            count: count as i64,
+            fired: 0,
+            signal: None,
+            irq_armed: false,
+            chained: Vec::new(),
+            freed: false,
+        });
+        ElanEvent {
+            cluster: self.cluster.clone(),
+            vpid: self.vpid,
+            id,
+        }
+    }
+}
+
+/// Host handle onto a QDMA receive queue.
+pub struct RxQueue {
+    cluster: Arc<Cluster>,
+    vpid: Vpid,
+    qid: QueueId,
+}
+
+impl RxQueue {
+    /// Queue id within the owning context.
+    pub fn id(&self) -> QueueId {
+        self.qid
+    }
+
+    /// The context that created the queue.
+    pub fn owner(&self) -> Vpid {
+        self.vpid
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut QueueState) -> R) -> R {
+        let mut inner = self.cluster.inner.lock();
+        let ctx = inner
+            .ctxs
+            .get_mut(&self.vpid.raw())
+            .expect("context detached");
+        let q = ctx.queues[self.qid.0 as usize]
+            .as_mut()
+            .expect("queue destroyed");
+        f(q)
+    }
+
+    /// One polling check of the queue's host event word; pops the front
+    /// message if present. Costs `poll_check` on the calling process.
+    pub fn try_pop(&self, proc: &Proc) -> Option<Vec<u8>> {
+        proc.advance(self.cluster.cfg.poll_check);
+        self.with_state(|q| q.slots.pop_front())
+    }
+
+    /// Pop without the poll cost (used right after a signalled wakeup,
+    /// where the detection cost has been paid already).
+    pub fn pop_ready(&self) -> Option<Vec<u8>> {
+        self.with_state(|q| q.slots.pop_front())
+    }
+
+    /// True when no message is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.with_state(|q| q.slots.is_empty())
+    }
+
+    /// How many deposits found the queue full (each retried).
+    pub fn overflow_count(&self) -> u64 {
+        self.with_state(|q| q.overflowed)
+    }
+
+    /// Register `sig` to be notified on every deposit. With
+    /// [`RxQueue::arm_irq`] the notification models an interrupt (delayed by
+    /// `irq_latency`); otherwise it models the host observing the event word.
+    pub fn set_signal(&self, sig: Signal) {
+        self.with_state(|q| q.signal = Some(sig));
+    }
+
+    /// Generate a host interrupt on every deposit (vs. polled host events).
+    pub fn arm_irq(&self, armed: bool) {
+        self.with_state(|q| q.irq_armed = armed);
+    }
+
+    /// Block until a message is available, then pop it. `detect_cost` is
+    /// charged after wakeup (poll-detection or interrupt-return overhead).
+    pub fn wait_pop(&self, proc: &Proc, sig: &Signal, detect_cost: Dur) -> Result<Vec<u8>, Wait> {
+        loop {
+            if let Some(m) = self.pop_ready() {
+                return Ok(m);
+            }
+            match proc.wait(sig) {
+                Wait::Signaled => {
+                    if detect_cost > Dur::ZERO {
+                        proc.advance(detect_cost);
+                    }
+                }
+                Wait::Shutdown => return Err(Wait::Shutdown),
+            }
+        }
+    }
+}
+
+/// Host handle onto an Elan event.
+pub struct ElanEvent {
+    cluster: Arc<Cluster>,
+    vpid: Vpid,
+    id: EventId,
+}
+
+impl ElanEvent {
+    /// Event id within the owning context.
+    pub fn id(&self) -> EventId {
+        self.id
+    }
+
+    fn with_state<R>(&self, f: impl FnOnce(&mut EventState) -> R) -> R {
+        let mut inner = self.cluster.inner.lock();
+        let ctx = inner
+            .ctxs
+            .get_mut(&self.vpid.raw())
+            .expect("context detached");
+        f(&mut ctx.events[self.id.0 as usize])
+    }
+
+    /// Consume one latched fire if present (a host poll of the event word).
+    pub fn take_fired(&self, proc: &Proc) -> bool {
+        proc.advance(self.cluster.cfg.poll_check);
+        self.take_fired_ready()
+    }
+
+    /// Consume one latched fire without the poll cost.
+    pub fn take_fired_ready(&self) -> bool {
+        self.with_state(|e| {
+            if e.fired > 0 {
+                e.fired -= 1;
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Re-arm with a fresh count. The paper's Fig. 5c/5d race (host reset vs
+    /// NIC decrement) does not arise here because the simulation serializes
+    /// them — which is exactly why the real design needs the shared
+    /// completion queue instead.
+    pub fn reset(&self, count: u32) {
+        self.with_state(|e| e.count = count as i64);
+    }
+
+    /// Notify `sig` when the event fires (host-event observation).
+    pub fn set_signal(&self, sig: Signal) {
+        self.with_state(|e| e.signal = Some(sig));
+    }
+
+    /// Deliver the fire as an interrupt (adds `irq_latency`).
+    pub fn arm_irq(&self, armed: bool) {
+        self.with_state(|e| e.irq_armed = armed);
+    }
+
+    /// Chain a QDMA to this event: launched by the NIC when the count hits
+    /// zero (the paper's chained-event mechanism). Multiple chained QDMAs
+    /// launch in the order they were attached.
+    pub fn chain_qdma(&self, spec: QdmaSpec) {
+        self.with_state(|e| e.chained.push(spec));
+    }
+
+    /// Drop any chained commands.
+    pub fn clear_chain(&self) {
+        self.with_state(|e| e.chained.clear());
+    }
+
+    /// Mark the event dead; stale completions are ignored.
+    pub fn free(&self) {
+        self.with_state(|e| e.freed = true);
+    }
+}
+
+impl std::fmt::Debug for ElanCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ElanCtx({}, node {})", self.vpid, self.node)
+    }
+}

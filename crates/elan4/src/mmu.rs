@@ -1,0 +1,178 @@
+//! The Elan4 memory management unit (per context).
+//!
+//! Host buffers must be *mapped* before the NIC can move data to or from
+//! them: mapping a [`HostBuf`] yields an [`E4Addr`], the translated address
+//! format RDMA descriptors carry (paper §4.2). Any NIC resolving an
+//! `E4Addr` consults the owning context's table; unmapped accesses fault.
+
+use crate::types::{E4Addr, HostAddr, HostBuf, Vpid};
+
+#[derive(Clone, Debug)]
+struct Mapping {
+    va: u64,
+    len: usize,
+    host_off: usize,
+}
+
+/// Per-context translation table.
+#[derive(Debug)]
+pub struct Mmu {
+    vpid: Vpid,
+    node: qsnet::NodeId,
+    next_va: u64,
+    /// Sorted by `va`.
+    maps: Vec<Mapping>,
+}
+
+/// An access through the MMU that does not hit a valid mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MmuFault {
+    /// The context whose table was consulted.
+    pub vpid: Vpid,
+    /// The faulting Elan-virtual address.
+    pub va: u64,
+    /// The access length.
+    pub len: usize,
+}
+
+impl std::fmt::Display for MmuFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "elan MMU fault: {} va={:#x} len={}",
+            self.vpid, self.va, self.len
+        )
+    }
+}
+
+impl std::error::Error for MmuFault {}
+
+impl Mmu {
+    /// An empty translation table for one context.
+    pub fn new(vpid: Vpid, node: qsnet::NodeId) -> Self {
+        Mmu {
+            vpid,
+            node,
+            // Start away from zero so an uninitialized E4Addr faults.
+            next_va: 0x1000,
+            maps: Vec::new(),
+        }
+    }
+
+    /// Map a host buffer into Elan space.
+    ///
+    /// # Panics
+    /// If the buffer belongs to another node.
+    pub fn map(&mut self, buf: HostBuf) -> E4Addr {
+        assert_eq!(buf.addr.node, self.node, "mapping a remote node's memory");
+        let va = self.next_va;
+        // Keep VA ranges disjoint even for zero-length maps.
+        self.next_va += (buf.len as u64).max(1).next_multiple_of(0x1000);
+        self.maps.push(Mapping {
+            va,
+            len: buf.len,
+            host_off: buf.addr.off,
+        });
+        E4Addr {
+            vpid: self.vpid,
+            va,
+        }
+    }
+
+    /// Remove the mapping that starts at `addr`.
+    pub fn unmap(&mut self, addr: E4Addr) -> bool {
+        if let Some(i) = self.maps.iter().position(|m| m.va == addr.va) {
+            self.maps.remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Translate an Elan-virtual range to a host address, checking bounds.
+    pub fn translate(&self, addr: E4Addr, len: usize) -> Result<HostAddr, MmuFault> {
+        debug_assert_eq!(addr.vpid, self.vpid);
+        for m in &self.maps {
+            if addr.va >= m.va && addr.va + len as u64 <= m.va + m.len as u64 {
+                return Ok(HostAddr {
+                    node: self.node,
+                    off: m.host_off + (addr.va - m.va) as usize,
+                });
+            }
+        }
+        Err(MmuFault {
+            vpid: self.vpid,
+            va: addr.va,
+            len,
+        })
+    }
+
+    /// Number of live mappings (leak checks in tests).
+    pub fn mapping_count(&self) -> usize {
+        self.maps.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(node: usize, off: usize, len: usize) -> HostBuf {
+        HostBuf {
+            addr: HostAddr { node, off },
+            len,
+        }
+    }
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut mmu = Mmu::new(Vpid(5), 2);
+        let e4 = mmu.map(buf(2, 4096, 1000));
+        let h = mmu.translate(e4, 1000).unwrap();
+        assert_eq!(h, HostAddr { node: 2, off: 4096 });
+        let h2 = mmu.translate(e4.offset(100), 900).unwrap();
+        assert_eq!(h2.off, 4196);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let mut mmu = Mmu::new(Vpid(0), 0);
+        let e4 = mmu.map(buf(0, 0, 100));
+        assert!(mmu.translate(e4, 101).is_err());
+        assert!(mmu.translate(e4.offset(50), 51).is_err());
+        assert!(mmu.translate(e4.offset(50), 50).is_ok());
+    }
+
+    #[test]
+    fn unmapped_address_faults() {
+        let mmu = Mmu::new(Vpid(0), 0);
+        let bogus = E4Addr { vpid: Vpid(0), va: 0 };
+        assert!(mmu.translate(bogus, 1).is_err());
+    }
+
+    #[test]
+    fn unmap_invalidates() {
+        let mut mmu = Mmu::new(Vpid(0), 0);
+        let e4 = mmu.map(buf(0, 0, 100));
+        assert!(mmu.unmap(e4));
+        assert!(!mmu.unmap(e4));
+        assert!(mmu.translate(e4, 1).is_err());
+    }
+
+    #[test]
+    fn distinct_mappings_do_not_alias() {
+        let mut mmu = Mmu::new(Vpid(0), 0);
+        let a = mmu.map(buf(0, 0, 4096));
+        let b = mmu.map(buf(0, 8192, 4096));
+        assert_ne!(a.va, b.va);
+        assert_eq!(mmu.translate(b, 1).unwrap().off, 8192);
+        assert_eq!(mmu.mapping_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "remote node's memory")]
+    fn cross_node_map_panics() {
+        let mut mmu = Mmu::new(Vpid(0), 0);
+        mmu.map(buf(1, 0, 16));
+    }
+}

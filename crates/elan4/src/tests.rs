@@ -1,0 +1,742 @@
+//! Cross-module tests of the NIC model: QDMA delivery, RDMA data movement,
+//! chained events, interrupts, dynamic attach/detach, and Tport matching.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use qsim::{Dur, Simulation};
+use qsnet::FabricConfig;
+
+use crate::{Cluster, DmaKind, ElanCtx, NicConfig, QdmaSpec, Tport, TPORT_ANY_TAG};
+
+fn cluster() -> Arc<Cluster> {
+    Cluster::new(NicConfig::default(), FabricConfig::default())
+}
+
+#[test]
+fn capability_allocates_and_releases_contexts() {
+    let cl = cluster();
+    let a = ElanCtx::attach(&cl, 0).unwrap();
+    let b = ElanCtx::attach(&cl, 0).unwrap();
+    assert_ne!(a.vpid(), b.vpid());
+    assert!(cl.ctx_alive(a.vpid()));
+    let va = a.vpid();
+    a.detach();
+    assert!(!cl.ctx_alive(va));
+    // Context is reusable after release.
+    let c = ElanCtx::attach(&cl, 0).unwrap();
+    assert_eq!(c.vpid(), va);
+    b.detach();
+    c.detach();
+}
+
+#[test]
+fn capability_exhaustion() {
+    let cfg = NicConfig {
+        ctxs_per_node: 2,
+        ..Default::default()
+    };
+    let cl = Cluster::new(cfg, FabricConfig::default());
+    let a = ElanCtx::attach(&cl, 3).unwrap();
+    let _b = ElanCtx::attach(&cl, 3).unwrap();
+    assert!(ElanCtx::attach(&cl, 3).is_none());
+    // Other nodes unaffected.
+    assert!(ElanCtx::attach(&cl, 2).is_some());
+    a.detach();
+    assert!(ElanCtx::attach(&cl, 3).is_some());
+}
+
+#[test]
+fn qdma_delivers_payload_and_costs_time() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let rx_ctx = Arc::new(ElanCtx::attach(&cl, 4).unwrap());
+    let tx_ctx = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let rx_vpid = rx_ctx.vpid();
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let t_arrive = Arc::new(AtomicU64::new(0));
+
+    {
+        let rx_ctx = rx_ctx.clone();
+        let got = got.clone();
+        let t = t_arrive.clone();
+        sim.spawn("rx", move |p| {
+            let q = rx_ctx.create_queue(8, 2048);
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            let msg = q.wait_pop(&p, &sig, Dur::from_ns(100)).unwrap();
+            t.store(p.now().as_ns(), Ordering::SeqCst);
+            *got.lock() = msg;
+        });
+    }
+    {
+        let tx_ctx = tx_ctx.clone();
+        sim.spawn("tx", move |p| {
+            // Give the receiver a tick to create its queue.
+            p.advance(Dur::from_ns(10));
+            tx_ctx.qdma(
+                &p,
+                0,
+                rx_vpid,
+                crate::QueueId(0),
+                vec![7u8; 512],
+                None,
+            );
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(&*got.lock(), &vec![7u8; 512]);
+    let ns = t_arrive.load(Ordering::SeqCst);
+    // pio + cmd + bus + wire(3 hops) + deposit + detect: roughly 1.2-2.5us.
+    assert!(ns > 1_000 && ns < 4_000, "qdma latency {ns}ns out of band");
+    assert_eq!(cl.stats().qdmas, 1);
+}
+
+#[test]
+fn qdma_local_event_fires_when_buffer_drained() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let rx = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let tx = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let rx_vpid = rx.vpid();
+    let _q = rx.create_queue(4, 2048);
+    let fired_at = Arc::new(AtomicU64::new(0));
+    let f2 = fired_at.clone();
+    sim.spawn("tx", move |p| {
+        let ev = tx.event_create(1);
+        let sig = p.signal();
+        ev.set_signal(sig.clone());
+        tx.qdma(&p, 0, rx_vpid, crate::QueueId(0), vec![1u8; 1024], Some(ev.id()));
+        p.wait(&sig).expect_signaled();
+        assert!(ev.take_fired_ready());
+        f2.store(p.now().as_ns(), Ordering::SeqCst);
+    });
+    sim.run().unwrap();
+    let ns = fired_at.load(Ordering::SeqCst);
+    assert!(ns > 0, "event never fired");
+    // Local completion happens before full remote delivery would.
+    assert!(ns < 3_000, "local completion too slow: {ns}");
+}
+
+#[test]
+fn rdma_write_moves_bytes() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 5).unwrap());
+
+    let src = a.alloc(8192);
+    let dst = b.alloc(8192);
+    let pattern: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
+    a.write(&src, 0, &pattern);
+    let local = a.map(&src);
+    let remote = b.map(&dst);
+
+    let done_t = Arc::new(AtomicU64::new(0));
+    {
+        let a = a.clone();
+        let dt = done_t.clone();
+        sim.spawn("writer", move |p| {
+            let ev = a.event_create(1);
+            let sig = p.signal();
+            ev.set_signal(sig.clone());
+            a.rdma(&p, 0, DmaKind::Write, local, remote, 8192, Some(ev.id()));
+            p.wait(&sig).expect_signaled();
+            assert!(ev.take_fired_ready());
+            dt.store(p.now().as_ns(), Ordering::SeqCst);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(b.read(&dst, 0, 8192), pattern);
+    let ns = done_t.load(Ordering::SeqCst);
+    // 8KB at ~min(bus,link) plus latencies: several microseconds.
+    assert!(ns > 7_000 && ns < 20_000, "rdma write time {ns}");
+}
+
+#[test]
+fn rdma_read_pulls_bytes() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 2).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 6).unwrap());
+
+    let theirs = b.alloc(4096);
+    let mine = a.alloc(4096);
+    b.write(&theirs, 0, &vec![0xAB; 4096]);
+    let remote = b.map(&theirs);
+    let local = a.map(&mine);
+
+    sim.spawn("reader", move |p| {
+        let ev = a.event_create(1);
+        let sig = p.signal();
+        ev.set_signal(sig.clone());
+        a.rdma(&p, 0, DmaKind::Read, local, remote, 4096, Some(ev.id()));
+        p.wait(&sig).expect_signaled();
+        assert_eq!(a.read(&mine, 0, 4096), vec![0xAB; 4096]);
+    });
+    sim.run().unwrap();
+    assert_eq!(cl.stats().rdmas, 1);
+    assert_eq!(cl.stats().rdma_bytes, 4096);
+}
+
+#[test]
+fn rdma_read_slower_than_write_by_request_trip() {
+    // A read pays an extra request packet before data can flow.
+    fn timed(kind: DmaKind) -> u64 {
+        let cl = cluster();
+        let sim = Simulation::new();
+        let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+        let b = Arc::new(ElanCtx::attach(&cl, 4).unwrap());
+        let mine = a.alloc(256);
+        let theirs = b.alloc(256);
+        let local = a.map(&mine);
+        let remote = b.map(&theirs);
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = t.clone();
+        sim.spawn("p", move |p| {
+            let ev = a.event_create(1);
+            let sig = p.signal();
+            ev.set_signal(sig.clone());
+            a.rdma(&p, 0, kind, local, remote, 256, Some(ev.id()));
+            p.wait(&sig).expect_signaled();
+            t2.store(p.now().as_ns(), Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+        t.load(Ordering::SeqCst)
+    }
+    let w = timed(DmaKind::Write);
+    let r = timed(DmaKind::Read);
+    assert!(r > w, "read {r} should exceed write {w}");
+    assert!(r - w < 1_500, "request overhead too large: {}", r - w);
+}
+
+#[test]
+fn counted_event_fires_after_n_completions() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let mine = a.alloc(4 * 1024);
+    let theirs = b.alloc(4 * 1024);
+    let local = a.map(&mine);
+    let remote = b.map(&theirs);
+
+    sim.spawn("p", move |p| {
+        let ev = a.event_create(3);
+        let sig = p.signal();
+        ev.set_signal(sig.clone());
+        for i in 0..3 {
+            a.rdma(
+                &p,
+                0,
+                DmaKind::Write,
+                local.offset(i * 1024),
+                remote.offset(i * 1024),
+                1024,
+                Some(ev.id()),
+            );
+        }
+        p.wait(&sig).expect_signaled();
+        assert!(ev.take_fired_ready());
+        assert!(!ev.take_fired_ready(), "must fire exactly once");
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn chained_qdma_launches_on_event_fire() {
+    // RDMA write with a FIN-style chained QDMA: the receiver learns of
+    // completion without the sender's host touching the NIC again.
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 7).unwrap());
+    let b_vpid = b.vpid();
+
+    let src = a.alloc(2048);
+    let dst = b.alloc(2048);
+    a.write(&src, 0, &[0x5A; 2048]);
+    let local = a.map(&src);
+    let remote = b.map(&dst);
+
+    {
+        let b = b.clone();
+        sim.spawn("rx", move |p| {
+            let q = b.create_queue(4, 2048);
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            let fin = q.wait_pop(&p, &sig, Dur::from_ns(100)).unwrap();
+            assert_eq!(fin, vec![0xF1u8, 0x4E]);
+        });
+    }
+    {
+        let a = a.clone();
+        sim.spawn("tx", move |p| {
+            p.advance(Dur::from_ns(10));
+            let ev = a.event_create(1);
+            ev.chain_qdma(QdmaSpec {
+                dst: b_vpid,
+                queue: crate::QueueId(0),
+                data: vec![0xF1, 0x4E],
+                rail: 0,
+            });
+            a.rdma(&p, 0, DmaKind::Write, local, remote, 2048, Some(ev.id()));
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(cl.stats().chained_launches, 1);
+    assert_eq!(b.read(&dst, 0, 4), vec![0x5A; 4]);
+}
+
+#[test]
+fn interrupt_mode_adds_latency() {
+    fn qdma_latency(irq: bool) -> u64 {
+        let cl = cluster();
+        let sim = Simulation::new();
+        let rx = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+        let tx = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+        let rx_vpid = rx.vpid();
+        let t = Arc::new(AtomicU64::new(0));
+        {
+            let t = t.clone();
+            sim.spawn("rx", move |p| {
+                let q = rx.create_queue(4, 2048);
+                q.arm_irq(irq);
+                let sig = p.signal();
+                q.set_signal(sig.clone());
+                q.wait_pop(&p, &sig, Dur::from_ns(100)).unwrap();
+                t.store(p.now().as_ns(), Ordering::SeqCst);
+            });
+        }
+        sim.spawn("tx", move |p| {
+            p.advance(Dur::from_ns(10));
+            tx.qdma(&p, 0, rx_vpid, crate::QueueId(0), vec![1, 2, 3], None);
+        });
+        sim.run().unwrap();
+        t.load(Ordering::SeqCst)
+    }
+    let poll = qdma_latency(false);
+    let irq = qdma_latency(true);
+    let delta = irq - poll;
+    let expect = NicConfig::default().irq_latency.as_ns();
+    assert_eq!(delta, expect, "interrupt should add exactly irq_latency");
+}
+
+#[test]
+fn queue_overflow_retries_and_delivers_eventually() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let rx = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let tx = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let rx_vpid = rx.vpid();
+    let received = Arc::new(AtomicU64::new(0));
+    {
+        let rx = rx.clone();
+        let received = received.clone();
+        sim.spawn("rx", move |p| {
+            let q = rx.create_queue(2, 64); // tiny queue
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            // Drain slowly so senders overflow.
+            for _ in 0..8 {
+                let _ = q.wait_pop(&p, &sig, Dur::from_ns(100)).unwrap();
+                received.fetch_add(1, Ordering::SeqCst);
+                p.advance(Dur::from_us(5));
+            }
+        });
+    }
+    sim.spawn("tx", move |p| {
+        p.advance(Dur::from_ns(10));
+        for i in 0..8 {
+            tx.qdma(&p, 0, rx_vpid, crate::QueueId(0), vec![i as u8; 32], None);
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(received.load(Ordering::SeqCst), 8);
+    assert!(cl.stats().queue_overflows > 0, "test should exercise overflow");
+}
+
+#[test]
+fn qdma_to_detached_context_is_dropped() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let rx = ElanCtx::attach(&cl, 1).unwrap();
+    let rx_vpid = rx.vpid();
+    let _q = rx.create_queue(4, 2048);
+    rx.detach();
+    let tx = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    sim.spawn("tx", move |p| {
+        tx.qdma(&p, 0, rx_vpid, crate::QueueId(0), vec![1], None);
+        p.advance(Dur::from_us(50));
+    });
+    // Must not panic or deadlock.
+    sim.run().unwrap();
+}
+
+#[test]
+fn tport_eager_pingpong_and_latency_band() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 4).unwrap());
+    let (va, vb) = (a.vpid(), b.vpid());
+    let rtt = Arc::new(AtomicU64::new(0));
+    {
+        let rtt = rtt.clone();
+        let a = a.clone();
+        sim.spawn("a", move |p| {
+            let tp = Tport::new(a.clone(), 0);
+            let sbuf = a.alloc(64);
+            let rbuf = a.alloc(64);
+            a.write(&sbuf, 0, &[9u8; 64]);
+            let t0 = p.now();
+            let r = tp.irecv(&p, vb.raw(), 1, rbuf);
+            let s = tp.isend(&p, vb, 0, sbuf, 64);
+            tp.wait_send(&p, &s);
+            tp.wait_recv(&p, &r);
+            rtt.store((p.now() - t0).as_ns(), Ordering::SeqCst);
+            assert_eq!(a.read(&rbuf, 0, 64), [3u8; 64]);
+        });
+    }
+    {
+        let b = b.clone();
+        sim.spawn("b", move |p| {
+            let tp = Tport::new(b.clone(), 0);
+            let rbuf = b.alloc(64);
+            let sbuf = b.alloc(64);
+            b.write(&sbuf, 0, &[3u8; 64]);
+            let r = tp.irecv(&p, va.raw(), 0, rbuf);
+            tp.wait_recv(&p, &r);
+            assert_eq!(b.read(&rbuf, 0, 64), [9u8; 64]);
+            let s = tp.isend(&p, va, 1, sbuf, 64);
+            tp.wait_send(&p, &s);
+        });
+    }
+    sim.run().unwrap();
+    let half = rtt.load(Ordering::SeqCst) / 2;
+    // MPICH-QsNetII small-message latency is ~3us in the paper.
+    assert!(half > 1_500 && half < 5_000, "tport latency {half}ns");
+}
+
+#[test]
+fn tport_large_message_rendezvous() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let vb = b.vpid();
+    let len = 256 * 1024;
+    let pattern: Vec<u8> = (0..len).map(|i| (i * 37 % 256) as u8).collect();
+    {
+        let a = a.clone();
+        let pattern = pattern.clone();
+        sim.spawn("a", move |p| {
+            let tp = Tport::new(a.clone(), 0);
+            let sbuf = a.alloc(len);
+            a.write(&sbuf, 0, &pattern);
+            let s = tp.isend(&p, vb, 42, sbuf, len);
+            tp.wait_send(&p, &s);
+        });
+    }
+    {
+        let b = b.clone();
+        sim.spawn("b", move |p| {
+            // Post late so the message goes unexpected first.
+            p.advance(Dur::from_us(20));
+            let tp = Tport::new(b.clone(), 0);
+            let rbuf = b.alloc(len);
+            let r = tp.irecv(&p, crate::TPORT_ANY_SRC, TPORT_ANY_TAG, rbuf);
+            let env = tp.wait_recv(&p, &r);
+            assert_eq!(env.len, len);
+            assert_eq!(b.read(&rbuf, 0, len), pattern);
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn tport_matching_order_fifo_per_tag() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let vb = b.vpid();
+    {
+        let a = a.clone();
+        sim.spawn("a", move |p| {
+            let tp = Tport::new(a.clone(), 0);
+            for i in 0..4u8 {
+                let sbuf = a.alloc(16);
+                a.write(&sbuf, 0, &[i; 16]);
+                let s = tp.isend(&p, vb, 7, sbuf, 16);
+                tp.wait_send(&p, &s);
+            }
+        });
+    }
+    {
+        let b = b.clone();
+        sim.spawn("b", move |p| {
+            p.advance(Dur::from_us(30));
+            let tp = Tport::new(b.clone(), 0);
+            for i in 0..4u8 {
+                let rbuf = b.alloc(16);
+                let r = tp.irecv(&p, crate::TPORT_ANY_SRC, 7, rbuf);
+                tp.wait_recv(&p, &r);
+                assert_eq!(b.read(&rbuf, 0, 16), [i; 16], "message {i} out of order");
+            }
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn hw_bcast_delivers_to_all_targets() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let root = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let mut receivers = Vec::new();
+    for node in 1..=3 {
+        receivers.push(Arc::new(ElanCtx::attach(&cl, node).unwrap()));
+    }
+    let targets: Vec<_> = receivers.iter().map(|r| r.vpid()).collect();
+    let got = Arc::new(AtomicU64::new(0));
+    let times = Arc::new(Mutex::new(Vec::new()));
+    for (i, rx) in receivers.iter().enumerate() {
+        let rx = rx.clone();
+        let got = got.clone();
+        let times = times.clone();
+        sim.spawn(&format!("rx{i}"), move |p| {
+            let q = rx.create_queue(8, 2048);
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            let msg = q.wait_pop(&p, &sig, Dur::from_ns(100)).unwrap();
+            assert_eq!(msg, vec![i as u8 + 1; 100]);
+            got.fetch_add(1, Ordering::SeqCst);
+            times.lock().push(p.now().as_ns());
+        });
+    }
+    {
+        let root = root.clone();
+        sim.spawn("root", move |p| {
+            p.advance(Dur::from_ns(50));
+            // Per-target payloads may differ (header sequencing) but the
+            // wire carries the frame once.
+            let tgts = targets
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (*v, crate::QueueId(0), vec![i as u8 + 1; 100]))
+                .collect();
+            root.hw_bcast(&p, 0, tgts, None);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(got.load(Ordering::SeqCst), 3);
+    assert_eq!(cl.stats().hw_bcasts, 1);
+    // Deliveries are near-simultaneous (switch replication), not serialized
+    // message-by-message.
+    let times = times.lock();
+    let spread = times.iter().max().unwrap() - times.iter().min().unwrap();
+    assert!(spread < 1_000, "bcast skew {spread}ns too large");
+}
+
+#[test]
+fn hw_bcast_cheaper_than_sequential_sends() {
+    // Compare source-side injection occupancy: one bcast vs 6 unicasts.
+    fn run(bcast: bool) -> u64 {
+        let cl = cluster();
+        let sim = Simulation::new();
+        let root = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+        let mut vpids = Vec::new();
+        let mut receivers = Vec::new();
+        for node in 1..=6 {
+            let c = Arc::new(ElanCtx::attach(&cl, node).unwrap());
+            let _q = c.create_queue(8, 2048);
+            vpids.push(c.vpid());
+            receivers.push(c);
+        }
+        let done = Arc::new(AtomicU64::new(0));
+        let d2 = done.clone();
+        sim.spawn("root", move |p| {
+            let payload = vec![7u8; 1984];
+            if bcast {
+                let tgts = vpids
+                    .iter()
+                    .map(|v| (*v, crate::QueueId(0), payload.clone()))
+                    .collect();
+                root.hw_bcast(&p, 0, tgts, None);
+            } else {
+                for v in &vpids {
+                    root.qdma(&p, 0, *v, crate::QueueId(0), payload.clone(), None);
+                }
+            }
+            // Let deliveries complete.
+            p.advance(Dur::from_us(100));
+            d2.store(p.now().as_ns(), Ordering::SeqCst);
+            drop(receivers);
+        });
+        sim.run().unwrap();
+        let stats = cl.fabric().stats();
+        stats.wire_bytes
+    }
+    let bcast_bytes = run(true);
+    let unicast_bytes = run(false);
+    // The replicated frame is counted per destination on reception, but the
+    // unicast path additionally pays per-send injections; timing-wise the
+    // key property is the single source-bus/wire occupancy, which shows up
+    // as the bcast issuing all deliveries from one serialization window.
+    assert!(bcast_bytes <= unicast_bytes);
+}
+
+#[test]
+fn counted_event_reset_and_reuse() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let mine = a.alloc(1024);
+    let theirs = b.alloc(1024);
+    let local = a.map(&mine);
+    let remote = b.map(&theirs);
+    sim.spawn("p", move |p| {
+        let ev = a.event_create(2);
+        let sig = p.signal();
+        ev.set_signal(sig.clone());
+        for round in 0..3 {
+            a.rdma(&p, 0, DmaKind::Write, local, remote, 512, Some(ev.id()));
+            a.rdma(&p, 0, DmaKind::Write, local.offset(512), remote.offset(512), 512, Some(ev.id()));
+            p.wait(&sig).expect_signaled();
+            assert!(ev.take_fired_ready(), "round {round} did not fire");
+            ev.reset(2);
+        }
+    });
+    sim.run().unwrap();
+    assert_eq!(cl.stats().rdmas, 6);
+}
+
+#[test]
+fn rdma_to_unmapped_address_faults() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let mine = a.alloc(64);
+    let local = a.map(&mine);
+    // Forge a remote address that was never mapped.
+    let bogus = crate::E4Addr::from_raw(b.vpid(), 0xDEAD_0000);
+    sim.spawn("p", move |p| {
+        a.rdma(&p, 0, DmaKind::Write, local, bogus, 64, None);
+    });
+    match sim.run() {
+        Err(qsim::SimError::ProcPanic { message, .. }) => {
+            assert!(message.contains("MMU fault"), "got: {message}");
+        }
+        other => panic!("expected an MMU fault, got {other:?}"),
+    }
+}
+
+#[test]
+fn queues_are_isolated_between_contexts() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    // Two contexts on the same node, each with queue 0.
+    let rx1 = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let rx2 = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let tx = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let v1 = rx1.vpid();
+    {
+        let rx1 = rx1.clone();
+        sim.spawn("rx1", move |p| {
+            let q = rx1.create_queue(4, 2048);
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            let m = q.wait_pop(&p, &sig, Dur::from_ns(100)).unwrap();
+            assert_eq!(m, vec![0xAA; 16]);
+        });
+    }
+    {
+        let rx2 = rx2.clone();
+        sim.spawn("rx2", move |p| {
+            let q = rx2.create_queue(4, 2048);
+            // Nothing should ever arrive here.
+            p.advance(Dur::from_us(50));
+            assert!(q.is_empty(), "message leaked into the wrong context");
+        });
+    }
+    sim.spawn("tx", move |p| {
+        p.advance(Dur::from_ns(20));
+        tx.qdma(&p, 0, v1, crate::QueueId(0), vec![0xAA; 16], None);
+    });
+    sim.run().unwrap();
+}
+
+#[test]
+fn tport_wildcard_source() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let rx = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let mut senders = Vec::new();
+    for node in 1..=3 {
+        senders.push(Arc::new(ElanCtx::attach(&cl, node).unwrap()));
+    }
+    let rxv = rx.vpid();
+    {
+        let rx = rx.clone();
+        sim.spawn("rx", move |p| {
+            let tp = Tport::new(rx.clone(), 0);
+            let mut seen = [false; 3];
+            for _ in 0..3 {
+                let buf = rx.alloc(16);
+                let r = tp.irecv(&p, crate::TPORT_ANY_SRC, TPORT_ANY_TAG, buf);
+                let env = tp.wait_recv(&p, &r);
+                let got = rx.read(&buf, 0, 16);
+                assert!(got.iter().all(|&b| b == env.tag as u8));
+                seen[(env.tag - 1) as usize] = true;
+            }
+            assert!(seen.iter().all(|s| *s));
+        });
+    }
+    for (i, tx) in senders.iter().enumerate() {
+        let tx = tx.clone();
+        sim.spawn(&format!("tx{i}"), move |p| {
+            p.advance(Dur::from_us(i as u64 * 3 + 1));
+            let tp = Tport::new(tx.clone(), 0);
+            let buf = tx.alloc(16);
+            tx.write(&buf, 0, &[(i + 1) as u8; 16]);
+            let s = tp.isend(&p, rxv, (i + 1) as i64, buf, 16);
+            tp.wait_send(&p, &s);
+        });
+    }
+    sim.run().unwrap();
+}
+
+#[test]
+fn tport_same_node_loopback() {
+    // Two contexts on the same node exchange through the NIC (hops = 0).
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 2).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 2).unwrap());
+    let vb = b.vpid();
+    {
+        let a = a.clone();
+        sim.spawn("a", move |p| {
+            let tp = Tport::new(a.clone(), 0);
+            let buf = a.alloc(4000); // rendezvous path on the same node
+            a.write(&buf, 0, &vec![0x3C; 4000]);
+            let s = tp.isend(&p, vb, 9, buf, 4000);
+            tp.wait_send(&p, &s);
+        });
+    }
+    {
+        let b = b.clone();
+        sim.spawn("b", move |p| {
+            let tp = Tport::new(b.clone(), 0);
+            let buf = b.alloc(4000);
+            let r = tp.irecv(&p, crate::TPORT_ANY_SRC, 9, buf);
+            tp.wait_recv(&p, &r);
+            assert_eq!(b.read(&buf, 0, 4000), vec![0x3C; 4000]);
+        });
+    }
+    sim.run().unwrap();
+}

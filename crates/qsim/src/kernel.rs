@@ -1,0 +1,407 @@
+//! The event kernel: a priority queue of timed events plus a set of
+//! cooperative simulated processes.
+//!
+//! Simulated processes are real OS threads, but **exactly one** of them (or
+//! the kernel itself) runs at any instant: the kernel hands control to a
+//! process and waits until that process parks again. Event ordering is
+//! `(time, insertion sequence)`, so identical programs produce identical
+//! schedules — the whole simulation is deterministic.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::handle::SimHandle;
+use crate::proc::Proc;
+use crate::time::Time;
+
+/// Identifies a simulated process.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ProcId(pub(crate) u32);
+
+impl ProcId {
+    /// Dense index of this process (spawn order).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ProcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "proc#{}", self.0)
+    }
+}
+
+/// Message from the kernel to a parked process.
+#[derive(Debug)]
+pub(crate) enum Go {
+    Run,
+    Shutdown,
+}
+
+/// Message from the running process back to the kernel.
+pub(crate) enum YieldMsg {
+    Parked(ProcId),
+    Finished(ProcId),
+    Panicked(ProcId, String),
+}
+
+/// Why a parked process is parked. Used by the termination logic: when the
+/// event queue is empty no process can be parked on a timer.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub(crate) enum ParkKind {
+    /// Not parked (running, or never started).
+    Running,
+    /// Waiting for a `Wake` already in the event queue (e.g. `advance`).
+    Timer,
+    /// Waiting for a [`crate::Signal`] with the given id.
+    Signal(u64),
+}
+
+pub(crate) enum Event {
+    Wake(ProcId),
+    Call(Box<dyn FnOnce(&SimHandle) + Send>),
+}
+
+pub(crate) struct ProcSlot {
+    pub name: String,
+    pub daemon: bool,
+    pub finished: bool,
+    pub park: ParkKind,
+    pub go_tx: Sender<Go>,
+}
+
+pub(crate) struct KernelState {
+    pub now: Time,
+    pub seq: u64,
+    pub queue: BTreeMap<(Time, u64), Event>,
+    pub procs: Vec<ProcSlot>,
+    pub shutdown: bool,
+    pub events_processed: u64,
+    pub event_limit: u64,
+    pub next_signal_id: u64,
+}
+
+impl KernelState {
+    pub(crate) fn push_event(&mut self, at: Time, ev: Event) {
+        debug_assert!(at >= self.now, "event scheduled in the past");
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.queue.insert(key, ev);
+    }
+}
+
+pub(crate) struct Shared {
+    pub state: Mutex<KernelState>,
+    pub yield_tx: Sender<YieldMsg>,
+    yield_rx: Receiver<YieldMsg>,
+    /// Join handles of spawned process threads (collected at the end of run).
+    pub joins: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Error terminating a simulation run.
+#[derive(Debug)]
+pub enum SimError {
+    /// A simulated process panicked.
+    ProcPanic {
+        /// Name the process was spawned with.
+        proc: String,
+        /// The panic payload, stringified.
+        message: String,
+    },
+    /// The event queue drained while non-daemon processes were still parked.
+    Deadlock {
+        /// Names of the parked processes.
+        parked: Vec<String>,
+    },
+    /// More events were processed than the configured limit (runaway guard).
+    EventLimit {
+        /// The configured event limit.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ProcPanic { proc, message } => {
+                write!(f, "simulated process `{proc}` panicked: {message}")
+            }
+            SimError::Deadlock { parked } => write!(
+                f,
+                "simulation deadlock: event queue empty but processes parked: {}",
+                parked.join(", ")
+            ),
+            SimError::EventLimit { limit } => {
+                write!(f, "simulation exceeded event limit of {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Summary of a completed run.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Virtual time at which the last event executed.
+    pub end_time: Time,
+    /// Number of events the kernel executed.
+    pub events_processed: u64,
+    /// Total simulated processes created over the run.
+    pub procs_spawned: usize,
+}
+
+/// A whole simulation: build, spawn root processes, then [`Simulation::run`].
+pub struct Simulation {
+    shared: Arc<Shared>,
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Simulation {
+    /// A fresh simulation at t = 0 with an empty event queue.
+    pub fn new() -> Self {
+        let (yield_tx, yield_rx) = unbounded();
+        let shared = Arc::new(Shared {
+            state: Mutex::new(KernelState {
+                now: Time::ZERO,
+                seq: 0,
+                queue: BTreeMap::new(),
+                procs: Vec::new(),
+                shutdown: false,
+                events_processed: 0,
+                event_limit: u64::MAX,
+                next_signal_id: 0,
+            }),
+            yield_tx,
+            yield_rx,
+            joins: Mutex::new(Vec::new()),
+        });
+        Simulation { shared }
+    }
+
+    /// Guard against runaway simulations (e.g. a polling loop that never
+    /// advances time correctly would still consume events).
+    pub fn set_event_limit(&self, limit: u64) {
+        self.shared.state.lock().event_limit = limit;
+    }
+
+    /// Handle usable by device models and test scaffolding.
+    pub fn handle(&self) -> SimHandle {
+        SimHandle::new(self.shared.clone())
+    }
+
+    /// Spawn a root (non-daemon) simulated process starting at t=0.
+    pub fn spawn(&self, name: &str, f: impl FnOnce(Proc) + Send + 'static) -> ProcId {
+        spawn_proc(&self.shared, name, false, f)
+    }
+
+    /// Spawn a daemon process: the run ends once all non-daemon processes
+    /// finish; parked daemons then observe `Wait::Shutdown`.
+    pub fn spawn_daemon(&self, name: &str, f: impl FnOnce(Proc) + Send + 'static) -> ProcId {
+        spawn_proc(&self.shared, name, true, f)
+    }
+
+    /// Drive the simulation to completion.
+    pub fn run(self) -> Result<Report, SimError> {
+        let handle = self.handle();
+        let result = self.main_loop(&handle);
+        // Unblock any threads still parked so the process can exit, then join.
+        {
+            let st = self.shared.state.lock();
+            for slot in st.procs.iter().filter(|p| !p.finished) {
+                let _ = slot.go_tx.send(Go::Shutdown);
+            }
+        }
+        // Drain remaining yield messages until every proc finished.
+        loop {
+            let all_done = {
+                let st = self.shared.state.lock();
+                st.procs.iter().all(|p| p.finished)
+            };
+            if all_done {
+                break;
+            }
+            match self.shared.yield_rx.recv() {
+                Ok(YieldMsg::Finished(pid)) | Ok(YieldMsg::Panicked(pid, _)) => {
+                    self.shared.state.lock().procs[pid.index()].finished = true;
+                }
+                Ok(YieldMsg::Parked(pid)) => {
+                    // Parked again during forced shutdown: shove it forward.
+                    let st = self.shared.state.lock();
+                    let _ = st.procs[pid.index()].go_tx.send(Go::Shutdown);
+                }
+                Err(_) => break,
+            }
+        }
+        let joins = std::mem::take(&mut *self.shared.joins.lock());
+        for j in joins {
+            let _ = j.join();
+        }
+        result
+    }
+
+    fn main_loop(&self, handle: &SimHandle) -> Result<Report, SimError> {
+        loop {
+            let next = {
+                let mut st = self.shared.state.lock();
+                if st.events_processed >= st.event_limit {
+                    return Err(SimError::EventLimit {
+                        limit: st.event_limit,
+                    });
+                }
+                match st.queue.keys().next().copied() {
+                    Some(key) => {
+                        let ev = st.queue.remove(&key).unwrap();
+                        st.now = key.0;
+                        st.events_processed += 1;
+                        Some(ev)
+                    }
+                    None => None,
+                }
+            };
+            match next {
+                Some(Event::Call(f)) => f(handle),
+                Some(Event::Wake(pid)) => {
+                    self.run_proc(pid, Go::Run)?;
+                }
+                None => {
+                    // Queue drained. Decide between completion, daemon
+                    // shutdown, and deadlock.
+                    let (live_nondaemon, live_daemon): (Vec<_>, Vec<_>) = {
+                        let st = self.shared.state.lock();
+                        let live: Vec<(ProcId, bool, String)> = st
+                            .procs
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, p)| !p.finished)
+                            .map(|(i, p)| (ProcId(i as u32), p.daemon, p.name.clone()))
+                            .collect();
+                        live.into_iter().partition(|(_, d, _)| !*d)
+                    };
+                    if !live_nondaemon.is_empty() {
+                        return Err(SimError::Deadlock {
+                            parked: live_nondaemon.into_iter().map(|(_, _, n)| n).collect(),
+                        });
+                    }
+                    if live_daemon.is_empty() {
+                        let st = self.shared.state.lock();
+                        return Ok(Report {
+                            end_time: st.now,
+                            events_processed: st.events_processed,
+                            procs_spawned: st.procs.len(),
+                        });
+                    }
+                    // Shut daemons down one at a time (preserves the
+                    // one-runnable-process invariant).
+                    self.shared.state.lock().shutdown = true;
+                    let (pid, _, _) = live_daemon[0];
+                    self.run_proc(pid, Go::Shutdown)?;
+                }
+            }
+        }
+    }
+
+    /// Hand control to `pid` and block until it parks or finishes.
+    fn run_proc(&self, pid: ProcId, go: Go) -> Result<(), SimError> {
+        {
+            let mut st = self.shared.state.lock();
+            let slot = &mut st.procs[pid.index()];
+            if slot.finished {
+                // A stale wake for a finished proc: ignore.
+                return Ok(());
+            }
+            slot.park = ParkKind::Running;
+            slot.go_tx.send(go).expect("proc thread lost");
+        }
+        match self.shared.yield_rx.recv().expect("yield channel closed") {
+            YieldMsg::Parked(p) => {
+                debug_assert_eq!(p, pid, "yield from a process that was not running");
+                Ok(())
+            }
+            YieldMsg::Finished(p) => {
+                debug_assert_eq!(p, pid);
+                self.shared.state.lock().procs[p.index()].finished = true;
+                Ok(())
+            }
+            YieldMsg::Panicked(p, message) => {
+                let mut st = self.shared.state.lock();
+                st.procs[p.index()].finished = true;
+                let name = st.procs[p.index()].name.clone();
+                Err(SimError::ProcPanic {
+                    proc: name,
+                    message,
+                })
+            }
+        }
+    }
+}
+
+pub(crate) fn spawn_proc(
+    shared: &Arc<Shared>,
+    name: &str,
+    daemon: bool,
+    f: impl FnOnce(Proc) + Send + 'static,
+) -> ProcId {
+    let (go_tx, go_rx) = unbounded();
+    let pid;
+    {
+        let mut st = shared.state.lock();
+        pid = ProcId(st.procs.len() as u32);
+        st.procs.push(ProcSlot {
+            name: name.to_string(),
+            daemon,
+            finished: false,
+            park: ParkKind::Timer, // will be woken by the spawn event
+            go_tx,
+        });
+        let at = st.now;
+        st.push_event(at, Event::Wake(pid));
+    }
+    let proc = Proc::new(pid, shared.clone(), go_rx);
+    let yield_tx = shared.yield_tx.clone();
+    let thread_name = format!("sim-{name}");
+    let join = std::thread::Builder::new()
+        .name(thread_name)
+        .spawn(move || {
+            // Wait for the kernel to schedule our first run.
+            match proc.initial_go() {
+                Go::Run => {}
+                Go::Shutdown => {
+                    let _ = yield_tx.send(YieldMsg::Finished(pid));
+                    return;
+                }
+            }
+            let result = catch_unwind(AssertUnwindSafe(move || f(proc)));
+            match result {
+                Ok(()) => {
+                    let _ = yield_tx.send(YieldMsg::Finished(pid));
+                }
+                Err(payload) => {
+                    let msg = payload_to_string(&*payload);
+                    let _ = yield_tx.send(YieldMsg::Panicked(pid, msg));
+                }
+            }
+        })
+        .expect("failed to spawn simulated process thread");
+    shared.joins.lock().push(join);
+    pid
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

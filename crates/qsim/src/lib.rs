@@ -1,0 +1,227 @@
+//! # qsim — deterministic discrete-event simulation kernel
+//!
+//! The substrate for the Open MPI / Quadrics-Elan4 reproduction: a virtual
+//! clock, an event queue, and cooperative *simulated processes*.
+//!
+//! Simulated processes are real OS threads, which lets MPI ranks be written
+//! as ordinary blocking Rust code, but the kernel enforces that at most one
+//! process runs at a time and that control transfers only through the event
+//! queue. Events at equal times execute in insertion order, so a simulation
+//! is a deterministic function of its inputs — latencies measured in virtual
+//! time are exactly reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use qsim::{Simulation, Dur};
+//! use std::sync::{Arc, atomic::{AtomicU64, Ordering}};
+//!
+//! let sim = Simulation::new();
+//! let end = Arc::new(AtomicU64::new(0));
+//! let end2 = end.clone();
+//! sim.spawn("worker", move |p| {
+//!     p.advance(Dur::from_us(3));          // model 3us of work
+//!     end2.store(p.now().as_ns(), Ordering::SeqCst);
+//! });
+//! sim.run().unwrap();
+//! assert_eq!(end.load(Ordering::SeqCst), 3_000);
+//! ```
+
+#![warn(missing_docs)]
+
+mod handle;
+mod kernel;
+mod proc;
+mod signal;
+mod sync;
+mod time;
+
+pub use handle::SimHandle;
+pub use kernel::{ProcId, Report, SimError, Simulation};
+pub use proc::Proc;
+pub use signal::{Signal, Wait};
+pub use sync::{Mailbox, MailboxTx};
+pub use time::{Dur, Time};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_simulation_completes() {
+        let report = Simulation::new().run().unwrap();
+        assert_eq!(report.end_time, Time::ZERO);
+        assert_eq!(report.procs_spawned, 0);
+    }
+
+    #[test]
+    fn advance_accumulates() {
+        let sim = Simulation::new();
+        let t = Arc::new(AtomicU64::new(0));
+        let t2 = t.clone();
+        sim.spawn("p", move |p| {
+            p.advance(Dur::from_ns(100));
+            p.advance(Dur::from_ns(250));
+            t2.store(p.now().as_ns(), Ordering::SeqCst);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(t.load(Ordering::SeqCst), 350);
+        assert_eq!(report.end_time, Time::from_ns(350));
+    }
+
+    #[test]
+    fn calls_fire_in_time_order_with_fifo_ties() {
+        let sim = Simulation::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let h = sim.handle();
+        for (i, d) in [(0u32, 50u64), (1, 20), (2, 20), (3, 0)] {
+            let order = order.clone();
+            h.call_after(Dur::from_ns(d), move |_| order.lock().push(i));
+        }
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn signal_before_wait_is_not_lost() {
+        let sim = Simulation::new();
+        let done = Arc::new(AtomicU64::new(0));
+        let done2 = done.clone();
+        sim.spawn("p", move |p| {
+            let s = p.signal();
+            let s2 = s.clone();
+            // Notification fires while we are still running.
+            s2.notify(&p.sim());
+            p.wait(&s).expect_signaled();
+            done2.store(p.now().as_ns() + 1, Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn signal_wakes_parked_process_at_notify_time() {
+        let sim = Simulation::new();
+        let woke_at = Arc::new(AtomicU64::new(0));
+        let woke_at2 = woke_at.clone();
+        let sig_slot: Arc<Mutex<Option<Signal>>> = Arc::new(Mutex::new(None));
+        let sig_slot2 = sig_slot.clone();
+        sim.spawn("waiter", move |p| {
+            let s = p.signal();
+            *sig_slot2.lock() = Some(s.clone());
+            p.wait(&s).expect_signaled();
+            woke_at2.store(p.now().as_ns(), Ordering::SeqCst);
+        });
+        let h = sim.handle();
+        h.call_after(Dur::from_us(7), move |sim| {
+            sig_slot.lock().as_ref().unwrap().notify(sim);
+        });
+        sim.run().unwrap();
+        assert_eq!(woke_at.load(Ordering::SeqCst), 7_000);
+    }
+
+    #[test]
+    fn proc_panic_is_reported() {
+        let sim = Simulation::new();
+        sim.spawn("bad", |_p| panic!("boom"));
+        match sim.run() {
+            Err(SimError::ProcPanic { proc, message }) => {
+                assert_eq!(proc, "bad");
+                assert!(message.contains("boom"));
+            }
+            other => panic!("expected panic error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let sim = Simulation::new();
+        sim.spawn("stuck", |p| {
+            let s = p.signal();
+            p.wait(&s).expect_signaled();
+        });
+        match sim.run() {
+            Err(SimError::Deadlock { parked }) => assert_eq!(parked, vec!["stuck".to_string()]),
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn daemons_do_not_block_completion() {
+        let sim = Simulation::new();
+        let observed = Arc::new(AtomicU64::new(0));
+        let observed2 = observed.clone();
+        sim.spawn_daemon("d", move |p| {
+            let s = p.signal();
+            match p.wait(&s) {
+                Wait::Shutdown => observed2.store(1, Ordering::SeqCst),
+                Wait::Signaled => panic!("unexpected signal"),
+            }
+        });
+        sim.spawn("main", |p| p.advance(Dur::from_us(2)));
+        let report = sim.run().unwrap();
+        assert_eq!(report.end_time, Time::from_us_like(2));
+        assert_eq!(observed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn nested_spawn_runs_at_spawn_time() {
+        let sim = Simulation::new();
+        let child_start = Arc::new(AtomicU64::new(u64::MAX));
+        let cs = child_start.clone();
+        sim.spawn("parent", move |p| {
+            p.advance(Dur::from_us(4));
+            let cs = cs.clone();
+            p.spawn("child", move |c| {
+                cs.store(c.now().as_ns(), Ordering::SeqCst);
+                c.advance(Dur::from_us(1));
+            });
+            p.advance(Dur::from_us(10));
+        });
+        sim.run().unwrap();
+        assert_eq!(child_start.load(Ordering::SeqCst), 4_000);
+    }
+
+    #[test]
+    fn event_limit_guards_runaway() {
+        let sim = Simulation::new();
+        sim.set_event_limit(100);
+        sim.spawn("spin", |p| loop {
+            p.advance(Dur::from_ns(1));
+        });
+        match sim.run() {
+            Err(SimError::EventLimit { limit }) => assert_eq!(limit, 100),
+            other => panic!("expected event limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_procs_interleave_deterministically() {
+        // Run the identical two-process program twice; event traces must match.
+        fn trace() -> Vec<(u64, u32)> {
+            let sim = Simulation::new();
+            let log = Arc::new(Mutex::new(Vec::new()));
+            for id in 0..2u32 {
+                let log = log.clone();
+                sim.spawn(&format!("p{id}"), move |p| {
+                    for i in 0..5u64 {
+                        p.advance(Dur::from_ns(10 + id as u64 * 3 + i));
+                        log.lock().push((p.now().as_ns(), id));
+                    }
+                });
+            }
+            sim.run().unwrap();
+            Arc::try_unwrap(log).unwrap().into_inner()
+        }
+        assert_eq!(trace(), trace());
+    }
+
+    impl Time {
+        fn from_us_like(us: u64) -> Time {
+            Time::from_ns(us * 1000)
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! [`Proc`] — the handle a simulated process uses to interact with virtual
+//! time: advancing the clock, creating and waiting on signals, spawning
+//! further processes.
+
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+
+use crossbeam::channel::Receiver;
+
+use crate::handle::SimHandle;
+use crate::kernel::{spawn_proc, Event, Go, ParkKind, ProcId, Shared, YieldMsg};
+use crate::signal::{Signal, SignalInner, Wait};
+use crate::time::{Dur, Time};
+
+/// Per-process handle. Not `Clone`: exactly one OS thread owns it.
+pub struct Proc {
+    pid: ProcId,
+    shared: Arc<Shared>,
+    go_rx: Receiver<Go>,
+}
+
+impl Proc {
+    pub(crate) fn new(pid: ProcId, shared: Arc<Shared>, go_rx: Receiver<Go>) -> Self {
+        Proc {
+            pid,
+            shared,
+            go_rx,
+        }
+    }
+
+    pub(crate) fn initial_go(&self) -> Go {
+        self.go_rx.recv().unwrap_or(Go::Shutdown)
+    }
+
+    /// This process's id.
+    pub fn id(&self) -> ProcId {
+        self.pid
+    }
+
+    /// A sharable handle for scheduling device callbacks.
+    pub fn sim(&self) -> SimHandle {
+        SimHandle::new(self.shared.clone())
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.shared.state.lock().now
+    }
+
+    /// Model `d` of computation: the process gives up control and resumes
+    /// once virtual time has advanced by `d`.
+    pub fn advance(&self, d: Dur) {
+        {
+            let mut st = self.shared.state.lock();
+            let at = st.now + d;
+            st.push_event(at, Event::Wake(self.pid));
+            st.procs[self.pid.index()].park = ParkKind::Timer;
+        }
+        match self.park() {
+            Go::Run => {}
+            // Forced shutdown while sleeping: unwind this thread. The kernel
+            // treats the unwind as process completion during teardown.
+            Go::Shutdown => std::panic::panic_any(ShutdownUnwind),
+        }
+    }
+
+    /// Create a signal owned by this process.
+    pub fn signal(&self) -> Signal {
+        let mut st = self.shared.state.lock();
+        let id = st.next_signal_id;
+        st.next_signal_id += 1;
+        Signal {
+            inner: Arc::new(SignalInner {
+                id,
+                owner: self.pid,
+                pending: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Block until `s` is (or already was) notified.
+    pub fn wait(&self, s: &Signal) -> Wait {
+        assert_eq!(
+            s.inner.owner, self.pid,
+            "a process may only wait on signals it owns"
+        );
+        loop {
+            {
+                let mut st = self.shared.state.lock();
+                if s.inner.pending.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                    return Wait::Signaled;
+                }
+                if st.shutdown {
+                    return Wait::Shutdown;
+                }
+                st.procs[self.pid.index()].park = ParkKind::Signal(s.inner.id);
+            }
+            match self.park() {
+                Go::Run => continue,
+                Go::Shutdown => return Wait::Shutdown,
+            }
+        }
+    }
+
+    /// Wait with a modelled cost added once the signal fires (e.g. the cost
+    /// of detecting a host event word after it is written).
+    pub fn wait_then(&self, s: &Signal, detect_cost: Dur) -> Wait {
+        let w = self.wait(s);
+        if w == Wait::Signaled && detect_cost > Dur::ZERO {
+            self.advance(detect_cost);
+        }
+        w
+    }
+
+    /// Spawn a sibling (non-daemon) process that starts at the current time.
+    pub fn spawn(&self, name: &str, f: impl FnOnce(Proc) + Send + 'static) -> ProcId {
+        spawn_proc(&self.shared, name, false, f)
+    }
+
+    /// Spawn a daemon process (e.g. an asynchronous progress thread).
+    pub fn spawn_daemon(&self, name: &str, f: impl FnOnce(Proc) + Send + 'static) -> ProcId {
+        spawn_proc(&self.shared, name, true, f)
+    }
+
+    /// Schedule a device callback after `delay`.
+    pub fn call_after(&self, delay: Dur, f: impl FnOnce(&SimHandle) + Send + 'static) {
+        self.sim().call_after(delay, f);
+    }
+
+    fn park(&self) -> Go {
+        self.shared
+            .yield_tx
+            .send(YieldMsg::Parked(self.pid))
+            .expect("kernel gone");
+        self.go_rx.recv().unwrap_or(Go::Shutdown)
+    }
+}
+
+/// Panic payload used to unwind a process thread during forced shutdown.
+pub(crate) struct ShutdownUnwind;
+
+impl std::fmt::Debug for Proc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Proc({})", self.pid)
+    }
+}

@@ -1,0 +1,91 @@
+//! Edge-triggered wakeup signals.
+//!
+//! A [`Signal`] is owned by exactly one simulated process (the one that will
+//! wait on it) but may be notified from anywhere: another process, a device
+//! callback, an interrupt model. A notification that arrives while the owner
+//! is running is latched and consumed by the owner's next wait, so wakeups
+//! are never lost.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::handle::SimHandle;
+use crate::kernel::{Event, KernelState, ParkKind, ProcId};
+
+pub(crate) struct SignalInner {
+    pub id: u64,
+    pub owner: ProcId,
+    /// Latched pending flag. Only mutated while the kernel lock is held, so
+    /// `Relaxed` ordering suffices; the atomic is for `Send`/`Sync` only.
+    pub pending: AtomicBool,
+}
+
+/// A one-owner, many-notifier wakeup flag in virtual time.
+#[derive(Clone)]
+pub struct Signal {
+    pub(crate) inner: Arc<SignalInner>,
+}
+
+impl Signal {
+    /// Latch the signal and wake the owner if it is parked on this signal.
+    ///
+    /// May be called from device callbacks or from other processes.
+    pub fn notify(&self, sim: &SimHandle) {
+        let mut st = sim.shared.state.lock();
+        self.notify_locked(&mut st);
+    }
+
+    pub(crate) fn notify_locked(&self, st: &mut KernelState) {
+        self.inner.pending.store(true, Ordering::Relaxed);
+        let slot = &mut st.procs[self.inner.owner.index()];
+        if !slot.finished && slot.park == ParkKind::Signal(self.inner.id) {
+            slot.park = ParkKind::Timer; // wake is now queued
+            let at = st.now;
+            st.push_event(at, Event::Wake(self.inner.owner));
+        }
+    }
+
+    /// Non-destructive check of the pending flag (e.g. polling loops that do
+    /// their own cost accounting).
+    pub fn is_pending(&self) -> bool {
+        self.inner.pending.load(Ordering::Relaxed)
+    }
+
+    /// Owner of this signal.
+    pub fn owner(&self) -> ProcId {
+        self.inner.owner
+    }
+}
+
+impl std::fmt::Debug for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Signal#{}(owner={}, pending={})",
+            self.inner.id,
+            self.inner.owner,
+            self.is_pending()
+        )
+    }
+}
+
+/// Result of waiting on a [`Signal`].
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Wait {
+    /// The signal fired.
+    Signaled,
+    /// The simulation is shutting down (all non-daemon processes finished).
+    Shutdown,
+}
+
+impl Wait {
+    /// Panic if the wait ended because of shutdown. For use in non-daemon
+    /// process code where shutdown mid-wait indicates a bug.
+    pub fn expect_signaled(self) {
+        assert_eq!(
+            self,
+            Wait::Signaled,
+            "simulation shut down while a process was blocked"
+        );
+    }
+}

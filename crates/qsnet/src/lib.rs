@@ -1,0 +1,18 @@
+//! # qsnet — QsNetII fabric model
+//!
+//! The network substrate under the simulated Elan4 NICs: a quaternary
+//! fat-tree topology of Elite4 switches ([`FatTree`]) and a timing model of
+//! the links ([`Fabric`]) with per-node injection/reception occupancy,
+//! cut-through routing, MTU packetization, multi-rail support, and
+//! hardware-style retransmission for injected faults.
+//!
+//! The Elan4 NIC model (`elan4` crate) owns the host-side costs (PIO,
+//! PCI-X bus, event firing); this crate only models the wire.
+
+#![warn(missing_docs)]
+
+mod fabric;
+mod topology;
+
+pub use fabric::{Fabric, FabricConfig, FabricStats};
+pub use topology::{FatTree, NodeId};

@@ -1,0 +1,397 @@
+//! # ompi-rte — run-time environment
+//!
+//! The Open MPI Run-Time Environment (ORTE) pieces the paper leans on:
+//! process naming, the out-of-band *modex* (module exchange) through which
+//! PTL modules publish their network addresses at `MPI_Init` time, job-wide
+//! barriers, and the bookkeeping for MPI-2 dynamic process management
+//! (`MPI_Comm_spawn`): "Open MPI Run-Time Environment (RTE) can help the
+//! newly created processes to establish connections with the existing
+//! processes" (paper §4.1).
+//!
+//! The out-of-band channel is modelled as a management network separate
+//! from the Quadrics fabric: each operation costs [`RteConfig::oob_latency`]
+//! of virtual time, which only affects startup/spawn paths, never the
+//! data-path benchmarks.
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use qsim::{Dur, Proc, Signal};
+
+/// Identifies a launched job (an `MPI_COMM_WORLD` or a spawned child world).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct JobId(pub u32);
+
+/// A process name: job + rank within the job.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct ProcName {
+    /// The job this process belongs to.
+    pub job: JobId,
+    /// Rank within the job.
+    pub rank: usize,
+}
+
+/// RTE timing model.
+#[derive(Clone, Debug)]
+pub struct RteConfig {
+    /// One out-of-band operation (publish, lookup, barrier message) over the
+    /// management network.
+    pub oob_latency: Dur,
+}
+
+impl Default for RteConfig {
+    fn default() -> Self {
+        RteConfig {
+            oob_latency: Dur::from_us(30),
+        }
+    }
+}
+
+struct BarrierState {
+    generation: u64,
+    arrived: usize,
+    waiters: Vec<Signal>,
+}
+
+struct JobState {
+    size: usize,
+    parent: Option<ProcName>,
+    modex: HashMap<(usize, String), Vec<u8>>,
+    modex_waiters: Vec<Signal>,
+    barrier: BarrierState,
+    finalized: usize,
+}
+
+struct RteInner {
+    jobs: HashMap<JobId, JobState>,
+    next_job: u32,
+}
+
+/// The shared runtime-environment service.
+pub struct Rte {
+    cfg: RteConfig,
+    inner: Mutex<RteInner>,
+}
+
+impl Rte {
+    /// A fresh runtime-environment service with no jobs.
+    pub fn new(cfg: RteConfig) -> Arc<Rte> {
+        Arc::new(Rte {
+            cfg,
+            inner: Mutex::new(RteInner {
+                jobs: HashMap::new(),
+                next_job: 0,
+            }),
+        })
+    }
+
+    /// The timing model in use.
+    pub fn cfg(&self) -> &RteConfig {
+        &self.cfg
+    }
+
+    /// Register a new job of `size` ranks; returns its id. `parent` links a
+    /// dynamically spawned child world to the spawning process.
+    pub fn create_job(&self, size: usize, parent: Option<ProcName>) -> JobId {
+        let mut inner = self.inner.lock();
+        let id = JobId(inner.next_job);
+        inner.next_job += 1;
+        inner.jobs.insert(
+            id,
+            JobState {
+                size,
+                parent,
+                modex: HashMap::new(),
+                modex_waiters: Vec::new(),
+                barrier: BarrierState {
+                    generation: 0,
+                    arrived: 0,
+                    waiters: Vec::new(),
+                },
+                finalized: 0,
+            },
+        );
+        id
+    }
+
+    /// Number of ranks in `job`.
+    pub fn job_size(&self, job: JobId) -> usize {
+        self.inner.lock().jobs[&job].size
+    }
+
+    /// The spawning process, for dynamically created jobs.
+    pub fn job_parent(&self, job: JobId) -> Option<ProcName> {
+        self.inner.lock().jobs[&job].parent
+    }
+
+    /// Publish `(key, value)` for `who` (one OOB message).
+    pub fn modex_put(&self, proc: &Proc, who: ProcName, key: &str, value: Vec<u8>) {
+        proc.advance(self.cfg.oob_latency);
+        let mut inner = self.inner.lock();
+        let job = inner.jobs.get_mut(&who.job).expect("unknown job");
+        job.modex.insert((who.rank, key.to_string()), value);
+        let waiters = std::mem::take(&mut job.modex_waiters);
+        drop(inner);
+        let sim = proc.sim();
+        for w in waiters {
+            w.notify(&sim);
+        }
+    }
+
+    /// Non-blocking lookup.
+    pub fn modex_try_get(&self, who: ProcName, key: &str) -> Option<Vec<u8>> {
+        let inner = self.inner.lock();
+        inner
+            .jobs
+            .get(&who.job)?
+            .modex
+            .get(&(who.rank, key.to_string()))
+            .cloned()
+    }
+
+    /// Blocking lookup: waits (in virtual time) until the peer publishes.
+    pub fn modex_get(&self, proc: &Proc, who: ProcName, key: &str) -> Vec<u8> {
+        proc.advance(self.cfg.oob_latency);
+        loop {
+            {
+                let mut inner = self.inner.lock();
+                let job = inner.jobs.get_mut(&who.job).expect("unknown job");
+                if let Some(v) = job.modex.get(&(who.rank, key.to_string())) {
+                    return v.clone();
+                }
+                let sig = proc.signal();
+                job.modex_waiters.push(sig.clone());
+                drop(inner);
+                proc.wait(&sig).expect_signaled();
+            }
+        }
+    }
+
+    /// Job-wide barrier over the OOB network (used during `MPI_Init` /
+    /// finalize, matching the paper's collective connection setup).
+    pub fn barrier(&self, proc: &Proc, job: JobId) {
+        proc.advance(self.cfg.oob_latency);
+        let sig = proc.signal();
+        let release = {
+            let mut inner = self.inner.lock();
+            let st = inner.jobs.get_mut(&job).expect("unknown job");
+            st.barrier.arrived += 1;
+            if st.barrier.arrived == st.size {
+                st.barrier.arrived = 0;
+                st.barrier.generation += 1;
+                Some(std::mem::take(&mut st.barrier.waiters))
+            } else {
+                st.barrier.waiters.push(sig.clone());
+                None
+            }
+        };
+        match release {
+            Some(waiters) => {
+                let sim = proc.sim();
+                for w in waiters {
+                    w.notify(&sim);
+                }
+            }
+            None => proc.wait(&sig).expect_signaled(),
+        }
+    }
+
+    /// Record one rank's finalization; returns true when the whole job has
+    /// finalized (the last one out can tear shared state down).
+    pub fn finalize_rank(&self, proc: &Proc, job: JobId) -> bool {
+        proc.advance(self.cfg.oob_latency);
+        let mut inner = self.inner.lock();
+        let st = inner.jobs.get_mut(&job).expect("unknown job");
+        st.finalized += 1;
+        st.finalized == st.size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qsim::Simulation;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn modex_put_get_across_processes() {
+        let sim = Simulation::new();
+        let rte = Rte::new(RteConfig::default());
+        let job = rte.create_job(2, None);
+        let got = Arc::new(Mutex::new(Vec::new()));
+
+        {
+            let rte = rte.clone();
+            let got = got.clone();
+            sim.spawn("r0", move |p| {
+                // Get blocks until r1 publishes.
+                let v = rte.modex_get(&p, ProcName { job, rank: 1 }, "addr");
+                *got.lock() = v;
+            });
+        }
+        {
+            let rte = rte.clone();
+            sim.spawn("r1", move |p| {
+                p.advance(Dur::from_us(100));
+                rte.modex_put(&p, ProcName { job, rank: 1 }, "addr", vec![42, 43]);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), vec![42, 43]);
+    }
+
+    #[test]
+    fn barrier_releases_all_at_last_arrival() {
+        let sim = Simulation::new();
+        let rte = Rte::new(RteConfig::default());
+        let job = rte.create_job(3, None);
+        let max_t = Arc::new(AtomicU64::new(0));
+        let min_t = Arc::new(AtomicU64::new(u64::MAX));
+        for r in 0..3usize {
+            let rte = rte.clone();
+            let max_t = max_t.clone();
+            let min_t = min_t.clone();
+            sim.spawn(&format!("r{r}"), move |p| {
+                p.advance(Dur::from_us(10 * r as u64));
+                rte.barrier(&p, job);
+                let t = p.now().as_ns();
+                max_t.fetch_max(t, Ordering::SeqCst);
+                min_t.fetch_min(t, Ordering::SeqCst);
+            });
+        }
+        sim.run().unwrap();
+        // Everyone leaves at the same virtual instant.
+        assert_eq!(max_t.load(Ordering::SeqCst), min_t.load(Ordering::SeqCst));
+        // Which is no earlier than the last arrival (20us + oob).
+        assert!(max_t.load(Ordering::SeqCst) >= 20_000 + 30_000);
+    }
+
+    #[test]
+    fn barrier_is_reusable() {
+        let sim = Simulation::new();
+        let rte = Rte::new(RteConfig::default());
+        let job = rte.create_job(2, None);
+        let count = Arc::new(AtomicUsize::new(0));
+        for r in 0..2usize {
+            let rte = rte.clone();
+            let count = count.clone();
+            sim.spawn(&format!("r{r}"), move |p| {
+                for _ in 0..5 {
+                    p.advance(Dur::from_us(1 + r as u64));
+                    rte.barrier(&p, job);
+                    count.fetch_add(1, Ordering::SeqCst);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn spawned_job_records_parent() {
+        let rte = Rte::new(RteConfig::default());
+        let world = rte.create_job(4, None);
+        let parent = ProcName { job: world, rank: 2 };
+        let child = rte.create_job(2, Some(parent));
+        assert_ne!(world, child);
+        assert_eq!(rte.job_parent(child), Some(parent));
+        assert_eq!(rte.job_parent(world), None);
+        assert_eq!(rte.job_size(child), 2);
+    }
+
+    #[test]
+    fn finalize_counts_to_job_size() {
+        let sim = Simulation::new();
+        let rte = Rte::new(RteConfig::default());
+        let job = rte.create_job(3, None);
+        let last = Arc::new(AtomicUsize::new(usize::MAX));
+        for r in 0..3usize {
+            let rte = rte.clone();
+            let last = last.clone();
+            sim.spawn(&format!("r{r}"), move |p| {
+                p.advance(Dur::from_us(r as u64));
+                if rte.finalize_rank(&p, job) {
+                    last.store(r, Ordering::SeqCst);
+                }
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(last.load(Ordering::SeqCst), 2);
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use qsim::{Dur, Simulation};
+
+    #[test]
+    fn modex_try_get_is_nonblocking() {
+        let rte = Rte::new(RteConfig::default());
+        let job = rte.create_job(1, None);
+        let who = ProcName { job, rank: 0 };
+        assert!(rte.modex_try_get(who, "missing").is_none());
+        let sim = Simulation::new();
+        {
+            let rte = rte.clone();
+            sim.spawn("p", move |p| {
+                rte.modex_put(&p, who, "k", vec![9]);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(rte.modex_try_get(who, "k"), Some(vec![9]));
+        assert!(rte.modex_try_get(who, "other").is_none());
+    }
+
+    #[test]
+    fn jobs_are_isolated() {
+        let sim = Simulation::new();
+        let rte = Rte::new(RteConfig::default());
+        let a = rte.create_job(2, None);
+        let b = rte.create_job(2, None);
+        assert_ne!(a, b);
+        // Barriers on different jobs do not release each other.
+        for (job, delay) in [(a, 0u64), (a, 5), (b, 10), (b, 15)] {
+            let rte = rte.clone();
+            sim.spawn(&format!("{job:?}-{delay}"), move |p| {
+                p.advance(Dur::from_us(delay));
+                rte.barrier(&p, job);
+            });
+        }
+        sim.run().unwrap();
+        // Keys are namespaced by job.
+        let sim2 = Simulation::new();
+        {
+            let rte = rte.clone();
+            sim2.spawn("p", move |p| {
+                rte.modex_put(&p, ProcName { job: a, rank: 0 }, "x", vec![1]);
+                rte.modex_put(&p, ProcName { job: b, rank: 0 }, "x", vec![2]);
+            });
+        }
+        sim2.run().unwrap();
+        assert_eq!(rte.modex_try_get(ProcName { job: a, rank: 0 }, "x"), Some(vec![1]));
+        assert_eq!(rte.modex_try_get(ProcName { job: b, rank: 0 }, "x"), Some(vec![2]));
+    }
+
+    #[test]
+    fn oob_operations_cost_virtual_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let sim = Simulation::new();
+        let rte = Rte::new(RteConfig::default());
+        let job = rte.create_job(1, None);
+        let t = Arc::new(AtomicU64::new(0));
+        {
+            let (rte, t) = (rte.clone(), t.clone());
+            sim.spawn("p", move |p| {
+                rte.modex_put(&p, ProcName { job, rank: 0 }, "k", vec![]);
+                t.store(p.now().as_ns(), Ordering::SeqCst);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(t.load(Ordering::SeqCst), 30_000, "one OOB hop = 30us");
+    }
+}

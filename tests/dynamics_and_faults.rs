@@ -1,0 +1,173 @@
+//! Dynamic process management (the paper's §4.1 capability) and fault
+//! behaviour: spawn cascades, disjoin/rejoin of contexts, capability
+//! exhaustion, link-fault transparency.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use openmpi_core::{Placement, StackConfig, Universe};
+
+/// A parent spawns workers which themselves spawn grandchildren: contexts
+/// are claimed and released at three different times during the run.
+#[test]
+fn nested_dynamic_spawn() {
+    let uni = Universe::paper_testbed(StackConfig::best());
+    let grandchildren = Arc::new(AtomicUsize::new(0));
+    let g2 = grandchildren.clone();
+    uni.run_world(1, Placement::RoundRobin, move |mpi| {
+        let g3 = g2.clone();
+        let inter = mpi.spawn(1, &[2], move |child| {
+            let g4 = g3.clone();
+            let pc = child.parent_comm().unwrap();
+            // Child spawns its own child.
+            let gc = child.spawn(1, &[3], move |grand| {
+                let gpc = grand.parent_comm().unwrap();
+                let buf = grand.alloc(8);
+                grand.recv(&gpc, 0, 0, &buf, 8);
+                let v = u64::from_le_bytes(grand.read(&buf, 0, 8).try_into().unwrap());
+                grand.write(&buf, 0, &(v + 1).to_le_bytes());
+                grand.send(&gpc, 0, 1, &buf, 8);
+                grand.free(buf);
+                g4.fetch_add(1, Ordering::SeqCst);
+            });
+            let buf = child.alloc(8);
+            // Relay: parent -> child -> grandchild -> child -> parent.
+            child.recv(&pc, 0, 0, &buf, 8);
+            child.send(&gc, 1, 0, &buf, 8);
+            child.recv(&gc, 1, 1, &buf, 8);
+            child.send(&pc, 0, 1, &buf, 8);
+            child.free(buf);
+        });
+        let buf = mpi.alloc(8);
+        mpi.write(&buf, 0, &41u64.to_le_bytes());
+        mpi.send(&inter, 1, 0, &buf, 8);
+        mpi.recv(&inter, 1, 1, &buf, 8);
+        let v = u64::from_le_bytes(mpi.read(&buf, 0, 8).try_into().unwrap());
+        assert_eq!(v, 42);
+        mpi.free(buf);
+    });
+    assert_eq!(grandchildren.load(Ordering::SeqCst), 1);
+}
+
+/// Contexts released by finished jobs are reusable: run several generations
+/// of spawned workers on the same node with a deliberately tiny capability.
+#[test]
+fn context_recycling_across_generations() {
+    let nic = elan4::NicConfig {
+        ctxs_per_node: 3, // tiny: forces reuse across generations
+        ..Default::default()
+    };
+    let uni = Universe::new(
+        nic,
+        qsnet::FabricConfig::default(),
+        StackConfig::best(),
+        openmpi_core::Transports::default(),
+    );
+    let done = Arc::new(AtomicUsize::new(0));
+    let d2 = done.clone();
+    uni.run_world(1, Placement::Nodes(vec![0]), move |mpi| {
+        for gen in 0..4 {
+            let d3 = d2.clone();
+            // Each generation spawns 2 workers on nodes 1 and 2; they
+            // finalize (disjoining) before the next generation starts.
+            let inter = mpi.spawn(2, &[1, 2], move |worker| {
+                let pc = worker.parent_comm().unwrap();
+                let buf = worker.alloc(8);
+                worker.recv(&pc, 0, 3, &buf, 8);
+                worker.send(&pc, 0, 4, &buf, 8);
+                worker.free(buf);
+                d3.fetch_add(1, Ordering::SeqCst);
+            });
+            let buf = mpi.alloc(8);
+            for w in 1..=2 {
+                mpi.write(&buf, 0, &(gen as u64).to_le_bytes());
+                mpi.send(&inter, w, 3, &buf, 8);
+            }
+            for _ in 0..2 {
+                mpi.recv(&inter, openmpi_core::ANY_SOURCE, 4, &buf, 8);
+            }
+            mpi.free(buf);
+            // Wait (in virtual time) for the workers to finalize so their
+            // contexts return to the capability before the next spawn.
+            mpi.compute(qsim::Dur::from_us(200));
+        }
+    });
+    assert_eq!(done.load(Ordering::SeqCst), 8);
+}
+
+/// Capability exhaustion is a clean, diagnosable failure.
+#[test]
+fn capability_exhaustion_panics_cleanly() {
+    let nic = elan4::NicConfig {
+        ctxs_per_node: 1,
+        ..Default::default()
+    };
+    let cluster = elan4::Cluster::new(nic, qsnet::FabricConfig::default());
+    let a = elan4::ElanCtx::attach(&cluster, 0).unwrap();
+    assert!(elan4::ElanCtx::attach(&cluster, 0).is_none());
+    a.detach();
+    assert!(elan4::ElanCtx::attach(&cluster, 0).is_some());
+}
+
+/// Hardware-level retransmission keeps MPI traffic correct under injected
+/// link faults, for both eager and rendezvous messages and under striping.
+#[test]
+fn link_faults_are_transparent_to_mpi() {
+    let fabric = qsnet::FabricConfig {
+        rails: 2,
+        ..Default::default()
+    };
+    let uni = Universe::new(
+        elan4::NicConfig::default(),
+        fabric,
+        StackConfig::best(),
+        openmpi_core::Transports {
+            elan_rails: 2,
+            tcp: false,
+        },
+    );
+    // Fault traffic in both directions between the ranks' nodes.
+    uni.cluster.fabric().inject_drops(0, 1, 5);
+    uni.cluster.fabric().inject_drops(1, 0, 5);
+    uni.run_world(2, Placement::RoundRobin, |mpi| {
+        let w = mpi.world();
+        let len = 1 << 17;
+        let buf = mpi.alloc(len);
+        let data: Vec<u8> = (0..len).map(|i| (i % 249) as u8).collect();
+        if mpi.rank() == 0 {
+            mpi.write(&buf, 0, &data);
+            mpi.send(&w, 1, 0, &buf, len);
+            mpi.recv(&w, 1, 1, &buf, 64);
+        } else {
+            mpi.recv(&w, 0, 0, &buf, len);
+            assert_eq!(mpi.read(&buf, 0, len), data);
+            mpi.send(&w, 0, 1, &buf, 64);
+        }
+        mpi.free(buf);
+    });
+    // All of the forward-direction drops and most of the reverse ones are
+    // consumed (the reverse path carries only a handful of control packets).
+    assert!(uni.cluster.fabric().stats().retries >= 8);
+}
+
+/// The same job re-run after another job used the cluster sees a clean
+/// machine (no cross-run interference through the shared fabric state).
+#[test]
+fn sequential_jobs_share_the_machine() {
+    let uni = Universe::paper_testbed(StackConfig::best());
+    for round in 0..3u8 {
+        uni.run_world(4, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let b = mpi.alloc(128);
+            if mpi.rank() == 0 {
+                mpi.write(&b, 0, &[round; 128]);
+            }
+            mpi.bcast(&w, 0, &b, 128);
+            assert_eq!(mpi.read(&b, 0, 128), vec![round; 128]);
+            mpi.free(b);
+        });
+    }
+    for node in 0..8 {
+        assert_eq!(uni.cluster.mem_in_use(node), 0);
+    }
+}
