@@ -60,12 +60,32 @@ fn matvec(mpi: &Mpi, comm: &Communicator, p: &[f64], halo: &HaloBufs) -> Vec<f64
     if len > 0 {
         if me > 0 {
             write_f64s(mpi, &halo.send_l, 0, &p[..1]);
-            mpi.sendrecv(comm, me - 1, 60, &halo.send_l, 8, (me - 1) as i32, 61, &halo.recv_l, 8);
+            mpi.sendrecv(
+                comm,
+                me - 1,
+                60,
+                &halo.send_l,
+                8,
+                (me - 1) as i32,
+                61,
+                &halo.recv_l,
+                8,
+            );
             left = read_f64s(mpi, &halo.recv_l, 0, 1)[0];
         }
         if me < n - 1 {
             write_f64s(mpi, &halo.send_r, 0, &p[len - 1..]);
-            mpi.sendrecv(comm, me + 1, 61, &halo.send_r, 8, (me + 1) as i32, 60, &halo.recv_r, 8);
+            mpi.sendrecv(
+                comm,
+                me + 1,
+                61,
+                &halo.send_r,
+                8,
+                (me + 1) as i32,
+                60,
+                &halo.recv_r,
+                8,
+            );
             right = read_f64s(mpi, &halo.recv_r, 0, 1)[0];
         }
     }
@@ -179,7 +199,7 @@ pub fn serial_reference(cfg: &CgConfig) -> (Vec<f64>, usize) {
 mod tests {
     use super::*;
     use openmpi_core::{Placement, StackConfig, Universe};
-    use parking_lot::Mutex;
+    use qsim::Mutex;
     use std::sync::Arc;
 
     #[test]
@@ -202,7 +222,12 @@ mod tests {
         uni.run_world(4, Placement::RoundRobin, move |mpi| {
             let w = mpi.world();
             let result = run(&mpi, &w, &cfg2);
-            assert!(result.rr <= cfg2.tol, "rank {} rr={}", mpi.rank(), result.rr);
+            assert!(
+                result.rr <= cfg2.tol,
+                "rank {} rr={}",
+                mpi.rank(),
+                result.rr
+            );
             s2.lock().push((mpi.rank(), result.x));
         });
         let mut parts = Arc::try_unwrap(sol).unwrap().into_inner();

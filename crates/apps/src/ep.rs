@@ -50,7 +50,9 @@ fn tally(cfg: &EpConfig, first: usize, count: usize) -> ([u64; 10], u64) {
     let mut annuli = [0u64; 10];
     let mut accepted = 0u64;
     for i in first..first + count {
-        let mut s = cfg.seed.wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut s = cfg
+            .seed
+            .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let x1 = lcg(&mut s);
         let x2 = lcg(&mut s);
         let t = x1 * x1 + x2 * x2;
@@ -112,7 +114,7 @@ pub fn serial_reference(cfg: &EpConfig) -> EpResult {
 mod tests {
     use super::*;
     use openmpi_core::{Placement, StackConfig, Universe};
-    use parking_lot::Mutex;
+    use qsim::Mutex;
     use std::sync::Arc;
 
     #[test]
@@ -142,6 +144,9 @@ mod tests {
     fn acceptance_rate_near_pi_over_four() {
         let r = serial_reference(&EpConfig::default());
         let rate = r.accepted as f64 / (1 << 16) as f64;
-        assert!((rate - std::f64::consts::FRAC_PI_4).abs() < 0.02, "rate {rate}");
+        assert!(
+            (rate - std::f64::consts::FRAC_PI_4).abs() < 0.02,
+            "rate {rate}"
+        );
     }
 }

@@ -71,7 +71,13 @@ pub fn run(mpi: &Mpi, comm: &Communicator, cfg: &SortConfig) -> Vec<u32> {
     let bytes: Vec<u8> = samples.iter().flat_map(|k| k.to_le_bytes()).collect();
     mpi.write(&sbuf, 0, &bytes);
     let gathered = mpi.alloc(4 * n * n);
-    mpi.gather(comm, 0, &sbuf, 4 * n, if me == 0 { Some(&gathered) } else { None });
+    mpi.gather(
+        comm,
+        0,
+        &sbuf,
+        4 * n,
+        if me == 0 { Some(&gathered) } else { None },
+    );
 
     // Rank 0 picks n-1 splitters and broadcasts them.
     let splitters: Vec<u32> = if me == 0 {
@@ -151,7 +157,7 @@ pub fn serial_reference(cfg: &SortConfig, nranks: usize) -> Vec<u32> {
 mod tests {
     use super::*;
     use openmpi_core::{Placement, StackConfig, Universe};
-    use parking_lot::Mutex;
+    use qsim::Mutex;
     use std::sync::Arc;
 
     fn run_sort(nranks: usize, cfg: SortConfig) -> Vec<(usize, Vec<u32>)> {

@@ -58,7 +58,14 @@ pub fn rows_of(cfg: &StencilConfig, rank: usize, nranks: usize) -> (usize, usize
 
 /// One Jacobi update over a block with halos already in place.
 /// `u` has `rows_here + 2` rows; rows 0 and rows_here+1 are halos.
-fn jacobi_step(u: &[f64], cols: usize, rows_here: usize, alpha: f64, top: bool, bottom: bool) -> Vec<f64> {
+fn jacobi_step(
+    u: &[f64],
+    cols: usize,
+    rows_here: usize,
+    alpha: f64,
+    top: bool,
+    bottom: bool,
+) -> Vec<f64> {
     let mut next = u.to_vec();
     for r in 1..=rows_here {
         for c in 0..cols {
@@ -133,16 +140,35 @@ fn run_inner(
         if me > 0 {
             write_f64s(mpi, &send_up, 0, &u[cols..2 * cols]);
             mpi.sendrecv(
-                comm, me - 1, 50, &send_up, row_bytes,
-                (me - 1) as i32, 51, &recv_up, row_bytes,
+                comm,
+                me - 1,
+                50,
+                &send_up,
+                row_bytes,
+                (me - 1) as i32,
+                51,
+                &recv_up,
+                row_bytes,
             );
             u[..cols].copy_from_slice(&read_f64s(mpi, &recv_up, 0, cols));
         }
         if me < n - 1 {
-            write_f64s(mpi, &send_dn, 0, &u[rows_here * cols..(rows_here + 1) * cols]);
+            write_f64s(
+                mpi,
+                &send_dn,
+                0,
+                &u[rows_here * cols..(rows_here + 1) * cols],
+            );
             mpi.sendrecv(
-                comm, me + 1, 51, &send_dn, row_bytes,
-                (me + 1) as i32, 50, &recv_dn, row_bytes,
+                comm,
+                me + 1,
+                51,
+                &send_dn,
+                row_bytes,
+                (me + 1) as i32,
+                50,
+                &recv_dn,
+                row_bytes,
             );
             u[(rows_here + 1) * cols..].copy_from_slice(&read_f64s(mpi, &recv_dn, 0, cols));
         }
@@ -194,7 +220,7 @@ pub fn serial_reference(cfg: &StencilConfig) -> Vec<f64> {
 mod tests {
     use super::*;
     use openmpi_core::{Placement, StackConfig, Universe};
-    use parking_lot::Mutex;
+    use qsim::Mutex;
     use std::sync::Arc;
 
     #[test]

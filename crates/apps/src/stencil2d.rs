@@ -45,7 +45,13 @@ fn grid_pos(rank: usize, pc: usize) -> (usize, usize) {
 }
 
 /// One Jacobi sweep over the interior of a halo-padded block.
-fn sweep(u: &[f64], lr: usize, lc: usize, alpha: f64, fixed: impl Fn(usize, usize) -> bool) -> Vec<f64> {
+fn sweep(
+    u: &[f64],
+    lr: usize,
+    lc: usize,
+    alpha: f64,
+    fixed: impl Fn(usize, usize) -> bool,
+) -> Vec<f64> {
     let w = lc + 2;
     let mut next = u.to_vec();
     for r in 1..=lr {
@@ -107,11 +113,23 @@ pub fn run(mpi: &Mpi, comm: &Communicator, cfg: &Stencil2dConfig) -> Vec<f64> {
         let col_at = |c: usize| field.slice((w + c) * 8, ((lr - 1) * w + 1) * 8);
         if let Some(peer) = left {
             reqs.push(mpi.isend_typed(comm, peer, 22, &col_at(1), Convertor::new(col_type(), 1)));
-            reqs.push(mpi.irecv_typed(comm, peer as i32, 23, &col_at(0), Convertor::new(col_type(), 1)));
+            reqs.push(mpi.irecv_typed(
+                comm,
+                peer as i32,
+                23,
+                &col_at(0),
+                Convertor::new(col_type(), 1),
+            ));
         }
         if let Some(peer) = right {
             reqs.push(mpi.isend_typed(comm, peer, 23, &col_at(lc), Convertor::new(col_type(), 1)));
-            reqs.push(mpi.irecv_typed(comm, peer as i32, 22, &col_at(lc + 1), Convertor::new(col_type(), 1)));
+            reqs.push(mpi.irecv_typed(
+                comm,
+                peer as i32,
+                22,
+                &col_at(lc + 1),
+                Convertor::new(col_type(), 1),
+            ));
         }
         mpi.waitall(reqs);
         u = read_f64s(mpi, &field, 0, (lr + 2) * w);
@@ -124,11 +142,7 @@ pub fn run(mpi: &Mpi, comm: &Communicator, cfg: &Stencil2dConfig) -> Vec<f64> {
                 || (gc == cfg.pc - 1 && c == lc)
         });
         mpi.compute(qsim::Dur::from_ns(6 * (lr * lc) as u64));
-        let local_res: f64 = next
-            .iter()
-            .zip(&u)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let local_res: f64 = next.iter().zip(&u).map(|(a, b)| (a - b).abs()).sum();
         u = next;
         write_f64s(mpi, &res_buf, 0, &[local_res]);
         mpi.allreduce(comm, ReduceOp::SumF64, &res_buf, 8);
@@ -168,7 +182,7 @@ pub fn serial_reference(cfg: &Stencil2dConfig) -> Vec<f64> {
 mod tests {
     use super::*;
     use openmpi_core::{Placement, StackConfig, Universe};
-    use parking_lot::Mutex;
+    use qsim::Mutex;
     use std::sync::Arc;
 
     fn run_grid(cfg: Stencil2dConfig) -> Vec<f64> {

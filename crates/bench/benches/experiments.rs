@@ -38,7 +38,8 @@ fn rndv(scheme: RdmaScheme, inline: bool, dtp: bool) -> StackConfig {
 
 /// Fig. 7: basic RDMA read/write latency (inline / no-inline / DTP).
 fn bench_fig7(c: &mut Criterion) {
-    println!("fig7 @4KB (us): read={:.2} read-noinline={:.2} read-dtp={:.2} write={:.2}",
+    println!(
+        "fig7 @4KB (us): read={:.2} read-noinline={:.2} read-dtp={:.2} write={:.2}",
         ompi_latency(&Setup::paper(rndv(RdmaScheme::Read, true, false)), 4096),
         ompi_latency(&Setup::paper(rndv(RdmaScheme::Read, false, false)), 4096),
         ompi_latency(&Setup::paper(rndv(RdmaScheme::Read, true, true)), 4096),
@@ -91,7 +92,9 @@ fn bench_fig9(c: &mut Criterion) {
         ompi_latency(&Setup::paper(StackConfig::best()), 64),
     );
     let mut g = quick(c, "fig9_layers");
-    g.bench_function("native_qdma", |b| b.iter(|| qdma_native_latency(&nic, &fabric, 128)));
+    g.bench_function("native_qdma", |b| {
+        b.iter(|| qdma_native_latency(&nic, &fabric, 128))
+    });
     g.bench_function("full_stack", |b| {
         let s = Setup::paper(StackConfig::best());
         b.iter(|| ompi_latency(&s, 64))
@@ -148,7 +151,9 @@ fn bench_fig10_bandwidth(c: &mut Criterion) {
         ompi_bandwidth(&s, 256 << 10, 8, 2),
     );
     let mut g = quick(c, "fig10_bandwidth");
-    g.bench_function("openmpi_256k", |b| b.iter(|| ompi_bandwidth(&s, 256 << 10, 8, 2)));
+    g.bench_function("openmpi_256k", |b| {
+        b.iter(|| ompi_bandwidth(&s, 256 << 10, 8, 2))
+    });
     g.finish();
 }
 

@@ -56,7 +56,9 @@ fn bench_convertor(c: &mut Criterion) {
     let dt = Datatype::vector(256, 16, 48, Datatype::u8());
     let conv = Convertor::new(dt, 4);
     let src = vec![7u8; conv.span()];
-    g.bench_function("pack_16k_strided", |b| b.iter(|| black_box(conv.pack(&src))));
+    g.bench_function("pack_16k_strided", |b| {
+        b.iter(|| black_box(conv.pack(&src)))
+    });
     let packed = conv.pack(&src);
     let mut dst = vec![0u8; conv.span()];
     g.bench_function("unpack_16k_strided", |b| {

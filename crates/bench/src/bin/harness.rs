@@ -4,7 +4,14 @@
 //! cargo run --release -p ompi-bench --bin harness -- <experiment>...
 //! cargo run --release -p ompi-bench --bin harness -- all
 //! cargo run --release -p ompi-bench --bin harness -- fig10a --csv
+//! cargo run --release -p ompi-bench --bin harness -- --emit-metrics --trace-out trace.json
 //! ```
+//!
+//! `--emit-metrics` runs an instrumented 4-rank ping-pong after any selected
+//! experiments and prints the telemetry snapshot (per-endpoint counters,
+//! latency histograms, PTL traffic, simulator profile) as JSON on stdout.
+//! `--trace-out FILE` additionally writes the per-rank Chrome trace-event
+//! timeline, loadable in `chrome://tracing` or Perfetto.
 
 use ompi_bench::{
     apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
@@ -36,17 +43,38 @@ const EXPERIMENTS: &[(&str, fn() -> Table)] = &[
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let csv = args.iter().any(|a| a == "--csv");
-    let md = args.iter().any(|a| a == "--md");
-    let selected: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|s| s.as_str())
-        .collect();
+    let mut csv = false;
+    let mut md = false;
+    let mut emit_metrics = false;
+    let mut trace_out: Option<String> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--md" => md = true,
+            "--emit-metrics" => emit_metrics = true,
+            "--trace-out" => {
+                trace_out = args.next();
+                if trace_out.is_none() {
+                    eprintln!("--trace-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            _ if a.starts_with("--") => {
+                eprintln!("unknown flag `{a}`");
+                std::process::exit(2);
+            }
+            _ => selected.push(a),
+        }
+    }
+    let selected: Vec<&str> = selected.iter().map(|s| s.as_str()).collect();
 
-    if selected.is_empty() {
-        eprintln!("usage: harness [--csv|--md] <experiment>... | all | paper | compare");
+    if selected.is_empty() && !emit_metrics {
+        eprintln!(
+            "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
+             <experiment>... | all | paper | compare"
+        );
         eprintln!("experiments:");
         for (name, _) in EXPERIMENTS {
             eprintln!("  {name}");
@@ -88,5 +116,21 @@ fn main() {
             table.print();
         }
         eprintln!("[{name} regenerated in {:.1?} wall time]", start.elapsed());
+    }
+
+    if emit_metrics {
+        use ompi_bench::measure::{telemetry_pingpong, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // 4 ranks, 16 KiB messages: well past the eager limit, so the
+        // rendezvous histograms and RDMA counters all light up.
+        let telemetry = telemetry_pingpong(&Setup::paper(StackConfig::default()), 4, 16 << 10, 8);
+        println!("{}", telemetry.to_json());
+        if let Some(path) = trace_out {
+            std::fs::write(&path, telemetry.chrome_trace())
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[chrome trace written to {path}]");
+        }
+        eprintln!("[telemetry captured in {:.1?} wall time]", start.elapsed());
     }
 }

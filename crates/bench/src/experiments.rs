@@ -79,7 +79,9 @@ pub fn fig8() -> Table {
     let mut twoq = base.clone();
     twoq.completion = CompletionMode::SharedQueueSeparate;
     let cfgs = [base, nochain, oneq, twoq];
-    for len in [0usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384] {
+    for len in [
+        0usize, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384,
+    ] {
         let vals = cfgs
             .iter()
             .map(|c| ompi_latency(&Setup::paper(c.clone()), len))
@@ -96,7 +98,12 @@ pub fn fig9() -> Table {
     let mut t = Table::new(
         "Fig. 9: communication cost by layer",
         "us",
-        &["QDMA latency(64+N)", "PTL latency", "PML layer cost", "Total"],
+        &[
+            "QDMA latency(64+N)",
+            "PTL latency",
+            "PML layer cost",
+            "Total",
+        ],
     );
     let nic = NicConfig::default();
     let fabric = FabricConfig::default();
@@ -151,7 +158,11 @@ pub fn fig10_latency(sizes: &[usize]) -> Table {
     let mut t = Table::new(
         "Fig. 10(a/b): latency, Open MPI vs MPICH-QsNetII",
         "us",
-        &["MPICH-QsNetII", "PTL/Elan4-RDMA-Read", "PTL/Elan4-RDMA-Write"],
+        &[
+            "MPICH-QsNetII",
+            "PTL/Elan4-RDMA-Read",
+            "PTL/Elan4-RDMA-Write",
+        ],
     );
     let nic = NicConfig::default();
     let fabric = FabricConfig::default();
@@ -178,7 +189,11 @@ pub fn fig10_bandwidth(sizes: &[usize]) -> Table {
     let mut t = Table::new(
         "Fig. 10(c/d): bandwidth, Open MPI vs MPICH-QsNetII",
         "MB/s",
-        &["MPICH-QsNetII", "PTL/Elan4-RDMA-Read", "PTL/Elan4-RDMA-Write"],
+        &[
+            "MPICH-QsNetII",
+            "PTL/Elan4-RDMA-Read",
+            "PTL/Elan4-RDMA-Write",
+        ],
     );
     let nic = NicConfig::default();
     let fabric = FabricConfig::default();
@@ -449,7 +464,11 @@ pub fn apps_scaling() -> Table {
     let mut t = Table::new(
         "Ablation: mini-application time vs ranks",
         "us",
-        &["stencil 128x64 step", "CG n=512 iteration", "EP 64Ki pairs total"],
+        &[
+            "stencil 128x64 step",
+            "CG n=512 iteration",
+            "EP 64Ki pairs total",
+        ],
     );
     for ranks in [1usize, 2, 4, 8] {
         t.push(ranks, vec![stencil_us(ranks), cg_us(ranks), ep_us(ranks)]);

@@ -7,8 +7,10 @@ use std::sync::Arc;
 
 use elan4::{Cluster, ElanCtx, NicConfig};
 use mpich_qsnet::{run_mpich, MpichConfig};
-use openmpi_core::{Placement, StackConfig, Transports, Universe};
-use parking_lot::Mutex;
+use openmpi_core::{
+    Metrics, Placement, PtlKind, PtlTraffic, StackConfig, TraceLog, Transports, Universe,
+};
+use qsim::Mutex;
 use qsim::{Dur, Simulation};
 use qsnet::FabricConfig;
 
@@ -20,7 +22,9 @@ pub const WARMUP: usize = 4;
 pub const ITERS: usize = 20;
 
 fn pattern(n: usize, seed: u8) -> Vec<u8> {
-    (0..n).map(|i| ((i * 31 + seed as usize) % 251) as u8).collect()
+    (0..n)
+        .map(|i| ((i * 31 + seed as usize) % 251) as u8)
+        .collect()
 }
 
 /// A fully specified machine + stack for one measurement.
@@ -56,33 +60,38 @@ impl Setup {
 pub fn ompi_latency(setup: &Setup, len: usize) -> f64 {
     let lat = Arc::new(AtomicU64::new(0));
     let l2 = lat.clone();
-    setup.universe().run_world(2, Placement::RoundRobin, move |mpi| {
-        let w = mpi.world();
-        let sbuf = mpi.alloc(len.max(1));
-        let rbuf = mpi.alloc(len.max(1));
-        mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
-        let round = |i: usize| {
-            let _ = i;
-            if mpi.rank() == 0 {
-                mpi.send(&w, 1, 0, &sbuf, len);
-                mpi.recv(&w, 1, 0, &rbuf, len);
-            } else {
-                mpi.recv(&w, 0, 0, &rbuf, len);
-                mpi.send(&w, 0, 0, &sbuf, len);
+    setup
+        .universe()
+        .run_world(2, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let sbuf = mpi.alloc(len.max(1));
+            let rbuf = mpi.alloc(len.max(1));
+            mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+            let round = |i: usize| {
+                let _ = i;
+                if mpi.rank() == 0 {
+                    mpi.send(&w, 1, 0, &sbuf, len);
+                    mpi.recv(&w, 1, 0, &rbuf, len);
+                } else {
+                    mpi.recv(&w, 0, 0, &rbuf, len);
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            };
+            for i in 0..WARMUP {
+                round(i);
             }
-        };
-        for i in 0..WARMUP {
-            round(i);
-        }
-        mpi.barrier(&w);
-        let t0 = mpi.now();
-        for i in 0..ITERS {
-            round(i);
-        }
-        if mpi.rank() == 0 {
-            l2.store((mpi.now() - t0).as_ns() / (2 * ITERS as u64), Ordering::SeqCst);
-        }
-    });
+            mpi.barrier(&w);
+            let t0 = mpi.now();
+            for i in 0..ITERS {
+                round(i);
+            }
+            if mpi.rank() == 0 {
+                l2.store(
+                    (mpi.now() - t0).as_ns() / (2 * ITERS as u64),
+                    Ordering::SeqCst,
+                );
+            }
+        });
     lat.load(Ordering::SeqCst) as f64 / 1_000.0
 }
 
@@ -91,31 +100,149 @@ pub fn ompi_latency(setup: &Setup, len: usize) -> f64 {
 pub fn ompi_bandwidth(setup: &Setup, len: usize, window: usize, reps: usize) -> f64 {
     let bw = Arc::new(Mutex::new(0.0f64));
     let b2 = bw.clone();
-    setup.universe().run_world(2, Placement::RoundRobin, move |mpi| {
-        let w = mpi.world();
-        let bufs: Vec<_> = (0..window).map(|_| mpi.alloc(len.max(1))).collect();
-        let ack = mpi.alloc(1);
-        mpi.barrier(&w);
-        let t0 = mpi.now();
-        for _ in 0..reps {
-            if mpi.rank() == 0 {
-                let reqs: Vec<_> = bufs.iter().map(|b| mpi.isend(&w, 1, 0, b, len)).collect();
-                mpi.waitall(reqs);
-                mpi.recv(&w, 1, 1, &ack, 0);
-            } else {
-                let reqs: Vec<_> = bufs.iter().map(|b| mpi.irecv(&w, 0, 0, b, len)).collect();
-                mpi.waitall(reqs);
-                mpi.send(&w, 0, 1, &ack, 0);
+    setup
+        .universe()
+        .run_world(2, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let bufs: Vec<_> = (0..window).map(|_| mpi.alloc(len.max(1))).collect();
+            let ack = mpi.alloc(1);
+            mpi.barrier(&w);
+            let t0 = mpi.now();
+            for _ in 0..reps {
+                if mpi.rank() == 0 {
+                    let reqs: Vec<_> = bufs.iter().map(|b| mpi.isend(&w, 1, 0, b, len)).collect();
+                    mpi.waitall(reqs);
+                    mpi.recv(&w, 1, 1, &ack, 0);
+                } else {
+                    let reqs: Vec<_> = bufs.iter().map(|b| mpi.irecv(&w, 0, 0, b, len)).collect();
+                    mpi.waitall(reqs);
+                    mpi.send(&w, 0, 1, &ack, 0);
+                }
             }
-        }
-        if mpi.rank() == 0 {
-            let ns = (mpi.now() - t0).as_ns();
-            let bytes = (len * window * reps) as f64;
-            *b2.lock() = bytes / (ns as f64 / 1e9) / 1e6;
-        }
-    });
+            if mpi.rank() == 0 {
+                let ns = (mpi.now() - t0).as_ns();
+                let bytes = (len * window * reps) as f64;
+                *b2.lock() = bytes / (ns as f64 / 1e9) / 1e6;
+            }
+        });
     let v = *bw.lock();
     v
+}
+
+/// Everything captured from one instrumented run: per-rank counter and
+/// histogram snapshots, per-PTL traffic, the trace rings, and the
+/// simulator's own profile (events dispatched, queue occupancy).
+pub struct Telemetry {
+    /// Metrics snapshot of each rank, indexed by rank.
+    pub per_rank: Vec<Metrics>,
+    /// Per-rank, per-component frame/byte totals.
+    pub traffic: Vec<Vec<PtlTraffic>>,
+    /// Per-rank trace rings (rank, log).
+    pub traces: Vec<(u32, TraceLog)>,
+    /// The discrete-event kernel's report for the whole run.
+    pub report: qsim::Report,
+}
+
+fn ptl_kind_name(kind: PtlKind) -> String {
+    match kind {
+        PtlKind::Elan4 { rail } => format!("elan4.{rail}"),
+        PtlKind::Tcp => "tcp".to_string(),
+    }
+}
+
+impl Telemetry {
+    /// All ranks' timelines as one Chrome trace-event JSON document.
+    pub fn chrome_trace(&self) -> String {
+        let refs: Vec<(u32, &TraceLog)> = self.traces.iter().map(|(r, l)| (*r, l)).collect();
+        openmpi_core::chrome_trace_json(&refs)
+    }
+
+    /// One JSON document: per-rank metrics, PTL traffic, trace-ring status,
+    /// and the simulator report.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ranks\":[");
+        for (rank, m) in self.per_rank.iter().enumerate() {
+            if rank > 0 {
+                out.push(',');
+            }
+            let traffic: Vec<String> = self.traffic[rank]
+                .iter()
+                .map(|t| {
+                    format!(
+                        "{{\"ptl\":\"{}\",\"frames\":{},\"bytes\":{}}}",
+                        ptl_kind_name(t.kind),
+                        t.sent_frames,
+                        t.sent_bytes
+                    )
+                })
+                .collect();
+            let (_, trace) = &self.traces[rank];
+            out.push_str(&format!(
+                "{{\"rank\":{rank},\"metrics\":{},\"ptl_traffic\":[{}],\
+                 \"trace\":{{\"retained\":{},\"dropped\":{}}}}}",
+                m.to_json(),
+                traffic.join(","),
+                trace.len(),
+                trace.dropped()
+            ));
+        }
+        out.push_str(&format!(
+            "],\"sim\":{{\"end_time_ns\":{},\"events_processed\":{},\
+             \"procs_spawned\":{},\"max_queue_depth\":{},\"wakes_executed\":{}}}}}",
+            self.report.end_time.as_ns(),
+            self.report.events_processed,
+            self.report.procs_spawned,
+            self.report.max_queue_depth,
+            self.report.wakes_executed
+        ));
+        out
+    }
+}
+
+/// Run a `ranks`-process ping-pong (rank 0 against each peer in turn) with
+/// metrics and tracing forced on, and collect every rank's telemetry.
+pub fn telemetry_pingpong(setup: &Setup, ranks: usize, len: usize, iters: usize) -> Telemetry {
+    type Row = (u32, Metrics, Vec<PtlTraffic>, TraceLog);
+    let mut setup = setup.clone();
+    setup.stack.metrics = true;
+    setup.stack.trace = true;
+    let collected: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let c2 = collected.clone();
+    let report = setup
+        .universe()
+        .run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let sbuf = mpi.alloc(len.max(1));
+            let rbuf = mpi.alloc(len.max(1));
+            mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+            for _ in 0..iters {
+                if mpi.rank() == 0 {
+                    for peer in 1..ranks {
+                        mpi.send(&w, peer, 0, &sbuf, len);
+                        mpi.recv(&w, peer as i32, 0, &rbuf, len);
+                    }
+                } else {
+                    mpi.recv(&w, 0, 0, &rbuf, len);
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            }
+            mpi.barrier(&w);
+            let ep = mpi.endpoint();
+            c2.lock().push((
+                mpi.rank() as u32,
+                ep.metrics_snapshot(),
+                ep.ptls.lock().traffic(),
+                ep.trace.lock().clone(),
+            ));
+        });
+    let mut rows = std::mem::take(&mut *collected.lock());
+    rows.sort_by_key(|(r, ..)| *r);
+    Telemetry {
+        per_rank: rows.iter().map(|(_, m, ..)| m.clone()).collect(),
+        traffic: rows.iter().map(|(_, _, t, _)| t.clone()).collect(),
+        traces: rows.into_iter().map(|(r, _, _, log)| (r, log)).collect(),
+        report,
+    }
 }
 
 /// MPICH-QsNet ping-pong latency in µs.
@@ -145,14 +272,23 @@ pub fn mpich_latency(nic: &NicConfig, fabric: &FabricConfig, len: usize) -> f64 
             round();
         }
         if r.rank() == 0 {
-            l2.store((r.now() - t0).as_ns() / (2 * ITERS as u64), Ordering::SeqCst);
+            l2.store(
+                (r.now() - t0).as_ns() / (2 * ITERS as u64),
+                Ordering::SeqCst,
+            );
         }
     });
     lat.load(Ordering::SeqCst) as f64 / 1_000.0
 }
 
 /// MPICH-QsNet streaming bandwidth in MB/s.
-pub fn mpich_bandwidth(nic: &NicConfig, fabric: &FabricConfig, len: usize, window: usize, reps: usize) -> f64 {
+pub fn mpich_bandwidth(
+    nic: &NicConfig,
+    fabric: &FabricConfig,
+    len: usize,
+    window: usize,
+    reps: usize,
+) -> f64 {
     let cluster = Cluster::new(nic.clone(), fabric.clone());
     let bw = Arc::new(Mutex::new(0.0f64));
     let b2 = bw.clone();
@@ -210,7 +346,10 @@ pub fn qdma_native_latency(nic: &NicConfig, fabric: &FabricConfig, len: usize) -
                 a.qdma(&p, 0, vb, elan4::QueueId(0), vec![1u8; len.max(1)], None);
                 let _ = q.wait_pop(&p, &sig, a.cluster().cfg().poll_check).unwrap();
             }
-            lat.store((p.now() - t0).as_ns() / (2 * iters as u64), Ordering::SeqCst);
+            lat.store(
+                (p.now() - t0).as_ns() / (2 * iters as u64),
+                Ordering::SeqCst,
+            );
         });
     }
     {
@@ -232,38 +371,40 @@ pub fn qdma_native_latency(nic: &NicConfig, fabric: &FabricConfig, len: usize) -
 pub fn layer_decomposition(setup: &Setup, len: usize) -> (f64, f64, f64) {
     let out = Arc::new(Mutex::new((0.0f64, 0.0f64)));
     let o2 = out.clone();
-    setup.universe().run_world(2, Placement::RoundRobin, move |mpi| {
-        let w = mpi.world();
-        let sbuf = mpi.alloc(len.max(1));
-        let rbuf = mpi.alloc(len.max(1));
-        let round = || {
-            if mpi.rank() == 0 {
-                mpi.send(&w, 1, 0, &sbuf, len);
-                mpi.recv(&w, 1, 0, &rbuf, len);
-            } else {
-                mpi.recv(&w, 0, 0, &rbuf, len);
-                mpi.send(&w, 0, 0, &sbuf, len);
+    setup
+        .universe()
+        .run_world(2, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let sbuf = mpi.alloc(len.max(1));
+            let rbuf = mpi.alloc(len.max(1));
+            let round = || {
+                if mpi.rank() == 0 {
+                    mpi.send(&w, 1, 0, &sbuf, len);
+                    mpi.recv(&w, 1, 0, &rbuf, len);
+                } else {
+                    mpi.recv(&w, 0, 0, &rbuf, len);
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            };
+            for _ in 0..WARMUP {
+                round();
             }
-        };
-        for _ in 0..WARMUP {
-            round();
-        }
-        mpi.barrier(&w);
-        let t0 = mpi.now();
-        let n = 50;
-        for _ in 0..n {
-            round();
-        }
-        if mpi.rank() == 0 {
-            let total = (mpi.now() - t0).as_ns() as f64 / (2 * n) as f64 / 1_000.0;
-            let pml = mpi
-                .endpoint()
-                .pml_layer_cost()
-                .map(|d| d.as_us())
-                .unwrap_or(0.0);
-            *o2.lock() = (total, pml);
-        }
-    });
+            mpi.barrier(&w);
+            let t0 = mpi.now();
+            let n = 50;
+            for _ in 0..n {
+                round();
+            }
+            if mpi.rank() == 0 {
+                let total = (mpi.now() - t0).as_ns() as f64 / (2 * n) as f64 / 1_000.0;
+                let pml = mpi
+                    .endpoint()
+                    .pml_layer_cost()
+                    .map(|d| d.as_us())
+                    .unwrap_or(0.0);
+                *o2.lock() = (total, pml);
+            }
+        });
     let (total, pml) = *out.lock();
     (total, pml, total - pml)
 }

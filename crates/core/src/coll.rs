@@ -6,6 +6,7 @@
 //! it can never match application receives.
 
 use crate::comm::Communicator;
+use crate::metrics::CollOp;
 use crate::mpi::Mpi;
 
 /// Reduction operators over typed byte buffers.
@@ -28,7 +29,9 @@ impl ReduceOp {
                 (f64::from_le_bytes(a) + f64::from_le_bytes(b)).to_le_bytes()
             }),
             ReduceOp::MaxF64 => fold::<8>(acc, other, |a, b| {
-                f64::from_le_bytes(a).max(f64::from_le_bytes(b)).to_le_bytes()
+                f64::from_le_bytes(a)
+                    .max(f64::from_le_bytes(b))
+                    .to_le_bytes()
             }),
             ReduceOp::SumU64 => fold::<8>(acc, other, |a, b| {
                 u64::from_le_bytes(a)
@@ -57,8 +60,16 @@ const TAG_BCAST_HW: i32 = 7;
 const TAG_SCATTER: i32 = 8;
 
 impl Mpi {
+    /// Telemetry: one collective entered. Composed collectives (allreduce,
+    /// reduce_scatter, …) also count the primitives they delegate to.
+    fn coll_count(&self, op: CollOp) {
+        self.endpoint()
+            .metric(|m| m.counters.coll[op as usize] += 1);
+    }
+
     /// Dissemination barrier: ceil(log2(n)) rounds.
     pub fn barrier(&self, comm: &Communicator) {
+        self.coll_count(CollOp::Barrier);
         let c = comm.coll_plane();
         let n = c.size();
         if n <= 1 {
@@ -95,6 +106,7 @@ impl Mpi {
         if c.hw_coll && self.endpoint().transports.elan_rails > 0 {
             return self.bcast_hw(&c, root, buf, len);
         }
+        self.coll_count(CollOp::Bcast);
         // Virtual rank with the root at 0.
         let vrank = (c.rank() + n - root) % n;
         let mut mask = 1usize;
@@ -122,6 +134,7 @@ impl Mpi {
     /// eager fragments, each delivered to every member with a single NIC
     /// injection; members receive them as ordinary matched messages.
     fn bcast_hw(&self, c: &Communicator, root: usize, buf: &elan4::HostBuf, len: usize) {
+        self.coll_count(CollOp::BcastHw);
         const CHUNK: usize = crate::hdr::MAX_INLINE;
         let chunks = len.div_ceil(CHUNK).max(1);
         if c.rank() == root {
@@ -157,6 +170,7 @@ impl Mpi {
         recv: &elan4::HostBuf,
         block: usize,
     ) {
+        self.coll_count(CollOp::Scatter);
         let c = comm.coll_plane();
         let n = c.size();
         if c.rank() == root {
@@ -208,6 +222,7 @@ impl Mpi {
         buf: &elan4::HostBuf,
         len: usize,
     ) {
+        self.coll_count(CollOp::Reduce);
         let c = comm.coll_plane();
         let n = c.size();
         if n <= 1 {
@@ -236,13 +251,8 @@ impl Mpi {
     }
 
     /// Reduce-to-all: reduce to rank 0 then broadcast.
-    pub fn allreduce(
-        &self,
-        comm: &Communicator,
-        op: ReduceOp,
-        buf: &elan4::HostBuf,
-        len: usize,
-    ) {
+    pub fn allreduce(&self, comm: &Communicator, op: ReduceOp, buf: &elan4::HostBuf, len: usize) {
+        self.coll_count(CollOp::Allreduce);
         self.reduce(comm, 0, op, buf, len);
         self.bcast(comm, 0, buf, len);
     }
@@ -257,6 +267,7 @@ impl Mpi {
         len: usize,
         recv: Option<&elan4::HostBuf>,
     ) {
+        self.coll_count(CollOp::Gather);
         let c = comm.coll_plane();
         let n = c.size();
         if c.rank() == root {
@@ -286,6 +297,7 @@ impl Mpi {
         len: usize,
         recv: &elan4::HostBuf,
     ) {
+        self.coll_count(CollOp::Allgather);
         let c = comm.coll_plane();
         let _ = &c;
         self.gather(comm, 0, sbuf, len, Some(recv));
@@ -316,6 +328,7 @@ impl Mpi {
         recv: &elan4::HostBuf,
         block: usize,
     ) {
+        self.coll_count(CollOp::Alltoall);
         let c = comm.coll_plane();
         let n = c.size();
         let me = c.rank();
@@ -346,13 +359,8 @@ impl Mpi {
     /// Inclusive prefix reduction (MPI_Scan): rank `r` ends up with the
     /// reduction of ranks `0..=r`. Linear chain: receive from the left,
     /// fold, forward to the right.
-    pub fn scan(
-        &self,
-        comm: &Communicator,
-        op: ReduceOp,
-        buf: &elan4::HostBuf,
-        len: usize,
-    ) {
+    pub fn scan(&self, comm: &Communicator, op: ReduceOp, buf: &elan4::HostBuf, len: usize) {
+        self.coll_count(CollOp::Scan);
         let c = comm.coll_plane();
         let n = c.size();
         let me = c.rank();
@@ -384,6 +392,7 @@ impl Mpi {
         recv: &elan4::HostBuf,
         block: usize,
     ) {
+        self.coll_count(CollOp::ReduceScatter);
         let c = comm.coll_plane();
         let n = c.size();
         assert!(send.len >= n * block && recv.len >= block);
@@ -410,6 +419,7 @@ impl Mpi {
         root: usize,
         data: &[u8],
     ) -> Option<(Vec<usize>, Vec<u8>)> {
+        self.coll_count(CollOp::Gatherv);
         let c = comm.coll_plane();
         let n = c.size();
         // Gather the lengths first.
@@ -418,7 +428,13 @@ impl Mpi {
         let lbuf = self.alloc(8);
         self.write(&lbuf, 0, &len_bytes);
         let lens_buf = self.alloc(8 * n);
-        self.gather(comm, root, &lbuf, 8, (c.rank() == root).then_some(&lens_buf));
+        self.gather(
+            comm,
+            root,
+            &lbuf,
+            8,
+            (c.rank() == root).then_some(&lens_buf),
+        );
 
         let result = if c.rank() == root {
             let lens: Vec<usize> = self
@@ -477,6 +493,7 @@ impl Mpi {
     /// vector received from each rank, in rank order. Lengths need not be
     /// agreed beforehand — receivers probe for them.
     pub fn alltoallv(&self, comm: &Communicator, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
+        self.coll_count(CollOp::Alltoallv);
         let c = comm.coll_plane();
         let n = c.size();
         let me = c.rank();

@@ -62,10 +62,8 @@ pub fn register_comm(proc: &Proc, ep: &Arc<Endpoint>, comm: &Communicator) {
                 !st.comms.contains_key(&ctx),
                 "context id {ctx} registered twice"
             );
-            st.comms.insert(
-                ctx,
-                CommState::new(ctx, comm.group.clone(), comm.my_rank),
-            );
+            st.comms
+                .insert(ctx, CommState::new(ctx, comm.group.clone(), comm.my_rank));
         }
         let mut early = Vec::new();
         let mut keep = Vec::new();

@@ -76,6 +76,13 @@ pub struct StackConfig {
     /// Record every protocol transition in the endpoint's
     /// [`crate::trace::TraceLog`].
     pub trace: bool,
+    /// Ring capacity of the trace log; when full, the oldest events are
+    /// evicted and counted in [`crate::trace::TraceLog::dropped`].
+    pub trace_capacity: usize,
+    /// Keep per-endpoint telemetry ([`crate::metrics::Metrics`]): protocol
+    /// counters and latency histograms. Off by default so the fast path
+    /// does no extra locking.
+    pub metrics: bool,
     /// Host-side layer costs.
     pub host: HostConfig,
     /// Copy-engine cost model.
@@ -139,6 +146,8 @@ impl Default for StackConfig {
             qslots: 128,
             integrity_check: false,
             trace: false,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
+            metrics: false,
             host: HostConfig::default(),
             copy: CopyModel::default(),
         }
@@ -168,6 +177,10 @@ impl StackConfig {
         }
         assert!(self.eager_limit <= crate::hdr::MAX_INLINE);
         assert!(self.qslots >= 2);
+        assert!(
+            self.trace_capacity >= 1,
+            "trace ring needs at least one slot"
+        );
     }
 }
 

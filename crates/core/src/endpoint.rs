@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use elan4::{Cluster, ElanCtx, HostBuf, RxQueue};
 use ompi_rte::{ProcName, Rte};
-use parking_lot::Mutex;
+use qsim::Mutex;
 use qsim::{Dur, Proc, Signal, Time, Wait};
 
 use crate::config::{CompletionMode, ProgressMode, StackConfig};
@@ -112,6 +112,8 @@ pub struct Endpoint {
     pub trace: Mutex<crate::trace::TraceLog>,
     /// Behavioural counters.
     pub stats: Mutex<EpStats>,
+    /// Telemetry counters + histograms (populated when `cfg.metrics` is set).
+    pub metrics: Mutex<crate::metrics::Metrics>,
     /// This rank's published addressing.
     pub my_info: PeerInfo,
 }
@@ -136,16 +138,15 @@ impl Endpoint {
             "more rails requested than the fabric has"
         );
         // Dynamic join: claim an Elan4 context whenever this process starts.
-        let ectx = Arc::new(
-            ElanCtx::attach(&cluster, node).expect("Elan4 capability exhausted on node"),
-        );
+        let ectx =
+            Arc::new(ElanCtx::attach(&cluster, node).expect("Elan4 capability exhausted on node"));
 
         let (main_q, comp_q) = if transports.elan_rails > 0 {
             let main = Arc::new(ectx.create_queue(cfg.qslots, crate::hdr::SLOT_LEN));
             let comp = match cfg.completion {
-                CompletionMode::SharedQueueSeparate => {
-                    Some(Arc::new(ectx.create_queue(cfg.qslots, crate::hdr::SLOT_LEN)))
-                }
+                CompletionMode::SharedQueueSeparate => Some(Arc::new(
+                    ectx.create_queue(cfg.qslots, crate::hdr::SLOT_LEN),
+                )),
                 _ => None,
             };
             (Some(main), comp)
@@ -208,6 +209,7 @@ impl Endpoint {
             ptls.activate(PtlKind::Tcp).expect("initialized component");
         }
 
+        let trace_capacity = cfg.trace_capacity;
         Arc::new(Endpoint {
             name,
             node,
@@ -224,8 +226,9 @@ impl Endpoint {
             ptls: Mutex::new(ptls),
             doorbell: Mutex::new(None),
             instr: Mutex::new(Instr::default()),
-            trace: Mutex::new(crate::trace::TraceLog::default()),
+            trace: Mutex::new(crate::trace::TraceLog::with_capacity(trace_capacity)),
             stats: Mutex::new(EpStats::default()),
+            metrics: Mutex::new(crate::metrics::Metrics::default()),
             my_info,
         })
     }
@@ -252,19 +255,28 @@ impl Endpoint {
             }
             ProgressMode::OneThread => {
                 let ep = self.clone();
-                proc.spawn_daemon(&format!("progress-{}-{}", self.name.job.0, self.name.rank), move |p| {
-                    progress_thread(&p, &ep, QueueSel::Main);
-                });
+                proc.spawn_daemon(
+                    &format!("progress-{}-{}", self.name.job.0, self.name.rank),
+                    move |p| {
+                        progress_thread(&p, &ep, QueueSel::Main);
+                    },
+                );
             }
             ProgressMode::TwoThreads => {
                 let ep = self.clone();
-                proc.spawn_daemon(&format!("progress-{}-{}", self.name.job.0, self.name.rank), move |p| {
-                    progress_thread(&p, &ep, QueueSel::Main);
-                });
+                proc.spawn_daemon(
+                    &format!("progress-{}-{}", self.name.job.0, self.name.rank),
+                    move |p| {
+                        progress_thread(&p, &ep, QueueSel::Main);
+                    },
+                );
                 let ep2 = self.clone();
-                proc.spawn_daemon(&format!("compl-{}-{}", self.name.job.0, self.name.rank), move |p| {
-                    progress_thread(&p, &ep2, QueueSel::Completion);
-                });
+                proc.spawn_daemon(
+                    &format!("compl-{}-{}", self.name.job.0, self.name.rank),
+                    move |p| {
+                        progress_thread(&p, &ep2, QueueSel::Completion);
+                    },
+                );
             }
         }
     }
@@ -364,6 +376,19 @@ impl Endpoint {
         }
     }
 
+    /// Update telemetry (no-op unless `cfg.metrics` is set). The metrics
+    /// lock may be taken while holding the state lock, never the reverse.
+    pub fn metric(&self, f: impl FnOnce(&mut crate::metrics::Metrics)) {
+        if self.cfg.metrics {
+            f(&mut self.metrics.lock());
+        }
+    }
+
+    /// A copy of the endpoint's telemetry as of now.
+    pub fn metrics_snapshot(&self) -> crate::metrics::Metrics {
+        self.metrics.lock().clone()
+    }
+
     /// Record the PML-handoff timestamp (paper §6.3 instrumentation).
     pub fn instr_mark_rx(&self, now: Time) {
         self.instr.lock().last_rx = Some(now);
@@ -431,6 +456,7 @@ fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
         }
     }
     loop {
+        ep.metric(|m| m.counters.progress_iterations += 1);
         let mut worked = false;
         while let Some(frame) = q.pop_ready() {
             proto::dispatch(proc, ep, frame);

@@ -179,6 +179,7 @@ pub fn fletcher16(data: &[u8]) -> u16 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -226,6 +227,7 @@ mod tests {
         Hdr::from_bytes(&b);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn roundtrip_random(

@@ -28,6 +28,7 @@ pub mod comm;
 pub mod config;
 pub mod endpoint;
 pub mod hdr;
+pub mod metrics;
 pub mod mpi;
 pub mod peer;
 pub mod proto;
@@ -42,12 +43,13 @@ pub use coll::ReduceOp;
 pub use comm::Communicator;
 pub use config::{CompletionMode, HostConfig, ProgressMode, RdmaScheme, StackConfig};
 pub use endpoint::{Endpoint, EpStats, Transports};
+pub use metrics::{CollOp, Counters, Histogram, Metrics};
 pub use mpi::{Mpi, PersistentRequest, Status, ANY_SOURCE, ANY_TAG};
 pub use proto::{ReqKind, Request};
-pub use ptl::{PtlInfo, PtlKind, PtlRegistry, PtlStage};
-pub use rma::Window;
-pub use trace::{TraceEvent, TraceLog};
+pub use ptl::{PtlInfo, PtlKind, PtlRegistry, PtlStage, PtlTraffic};
 pub use ptl_tcp::{TcpConfig, TcpNet};
+pub use rma::Window;
+pub use trace::{chrome_trace_json, TraceEvent, TraceLog};
 pub use universe::{Placement, Universe};
 
 #[cfg(test)]

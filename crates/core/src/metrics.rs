@@ -1,0 +1,371 @@
+//! Stack-wide telemetry: cheap per-endpoint counters and log-bucketed
+//! latency histograms.
+//!
+//! Everything here is plain data guarded by the endpoint's metrics lock and
+//! is only touched when [`crate::StackConfig::metrics`] is set, so the
+//! default fast path stays free of the bookkeeping. Snapshots serialize to
+//! JSON by hand (the repository carries no serde), shaped for the bench
+//! harness's `--emit-metrics` output.
+
+use qsim::Dur;
+
+/// Collective operations tallied per endpoint.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum CollOp {
+    Barrier,
+    Bcast,
+    BcastHw,
+    Scatter,
+    Reduce,
+    Allreduce,
+    Gather,
+    Allgather,
+    Alltoall,
+    Scan,
+    ReduceScatter,
+    Gatherv,
+    Alltoallv,
+}
+
+/// All collective kinds, in counter order.
+pub const COLL_OPS: [CollOp; 13] = [
+    CollOp::Barrier,
+    CollOp::Bcast,
+    CollOp::BcastHw,
+    CollOp::Scatter,
+    CollOp::Reduce,
+    CollOp::Allreduce,
+    CollOp::Gather,
+    CollOp::Allgather,
+    CollOp::Alltoall,
+    CollOp::Scan,
+    CollOp::ReduceScatter,
+    CollOp::Gatherv,
+    CollOp::Alltoallv,
+];
+
+impl CollOp {
+    /// Stable name used in JSON output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollOp::Barrier => "barrier",
+            CollOp::Bcast => "bcast",
+            CollOp::BcastHw => "bcast_hw",
+            CollOp::Scatter => "scatter",
+            CollOp::Reduce => "reduce",
+            CollOp::Allreduce => "allreduce",
+            CollOp::Gather => "gather",
+            CollOp::Allgather => "allgather",
+            CollOp::Alltoall => "alltoall",
+            CollOp::Scan => "scan",
+            CollOp::ReduceScatter => "reduce_scatter",
+            CollOp::Gatherv => "gatherv",
+            CollOp::Alltoallv => "alltoallv",
+        }
+    }
+}
+
+/// Control-message kinds tallied by [`Counters::control_sent`].
+pub const CONTROL_KINDS: [&str; 4] = ["ack", "fin", "fin_ack", "completion"];
+
+/// Behavioural counters for one endpoint.
+#[derive(Clone, Debug, Default)]
+pub struct Counters {
+    /// Sends that took the eager path.
+    pub eager_sent: u64,
+    /// Sends that took the rendezvous path.
+    pub rndv_sent: u64,
+    /// Receives posted.
+    pub recvs_posted: u64,
+    /// First fragments matched to a posted receive.
+    pub matches: u64,
+    /// First fragments that landed in the unexpected queue.
+    pub unexpected_total: u64,
+    /// High-water mark of any communicator's unexpected-queue depth.
+    pub unexpected_hwm: u64,
+    /// RDMA descriptors handed to the NIC.
+    pub rdma_descriptors: u64,
+    /// Bytes covered by those descriptors.
+    pub rdma_bytes: u64,
+    /// Chained-QDMA completion tokens observed on the shared queue.
+    pub chained_completions: u64,
+    /// Control messages by kind: `[ack, fin, fin_ack, completion]`,
+    /// indexed as [`CONTROL_KINDS`]. Includes NIC-fired chained messages.
+    pub control_sent: [u64; 4],
+    /// Progress-engine sweeps (polling passes and progress-thread loops).
+    pub progress_iterations: u64,
+    /// Collective operations entered, indexed as [`COLL_OPS`].
+    pub coll: [u64; 13],
+}
+
+impl Counters {
+    /// Add one control message by header-kind name index.
+    pub fn control(&mut self, idx: usize) {
+        self.control_sent[idx] += 1;
+    }
+
+    /// Raise the unexpected-queue high-water mark to `depth`.
+    pub fn unexpected_depth(&mut self, depth: usize) {
+        self.unexpected_hwm = self.unexpected_hwm.max(depth as u64);
+    }
+}
+
+/// Number of log2 buckets: enough for any u64 nanosecond value.
+const BUCKETS: usize = 64;
+
+/// A log2-bucketed latency histogram over nanoseconds.
+///
+/// Bucket `0` holds exact zeros; bucket `i > 0` holds durations in
+/// `[2^(i-1), 2^i)` ns. Recording is a handful of integer ops, cheap enough
+/// to leave on for every request when metrics are enabled.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+}
+
+impl Histogram {
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            BUCKETS - ns.leading_zeros() as usize
+        }
+        .min(BUCKETS - 1)
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: Dur) {
+        self.record_ns(d.as_ns());
+    }
+
+    /// Record one sample in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples, in nanoseconds.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Smallest sample, or `None` when empty.
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min_ns)
+    }
+
+    /// Largest sample, or `None` when empty.
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max_ns)
+    }
+
+    /// Mean sample in nanoseconds, or `None` when empty.
+    pub fn mean_ns(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_ns as f64 / self.count as f64)
+    }
+
+    /// Non-empty buckets as `(lower_ns, upper_ns, count)`, lower inclusive,
+    /// upper exclusive.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| {
+                let (lo, hi) = if i == 0 {
+                    (0, 1)
+                } else {
+                    (
+                        1u64 << (i - 1),
+                        1u64.checked_shl(i as u32).unwrap_or(u64::MAX),
+                    )
+                };
+                (lo, hi, *c)
+            })
+            .collect()
+    }
+
+    /// Upper bound of the bucket holding quantile `q` (0..=1), or `None`
+    /// when empty. Bucketed, so accurate to a factor of two.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i == 0 {
+                    0
+                } else {
+                    1u64.checked_shl(i as u32).unwrap_or(u64::MAX)
+                });
+            }
+        }
+        Some(self.max_ns)
+    }
+
+    fn to_json(&self) -> String {
+        let buckets: Vec<String> = self
+            .nonzero_buckets()
+            .iter()
+            .map(|(lo, hi, c)| format!("[{lo},{hi},{c}]"))
+            .collect();
+        format!(
+            "{{\"count\":{},\"sum_ns\":{},\"min_ns\":{},\"max_ns\":{},\"buckets\":[{}]}}",
+            self.count,
+            self.sum_ns,
+            self.min_ns().unwrap_or(0),
+            self.max_ns().unwrap_or(0),
+            buckets.join(",")
+        )
+    }
+}
+
+/// Per-endpoint telemetry: counters plus the three latency histograms the
+/// paper's figures motivate.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Event counters.
+    pub counters: Counters,
+    /// Match latency: from the later of {receive posted, fragment arrived}
+    /// to the match, so it covers both the posted-queue walk and the time a
+    /// message waits in the unexpected queue.
+    pub match_time: Histogram,
+    /// Rendezvous handshake: from posting the rendezvous fragment to the
+    /// sender first hearing back (ACK or FIN_ACK).
+    pub rndv_handshake: Histogram,
+    /// Request completion: from posting to the request's done transition,
+    /// sends and receives combined.
+    pub completion_time: Histogram,
+}
+
+impl Metrics {
+    /// Serialize everything as one JSON object.
+    pub fn to_json(&self) -> String {
+        let c = &self.counters;
+        let control: Vec<String> = CONTROL_KINDS
+            .iter()
+            .zip(c.control_sent.iter())
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        let coll: Vec<String> = COLL_OPS
+            .iter()
+            .zip(c.coll.iter())
+            .filter(|(_, v)| **v > 0)
+            .map(|(k, v)| format!("\"{}\":{v}", k.name()))
+            .collect();
+        format!(
+            "{{\"counters\":{{\"eager_sent\":{},\"rndv_sent\":{},\"recvs_posted\":{},\
+             \"matches\":{},\"unexpected_total\":{},\"unexpected_hwm\":{},\
+             \"rdma_descriptors\":{},\"rdma_bytes\":{},\"chained_completions\":{},\
+             \"control_sent\":{{{}}},\"progress_iterations\":{},\"coll\":{{{}}}}},\
+             \"histograms\":{{\"match_time\":{},\"rndv_handshake\":{},\"completion_time\":{}}}}}",
+            c.eager_sent,
+            c.rndv_sent,
+            c.recvs_posted,
+            c.matches,
+            c.unexpected_total,
+            c.unexpected_hwm,
+            c.rdma_descriptors,
+            c.rdma_bytes,
+            c.chained_completions,
+            control.join(","),
+            c.progress_iterations,
+            coll.join(","),
+            self.match_time.to_json(),
+            self.rndv_handshake.to_json(),
+            self.completion_time.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        let mut h = Histogram::default();
+        for ns in [0, 1, 2, 3, 4, 1000, 1024, u64::MAX] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.min_ns(), Some(0));
+        assert_eq!(h.max_ns(), Some(u64::MAX));
+        let b = h.nonzero_buckets();
+        // 0 -> [0,1); 1 -> [1,2); 2,3 -> [2,4); 4 -> [4,8);
+        // 1000 -> [512,1024); 1024 -> [1024,2048); MAX -> last bucket.
+        assert_eq!(b[0], (0, 1, 1));
+        assert_eq!(b[1], (1, 2, 1));
+        assert_eq!(b[2], (2, 4, 2));
+        assert_eq!(b[3], (4, 8, 1));
+        assert_eq!(b[4], (512, 1024, 1));
+        assert_eq!(b[5], (1024, 2048, 1));
+        assert_eq!(b.iter().map(|(_, _, c)| c).sum::<u64>(), 8);
+    }
+
+    #[test]
+    fn empty_histogram_reports_none() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min_ns(), None);
+        assert_eq!(h.max_ns(), None);
+        assert_eq!(h.mean_ns(), None);
+        assert_eq!(h.quantile_ns(0.5), None);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_walks_buckets() {
+        let mut h = Histogram::default();
+        for _ in 0..99 {
+            h.record(Dur::from_ns(100));
+        }
+        h.record(Dur::from_us(100));
+        // Median lives in the [64,128) bucket; p999 in the big one.
+        assert_eq!(h.quantile_ns(0.5), Some(128));
+        assert!(h.quantile_ns(0.999).unwrap() >= 100_000);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut m = Metrics::default();
+        m.counters.eager_sent = 3;
+        m.counters.control(0);
+        m.counters.coll[CollOp::Bcast as usize] = 2;
+        m.match_time.record(Dur::from_ns(300));
+        let j = m.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"eager_sent\":3"));
+        assert!(j.contains("\"ack\":1"));
+        assert!(j.contains("\"bcast\":2"));
+        assert!(j.contains("\"match_time\":{\"count\":1"));
+    }
+}

@@ -377,12 +377,7 @@ impl Mpi {
 
     /// Split `comm` by color (negative = do not participate). Returns the
     /// new communicator for this rank's color.
-    pub fn comm_split(
-        &self,
-        comm: &Communicator,
-        color: i32,
-        key: i32,
-    ) -> Option<Communicator> {
+    pub fn comm_split(&self, comm: &Communicator, color: i32, key: i32) -> Option<Communicator> {
         // Gather everyone's (color, key).
         let mut mine = Vec::new();
         mine.extend_from_slice(&color.to_le_bytes());
@@ -524,61 +519,62 @@ impl Mpi {
         for (rank, &node) in nodes.iter().enumerate() {
             let uni = uni.clone();
             let entry = entry.clone();
-            self.proc.spawn(&format!("spawned-{}-{rank}", child_job.0), move |p| {
-                let name = ProcName {
-                    job: child_job,
-                    rank,
-                };
-                let ep = Endpoint::init(
-                    &p,
-                    name,
-                    node,
-                    uni.cfg.clone(),
-                    uni.transports.clone(),
-                    uni.cluster.clone(),
-                    uni.rte.clone(),
-                    Some(uni.tcp_net.clone()),
-                );
-                ep.start_progress(&p);
-                // Fetch the context ids the parent allocated.
-                let blob = uni
-                    .rte
-                    .modex_get(&p, parent_name, &format!("spawn-{}", child_job.0));
-                let v: Vec<u32> = blob
-                    .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-                    .collect();
-                let world_group = (0..count)
-                    .map(|r| ProcName {
+            self.proc
+                .spawn(&format!("spawned-{}-{rank}", child_job.0), move |p| {
+                    let name = ProcName {
                         job: child_job,
-                        rank: r,
-                    })
-                    .collect();
-                let world = Communicator {
-                    ctx: v[2],
-                    coll_ctx: v[3],
-                    group: world_group,
-                    my_rank: rank,
-                    // Spawned after the initial launch: late joiners have
-                    // no global virtual address space (paper §4.1).
-                    hw_coll: false,
-                };
-                register_comm(&p, &ep, &world);
-                let mut inter_group = vec![parent_name];
-                inter_group.extend(world.group.iter().copied());
-                let inter = Communicator {
-                    ctx: v[0],
-                    coll_ctx: v[1],
-                    group: inter_group,
-                    my_rank: rank + 1,
-                    hw_coll: false,
-                };
-                register_comm(&p, &ep, &inter);
-                uni.rte.barrier(&p, child_job);
-                let mpi = Mpi::new(p, ep, uni, world);
-                *mpi.parent.borrow_mut() = Some(Some(inter));
-                entry(mpi);
-            });
+                        rank,
+                    };
+                    let ep = Endpoint::init(
+                        &p,
+                        name,
+                        node,
+                        uni.cfg.clone(),
+                        uni.transports.clone(),
+                        uni.cluster.clone(),
+                        uni.rte.clone(),
+                        Some(uni.tcp_net.clone()),
+                    );
+                    ep.start_progress(&p);
+                    // Fetch the context ids the parent allocated.
+                    let blob =
+                        uni.rte
+                            .modex_get(&p, parent_name, &format!("spawn-{}", child_job.0));
+                    let v: Vec<u32> = blob
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                        .collect();
+                    let world_group = (0..count)
+                        .map(|r| ProcName {
+                            job: child_job,
+                            rank: r,
+                        })
+                        .collect();
+                    let world = Communicator {
+                        ctx: v[2],
+                        coll_ctx: v[3],
+                        group: world_group,
+                        my_rank: rank,
+                        // Spawned after the initial launch: late joiners have
+                        // no global virtual address space (paper §4.1).
+                        hw_coll: false,
+                    };
+                    register_comm(&p, &ep, &world);
+                    let mut inter_group = vec![parent_name];
+                    inter_group.extend(world.group.iter().copied());
+                    let inter = Communicator {
+                        ctx: v[0],
+                        coll_ctx: v[1],
+                        group: inter_group,
+                        my_rank: rank + 1,
+                        hw_coll: false,
+                    };
+                    register_comm(&p, &ep, &inter);
+                    uni.rte.barrier(&p, child_job);
+                    let mpi = Mpi::new(p, ep, uni, world);
+                    *mpi.parent.borrow_mut() = Some(Some(inter));
+                    entry(mpi);
+                });
         }
         inter
     }
@@ -662,13 +658,9 @@ impl Mpi {
     /// Post one operation from a persistent request (MPI_Start).
     pub fn start(&self, p: &PersistentRequest) -> Request {
         match p.kind {
-            ReqKind::Send => self.isend_typed(
-                &p.comm,
-                p.peer as usize,
-                p.tag,
-                &p.buf,
-                p.conv.clone(),
-            ),
+            ReqKind::Send => {
+                self.isend_typed(&p.comm, p.peer as usize, p.tag, &p.buf, p.conv.clone())
+            }
             ReqKind::Recv => self.irecv_typed(&p.comm, p.peer, p.tag, &p.buf, p.conv.clone()),
         }
     }

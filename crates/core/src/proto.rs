@@ -80,6 +80,7 @@ pub fn post_send_mode(
     sync: bool,
 ) -> Request {
     let host = ep.cfg.host.clone();
+    let posted_at = proc.now();
     proc.advance(host.req_bookkeep + host.sched);
     let msg_len = conv.packed_len();
     let dst = comm.group[dst_rank];
@@ -146,9 +147,17 @@ pub fn post_send_mode(
                 bounce: None,
                 bytes_confirmed: msg_len,
                 done: true,
+                posted_at,
+                rndv_acked: false,
             },
         );
+        drop(st);
         ep.stats.lock().eager_sent += 1;
+        ep.metric(|m| {
+            m.counters.eager_sent += 1;
+            m.completion_time
+                .record(proc.now().saturating_sub(posted_at));
+        });
         return Request {
             id,
             kind: ReqKind::Send,
@@ -211,9 +220,23 @@ pub fn post_send_mode(
             bounce,
             bytes_confirmed: 0,
             done: false,
+            posted_at,
+            rndv_acked: false,
         },
     );
+    drop(st);
     ep.stats.lock().rndv_sent += 1;
+    ep.metric(|m| m.counters.rndv_sent += 1);
+    // The handshake span closes when the receiver is first heard from
+    // (ACK or FIN_ACK) — see `first_receiver_contact`.
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SpanBegin {
+            id,
+            cat: "rndv",
+            name: "rndv_handshake",
+        },
+    );
     Request {
         id,
         kind: ReqKind::Send,
@@ -232,6 +255,7 @@ pub fn post_recv(
     conv: Convertor,
 ) -> Request {
     let host = ep.cfg.host.clone();
+    let posted_at = proc.now();
     proc.advance(host.req_bookkeep);
     let cap = conv.packed_len();
     let bounce = if conv.is_contiguous() || cap == 0 {
@@ -256,6 +280,7 @@ pub fn post_recv(
                 bounce,
                 bytes_received: 0,
                 done: false,
+                posted_at,
             },
         );
         // Check the unexpected queue before exposing the request.
@@ -270,6 +295,7 @@ pub fn post_recv(
         (id, hit)
     };
     proc.advance(host.pml_match);
+    ep.metric(|m| m.counters.recvs_posted += 1);
     ep.trace(proc.now(), crate::trace::TraceEvent::RecvPosted { req: id });
     if let Some(frag) = hit {
         matched(proc, ep, id, frag);
@@ -398,6 +424,7 @@ pub fn test(proc: &Proc, ep: &Arc<Endpoint>, req: Request) -> bool {
 /// One polling sweep over every incoming channel and pending DMA; returns
 /// true if any work was done.
 pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
+    ep.metric(|m| m.counters.progress_iterations += 1);
     let mut any = false;
     if let Some(q) = &ep.main_q {
         while let Some(frame) = q.pop_ready() {
@@ -436,7 +463,7 @@ pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
     };
     for p in fired {
         p.event.free();
-        dma_done(proc, ep, p.role);
+        dma_done(proc, ep, p.token, p.role);
         any = true;
     }
     any
@@ -473,6 +500,7 @@ pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
         HdrType::Frag => handle_frag(proc, ep, hdr, payload),
         HdrType::Completion => {
             ep.stats.lock().completion_tokens += 1;
+            ep.metric(|m| m.counters.chained_completions += 1);
             let token = hdr.e4_va;
             let pending = {
                 let mut st = ep.state.lock();
@@ -483,7 +511,7 @@ pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
             };
             if let Some(p) = pending {
                 p.event.free();
-                dma_done(proc, ep, p.role);
+                dma_done(proc, ep, p.token, p.role);
             }
         }
     }
@@ -504,6 +532,7 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
         }
         let comm = st.comms.get_mut(&ctx).unwrap();
         let from = comm.group[hdr.src_rank as usize];
+        let now = proc.now();
         if !comm.is_in_order(&hdr) {
             let stamp = comm.next_arrival_stamp();
             comm.out_of_order.push(UnexpectedFrag {
@@ -512,12 +541,12 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
                 from,
                 ptl: 0,
                 arrival: stamp,
+                arrived_at: now,
             });
             return;
         }
         comm.advance_recv_seq(hdr.src_rank);
         let stamp = comm.next_arrival_stamp();
-        let now = proc.now();
         queue_or_match(
             &mut st,
             ep,
@@ -528,6 +557,7 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
                 from,
                 ptl: 0,
                 arrival: stamp,
+                arrived_at: now,
             },
             &mut work,
         );
@@ -565,11 +595,14 @@ fn queue_or_match(
                     tag: frag.hdr.tag,
                 },
             );
-            st.comms
-                .get_mut(&frag.hdr.ctx)
-                .unwrap()
-                .unexpected
-                .push(frag);
+            let ctx = frag.hdr.ctx;
+            let comm = st.comms.get_mut(&ctx).unwrap();
+            comm.unexpected.push(frag);
+            let depth = comm.unexpected.len();
+            ep.metric(|m| {
+                m.counters.unexpected_total += 1;
+                m.counters.unexpected_depth(depth);
+            });
         }
     }
 }
@@ -582,7 +615,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     let inline_len = hdr.payload_len as usize;
 
     // Record the match and copy the inline bytes.
-    {
+    let recv_posted_at = {
         let mut st = ep.state.lock();
         let r = st.recv_reqs.get_mut(&rid).expect("matched a reaped recv");
         assert!(
@@ -600,7 +633,15 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
             src_e4_va: hdr.e4_va,
             src_e4_vpid: hdr.e4_vpid,
         });
-    }
+        r.posted_at
+    };
+    // Match latency covers both directions of waiting: a pre-posted receive
+    // waits for the fragment, an unexpected fragment waits for the receive.
+    ep.metric(|m| {
+        m.counters.matches += 1;
+        let since = recv_posted_at.max(frag.arrived_at);
+        m.match_time.record(proc.now().saturating_sub(since));
+    });
     ep.trace(
         proc.now(),
         crate::trace::TraceEvent::Matched {
@@ -616,7 +657,12 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
             write_packed(ep, &st.recv_reqs[&rid], 0, &frag.payload);
         }
         charge_unpack(proc, ep, inline_len);
-        ep.state.lock().recv_reqs.get_mut(&rid).unwrap().bytes_received += inline_len;
+        ep.state
+            .lock()
+            .recv_reqs
+            .get_mut(&rid)
+            .unwrap()
+            .bytes_received += inline_len;
     }
 
     if hdr.kind == HdrType::Eager {
@@ -638,21 +684,22 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     let pull_elan = ep.cfg.scheme == RdmaScheme::Read && elan_share > 0;
 
     // Expose the destination region when RDMA will land data here.
-    let dst_e4 = if remainder > 0 && (pull_elan || (ep.cfg.scheme == RdmaScheme::Write && elan_share > 0)) {
-        let e4 = {
-            let mut st = ep.state.lock();
-            let r = st.recv_reqs.get_mut(&rid).unwrap();
-            if r.dst_e4.is_none() {
-                let region = r.bounce.unwrap_or(r.buf);
-                r.dst_e4 = Some(ep.ectx.map(&region));
-            }
-            r.dst_e4.unwrap()
+    let dst_e4 =
+        if remainder > 0 && (pull_elan || (ep.cfg.scheme == RdmaScheme::Write && elan_share > 0)) {
+            let e4 = {
+                let mut st = ep.state.lock();
+                let r = st.recv_reqs.get_mut(&rid).unwrap();
+                if r.dst_e4.is_none() {
+                    let region = r.bounce.unwrap_or(r.buf);
+                    r.dst_e4 = Some(ep.ectx.map(&region));
+                }
+                r.dst_e4.unwrap()
+            };
+            proc.advance(ep.cfg.host.req_bookkeep);
+            Some(e4)
+        } else {
+            None
         };
-        proc.advance(ep.cfg.host.req_bookkeep);
-        Some(e4)
-    } else {
-        None
-    };
 
     match ep.cfg.scheme {
         RdmaScheme::Read => {
@@ -691,7 +738,10 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                     Vec::new(),
                 );
                 ep.stats.lock().fin_acks_sent += 1;
-                ep.trace(proc.now(), crate::trace::TraceEvent::ControlSent { kind: "FinAck" });
+                ep.trace(
+                    proc.now(),
+                    crate::trace::TraceEvent::ControlSent { kind: "FinAck" },
+                );
             }
             if tcp_share > 0 {
                 // Ask the sender to push the TCP share.
@@ -723,14 +773,22 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
             proc.advance(ep.cfg.host.hdr_build);
             send_frame(proc, ep, &peer, first_route(ep, &peer), ack, Vec::new());
             ep.stats.lock().acks_sent += 1;
-            ep.trace(proc.now(), crate::trace::TraceEvent::ControlSent { kind: "Ack" });
+            ep.trace(
+                proc.now(),
+                crate::trace::TraceEvent::ControlSent { kind: "Ack" },
+            );
         }
     }
     maybe_complete_recv(proc, ep, rid);
 }
 
 fn ctx_of(ep: &Arc<Endpoint>, rid: u64) -> u32 {
-    ep.state.lock().recv_reqs.get(&rid).map(|r| r.ctx).unwrap_or(0)
+    ep.state
+        .lock()
+        .recv_reqs
+        .get(&rid)
+        .map(|r| r.ctx)
+        .unwrap_or(0)
 }
 
 /// Sender side: the receiver acknowledged a rendezvous (write scheme), or
@@ -758,6 +816,7 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
     }) else {
         return;
     };
+    first_receiver_contact(proc, ep, sid);
 
     if range_len > 0 {
         proc.advance(host.sched);
@@ -830,12 +889,21 @@ fn handle_frag(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payload: Vec<u8>) {
 }
 
 /// A local DMA descriptor completed (observed via event poll or a
-/// shared-completion-queue token).
-fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, role: DmaRole) {
+/// shared-completion-queue token). `token` identifies the burst so its
+/// trace span can be closed.
+fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
     let bytes = match &role {
         DmaRole::Read { bytes, .. } | DmaRole::Write { bytes, .. } => *bytes,
     };
     ep.trace(proc.now(), crate::trace::TraceEvent::DmaDone { bytes });
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SpanEnd {
+            id: token,
+            cat: "rdma",
+            name: "rdma_burst",
+        },
+    );
     match role {
         DmaRole::Read {
             recv_req,
@@ -893,7 +961,40 @@ fn credit_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64, bytes: usize) {
             r.bytes_confirmed += bytes;
         }
     }
+    first_receiver_contact(proc, ep, sid);
     maybe_complete_send(proc, ep, sid);
+}
+
+/// The first time a rendezvous sender hears back from the receiver (ACK in
+/// the write scheme, FIN_ACK in the read scheme) closes the handshake: the
+/// histogram sample and the `rndv` trace span both end here.
+fn first_receiver_contact(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
+    if !ep.cfg.metrics && !ep.cfg.trace {
+        return;
+    }
+    let posted_at = {
+        let mut st = ep.state.lock();
+        match st.send_reqs.get_mut(&sid) {
+            Some(r) if !r.rndv_acked => {
+                r.rndv_acked = true;
+                Some(r.posted_at)
+            }
+            _ => None,
+        }
+    };
+    let Some(posted_at) = posted_at else { return };
+    ep.metric(|m| {
+        m.rndv_handshake
+            .record(proc.now().saturating_sub(posted_at))
+    });
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SpanEnd {
+            id: sid,
+            cat: "rndv",
+            name: "rndv_handshake",
+        },
+    );
 }
 
 fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
@@ -930,11 +1031,11 @@ fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
         ep.write_buf(&buf, 0, &span);
         proc.advance(ep.cfg.copy.convertor(&conv, msg_len));
     }
-    let (e4, bounce) = {
+    let (e4, bounce, posted_at) = {
         let mut st = ep.state.lock();
         let r = st.recv_reqs.get_mut(&rid).unwrap();
         r.done = true;
-        (r.dst_e4.take(), r.bounce.take())
+        (r.dst_e4.take(), r.bounce.take(), r.posted_at)
     };
     if let Some(e4) = e4 {
         ep.ectx.unmap(e4);
@@ -943,6 +1044,10 @@ fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
         ep.free(b);
     }
     proc.advance(ep.cfg.host.req_bookkeep);
+    ep.metric(|m| {
+        m.completion_time
+            .record(proc.now().saturating_sub(posted_at))
+    });
     ep.trace(
         proc.now(),
         crate::trace::TraceEvent::Completed {
@@ -964,11 +1069,11 @@ fn maybe_complete_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
     if !finish {
         return;
     }
-    let (e4, bounce) = {
+    let (e4, bounce, posted_at) = {
         let mut st = ep.state.lock();
         let r = st.send_reqs.get_mut(&sid).unwrap();
         r.done = true;
-        (r.src_e4.take(), r.bounce.take())
+        (r.src_e4.take(), r.bounce.take(), r.posted_at)
     };
     if let Some(e4) = e4 {
         ep.ectx.unmap(e4);
@@ -977,6 +1082,10 @@ fn maybe_complete_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
         ep.free(b);
     }
     proc.advance(ep.cfg.host.req_bookkeep);
+    ep.metric(|m| {
+        m.completion_time
+            .record(proc.now().saturating_sub(posted_at))
+    });
     ep.trace(
         proc.now(),
         crate::trace::TraceEvent::Completed {
@@ -1031,6 +1140,18 @@ fn send_frame(
         proc.advance(checksum_cost(payload.len()));
     }
     let frame = hdr.frame(&payload);
+    if ep.cfg.metrics {
+        ep.metric(|m| {
+            if let Some(i) = control_idx(hdr.kind) {
+                m.counters.control(i);
+            }
+        });
+        let kind = match route {
+            Route::Elan { rail } => crate::ptl::PtlKind::Elan4 { rail },
+            Route::Tcp => crate::ptl::PtlKind::Tcp,
+        };
+        ep.ptls.lock().charge(kind, frame.len());
+    }
     match route {
         Route::Elan { rail } => {
             let e = peer.elan.as_ref().expect("peer has no elan address");
@@ -1048,7 +1169,11 @@ fn send_frame(
 /// (paper §2.1's second heuristic).
 fn plan_remainder(ep: &Arc<Endpoint>, peer: &crate::peer::PeerInfo, len: usize) -> (usize, usize) {
     let reg = ep.ptls.lock();
-    let ew = if peer.elan.is_some() { reg.rdma_weight() } else { 0 };
+    let ew = if peer.elan.is_some() {
+        reg.rdma_weight()
+    } else {
+        0
+    };
     let tw = if peer.tcp.is_some() {
         reg.total_weight() - reg.rdma_weight()
     } else {
@@ -1087,8 +1212,14 @@ fn issue_rdma(
     let e_peer = peer.elan.as_ref().expect("rdma to a peer without elan");
 
     // Chained control message (FIN / FIN_ACK) — the paper's optimization:
-    // the NIC fires it off the final RDMA without host involvement.
+    // the NIC fires it off the final RDMA without host involvement. It
+    // bypasses `send_frame`, so the control counter is bumped here.
     if ep.cfg.chained_fin {
+        ep.metric(|m| {
+            if let Some(i) = control_idx(control.kind) {
+                m.counters.control(i);
+            }
+        });
         event.chain_qdma(QdmaSpec {
             dst: e_peer.vpid,
             queue: e_peer.main_q,
@@ -1137,6 +1268,7 @@ fn issue_rdma(
             };
             let mut tok_hdr = Hdr::new(HdrType::Completion);
             tok_hdr.e4_va = token;
+            ep.metric(|m| m.counters.control(3));
             event.chain_qdma(QdmaSpec {
                 dst: my_elan.vpid,
                 queue: q,
@@ -1152,11 +1284,23 @@ fn issue_rdma(
         role,
     });
 
+    ep.metric(|m| {
+        m.counters.rdma_descriptors += nchunks as u64;
+        m.counters.rdma_bytes += len as u64;
+    });
     ep.trace(
         proc.now(),
         crate::trace::TraceEvent::RdmaIssued {
             read: kind == DmaKind::Read,
             bytes: len,
+        },
+    );
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SpanBegin {
+            id: token,
+            cat: "rdma",
+            name: "rdma_burst",
         },
     );
     // Fire the descriptors, striped across rails.
@@ -1188,6 +1332,17 @@ fn rail_chunks(len: usize, rails: usize) -> Vec<(usize, usize)> {
         off += l;
     }
     out
+}
+
+/// Index of a control-message kind in [`crate::metrics::CONTROL_KINDS`].
+fn control_idx(kind: HdrType) -> Option<usize> {
+    match kind {
+        HdrType::Ack => Some(0),
+        HdrType::Fin => Some(1),
+        HdrType::FinAck => Some(2),
+        HdrType::Completion => Some(3),
+        _ => None,
+    }
 }
 
 fn make_fin_ack(send_req: u64, credit: usize) -> Hdr {

@@ -85,6 +85,19 @@ impl PtlInfo {
 struct Entry {
     info: PtlInfo,
     stage: PtlStage,
+    sent_frames: u64,
+    sent_bytes: u64,
+}
+
+/// Frames and bytes a component has carried (telemetry snapshot).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PtlTraffic {
+    /// Which transport.
+    pub kind: PtlKind,
+    /// Frames handed to it.
+    pub sent_frames: u64,
+    /// Total frame bytes (headers included).
+    pub sent_bytes: u64,
 }
 
 /// Per-endpoint component registry.
@@ -140,7 +153,30 @@ impl PtlRegistry {
         self.entries.push(Entry {
             info,
             stage: PtlStage::Opened,
+            sent_frames: 0,
+            sent_bytes: 0,
         });
+    }
+
+    /// Account one outgoing frame of `bytes` against `kind` (telemetry; the
+    /// PML calls this when metrics are enabled).
+    pub fn charge(&mut self, kind: PtlKind, bytes: usize) {
+        if let Some(e) = self.entries.iter_mut().find(|e| e.info.kind == kind) {
+            e.sent_frames += 1;
+            e.sent_bytes += bytes as u64;
+        }
+    }
+
+    /// Per-component traffic totals.
+    pub fn traffic(&self) -> Vec<PtlTraffic> {
+        self.entries
+            .iter()
+            .map(|e| PtlTraffic {
+                kind: e.info.kind,
+                sent_frames: e.sent_frames,
+                sent_bytes: e.sent_bytes,
+            })
+            .collect()
     }
 
     fn transition(
@@ -244,14 +280,20 @@ mod tests {
     fn five_stage_lifecycle() {
         let mut reg = PtlRegistry::new();
         reg.open(PtlInfo::elan4(0));
-        assert_eq!(reg.stage(PtlKind::Elan4 { rail: 0 }), Some(PtlStage::Opened));
+        assert_eq!(
+            reg.stage(PtlKind::Elan4 { rail: 0 }),
+            Some(PtlStage::Opened)
+        );
         reg.init(PtlKind::Elan4 { rail: 0 }).unwrap();
         reg.activate(PtlKind::Elan4 { rail: 0 }).unwrap();
         assert_eq!(reg.active().count(), 1);
         reg.finalize(PtlKind::Elan4 { rail: 0 }).unwrap();
         assert_eq!(reg.active().count(), 0);
         reg.close(PtlKind::Elan4 { rail: 0 }).unwrap();
-        assert_eq!(reg.stage(PtlKind::Elan4 { rail: 0 }), Some(PtlStage::Closed));
+        assert_eq!(
+            reg.stage(PtlKind::Elan4 { rail: 0 }),
+            Some(PtlStage::Closed)
+        );
     }
 
     #[test]
@@ -293,6 +335,20 @@ mod tests {
         ));
         reg.shutdown();
         assert_eq!(reg.active().count(), 0);
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut reg = PtlRegistry::new();
+        reg.open(PtlInfo::tcp());
+        reg.charge(PtlKind::Tcp, 128);
+        reg.charge(PtlKind::Tcp, 64);
+        // Charging an unopened component is ignored.
+        reg.charge(PtlKind::Elan4 { rail: 0 }, 9);
+        let t = reg.traffic();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].sent_frames, 2);
+        assert_eq!(t[0].sent_bytes, 192);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use elan4::NicConfig;
 use ompi_rte::ProcName;
-use parking_lot::Mutex;
+use qsim::Mutex;
 use qsim::{Dur, Proc, Signal, Time};
 
 /// Ethernet + kernel-stack timing model.
@@ -43,6 +43,7 @@ impl Default for TcpConfig {
 pub struct TcpInbox {
     queue: Mutex<VecDeque<Vec<u8>>>,
     doorbell: Mutex<Option<Signal>>,
+    depth_hwm: Mutex<usize>,
 }
 
 impl TcpInbox {
@@ -51,6 +52,7 @@ impl TcpInbox {
         Arc::new(TcpInbox {
             queue: Mutex::new(VecDeque::new()),
             doorbell: Mutex::new(None),
+            depth_hwm: Mutex::new(0),
         })
     }
 
@@ -68,12 +70,39 @@ impl TcpInbox {
     pub fn is_empty(&self) -> bool {
         self.queue.lock().is_empty()
     }
+
+    /// Deepest the queue has ever been (socket-buffer occupancy telemetry).
+    pub fn depth_hwm(&self) -> usize {
+        *self.depth_hwm.lock()
+    }
+
+    fn deliver(&self, frame: Vec<u8>) {
+        let depth = {
+            let mut q = self.queue.lock();
+            q.push_back(frame);
+            q.len()
+        };
+        let mut hwm = self.depth_hwm.lock();
+        *hwm = (*hwm).max(depth);
+    }
 }
 
 struct TcpNetInner {
     inboxes: HashMap<ProcName, (usize, Arc<TcpInbox>)>,
     tx_free: Vec<Time>,
     rx_free: Vec<Time>,
+    stats: TcpNetStats,
+}
+
+/// Traffic totals of the shared Ethernet.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TcpNetStats {
+    /// Frames accepted for delivery.
+    pub frames_sent: u64,
+    /// Bytes across those frames.
+    pub bytes_sent: u64,
+    /// Frames dropped because the peer was unbound (RST behaviour).
+    pub frames_dropped: u64,
 }
 
 /// The shared Ethernet.
@@ -91,6 +120,7 @@ impl TcpNet {
                 inboxes: HashMap::new(),
                 tx_free: vec![Time::ZERO; nodes],
                 rx_free: vec![Time::ZERO; nodes],
+                stats: TcpNetStats::default(),
             }),
         })
     }
@@ -98,6 +128,11 @@ impl TcpNet {
     /// The timing model in use.
     pub fn cfg(&self) -> &TcpConfig {
         &self.cfg
+    }
+
+    /// Traffic totals so far.
+    pub fn stats(&self) -> TcpNetStats {
+        self.inner.lock().stats
     }
 
     /// Bind a rank's inbox (the `listen`/`accept` moment).
@@ -127,17 +162,22 @@ impl TcpNet {
         proc.advance(self.cfg.syscall + nic_cfg.memcpy(frame.len()));
 
         let (dst_node, inbox) = {
-            let inner = self.inner.lock();
+            let mut inner = self.inner.lock();
             match inner.inboxes.get(&dst) {
                 Some((n, i)) => (*n, i.clone()),
                 // Peer closed: TCP would RST; the frame vanishes.
-                None => return,
+                None => {
+                    inner.stats.frames_dropped += 1;
+                    return;
+                }
             }
         };
         let now = proc.now();
         let ser = Dur::for_bytes(frame.len(), self.cfg.bytes_per_us);
         let delivered = {
             let mut inner = self.inner.lock();
+            inner.stats.frames_sent += 1;
+            inner.stats.bytes_sent += frame.len() as u64;
             let start = now.max(inner.tx_free[src_node]);
             inner.tx_free[src_node] = start + ser;
             let arr = (start + self.cfg.wire_latency).max(inner.rx_free[dst_node]);
@@ -146,7 +186,7 @@ impl TcpNet {
             done
         };
         proc.sim().call_at(delivered, move |s| {
-            inbox.queue.lock().push_back(frame);
+            inbox.deliver(frame);
             if let Some(d) = inbox.doorbell.lock().clone() {
                 d.notify(s);
             }
@@ -247,6 +287,11 @@ mod tests {
         }
         sim.run().unwrap();
         assert_eq!(*got.lock(), vec![0, 1, 2, 3, 4]);
+        let stats = net.stats();
+        assert_eq!(stats.frames_sent, 5);
+        assert_eq!(stats.bytes_sent, 5 * 100);
+        assert_eq!(stats.frames_dropped, 0);
+        assert!(inbox.depth_hwm() >= 1);
     }
 
     #[test]
@@ -265,5 +310,7 @@ mod tests {
             });
         }
         sim.run().unwrap();
+        assert_eq!(net.stats().frames_dropped, 1);
+        assert_eq!(net.stats().frames_sent, 0);
     }
 }

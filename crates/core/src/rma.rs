@@ -113,8 +113,15 @@ impl Mpi {
         let ep = self.endpoint();
         let event = Arc::new(ep.ectx.event_create(1));
         self.arm_rma_event(&event);
-        ep.ectx
-            .rdma(self.proc(), 0, DmaKind::Write, local, remote, len, Some(event.id()));
+        ep.ectx.rdma(
+            self.proc(),
+            0,
+            DmaKind::Write,
+            local,
+            remote,
+            len,
+            Some(event.id()),
+        );
         win.pending.push((event, unmap));
     }
 
@@ -140,8 +147,15 @@ impl Mpi {
         let ep = self.endpoint();
         let event = Arc::new(ep.ectx.event_create(1));
         self.arm_rma_event(&event);
-        ep.ectx
-            .rdma(self.proc(), 0, DmaKind::Read, local, remote, len, Some(event.id()));
+        ep.ectx.rdma(
+            self.proc(),
+            0,
+            DmaKind::Read,
+            local,
+            remote,
+            len,
+            Some(event.id()),
+        );
         win.pending.push((event, unmap));
     }
 

@@ -9,7 +9,7 @@ use std::collections::HashMap;
 use elan4::E4Addr;
 use ompi_datatype::Convertor;
 use ompi_rte::ProcName;
-use qsim::Signal;
+use qsim::{Signal, Time};
 
 use crate::hdr::Hdr;
 use crate::peer::PeerInfo;
@@ -47,6 +47,11 @@ pub struct SendReq {
     pub bytes_confirmed: usize,
     /// Completed (locally for eager, fully acknowledged for rendezvous).
     pub done: bool,
+    /// Virtual time the request was posted (telemetry).
+    pub posted_at: Time,
+    /// Rendezvous only: the receiver has been heard from at least once
+    /// (first ACK or FIN_ACK closes the handshake histogram sample).
+    pub rndv_acked: bool,
 }
 
 /// A receive request.
@@ -73,6 +78,8 @@ pub struct RecvReq {
     pub bytes_received: usize,
     /// Fully received (and unpacked, for non-contiguous types).
     pub done: bool,
+    /// Virtual time the request was posted (telemetry).
+    pub posted_at: Time,
 }
 
 /// What a receive matched against.
@@ -106,6 +113,8 @@ pub struct UnexpectedFrag {
     pub ptl: usize,
     /// Arrival stamp for FIFO unexpected matching.
     pub arrival: u64,
+    /// Virtual arrival time (telemetry: match-latency samples).
+    pub arrived_at: Time,
 }
 
 /// Matching and ordering state for one communicator.
@@ -401,6 +410,7 @@ mod tests {
                 bounce: None,
                 bytes_received: 0,
                 done: false,
+                posted_at: Time::ZERO,
             },
         );
         st.comms.get_mut(&0).unwrap().posted.push(id);
@@ -448,6 +458,7 @@ mod tests {
                 from: name(1),
                 ptl: 0,
                 arrival: stamp,
+                arrived_at: Time::ZERO,
             };
             st.comms.get_mut(&0).unwrap().unexpected.push(f);
         }
@@ -479,6 +490,7 @@ mod tests {
             from: name(1),
             ptl: 0,
             arrival: 0,
+            arrived_at: Time::ZERO,
         });
         assert!(comm.take_ready_out_of_order().is_none());
         comm.advance_recv_seq(1); // seq 0 processed

@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ompi_datatype::{Convertor, Datatype};
-use parking_lot::Mutex;
+use qsim::Mutex;
 
 use crate::config::{CompletionMode, ProgressMode, RdmaScheme, StackConfig};
 use crate::endpoint::Transports;
@@ -210,7 +210,11 @@ fn progress_mode_ordering_matches_table1() {
     // Rough paper magnitudes: interrupts ~+10us, one thread ~+8 more,
     // two threads a few more.
     assert!((i - b) > 6_000 && (i - b) < 16_000, "irq delta {}", i - b);
-    assert!((o - i) > 4_000 && (o - i) < 14_000, "thread delta {}", o - i);
+    assert!(
+        (o - i) > 4_000 && (o - i) < 14_000,
+        "thread delta {}",
+        o - i
+    );
 }
 
 #[test]
@@ -621,7 +625,10 @@ fn pml_layer_cost_instrumentation() {
 fn deterministic_virtual_timing() {
     let a = pingpong(StackConfig::best(), 4096, 5);
     let b = pingpong(StackConfig::best(), 4096, 5);
-    assert_eq!(a, b, "identical runs must produce identical virtual timings");
+    assert_eq!(
+        a, b,
+        "identical runs must produce identical virtual timings"
+    );
 }
 
 #[test]
@@ -693,7 +700,9 @@ fn rma_put_get_fence() {
         mpi.get(&mut win, 0, 0, &dst, 0, 1024);
         mpi.win_fence(&mut win);
         let got = mpi.read(&dst, 256, 64);
-        assert!(got.iter().all(|&b| b == 0 || b == 103 || b == 100 + n as u8 - 1));
+        assert!(got
+            .iter()
+            .all(|&b| b == 0 || b == 103 || b == 100 + n as u8 - 1));
 
         mpi.win_free(win);
         mpi.free(src);
@@ -900,7 +909,11 @@ fn without_integrity_check_corruption_is_silent() {
             *d2.lock() = mpi.read(&buf, 0, 1024);
         }
     });
-    assert_ne!(*delivered.lock(), pattern(1024, 1), "corruption went unnoticed");
+    assert_ne!(
+        *delivered.lock(),
+        pattern(1024, 1),
+        "corruption went unnoticed"
+    );
 }
 
 #[test]
@@ -1029,7 +1042,9 @@ fn gatherv_variable_lengths() {
             assert_eq!(offsets.len(), 6);
             for r in 0..5 {
                 assert_eq!(offsets[r + 1] - offsets[r], r);
-                assert!(bytes[offsets[r]..offsets[r + 1]].iter().all(|&b| b == r as u8));
+                assert!(bytes[offsets[r]..offsets[r + 1]]
+                    .iter()
+                    .all(|&b| b == r as u8));
             }
         } else {
             assert!(res.is_none());
@@ -1093,12 +1108,16 @@ fn trace_records_protocol_flow() {
         // Receiver (read scheme) must show match -> rdma read -> dma done
         // -> completion, in that order.
         if rank == 1 {
-            let evs: Vec<&TraceEvent> = log.events().iter().map(|(_, e)| e).collect();
-            let matched = evs.iter().position(|e| matches!(e, TraceEvent::Matched { .. }));
+            let evs: Vec<&TraceEvent> = log.events().map(|(_, e)| e).collect();
+            let matched = evs
+                .iter()
+                .position(|e| matches!(e, TraceEvent::Matched { .. }));
             let rdma = evs
                 .iter()
                 .position(|e| matches!(e, TraceEvent::RdmaIssued { read: true, .. }));
-            let done = evs.iter().position(|e| matches!(e, TraceEvent::DmaDone { .. }));
+            let done = evs
+                .iter()
+                .position(|e| matches!(e, TraceEvent::DmaDone { .. }));
             let comp = evs
                 .iter()
                 .position(|e| matches!(e, TraceEvent::Completed { send: false, .. }));
@@ -1236,8 +1255,15 @@ fn sixty_four_ranks_on_a_three_level_tree() {
         let rbuf = mpi.alloc(512);
         mpi.write(&sbuf, 0, &[me as u8; 512]);
         let st = mpi.sendrecv(
-            &w, (me + 1) % n, 3, &sbuf, 512,
-            ((me + n - 1) % n) as i32, 3, &rbuf, 512,
+            &w,
+            (me + 1) % n,
+            3,
+            &sbuf,
+            512,
+            ((me + n - 1) % n) as i32,
+            3,
+            &rbuf,
+            512,
         );
         assert_eq!(st.source, (me + n - 1) % n);
         assert_eq!(mpi.read(&rbuf, 0, 512), vec![st.source as u8; 512]);

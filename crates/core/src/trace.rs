@@ -5,8 +5,21 @@
 //! unexpected arrivals, RDMA issue/completion, and control messages. The
 //! trace is the tool for understanding *why* a latency number looks the way
 //! it does — a per-rank, virtual-time view of Figs. 2–4 of the paper.
+//!
+//! Two additions serve the telemetry stack: multi-event *spans* (a
+//! rendezvous handshake or an RDMA burst has a begin and an end, correlated
+//! by id), and a [Chrome trace-event] exporter so a run's per-rank timeline
+//! can be loaded straight into `chrome://tracing` or Perfetto.
+//!
+//! [Chrome trace-event]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use std::collections::VecDeque;
 
 use qsim::Time;
+
+/// Default ring capacity of a [`TraceLog`]; see
+/// [`crate::StackConfig::trace_capacity`].
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
 /// One recorded protocol event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,33 +84,133 @@ pub enum TraceEvent {
         /// Send (true) or receive (false).
         send: bool,
     },
+    /// A multi-event interval opened (rendezvous handshake, RDMA burst).
+    SpanBegin {
+        /// Correlates with the matching [`TraceEvent::SpanEnd`]. Unique per
+        /// (cat, id) among concurrently open spans.
+        id: u64,
+        /// Span category, e.g. `"rndv"` or `"rdma"`.
+        cat: &'static str,
+        /// Human-readable span name.
+        name: &'static str,
+    },
+    /// The matching interval closed.
+    SpanEnd {
+        /// Id from the corresponding [`TraceEvent::SpanBegin`].
+        id: u64,
+        /// Category from the begin event.
+        cat: &'static str,
+        /// Name from the begin event.
+        name: &'static str,
+    },
 }
 
-/// A per-endpoint trace buffer.
-#[derive(Default)]
+impl TraceEvent {
+    /// Short display name for timeline views.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::SendPosted { .. } => "send_posted",
+            TraceEvent::RecvPosted { .. } => "recv_posted",
+            TraceEvent::Matched { .. } => "matched",
+            TraceEvent::Unexpected { .. } => "unexpected",
+            TraceEvent::RdmaIssued { .. } => "rdma_issued",
+            TraceEvent::DmaDone { .. } => "dma_done",
+            TraceEvent::ControlSent { .. } => "control_sent",
+            TraceEvent::Completed { .. } => "completed",
+            TraceEvent::SpanBegin { name, .. } | TraceEvent::SpanEnd { name, .. } => name,
+        }
+    }
+
+    /// Event payload as a JSON object for the exporter's `args` field.
+    fn args_json(&self) -> String {
+        match self {
+            TraceEvent::SendPosted {
+                req,
+                dst,
+                tag,
+                len,
+                eager,
+            } => format!(
+                "{{\"req\":{req},\"dst\":{dst},\"tag\":{tag},\"len\":{len},\"eager\":{eager}}}"
+            ),
+            TraceEvent::RecvPosted { req } => format!("{{\"req\":{req}}}"),
+            TraceEvent::Matched { req, src, tag, len } => {
+                format!("{{\"req\":{req},\"src\":{src},\"tag\":{tag},\"len\":{len}}}")
+            }
+            TraceEvent::Unexpected { src, tag } => format!("{{\"src\":{src},\"tag\":{tag}}}"),
+            TraceEvent::RdmaIssued { read, bytes } => {
+                format!("{{\"read\":{read},\"bytes\":{bytes}}}")
+            }
+            TraceEvent::DmaDone { bytes } => format!("{{\"bytes\":{bytes}}}"),
+            TraceEvent::ControlSent { kind } => format!("{{\"kind\":\"{kind}\"}}"),
+            TraceEvent::Completed { req, send } => {
+                format!("{{\"req\":{req},\"send\":{send}}}")
+            }
+            TraceEvent::SpanBegin { id, .. } | TraceEvent::SpanEnd { id, .. } => {
+                format!("{{\"span\":{id}}}")
+            }
+        }
+    }
+}
+
+/// A per-endpoint trace buffer: a bounded ring. When full, the oldest event
+/// is evicted and counted in [`TraceLog::dropped`], so a long run with a
+/// small capacity keeps the *tail* of the timeline.
+#[derive(Clone)]
 pub struct TraceLog {
-    events: Vec<(Time, TraceEvent)>,
+    events: VecDeque<(Time, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
 }
 
 impl TraceLog {
-    /// Record one event at `now`.
+    /// An empty log holding at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> TraceLog {
+        TraceLog {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Record one event at `now`, evicting the oldest when full.
     pub fn record(&mut self, now: Time, ev: TraceEvent) {
-        self.events.push((now, ev));
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back((now, ev));
     }
 
-    /// All recorded events in order.
-    pub fn events(&self) -> &[(Time, TraceEvent)] {
-        &self.events
+    /// Retained events in record order.
+    pub fn events(&self) -> impl Iterator<Item = &(Time, TraceEvent)> {
+        self.events.iter()
     }
 
-    /// Number of events recorded.
+    /// Number of events currently retained.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// True when nothing has been recorded.
+    /// True when nothing is retained.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Maximum events retained before eviction starts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Render the trace as aligned text lines.
@@ -112,6 +225,44 @@ impl TraceLog {
     pub fn count(&self, f: impl Fn(&TraceEvent) -> bool) -> usize {
         self.events.iter().filter(|(_, e)| f(e)).count()
     }
+}
+
+/// Render per-rank trace logs as one Chrome trace-event JSON document.
+///
+/// Point events become instants (`ph:"i"`); spans become async begin/end
+/// pairs (`ph:"b"`/`"e"`) correlated by category + id, which Perfetto and
+/// `chrome://tracing` draw as bars on the rank's timeline. Timestamps are
+/// virtual microseconds; `pid` and `tid` are the rank.
+pub fn chrome_trace_json(logs: &[(u32, &TraceLog)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    for (rank, log) in logs {
+        for (t, ev) in log.events() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let ts = t.as_ns() as f64 / 1000.0;
+            match ev {
+                TraceEvent::SpanBegin { id, cat, name } => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"b\",\"id\":{id},\
+                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}"
+                )),
+                TraceEvent::SpanEnd { id, cat, name } => out.push_str(&format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"e\",\"id\":{id},\
+                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}"
+                )),
+                _ => out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"cat\":\"proto\",\"ph\":\"i\",\"s\":\"t\",\
+                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank},\"args\":{}}}",
+                    ev.name(),
+                    ev.args_json()
+                )),
+            }
+        }
+    }
+    out.push_str("]}");
+    out
 }
 
 #[cfg(test)]
@@ -132,14 +283,60 @@ mod tests {
                 eager: true,
             },
         );
-        log.record(Time::from_ns(2500), TraceEvent::Completed { req: 1, send: true });
+        log.record(
+            Time::from_ns(2500),
+            TraceEvent::Completed { req: 1, send: true },
+        );
         assert_eq!(log.len(), 2);
         let lines = log.dump();
         assert!(lines[0].contains("SendPosted"));
         assert!(lines[0].contains("1.500us"));
-        assert_eq!(
-            log.count(|e| matches!(e, TraceEvent::Completed { .. })),
-            1
+        assert_eq!(log.count(|e| matches!(e, TraceEvent::Completed { .. })), 1);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut log = TraceLog::with_capacity(3);
+        for i in 0..5u64 {
+            log.record(Time::from_ns(i * 100), TraceEvent::RecvPosted { req: i });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let reqs: Vec<u64> = log
+            .events()
+            .map(|(_, e)| match e {
+                TraceEvent::RecvPosted { req } => *req,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(reqs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn chrome_export_pairs_spans() {
+        let mut log = TraceLog::default();
+        log.record(
+            Time::from_ns(1000),
+            TraceEvent::SpanBegin {
+                id: 7,
+                cat: "rndv",
+                name: "rndv_handshake",
+            },
         );
+        log.record(Time::from_ns(2000), TraceEvent::DmaDone { bytes: 4096 });
+        log.record(
+            Time::from_ns(3000),
+            TraceEvent::SpanEnd {
+                id: 7,
+                cat: "rndv",
+                name: "rndv_handshake",
+            },
+        );
+        let json = chrome_trace_json(&[(0, &log)]);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"ph\":\"b\",\"id\":7"));
+        assert!(json.contains("\"ph\":\"e\",\"id\":7"));
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"ts\":1"));
     }
 }

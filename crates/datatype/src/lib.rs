@@ -121,8 +121,7 @@ impl Convertor {
             let from = skip.max(seg_start) - seg_start;
             let avail = packed.len() - consumed;
             let take = (seg_len - from).min(avail);
-            dst[off + from..off + from + take]
-                .copy_from_slice(&packed[consumed..consumed + take]);
+            dst[off + from..off + from + take].copy_from_slice(&packed[consumed..consumed + take]);
             consumed += take;
         }
         assert_eq!(consumed, packed.len(), "packed bytes did not fit typemap");
@@ -142,6 +141,7 @@ impl Convertor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     fn pattern(n: usize) -> Vec<u8> {
@@ -227,6 +227,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn roundtrip_arbitrary_fragmentation(

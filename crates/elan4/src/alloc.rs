@@ -73,7 +73,10 @@ impl Allocator {
         assert!(off + len <= self.capacity, "free out of range");
         let idx = self.free.partition_point(|b| b.off < off);
         if let Some(prev) = idx.checked_sub(1).map(|i| &self.free[i]) {
-            assert!(prev.off + prev.len <= off, "overlapping free (double free?)");
+            assert!(
+                prev.off + prev.len <= off,
+                "overlapping free (double free?)"
+            );
         }
         if let Some(next) = self.free.get(idx) {
             assert!(off + len <= next.off, "overlapping free (double free?)");
@@ -81,7 +84,8 @@ impl Allocator {
         self.in_use -= len;
         self.free.insert(idx, FreeBlock { off, len });
         // Coalesce with neighbours.
-        if idx + 1 < self.free.len() && self.free[idx].off + self.free[idx].len == self.free[idx + 1].off
+        if idx + 1 < self.free.len()
+            && self.free[idx].off + self.free[idx].len == self.free[idx + 1].off
         {
             self.free[idx].len += self.free[idx + 1].len;
             self.free.remove(idx + 1);
@@ -96,6 +100,7 @@ impl Allocator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -139,6 +144,7 @@ mod tests {
         a.free(x, 64);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn allocations_never_overlap(ops in proptest::collection::vec(1usize..5000, 1..60)) {

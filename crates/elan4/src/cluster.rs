@@ -10,8 +10,8 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use qsim::{SimHandle, Signal, Time};
+use qsim::Mutex;
+use qsim::{Signal, SimHandle, Time};
 use qsnet::{Fabric, FabricConfig, NodeId};
 
 use crate::alloc::Allocator;
@@ -405,7 +405,11 @@ impl Cluster {
         len: usize,
         done_event: Option<EventId>,
     ) {
-        assert_eq!(local.owner(), issuer, "local E4Addr owned by another context");
+        assert_eq!(
+            local.owner(),
+            issuer,
+            "local E4Addr owned by another context"
+        );
         let cfg = self.cfg.clone();
         let issuer_node = issuer.node(cfg.ctxs_per_node);
         let remote_node = remote.owner().node(cfg.ctxs_per_node);

@@ -146,7 +146,10 @@ mod tests {
     #[test]
     fn unmapped_address_faults() {
         let mmu = Mmu::new(Vpid(0), 0);
-        let bogus = E4Addr { vpid: Vpid(0), va: 0 };
+        let bogus = E4Addr {
+            vpid: Vpid(0),
+            va: 0,
+        };
         assert!(mmu.translate(bogus, 1).is_err());
     }
 

@@ -4,7 +4,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use qsim::Mutex;
 use qsim::{Dur, Simulation};
 use qsnet::FabricConfig;
 
@@ -75,14 +75,7 @@ fn qdma_delivers_payload_and_costs_time() {
         sim.spawn("tx", move |p| {
             // Give the receiver a tick to create its queue.
             p.advance(Dur::from_ns(10));
-            tx_ctx.qdma(
-                &p,
-                0,
-                rx_vpid,
-                crate::QueueId(0),
-                vec![7u8; 512],
-                None,
-            );
+            tx_ctx.qdma(&p, 0, rx_vpid, crate::QueueId(0), vec![7u8; 512], None);
         });
     }
     sim.run().unwrap();
@@ -107,7 +100,14 @@ fn qdma_local_event_fires_when_buffer_drained() {
         let ev = tx.event_create(1);
         let sig = p.signal();
         ev.set_signal(sig.clone());
-        tx.qdma(&p, 0, rx_vpid, crate::QueueId(0), vec![1u8; 1024], Some(ev.id()));
+        tx.qdma(
+            &p,
+            0,
+            rx_vpid,
+            crate::QueueId(0),
+            vec![1u8; 1024],
+            Some(ev.id()),
+        );
         p.wait(&sig).expect_signaled();
         assert!(ev.take_fired_ready());
         f2.store(p.now().as_ns(), Ordering::SeqCst);
@@ -354,7 +354,10 @@ fn queue_overflow_retries_and_delivers_eventually() {
     });
     sim.run().unwrap();
     assert_eq!(received.load(Ordering::SeqCst), 8);
-    assert!(cl.stats().queue_overflows > 0, "test should exercise overflow");
+    assert!(
+        cl.stats().queue_overflows > 0,
+        "test should exercise overflow"
+    );
 }
 
 #[test]
@@ -604,7 +607,15 @@ fn counted_event_reset_and_reuse() {
         ev.set_signal(sig.clone());
         for round in 0..3 {
             a.rdma(&p, 0, DmaKind::Write, local, remote, 512, Some(ev.id()));
-            a.rdma(&p, 0, DmaKind::Write, local.offset(512), remote.offset(512), 512, Some(ev.id()));
+            a.rdma(
+                &p,
+                0,
+                DmaKind::Write,
+                local.offset(512),
+                remote.offset(512),
+                512,
+                Some(ev.id()),
+            );
             p.wait(&sig).expect_signaled();
             assert!(ev.take_fired_ready(), "round {round} did not fire");
             ev.reset(2);

@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use qsim::{Proc, SimHandle, Signal};
+use qsim::{Proc, Signal, SimHandle};
 
 use crate::cluster::Cluster;
 use crate::ctx::ElanCtx;
@@ -40,7 +40,7 @@ struct PostedRecv {
     buf: HostBuf,
     seq: u64,
     signal: Signal,
-    done: Arc<parking_lot::Mutex<Option<TportEnvelope>>>,
+    done: Arc<qsim::Mutex<Option<TportEnvelope>>>,
 }
 
 /// A message that arrived before its receive was posted. Small messages
@@ -57,7 +57,7 @@ struct UnexpectedMsg {
 #[derive(Clone)]
 struct SenderDone {
     signal: Signal,
-    flag: Arc<parking_lot::Mutex<bool>>,
+    flag: Arc<qsim::Mutex<bool>>,
 }
 
 /// Per-context NIC tport state.
@@ -77,13 +77,13 @@ pub struct Tport {
 /// Handle for a pending receive.
 pub struct TportRecv {
     signal: Signal,
-    done: Arc<parking_lot::Mutex<Option<TportEnvelope>>>,
+    done: Arc<qsim::Mutex<Option<TportEnvelope>>>,
 }
 
 /// Handle for a pending send.
 pub struct TportSend {
     signal: Signal,
-    flag: Arc<parking_lot::Mutex<bool>>,
+    flag: Arc<qsim::Mutex<bool>>,
 }
 
 impl Tport {
@@ -103,8 +103,7 @@ impl Tport {
         let cluster = self.ctx.cluster().clone();
         proc.advance(cluster.cfg().pio_cmd);
         let signal = proc.signal();
-        let done: Arc<parking_lot::Mutex<Option<TportEnvelope>>> =
-            Arc::new(parking_lot::Mutex::new(None));
+        let done: Arc<qsim::Mutex<Option<TportEnvelope>>> = Arc::new(qsim::Mutex::new(None));
         let vpid = self.ctx.vpid();
         let rail = self.rail;
 
@@ -153,7 +152,7 @@ impl Tport {
         let cfg = cluster.cfg().clone();
         proc.advance(cfg.pio_cmd);
         let signal = proc.signal();
-        let flag = Arc::new(parking_lot::Mutex::new(false));
+        let flag = Arc::new(qsim::Mutex::new(false));
         let src = self.ctx.vpid();
         let rail = self.rail;
         let env = TportEnvelope { src, tag, len };
@@ -282,7 +281,7 @@ fn deliver_matched(
     sim: &SimHandle,
     msg: UnexpectedMsg,
     buf: HostBuf,
-    done: Arc<parking_lot::Mutex<Option<TportEnvelope>>>,
+    done: Arc<qsim::Mutex<Option<TportEnvelope>>>,
     signal: Signal,
 ) {
     let cfg = cluster.cfg().clone();

@@ -9,7 +9,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use qsim::Mutex;
 use qsim::{Dur, Time};
 
 /// File-system shape and timing.
@@ -125,7 +125,14 @@ impl Pfs {
 
     /// Schedule one contiguous access; returns its completion time.
     /// `offset..offset+len` must lie within a single stripe.
-    fn access_stripe(&self, now: Time, name: &str, offset: usize, len: usize, write: Option<&[u8]>) -> Time {
+    fn access_stripe(
+        &self,
+        now: Time,
+        name: &str,
+        offset: usize,
+        len: usize,
+        write: Option<&[u8]>,
+    ) -> Time {
         let node = self.node_of(offset);
         let mut inner = self.inner.lock();
         let f = inner
@@ -143,7 +150,8 @@ impl Pfs {
         }
         inner.bytes += len as u64;
         let start = now.max(inner.disk_free[node]);
-        let done = start + self.cfg.request_latency + Dur::for_bytes(len, self.cfg.disk_bytes_per_us);
+        let done =
+            start + self.cfg.request_latency + Dur::for_bytes(len, self.cfg.disk_bytes_per_us);
         inner.disk_free[node] = done;
         done
     }
@@ -169,7 +177,9 @@ impl Pfs {
     /// Schedule a read of `len` bytes at `offset`; returns `(completion
     /// time, bytes)`. Short reads past EOF return what exists.
     pub fn read(&self, now: Time, name: &str, offset: usize, len: usize) -> (Time, Vec<u8>) {
-        let file_len = self.len(name).unwrap_or_else(|| panic!("no such file: {name}"));
+        let file_len = self
+            .len(name)
+            .unwrap_or_else(|| panic!("no such file: {name}"));
         let end = (offset + len).min(file_len);
         let mut out = Vec::with_capacity(end.saturating_sub(offset));
         let mut done = now;
@@ -247,7 +257,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod prop_tests {
     use super::*;
     use proptest::prelude::*;

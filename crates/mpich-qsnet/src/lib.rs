@@ -105,7 +105,10 @@ impl MpichRank {
     /// Nonblocking tagged send of `len` bytes.
     pub fn isend(&self, dst: usize, tag: i64, buf: &HostBuf, len: usize) -> MpichReq {
         self.proc.advance(self.cfg.call_overhead);
-        MpichReq::Send(self.tport.isend(&self.proc, self.vpids[dst], tag, *buf, len))
+        MpichReq::Send(
+            self.tport
+                .isend(&self.proc, self.vpids[dst], tag, *buf, len),
+        )
     }
 
     /// Nonblocking tagged receive into `buf` (NIC-side matching).
@@ -192,9 +195,7 @@ pub fn launch_mpich(
     let nodes = cluster.nodes();
     // Static pool: claim every context before any rank runs.
     let ctxs: Vec<Arc<ElanCtx>> = (0..n)
-        .map(|r| {
-            Arc::new(ElanCtx::attach(cluster, r % nodes).expect("capability exhausted"))
-        })
+        .map(|r| Arc::new(ElanCtx::attach(cluster, r % nodes).expect("capability exhausted")))
         .collect();
     let vpids = Arc::new(ctxs.iter().map(|c| c.vpid()).collect::<Vec<_>>());
     let entry = Arc::new(entry);
@@ -224,7 +225,9 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn pattern(n: usize, seed: u8) -> Vec<u8> {
-        (0..n).map(|i| ((i * 13 + seed as usize) % 251) as u8).collect()
+        (0..n)
+            .map(|i| ((i * 13 + seed as usize) % 251) as u8)
+            .collect()
     }
 
     fn cluster() -> Arc<Cluster> {
@@ -251,7 +254,10 @@ mod tests {
                 }
             }
             if r.rank() == 0 {
-                l2.store((r.now() - t0).as_ns() / (2 * iters as u64), Ordering::SeqCst);
+                l2.store(
+                    (r.now() - t0).as_ns() / (2 * iters as u64),
+                    Ordering::SeqCst,
+                );
                 assert_eq!(r.read(&rbuf, 0, len), pattern(len, 1));
             }
         });

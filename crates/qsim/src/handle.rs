@@ -51,8 +51,8 @@ impl std::fmt::Debug for SimHandle {
 
 #[cfg(test)]
 mod tests {
+    use crate::sync::Mutex;
     use crate::{Dur, Simulation, Time};
-    use parking_lot::Mutex;
     use std::sync::Arc;
 
     #[test]

@@ -11,8 +11,9 @@ use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use crate::sync::Mutex;
 
 use crate::handle::SimHandle;
 use crate::proc::Proc;
@@ -83,6 +84,10 @@ pub(crate) struct KernelState {
     pub events_processed: u64,
     pub event_limit: u64,
     pub next_signal_id: u64,
+    /// High-water mark of the event-queue length (profiling).
+    pub max_queue_depth: usize,
+    /// Process wakeups executed (vs. device-callback events).
+    pub wakes_executed: u64,
 }
 
 impl KernelState {
@@ -91,13 +96,16 @@ impl KernelState {
         let key = (at, self.seq);
         self.seq += 1;
         self.queue.insert(key, ev);
+        self.max_queue_depth = self.max_queue_depth.max(self.queue.len());
     }
 }
 
 pub(crate) struct Shared {
     pub state: Mutex<KernelState>,
     pub yield_tx: Sender<YieldMsg>,
-    yield_rx: Receiver<YieldMsg>,
+    // Only the kernel thread receives; the Mutex exists because `mpsc`'s
+    // Receiver is not Sync and Shared is reachable from every proc thread.
+    yield_rx: Mutex<Receiver<YieldMsg>>,
     /// Join handles of spawned process threads (collected at the end of run).
     pub joins: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -144,7 +152,8 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// Summary of a completed run.
+/// Summary of a completed run, including the kernel-level profile the
+/// telemetry layer surfaces next to per-endpoint metrics.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Virtual time at which the last event executed.
@@ -153,6 +162,11 @@ pub struct Report {
     pub events_processed: u64,
     /// Total simulated processes created over the run.
     pub procs_spawned: usize,
+    /// High-water mark of event-queue occupancy over the run.
+    pub max_queue_depth: usize,
+    /// Process wakeups among the executed events (the rest were device
+    /// callbacks such as NIC state transitions).
+    pub wakes_executed: u64,
 }
 
 /// A whole simulation: build, spawn root processes, then [`Simulation::run`].
@@ -169,7 +183,7 @@ impl Default for Simulation {
 impl Simulation {
     /// A fresh simulation at t = 0 with an empty event queue.
     pub fn new() -> Self {
-        let (yield_tx, yield_rx) = unbounded();
+        let (yield_tx, yield_rx) = channel();
         let shared = Arc::new(Shared {
             state: Mutex::new(KernelState {
                 now: Time::ZERO,
@@ -180,9 +194,11 @@ impl Simulation {
                 events_processed: 0,
                 event_limit: u64::MAX,
                 next_signal_id: 0,
+                max_queue_depth: 0,
+                wakes_executed: 0,
             }),
             yield_tx,
-            yield_rx,
+            yield_rx: Mutex::new(yield_rx),
             joins: Mutex::new(Vec::new()),
         });
         Simulation { shared }
@@ -230,7 +246,7 @@ impl Simulation {
             if all_done {
                 break;
             }
-            match self.shared.yield_rx.recv() {
+            match self.shared.yield_rx.lock().recv() {
                 Ok(YieldMsg::Finished(pid)) | Ok(YieldMsg::Panicked(pid, _)) => {
                     self.shared.state.lock().procs[pid.index()].finished = true;
                 }
@@ -271,6 +287,7 @@ impl Simulation {
             match next {
                 Some(Event::Call(f)) => f(handle),
                 Some(Event::Wake(pid)) => {
+                    self.shared.state.lock().wakes_executed += 1;
                     self.run_proc(pid, Go::Run)?;
                 }
                 None => {
@@ -298,6 +315,8 @@ impl Simulation {
                             end_time: st.now,
                             events_processed: st.events_processed,
                             procs_spawned: st.procs.len(),
+                            max_queue_depth: st.max_queue_depth,
+                            wakes_executed: st.wakes_executed,
                         });
                     }
                     // Shut daemons down one at a time (preserves the
@@ -322,7 +341,13 @@ impl Simulation {
             slot.park = ParkKind::Running;
             slot.go_tx.send(go).expect("proc thread lost");
         }
-        match self.shared.yield_rx.recv().expect("yield channel closed") {
+        match self
+            .shared
+            .yield_rx
+            .lock()
+            .recv()
+            .expect("yield channel closed")
+        {
             YieldMsg::Parked(p) => {
                 debug_assert_eq!(p, pid, "yield from a process that was not running");
                 Ok(())
@@ -351,7 +376,7 @@ pub(crate) fn spawn_proc(
     daemon: bool,
     f: impl FnOnce(Proc) + Send + 'static,
 ) -> ProcId {
-    let (go_tx, go_rx) = unbounded();
+    let (go_tx, go_rx) = channel();
     let pid;
     {
         let mut st = shared.state.lock();

@@ -32,6 +32,7 @@
 mod handle;
 mod kernel;
 mod proc;
+pub mod rng;
 mod signal;
 mod sync;
 mod time;
@@ -39,14 +40,15 @@ mod time;
 pub use handle::SimHandle;
 pub use kernel::{ProcId, Report, SimError, Simulation};
 pub use proc::Proc;
+pub use rng::Pcg32;
 pub use signal::{Signal, Wait};
-pub use sync::{Mailbox, MailboxTx};
+pub use sync::{Mailbox, MailboxTx, Mutex, MutexGuard};
 pub use time::{Dur, Time};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use crate::sync::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 

@@ -5,7 +5,7 @@
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use crossbeam::channel::Receiver;
+use std::sync::mpsc::Receiver;
 
 use crate::handle::SimHandle;
 use crate::kernel::{spawn_proc, Event, Go, ParkKind, ProcId, Shared, YieldMsg};
@@ -21,11 +21,7 @@ pub struct Proc {
 
 impl Proc {
     pub(crate) fn new(pid: ProcId, shared: Arc<Shared>, go_rx: Receiver<Go>) -> Self {
-        Proc {
-            pid,
-            shared,
-            go_rx,
-        }
+        Proc { pid, shared, go_rx }
     }
 
     pub(crate) fn initial_go(&self) -> Go {
@@ -87,7 +83,10 @@ impl Proc {
         loop {
             {
                 let mut st = self.shared.state.lock();
-                if s.inner.pending.swap(false, std::sync::atomic::Ordering::Relaxed) {
+                if s.inner
+                    .pending
+                    .swap(false, std::sync::atomic::Ordering::Relaxed)
+                {
                     return Wait::Signaled;
                 }
                 if st.shutdown {

@@ -1,15 +1,61 @@
 //! Virtual-time synchronization helpers built on [`Signal`]: a single-owner
-//! mailbox (used for out-of-band control messages) and a rendezvous cell.
+//! mailbox (used for out-of-band control messages) and a rendezvous cell —
+//! plus the [`Mutex`] the whole stack uses for host-side shared state.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
-
-use parking_lot::Mutex;
 
 use crate::handle::SimHandle;
 use crate::proc::Proc;
 use crate::signal::{Signal, Wait};
 use crate::time::Dur;
+
+/// Guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+
+/// A `parking_lot`-style mutex over `std::sync::Mutex`: `lock()` returns the
+/// guard directly, and poisoning is ignored rather than propagated — a
+/// panicking simulated process unwinds through kernel teardown and must not
+/// wedge every other rank's endpoint state behind a `PoisonError`.
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `value`.
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking the calling OS thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_tuple("Mutex").field(&&*g).finish(),
+            Err(_) => f.write_str("Mutex(<locked>)"),
+        }
+    }
+}
 
 struct MailboxInner<T> {
     queue: Mutex<VecDeque<T>>,

@@ -9,7 +9,7 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use qsim::Mutex;
 use qsim::{Dur, SimHandle, Time};
 
 use crate::topology::{FatTree, NodeId};
@@ -463,7 +463,7 @@ mod bcast_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptest"))]
 mod prop_tests {
     use super::*;
     use proptest::prelude::*;

@@ -98,6 +98,7 @@ impl FatTree {
 #[cfg(test)]
 mod tests {
     use super::*;
+    #[cfg(feature = "proptest")]
     use proptest::prelude::*;
 
     #[test]
@@ -141,6 +142,7 @@ mod tests {
         FatTree::qs8a().switch_hops(0, 8);
     }
 
+    #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn hops_symmetric_and_bounded(

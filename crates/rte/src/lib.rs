@@ -18,7 +18,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use qsim::Mutex;
 use qsim::{Dur, Proc, Signal};
 
 /// Identifies a launched job (an `MPI_COMM_WORLD` or a spawned child world).
@@ -294,7 +294,10 @@ mod tests {
     fn spawned_job_records_parent() {
         let rte = Rte::new(RteConfig::default());
         let world = rte.create_job(4, None);
-        let parent = ProcName { job: world, rank: 2 };
+        let parent = ProcName {
+            job: world,
+            rank: 2,
+        };
         let child = rte.create_job(2, Some(parent));
         assert_ne!(world, child);
         assert_eq!(rte.job_parent(child), Some(parent));
@@ -372,8 +375,14 @@ mod more_tests {
             });
         }
         sim2.run().unwrap();
-        assert_eq!(rte.modex_try_get(ProcName { job: a, rank: 0 }, "x"), Some(vec![1]));
-        assert_eq!(rte.modex_try_get(ProcName { job: b, rank: 0 }, "x"), Some(vec![2]));
+        assert_eq!(
+            rte.modex_try_get(ProcName { job: a, rank: 0 }, "x"),
+            Some(vec![1])
+        );
+        assert_eq!(
+            rte.modex_try_get(ProcName { job: b, rank: 0 }, "x"),
+            Some(vec![2])
+        );
     }
 
     #[test]

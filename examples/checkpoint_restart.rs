@@ -18,7 +18,7 @@ use std::sync::Arc;
 use ompi_apps::stencil::{self, StencilConfig};
 use ompi_io::{File, Pfs, PfsConfig};
 use openmpi_core::{Placement, StackConfig, Universe};
-use parking_lot::Mutex;
+use qsim::Mutex;
 
 const RANKS: usize = 4;
 
@@ -93,7 +93,10 @@ fn main() {
             .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
             .collect();
         if me == 0 {
-            println!("[{}] phase 2 restored the checkpoint in a fresh world", mpi.now());
+            println!(
+                "[{}] phase 2 restored the checkpoint in a fresh world",
+                mpi.now()
+            );
         }
 
         // Continue the remaining 15 steps from the restored state.

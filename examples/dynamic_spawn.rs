@@ -53,11 +53,7 @@ fn main() {
             for _ in 0..3 {
                 let st = mpi.recv(&inter, ANY_SOURCE, 2, &buf, 8);
                 let v = u64::from_le_bytes(mpi.read(&buf, 0, 8).try_into().unwrap());
-                println!(
-                    "[{}] result {v} from worker {}",
-                    mpi.now(),
-                    st.source
-                );
+                println!("[{}] result {v} from worker {}", mpi.now(), st.source);
                 sum += v;
             }
             assert_eq!(sum, 100 + 400 + 900);

@@ -40,12 +40,32 @@ fn main() {
             // Exchange halos with both neighbours (non-periodic rod).
             if me > 0 {
                 mpi.write(&halo_l, 0, &u[1].to_le_bytes());
-                mpi.sendrecv(&world, me - 1, 10, &halo_l, 8, (me - 1) as i32, 11, &ghost_l, 8);
+                mpi.sendrecv(
+                    &world,
+                    me - 1,
+                    10,
+                    &halo_l,
+                    8,
+                    (me - 1) as i32,
+                    11,
+                    &ghost_l,
+                    8,
+                );
                 u[0] = f64::from_le_bytes(mpi.read(&ghost_l, 0, 8).try_into().unwrap());
             }
             if me < n - 1 {
                 mpi.write(&halo_r, 0, &u[CELLS_PER_RANK].to_le_bytes());
-                mpi.sendrecv(&world, me + 1, 11, &halo_r, 8, (me + 1) as i32, 10, &ghost_r, 8);
+                mpi.sendrecv(
+                    &world,
+                    me + 1,
+                    11,
+                    &halo_r,
+                    8,
+                    (me + 1) as i32,
+                    10,
+                    &ghost_r,
+                    8,
+                );
                 u[CELLS_PER_RANK + 1] =
                     f64::from_le_bytes(mpi.read(&ghost_r, 0, 8).try_into().unwrap());
             }
@@ -63,13 +83,9 @@ fn main() {
             // Global residual via allreduce.
             mpi.write(&res_buf, 0, &residual.to_le_bytes());
             mpi.allreduce(&world, ReduceOp::SumF64, &res_buf, 8);
-            let global =
-                f64::from_le_bytes(mpi.read(&res_buf, 0, 8).try_into().unwrap());
+            let global = f64::from_le_bytes(mpi.read(&res_buf, 0, 8).try_into().unwrap());
             if me == 0 && step % 10 == 0 {
-                println!(
-                    "step {step:>3}: residual {global:>12.4}   t={}",
-                    mpi.now()
-                );
+                println!("step {step:>3}: residual {global:>12.4}   t={}", mpi.now());
             }
         }
 

@@ -70,7 +70,10 @@ fn main() {
     let one = bandwidth(1, false, len);
     println!("  one Elan4 rail          : {one:>7.0} MB/s");
     let two = bandwidth(2, false, len);
-    println!("  two Elan4 rails         : {two:>7.0} MB/s  ({:.2}x)", two / one);
+    println!(
+        "  two Elan4 rails         : {two:>7.0} MB/s  ({:.2}x)",
+        two / one
+    );
     let tcp = bandwidth(0, true, len);
     println!("  TCP/IP alone            : {tcp:>7.0} MB/s");
     let both = bandwidth(1, true, len);

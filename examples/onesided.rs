@@ -57,7 +57,14 @@ fn main() {
         // Everyone pulls the whole histogram one-sidedly.
         let full = mpi.alloc(total_bins * 8);
         for owner in 0..n {
-            mpi.get(&mut win, owner, 0, &full, owner * BINS_PER_RANK * 8, BINS_PER_RANK * 8);
+            mpi.get(
+                &mut win,
+                owner,
+                0,
+                &full,
+                owner * BINS_PER_RANK * 8,
+                BINS_PER_RANK * 8,
+            );
         }
         mpi.win_fence(&mut win);
 
@@ -70,7 +77,10 @@ fn main() {
         let total: f64 = hist.iter().sum();
         assert_eq!(total as usize, SAMPLES * n, "histogram lost samples");
         if me == 0 {
-            println!("global histogram over {total_bins} bins, {} samples:", SAMPLES * n);
+            println!(
+                "global histogram over {total_bins} bins, {} samples:",
+                SAMPLES * n
+            );
             println!(
                 "  min bin {}, max bin {}, total {}",
                 hist.iter().cloned().fold(f64::MAX, f64::min),

@@ -28,7 +28,11 @@ fn main() {
             for _ in 1..n {
                 let st = mpi.recv(&world, openmpi_core::ANY_SOURCE, 1, &rbuf, 96);
                 let text = mpi.read(&rbuf, 0, st.len);
-                println!("  [{:>9}] {}", format!("{}", mpi.now()), String::from_utf8(text).unwrap());
+                println!(
+                    "  [{:>9}] {}",
+                    format!("{}", mpi.now()),
+                    String::from_utf8(text).unwrap()
+                );
             }
         } else {
             mpi.send(&world, 0, 1, &buf, line.len());

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use openmpi_core::{Placement, StackConfig, Universe};
-use parking_lot::Mutex;
+use qsim::Mutex;
 
 fn main() {
     let mut cfg = StackConfig::best();
@@ -31,7 +31,8 @@ fn main() {
             mpi.recv(&world, 0, 7, &buf, 8192);
             assert_eq!(mpi.read(&buf, 0, 8), vec![0x42u8; 8]);
         }
-        t2.lock().push((mpi.rank(), mpi.endpoint().trace.lock().dump()));
+        t2.lock()
+            .push((mpi.rank(), mpi.endpoint().trace.lock().dump()));
     });
 
     let mut traces = traces.lock().clone();

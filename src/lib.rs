@@ -55,8 +55,8 @@
 pub use elan4;
 pub use mpich_qsnet;
 pub use ompi_apps;
-pub use ompi_io;
 pub use ompi_datatype;
+pub use ompi_io;
 pub use ompi_rte;
 pub use openmpi_core;
 pub use qsim;

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamics_and_faults-8eb9a7bf830d3760.d: tests/dynamics_and_faults.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamics_and_faults-8eb9a7bf830d3760.rmeta: tests/dynamics_and_faults.rs Cargo.toml
+
+tests/dynamics_and_faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamics_and_faults-c2b820323940bf7e.d: tests/dynamics_and_faults.rs
+
+/root/repo/target/debug/deps/dynamics_and_faults-c2b820323940bf7e: tests/dynamics_and_faults.rs
+
+tests/dynamics_and_faults.rs:

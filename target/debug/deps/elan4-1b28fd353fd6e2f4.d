@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/elan4-1b28fd353fd6e2f4.d: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelan4-1b28fd353fd6e2f4.rmeta: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs Cargo.toml
+
+crates/elan4/src/lib.rs:
+crates/elan4/src/alloc.rs:
+crates/elan4/src/cluster.rs:
+crates/elan4/src/config.rs:
+crates/elan4/src/ctx.rs:
+crates/elan4/src/mmu.rs:
+crates/elan4/src/tport.rs:
+crates/elan4/src/types.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

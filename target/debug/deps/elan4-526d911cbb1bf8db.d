@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/elan4-526d911cbb1bf8db.d: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs crates/elan4/src/tests.rs
+
+/root/repo/target/debug/deps/elan4-526d911cbb1bf8db: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs crates/elan4/src/tests.rs
+
+crates/elan4/src/lib.rs:
+crates/elan4/src/alloc.rs:
+crates/elan4/src/cluster.rs:
+crates/elan4/src/config.rs:
+crates/elan4/src/ctx.rs:
+crates/elan4/src/mmu.rs:
+crates/elan4/src/tport.rs:
+crates/elan4/src/types.rs:
+crates/elan4/src/tests.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/elan4-698e4e6bc5100a93.d: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs crates/elan4/src/tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libelan4-698e4e6bc5100a93.rmeta: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs crates/elan4/src/tests.rs Cargo.toml
+
+crates/elan4/src/lib.rs:
+crates/elan4/src/alloc.rs:
+crates/elan4/src/cluster.rs:
+crates/elan4/src/config.rs:
+crates/elan4/src/ctx.rs:
+crates/elan4/src/mmu.rs:
+crates/elan4/src/tport.rs:
+crates/elan4/src/types.rs:
+crates/elan4/src/tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/elan4-bf5578e858f09471.d: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs
+
+/root/repo/target/debug/deps/libelan4-bf5578e858f09471.rlib: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs
+
+/root/repo/target/debug/deps/libelan4-bf5578e858f09471.rmeta: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs
+
+crates/elan4/src/lib.rs:
+crates/elan4/src/alloc.rs:
+crates/elan4/src/cluster.rs:
+crates/elan4/src/config.rs:
+crates/elan4/src/ctx.rs:
+crates/elan4/src/mmu.rs:
+crates/elan4/src/tport.rs:
+crates/elan4/src/types.rs:

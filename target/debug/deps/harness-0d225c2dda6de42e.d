@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/harness-0d225c2dda6de42e.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/debug/deps/harness-0d225c2dda6de42e: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matching_oracle-2bcefbb51d9a5a7e.d: tests/matching_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatching_oracle-2bcefbb51d9a5a7e.rmeta: tests/matching_oracle.rs Cargo.toml
+
+tests/matching_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matching_oracle-dbded3d8d12d48b2.d: tests/matching_oracle.rs
+
+/root/repo/target/debug/deps/matching_oracle-dbded3d8d12d48b2: tests/matching_oracle.rs
+
+tests/matching_oracle.rs:

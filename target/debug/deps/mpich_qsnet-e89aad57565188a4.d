@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mpich_qsnet-e89aad57565188a4.d: crates/mpich-qsnet/src/lib.rs
+
+/root/repo/target/debug/deps/mpich_qsnet-e89aad57565188a4: crates/mpich-qsnet/src/lib.rs
+
+crates/mpich-qsnet/src/lib.rs:

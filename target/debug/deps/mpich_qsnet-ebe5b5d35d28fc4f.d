@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/mpich_qsnet-ebe5b5d35d28fc4f.d: crates/mpich-qsnet/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmpich_qsnet-ebe5b5d35d28fc4f.rmeta: crates/mpich-qsnet/src/lib.rs Cargo.toml
+
+crates/mpich-qsnet/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

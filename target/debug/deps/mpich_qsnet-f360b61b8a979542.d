@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/mpich_qsnet-f360b61b8a979542.d: crates/mpich-qsnet/src/lib.rs
+
+/root/repo/target/debug/deps/libmpich_qsnet-f360b61b8a979542.rlib: crates/mpich-qsnet/src/lib.rs
+
+/root/repo/target/debug/deps/libmpich_qsnet-f360b61b8a979542.rmeta: crates/mpich-qsnet/src/lib.rs
+
+crates/mpich-qsnet/src/lib.rs:

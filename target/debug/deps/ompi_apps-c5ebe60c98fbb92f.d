@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ompi_apps-c5ebe60c98fbb92f.d: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+/root/repo/target/debug/deps/libompi_apps-c5ebe60c98fbb92f.rlib: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+/root/repo/target/debug/deps/libompi_apps-c5ebe60c98fbb92f.rmeta: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cg.rs:
+crates/apps/src/ep.rs:
+crates/apps/src/samplesort.rs:
+crates/apps/src/stencil.rs:
+crates/apps/src/stencil2d.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ompi_apps-ed5dfd763b9a8de0.d: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs Cargo.toml
+
+/root/repo/target/debug/deps/libompi_apps-ed5dfd763b9a8de0.rmeta: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/cg.rs:
+crates/apps/src/ep.rs:
+crates/apps/src/samplesort.rs:
+crates/apps/src/stencil.rs:
+crates/apps/src/stencil2d.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ompi_apps-f8f4e9c9b518543b.d: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+/root/repo/target/debug/deps/ompi_apps-f8f4e9c9b518543b: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cg.rs:
+crates/apps/src/ep.rs:
+crates/apps/src/samplesort.rs:
+crates/apps/src/stencil.rs:
+crates/apps/src/stencil2d.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ompi_bench-469dab73c9d8d1f3.d: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libompi_bench-469dab73c9d8d1f3.rmeta: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/compare.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

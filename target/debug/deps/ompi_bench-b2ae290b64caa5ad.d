@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ompi_bench-b2ae290b64caa5ad.d: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libompi_bench-b2ae290b64caa5ad.rlib: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/libompi_bench-b2ae290b64caa5ad.rmeta: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/compare.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:

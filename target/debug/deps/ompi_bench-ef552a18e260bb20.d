@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ompi_bench-ef552a18e260bb20.d: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+/root/repo/target/debug/deps/ompi_bench-ef552a18e260bb20: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/compare.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ompi_datatype-27041f1d3eae895b.d: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+/root/repo/target/debug/deps/ompi_datatype-27041f1d3eae895b: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/cost.rs:
+crates/datatype/src/typemap.rs:

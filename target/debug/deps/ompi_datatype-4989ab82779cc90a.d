@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ompi_datatype-4989ab82779cc90a.d: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+/root/repo/target/debug/deps/libompi_datatype-4989ab82779cc90a.rlib: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+/root/repo/target/debug/deps/libompi_datatype-4989ab82779cc90a.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/cost.rs:
+crates/datatype/src/typemap.rs:

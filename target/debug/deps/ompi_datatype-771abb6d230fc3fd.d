@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ompi_datatype-771abb6d230fc3fd.d: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libompi_datatype-771abb6d230fc3fd.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs Cargo.toml
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/cost.rs:
+crates/datatype/src/typemap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

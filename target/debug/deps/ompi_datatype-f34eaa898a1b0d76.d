@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ompi_datatype-f34eaa898a1b0d76.d: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs Cargo.toml
+
+/root/repo/target/debug/deps/libompi_datatype-f34eaa898a1b0d76.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs Cargo.toml
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/cost.rs:
+crates/datatype/src/typemap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ompi_io-239dd0e3664ca63e.d: crates/io/src/lib.rs crates/io/src/pfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libompi_io-239dd0e3664ca63e.rmeta: crates/io/src/lib.rs crates/io/src/pfs.rs Cargo.toml
+
+crates/io/src/lib.rs:
+crates/io/src/pfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ompi_io-65b922953e2908f6.d: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+/root/repo/target/debug/deps/libompi_io-65b922953e2908f6.rlib: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+/root/repo/target/debug/deps/libompi_io-65b922953e2908f6.rmeta: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+crates/io/src/lib.rs:
+crates/io/src/pfs.rs:

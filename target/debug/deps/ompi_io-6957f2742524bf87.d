@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/ompi_io-6957f2742524bf87.d: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+/root/repo/target/debug/deps/ompi_io-6957f2742524bf87: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+crates/io/src/lib.rs:
+crates/io/src/pfs.rs:

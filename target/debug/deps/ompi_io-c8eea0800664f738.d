@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ompi_io-c8eea0800664f738.d: crates/io/src/lib.rs crates/io/src/pfs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libompi_io-c8eea0800664f738.rmeta: crates/io/src/lib.rs crates/io/src/pfs.rs Cargo.toml
+
+crates/io/src/lib.rs:
+crates/io/src/pfs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ompi_rte-4e7836708d58eece.d: crates/rte/src/lib.rs
+
+/root/repo/target/debug/deps/libompi_rte-4e7836708d58eece.rlib: crates/rte/src/lib.rs
+
+/root/repo/target/debug/deps/libompi_rte-4e7836708d58eece.rmeta: crates/rte/src/lib.rs
+
+crates/rte/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ompi_rte-c82c5f7e519626fa.d: crates/rte/src/lib.rs
+
+/root/repo/target/debug/deps/ompi_rte-c82c5f7e519626fa: crates/rte/src/lib.rs
+
+crates/rte/src/lib.rs:

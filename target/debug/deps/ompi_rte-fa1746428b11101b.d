@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ompi_rte-fa1746428b11101b.d: crates/rte/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libompi_rte-fa1746428b11101b.rmeta: crates/rte/src/lib.rs Cargo.toml
+
+crates/rte/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

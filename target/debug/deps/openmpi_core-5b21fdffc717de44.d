@@ -1,0 +1,24 @@
+/root/repo/target/debug/deps/openmpi_core-5b21fdffc717de44.d: crates/core/src/lib.rs crates/core/src/coll.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/endpoint.rs crates/core/src/hdr.rs crates/core/src/metrics.rs crates/core/src/mpi.rs crates/core/src/peer.rs crates/core/src/proto.rs crates/core/src/ptl.rs crates/core/src/ptl_tcp.rs crates/core/src/rma.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/universe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmpi_core-5b21fdffc717de44.rmeta: crates/core/src/lib.rs crates/core/src/coll.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/endpoint.rs crates/core/src/hdr.rs crates/core/src/metrics.rs crates/core/src/mpi.rs crates/core/src/peer.rs crates/core/src/proto.rs crates/core/src/ptl.rs crates/core/src/ptl_tcp.rs crates/core/src/rma.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/universe.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/coll.rs:
+crates/core/src/comm.rs:
+crates/core/src/config.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/hdr.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mpi.rs:
+crates/core/src/peer.rs:
+crates/core/src/proto.rs:
+crates/core/src/ptl.rs:
+crates/core/src/ptl_tcp.rs:
+crates/core/src/rma.rs:
+crates/core/src/state.rs:
+crates/core/src/trace.rs:
+crates/core/src/universe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/openmpi_core-758aeea99a5b523c.d: crates/core/src/lib.rs crates/core/src/coll.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/endpoint.rs crates/core/src/hdr.rs crates/core/src/metrics.rs crates/core/src/mpi.rs crates/core/src/peer.rs crates/core/src/proto.rs crates/core/src/ptl.rs crates/core/src/ptl_tcp.rs crates/core/src/rma.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/universe.rs crates/core/src/tests.rs
+
+/root/repo/target/debug/deps/openmpi_core-758aeea99a5b523c: crates/core/src/lib.rs crates/core/src/coll.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/endpoint.rs crates/core/src/hdr.rs crates/core/src/metrics.rs crates/core/src/mpi.rs crates/core/src/peer.rs crates/core/src/proto.rs crates/core/src/ptl.rs crates/core/src/ptl_tcp.rs crates/core/src/rma.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/universe.rs crates/core/src/tests.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coll.rs:
+crates/core/src/comm.rs:
+crates/core/src/config.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/hdr.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mpi.rs:
+crates/core/src/peer.rs:
+crates/core/src/proto.rs:
+crates/core/src/ptl.rs:
+crates/core/src/ptl_tcp.rs:
+crates/core/src/rma.rs:
+crates/core/src/state.rs:
+crates/core/src/trace.rs:
+crates/core/src/universe.rs:
+crates/core/src/tests.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/openmpi_core-fa9cec932ac1a946.d: crates/core/src/lib.rs crates/core/src/coll.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/endpoint.rs crates/core/src/hdr.rs crates/core/src/metrics.rs crates/core/src/mpi.rs crates/core/src/peer.rs crates/core/src/proto.rs crates/core/src/ptl.rs crates/core/src/ptl_tcp.rs crates/core/src/rma.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/universe.rs
+
+/root/repo/target/debug/deps/libopenmpi_core-fa9cec932ac1a946.rlib: crates/core/src/lib.rs crates/core/src/coll.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/endpoint.rs crates/core/src/hdr.rs crates/core/src/metrics.rs crates/core/src/mpi.rs crates/core/src/peer.rs crates/core/src/proto.rs crates/core/src/ptl.rs crates/core/src/ptl_tcp.rs crates/core/src/rma.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/universe.rs
+
+/root/repo/target/debug/deps/libopenmpi_core-fa9cec932ac1a946.rmeta: crates/core/src/lib.rs crates/core/src/coll.rs crates/core/src/comm.rs crates/core/src/config.rs crates/core/src/endpoint.rs crates/core/src/hdr.rs crates/core/src/metrics.rs crates/core/src/mpi.rs crates/core/src/peer.rs crates/core/src/proto.rs crates/core/src/ptl.rs crates/core/src/ptl_tcp.rs crates/core/src/rma.rs crates/core/src/state.rs crates/core/src/trace.rs crates/core/src/universe.rs
+
+crates/core/src/lib.rs:
+crates/core/src/coll.rs:
+crates/core/src/comm.rs:
+crates/core/src/config.rs:
+crates/core/src/endpoint.rs:
+crates/core/src/hdr.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mpi.rs:
+crates/core/src/peer.rs:
+crates/core/src/proto.rs:
+crates/core/src/ptl.rs:
+crates/core/src/ptl_tcp.rs:
+crates/core/src/rma.rs:
+crates/core/src/state.rs:
+crates/core/src/trace.rs:
+crates/core/src/universe.rs:

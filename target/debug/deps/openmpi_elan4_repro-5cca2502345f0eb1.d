@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/openmpi_elan4_repro-5cca2502345f0eb1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libopenmpi_elan4_repro-5cca2502345f0eb1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libopenmpi_elan4_repro-5cca2502345f0eb1.rmeta: src/lib.rs
+
+src/lib.rs:

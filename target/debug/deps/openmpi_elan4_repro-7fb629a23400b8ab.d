@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmpi_elan4_repro-7fb629a23400b8ab.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmpi_elan4_repro-7fb629a23400b8ab.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/openmpi_elan4_repro-d0898a04b5b7cc9f.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopenmpi_elan4_repro-d0898a04b5b7cc9f.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/openmpi_elan4_repro-f49f7988595879f5.d: src/lib.rs
+
+/root/repo/target/debug/deps/openmpi_elan4_repro-f49f7988595879f5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-5a6237120dc547cc.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-5a6237120dc547cc: tests/paper_claims.rs
+
+tests/paper_claims.rs:

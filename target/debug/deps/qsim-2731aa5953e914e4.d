@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/qsim-2731aa5953e914e4.d: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+/root/repo/target/debug/deps/qsim-2731aa5953e914e4: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+crates/qsim/src/lib.rs:
+crates/qsim/src/handle.rs:
+crates/qsim/src/kernel.rs:
+crates/qsim/src/proc.rs:
+crates/qsim/src/rng.rs:
+crates/qsim/src/signal.rs:
+crates/qsim/src/sync.rs:
+crates/qsim/src/time.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/qsim-44f3e6e79bad053a.d: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqsim-44f3e6e79bad053a.rmeta: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs Cargo.toml
+
+crates/qsim/src/lib.rs:
+crates/qsim/src/handle.rs:
+crates/qsim/src/kernel.rs:
+crates/qsim/src/proc.rs:
+crates/qsim/src/rng.rs:
+crates/qsim/src/signal.rs:
+crates/qsim/src/sync.rs:
+crates/qsim/src/time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

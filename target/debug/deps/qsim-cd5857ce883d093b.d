@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/qsim-cd5857ce883d093b.d: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+/root/repo/target/debug/deps/libqsim-cd5857ce883d093b.rlib: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+/root/repo/target/debug/deps/libqsim-cd5857ce883d093b.rmeta: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+crates/qsim/src/lib.rs:
+crates/qsim/src/handle.rs:
+crates/qsim/src/kernel.rs:
+crates/qsim/src/proc.rs:
+crates/qsim/src/rng.rs:
+crates/qsim/src/signal.rs:
+crates/qsim/src/sync.rs:
+crates/qsim/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qsnet-50301ecff518b976.d: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqsnet-50301ecff518b976.rmeta: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs Cargo.toml
+
+crates/qsnet/src/lib.rs:
+crates/qsnet/src/fabric.rs:
+crates/qsnet/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/qsnet-75199c0b22143e83.d: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+/root/repo/target/debug/deps/libqsnet-75199c0b22143e83.rlib: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+/root/repo/target/debug/deps/libqsnet-75199c0b22143e83.rmeta: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+crates/qsnet/src/lib.rs:
+crates/qsnet/src/fabric.rs:
+crates/qsnet/src/topology.rs:

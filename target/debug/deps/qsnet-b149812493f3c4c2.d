@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/qsnet-b149812493f3c4c2.d: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqsnet-b149812493f3c4c2.rmeta: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs Cargo.toml
+
+crates/qsnet/src/lib.rs:
+crates/qsnet/src/fabric.rs:
+crates/qsnet/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

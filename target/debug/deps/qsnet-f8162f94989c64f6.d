@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/qsnet-f8162f94989c64f6.d: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+/root/repo/target/debug/deps/qsnet-f8162f94989c64f6: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+crates/qsnet/src/lib.rs:
+crates/qsnet/src/fabric.rs:
+crates/qsnet/src/topology.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stack_matrix-63918b0560c59692.d: tests/stack_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstack_matrix-63918b0560c59692.rmeta: tests/stack_matrix.rs Cargo.toml
+
+tests/stack_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stack_matrix-b708cc537815dc9e.d: tests/stack_matrix.rs
+
+/root/repo/target/debug/deps/stack_matrix-b708cc537815dc9e: tests/stack_matrix.rs
+
+tests/stack_matrix.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-37c6a4dabca74ff0.d: tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-37c6a4dabca74ff0: tests/telemetry.rs
+
+tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/checkpoint_restart-0126564aa8e49d11.d: examples/checkpoint_restart.rs
+
+/root/repo/target/debug/examples/checkpoint_restart-0126564aa8e49d11: examples/checkpoint_restart.rs
+
+examples/checkpoint_restart.rs:

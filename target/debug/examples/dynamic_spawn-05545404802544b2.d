@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_spawn-05545404802544b2.d: examples/dynamic_spawn.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_spawn-05545404802544b2.rmeta: examples/dynamic_spawn.rs Cargo.toml
+
+examples/dynamic_spawn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

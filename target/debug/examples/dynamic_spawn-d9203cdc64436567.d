@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_spawn-d9203cdc64436567.d: examples/dynamic_spawn.rs
+
+/root/repo/target/debug/examples/dynamic_spawn-d9203cdc64436567: examples/dynamic_spawn.rs
+
+examples/dynamic_spawn.rs:

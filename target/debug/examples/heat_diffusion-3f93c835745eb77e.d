@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/heat_diffusion-3f93c835745eb77e.d: examples/heat_diffusion.rs Cargo.toml
+
+/root/repo/target/debug/examples/libheat_diffusion-3f93c835745eb77e.rmeta: examples/heat_diffusion.rs Cargo.toml
+
+examples/heat_diffusion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

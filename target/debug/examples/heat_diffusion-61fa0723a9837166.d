@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/heat_diffusion-61fa0723a9837166.d: examples/heat_diffusion.rs
+
+/root/repo/target/debug/examples/heat_diffusion-61fa0723a9837166: examples/heat_diffusion.rs
+
+examples/heat_diffusion.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multirail_multinet-418b46a22f8b54cb.d: examples/multirail_multinet.rs
+
+/root/repo/target/debug/examples/multirail_multinet-418b46a22f8b54cb: examples/multirail_multinet.rs
+
+examples/multirail_multinet.rs:

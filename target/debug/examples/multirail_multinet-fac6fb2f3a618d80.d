@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multirail_multinet-fac6fb2f3a618d80.d: examples/multirail_multinet.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultirail_multinet-fac6fb2f3a618d80.rmeta: examples/multirail_multinet.rs Cargo.toml
+
+examples/multirail_multinet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/onesided-68f4871c29f2b733.d: examples/onesided.rs Cargo.toml
+
+/root/repo/target/debug/examples/libonesided-68f4871c29f2b733.rmeta: examples/onesided.rs Cargo.toml
+
+examples/onesided.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/onesided-a894c0aa3053b8ef.d: examples/onesided.rs
+
+/root/repo/target/debug/examples/onesided-a894c0aa3053b8ef: examples/onesided.rs
+
+examples/onesided.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8ec1aff47ef56682.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8ec1aff47ef56682: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_protocol-87df80f40456876f.d: examples/trace_protocol.rs
+
+/root/repo/target/debug/examples/trace_protocol-87df80f40456876f: examples/trace_protocol.rs
+
+examples/trace_protocol.rs:

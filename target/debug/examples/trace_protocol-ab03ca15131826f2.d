@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_protocol-ab03ca15131826f2.d: examples/trace_protocol.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_protocol-ab03ca15131826f2.rmeta: examples/trace_protocol.rs Cargo.toml
+
+examples/trace_protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

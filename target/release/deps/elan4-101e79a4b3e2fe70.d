@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/elan4-101e79a4b3e2fe70.d: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs
+
+/root/repo/target/release/deps/libelan4-101e79a4b3e2fe70.rlib: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs
+
+/root/repo/target/release/deps/libelan4-101e79a4b3e2fe70.rmeta: crates/elan4/src/lib.rs crates/elan4/src/alloc.rs crates/elan4/src/cluster.rs crates/elan4/src/config.rs crates/elan4/src/ctx.rs crates/elan4/src/mmu.rs crates/elan4/src/tport.rs crates/elan4/src/types.rs
+
+crates/elan4/src/lib.rs:
+crates/elan4/src/alloc.rs:
+crates/elan4/src/cluster.rs:
+crates/elan4/src/config.rs:
+crates/elan4/src/ctx.rs:
+crates/elan4/src/mmu.rs:
+crates/elan4/src/tport.rs:
+crates/elan4/src/types.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/harness-457a48c383234954.d: crates/bench/src/bin/harness.rs
+
+/root/repo/target/release/deps/harness-457a48c383234954: crates/bench/src/bin/harness.rs
+
+crates/bench/src/bin/harness.rs:

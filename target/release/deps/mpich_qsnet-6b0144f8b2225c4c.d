@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/mpich_qsnet-6b0144f8b2225c4c.d: crates/mpich-qsnet/src/lib.rs
+
+/root/repo/target/release/deps/libmpich_qsnet-6b0144f8b2225c4c.rlib: crates/mpich-qsnet/src/lib.rs
+
+/root/repo/target/release/deps/libmpich_qsnet-6b0144f8b2225c4c.rmeta: crates/mpich-qsnet/src/lib.rs
+
+crates/mpich-qsnet/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ompi_apps-28ded05c10507bbd.d: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+/root/repo/target/release/deps/libompi_apps-28ded05c10507bbd.rlib: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+/root/repo/target/release/deps/libompi_apps-28ded05c10507bbd.rmeta: crates/apps/src/lib.rs crates/apps/src/cg.rs crates/apps/src/ep.rs crates/apps/src/samplesort.rs crates/apps/src/stencil.rs crates/apps/src/stencil2d.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/cg.rs:
+crates/apps/src/ep.rs:
+crates/apps/src/samplesort.rs:
+crates/apps/src/stencil.rs:
+crates/apps/src/stencil2d.rs:

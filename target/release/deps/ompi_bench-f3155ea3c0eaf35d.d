@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ompi_bench-f3155ea3c0eaf35d.d: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libompi_bench-f3155ea3c0eaf35d.rlib: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+/root/repo/target/release/deps/libompi_bench-f3155ea3c0eaf35d.rmeta: crates/bench/src/lib.rs crates/bench/src/compare.rs crates/bench/src/experiments.rs crates/bench/src/measure.rs crates/bench/src/report.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/compare.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ompi_datatype-839cd58016ca3aa8.d: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+/root/repo/target/release/deps/libompi_datatype-839cd58016ca3aa8.rlib: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+/root/repo/target/release/deps/libompi_datatype-839cd58016ca3aa8.rmeta: crates/datatype/src/lib.rs crates/datatype/src/cost.rs crates/datatype/src/typemap.rs
+
+crates/datatype/src/lib.rs:
+crates/datatype/src/cost.rs:
+crates/datatype/src/typemap.rs:

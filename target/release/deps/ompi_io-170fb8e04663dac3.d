@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ompi_io-170fb8e04663dac3.d: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+/root/repo/target/release/deps/libompi_io-170fb8e04663dac3.rlib: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+/root/repo/target/release/deps/libompi_io-170fb8e04663dac3.rmeta: crates/io/src/lib.rs crates/io/src/pfs.rs
+
+crates/io/src/lib.rs:
+crates/io/src/pfs.rs:

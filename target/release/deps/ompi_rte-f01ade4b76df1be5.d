@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ompi_rte-f01ade4b76df1be5.d: crates/rte/src/lib.rs
+
+/root/repo/target/release/deps/libompi_rte-f01ade4b76df1be5.rlib: crates/rte/src/lib.rs
+
+/root/repo/target/release/deps/libompi_rte-f01ade4b76df1be5.rmeta: crates/rte/src/lib.rs
+
+crates/rte/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/openmpi_elan4_repro-43617684cc336808.d: src/lib.rs
+
+/root/repo/target/release/deps/libopenmpi_elan4_repro-43617684cc336808.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libopenmpi_elan4_repro-43617684cc336808.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/qsim-fdba40c6d6c09139.d: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+/root/repo/target/release/deps/libqsim-fdba40c6d6c09139.rlib: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+/root/repo/target/release/deps/libqsim-fdba40c6d6c09139.rmeta: crates/qsim/src/lib.rs crates/qsim/src/handle.rs crates/qsim/src/kernel.rs crates/qsim/src/proc.rs crates/qsim/src/rng.rs crates/qsim/src/signal.rs crates/qsim/src/sync.rs crates/qsim/src/time.rs
+
+crates/qsim/src/lib.rs:
+crates/qsim/src/handle.rs:
+crates/qsim/src/kernel.rs:
+crates/qsim/src/proc.rs:
+crates/qsim/src/rng.rs:
+crates/qsim/src/signal.rs:
+crates/qsim/src/sync.rs:
+crates/qsim/src/time.rs:

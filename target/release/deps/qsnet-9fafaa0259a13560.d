@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/qsnet-9fafaa0259a13560.d: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+/root/repo/target/release/deps/libqsnet-9fafaa0259a13560.rlib: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+/root/repo/target/release/deps/libqsnet-9fafaa0259a13560.rmeta: crates/qsnet/src/lib.rs crates/qsnet/src/fabric.rs crates/qsnet/src/topology.rs
+
+crates/qsnet/src/lib.rs:
+crates/qsnet/src/fabric.rs:
+crates/qsnet/src/topology.rs:

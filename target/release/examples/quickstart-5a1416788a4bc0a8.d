@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5a1416788a4bc0a8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5a1416788a4bc0a8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_protocol-feeeba7ad8901473.d: examples/trace_protocol.rs
+
+/root/repo/target/release/examples/trace_protocol-feeeba7ad8901473: examples/trace_protocol.rs
+
+examples/trace_protocol.rs:

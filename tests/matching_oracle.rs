@@ -1,4 +1,4 @@
-//! Property-based check of MPI matching semantics, end to end through the
+//! Randomized check of MPI matching semantics, end to end through the
 //! simulated stack: random tag sequences and receive selectors must match
 //! exactly as the MPI-standard oracle predicts (FIFO over posted receives,
 //! send order per peer), both when receives are pre-posted and when every
@@ -7,8 +7,7 @@
 use std::sync::Arc;
 
 use openmpi_core::{Placement, StackConfig, Universe, ANY_TAG};
-use parking_lot::Mutex;
-use proptest::prelude::*;
+use qsim::{Mutex, Pcg32};
 
 /// `None` = MPI_ANY_TAG selector.
 type Selector = Option<u8>;
@@ -21,9 +20,10 @@ fn oracle(msgs: &[u8], recvs: &[Selector]) -> Option<Vec<usize>> {
     let mut assignment = vec![usize::MAX; recvs.len()];
     let mut taken = vec![false; recvs.len()];
     for (mi, tag) in msgs.iter().enumerate() {
-        let slot = recvs.iter().enumerate().find(|(ri, sel)| {
-            !taken[*ri] && sel.map(|s| s == *tag).unwrap_or(true)
-        });
+        let slot = recvs
+            .iter()
+            .enumerate()
+            .find(|(ri, sel)| !taken[*ri] && sel.map(|s| s == *tag).unwrap_or(true));
         match slot {
             Some((ri, _)) => {
                 taken[ri] = true;
@@ -93,39 +93,36 @@ fn simulate(msgs: Vec<u8>, recvs: Vec<Selector>, preposted: bool) -> Vec<usize> 
     v
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, // each case runs two full simulations
-        .. ProptestConfig::default()
-    })]
-
-    #[test]
-    fn matching_follows_the_mpi_oracle(
-        msgs in proptest::collection::vec(0u8..4, 1..7),
-        wild in proptest::collection::vec(any::<bool>(), 1..7),
-        order in any::<u64>(),
-    ) {
+/// 24 random scenarios (each runs two full simulations), generated from a
+/// fixed seed so every run exercises the identical case set.
+#[test]
+fn matching_follows_the_mpi_oracle() {
+    let mut rng = Pcg32::new(0xE1A4_0A7C);
+    let mut cases = 0;
+    while cases < 24 {
+        let msgs: Vec<u8> = (0..rng.range(1, 7)).map(|_| rng.below(4) as u8).collect();
         // Build receives that exactly cover the messages: one receive per
         // message, some wildcarded, in a shuffled post order.
         let mut recvs: Vec<Selector> = msgs
             .iter()
-            .zip(wild.iter().cycle())
-            .map(|(t, w)| if *w { None } else { Some(*t) })
+            .map(|t| if rng.chance(0.5) { None } else { Some(*t) })
             .collect();
-        // Deterministic shuffle from `order`.
-        let mut o = order;
-        for i in (1..recvs.len()).rev() {
-            o = o.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            recvs.swap(i, (o >> 33) as usize % (i + 1));
-        }
+        rng.shuffle(&mut recvs);
         let Some(expected) = oracle(&msgs, &recvs) else {
             // Would block: not a valid MPI program; skip.
-            return Ok(());
+            continue;
         };
+        cases += 1;
         let pre = simulate(msgs.clone(), recvs.clone(), true);
-        prop_assert_eq!(&pre, &expected, "pre-posted receives diverged from oracle");
-        let late = simulate(msgs, recvs, false);
-        prop_assert_eq!(&late, &expected, "unexpected-queue path diverged from oracle");
+        assert_eq!(
+            pre, expected,
+            "pre-posted receives diverged from oracle: msgs={msgs:?} recvs={recvs:?}"
+        );
+        let late = simulate(msgs, recvs.clone(), false);
+        assert_eq!(
+            late, expected,
+            "unexpected-queue path diverged from oracle: recvs={recvs:?}"
+        );
     }
 }
 

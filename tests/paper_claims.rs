@@ -77,8 +77,15 @@ fn fig8_completion_strategies() {
     let q2 = ompi_latency(&Setup::paper(twoq), len);
 
     assert!(b < nc, "chained {b:.2} !< no-chain {nc:.2}");
-    assert!(nc - b < 1.0, "chaining should be marginal, got {:.2}", nc - b);
-    assert!(q1 > b + 0.5, "one-queue {q1:.2} should cost over basic {b:.2}");
+    assert!(
+        nc - b < 1.0,
+        "chaining should be marginal, got {:.2}",
+        nc - b
+    );
+    assert!(
+        q1 > b + 0.5,
+        "one-queue {q1:.2} should cost over basic {b:.2}"
+    );
     assert!(
         (q1 - q2).abs() < 0.3,
         "polling one-queue {q1:.2} vs two-queue {q2:.2} should be ~equal"
@@ -131,9 +138,21 @@ fn table1_progress_modes() {
             b < i && i < o && o < t,
             "len={len}: expected {b:.2} < {i:.2} < {o:.2} < {t:.2}"
         );
-        assert!((i - b) > 6.0 && (i - b) < 16.0, "interrupt delta {:.2}", i - b);
-        assert!((o - i) > 3.0 && (o - i) < 12.0, "one-thread delta {:.2}", o - i);
-        assert!((t - o) > 1.0 && (t - o) < 16.0, "two-thread delta {:.2}", t - o);
+        assert!(
+            (i - b) > 6.0 && (i - b) < 16.0,
+            "interrupt delta {:.2}",
+            i - b
+        );
+        assert!(
+            (o - i) > 3.0 && (o - i) < 12.0,
+            "one-thread delta {:.2}",
+            o - i
+        );
+        assert!(
+            (t - o) > 1.0 && (t - o) < 16.0,
+            "two-thread delta {:.2}",
+            t - o
+        );
     }
 }
 
@@ -147,8 +166,15 @@ fn fig10_small_message_latency_gap() {
     for len in [0usize, 64, 512] {
         let m = mpich_latency(&nic, &fabric, len);
         let o = ompi_latency(&Setup::paper(StackConfig::best()), len);
-        assert!(o > m, "len={len}: Open MPI {o:.2} should trail MPICH {m:.2}");
-        assert!(o - m < 3.0, "len={len}: gap {:.2}us not 'comparable'", o - m);
+        assert!(
+            o > m,
+            "len={len}: Open MPI {o:.2} should trail MPICH {m:.2}"
+        );
+        assert!(
+            o - m < 3.0,
+            "len={len}: gap {:.2}us not 'comparable'",
+            o - m
+        );
     }
 }
 

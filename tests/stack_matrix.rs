@@ -7,18 +7,17 @@ use std::sync::Arc;
 use openmpi_core::{
     CompletionMode, Placement, ProgressMode, RdmaScheme, StackConfig, Universe, ANY_SOURCE,
 };
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use qsim::Pcg32;
 
-fn random_payload(rng: &mut StdRng, len: usize) -> Vec<u8> {
-    (0..len).map(|_| rng.random()).collect()
+fn random_payload(rng: &mut Pcg32, len: usize) -> Vec<u8> {
+    rng.bytes(len)
 }
 
 /// Every (scheme × inline × chained × completion) combination moves random
 /// payloads of awkward sizes correctly under polling progress.
 #[test]
 fn protocol_matrix_random_payloads() {
-    let mut rng = StdRng::seed_from_u64(0xE1A4);
+    let mut rng = Pcg32::new(0xE1A4);
     for scheme in [RdmaScheme::Read, RdmaScheme::Write] {
         for inline in [false, true] {
             for completion in [
@@ -67,11 +66,14 @@ fn protocol_matrix_random_payloads() {
 /// Thread-based progress moves the same random traffic correctly.
 #[test]
 fn thread_progress_random_payloads() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Pcg32::new(7);
     for (progress, completion) in [
         (ProgressMode::Interrupt, CompletionMode::PollEvent),
         (ProgressMode::OneThread, CompletionMode::SharedQueueCombined),
-        (ProgressMode::TwoThreads, CompletionMode::SharedQueueSeparate),
+        (
+            ProgressMode::TwoThreads,
+            CompletionMode::SharedQueueSeparate,
+        ),
     ] {
         let mut cfg = StackConfig::best();
         cfg.progress = progress;
@@ -211,7 +213,10 @@ fn collectives_under_all_progress_modes() {
         (ProgressMode::Polling, CompletionMode::PollEvent),
         (ProgressMode::Interrupt, CompletionMode::PollEvent),
         (ProgressMode::OneThread, CompletionMode::SharedQueueCombined),
-        (ProgressMode::TwoThreads, CompletionMode::SharedQueueSeparate),
+        (
+            ProgressMode::TwoThreads,
+            CompletionMode::SharedQueueSeparate,
+        ),
     ] {
         let mut cfg = StackConfig::best();
         cfg.progress = progress;
@@ -225,10 +230,10 @@ fn collectives_under_all_progress_modes() {
             // Rendezvous-sized bcast exercises the RDMA path per mode.
             let b = mpi.alloc(8192);
             if me == 0 {
-                mpi.write(&b, 0, &random_payload(&mut StdRng::seed_from_u64(1), 8192));
+                mpi.write(&b, 0, &random_payload(&mut Pcg32::new(1), 8192));
             }
             mpi.bcast(&w, 0, &b, 8192);
-            let expect = random_payload(&mut StdRng::seed_from_u64(1), 8192);
+            let expect = random_payload(&mut Pcg32::new(1), 8192);
             assert_eq!(mpi.read(&b, 0, 8192), expect, "{progress:?}");
             // Allreduce over all ranks.
             let acc = mpi.alloc(8);
@@ -251,7 +256,15 @@ fn cg_under_one_thread_progress() {
     let uni = Universe::paper_testbed(cfg);
     uni.run_world(4, Placement::RoundRobin, |mpi| {
         let w = mpi.world();
-        let r = run(&mpi, &w, &CgConfig { n: 128, max_iters: 150, tol: 1e-10 });
+        let r = run(
+            &mpi,
+            &w,
+            &CgConfig {
+                n: 128,
+                max_iters: 150,
+                tol: 1e-10,
+            },
+        );
         assert!(r.rr <= 1e-10, "rank {} rr={}", mpi.rank(), r.rr);
         for v in r.x {
             assert!((v - 1.0).abs() < 1e-4);
@@ -276,8 +289,15 @@ fn rma_and_two_sided_interleave() {
             let r = mpi.alloc(128);
             mpi.write(&s, 0, &[round.wrapping_mul(me as u8 + 1); 128]);
             mpi.sendrecv(
-                &w, (me + 1) % n, 40, &s, 128,
-                ((me + n - 1) % n) as i32, 40, &r, 128,
+                &w,
+                (me + 1) % n,
+                40,
+                &s,
+                128,
+                ((me + n - 1) % n) as i32,
+                40,
+                &r,
+                128,
             );
             // ...then an RMA epoch writing into the left neighbour...
             let src = mpi.alloc(64);
