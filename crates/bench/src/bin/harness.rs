@@ -12,6 +12,12 @@
 //! latency histograms, PTL traffic, simulator profile) as JSON on stdout.
 //! `--trace-out FILE` additionally writes the per-rank Chrome trace-event
 //! timeline, loadable in `chrome://tracing` or Perfetto.
+//! `--introspect-out FILE` arms the progress watchdog, runs the same
+//! instrumented ping-pong with the introspection plane active, and writes
+//! the cluster-wide pvar aggregation (min/max/sum per variable, straggler
+//! rank, stall diagnostics) as JSON; `--watchdog N` tunes the scan interval
+//! in progress ticks (default 64). With `--emit-metrics` too, both documents
+//! come from the same run, so their totals agree exactly.
 
 use ompi_bench::{
     apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
@@ -47,6 +53,8 @@ fn main() {
     let mut md = false;
     let mut emit_metrics = false;
     let mut trace_out: Option<String> = None;
+    let mut introspect_out: Option<String> = None;
+    let mut watchdog: u64 = 64;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -61,6 +69,20 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+            "--introspect-out" => {
+                introspect_out = args.next();
+                if introspect_out.is_none() {
+                    eprintln!("--introspect-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--watchdog" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => watchdog = n,
+                None => {
+                    eprintln!("--watchdog needs an interval in progress ticks");
+                    std::process::exit(2);
+                }
+            },
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag `{a}`");
                 std::process::exit(2);
@@ -70,9 +92,10 @@ fn main() {
     }
     let selected: Vec<&str> = selected.iter().map(|s| s.as_str()).collect();
 
-    if selected.is_empty() && !emit_metrics {
+    if selected.is_empty() && !emit_metrics && introspect_out.is_none() {
         eprintln!(
             "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
+             [--introspect-out FILE] [--watchdog N] \
              <experiment>... | all | paper | compare"
         );
         eprintln!("experiments:");
@@ -118,14 +141,31 @@ fn main() {
         eprintln!("[{name} regenerated in {:.1?} wall time]", start.elapsed());
     }
 
-    if emit_metrics {
-        use ompi_bench::measure::{telemetry_pingpong, Setup};
+    if emit_metrics || introspect_out.is_some() {
+        use ompi_bench::measure::{introspect_pingpong, telemetry_pingpong, Setup};
         use openmpi_core::StackConfig;
         let start = std::time::Instant::now();
         // 4 ranks, 16 KiB messages: well past the eager limit, so the
         // rendezvous histograms and RDMA counters all light up.
-        let telemetry = telemetry_pingpong(&Setup::paper(StackConfig::default()), 4, 16 << 10, 8);
-        println!("{}", telemetry.to_json());
+        let setup = Setup::paper(StackConfig::default());
+        let telemetry = match introspect_out {
+            Some(path) => {
+                // One run feeds both documents, so pvar and metric totals
+                // agree exactly.
+                let (telemetry, introspect) = introspect_pingpong(&setup, 4, 16 << 10, 8, watchdog);
+                std::fs::write(&path, introspect.to_json())
+                    .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+                eprintln!(
+                    "[introspection written to {path}: {} stalls, straggler {:?}]",
+                    introspect.stalls, introspect.cluster.straggler
+                );
+                telemetry
+            }
+            None => telemetry_pingpong(&setup, 4, 16 << 10, 8),
+        };
+        if emit_metrics {
+            println!("{}", telemetry.to_json());
+        }
         if let Some(path) = trace_out {
             std::fs::write(&path, telemetry.chrome_trace())
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));

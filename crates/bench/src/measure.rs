@@ -245,6 +245,126 @@ pub fn telemetry_pingpong(setup: &Setup, ranks: usize, len: usize, iters: usize)
     }
 }
 
+/// Everything the introspection stack yields from one watchdog-armed run:
+/// the job-wide pvar aggregation, each rank's raw snapshot, and any stall
+/// diagnostics the watchdog recorded.
+pub struct IntrospectReport {
+    /// Min/max/sum per pvar across the job, with straggler identification.
+    pub cluster: ompi_rte::ClusterReport,
+    /// Each rank's raw pvar snapshot, indexed by rank.
+    pub snapshots: Vec<openmpi_core::PvarSnapshot>,
+    /// Total requests declared stalled across all ranks.
+    pub stalls: u64,
+    /// Recorded stall diagnostics, already rendered as JSON objects.
+    pub diagnostics: Vec<String>,
+}
+
+impl IntrospectReport {
+    /// One JSON document: stall totals, cluster aggregation, raw snapshots.
+    pub fn to_json(&self) -> String {
+        let ranks: Vec<String> = self.snapshots.iter().map(|s| s.to_json()).collect();
+        format!(
+            "{{\"stalls\":{},\"cluster\":{},\"ranks\":[{}],\"diagnostics\":[{}]}}",
+            self.stalls,
+            self.cluster.to_json(),
+            ranks.join(","),
+            self.diagnostics.join(",")
+        )
+    }
+}
+
+/// The instrumented ping-pong of [`telemetry_pingpong`] with the progress
+/// watchdog armed and the introspection plane active: each rank snapshots
+/// its pvars and publishes them through the RTE, rank 0 aggregates the
+/// cluster report. Telemetry and introspection come from the *same* run, so
+/// the pvar totals and the metrics JSON agree by construction.
+pub fn introspect_pingpong(
+    setup: &Setup,
+    ranks: usize,
+    len: usize,
+    iters: usize,
+    watchdog_interval: u64,
+) -> (Telemetry, IntrospectReport) {
+    type Row = (
+        u32,
+        Metrics,
+        Vec<PtlTraffic>,
+        TraceLog,
+        openmpi_core::PvarSnapshot,
+        u64,
+        Vec<String>,
+    );
+    let mut setup = setup.clone();
+    setup.stack.metrics = true;
+    setup.stack.trace = true;
+    setup.stack.watchdog_interval = watchdog_interval;
+    let collected: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let cluster: Arc<Mutex<Option<ompi_rte::ClusterReport>>> = Arc::new(Mutex::new(None));
+    let c2 = collected.clone();
+    let cl2 = cluster.clone();
+    let report = setup
+        .universe()
+        .run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let sbuf = mpi.alloc(len.max(1));
+            let rbuf = mpi.alloc(len.max(1));
+            mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+            for _ in 0..iters {
+                if mpi.rank() == 0 {
+                    for peer in 1..ranks {
+                        mpi.send(&w, peer, 0, &sbuf, len);
+                        mpi.recv(&w, peer as i32, 0, &rbuf, len);
+                    }
+                } else {
+                    mpi.recv(&w, 0, 0, &rbuf, len);
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            }
+            mpi.barrier(&w);
+            let ep = mpi.endpoint();
+            let snap = openmpi_core::pvar_snapshot(ep);
+            ep.rte.pvar_publish(mpi.proc(), ep.name, &snap.vars);
+            if mpi.rank() == 0 {
+                let per_rank = ep.rte.pvar_collect(mpi.proc(), ep.name.job);
+                *cl2.lock() = Some(ompi_rte::ClusterReport::build(&per_rank));
+            }
+            let (stalls, diags) = {
+                let ins = ep.introspect.lock();
+                (
+                    ins.stalls_detected,
+                    ins.diagnostics.iter().map(|d| d.to_json()).collect(),
+                )
+            };
+            c2.lock().push((
+                mpi.rank() as u32,
+                ep.metrics_snapshot(),
+                ep.ptls.lock().traffic(),
+                ep.trace.lock().clone(),
+                snap,
+                stalls,
+                diags,
+            ));
+        });
+    let mut rows = std::mem::take(&mut *collected.lock());
+    rows.sort_by_key(|(r, ..)| *r);
+    let telemetry = Telemetry {
+        per_rank: rows.iter().map(|(_, m, ..)| m.clone()).collect(),
+        traffic: rows.iter().map(|(_, _, t, ..)| t.clone()).collect(),
+        traces: rows
+            .iter()
+            .map(|(r, _, _, log, ..)| (*r, log.clone()))
+            .collect(),
+        report,
+    };
+    let introspect = IntrospectReport {
+        cluster: cluster.lock().take().expect("rank 0 built the report"),
+        snapshots: rows.iter().map(|(.., s, _, _)| s.clone()).collect(),
+        stalls: rows.iter().map(|(.., st, _)| *st).sum(),
+        diagnostics: rows.into_iter().flat_map(|(.., d)| d).collect(),
+    };
+    (telemetry, introspect)
+}
+
 /// MPICH-QsNet ping-pong latency in µs.
 pub fn mpich_latency(nic: &NicConfig, fabric: &FabricConfig, len: usize) -> f64 {
     let cluster = Cluster::new(nic.clone(), fabric.clone());

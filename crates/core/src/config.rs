@@ -83,6 +83,16 @@ pub struct StackConfig {
     /// counters and latency histograms. Off by default so the fast path
     /// does no extra locking.
     pub metrics: bool,
+    /// Progress watchdog: scan for stalled requests every this many progress
+    /// ticks. `0` (the default) disables the watchdog entirely.
+    pub watchdog_interval: u64,
+    /// Consecutive watchdog scans a request must survive without any state
+    /// transition before it is declared stalled.
+    pub watchdog_grace: u32,
+    /// Virtual-time bound on blocked waits while the watchdog is armed; each
+    /// expiry counts as a progress tick, so a wedged rank keeps ticking (and
+    /// eventually diagnosing) instead of deadlocking silently.
+    pub watchdog_tick: Dur,
     /// Host-side layer costs.
     pub host: HostConfig,
     /// Copy-engine cost model.
@@ -148,6 +158,9 @@ impl Default for StackConfig {
             trace: false,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             metrics: false,
+            watchdog_interval: 0,
+            watchdog_grace: 4,
+            watchdog_tick: Dur::from_us(200),
             host: HostConfig::default(),
             copy: CopyModel::default(),
         }
@@ -181,6 +194,13 @@ impl StackConfig {
             self.trace_capacity >= 1,
             "trace ring needs at least one slot"
         );
+        if self.watchdog_interval > 0 {
+            assert!(self.watchdog_grace >= 1, "watchdog grace must be >= 1");
+            assert!(
+                self.watchdog_tick > Dur::ZERO,
+                "watchdog tick must be a positive duration"
+            );
+        }
     }
 }
 

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use elan4::{Cluster, ElanCtx, HostBuf, RxQueue};
 use ompi_rte::{ProcName, Rte};
 use qsim::Mutex;
-use qsim::{Dur, Proc, Signal, Time, Wait};
+use qsim::{Dur, Proc, Signal, Time, TimedWait, Wait};
 
 use crate::config::{CompletionMode, ProgressMode, StackConfig};
 use crate::peer::{ElanPeer, PeerInfo, TcpPeer};
@@ -51,31 +51,6 @@ pub struct Instr {
     pub pml_samples: u64,
 }
 
-/// Behavioural counters for tests.
-#[derive(Clone, Debug, Default)]
-pub struct EpStats {
-    /// Eager messages sent.
-    pub eager_sent: u64,
-    /// Rendezvous first fragments sent.
-    pub rndv_sent: u64,
-    /// ACK control messages sent.
-    pub acks_sent: u64,
-    /// Host-sent FIN messages (unchained write scheme).
-    pub fins_sent: u64,
-    /// Host-sent FIN_ACK messages (unchained read scheme).
-    pub fin_acks_sent: u64,
-    /// Push fragments sent (non-RDMA transports).
-    pub frags_sent: u64,
-    /// RDMA read batches issued.
-    pub rdma_reads: u64,
-    /// RDMA write batches issued.
-    pub rdma_writes: u64,
-    /// Match-class fragments that found no posted receive.
-    pub unexpected_frags: u64,
-    /// Shared-completion-queue tokens consumed.
-    pub completion_tokens: u64,
-}
-
 /// One rank's endpoint.
 pub struct Endpoint {
     /// This process's name.
@@ -110,10 +85,14 @@ pub struct Endpoint {
     pub instr: Mutex<Instr>,
     /// Protocol event trace (populated when `cfg.trace` is set).
     pub trace: Mutex<crate::trace::TraceLog>,
-    /// Behavioural counters.
-    pub stats: Mutex<EpStats>,
     /// Telemetry counters + histograms (populated when `cfg.metrics` is set).
     pub metrics: Mutex<crate::metrics::Metrics>,
+    /// Runtime-writable knobs behind the cvar registry; the hot path reads
+    /// these instead of the frozen [`StackConfig`] copies.
+    pub tunables: crate::introspect::Tunables,
+    /// Watchdog bookkeeping and recorded stall diagnostics. May be locked
+    /// while holding the state lock, never the reverse.
+    pub introspect: Mutex<crate::introspect::IntrospectState>,
     /// This rank's published addressing.
     pub my_info: PeerInfo,
 }
@@ -210,6 +189,7 @@ impl Endpoint {
         }
 
         let trace_capacity = cfg.trace_capacity;
+        let tunables = crate::introspect::Tunables::from_config(&cfg);
         Arc::new(Endpoint {
             name,
             node,
@@ -227,8 +207,9 @@ impl Endpoint {
             doorbell: Mutex::new(None),
             instr: Mutex::new(Instr::default()),
             trace: Mutex::new(crate::trace::TraceLog::with_capacity(trace_capacity)),
-            stats: Mutex::new(EpStats::default()),
             metrics: Mutex::new(crate::metrics::Metrics::default()),
+            tunables,
+            introspect: Mutex::new(crate::introspect::IntrospectState::default()),
             my_info,
         })
     }
@@ -332,11 +313,27 @@ impl Endpoint {
                     if done(&mut self.state.lock()) {
                         return;
                     }
-                    match proc.wait(&bell) {
-                        Wait::Signaled => {
-                            proc.advance(self.cluster.cfg().poll_check);
+                    if self.tunables.watchdog_interval() > 0 {
+                        // Bounded wait: each expiry is a watchdog tick, so a
+                        // wedged rank keeps diagnosing instead of deadlocking.
+                        match proc.wait_timeout(&bell, self.cfg.watchdog_tick) {
+                            TimedWait::Signaled => {
+                                proc.advance(self.cluster.cfg().poll_check);
+                            }
+                            TimedWait::TimedOut => {
+                                crate::introspect::watchdog_tick(proc, self);
+                            }
+                            TimedWait::Shutdown => {
+                                panic!("simulation shut down during MPI wait")
+                            }
                         }
-                        Wait::Shutdown => panic!("simulation shut down during MPI wait"),
+                    } else {
+                        match proc.wait(&bell) {
+                            Wait::Signaled => {
+                                proc.advance(self.cluster.cfg().poll_check);
+                            }
+                            Wait::Shutdown => panic!("simulation shut down during MPI wait"),
+                        }
                     }
                 }
             }
@@ -358,28 +355,44 @@ impl Endpoint {
                         }
                         st.waiters.push(sig.clone());
                     }
-                    match proc.wait(&sig) {
-                        Wait::Signaled => {
-                            proc.advance(self.cfg.host.thread_handoff + extra);
+                    if self.tunables.watchdog_interval() > 0 {
+                        match proc.wait_timeout(&sig, self.cfg.watchdog_tick) {
+                            TimedWait::Signaled => {
+                                proc.advance(self.cfg.host.thread_handoff + extra);
+                            }
+                            TimedWait::TimedOut => {
+                                crate::introspect::watchdog_tick(proc, self);
+                            }
+                            TimedWait::Shutdown => {
+                                panic!("simulation shut down during MPI wait")
+                            }
                         }
-                        Wait::Shutdown => panic!("simulation shut down during MPI wait"),
+                    } else {
+                        match proc.wait(&sig) {
+                            Wait::Signaled => {
+                                proc.advance(self.cfg.host.thread_handoff + extra);
+                            }
+                            Wait::Shutdown => panic!("simulation shut down during MPI wait"),
+                        }
                     }
                 }
             }
         }
     }
 
-    /// Record a trace event (no-op unless tracing is configured).
+    /// Record a trace event (no-op unless tracing is enabled — gated on the
+    /// runtime-writable `telemetry.trace` cvar).
     pub fn trace(&self, now: Time, ev: crate::trace::TraceEvent) {
-        if self.cfg.trace {
+        if self.tunables.trace() {
             self.trace.lock().record(now, ev);
         }
     }
 
-    /// Update telemetry (no-op unless `cfg.metrics` is set). The metrics
-    /// lock may be taken while holding the state lock, never the reverse.
+    /// Update telemetry (no-op unless the runtime-writable
+    /// `telemetry.metrics` cvar is on). The metrics lock may be taken while
+    /// holding the state lock, never the reverse.
     pub fn metric(&self, f: impl FnOnce(&mut crate::metrics::Metrics)) {
-        if self.cfg.metrics {
+        if self.tunables.metrics() {
             f(&mut self.metrics.lock());
         }
     }
@@ -477,9 +490,17 @@ fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
         if worked {
             continue;
         }
-        match proc.wait(&sig) {
-            Wait::Signaled => proc.advance(ep.cluster.cfg().poll_check),
-            Wait::Shutdown => break,
+        if ep.tunables.watchdog_interval() > 0 {
+            match proc.wait_timeout(&sig, ep.cfg.watchdog_tick) {
+                TimedWait::Signaled => proc.advance(ep.cluster.cfg().poll_check),
+                TimedWait::TimedOut => crate::introspect::watchdog_tick(proc, ep),
+                TimedWait::Shutdown => break,
+            }
+        } else {
+            match proc.wait(&sig) {
+                Wait::Signaled => proc.advance(ep.cluster.cfg().poll_check),
+                Wait::Shutdown => break,
+            }
         }
     }
 }

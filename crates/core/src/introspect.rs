@@ -1,0 +1,849 @@
+//! MPI_T-style runtime introspection: control variables (cvars),
+//! performance variables (pvars), and a deterministic progress watchdog.
+//!
+//! Open MPI's MCA tools interface lets operators read and tune a *running*
+//! stack and pull live performance readouts without stopping it. This module
+//! is that control plane for the simulated stack:
+//!
+//! - **cvars** ([`cvar_read`] / [`cvar_write`] / [`CVARS`]): every
+//!   [`crate::StackConfig`] knob is a named, typed, runtime-readable
+//!   variable; the safe subset (eager threshold, telemetry gates, watchdog
+//!   tuning) is runtime-writable through the endpoint's [`Tunables`].
+//! - **pvars** ([`pvar_snapshot`]): live readouts of the
+//!   [`crate::metrics::Metrics`] counters and histograms plus queue depths
+//!   and in-flight DMA state, snapshottable as JSON mid-run. Counter pvars
+//!   read straight from `Metrics`, so a pvar can never disagree with the
+//!   `--emit-metrics` JSON.
+//! - **watchdog** ([`watchdog_tick`]): driven from the progress loop on the
+//!   sim clock (deterministic), it fingerprints every live request and, when
+//!   one makes no state transition for a configured number of scans, records
+//!   and raises a structured [`StallDiagnostic`] naming the protocol phase
+//!   each stuck request is wedged in.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use qsim::{Proc, Time};
+
+use crate::config::{CompletionMode, ProgressMode, RdmaScheme, StackConfig};
+use crate::endpoint::Endpoint;
+use crate::state::DmaRole;
+
+// ---------------------------------------------------------------------------
+// tunables: the writable backing store behind the cvar registry
+// ---------------------------------------------------------------------------
+
+/// Runtime-writable stack knobs, initialized from [`StackConfig`] and read
+/// by the hot path instead of the frozen config copy. Plain atomics: the
+/// simulation runs one process at a time, so `Relaxed` suffices.
+pub struct Tunables {
+    eager_limit: AtomicUsize,
+    metrics: AtomicBool,
+    trace: AtomicBool,
+    watchdog_interval: AtomicU64,
+    watchdog_grace: AtomicU64,
+    /// Progress ticks seen (progress passes + watchdog-timeout expiries).
+    /// Lives here rather than in `Metrics` so the watchdog works with
+    /// telemetry off.
+    ticks: AtomicU64,
+}
+
+impl Tunables {
+    /// Seed the writable knobs from a validated config.
+    pub fn from_config(cfg: &StackConfig) -> Self {
+        Tunables {
+            eager_limit: AtomicUsize::new(cfg.eager_limit),
+            metrics: AtomicBool::new(cfg.metrics),
+            trace: AtomicBool::new(cfg.trace),
+            watchdog_interval: AtomicU64::new(cfg.watchdog_interval),
+            watchdog_grace: AtomicU64::new(cfg.watchdog_grace as u64),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Current eager/rendezvous threshold in bytes.
+    pub fn eager_limit(&self) -> usize {
+        self.eager_limit.load(Ordering::Relaxed)
+    }
+
+    /// Is telemetry (counters + histograms) enabled right now?
+    pub fn metrics(&self) -> bool {
+        self.metrics.load(Ordering::Relaxed)
+    }
+
+    /// Is protocol tracing enabled right now?
+    pub fn trace(&self) -> bool {
+        self.trace.load(Ordering::Relaxed)
+    }
+
+    /// Progress ticks between watchdog scans; 0 = watchdog off.
+    pub fn watchdog_interval(&self) -> u64 {
+        self.watchdog_interval.load(Ordering::Relaxed)
+    }
+
+    /// Consecutive stale scans before a request is declared stalled.
+    pub fn watchdog_grace(&self) -> u64 {
+        self.watchdog_grace.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Count one progress tick; returns the new total.
+    pub fn next_tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Progress ticks counted so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// cvar registry
+// ---------------------------------------------------------------------------
+
+/// A typed control-variable value.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CvarValue {
+    /// Boolean knob.
+    Bool(bool),
+    /// Numeric knob (byte counts, depths, intervals, durations in ns).
+    U64(u64),
+    /// Enumerated knob, rendered by name.
+    Str(String),
+}
+
+impl CvarValue {
+    /// JSON rendering of the value.
+    pub fn to_json(&self) -> String {
+        match self {
+            CvarValue::Bool(b) => b.to_string(),
+            CvarValue::U64(v) => v.to_string(),
+            CvarValue::Str(s) => format!("\"{s}\""),
+        }
+    }
+}
+
+/// Static description of one control variable.
+pub struct CvarDef {
+    /// Dotted MPI_T-style name, e.g. `pml.eager_limit`.
+    pub name: &'static str,
+    /// One-line description.
+    pub desc: &'static str,
+    /// Writable at runtime via [`cvar_write`]?
+    pub writable: bool,
+}
+
+/// The cvar registry: every stack knob, with its mutability.
+pub const CVARS: &[CvarDef] = &[
+    CvarDef {
+        name: "pml.eager_limit",
+        desc: "messages at most this long (bytes) go eagerly in one QDMA",
+        writable: true,
+    },
+    CvarDef {
+        name: "pml.rdma_scheme",
+        desc: "long-message scheme: write (RDMA-write+FIN) or read (RDMA-read+FIN_ACK)",
+        writable: false,
+    },
+    CvarDef {
+        name: "pml.inline_first_frag",
+        desc: "carry payload inside the rendezvous packet",
+        writable: false,
+    },
+    CvarDef {
+        name: "pml.chained_fin",
+        desc: "NIC fires FIN/FIN_ACK chained to the final RDMA",
+        writable: false,
+    },
+    CvarDef {
+        name: "pml.force_rendezvous",
+        desc: "route every message through the rendezvous path",
+        writable: false,
+    },
+    CvarDef {
+        name: "ptl.completion_mode",
+        desc: "RDMA completion strategy: poll_event, shared_combined, shared_separate",
+        writable: false,
+    },
+    CvarDef {
+        name: "ptl.progress_mode",
+        desc: "progress engine: polling, interrupt, one_thread, two_threads",
+        writable: false,
+    },
+    CvarDef {
+        name: "ptl.qslots",
+        desc: "receive-queue depth (QSLOTS)",
+        writable: false,
+    },
+    CvarDef {
+        name: "ptl.integrity_check",
+        desc: "end-to-end Fletcher-16 payload checking",
+        writable: false,
+    },
+    CvarDef {
+        name: "telemetry.metrics",
+        desc: "per-endpoint counters and histograms",
+        writable: true,
+    },
+    CvarDef {
+        name: "telemetry.trace",
+        desc: "protocol event trace ring",
+        writable: true,
+    },
+    CvarDef {
+        name: "telemetry.trace_capacity",
+        desc: "trace ring capacity (events)",
+        writable: false,
+    },
+    CvarDef {
+        name: "watchdog.interval",
+        desc: "progress ticks between watchdog scans; 0 disables",
+        writable: true,
+    },
+    CvarDef {
+        name: "watchdog.grace",
+        desc: "consecutive stale scans before a request is declared stalled",
+        writable: true,
+    },
+    CvarDef {
+        name: "watchdog.tick_ns",
+        desc: "virtual-time bound on blocked waits while the watchdog is armed",
+        writable: false,
+    },
+];
+
+fn scheme_name(s: RdmaScheme) -> &'static str {
+    match s {
+        RdmaScheme::Write => "write",
+        RdmaScheme::Read => "read",
+    }
+}
+
+fn completion_name(c: CompletionMode) -> &'static str {
+    match c {
+        CompletionMode::PollEvent => "poll_event",
+        CompletionMode::SharedQueueCombined => "shared_combined",
+        CompletionMode::SharedQueueSeparate => "shared_separate",
+    }
+}
+
+fn progress_name(p: ProgressMode) -> &'static str {
+    match p {
+        ProgressMode::Polling => "polling",
+        ProgressMode::Interrupt => "interrupt",
+        ProgressMode::OneThread => "one_thread",
+        ProgressMode::TwoThreads => "two_threads",
+    }
+}
+
+/// Read a control variable by name; `None` for unknown names.
+pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
+    let v = match name {
+        "pml.eager_limit" => CvarValue::U64(ep.tunables.eager_limit() as u64),
+        "pml.rdma_scheme" => CvarValue::Str(scheme_name(ep.cfg.scheme).to_string()),
+        "pml.inline_first_frag" => CvarValue::Bool(ep.cfg.inline_first_frag),
+        "pml.chained_fin" => CvarValue::Bool(ep.cfg.chained_fin),
+        "pml.force_rendezvous" => CvarValue::Bool(ep.cfg.force_rendezvous),
+        "ptl.completion_mode" => CvarValue::Str(completion_name(ep.cfg.completion).to_string()),
+        "ptl.progress_mode" => CvarValue::Str(progress_name(ep.cfg.progress).to_string()),
+        "ptl.qslots" => CvarValue::U64(ep.cfg.qslots as u64),
+        "ptl.integrity_check" => CvarValue::Bool(ep.cfg.integrity_check),
+        "telemetry.metrics" => CvarValue::Bool(ep.tunables.metrics()),
+        "telemetry.trace" => CvarValue::Bool(ep.tunables.trace()),
+        "telemetry.trace_capacity" => CvarValue::U64(ep.cfg.trace_capacity as u64),
+        "watchdog.interval" => CvarValue::U64(ep.tunables.watchdog_interval()),
+        "watchdog.grace" => CvarValue::U64(ep.tunables.watchdog_grace()),
+        "watchdog.tick_ns" => CvarValue::U64(ep.cfg.watchdog_tick.as_ns()),
+        _ => return None,
+    };
+    Some(v)
+}
+
+/// Write a runtime-writable control variable. Rejects unknown names,
+/// read-only cvars, type mismatches, and out-of-range values.
+pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), String> {
+    match (name, value) {
+        ("pml.eager_limit", CvarValue::U64(v)) => {
+            if v as usize > crate::hdr::MAX_INLINE {
+                return Err(format!(
+                    "pml.eager_limit {v} exceeds the QDMA inline maximum {}",
+                    crate::hdr::MAX_INLINE
+                ));
+            }
+            ep.tunables.eager_limit.store(v as usize, Ordering::Relaxed);
+            Ok(())
+        }
+        ("telemetry.metrics", CvarValue::Bool(b)) => {
+            ep.tunables.metrics.store(b, Ordering::Relaxed);
+            Ok(())
+        }
+        ("telemetry.trace", CvarValue::Bool(b)) => {
+            ep.tunables.trace.store(b, Ordering::Relaxed);
+            Ok(())
+        }
+        ("watchdog.interval", CvarValue::U64(v)) => {
+            ep.tunables.watchdog_interval.store(v, Ordering::Relaxed);
+            Ok(())
+        }
+        ("watchdog.grace", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("watchdog.grace must be >= 1".to_string());
+            }
+            ep.tunables.watchdog_grace.store(v, Ordering::Relaxed);
+            Ok(())
+        }
+        (n, v) => {
+            if let Some(def) = CVARS.iter().find(|d| d.name == n) {
+                if def.writable {
+                    Err(format!("cvar {n}: type mismatch (got {v:?})"))
+                } else {
+                    Err(format!("cvar {n} is read-only"))
+                }
+            } else {
+                Err(format!("unknown cvar {n}"))
+            }
+        }
+    }
+}
+
+/// All cvars of an endpoint as one JSON object
+/// (`name -> {value, writable, desc}`).
+pub fn cvars_json(ep: &Endpoint) -> String {
+    let rows: Vec<String> = CVARS
+        .iter()
+        .map(|d| {
+            let v = cvar_read(ep, d.name).expect("registry entry must be readable");
+            format!(
+                "\"{}\":{{\"value\":{},\"writable\":{},\"desc\":\"{}\"}}",
+                d.name,
+                v.to_json(),
+                d.writable,
+                d.desc
+            )
+        })
+        .collect();
+    format!("{{{}}}", rows.join(","))
+}
+
+// ---------------------------------------------------------------------------
+// pvar registry
+// ---------------------------------------------------------------------------
+
+/// One rank's performance variables at an instant: a flat, ordered list of
+/// `(name, value)` scalars, cheap to aggregate across ranks.
+#[derive(Clone, Debug)]
+pub struct PvarSnapshot {
+    /// The rank the snapshot came from.
+    pub rank: usize,
+    /// `(name, value)` rows in registry order.
+    pub vars: Vec<(String, u64)>,
+}
+
+impl PvarSnapshot {
+    /// Look a variable up by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.vars.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// JSON object rendering (`{"rank":r,"vars":{name:value,...}}`).
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .vars
+            .iter()
+            .map(|(n, v)| format!("\"{n}\":{v}"))
+            .collect();
+        format!("{{\"rank\":{},\"vars\":{{{}}}}}", self.rank, rows.join(","))
+    }
+}
+
+fn hist_vars(out: &mut Vec<(String, u64)>, name: &str, h: &crate::metrics::Histogram) {
+    out.push((format!("hist.{name}.count"), h.count()));
+    out.push((format!("hist.{name}.sum_ns"), h.sum_ns()));
+    out.push((format!("hist.{name}.max_ns"), h.max_ns().unwrap_or(0)));
+    out.push((
+        format!("hist.{name}.p50_ns"),
+        h.quantile_ns(0.5).unwrap_or(0),
+    ));
+    out.push((
+        format!("hist.{name}.p99_ns"),
+        h.quantile_ns(0.99).unwrap_or(0),
+    ));
+}
+
+/// Snapshot every pvar of `ep` without stopping the stack.
+///
+/// Counter pvars read directly from the endpoint's [`crate::metrics::Metrics`]
+/// (the single source of truth), queue pvars from live
+/// [`crate::state::EpState`], and watchdog pvars from the introspection
+/// state.
+pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
+    let mut vars: Vec<(String, u64)> = Vec::with_capacity(64);
+
+    // Live protocol state (under the state lock, released before metrics).
+    {
+        let st = ep.state.lock();
+        let send_live = st.send_reqs.values().filter(|r| !r.done).count();
+        let recv_live = st.recv_reqs.values().filter(|r| !r.done).count();
+        let posted: usize = st.comms.values().map(|c| c.posted.len()).sum();
+        let unexpected: usize = st.comms.values().map(|c| c.unexpected.len()).sum();
+        let dma_bytes: usize = st
+            .pending_dmas
+            .iter()
+            .map(|p| match &p.role {
+                DmaRole::Read { bytes, .. } | DmaRole::Write { bytes, .. } => *bytes,
+            })
+            .sum();
+        vars.push(("queues.send_reqs_live".into(), send_live as u64));
+        vars.push(("queues.recv_reqs_live".into(), recv_live as u64));
+        vars.push(("queues.posted_depth".into(), posted as u64));
+        vars.push(("queues.unexpected_depth".into(), unexpected as u64));
+        vars.push(("queues.pending_dmas".into(), st.pending_dmas.len() as u64));
+        vars.push(("queues.pending_dma_bytes".into(), dma_bytes as u64));
+        vars.push(("queues.comms".into(), st.comms.len() as u64));
+    }
+
+    // Telemetry counters: read from Metrics, never a second tally.
+    {
+        let m = ep.metrics.lock();
+        let c = &m.counters;
+        for (name, v) in [
+            ("pml.eager_sent", c.eager_sent),
+            ("pml.rndv_sent", c.rndv_sent),
+            ("pml.recvs_posted", c.recvs_posted),
+            ("pml.matches", c.matches),
+            ("pml.unexpected_total", c.unexpected_total),
+            ("pml.unexpected_hwm", c.unexpected_hwm),
+            ("pml.frags_sent", c.frags_sent),
+            ("rdma.descriptors", c.rdma_descriptors),
+            ("rdma.bytes", c.rdma_bytes),
+            ("rdma.read_batches", c.rdma_read_batches),
+            ("rdma.write_batches", c.rdma_write_batches),
+            ("rdma.chained_completions", c.chained_completions),
+            ("progress.iterations", c.progress_iterations),
+        ] {
+            vars.push((name.to_string(), v));
+        }
+        for (kind, v) in crate::metrics::CONTROL_KINDS.iter().zip(c.control_sent) {
+            vars.push((format!("control.{kind}"), v));
+        }
+        hist_vars(&mut vars, "match_time", &m.match_time);
+        hist_vars(&mut vars, "rndv_handshake", &m.rndv_handshake);
+        hist_vars(&mut vars, "completion_time", &m.completion_time);
+    }
+
+    // Watchdog state.
+    {
+        let ins = ep.introspect.lock();
+        vars.push(("watchdog.ticks".into(), ep.tunables.ticks()));
+        vars.push(("watchdog.scans".into(), ins.scans));
+        vars.push(("watchdog.stalls_detected".into(), ins.stalls_detected));
+    }
+
+    PvarSnapshot {
+        rank: ep.name.rank,
+        vars,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// progress watchdog
+// ---------------------------------------------------------------------------
+
+/// Watchdog bookkeeping plus recorded stall diagnostics, guarded by the
+/// endpoint's introspect lock (may be taken while holding the state lock,
+/// never the reverse — same rule as the metrics lock).
+#[derive(Default)]
+pub struct IntrospectState {
+    /// Per-request `(fingerprint, consecutive stale scans)`.
+    marks: HashMap<u64, (u64, u64)>,
+    /// Watchdog scans performed.
+    pub scans: u64,
+    /// Requests ever declared stalled.
+    pub stalls_detected: u64,
+    /// Structured diagnostics recorded on stall detection.
+    pub diagnostics: Vec<StallDiagnostic>,
+}
+
+/// One stuck request inside a [`StallDiagnostic`].
+#[derive(Clone, Debug)]
+pub struct StuckReq {
+    /// Request id.
+    pub id: u64,
+    /// `"send"` or `"recv"`.
+    pub kind: &'static str,
+    /// Peer description (destination rank for sends, source for receives).
+    pub peer: String,
+    /// MPI tag (selector for receives; `None` rendered as `any`).
+    pub tag: String,
+    /// Bytes confirmed/received so far.
+    pub bytes_done: usize,
+    /// Total message length (0 when unknown, i.e. unmatched receives).
+    pub bytes_total: usize,
+    /// Protocol phase the request is wedged in.
+    pub phase: String,
+    /// Consecutive scans without a state transition.
+    pub stale_scans: u64,
+}
+
+/// A pending DMA descriptor summarized for a diagnostic.
+#[derive(Clone, Debug)]
+pub struct DmaSummary {
+    /// Completion token.
+    pub token: u64,
+    /// `"read"` or `"write"`.
+    pub role: &'static str,
+    /// Bytes the descriptor moves.
+    pub bytes: usize,
+}
+
+/// An unexpected-queue entry summarized for a diagnostic.
+#[derive(Clone, Debug)]
+pub struct UnexpectedSummary {
+    /// Communicator context id.
+    pub ctx: u32,
+    /// Sender's rank in that communicator.
+    pub src_rank: u32,
+    /// Fragment tag.
+    pub tag: i32,
+    /// Total message length the fragment announces.
+    pub msg_len: usize,
+}
+
+/// The structured per-rank dump emitted when the watchdog fires.
+#[derive(Clone, Debug)]
+pub struct StallDiagnostic {
+    /// The stalled rank.
+    pub rank: usize,
+    /// Virtual time of detection (ns).
+    pub at_ns: u64,
+    /// Requests that made no state transition for the grace period.
+    pub stuck: Vec<StuckReq>,
+    /// Depth of the posted-receive queues.
+    pub posted_depth: usize,
+    /// Contents of the unexpected queues.
+    pub unexpected: Vec<UnexpectedSummary>,
+    /// In-flight DMA descriptors the host has not reaped.
+    pub pending_dmas: Vec<DmaSummary>,
+}
+
+impl StallDiagnostic {
+    /// JSON rendering of the full diagnostic.
+    pub fn to_json(&self) -> String {
+        let stuck: Vec<String> = self
+            .stuck
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"id\":{},\"kind\":\"{}\",\"peer\":\"{}\",\"tag\":\"{}\",\
+                     \"bytes_done\":{},\"bytes_total\":{},\"phase\":\"{}\",\
+                     \"stale_scans\":{}}}",
+                    s.id,
+                    s.kind,
+                    s.peer,
+                    s.tag,
+                    s.bytes_done,
+                    s.bytes_total,
+                    s.phase,
+                    s.stale_scans
+                )
+            })
+            .collect();
+        let unexpected: Vec<String> = self
+            .unexpected
+            .iter()
+            .map(|u| {
+                format!(
+                    "{{\"ctx\":{},\"src_rank\":{},\"tag\":{},\"msg_len\":{}}}",
+                    u.ctx, u.src_rank, u.tag, u.msg_len
+                )
+            })
+            .collect();
+        let dmas: Vec<String> = self
+            .pending_dmas
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"token\":{},\"role\":\"{}\",\"bytes\":{}}}",
+                    d.token, d.role, d.bytes
+                )
+            })
+            .collect();
+        format!(
+            "{{\"rank\":{},\"at_ns\":{},\"stuck\":[{}],\"posted_depth\":{},\
+             \"unexpected\":[{}],\"pending_dmas\":[{}]}}",
+            self.rank,
+            self.at_ns,
+            stuck.join(","),
+            self.posted_depth,
+            unexpected.join(","),
+            dmas.join(",")
+        )
+    }
+
+    /// Human-readable rendering (the watchdog's panic message).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "progress watchdog: rank {} stalled at t={}ns; {} stuck request(s):",
+            self.rank,
+            self.at_ns,
+            self.stuck.len()
+        );
+        for s in &self.stuck {
+            out.push_str(&format!(
+                "\n  {} req {} -> peer {} tag {}: {}/{} bytes, phase [{}], \
+                 no transition for {} scans",
+                s.kind, s.id, s.peer, s.tag, s.bytes_done, s.bytes_total, s.phase, s.stale_scans
+            ));
+        }
+        out.push_str(&format!(
+            "\n  posted receives: {}; unexpected queue: {} entries; pending DMAs: {}",
+            self.posted_depth,
+            self.unexpected.len(),
+            self.pending_dmas.len()
+        ));
+        out
+    }
+}
+
+/// Phase a not-yet-done send is wedged in, by rendezvous scheme and
+/// handshake state.
+fn send_phase(scheme: RdmaScheme, rndv_acked: bool) -> String {
+    let wire = match scheme {
+        RdmaScheme::Write => "rdma-write+fin",
+        RdmaScheme::Read => "rdma-read+fin_ack",
+    };
+    if rndv_acked {
+        format!("{wire}: handshake done, awaiting delivery confirmation")
+    } else {
+        format!("{wire}: rendezvous posted, awaiting first receiver contact")
+    }
+}
+
+/// Phase a not-yet-done receive is wedged in.
+fn recv_phase(scheme: RdmaScheme, matched: bool, eager_limit: usize, msg_len: usize) -> String {
+    if !matched {
+        return "unmatched: posted, no first fragment (eager or rendezvous) arrived".to_string();
+    }
+    if msg_len <= eager_limit {
+        return "eager: matched, inline payload incomplete".to_string();
+    }
+    let wire = match scheme {
+        RdmaScheme::Write => "rdma-write+fin",
+        RdmaScheme::Read => "rdma-read+fin_ack",
+    };
+    format!("{wire}: matched, awaiting remaining payload")
+}
+
+fn pack_fingerprint(done: bool, flag: bool, bytes: usize) -> u64 {
+    (bytes as u64) << 2 | (flag as u64) << 1 | done as u64
+}
+
+/// One watchdog scan over every live request. Returns the diagnostic if any
+/// request exceeded the grace period, after recording it in the endpoint's
+/// introspect state. Locks: state, then introspect (never the reverse).
+fn watchdog_scan(ep: &Endpoint, now: Time) -> Option<StallDiagnostic> {
+    let grace = ep.tunables.watchdog_grace();
+    let st = ep.state.lock();
+    let mut ins = ep.introspect.lock();
+    ins.scans += 1;
+
+    let mut live: Vec<(u64, u64)> = Vec::new(); // (id, fingerprint)
+    for r in st.send_reqs.values().filter(|r| !r.done) {
+        live.push((
+            r.id,
+            pack_fingerprint(r.done, r.rndv_acked, r.bytes_confirmed),
+        ));
+    }
+    for r in st.recv_reqs.values().filter(|r| !r.done) {
+        live.push((
+            r.id,
+            pack_fingerprint(r.done, r.matched.is_some(), r.bytes_received),
+        ));
+    }
+
+    // Requests no longer live stop being tracked.
+    let live_ids: std::collections::HashSet<u64> = live.iter().map(|(id, _)| *id).collect();
+    ins.marks.retain(|id, _| live_ids.contains(id));
+
+    let mut stalled: Vec<(u64, u64)> = Vec::new(); // (id, stale scans)
+    for (id, fp) in live {
+        let e = ins.marks.entry(id).or_insert((fp, 0));
+        if e.0 == fp {
+            e.1 += 1;
+            if e.1 >= grace {
+                stalled.push((id, e.1));
+            }
+        } else {
+            *e = (fp, 0);
+        }
+    }
+    if stalled.is_empty() {
+        return None;
+    }
+
+    // Build the structured dump.
+    let mut stuck = Vec::new();
+    for (id, stale) in &stalled {
+        if let Some(r) = st.send_reqs.get(id) {
+            stuck.push(StuckReq {
+                id: *id,
+                kind: "send",
+                peer: format!("rank {}", r.dst_rank),
+                tag: r.tag.to_string(),
+                bytes_done: r.bytes_confirmed,
+                bytes_total: r.msg_len,
+                phase: send_phase(ep.cfg.scheme, r.rndv_acked),
+                stale_scans: *stale,
+            });
+        } else if let Some(r) = st.recv_reqs.get(id) {
+            let (peer, tag, total) = match &r.matched {
+                Some(m) => (format!("rank {}", m.src_rank), m.tag.to_string(), m.msg_len),
+                None => (
+                    r.src_sel
+                        .map(|s| format!("rank {s}"))
+                        .unwrap_or_else(|| "any".to_string()),
+                    r.tag_sel
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "any".to_string()),
+                    0,
+                ),
+            };
+            stuck.push(StuckReq {
+                id: *id,
+                kind: "recv",
+                peer,
+                tag,
+                bytes_done: r.bytes_received,
+                bytes_total: total,
+                phase: recv_phase(
+                    ep.cfg.scheme,
+                    r.matched.is_some(),
+                    ep.tunables.eager_limit(),
+                    r.matched.as_ref().map(|m| m.msg_len).unwrap_or(0),
+                ),
+                stale_scans: *stale,
+            });
+        }
+    }
+    let diag = StallDiagnostic {
+        rank: ep.name.rank,
+        at_ns: now.as_ns(),
+        stuck,
+        posted_depth: st.comms.values().map(|c| c.posted.len()).sum(),
+        unexpected: st
+            .comms
+            .values()
+            .flat_map(|c| c.unexpected.iter())
+            .map(|f| UnexpectedSummary {
+                ctx: f.hdr.ctx,
+                src_rank: f.hdr.src_rank,
+                tag: f.hdr.tag,
+                msg_len: f.hdr.msg_len as usize,
+            })
+            .collect(),
+        pending_dmas: st
+            .pending_dmas
+            .iter()
+            .map(|p| match &p.role {
+                DmaRole::Read { bytes, .. } => DmaSummary {
+                    token: p.token,
+                    role: "read",
+                    bytes: *bytes,
+                },
+                DmaRole::Write { bytes, .. } => DmaSummary {
+                    token: p.token,
+                    role: "write",
+                    bytes: *bytes,
+                },
+            })
+            .collect(),
+    };
+    ins.stalls_detected += stalled.len() as u64;
+    ins.diagnostics.push(diag.clone());
+    Some(diag)
+}
+
+/// Count one progress tick and, every `watchdog.interval` ticks, scan for
+/// stalled requests. Panics with the rendered [`StallDiagnostic`] when one
+/// is found — under qsim this surfaces deterministically as
+/// `SimError::ProcPanic` naming the stalled rank.
+///
+/// No-op when the watchdog is disabled (`watchdog.interval == 0`).
+pub fn watchdog_tick(proc: &Proc, ep: &Arc<Endpoint>) {
+    let interval = ep.tunables.watchdog_interval();
+    if interval == 0 {
+        return;
+    }
+    let t = ep.tunables.next_tick();
+    if !t.is_multiple_of(interval) {
+        return;
+    }
+    // Scan (and record) under the locks, then panic outside them so the
+    // teardown path never observes a poisoned endpoint.
+    let diag = watchdog_scan(ep, proc.now());
+    if let Some(d) = diag {
+        panic!("{}", d.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_names_cover_schemes_and_states() {
+        assert!(send_phase(RdmaScheme::Read, false).contains("rdma-read+fin_ack"));
+        assert!(send_phase(RdmaScheme::Write, true).contains("rdma-write+fin"));
+        assert!(recv_phase(RdmaScheme::Read, false, 1984, 0).contains("unmatched"));
+        assert!(recv_phase(RdmaScheme::Read, true, 1984, 100).contains("eager"));
+        assert!(recv_phase(RdmaScheme::Write, true, 1984, 10_000).contains("rdma-write+fin"));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_transitions() {
+        let a = pack_fingerprint(false, false, 100);
+        let b = pack_fingerprint(false, true, 100);
+        let c = pack_fingerprint(false, true, 200);
+        let d = pack_fingerprint(true, true, 200);
+        assert!(a != b && b != c && c != d);
+    }
+
+    #[test]
+    fn stall_diagnostic_json_and_render_shape() {
+        let d = StallDiagnostic {
+            rank: 3,
+            at_ns: 12_345,
+            stuck: vec![StuckReq {
+                id: 7,
+                kind: "send",
+                peer: "rank 1".to_string(),
+                tag: "42".to_string(),
+                bytes_done: 1984,
+                bytes_total: 100_000,
+                phase: send_phase(RdmaScheme::Read, true),
+                stale_scans: 4,
+            }],
+            posted_depth: 1,
+            unexpected: vec![UnexpectedSummary {
+                ctx: 0,
+                src_rank: 2,
+                tag: 9,
+                msg_len: 64,
+            }],
+            pending_dmas: vec![DmaSummary {
+                token: 5,
+                role: "read",
+                bytes: 4096,
+            }],
+        };
+        let j = d.to_json();
+        assert!(j.contains("\"rank\":3"));
+        assert!(j.contains("rdma-read+fin_ack"));
+        assert!(j.contains("\"pending_dmas\":[{\"token\":5"));
+        let r = d.render();
+        assert!(r.contains("rank 3 stalled"));
+        assert!(r.contains("peer rank 1"));
+        assert!(r.contains("phase [rdma-read+fin_ack"));
+    }
+}

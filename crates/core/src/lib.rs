@@ -28,6 +28,7 @@ pub mod comm;
 pub mod config;
 pub mod endpoint;
 pub mod hdr;
+pub mod introspect;
 pub mod metrics;
 pub mod mpi;
 pub mod peer;
@@ -42,7 +43,10 @@ pub mod universe;
 pub use coll::ReduceOp;
 pub use comm::Communicator;
 pub use config::{CompletionMode, HostConfig, ProgressMode, RdmaScheme, StackConfig};
-pub use endpoint::{Endpoint, EpStats, Transports};
+pub use endpoint::{Endpoint, Transports};
+pub use introspect::{
+    cvar_read, cvar_write, cvars_json, pvar_snapshot, CvarValue, PvarSnapshot, StallDiagnostic,
+};
 pub use metrics::{CollOp, Counters, Histogram, Metrics};
 pub use mpi::{Mpi, PersistentRequest, Status, ANY_SOURCE, ANY_TAG};
 pub use proto::{ReqKind, Request};

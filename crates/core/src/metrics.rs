@@ -88,6 +88,12 @@ pub struct Counters {
     pub rdma_descriptors: u64,
     /// Bytes covered by those descriptors.
     pub rdma_bytes: u64,
+    /// RDMA read batches issued (read scheme: one per matched pull).
+    pub rdma_read_batches: u64,
+    /// RDMA write batches issued (write scheme: one per ACK handled).
+    pub rdma_write_batches: u64,
+    /// Push fragments sent over non-RDMA transports (the TCP PTL).
+    pub frags_sent: u64,
     /// Chained-QDMA completion tokens observed on the shared queue.
     pub chained_completions: u64,
     /// Control messages by kind: `[ack, fin, fin_ack, completion]`,
@@ -223,8 +229,13 @@ impl Histogram {
             if seen >= target {
                 return Some(if i == 0 {
                     0
+                } else if i == BUCKETS - 1 {
+                    // The top bucket also absorbs samples >= 2^63, so its
+                    // nominal upper bound can undershoot; saturate to the
+                    // observed maximum (which must live in this bucket).
+                    (1u64 << (BUCKETS - 1)).max(self.max_ns)
                 } else {
-                    1u64.checked_shl(i as u32).unwrap_or(u64::MAX)
+                    1u64 << i
                 });
             }
         }
@@ -284,7 +295,8 @@ impl Metrics {
         format!(
             "{{\"counters\":{{\"eager_sent\":{},\"rndv_sent\":{},\"recvs_posted\":{},\
              \"matches\":{},\"unexpected_total\":{},\"unexpected_hwm\":{},\
-             \"rdma_descriptors\":{},\"rdma_bytes\":{},\"chained_completions\":{},\
+             \"rdma_descriptors\":{},\"rdma_bytes\":{},\"rdma_read_batches\":{},\
+             \"rdma_write_batches\":{},\"frags_sent\":{},\"chained_completions\":{},\
              \"control_sent\":{{{}}},\"progress_iterations\":{},\"coll\":{{{}}}}},\
              \"histograms\":{{\"match_time\":{},\"rndv_handshake\":{},\"completion_time\":{}}}}}",
             c.eager_sent,
@@ -295,6 +307,9 @@ impl Metrics {
             c.unexpected_hwm,
             c.rdma_descriptors,
             c.rdma_bytes,
+            c.rdma_read_batches,
+            c.rdma_write_batches,
+            c.frags_sent,
             c.chained_completions,
             control.join(","),
             c.progress_iterations,
@@ -352,6 +367,63 @@ mod tests {
         // Median lives in the [64,128) bucket; p999 in the big one.
         assert_eq!(h.quantile_ns(0.5), Some(128));
         assert!(h.quantile_ns(0.999).unwrap() >= 100_000);
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none_for_all_q() {
+        let h = Histogram::default();
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile_ns(q), None);
+        }
+    }
+
+    #[test]
+    fn quantile_single_sample_is_its_bucket_for_all_q() {
+        let mut h = Histogram::default();
+        h.record_ns(100); // bucket [64,128) -> upper bound 128
+        for q in [0.0, 0.001, 0.5, 0.999, 1.0] {
+            assert_eq!(h.quantile_ns(q), Some(128), "q={q}");
+        }
+        // A single zero sample sits in the exact-zero bucket.
+        let mut z = Histogram::default();
+        z.record_ns(0);
+        assert_eq!(z.quantile_ns(0.0), Some(0));
+        assert_eq!(z.quantile_ns(1.0), Some(0));
+    }
+
+    #[test]
+    fn quantile_extremes_hit_first_and_last_occupied_buckets() {
+        let mut h = Histogram::default();
+        h.record_ns(0);
+        for _ in 0..8 {
+            h.record_ns(1000); // [512,1024)
+        }
+        h.record_ns(1 << 20); // [2^19, 2^20)
+                              // q=0 clamps to the first sample (the zero bucket).
+        assert_eq!(h.quantile_ns(0.0), Some(0));
+        // q=1 must reach the last occupied bucket, never beyond max.
+        assert_eq!(h.quantile_ns(1.0), Some(1 << 20));
+        assert!(h.quantile_ns(1.0).unwrap() >= h.max_ns().unwrap());
+    }
+
+    #[test]
+    fn quantile_saturating_top_bucket_does_not_overflow() {
+        let mut h = Histogram::default();
+        h.record_ns(u64::MAX); // top bucket: upper bound saturates
+        for q in [0.0, 0.5, 1.0] {
+            let v = h.quantile_ns(q).unwrap();
+            // 1u64 << 64 would overflow; the bound must saturate instead
+            // and still dominate the recorded maximum's bucket lower bound.
+            assert_eq!(v, u64::MAX, "q={q}");
+        }
+        // Mixed: the huge sample only surfaces at the top quantiles.
+        let mut m = Histogram::default();
+        for _ in 0..9 {
+            m.record_ns(10);
+        }
+        m.record_ns(u64::MAX);
+        assert_eq!(m.quantile_ns(0.5), Some(16));
+        assert_eq!(m.quantile_ns(1.0), Some(u64::MAX));
     }
 
     #[test]

@@ -95,7 +95,7 @@ pub fn post_send_mode(
         (id, seq, peer)
     };
 
-    let eager = !sync && !ep.cfg.force_rendezvous && msg_len <= ep.cfg.eager_limit;
+    let eager = !sync && !ep.cfg.force_rendezvous && msg_len <= ep.tunables.eager_limit();
     let route = first_route(ep, &peer);
 
     let mut hdr = Hdr::new(if eager {
@@ -152,7 +152,6 @@ pub fn post_send_mode(
             },
         );
         drop(st);
-        ep.stats.lock().eager_sent += 1;
         ep.metric(|m| {
             m.counters.eager_sent += 1;
             m.completion_time
@@ -225,7 +224,6 @@ pub fn post_send_mode(
         },
     );
     drop(st);
-    ep.stats.lock().rndv_sent += 1;
     ep.metric(|m| m.counters.rndv_sent += 1);
     // The handshake span closes when the receiver is first heard from
     // (ACK or FIN_ACK) — see `first_receiver_contact`.
@@ -424,6 +422,7 @@ pub fn test(proc: &Proc, ep: &Arc<Endpoint>, req: Request) -> bool {
 /// One polling sweep over every incoming channel and pending DMA; returns
 /// true if any work was done.
 pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
+    crate::introspect::watchdog_tick(proc, ep);
     ep.metric(|m| m.counters.progress_iterations += 1);
     let mut any = false;
     if let Some(q) = &ep.main_q {
@@ -499,7 +498,6 @@ pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
         HdrType::FinAck => credit_send(proc, ep, hdr.send_req, hdr.offset as usize),
         HdrType::Frag => handle_frag(proc, ep, hdr, payload),
         HdrType::Completion => {
-            ep.stats.lock().completion_tokens += 1;
             ep.metric(|m| m.counters.chained_completions += 1);
             let token = hdr.e4_va;
             let pending = {
@@ -587,7 +585,6 @@ fn queue_or_match(
     match st.match_posted(frag.hdr.ctx, &frag.hdr) {
         Some(rid) => work.push((rid, frag)),
         None => {
-            ep.stats.lock().unexpected_frags += 1;
             ep.trace(
                 now,
                 crate::trace::TraceEvent::Unexpected {
@@ -724,7 +721,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                     },
                     make_fin_ack(hdr.send_req, credit),
                 );
-                ep.stats.lock().rdma_reads += 1;
+                ep.metric(|m| m.counters.rdma_read_batches += 1);
             } else {
                 // Nothing to pull: acknowledge the rendezvous (and the
                 // inline bytes) immediately.
@@ -737,7 +734,6 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                     make_fin_ack(hdr.send_req, inline_len),
                     Vec::new(),
                 );
-                ep.stats.lock().fin_acks_sent += 1;
                 ep.trace(
                     proc.now(),
                     crate::trace::TraceEvent::ControlSent { kind: "FinAck" },
@@ -753,7 +749,6 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                 ack.msg_len = tcp_share as u64;
                 proc.advance(ep.cfg.host.hdr_build);
                 send_frame(proc, ep, &peer, Route::Tcp, ack, Vec::new());
-                ep.stats.lock().acks_sent += 1;
             }
         }
         RdmaScheme::Write => {
@@ -772,7 +767,6 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
             }
             proc.advance(ep.cfg.host.hdr_build);
             send_frame(proc, ep, &peer, first_route(ep, &peer), ack, Vec::new());
-            ep.stats.lock().acks_sent += 1;
             ep.trace(
                 proc.now(),
                 crate::trace::TraceEvent::ControlSent { kind: "Ack" },
@@ -848,7 +842,7 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
                 },
                 fin,
             );
-            ep.stats.lock().rdma_writes += 1;
+            ep.metric(|m| m.counters.rdma_write_batches += 1);
         }
         if tcp_share > 0 {
             // Push fragments over TCP; buffered semantics credit at issue.
@@ -863,7 +857,7 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
                 fh.offset = off as u64;
                 proc.advance(host.hdr_build);
                 send_frame(proc, ep, &peer, Route::Tcp, fh, bytes);
-                ep.stats.lock().frags_sent += 1;
+                ep.metric(|m| m.counters.frags_sent += 1);
                 off += take;
             }
             let mut st = ep.state.lock();
@@ -917,7 +911,6 @@ fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
                 };
                 proc.advance(ep.cfg.host.hdr_build);
                 send_frame(proc, ep, &peer, first_route(ep, &peer), hdr, Vec::new());
-                ep.stats.lock().fin_acks_sent += 1;
             }
             credit_recv(proc, ep, recv_req, bytes);
         }
@@ -933,7 +926,6 @@ fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
                 };
                 proc.advance(ep.cfg.host.hdr_build);
                 send_frame(proc, ep, &peer, first_route(ep, &peer), hdr, Vec::new());
-                ep.stats.lock().fins_sent += 1;
             }
             credit_send(proc, ep, send_req, bytes);
         }
@@ -969,9 +961,6 @@ fn credit_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64, bytes: usize) {
 /// the write scheme, FIN_ACK in the read scheme) closes the handshake: the
 /// histogram sample and the `rndv` trace span both end here.
 fn first_receiver_contact(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
-    if !ep.cfg.metrics && !ep.cfg.trace {
-        return;
-    }
     let posted_at = {
         let mut st = ep.state.lock();
         match st.send_reqs.get_mut(&sid) {
@@ -983,6 +972,11 @@ fn first_receiver_contact(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
         }
     };
     let Some(posted_at) = posted_at else { return };
+    // The flag flip above is protocol state (the watchdog reads it to name
+    // the stall phase); only the telemetry below is gated.
+    if !ep.tunables.metrics() && !ep.tunables.trace() {
+        return;
+    }
     ep.metric(|m| {
         m.rndv_handshake
             .record(proc.now().saturating_sub(posted_at))
@@ -1140,7 +1134,7 @@ fn send_frame(
         proc.advance(checksum_cost(payload.len()));
     }
     let frame = hdr.frame(&payload);
-    if ep.cfg.metrics {
+    if ep.tunables.metrics() {
         ep.metric(|m| {
             if let Some(i) = control_idx(hdr.kind) {
                 m.counters.control(i);

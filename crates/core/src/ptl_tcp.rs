@@ -92,6 +92,13 @@ struct TcpNetInner {
     tx_free: Vec<Time>,
     rx_free: Vec<Time>,
     stats: TcpNetStats,
+    drop_rule: Option<DropRule>,
+}
+
+/// Armed fault injection: vanish frames of one kind off the wire.
+struct DropRule {
+    kind: u8,
+    remaining: u64,
 }
 
 /// Traffic totals of the shared Ethernet.
@@ -103,6 +110,9 @@ pub struct TcpNetStats {
     pub bytes_sent: u64,
     /// Frames dropped because the peer was unbound (RST behaviour).
     pub frames_dropped: u64,
+    /// Frames silently discarded by armed fault injection
+    /// ([`TcpNet::inject_drop`]).
+    pub frames_injected: u64,
 }
 
 /// The shared Ethernet.
@@ -121,6 +131,7 @@ impl TcpNet {
                 tx_free: vec![Time::ZERO; nodes],
                 rx_free: vec![Time::ZERO; nodes],
                 stats: TcpNetStats::default(),
+                drop_rule: None,
             }),
         })
     }
@@ -145,6 +156,17 @@ impl TcpNet {
         self.inner.lock().inboxes.remove(&who);
     }
 
+    /// Arm deterministic fault injection: the next `count` frames whose
+    /// header kind equals `kind` (e.g. [`crate::hdr::HdrType::FinAck`])
+    /// vanish off the wire after the sender has paid its kernel costs —
+    /// exactly the loss a stall-diagnostics test needs, with no randomness.
+    pub fn inject_drop(&self, kind: crate::hdr::HdrType, count: u64) {
+        self.inner.lock().drop_rule = Some(DropRule {
+            kind: kind as u8,
+            remaining: count,
+        });
+    }
+
     /// Send one frame from the calling process's node to `dst`. Charges the
     /// caller the syscall + kernel copy; wire time is asynchronous. The
     /// matching receive-side copy cost is charged when the frame is popped
@@ -160,6 +182,19 @@ impl TcpNet {
         assert!(frame.len() <= self.cfg.max_frame, "frame exceeds max_frame");
         // Kernel send path: syscall + copy into socket buffer.
         proc.advance(self.cfg.syscall + nic_cfg.memcpy(frame.len()));
+
+        {
+            // Fault injection happens after the sender paid its costs: the
+            // kernel accepted the frame, the wire lost it.
+            let mut inner = self.inner.lock();
+            if let Some(rule) = &mut inner.drop_rule {
+                if rule.remaining > 0 && frame.first() == Some(&rule.kind) {
+                    rule.remaining -= 1;
+                    inner.stats.frames_injected += 1;
+                    return;
+                }
+            }
+        }
 
         let (dst_node, inbox) = {
             let mut inner = self.inner.lock();
@@ -292,6 +327,55 @@ mod tests {
         assert_eq!(stats.bytes_sent, 5 * 100);
         assert_eq!(stats.frames_dropped, 0);
         assert!(inbox.depth_hwm() >= 1);
+    }
+
+    #[test]
+    fn injected_drop_vanishes_matching_kind_only_until_exhausted() {
+        let net = TcpNet::new(TcpConfig::default(), 2);
+        let sim = Simulation::new();
+        let b = ProcName {
+            job: ompi_rte::JobId(0),
+            rank: 1,
+        };
+        let inbox = TcpInbox::new();
+        net.bind(b, 1, inbox.clone());
+        net.inject_drop(crate::hdr::HdrType::FinAck, 1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = got.clone();
+            let inbox = inbox.clone();
+            sim.spawn("rx", move |p| {
+                let sig = p.signal();
+                inbox.set_doorbell(sig.clone());
+                let mut n = 0;
+                while n < 2 {
+                    match inbox.pop() {
+                        Some(f) => {
+                            got.lock().push(f[0]);
+                            n += 1;
+                        }
+                        None => {
+                            p.wait(&sig).expect_signaled();
+                        }
+                    }
+                }
+            });
+        }
+        {
+            let net = net.clone();
+            sim.spawn("tx", move |p| {
+                let fin_ack = crate::hdr::HdrType::FinAck as u8;
+                // First FIN_ACK vanishes, the eager frame passes, and the
+                // second FIN_ACK passes because the rule is exhausted.
+                net.send(&p, &NicConfig::default(), 0, b, vec![fin_ack; 16]);
+                net.send(&p, &NicConfig::default(), 0, b, vec![1u8; 16]);
+                net.send(&p, &NicConfig::default(), 0, b, vec![fin_ack; 16]);
+            });
+        }
+        sim.run().unwrap();
+        assert_eq!(*got.lock(), vec![1, crate::hdr::HdrType::FinAck as u8]);
+        assert_eq!(net.stats().frames_injected, 1);
+        assert_eq!(net.stats().frames_sent, 2);
     }
 
     #[test]

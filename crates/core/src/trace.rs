@@ -142,7 +142,9 @@ impl TraceEvent {
                 format!("{{\"read\":{read},\"bytes\":{bytes}}}")
             }
             TraceEvent::DmaDone { bytes } => format!("{{\"bytes\":{bytes}}}"),
-            TraceEvent::ControlSent { kind } => format!("{{\"kind\":\"{kind}\"}}"),
+            TraceEvent::ControlSent { kind } => {
+                format!("{{\"kind\":\"{}\"}}", escape_json(kind))
+            }
             TraceEvent::Completed { req, send } => {
                 format!("{{\"req\":{req},\"send\":{send}}}")
             }
@@ -227,6 +229,27 @@ impl TraceLog {
     }
 }
 
+/// Escape a string for inclusion inside a JSON string literal: quotes,
+/// backslashes, and control characters (the trace exporter must emit valid
+/// JSON whatever ends up in an event name).
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Render per-rank trace logs as one Chrome trace-event JSON document.
 ///
 /// Point events become instants (`ph:"i"`); spans become async begin/end
@@ -245,17 +268,21 @@ pub fn chrome_trace_json(logs: &[(u32, &TraceLog)]) -> String {
             let ts = t.as_ns() as f64 / 1000.0;
             match ev {
                 TraceEvent::SpanBegin { id, cat, name } => out.push_str(&format!(
-                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"b\",\"id\":{id},\
-                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}"
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"id\":{id},\
+                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}",
+                    escape_json(name),
+                    escape_json(cat)
                 )),
                 TraceEvent::SpanEnd { id, cat, name } => out.push_str(&format!(
-                    "{{\"name\":\"{name}\",\"cat\":\"{cat}\",\"ph\":\"e\",\"id\":{id},\
-                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}"
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"id\":{id},\
+                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}",
+                    escape_json(name),
+                    escape_json(cat)
                 )),
                 _ => out.push_str(&format!(
                     "{{\"name\":\"{}\",\"cat\":\"proto\",\"ph\":\"i\",\"s\":\"t\",\
                      \"ts\":{ts},\"pid\":{rank},\"tid\":{rank},\"args\":{}}}",
-                    ev.name(),
+                    escape_json(ev.name()),
                     ev.args_json()
                 )),
             }
@@ -338,5 +365,31 @@ mod tests {
         assert!(json.contains("\"ph\":\"e\",\"id\":7"));
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"ts\":1"));
+    }
+
+    #[test]
+    fn escape_json_handles_quotes_backslashes_and_controls() {
+        assert_eq!(escape_json("plain"), "plain");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn chrome_export_escapes_span_names() {
+        let mut log = TraceLog::default();
+        log.record(
+            Time::from_ns(10),
+            TraceEvent::SpanBegin {
+                id: 1,
+                cat: "odd\"cat",
+                name: "bad\nname",
+            },
+        );
+        let json = chrome_trace_json(&[(0, &log)]);
+        assert!(json.contains("bad\\nname"));
+        assert!(json.contains("odd\\\"cat"));
+        assert!(!json.contains("bad\nname"));
     }
 }

@@ -41,7 +41,7 @@ pub use handle::SimHandle;
 pub use kernel::{ProcId, Report, SimError, Simulation};
 pub use proc::Proc;
 pub use rng::Pcg32;
-pub use signal::{Signal, Wait};
+pub use signal::{Signal, TimedWait, Wait};
 pub use sync::{Mailbox, MailboxTx, Mutex, MutexGuard};
 pub use time::{Dur, Time};
 
@@ -123,6 +123,89 @@ mod tests {
         });
         sim.run().unwrap();
         assert_eq!(woke_at.load(Ordering::SeqCst), 7_000);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_at_deadline() {
+        let sim = Simulation::new();
+        let out = Arc::new(AtomicU64::new(0));
+        let out2 = out.clone();
+        sim.spawn("p", move |p| {
+            let s = p.signal();
+            assert_eq!(p.wait_timeout(&s, Dur::from_us(5)), TimedWait::TimedOut);
+            out2.store(p.now().as_ns(), Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+        assert_eq!(out.load(Ordering::SeqCst), 5_000);
+    }
+
+    #[test]
+    fn wait_timeout_signal_wins_and_cancels_timer() {
+        let sim = Simulation::new();
+        let out = Arc::new(AtomicU64::new(0));
+        let out2 = out.clone();
+        let sig_slot: Arc<Mutex<Option<Signal>>> = Arc::new(Mutex::new(None));
+        let sig_slot2 = sig_slot.clone();
+        sim.spawn("p", move |p| {
+            let s = p.signal();
+            *sig_slot2.lock() = Some(s.clone());
+            assert_eq!(p.wait_timeout(&s, Dur::from_us(100)), TimedWait::Signaled);
+            // The cancelled timer must not cut this sleep short.
+            p.advance(Dur::from_us(500));
+            out2.store(p.now().as_ns(), Ordering::SeqCst);
+        });
+        let h = sim.handle();
+        h.call_after(Dur::from_us(3), move |sim| {
+            sig_slot.lock().as_ref().unwrap().notify(sim);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(out.load(Ordering::SeqCst), 503_000);
+        assert_eq!(report.end_time, Time::from_ns(503_000));
+    }
+
+    #[test]
+    fn wait_timeout_latched_signal_returns_immediately() {
+        let sim = Simulation::new();
+        let out = Arc::new(AtomicU64::new(u64::MAX));
+        let out2 = out.clone();
+        sim.spawn("p", move |p| {
+            let s = p.signal();
+            s.notify(&p.sim());
+            assert_eq!(p.wait_timeout(&s, Dur::from_us(9)), TimedWait::Signaled);
+            out2.store(p.now().as_ns(), Ordering::SeqCst);
+        });
+        sim.run().unwrap();
+        assert_eq!(out.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn wait_timeout_loop_keeps_sim_alive_until_signal() {
+        // A watchdog-style loop: repeated timeouts keep the event queue
+        // non-empty (no deadlock) until a very late notification arrives.
+        let sim = Simulation::new();
+        let ticks = Arc::new(AtomicU64::new(0));
+        let ticks2 = ticks.clone();
+        let sig_slot: Arc<Mutex<Option<Signal>>> = Arc::new(Mutex::new(None));
+        let sig_slot2 = sig_slot.clone();
+        sim.spawn("p", move |p| {
+            let s = p.signal();
+            *sig_slot2.lock() = Some(s.clone());
+            loop {
+                match p.wait_timeout(&s, Dur::from_us(10)) {
+                    TimedWait::Signaled => break,
+                    TimedWait::TimedOut => {
+                        ticks2.fetch_add(1, Ordering::SeqCst);
+                    }
+                    TimedWait::Shutdown => panic!("unexpected shutdown"),
+                }
+            }
+        });
+        let h = sim.handle();
+        h.call_after(Dur::from_us(55), move |sim| {
+            sig_slot.lock().as_ref().unwrap().notify(sim);
+        });
+        sim.run().unwrap();
+        assert_eq!(ticks.load(Ordering::SeqCst), 5);
     }
 
     #[test]

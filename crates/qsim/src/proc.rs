@@ -9,7 +9,7 @@ use std::sync::mpsc::Receiver;
 
 use crate::handle::SimHandle;
 use crate::kernel::{spawn_proc, Event, Go, ParkKind, ProcId, Shared, YieldMsg};
-use crate::signal::{Signal, SignalInner, Wait};
+use crate::signal::{Signal, SignalInner, TimedWait, Wait};
 use crate::time::{Dur, Time};
 
 /// Per-process handle. Not `Clone`: exactly one OS thread owns it.
@@ -46,17 +46,30 @@ impl Proc {
     /// Model `d` of computation: the process gives up control and resumes
     /// once virtual time has advanced by `d`.
     pub fn advance(&self, d: Dur) {
-        {
+        let target = {
             let mut st = self.shared.state.lock();
             let at = st.now + d;
             st.push_event(at, Event::Wake(self.pid));
             st.procs[self.pid.index()].park = ParkKind::Timer;
-        }
-        match self.park() {
-            Go::Run => {}
-            // Forced shutdown while sleeping: unwind this thread. The kernel
-            // treats the unwind as process completion during teardown.
-            Go::Shutdown => std::panic::panic_any(ShutdownUnwind),
+            at
+        };
+        loop {
+            match self.park() {
+                Go::Run => {
+                    let mut st = self.shared.state.lock();
+                    if st.now >= target {
+                        return;
+                    }
+                    // A stale wake (e.g. the leftover timer of an earlier
+                    // `wait_timeout` that raced its signal): our own wake is
+                    // still queued, so just park again until it arrives.
+                    st.procs[self.pid.index()].park = ParkKind::Timer;
+                }
+                // Forced shutdown while sleeping: unwind this thread. The
+                // kernel treats the unwind as process completion during
+                // teardown.
+                Go::Shutdown => std::panic::panic_any(ShutdownUnwind),
+            }
         }
     }
 
@@ -97,6 +110,66 @@ impl Proc {
             match self.park() {
                 Go::Run => continue,
                 Go::Shutdown => return Wait::Shutdown,
+            }
+        }
+    }
+
+    /// Block until `s` is notified or `timeout` of virtual time elapses,
+    /// whichever happens first.
+    ///
+    /// Used by progress watchdogs: the queued timeout event keeps the kernel
+    /// from declaring deadlock while the owner is blocked, and on
+    /// [`TimedWait::TimedOut`] the caller gets control back to inspect why
+    /// no progress happened. On early return (signal or shutdown) the queued
+    /// timer event is cancelled so it cannot later wake the process
+    /// spuriously.
+    pub fn wait_timeout(&self, s: &Signal, timeout: Dur) -> TimedWait {
+        assert_eq!(
+            s.inner.owner, self.pid,
+            "a process may only wait on signals it owns"
+        );
+        let key = {
+            let mut st = self.shared.state.lock();
+            if s.inner
+                .pending
+                .swap(false, std::sync::atomic::Ordering::Relaxed)
+            {
+                return TimedWait::Signaled;
+            }
+            if st.shutdown {
+                return TimedWait::Shutdown;
+            }
+            let at = st.now + timeout;
+            let key = (at, st.seq);
+            st.push_event(at, Event::Wake(self.pid));
+            key
+        };
+        loop {
+            {
+                let mut st = self.shared.state.lock();
+                if s.inner
+                    .pending
+                    .swap(false, std::sync::atomic::Ordering::Relaxed)
+                {
+                    st.queue.remove(&key);
+                    return TimedWait::Signaled;
+                }
+                if st.shutdown {
+                    st.queue.remove(&key);
+                    return TimedWait::Shutdown;
+                }
+                if !st.queue.contains_key(&key) {
+                    // Our timer fired and nothing else woke us up.
+                    return TimedWait::TimedOut;
+                }
+                st.procs[self.pid.index()].park = ParkKind::Signal(s.inner.id);
+            }
+            match self.park() {
+                Go::Run => continue,
+                Go::Shutdown => {
+                    self.shared.state.lock().queue.remove(&key);
+                    return TimedWait::Shutdown;
+                }
             }
         }
     }

@@ -89,3 +89,15 @@ impl Wait {
         );
     }
 }
+
+/// Result of waiting on a [`Signal`] with a timeout
+/// ([`crate::Proc::wait_timeout`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum TimedWait {
+    /// The signal fired before the timeout.
+    Signaled,
+    /// The timeout elapsed without a notification.
+    TimedOut,
+    /// The simulation is shutting down (all non-daemon processes finished).
+    Shutdown,
+}

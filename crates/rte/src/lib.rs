@@ -15,6 +15,10 @@
 
 #![warn(missing_docs)]
 
+pub mod pvar;
+
+pub use pvar::{ClusterReport, PvarAgg};
+
 use std::collections::HashMap;
 use std::sync::Arc;
 

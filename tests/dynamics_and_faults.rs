@@ -150,6 +150,101 @@ fn link_faults_are_transparent_to_mpi() {
     assert!(uni.cluster.fabric().stats().retries >= 8);
 }
 
+/// A lost delivery-confirmation control frame leaves the sender stranded
+/// mid-rendezvous; the progress watchdog must detect it deterministically
+/// and name the protocol phase and peer in its diagnostic.
+#[test]
+fn watchdog_diagnoses_dropped_fin_ack() {
+    let stack = StackConfig {
+        // Inline first fragments self-credit the TCP share, so dropping the
+        // lone FIN_ACK strands the sender exactly one fragment short.
+        inline_first_frag: true,
+        watchdog_interval: 8,
+        watchdog_grace: 4,
+        ..StackConfig::best()
+    };
+    let uni = Universe::new(
+        elan4::NicConfig::default(),
+        qsnet::FabricConfig::default(),
+        stack,
+        openmpi_core::Transports {
+            elan_rails: 0,
+            tcp: true,
+        },
+    );
+    // Swallow the single FIN_ACK of the one rendezvous message below.
+    uni.tcp_net
+        .inject_drop(openmpi_core::hdr::HdrType::FinAck, 1);
+
+    type Captured = Vec<(u32, Arc<openmpi_core::Endpoint>)>;
+    let eps: Arc<qsim::Mutex<Captured>> = Arc::new(qsim::Mutex::new(Vec::new()));
+    let e2 = eps.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        uni.run_world(2, Placement::RoundRobin, move |mpi| {
+            e2.lock().push((mpi.rank() as u32, mpi.endpoint().clone()));
+            let w = mpi.world();
+            let len = 64 << 10;
+            let buf = mpi.alloc(len);
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 7, &buf, len);
+            } else {
+                mpi.recv(&w, 0, 7, &buf, len);
+            }
+            mpi.free(buf);
+        });
+    }));
+
+    // The stalled rank aborts the simulation through a watchdog panic whose
+    // message is the structured diagnostic.
+    let payload = result.expect_err("watchdog must fire");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("panic carries a rendered message")
+        .clone();
+    assert!(
+        msg.contains("progress watchdog"),
+        "diagnostic header: {msg}"
+    );
+    assert!(
+        msg.contains("rdma-read+fin_ack"),
+        "names the protocol phase: {msg}"
+    );
+    assert!(
+        msg.contains("handshake done, awaiting delivery confirmation"),
+        "phase detail: {msg}"
+    );
+    assert!(msg.contains("peer rank 1"), "names the peer: {msg}");
+
+    // The diagnostic is also recorded on the stalled endpoint, and only
+    // there: the receiver finished its transfer and parks in finalize.
+    let eps = eps.lock();
+    for (rank, ep) in eps.iter() {
+        let ins = ep.introspect.lock();
+        if *rank == 0 {
+            assert_eq!(ins.stalls_detected, 1, "sender stalls once");
+            assert_eq!(ins.diagnostics.len(), 1);
+            let d = &ins.diagnostics[0];
+            assert_eq!(d.rank, 0);
+            assert_eq!(d.stuck.len(), 1);
+            assert_eq!(d.stuck[0].peer, "rank 1");
+            assert_eq!(d.stuck[0].tag, "7");
+            assert_eq!(d.stuck[0].kind, "send");
+            assert_eq!(d.stuck[0].bytes_total, 64 << 10);
+            assert!(
+                d.stuck[0].bytes_done < d.stuck[0].bytes_total,
+                "payload incomplete"
+            );
+            let json = d.to_json();
+            assert!(json.contains("\"kind\":\"send\""), "json: {json}");
+            assert!(json.contains("\"peer\":\"rank 1\""), "json: {json}");
+        } else {
+            assert_eq!(ins.stalls_detected, 0, "receiver completed cleanly");
+        }
+    }
+    // Exactly the one injected frame vanished.
+    assert_eq!(uni.tcp_net.stats().frames_injected, 1);
+}
+
 /// The same job re-run after another job used the cluster sees a clean
 /// machine (no cross-run interference through the shared fabric state).
 #[test]

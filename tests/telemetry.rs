@@ -154,7 +154,7 @@ fn sim_report_profiles_the_run() {
     assert_eq!(report.procs_spawned, 2);
 }
 
-/// Minimal JSON syntax checker (the exporter emits no string escapes).
+/// Minimal JSON syntax checker (handles backslash escapes inside strings).
 fn check_json(s: &str) {
     fn skip_ws(b: &[u8], mut i: usize) -> usize {
         while i < b.len() && (b[i] as char).is_ascii_whitespace() {
@@ -236,6 +236,25 @@ fn check_json(s: &str) {
     let b = s.as_bytes();
     let end = value(b, 0).unwrap_or_else(|e| panic!("invalid JSON: {e}"));
     assert_eq!(skip_ws(b, end), b.len(), "trailing garbage after JSON");
+}
+
+/// The file the harness writes with `--trace-out` must parse as JSON when
+/// read back — including every escape the exporter emits.
+#[test]
+fn chrome_trace_file_round_trips_as_valid_json() {
+    let (_, traces, _) = pingpong(telemetry_cfg(), 16384, 3);
+    let logs: Vec<(u32, &TraceLog)> = traces
+        .iter()
+        .enumerate()
+        .map(|(r, t)| (r as u32, t))
+        .collect();
+    let path = std::env::temp_dir().join(format!("ompi-trace-{}.json", std::process::id()));
+    std::fs::write(&path, chrome_trace_json(&logs)).unwrap();
+    let back = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    check_json(&back);
+    assert!(back.contains("\"traceEvents\""));
+    assert!(back.contains("\"pid\":"), "per-rank process ids");
 }
 
 #[test]
