@@ -18,6 +18,10 @@
 //! rank, stall diagnostics) as JSON; `--watchdog N` tunes the scan interval
 //! in progress ticks (default 64). With `--emit-metrics` too, both documents
 //! come from the same run, so their totals agree exactly.
+//! `--loss N` switches the instrumented run to a TCP-only rendezvous
+//! ping-pong with N FIN_ACK control frames dropped off the wire: the
+//! emitted metrics then show the reliability layer absorbing the loss
+//! (`retransmits` == N, `gave_up` == 0) with the run completing normally.
 
 use ompi_bench::{
     apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
@@ -55,6 +59,7 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut introspect_out: Option<String> = None;
     let mut watchdog: u64 = 64;
+    let mut loss: u64 = 0;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -83,6 +88,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--loss" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => loss = n,
+                None => {
+                    eprintln!("--loss needs a frame count");
+                    std::process::exit(2);
+                }
+            },
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag `{a}`");
                 std::process::exit(2);
@@ -95,7 +107,7 @@ fn main() {
     if selected.is_empty() && !emit_metrics && introspect_out.is_none() {
         eprintln!(
             "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
-             [--introspect-out FILE] [--watchdog N] \
+             [--introspect-out FILE] [--watchdog N] [--loss N] \
              <experiment>... | all | paper | compare"
         );
         eprintln!("experiments:");
@@ -142,7 +154,9 @@ fn main() {
     }
 
     if emit_metrics || introspect_out.is_some() {
-        use ompi_bench::measure::{introspect_pingpong, telemetry_pingpong, Setup};
+        use ompi_bench::measure::{
+            introspect_pingpong, reliability_pingpong, telemetry_pingpong, Setup,
+        };
         use openmpi_core::StackConfig;
         let start = std::time::Instant::now();
         // 4 ranks, 16 KiB messages: well past the eager limit, so the
@@ -158,6 +172,19 @@ fn main() {
                 eprintln!(
                     "[introspection written to {path}: {} stalls, straggler {:?}]",
                     introspect.stalls, introspect.cluster.straggler
+                );
+                telemetry
+            }
+            None if loss > 0 => {
+                let telemetry = reliability_pingpong(&setup, 64 << 10, loss);
+                let healed: u64 = telemetry
+                    .per_rank
+                    .iter()
+                    .map(|m| m.counters.retransmits)
+                    .sum();
+                eprintln!(
+                    "[reliability demo: {loss} FIN_ACK frame(s) dropped, \
+                     {healed} retransmission(s) healed the loss]"
                 );
                 telemetry
             }

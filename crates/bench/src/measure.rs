@@ -245,6 +245,63 @@ pub fn telemetry_pingpong(setup: &Setup, ranks: usize, len: usize, iters: usize)
     }
 }
 
+/// A rendezvous ping-pong over the TCP PTL with `drops` FIN_ACK control
+/// frames vanishing off the wire: the reliability layer retransmits each
+/// one after its timeout and the run completes. The returned telemetry
+/// shows the loss being absorbed — `retransmits` equals the injected drop
+/// count, `gave_up` stays zero — instead of a watchdog abort.
+pub fn reliability_pingpong(setup: &Setup, len: usize, drops: u64) -> Telemetry {
+    type Row = (u32, Metrics, Vec<PtlTraffic>, TraceLog);
+    let mut setup = setup.clone();
+    setup.stack.metrics = true;
+    setup.stack.trace = true;
+    // Control frames ride the TCP PTL (where the reliability layer lives)
+    // only when it is the sole transport.
+    setup.stack.inline_first_frag = true;
+    setup.transports = Transports {
+        elan_rails: 0,
+        tcp: true,
+    };
+    let uni = setup.universe();
+    uni.tcp_net
+        .inject_drop(openmpi_core::hdr::HdrType::FinAck, drops);
+    // One rendezvous round trip per injected drop, plus one clean round.
+    let iters = drops as usize + 1;
+    let collected: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let c2 = collected.clone();
+    let report = uni.run_world(2, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let sbuf = mpi.alloc(len.max(1));
+        let rbuf = mpi.alloc(len.max(1));
+        mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+        for _ in 0..iters {
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 0, &sbuf, len);
+                mpi.recv(&w, 1, 0, &rbuf, len);
+            } else {
+                mpi.recv(&w, 0, 0, &rbuf, len);
+                mpi.send(&w, 0, 0, &sbuf, len);
+            }
+        }
+        mpi.barrier(&w);
+        let ep = mpi.endpoint();
+        c2.lock().push((
+            mpi.rank() as u32,
+            ep.metrics_snapshot(),
+            ep.ptls.lock().traffic(),
+            ep.trace.lock().clone(),
+        ));
+    });
+    let mut rows = std::mem::take(&mut *collected.lock());
+    rows.sort_by_key(|(r, ..)| *r);
+    Telemetry {
+        per_rank: rows.iter().map(|(_, m, ..)| m.clone()).collect(),
+        traffic: rows.iter().map(|(_, _, t, _)| t.clone()).collect(),
+        traces: rows.into_iter().map(|(r, _, _, log)| (r, log)).collect(),
+        report,
+    }
+}
+
 /// Everything the introspection stack yields from one watchdog-armed run:
 /// the job-wide pvar aggregation, each rank's raw snapshot, and any stall
 /// diagnostics the watchdog recorded.

@@ -93,6 +93,21 @@ pub struct StackConfig {
     /// expiry counts as a progress tick, so a wedged rank keeps ticking (and
     /// eventually diagnosing) instead of deadlocking silently.
     pub watchdog_tick: Dur,
+    /// Reliability layer for TCP-routed control frames (ACK/FIN/FIN_ACK):
+    /// sequence-stamp them, buffer them for retransmission, and suppress
+    /// duplicates on receipt. A lost control frame then costs one retransmit
+    /// timeout instead of stranding the rendezvous (the watchdog stays the
+    /// last-resort detector).
+    pub tcp_reliability: bool,
+    /// Initial retransmission timeout for an unacknowledged control frame.
+    pub tcp_retransmit_timeout: Dur,
+    /// Multiplier applied to the timeout after each retransmission
+    /// (exponential backoff).
+    pub tcp_retransmit_backoff: u32,
+    /// Retransmissions attempted before the frame is abandoned, the peer is
+    /// marked failed, and the affected request completes with an error
+    /// status.
+    pub tcp_max_retries: u32,
     /// Host-side layer costs.
     pub host: HostConfig,
     /// Copy-engine cost model.
@@ -161,6 +176,10 @@ impl Default for StackConfig {
             watchdog_interval: 0,
             watchdog_grace: 4,
             watchdog_tick: Dur::from_us(200),
+            tcp_reliability: true,
+            tcp_retransmit_timeout: Dur::from_us(500),
+            tcp_retransmit_backoff: 2,
+            tcp_max_retries: 4,
             host: HostConfig::default(),
             copy: CopyModel::default(),
         }
@@ -201,6 +220,16 @@ impl StackConfig {
                 "watchdog tick must be a positive duration"
             );
         }
+        if self.tcp_reliability {
+            assert!(
+                self.tcp_retransmit_timeout > Dur::ZERO,
+                "retransmit timeout must be a positive duration"
+            );
+            assert!(
+                self.tcp_retransmit_backoff >= 1,
+                "retransmit backoff multiplier must be >= 1"
+            );
+        }
     }
 }
 
@@ -216,6 +245,19 @@ mod tests {
         assert!(c.chained_fin);
         assert!(!c.inline_first_frag);
         assert_eq!(c.eager_limit, 1984);
+        assert!(c.tcp_reliability);
+        assert!(c.tcp_retransmit_timeout > Dur::ZERO);
+        assert!(c.tcp_retransmit_backoff >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "retransmit backoff multiplier")]
+    fn zero_backoff_rejected() {
+        let c = StackConfig {
+            tcp_retransmit_backoff: 0,
+            ..Default::default()
+        };
+        c.validate();
     }
 
     #[test]

@@ -297,6 +297,43 @@ impl Endpoint {
 
     // ---- blocking progress --------------------------------------------------
 
+    /// Upper bound on one blocked wait, when a timer needs servicing: the
+    /// watchdog tick and/or the earliest retransmit deadline (whichever is
+    /// sooner). `None` means an unbounded wait is safe — no watchdog armed
+    /// and no sequence-stamped control frame awaiting its receipt.
+    fn wait_bound(&self, now: Time) -> Option<Dur> {
+        let mut bound = if self.tunables.watchdog_interval() > 0 {
+            Some(self.cfg.watchdog_tick)
+        } else {
+            None
+        };
+        if self.cfg.tcp_reliability {
+            let earliest = {
+                let st = self.state.lock();
+                st.ctl_inflight.iter().map(|e| e.deadline).min()
+            };
+            if let Some(deadline) = earliest {
+                let until = deadline.saturating_sub(now);
+                let until = if until > Dur::ZERO {
+                    until
+                } else {
+                    Dur::from_ns(1)
+                };
+                bound = Some(match bound {
+                    Some(b) if b < until => b,
+                    _ => until,
+                });
+            }
+        }
+        bound
+    }
+
+    /// A bounded wait expired: service the timers that bounded it.
+    fn timers_tick(self: &Arc<Self>, proc: &Proc) {
+        crate::introspect::watchdog_tick(proc, self);
+        proto::reliability_tick(proc, self);
+    }
+
     /// Drive progress until `done()` (checked under the state lock) returns
     /// true. Used by request waits, barriers, and finalize.
     pub fn wait_until(self: &Arc<Self>, proc: &Proc, mut done: impl FnMut(&mut EpState) -> bool) {
@@ -313,27 +350,27 @@ impl Endpoint {
                     if done(&mut self.state.lock()) {
                         return;
                     }
-                    if self.tunables.watchdog_interval() > 0 {
-                        // Bounded wait: each expiry is a watchdog tick, so a
-                        // wedged rank keeps diagnosing instead of deadlocking.
-                        match proc.wait_timeout(&bell, self.cfg.watchdog_tick) {
+                    // Bounded wait whenever the watchdog is armed or a
+                    // control frame awaits its receipt: each expiry is a
+                    // watchdog tick and a retransmit scan, so a wedged rank
+                    // keeps diagnosing (and healing) instead of
+                    // deadlocking.
+                    match self.wait_bound(proc.now()) {
+                        Some(bound) => match proc.wait_timeout(&bell, bound) {
                             TimedWait::Signaled => {
                                 proc.advance(self.cluster.cfg().poll_check);
                             }
-                            TimedWait::TimedOut => {
-                                crate::introspect::watchdog_tick(proc, self);
-                            }
+                            TimedWait::TimedOut => self.timers_tick(proc),
                             TimedWait::Shutdown => {
                                 panic!("simulation shut down during MPI wait")
                             }
-                        }
-                    } else {
-                        match proc.wait(&bell) {
+                        },
+                        None => match proc.wait(&bell) {
                             Wait::Signaled => {
                                 proc.advance(self.cluster.cfg().poll_check);
                             }
                             Wait::Shutdown => panic!("simulation shut down during MPI wait"),
-                        }
+                        },
                     }
                 }
             }
@@ -355,25 +392,22 @@ impl Endpoint {
                         }
                         st.waiters.push(sig.clone());
                     }
-                    if self.tunables.watchdog_interval() > 0 {
-                        match proc.wait_timeout(&sig, self.cfg.watchdog_tick) {
+                    match self.wait_bound(proc.now()) {
+                        Some(bound) => match proc.wait_timeout(&sig, bound) {
                             TimedWait::Signaled => {
                                 proc.advance(self.cfg.host.thread_handoff + extra);
                             }
-                            TimedWait::TimedOut => {
-                                crate::introspect::watchdog_tick(proc, self);
-                            }
+                            TimedWait::TimedOut => self.timers_tick(proc),
                             TimedWait::Shutdown => {
                                 panic!("simulation shut down during MPI wait")
                             }
-                        }
-                    } else {
-                        match proc.wait(&sig) {
+                        },
+                        None => match proc.wait(&sig) {
                             Wait::Signaled => {
                                 proc.advance(self.cfg.host.thread_handoff + extra);
                             }
                             Wait::Shutdown => panic!("simulation shut down during MPI wait"),
-                        }
+                        },
                     }
                 }
             }
@@ -432,7 +466,10 @@ impl Endpoint {
     pub fn finalize(self: &Arc<Self>, proc: &Proc) {
         self.wait_until(proc, |st| {
             st.finalizing = true;
-            st.all_requests_done()
+            // Drain the retransmit buffer too: a peer blocked on a lost
+            // control frame needs our resend before the barrier, or both
+            // ranks park forever.
+            st.all_requests_done() && st.ctl_inflight.is_empty()
         });
         self.rte.barrier(proc, self.name.job);
         // Stages 4 and 5: finalize and close every component, then release
@@ -470,6 +507,9 @@ fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
     }
     loop {
         ep.metric(|m| m.counters.progress_iterations += 1);
+        if sel == QueueSel::Main {
+            proto::reliability_tick(proc, ep);
+        }
         let mut worked = false;
         while let Some(frame) = q.pop_ready() {
             proto::dispatch(proc, ep, frame);
@@ -490,17 +530,19 @@ fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
         if worked {
             continue;
         }
-        if ep.tunables.watchdog_interval() > 0 {
-            match proc.wait_timeout(&sig, ep.cfg.watchdog_tick) {
+        match ep.wait_bound(proc.now()) {
+            Some(bound) => match proc.wait_timeout(&sig, bound) {
                 TimedWait::Signaled => proc.advance(ep.cluster.cfg().poll_check),
-                TimedWait::TimedOut => crate::introspect::watchdog_tick(proc, ep),
+                TimedWait::TimedOut => {
+                    crate::introspect::watchdog_tick(proc, ep);
+                    proto::reliability_tick(proc, ep);
+                }
                 TimedWait::Shutdown => break,
-            }
-        } else {
-            match proc.wait(&sig) {
+            },
+            None => match proc.wait(&sig) {
                 Wait::Signaled => proc.advance(ep.cluster.cfg().poll_check),
                 Wait::Shutdown => break,
-            }
+            },
         }
     }
 }

@@ -32,11 +32,19 @@ pub enum HdrType {
     Frag = 6,
     /// Shared-completion-queue token: a local DMA descriptor finished.
     Completion = 7,
+    /// Reliability-layer receipt: acknowledges one sequence-stamped control
+    /// frame so the sender can retire its retransmit buffer entry.
+    CtlAck = 8,
+    /// Reliability-layer failure notice: the sender exhausted retries (or
+    /// had no route) and names the peer-owned request that will never see
+    /// its control frame, so the peer can error it out instead of hanging.
+    Nack = 9,
 }
 
 impl HdrType {
-    fn from_u8(v: u8) -> HdrType {
-        match v {
+    /// Decode a wire kind byte; `None` for values no header kind uses.
+    pub fn from_u8(v: u8) -> Option<HdrType> {
+        Some(match v {
             1 => HdrType::Eager,
             2 => HdrType::Rendezvous,
             3 => HdrType::Ack,
@@ -44,7 +52,47 @@ impl HdrType {
             5 => HdrType::FinAck,
             6 => HdrType::Frag,
             7 => HdrType::Completion,
-            other => panic!("corrupt header type {other}"),
+            8 => HdrType::CtlAck,
+            9 => HdrType::Nack,
+            _ => return None,
+        })
+    }
+
+    /// Display name, as used in trace events and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            HdrType::Eager => "Eager",
+            HdrType::Rendezvous => "Rendezvous",
+            HdrType::Ack => "Ack",
+            HdrType::Fin => "Fin",
+            HdrType::FinAck => "FinAck",
+            HdrType::Frag => "Frag",
+            HdrType::Completion => "Completion",
+            HdrType::CtlAck => "CtlAck",
+            HdrType::Nack => "Nack",
+        }
+    }
+}
+
+/// Why a byte buffer failed to decode as a header. Frames carrying any of
+/// these are dropped (and counted) rather than crashing the rank: a corrupt
+/// frame must cost at most a retransmit, never the job.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum HdrDecodeError {
+    /// Fewer than [`HDR_LEN`] bytes.
+    Short,
+    /// The magic byte is wrong: this is not (or no longer) a header.
+    BadMagic,
+    /// The kind byte names no known fragment type.
+    BadKind(u8),
+}
+
+impl std::fmt::Display for HdrDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HdrDecodeError::Short => write!(f, "short header"),
+            HdrDecodeError::BadMagic => write!(f, "corrupt header magic"),
+            HdrDecodeError::BadKind(k) => write!(f, "corrupt header type {k}"),
         }
     }
 }
@@ -129,16 +177,31 @@ impl Hdr {
     /// Parse a header from the front of `bytes`.
     ///
     /// # Panics
-    /// If `bytes` is shorter than a header or the magic byte is wrong.
+    /// If `bytes` is shorter than a header, the magic byte is wrong, or the
+    /// kind is unknown. Protocol code should prefer [`Hdr::decode`], which
+    /// reports those conditions as an error the caller can count and drop.
     pub fn from_bytes(bytes: &[u8]) -> Hdr {
-        assert!(bytes.len() >= HDR_LEN, "short header");
-        assert_eq!(bytes[1], 0xE4, "corrupt header magic");
+        match Hdr::decode(bytes) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallibly parse a header from the front of `bytes`.
+    pub fn decode(bytes: &[u8]) -> Result<Hdr, HdrDecodeError> {
+        if bytes.len() < HDR_LEN {
+            return Err(HdrDecodeError::Short);
+        }
+        if bytes[1] != 0xE4 {
+            return Err(HdrDecodeError::BadMagic);
+        }
+        let kind = HdrType::from_u8(bytes[0]).ok_or(HdrDecodeError::BadKind(bytes[0]))?;
         let u32at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
         let u64at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
         let mut off6 = [0u8; 8];
         off6[..6].copy_from_slice(&bytes[56..62]);
-        Hdr {
-            kind: HdrType::from_u8(bytes[0]),
+        Ok(Hdr {
+            kind,
             ctx: u32at(4),
             src_rank: u32at(8),
             tag: i32::from_le_bytes(bytes[12..16].try_into().unwrap()),
@@ -151,7 +214,7 @@ impl Hdr {
             offset: u64::from_le_bytes(off6),
             payload_len: u16::from_le_bytes(bytes[62..64].try_into().unwrap()) as u32,
             checksum: u16::from_le_bytes(bytes[2..4].try_into().unwrap()),
-        }
+        })
     }
 
     /// Header + payload as one QDMA-able buffer.
@@ -227,11 +290,41 @@ mod tests {
         Hdr::from_bytes(&b);
     }
 
+    #[test]
+    fn decode_reports_errors_instead_of_panicking() {
+        let good = Hdr::new(HdrType::Fin).to_bytes();
+        assert_eq!(Hdr::decode(&good).unwrap().kind, HdrType::Fin);
+        assert_eq!(Hdr::decode(&good[..32]), Err(HdrDecodeError::Short));
+        let mut bad_magic = good;
+        bad_magic[1] = 0;
+        assert_eq!(Hdr::decode(&bad_magic), Err(HdrDecodeError::BadMagic));
+        let mut bad_kind = good;
+        bad_kind[0] = 0xAB;
+        assert_eq!(Hdr::decode(&bad_kind), Err(HdrDecodeError::BadKind(0xAB)));
+        assert_eq!(
+            HdrDecodeError::BadKind(0xAB).to_string(),
+            "corrupt header type 171"
+        );
+    }
+
+    #[test]
+    fn kind_roundtrip_and_names() {
+        for v in 1u8..=9 {
+            let k = HdrType::from_u8(v).unwrap();
+            assert_eq!(k as u8, v);
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(HdrType::from_u8(0), None);
+        assert_eq!(HdrType::from_u8(10), None);
+        assert_eq!(HdrType::CtlAck.name(), "CtlAck");
+        assert_eq!(HdrType::Nack.name(), "Nack");
+    }
+
     #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn roundtrip_random(
-            kind in 1u8..=7,
+            kind in 1u8..=9,
             ctx in any::<u32>(),
             src in any::<u32>(),
             tag in any::<i32>(),
@@ -246,7 +339,7 @@ mod tests {
             csum in any::<u16>(),
         ) {
             let h = Hdr {
-                kind: HdrType::from_u8(kind),
+                kind: HdrType::from_u8(kind).unwrap(),
                 ctx, src_rank: src, tag, seq, msg_len,
                 send_req: sreq, recv_req: rreq,
                 e4_va: va, e4_vpid: vpid, offset, payload_len: plen,

@@ -43,6 +43,9 @@ pub struct Tunables {
     trace: AtomicBool,
     watchdog_interval: AtomicU64,
     watchdog_grace: AtomicU64,
+    retransmit_timeout_ns: AtomicU64,
+    retransmit_backoff: AtomicU64,
+    retransmit_max_retries: AtomicU64,
     /// Progress ticks seen (progress passes + watchdog-timeout expiries).
     /// Lives here rather than in `Metrics` so the watchdog works with
     /// telemetry off.
@@ -58,6 +61,9 @@ impl Tunables {
             trace: AtomicBool::new(cfg.trace),
             watchdog_interval: AtomicU64::new(cfg.watchdog_interval),
             watchdog_grace: AtomicU64::new(cfg.watchdog_grace as u64),
+            retransmit_timeout_ns: AtomicU64::new(cfg.tcp_retransmit_timeout.as_ns()),
+            retransmit_backoff: AtomicU64::new(cfg.tcp_retransmit_backoff as u64),
+            retransmit_max_retries: AtomicU64::new(cfg.tcp_max_retries as u64),
             ticks: AtomicU64::new(0),
         }
     }
@@ -85,6 +91,23 @@ impl Tunables {
     /// Consecutive stale scans before a request is declared stalled.
     pub fn watchdog_grace(&self) -> u64 {
         self.watchdog_grace.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Initial retransmit timeout for an unacknowledged control frame.
+    pub fn retransmit_timeout(&self) -> qsim::Dur {
+        qsim::Dur::from_ns(self.retransmit_timeout_ns.load(Ordering::Relaxed))
+    }
+
+    /// Multiplier applied to the timeout after each retry (exponential
+    /// backoff); clamped to >= 1.
+    pub fn retransmit_backoff(&self) -> u32 {
+        self.retransmit_backoff.load(Ordering::Relaxed).max(1) as u32
+    }
+
+    /// Retransmissions attempted before the frame is abandoned and the peer
+    /// declared failed.
+    pub fn retransmit_max_retries(&self) -> u32 {
+        self.retransmit_max_retries.load(Ordering::Relaxed) as u32
     }
 
     /// Count one progress tick; returns the new total.
@@ -211,6 +234,26 @@ pub const CVARS: &[CvarDef] = &[
         desc: "virtual-time bound on blocked waits while the watchdog is armed",
         writable: false,
     },
+    CvarDef {
+        name: "tcp.reliability",
+        desc: "sequence-stamp TCP control frames and retransmit until acknowledged",
+        writable: false,
+    },
+    CvarDef {
+        name: "tcp.retransmit_timeout_ns",
+        desc: "initial timeout before an unacknowledged control frame is resent",
+        writable: true,
+    },
+    CvarDef {
+        name: "tcp.retransmit_backoff",
+        desc: "timeout multiplier applied after each retry (exponential backoff)",
+        writable: true,
+    },
+    CvarDef {
+        name: "tcp.max_retries",
+        desc: "retransmissions before the frame is abandoned and the peer declared failed",
+        writable: true,
+    },
 ];
 
 fn scheme_name(s: RdmaScheme) -> &'static str {
@@ -255,6 +298,10 @@ pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
         "watchdog.interval" => CvarValue::U64(ep.tunables.watchdog_interval()),
         "watchdog.grace" => CvarValue::U64(ep.tunables.watchdog_grace()),
         "watchdog.tick_ns" => CvarValue::U64(ep.cfg.watchdog_tick.as_ns()),
+        "tcp.reliability" => CvarValue::Bool(ep.cfg.tcp_reliability),
+        "tcp.retransmit_timeout_ns" => CvarValue::U64(ep.tunables.retransmit_timeout().as_ns()),
+        "tcp.retransmit_backoff" => CvarValue::U64(ep.tunables.retransmit_backoff() as u64),
+        "tcp.max_retries" => CvarValue::U64(ep.tunables.retransmit_max_retries() as u64),
         _ => return None,
     };
     Some(v)
@@ -291,6 +338,28 @@ pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), Str
                 return Err("watchdog.grace must be >= 1".to_string());
             }
             ep.tunables.watchdog_grace.store(v, Ordering::Relaxed);
+            Ok(())
+        }
+        ("tcp.retransmit_timeout_ns", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("tcp.retransmit_timeout_ns must be > 0".to_string());
+            }
+            ep.tunables
+                .retransmit_timeout_ns
+                .store(v, Ordering::Relaxed);
+            Ok(())
+        }
+        ("tcp.retransmit_backoff", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("tcp.retransmit_backoff must be >= 1".to_string());
+            }
+            ep.tunables.retransmit_backoff.store(v, Ordering::Relaxed);
+            Ok(())
+        }
+        ("tcp.max_retries", CvarValue::U64(v)) => {
+            ep.tunables
+                .retransmit_max_retries
+                .store(v, Ordering::Relaxed);
             Ok(())
         }
         (n, v) => {
@@ -401,6 +470,8 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
         vars.push(("queues.pending_dmas".into(), st.pending_dmas.len() as u64));
         vars.push(("queues.pending_dma_bytes".into(), dma_bytes as u64));
         vars.push(("queues.comms".into(), st.comms.len() as u64));
+        vars.push(("queues.ctl_inflight".into(), st.ctl_inflight.len() as u64));
+        vars.push(("queues.failed_peers".into(), st.failed_peers.len() as u64));
     }
 
     // Telemetry counters: read from Metrics, never a second tally.
@@ -421,6 +492,12 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
             ("rdma.write_batches", c.rdma_write_batches),
             ("rdma.chained_completions", c.chained_completions),
             ("progress.iterations", c.progress_iterations),
+            ("rel.retransmits", c.retransmits),
+            ("rel.dup_suppressed", c.dup_suppressed),
+            ("rel.gave_up", c.gave_up),
+            ("rel.corrupt_frames", c.corrupt_frames),
+            ("rel.ctl_acks_sent", c.ctl_acks_sent),
+            ("rel.reqs_failed", c.reqs_failed),
         ] {
             vars.push((name.to_string(), v));
         }

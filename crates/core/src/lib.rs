@@ -53,6 +53,7 @@ pub use proto::{ReqKind, Request};
 pub use ptl::{PtlInfo, PtlKind, PtlRegistry, PtlStage, PtlTraffic};
 pub use ptl_tcp::{TcpConfig, TcpNet};
 pub use rma::Window;
+pub use state::MpiErrClass;
 pub use trace::{chrome_trace_json, TraceEvent, TraceLog};
 pub use universe::{Placement, Universe};
 

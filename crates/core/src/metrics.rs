@@ -101,6 +101,21 @@ pub struct Counters {
     pub control_sent: [u64; 4],
     /// Progress-engine sweeps (polling passes and progress-thread loops).
     pub progress_iterations: u64,
+    /// Control frames retransmitted after a reliability timeout.
+    pub retransmits: u64,
+    /// Redelivered control frames suppressed as duplicates.
+    pub dup_suppressed: u64,
+    /// Control frames abandoned after exhausting retransmission retries
+    /// (each marks its peer failed).
+    pub gave_up: u64,
+    /// Incoming frames dropped because their header failed to decode.
+    pub corrupt_frames: u64,
+    /// Reliability receipts (CTL_ACK) sent back for sequence-stamped
+    /// control frames.
+    pub ctl_acks_sent: u64,
+    /// Requests completed with an error status instead of a payload
+    /// (failed peer, no transport).
+    pub reqs_failed: u64,
     /// Collective operations entered, indexed as [`COLL_OPS`].
     pub coll: [u64; 13],
 }
@@ -297,7 +312,10 @@ impl Metrics {
              \"matches\":{},\"unexpected_total\":{},\"unexpected_hwm\":{},\
              \"rdma_descriptors\":{},\"rdma_bytes\":{},\"rdma_read_batches\":{},\
              \"rdma_write_batches\":{},\"frags_sent\":{},\"chained_completions\":{},\
-             \"control_sent\":{{{}}},\"progress_iterations\":{},\"coll\":{{{}}}}},\
+             \"control_sent\":{{{}}},\"progress_iterations\":{},\
+             \"retransmits\":{},\"dup_suppressed\":{},\"gave_up\":{},\
+             \"corrupt_frames\":{},\"ctl_acks_sent\":{},\"reqs_failed\":{},\
+             \"coll\":{{{}}}}},\
              \"histograms\":{{\"match_time\":{},\"rndv_handshake\":{},\"completion_time\":{}}}}}",
             c.eager_sent,
             c.rndv_sent,
@@ -313,6 +331,12 @@ impl Metrics {
             c.chained_completions,
             control.join(","),
             c.progress_iterations,
+            c.retransmits,
+            c.dup_suppressed,
+            c.gave_up,
+            c.corrupt_frames,
+            c.ctl_acks_sent,
+            c.reqs_failed,
             coll.join(","),
             self.match_time.to_json(),
             self.rndv_handshake.to_json(),
@@ -432,12 +456,20 @@ mod tests {
         m.counters.eager_sent = 3;
         m.counters.control(0);
         m.counters.coll[CollOp::Bcast as usize] = 2;
+        m.counters.retransmits = 1;
+        m.counters.corrupt_frames = 4;
         m.match_time.record(Dur::from_ns(300));
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"eager_sent\":3"));
         assert!(j.contains("\"ack\":1"));
         assert!(j.contains("\"bcast\":2"));
+        assert!(j.contains("\"retransmits\":1"));
+        assert!(j.contains("\"dup_suppressed\":0"));
+        assert!(j.contains("\"gave_up\":0"));
+        assert!(j.contains("\"corrupt_frames\":4"));
+        assert!(j.contains("\"ctl_acks_sent\":0"));
+        assert!(j.contains("\"reqs_failed\":0"));
         assert!(j.contains("\"match_time\":{\"count\":1"));
     }
 }

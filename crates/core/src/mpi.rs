@@ -235,6 +235,26 @@ impl Mpi {
         proto::wait(&self.proc, &self.ep, req);
     }
 
+    /// Block until a request completes; returns `Err` with the MPI error
+    /// class when the stack completed it unsuccessfully (unreachable peer,
+    /// retransmissions exhausted) instead of delivering the data. The
+    /// request is reaped either way.
+    pub fn wait_result(&self, req: Request) -> Result<(), crate::state::MpiErrClass> {
+        self.ep.wait_until(&self.proc, |st| match req.kind {
+            ReqKind::Send => st.send_reqs.get(&req.id).map(|r| r.done).unwrap_or(true),
+            ReqKind::Recv => st.recv_reqs.get(&req.id).map(|r| r.done).unwrap_or(true),
+        });
+        let mut st = self.ep.state.lock();
+        let err = match req.kind {
+            ReqKind::Send => st.send_reqs.remove(&req.id).and_then(|r| r.error),
+            ReqKind::Recv => st.recv_reqs.remove(&req.id).and_then(|r| r.error),
+        };
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     /// Block until a receive completes; returns its status.
     pub fn wait_status(&self, req: Request) -> Status {
         assert_eq!(req.kind, ReqKind::Recv, "wait_status is for receives");
@@ -246,6 +266,13 @@ impl Mpi {
             .recv_reqs
             .remove(&req.id)
             .expect("request already reaped");
+        if let Some(err) = r.error {
+            panic!(
+                "wait_status on a receive that failed with {} (use wait_result \
+                 to observe request errors)",
+                err.mpi_name()
+            );
+        }
         let m = r.matched.expect("completed recv without a match");
         Status {
             source: m.src_rank as usize,

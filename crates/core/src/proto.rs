@@ -17,7 +17,10 @@ use crate::comm::Communicator;
 use crate::config::{CompletionMode, ProgressMode, RdmaScheme};
 use crate::endpoint::Endpoint;
 use crate::hdr::{Hdr, HdrType, MAX_INLINE};
-use crate::state::{DmaRole, EpState, MatchInfo, PendingDma, RecvReq, SendReq, UnexpectedFrag};
+use crate::state::{
+    DmaRole, EpState, InflightCtl, MatchInfo, MpiErrClass, PendingDma, RecvReq, SendReq,
+    UnexpectedFrag,
+};
 
 /// Payload room in one TCP frame after the 64-byte header.
 const TCP_FRAG_PAYLOAD: usize = (64 << 10) - crate::hdr::HDR_LEN;
@@ -86,17 +89,66 @@ pub fn post_send_mode(
     let dst = comm.group[dst_rank];
     ensure_peer(proc, ep, dst);
 
-    let (id, seq, peer) = {
+    let (id, seq, peer, peer_failed) = {
         let mut st = ep.state.lock();
         let id = st.alloc_req_id();
         let c = st.comms.get_mut(&comm.ctx).expect("unknown communicator");
         let seq = c.alloc_send_seq(dst_rank as u32);
         let peer = st.peers[&dst].clone();
-        (id, seq, peer)
+        let peer_failed = st.failed_peers.contains(&dst);
+        (id, seq, peer, peer_failed)
     };
 
     let eager = !sync && !ep.cfg.force_rendezvous && msg_len <= ep.tunables.eager_limit();
-    let route = first_route(ep, &peer);
+    // Graceful degradation: a send to a failed or unreachable peer completes
+    // immediately with an error status instead of panicking the rank. The
+    // ordering seq allocated above leaves a gap, which is harmless — no
+    // frame from us can reach that peer anyway.
+    let route = if peer_failed {
+        None
+    } else {
+        first_route(ep, &peer)
+    };
+    let Some(route) = route else {
+        let err = if peer_failed {
+            MpiErrClass::ProcFailed
+        } else {
+            MpiErrClass::NoTransport
+        };
+        ep.state.lock().send_reqs.insert(
+            id,
+            SendReq {
+                id,
+                ctx: comm.ctx,
+                dst,
+                dst_rank: dst_rank as u32,
+                tag,
+                seq,
+                msg_len,
+                src_e4: None,
+                src_region: buf,
+                bounce: None,
+                bytes_confirmed: 0,
+                done: true,
+                posted_at,
+                rndv_acked: false,
+                error: Some(err),
+            },
+        );
+        ep.metric(|m| m.counters.reqs_failed += 1);
+        ep.trace(
+            proc.now(),
+            crate::trace::TraceEvent::ReqFailed {
+                req: id,
+                send: true,
+                err: err.mpi_name(),
+            },
+        );
+        return Request {
+            id,
+            kind: ReqKind::Send,
+        };
+    };
 
     let mut hdr = Hdr::new(if eager {
         HdrType::Eager
@@ -149,6 +201,7 @@ pub fn post_send_mode(
                 done: true,
                 posted_at,
                 rndv_acked: false,
+                error: None,
             },
         );
         drop(st);
@@ -221,6 +274,7 @@ pub fn post_send_mode(
             done: false,
             posted_at,
             rndv_acked: false,
+            error: None,
         },
     );
     drop(st);
@@ -279,6 +333,7 @@ pub fn post_recv(
                 bytes_received: 0,
                 done: false,
                 posted_at,
+                error: None,
             },
         );
         // Check the unexpected queue before exposing the request.
@@ -423,6 +478,7 @@ pub fn test(proc: &Proc, ep: &Arc<Endpoint>, req: Request) -> bool {
 /// true if any work was done.
 pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
     crate::introspect::watchdog_tick(proc, ep);
+    reliability_tick(proc, ep);
     ep.metric(|m| m.counters.progress_iterations += 1);
     let mut any = false;
     if let Some(q) = &ep.main_q {
@@ -471,7 +527,19 @@ pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
 /// Handle one incoming frame (from any queue or the TCP inbox).
 pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
     proc.advance(ep.cfg.host.hdr_parse);
-    let hdr = Hdr::from_bytes(&frame);
+    // A frame that fails header validation is counted and dropped, never
+    // panicked on: one corrupt frame must not take the rank down.
+    let hdr = match Hdr::decode(&frame) {
+        Ok(h) => h,
+        Err(_) => {
+            ep.metric(|m| m.counters.corrupt_frames += 1);
+            ep.trace(
+                proc.now(),
+                crate::trace::TraceEvent::CorruptFrame { len: frame.len() },
+            );
+            return;
+        }
+    };
     let payload = frame[crate::hdr::HDR_LEN..].to_vec();
     debug_assert_eq!(payload.len(), hdr.payload_len as usize);
     if ep.cfg.integrity_check && !payload.is_empty() {
@@ -485,6 +553,35 @@ pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
                  (expected {:#06x}, computed {got:#06x})",
                 hdr.kind, hdr.src_rank, hdr.checksum
             );
+        }
+    }
+
+    // Receive side of the TCP reliability layer: a sequence-stamped control
+    // frame is receipted (always — the previous receipt may itself have been
+    // lost) and then deduplicated, making redelivery idempotent before any
+    // handler can double-credit or double-complete.
+    if ep.cfg.tcp_reliability && control_idx(hdr.kind).is_some() && hdr.tag != 0 {
+        let origin = ProcName {
+            job: ompi_rte::JobId(hdr.ctx),
+            rank: hdr.src_rank as usize,
+        };
+        let rel_seq = hdr.tag as u32;
+        ensure_peer(proc, ep, origin);
+        send_ctl_ack(proc, ep, origin, rel_seq);
+        let duplicate = {
+            let mut st = ep.state.lock();
+            !st.ctl_seen.entry(origin).or_default().insert(rel_seq)
+        };
+        if duplicate {
+            ep.metric(|m| m.counters.dup_suppressed += 1);
+            ep.trace(
+                proc.now(),
+                crate::trace::TraceEvent::CtlDuplicate {
+                    kind: hdr.kind.name(),
+                    rel_seq,
+                },
+            );
+            return;
         }
     }
 
@@ -512,6 +609,8 @@ pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
                 dma_done(proc, ep, p.token, p.role);
             }
         }
+        HdrType::CtlAck => handle_ctl_ack(proc, ep, hdr),
+        HdrType::Nack => handle_nack(proc, ep, hdr),
     }
 }
 
@@ -677,7 +776,14 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     };
     proc.advance(ep.cfg.host.sched);
     let remainder = msg_len - inline_len;
-    let (elan_share, tcp_share) = plan_remainder(ep, &peer, remainder);
+    let Some((elan_share, tcp_share)) = plan_remainder(ep, &peer, remainder) else {
+        // No transport can carry the remainder: the receive completes with
+        // an error status and the sender is told (best effort) to give up
+        // on its request too, instead of panicking either rank.
+        send_nack(proc, ep, &peer, hdr.send_req, 0, MpiErrClass::NoTransport);
+        fail_request(proc, ep, ReqKind::Recv, rid, MpiErrClass::NoTransport);
+        return;
+    };
     let pull_elan = ep.cfg.scheme == RdmaScheme::Read && elan_share > 0;
 
     // Expose the destination region when RDMA will land data here.
@@ -722,15 +828,16 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                     make_fin_ack(hdr.send_req, credit),
                 );
                 ep.metric(|m| m.counters.rdma_read_batches += 1);
-            } else {
+            } else if let Some(route) = first_route(ep, &peer) {
                 // Nothing to pull: acknowledge the rendezvous (and the
-                // inline bytes) immediately.
+                // inline bytes) immediately. An unroutable peer just means
+                // the FIN_ACK stays unsent; its side degrades on timeout.
                 proc.advance(ep.cfg.host.hdr_build);
                 send_frame(
                     proc,
                     ep,
                     &peer,
-                    first_route(ep, &peer),
+                    route,
                     make_fin_ack(hdr.send_req, inline_len),
                     Vec::new(),
                 );
@@ -765,12 +872,14 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                 ack.e4_va = e4.value();
                 ack.e4_vpid = e4.owner().raw();
             }
-            proc.advance(ep.cfg.host.hdr_build);
-            send_frame(proc, ep, &peer, first_route(ep, &peer), ack, Vec::new());
-            ep.trace(
-                proc.now(),
-                crate::trace::TraceEvent::ControlSent { kind: "Ack" },
-            );
+            if let Some(route) = first_route(ep, &peer) {
+                proc.advance(ep.cfg.host.hdr_build);
+                send_frame(proc, ep, &peer, route, ack, Vec::new());
+                ep.trace(
+                    proc.now(),
+                    crate::trace::TraceEvent::ControlSent { kind: "Ack" },
+                );
+            }
         }
     }
     maybe_complete_recv(proc, ep, rid);
@@ -818,7 +927,16 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
             // In the read scheme the receiver pulls the Elan share itself;
             // an ACK only ever covers the TCP share.
             RdmaScheme::Read => (0, range_len),
-            RdmaScheme::Write => plan_remainder(ep, &peer, range_len),
+            RdmaScheme::Write => match plan_remainder(ep, &peer, range_len) {
+                Some(split) => split,
+                None => {
+                    // No transport for the bulk bytes: degrade both sides
+                    // instead of panicking.
+                    send_nack(proc, ep, &peer, 0, hdr.recv_req, MpiErrClass::NoTransport);
+                    fail_request(proc, ep, ReqKind::Send, sid, MpiErrClass::NoTransport);
+                    return;
+                }
+            },
         };
         if elan_share > 0 {
             let dst_e4 = E4Addr::from_raw(Vpid(hdr.e4_vpid), hdr.e4_va);
@@ -909,8 +1027,10 @@ fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
                     let st = ep.state.lock();
                     st.peers[&to].clone()
                 };
-                proc.advance(ep.cfg.host.hdr_build);
-                send_frame(proc, ep, &peer, first_route(ep, &peer), hdr, Vec::new());
+                if let Some(route) = first_route(ep, &peer) {
+                    proc.advance(ep.cfg.host.hdr_build);
+                    send_frame(proc, ep, &peer, route, hdr, Vec::new());
+                }
             }
             credit_recv(proc, ep, recv_req, bytes);
         }
@@ -924,8 +1044,10 @@ fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
                     let st = ep.state.lock();
                     st.peers[&to].clone()
                 };
-                proc.advance(ep.cfg.host.hdr_build);
-                send_frame(proc, ep, &peer, first_route(ep, &peer), hdr, Vec::new());
+                if let Some(route) = first_route(ep, &peer) {
+                    proc.advance(ep.cfg.host.hdr_build);
+                    send_frame(proc, ep, &peer, route, hdr, Vec::new());
+                }
             }
             credit_send(proc, ep, send_req, bytes);
         }
@@ -1104,20 +1226,22 @@ fn notify_waiters(proc: &Proc, ep: &Arc<Endpoint>) {
 
 /// Pick the first-fragment transport: the lowest-latency *active*
 /// component that can reach the peer (paper §2.1's first heuristic).
-fn first_route(ep: &Arc<Endpoint>, peer: &crate::peer::PeerInfo) -> Route {
+/// `None` when no common transport exists — the caller degrades the
+/// request to an error completion instead of panicking the rank.
+fn first_route(ep: &Arc<Endpoint>, peer: &crate::peer::PeerInfo) -> Option<Route> {
     let reg = ep.ptls.lock();
     let mut candidates: Vec<&crate::ptl::PtlInfo> = reg.active().collect();
     candidates.sort_by_key(|i| i.latency_rank);
     for info in candidates {
         match info.kind {
             crate::ptl::PtlKind::Elan4 { rail } if peer.elan.is_some() => {
-                return Route::Elan { rail };
+                return Some(Route::Elan { rail });
             }
-            crate::ptl::PtlKind::Tcp if peer.tcp.is_some() => return Route::Tcp,
+            crate::ptl::PtlKind::Tcp if peer.tcp.is_some() => return Some(Route::Tcp),
             _ => {}
         }
     }
-    panic!("no common transport with peer {:?}", peer.name);
+    None
 }
 
 fn send_frame(
@@ -1132,6 +1256,24 @@ fn send_frame(
     if ep.cfg.integrity_check && !payload.is_empty() {
         hdr.checksum = crate::hdr::fletcher16(&payload);
         proc.advance(checksum_cost(payload.len()));
+    }
+    // Sequence-stamp TCP-routed control frames (the reliability layer):
+    // the per-peer rel_seq rides the tag bytes — unused by every control
+    // handler — and the origin identity rides ctx/src_rank so the receiver
+    // can receipt and deduplicate. Elan-routed control frames ride reliable
+    // hardware and stay unstamped (tag 0).
+    let reliable =
+        matches!(route, Route::Tcp) && ep.cfg.tcp_reliability && control_idx(hdr.kind).is_some();
+    if reliable {
+        let rel_seq = {
+            let mut st = ep.state.lock();
+            let e = st.ctl_next_seq.entry(peer.name).or_insert(0);
+            *e += 1;
+            *e
+        };
+        hdr.tag = rel_seq as i32;
+        hdr.ctx = ep.name.job.0;
+        hdr.src_rank = ep.name.rank as u32;
     }
     let frame = hdr.frame(&payload);
     if ep.tunables.metrics() {
@@ -1152,6 +1294,28 @@ fn send_frame(
             ep.ectx.qdma(proc, rail, e.vpid, e.main_q, frame, None);
         }
         Route::Tcp => {
+            if reliable {
+                let rel_seq = hdr.tag as u32;
+                let timeout = ep.tunables.retransmit_timeout();
+                let deadline = proc.now() + timeout;
+                ep.state.lock().ctl_inflight.push(InflightCtl {
+                    peer: peer.name,
+                    rel_seq,
+                    kind: hdr.kind,
+                    frame: frame.clone(),
+                    attempts: 0,
+                    timeout,
+                    deadline,
+                });
+                ep.trace(
+                    proc.now(),
+                    crate::trace::TraceEvent::SpanBegin {
+                        id: rel_span_id(peer.name, rel_seq),
+                        cat: "rel",
+                        name: "ctl_inflight",
+                    },
+                );
+            }
             let net = ep.tcp_net.as_ref().expect("tcp not enabled");
             net.send(proc, ep.cluster.cfg(), ep.node, peer.name, frame);
         }
@@ -1160,8 +1324,16 @@ fn send_frame(
 
 /// Split `len` bulk bytes between the RDMA-capable components (Elan rails)
 /// and the push components (TCP) by their registered bandwidth weights
-/// (paper §2.1's second heuristic).
-fn plan_remainder(ep: &Arc<Endpoint>, peer: &crate::peer::PeerInfo, len: usize) -> (usize, usize) {
+/// (paper §2.1's second heuristic). `None` when no transport can carry the
+/// bulk bytes — the caller degrades the request instead of panicking.
+fn plan_remainder(
+    ep: &Arc<Endpoint>,
+    peer: &crate::peer::PeerInfo,
+    len: usize,
+) -> Option<(usize, usize)> {
+    if len == 0 {
+        return Some((0, 0));
+    }
     let reg = ep.ptls.lock();
     let ew = if peer.elan.is_some() {
         reg.rdma_weight()
@@ -1174,13 +1346,13 @@ fn plan_remainder(ep: &Arc<Endpoint>, peer: &crate::peer::PeerInfo, len: usize) 
         0
     };
     match (ew > 0, tw > 0) {
-        (true, false) => (len, 0),
-        (false, true) => (0, len),
+        (true, false) => Some((len, 0)),
+        (false, true) => Some((0, len)),
         (true, true) => {
             let elan = (len as u64 * ew / (ew + tw)) as usize;
-            (elan, len - elan)
+            Some((elan, len - elan))
         }
-        (false, false) => panic!("no transport for bulk data"),
+        (false, false) => None,
     }
 }
 
@@ -1198,9 +1370,9 @@ fn issue_rdma(
     mut role: DmaRole,
     control: Hdr,
 ) {
-    let rails = ep.transports.elan_rails.max(1);
+    let rails = ep.transports.elan_rails;
     let chunks = rail_chunks(len, rails);
-    let nchunks = chunks.iter().filter(|c| c.1 > 0).count().max(1) as u32;
+    let nchunks = chunks.len().max(1) as u32;
 
     let event = Arc::new(ep.ectx.event_create(nchunks));
     let e_peer = peer.elan.as_ref().expect("rdma to a peer without elan");
@@ -1297,11 +1469,9 @@ fn issue_rdma(
             name: "rdma_burst",
         },
     );
-    // Fire the descriptors, striped across rails.
+    // Fire the descriptors, striped across rails (rail_chunks never emits
+    // zero-length chunks).
     for (rail, (off, chunk_len)) in chunks.into_iter().enumerate() {
-        if chunk_len == 0 {
-            continue;
-        }
         ep.ectx.rdma(
             proc,
             rail,
@@ -1314,14 +1484,20 @@ fn issue_rdma(
     }
 }
 
-/// Split `len` into per-rail `(offset, len)` chunks.
+/// Split `len` into per-rail `(offset, len)` chunks. Zero-length chunks are
+/// omitted (no zero-byte RDMA descriptors when `len < rails`), and
+/// `rails == 0` is treated as a single rail rather than dividing by zero.
 fn rail_chunks(len: usize, rails: usize) -> Vec<(usize, usize)> {
+    let rails = rails.max(1);
     let base = len / rails;
     let extra = len % rails;
     let mut out = Vec::with_capacity(rails);
     let mut off = 0;
     for r in 0..rails {
         let l = base + usize::from(r < extra);
+        if l == 0 {
+            continue;
+        }
         out.push((off, l));
         off += l;
     }
@@ -1344,6 +1520,295 @@ fn make_fin_ack(send_req: u64, credit: usize) -> Hdr {
     h.send_req = send_req;
     h.offset = credit as u64;
     h
+}
+
+// ---------------------------------------------------------------------------
+// TCP control-frame reliability
+// ---------------------------------------------------------------------------
+
+/// Trace-span id of one retransmit-buffer entry, unique per (peer, seq).
+fn rel_span_id(peer: ProcName, rel_seq: u32) -> u64 {
+    ((peer.job.0 as u64) << 48) | ((peer.rank as u64) << 32) | rel_seq as u64
+}
+
+/// Wire code of an error class carried in a NACK's `seq` field.
+fn err_code(err: MpiErrClass) -> u32 {
+    match err {
+        MpiErrClass::ProcFailed => 0,
+        MpiErrClass::NoTransport => 1,
+    }
+}
+
+fn err_from_code(code: u32) -> MpiErrClass {
+    if code == 1 {
+        MpiErrClass::NoTransport
+    } else {
+        MpiErrClass::ProcFailed
+    }
+}
+
+/// Receipt for a sequence-stamped control frame. Itself unreliable by
+/// design: if it is lost, the peer retransmits and the duplicate triggers a
+/// fresh receipt here.
+fn send_ctl_ack(proc: &Proc, ep: &Arc<Endpoint>, origin: ProcName, rel_seq: u32) {
+    let peer = {
+        let st = ep.state.lock();
+        st.peers[&origin].clone()
+    };
+    let mut h = Hdr::new(HdrType::CtlAck);
+    h.ctx = ep.name.job.0;
+    h.src_rank = ep.name.rank as u32;
+    h.seq = rel_seq;
+    proc.advance(ep.cfg.host.hdr_build);
+    send_frame(proc, ep, &peer, Route::Tcp, h, Vec::new());
+    ep.metric(|m| m.counters.ctl_acks_sent += 1);
+}
+
+/// The peer receipted one of our stamped control frames: retire its
+/// retransmit-buffer entry.
+fn handle_ctl_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
+    let from = ProcName {
+        job: ompi_rte::JobId(hdr.ctx),
+        rank: hdr.src_rank as usize,
+    };
+    let rel_seq = hdr.seq;
+    let retired = {
+        let mut st = ep.state.lock();
+        st.ctl_inflight
+            .iter()
+            .position(|e| e.peer == from && e.rel_seq == rel_seq)
+            .map(|i| st.ctl_inflight.remove(i))
+    };
+    if retired.is_some() {
+        ep.trace(
+            proc.now(),
+            crate::trace::TraceEvent::SpanEnd {
+                id: rel_span_id(from, rel_seq),
+                cat: "rel",
+                name: "ctl_inflight",
+            },
+        );
+        // Finalize waits for the retransmit buffer to drain.
+        notify_waiters(proc, ep);
+    }
+}
+
+/// Best-effort failure notice from a peer that gave up retransmitting a
+/// control frame naming one of our requests: complete it with an error
+/// status instead of leaving it to stall.
+fn handle_nack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
+    let err = err_from_code(hdr.seq);
+    if hdr.send_req != 0 {
+        fail_request(proc, ep, ReqKind::Send, hdr.send_req, err);
+    }
+    if hdr.recv_req != 0 {
+        fail_request(proc, ep, ReqKind::Recv, hdr.recv_req, err);
+    }
+}
+
+/// Send a best-effort NACK naming the *peer-owned* request tokens in
+/// `send_req` / `recv_req` (zero = not named). Unreliable and unstamped.
+fn send_nack(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    peer: &crate::peer::PeerInfo,
+    send_req: u64,
+    recv_req: u64,
+    err: MpiErrClass,
+) {
+    let Some(route) = first_route(ep, peer) else {
+        return;
+    };
+    let mut h = Hdr::new(HdrType::Nack);
+    h.ctx = ep.name.job.0;
+    h.src_rank = ep.name.rank as u32;
+    h.send_req = send_req;
+    h.recv_req = recv_req;
+    h.seq = err_code(err);
+    proc.advance(ep.cfg.host.hdr_build);
+    send_frame(proc, ep, peer, route, h, Vec::new());
+}
+
+/// Complete a request with an MPI-style error status: the graceful-
+/// degradation path for exhausted retries, NACKed requests, and unroutable
+/// peers. Mirrors the completion path (resource release, telemetry,
+/// waiter wakeup) with `error` set instead of a delivered payload.
+pub(crate) fn fail_request(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    kind: ReqKind,
+    id: u64,
+    err: MpiErrClass,
+) {
+    let cleanup = {
+        let mut st = ep.state.lock();
+        match kind {
+            ReqKind::Send => st.send_reqs.get_mut(&id).and_then(|r| {
+                if r.done {
+                    None
+                } else {
+                    r.done = true;
+                    r.error = Some(err);
+                    Some((r.src_e4.take(), r.bounce.take()))
+                }
+            }),
+            ReqKind::Recv => st.recv_reqs.get_mut(&id).and_then(|r| {
+                if r.done {
+                    None
+                } else {
+                    r.done = true;
+                    r.error = Some(err);
+                    Some((r.dst_e4.take(), r.bounce.take()))
+                }
+            }),
+        }
+    };
+    let Some((e4, bounce)) = cleanup else { return };
+    if let Some(e4) = e4 {
+        ep.ectx.unmap(e4);
+    }
+    if let Some(b) = bounce {
+        ep.free(b);
+    }
+    ep.metric(|m| m.counters.reqs_failed += 1);
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::ReqFailed {
+            req: id,
+            send: kind == ReqKind::Send,
+            err: err.mpi_name(),
+        },
+    );
+    notify_waiters(proc, ep);
+}
+
+/// Scan the retransmit buffer: re-send entries whose timeout expired (with
+/// exponential backoff) and give up on entries whose retries are exhausted,
+/// degrading the affected requests to error completions. Driven from every
+/// progress pass and from bounded-wait expiries.
+pub(crate) fn reliability_tick(proc: &Proc, ep: &Arc<Endpoint>) {
+    if !ep.cfg.tcp_reliability {
+        return;
+    }
+    let now = proc.now();
+    let max_retries = ep.tunables.retransmit_max_retries();
+    let backoff = ep.tunables.retransmit_backoff().max(1) as u64;
+    let mut resends: Vec<(ProcName, Vec<u8>, HdrType, u32, u32)> = Vec::new();
+    let mut abandoned: Vec<InflightCtl> = Vec::new();
+    {
+        let mut st = ep.state.lock();
+        if st.ctl_inflight.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < st.ctl_inflight.len() {
+            if st.ctl_inflight[i].deadline > now {
+                i += 1;
+                continue;
+            }
+            if st.ctl_inflight[i].attempts >= max_retries {
+                let e = st.ctl_inflight.remove(i);
+                st.failed_peers.insert(e.peer);
+                abandoned.push(e);
+            } else {
+                let e = &mut st.ctl_inflight[i];
+                e.attempts += 1;
+                e.timeout = e.timeout * backoff;
+                e.deadline = now + e.timeout;
+                resends.push((e.peer, e.frame.clone(), e.kind, e.rel_seq, e.attempts));
+                i += 1;
+            }
+        }
+    }
+    for (to, frame, kind, rel_seq, attempt) in resends {
+        ep.metric(|m| m.counters.retransmits += 1);
+        ep.trace(
+            proc.now(),
+            crate::trace::TraceEvent::CtlRetransmit {
+                kind: kind.name(),
+                rel_seq,
+                attempt,
+            },
+        );
+        if let Some(net) = &ep.tcp_net {
+            net.send(proc, ep.cluster.cfg(), ep.node, to, frame);
+        }
+    }
+    for e in abandoned {
+        give_up_on(proc, ep, e);
+    }
+}
+
+/// Retries exhausted on one stamped control frame: the peer is now
+/// considered failed. Tell it (best effort) which of *its* requests will
+/// never complete, then degrade every live local request bound to it.
+fn give_up_on(proc: &Proc, ep: &Arc<Endpoint>, e: InflightCtl) {
+    ep.metric(|m| m.counters.gave_up += 1);
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::CtlGaveUp {
+            kind: e.kind.name(),
+            rel_seq: e.rel_seq,
+        },
+    );
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SpanEnd {
+            id: rel_span_id(e.peer, e.rel_seq),
+            cat: "rel",
+            name: "ctl_inflight",
+        },
+    );
+    // Request tokens are per-endpoint counters, so the NACK names only the
+    // ids the *peer* owns, recovered from the abandoned frame itself.
+    let (peer_send_req, peer_recv_req, peer) = {
+        let st = ep.state.lock();
+        let orig = Hdr::decode(&e.frame).ok();
+        let (s, r) = match (e.kind, &orig) {
+            (HdrType::Ack | HdrType::FinAck, Some(h)) => (h.send_req, 0),
+            (HdrType::Fin, Some(h)) => (0, h.recv_req),
+            _ => (0, 0),
+        };
+        (s, r, st.peers.get(&e.peer).cloned())
+    };
+    if let Some(peer) = &peer {
+        if peer_send_req != 0 || peer_recv_req != 0 {
+            send_nack(
+                proc,
+                ep,
+                peer,
+                peer_send_req,
+                peer_recv_req,
+                MpiErrClass::ProcFailed,
+            );
+        }
+    }
+    // Degrade every live local request bound to the failed peer.
+    let (sends, recvs) = {
+        let st = ep.state.lock();
+        let sends: Vec<u64> = st
+            .send_reqs
+            .values()
+            .filter(|r| !r.done && r.dst == e.peer)
+            .map(|r| r.id)
+            .collect();
+        let recvs: Vec<u64> = st
+            .recv_reqs
+            .values()
+            .filter(|r| !r.done && r.matched.as_ref().map(|m| m.src == e.peer).unwrap_or(false))
+            .map(|r| r.id)
+            .collect();
+        (sends, recvs)
+    };
+    for id in sends {
+        fail_request(proc, ep, ReqKind::Send, id, MpiErrClass::ProcFailed);
+    }
+    for id in recvs {
+        fail_request(proc, ep, ReqKind::Recv, id, MpiErrClass::ProcFailed);
+    }
+    // The retransmit buffer shrank even if no request was degraded:
+    // finalize may now be able to proceed.
+    notify_waiters(proc, ep);
 }
 
 // ---------------------------------------------------------------------------
@@ -1407,5 +1872,68 @@ fn ensure_peer(proc: &Proc, ep: &Arc<Endpoint>, who: ProcName) {
         let raw = ep.rte.modex_get(proc, who, "ptl");
         let info = crate::peer::PeerInfo::from_bytes(&raw);
         ep.state.lock().peers.insert(who, info);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rail_chunks_covers_len_without_empty_chunks() {
+        for (len, rails) in [
+            (0usize, 1usize),
+            (1, 4),
+            (3, 4),
+            (4, 4),
+            (5, 4),
+            (64 << 10, 3),
+        ] {
+            let chunks = rail_chunks(len, rails);
+            assert!(
+                chunks.iter().all(|c| c.1 > 0),
+                "empty chunk for len={len} rails={rails}"
+            );
+            let total: usize = chunks.iter().map(|c| c.1).sum();
+            assert_eq!(total, len, "bytes lost for len={len} rails={rails}");
+            // Chunks are contiguous and in order.
+            let mut off = 0;
+            for (o, l) in chunks {
+                assert_eq!(o, off);
+                off += l;
+            }
+        }
+    }
+
+    #[test]
+    fn rail_chunks_zero_rails_does_not_divide_by_zero() {
+        assert_eq!(rail_chunks(10, 0), vec![(0, 10)]);
+        assert_eq!(rail_chunks(0, 0), Vec::<(usize, usize)>::new());
+    }
+
+    #[test]
+    fn rail_chunks_fewer_bytes_than_rails_skips_idle_rails() {
+        assert_eq!(rail_chunks(2, 4), vec![(0, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn rel_span_ids_distinct_across_peers_and_seqs() {
+        let a = ProcName {
+            job: ompi_rte::JobId(0),
+            rank: 1,
+        };
+        let b = ProcName {
+            job: ompi_rte::JobId(0),
+            rank: 2,
+        };
+        assert_ne!(rel_span_id(a, 1), rel_span_id(b, 1));
+        assert_ne!(rel_span_id(a, 1), rel_span_id(a, 2));
+    }
+
+    #[test]
+    fn nack_error_codes_roundtrip() {
+        for err in [MpiErrClass::ProcFailed, MpiErrClass::NoTransport] {
+            assert_eq!(err_from_code(err_code(err)), err);
+        }
     }
 }

@@ -93,10 +93,17 @@ struct TcpNetInner {
     rx_free: Vec<Time>,
     stats: TcpNetStats,
     drop_rule: Option<DropRule>,
+    dup_rule: Option<DupRule>,
 }
 
 /// Armed fault injection: vanish frames of one kind off the wire.
 struct DropRule {
+    kind: u8,
+    remaining: u64,
+}
+
+/// Armed fault injection: deliver frames of one kind twice.
+struct DupRule {
     kind: u8,
     remaining: u64,
 }
@@ -113,6 +120,9 @@ pub struct TcpNetStats {
     /// Frames silently discarded by armed fault injection
     /// ([`TcpNet::inject_drop`]).
     pub frames_injected: u64,
+    /// Frames delivered twice by armed fault injection
+    /// ([`TcpNet::inject_dup`]).
+    pub frames_duplicated: u64,
 }
 
 /// The shared Ethernet.
@@ -132,6 +142,7 @@ impl TcpNet {
                 rx_free: vec![Time::ZERO; nodes],
                 stats: TcpNetStats::default(),
                 drop_rule: None,
+                dup_rule: None,
             }),
         })
     }
@@ -162,6 +173,16 @@ impl TcpNet {
     /// exactly the loss a stall-diagnostics test needs, with no randomness.
     pub fn inject_drop(&self, kind: crate::hdr::HdrType, count: u64) {
         self.inner.lock().drop_rule = Some(DropRule {
+            kind: kind as u8,
+            remaining: count,
+        });
+    }
+
+    /// Arm deterministic duplication: the next `count` frames whose header
+    /// kind equals `kind` are delivered twice, one wire latency apart — the
+    /// redelivery a duplicate-suppression test needs, with no randomness.
+    pub fn inject_dup(&self, kind: crate::hdr::HdrType, count: u64) {
+        self.inner.lock().dup_rule = Some(DupRule {
             kind: kind as u8,
             remaining: count,
         });
@@ -209,23 +230,38 @@ impl TcpNet {
         };
         let now = proc.now();
         let ser = Dur::for_bytes(frame.len(), self.cfg.bytes_per_us);
-        let delivered = {
+        let (delivered, copies) = {
             let mut inner = self.inner.lock();
             inner.stats.frames_sent += 1;
             inner.stats.bytes_sent += frame.len() as u64;
+            let mut copies = 1u64;
+            if let Some(rule) = &mut inner.dup_rule {
+                if rule.remaining > 0 && frame.first() == Some(&rule.kind) {
+                    rule.remaining -= 1;
+                    inner.stats.frames_duplicated += 1;
+                    copies = 2;
+                }
+            }
             let start = now.max(inner.tx_free[src_node]);
             inner.tx_free[src_node] = start + ser;
             let arr = (start + self.cfg.wire_latency).max(inner.rx_free[dst_node]);
             let done = arr + ser;
             inner.rx_free[dst_node] = done;
-            done
+            (done, copies)
         };
-        proc.sim().call_at(delivered, move |s| {
-            inbox.deliver(frame);
-            if let Some(d) = inbox.doorbell.lock().clone() {
-                d.notify(s);
-            }
-        });
+        for i in 0..copies {
+            let inbox = inbox.clone();
+            let frame = frame.clone();
+            // A duplicated frame re-arrives one wire latency after the
+            // original, as a retransmitted segment would.
+            proc.sim()
+                .call_at(delivered + self.cfg.wire_latency * i, move |s| {
+                    inbox.deliver(frame);
+                    if let Some(d) = inbox.doorbell.lock().clone() {
+                        d.notify(s);
+                    }
+                });
+        }
     }
 }
 
@@ -375,6 +411,57 @@ mod tests {
         sim.run().unwrap();
         assert_eq!(*got.lock(), vec![1, crate::hdr::HdrType::FinAck as u8]);
         assert_eq!(net.stats().frames_injected, 1);
+        assert_eq!(net.stats().frames_sent, 2);
+    }
+
+    #[test]
+    fn injected_dup_delivers_matching_kind_twice() {
+        let net = TcpNet::new(TcpConfig::default(), 2);
+        let sim = Simulation::new();
+        let b = ProcName {
+            job: ompi_rte::JobId(0),
+            rank: 1,
+        };
+        let inbox = TcpInbox::new();
+        net.bind(b, 1, inbox.clone());
+        net.inject_dup(crate::hdr::HdrType::FinAck, 1);
+        let got = Arc::new(Mutex::new(Vec::new()));
+        {
+            let got = got.clone();
+            let inbox = inbox.clone();
+            sim.spawn("rx", move |p| {
+                let sig = p.signal();
+                inbox.set_doorbell(sig.clone());
+                let mut n = 0;
+                while n < 3 {
+                    match inbox.pop() {
+                        Some(f) => {
+                            got.lock().push(f[0]);
+                            n += 1;
+                        }
+                        None => {
+                            p.wait(&sig).expect_signaled();
+                        }
+                    }
+                }
+            });
+        }
+        {
+            let net = net.clone();
+            sim.spawn("tx", move |p| {
+                let fin_ack = crate::hdr::HdrType::FinAck as u8;
+                // The FIN_ACK arrives twice; the eager frame once; the rule
+                // is exhausted after the first match.
+                net.send(&p, &NicConfig::default(), 0, b, vec![fin_ack; 16]);
+                net.send(&p, &NicConfig::default(), 0, b, vec![1u8; 16]);
+            });
+        }
+        sim.run().unwrap();
+        let mut seen = got.lock().clone();
+        seen.sort_unstable();
+        let fin_ack = crate::hdr::HdrType::FinAck as u8;
+        assert_eq!(seen, vec![1, fin_ack, fin_ack]);
+        assert_eq!(net.stats().frames_duplicated, 1);
         assert_eq!(net.stats().frames_sent, 2);
     }
 

@@ -4,20 +4,61 @@
 //! virtual time is consumed at this layer (costs are charged by the caller
 //! from the [`crate::config::HostConfig`] model).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use elan4::E4Addr;
 use ompi_datatype::Convertor;
 use ompi_rte::ProcName;
-use qsim::{Signal, Time};
+use qsim::{Dur, Signal, Time};
 
-use crate::hdr::Hdr;
+use crate::hdr::{Hdr, HdrType};
 use crate::peer::PeerInfo;
 
 /// MPI_ANY_SOURCE.
 pub const ANY_SOURCE: i32 = -1;
 /// MPI_ANY_TAG.
 pub const ANY_TAG: i32 = -0x7fff_fff0;
+
+/// MPI-style error class a request completes with when the protocol gives
+/// up on it instead of panicking the rank (graceful degradation).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum MpiErrClass {
+    /// The peer stopped acknowledging control frames: retransmission retries
+    /// were exhausted (or the peer was already marked failed).
+    ProcFailed,
+    /// No active transport can reach the peer (or carry its bulk data).
+    NoTransport,
+}
+
+impl MpiErrClass {
+    /// The corresponding MPI error-class name.
+    pub fn mpi_name(self) -> &'static str {
+        match self {
+            MpiErrClass::ProcFailed => "MPI_ERR_PROC_FAILED",
+            MpiErrClass::NoTransport => "MPI_ERR_UNREACHABLE",
+        }
+    }
+}
+
+/// One sequence-stamped control frame awaiting its [`HdrType::CtlAck`]
+/// receipt: the retransmit buffer entry of the TCP reliability layer.
+pub struct InflightCtl {
+    /// The peer the frame was sent to.
+    pub peer: ProcName,
+    /// Reliability sequence number stamped on the frame (per-peer, 1-based).
+    pub rel_seq: u32,
+    /// Control kind, for counters and diagnostics.
+    pub kind: HdrType,
+    /// The exact frame bytes, re-sent verbatim on timeout.
+    pub frame: Vec<u8>,
+    /// Retransmissions performed so far.
+    pub attempts: u32,
+    /// Current timeout (doubles — or whatever the backoff multiplier says —
+    /// after each retransmission).
+    pub timeout: Dur,
+    /// Virtual time at which the entry times out next.
+    pub deadline: Time,
+}
 
 /// A send request in flight.
 pub struct SendReq {
@@ -52,6 +93,9 @@ pub struct SendReq {
     /// Rendezvous only: the receiver has been heard from at least once
     /// (first ACK or FIN_ACK closes the handshake histogram sample).
     pub rndv_acked: bool,
+    /// Error class the request completed with, if the protocol gave up on
+    /// it (`done` is also set; the payload outcome is undefined).
+    pub error: Option<MpiErrClass>,
 }
 
 /// A receive request.
@@ -80,6 +124,9 @@ pub struct RecvReq {
     pub done: bool,
     /// Virtual time the request was posted (telemetry).
     pub posted_at: Time,
+    /// Error class the request completed with, if the protocol gave up on
+    /// it (`done` is also set; the payload outcome is undefined).
+    pub error: Option<MpiErrClass>,
 }
 
 /// What a receive matched against.
@@ -262,6 +309,18 @@ pub struct EpState {
     /// Match-class frames that arrived for a communicator this rank has not
     /// registered yet; re-dispatched at registration.
     pub early_frames: Vec<(Hdr, Vec<u8>)>,
+    /// Next reliability sequence number per peer (1-based; 0 on the wire
+    /// means "not sequence-stamped").
+    pub ctl_next_seq: HashMap<ProcName, u32>,
+    /// Sequence-stamped control frames not yet receipted by their peer; the
+    /// retransmit buffer. Scanned by `reliability_tick`.
+    pub ctl_inflight: Vec<InflightCtl>,
+    /// Reliability sequence numbers already processed, per origin peer:
+    /// duplicate-suppression state making redelivered frames idempotent.
+    pub ctl_seen: HashMap<ProcName, HashSet<u32>>,
+    /// Peers declared failed after retransmission retries were exhausted.
+    /// New sends to them error out immediately.
+    pub failed_peers: HashSet<ProcName>,
 }
 
 impl EpState {
@@ -278,6 +337,10 @@ impl EpState {
             finalizing: false,
             waiters: Vec::new(),
             early_frames: Vec::new(),
+            ctl_next_seq: HashMap::new(),
+            ctl_inflight: Vec::new(),
+            ctl_seen: HashMap::new(),
+            failed_peers: HashSet::new(),
         }
     }
 
@@ -411,6 +474,7 @@ mod tests {
                 bytes_received: 0,
                 done: false,
                 posted_at: Time::ZERO,
+                error: None,
             },
         );
         st.comms.get_mut(&0).unwrap().posted.push(id);

@@ -84,6 +84,43 @@ pub enum TraceEvent {
         /// Send (true) or receive (false).
         send: bool,
     },
+    /// The reliability layer re-sent an unacknowledged control frame.
+    CtlRetransmit {
+        /// Control kind name (`"Ack"`, `"Fin"`, `"FinAck"`, `"Completion"`).
+        kind: &'static str,
+        /// Reliability sequence number of the frame.
+        rel_seq: u32,
+        /// Retransmission attempt number (1 = first re-send).
+        attempt: u32,
+    },
+    /// A redelivered control frame was suppressed as a duplicate.
+    CtlDuplicate {
+        /// Control kind name.
+        kind: &'static str,
+        /// Reliability sequence number of the duplicate.
+        rel_seq: u32,
+    },
+    /// Retransmission retries were exhausted; the peer is now marked failed.
+    CtlGaveUp {
+        /// Control kind name.
+        kind: &'static str,
+        /// Reliability sequence number of the abandoned frame.
+        rel_seq: u32,
+    },
+    /// A request completed with an error status instead of a payload.
+    ReqFailed {
+        /// The request id.
+        req: u64,
+        /// Send (true) or receive (false).
+        send: bool,
+        /// MPI error-class name.
+        err: &'static str,
+    },
+    /// An incoming frame was dropped because its header failed to decode.
+    CorruptFrame {
+        /// Raw frame length in bytes.
+        len: usize,
+    },
     /// A multi-event interval opened (rendezvous handshake, RDMA burst).
     SpanBegin {
         /// Correlates with the matching [`TraceEvent::SpanEnd`]. Unique per
@@ -117,6 +154,11 @@ impl TraceEvent {
             TraceEvent::DmaDone { .. } => "dma_done",
             TraceEvent::ControlSent { .. } => "control_sent",
             TraceEvent::Completed { .. } => "completed",
+            TraceEvent::CtlRetransmit { .. } => "ctl_retransmit",
+            TraceEvent::CtlDuplicate { .. } => "ctl_duplicate",
+            TraceEvent::CtlGaveUp { .. } => "ctl_gave_up",
+            TraceEvent::ReqFailed { .. } => "req_failed",
+            TraceEvent::CorruptFrame { .. } => "corrupt_frame",
             TraceEvent::SpanBegin { name, .. } | TraceEvent::SpanEnd { name, .. } => name,
         }
     }
@@ -148,6 +190,33 @@ impl TraceEvent {
             TraceEvent::Completed { req, send } => {
                 format!("{{\"req\":{req},\"send\":{send}}}")
             }
+            TraceEvent::CtlRetransmit {
+                kind,
+                rel_seq,
+                attempt,
+            } => format!(
+                "{{\"kind\":\"{}\",\"rel_seq\":{rel_seq},\"attempt\":{attempt}}}",
+                escape_json(kind)
+            ),
+            TraceEvent::CtlDuplicate { kind, rel_seq } => {
+                format!(
+                    "{{\"kind\":\"{}\",\"rel_seq\":{rel_seq}}}",
+                    escape_json(kind)
+                )
+            }
+            TraceEvent::CtlGaveUp { kind, rel_seq } => {
+                format!(
+                    "{{\"kind\":\"{}\",\"rel_seq\":{rel_seq}}}",
+                    escape_json(kind)
+                )
+            }
+            TraceEvent::ReqFailed { req, send, err } => {
+                format!(
+                    "{{\"req\":{req},\"send\":{send},\"err\":\"{}\"}}",
+                    escape_json(err)
+                )
+            }
+            TraceEvent::CorruptFrame { len } => format!("{{\"len\":{len}}}"),
             TraceEvent::SpanBegin { id, .. } | TraceEvent::SpanEnd { id, .. } => {
                 format!("{{\"span\":{id}}}")
             }

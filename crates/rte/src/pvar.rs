@@ -201,9 +201,26 @@ mod tests {
             ("pml.eager_sent".to_string(), 42u64),
             ("hist.match_time.p99_ns".to_string(), u64::MAX),
             ("queues.posted_depth".to_string(), 0),
+            // Reliability-plane names travel the same generic channel.
+            ("rel.retransmits".to_string(), 3),
+            ("queues.ctl_inflight".to_string(), 1),
         ];
         assert_eq!(decode_rows(&encode_rows(&rows)), rows);
         assert!(decode_rows(&[]).is_empty());
+    }
+
+    #[test]
+    fn reliability_pvars_aggregate_like_any_other() {
+        // A rank that keeps retransmitting stands out as the straggler.
+        let per_rank = vec![
+            (0usize, vec![("rel.retransmits".to_string(), 0u64)]),
+            (1, vec![("rel.retransmits".to_string(), 4)]),
+            (2, vec![("rel.retransmits".to_string(), 0)]),
+        ];
+        let rep = ClusterReport::build(&per_rank);
+        let r = rep.get("rel.retransmits").unwrap();
+        assert_eq!((r.min, r.max, r.max_rank, r.sum), (0, 4, 1, 4));
+        assert_eq!(rep.straggler, Some(1));
     }
 
     #[test]

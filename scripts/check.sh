@@ -13,4 +13,7 @@ echo "== tier-1: build + root test suite"
 cargo build --release
 cargo test -q
 
+echo "== fault injection: reliability + dynamics/faults test groups"
+cargo test -q --test reliability --test dynamics_and_faults
+
 echo "All checks passed."

@@ -150,15 +150,83 @@ fn link_faults_are_transparent_to_mpi() {
     assert!(uni.cluster.fabric().stats().retries >= 8);
 }
 
-/// A lost delivery-confirmation control frame leaves the sender stranded
-/// mid-rendezvous; the progress watchdog must detect it deterministically
-/// and name the protocol phase and peer in its diagnostic.
+/// A lost delivery-confirmation control frame no longer strands the sender:
+/// the TCP PTL's reliability layer retransmits the FIN_ACK after its timeout
+/// and the transfer completes with no watchdog abort (the watchdog stays
+/// armed throughout to prove it never fires).
+#[test]
+fn retransmission_heals_dropped_fin_ack() {
+    let stack = StackConfig {
+        inline_first_frag: true,
+        metrics: true,
+        watchdog_interval: 8,
+        watchdog_grace: 4,
+        ..StackConfig::best()
+    };
+    let uni = Universe::new(
+        elan4::NicConfig::default(),
+        qsnet::FabricConfig::default(),
+        stack,
+        openmpi_core::Transports {
+            elan_rails: 0,
+            tcp: true,
+        },
+    );
+    // Swallow the single FIN_ACK of the one rendezvous message below.
+    uni.tcp_net
+        .inject_drop(openmpi_core::hdr::HdrType::FinAck, 1);
+
+    type Captured = Vec<(u32, Arc<openmpi_core::Endpoint>)>;
+    let eps: Arc<qsim::Mutex<Captured>> = Arc::new(qsim::Mutex::new(Vec::new()));
+    let e2 = eps.clone();
+    uni.run_world(2, Placement::RoundRobin, move |mpi| {
+        e2.lock().push((mpi.rank() as u32, mpi.endpoint().clone()));
+        let w = mpi.world();
+        let len = 64 << 10;
+        let buf = mpi.alloc(len);
+        if mpi.rank() == 0 {
+            mpi.write(&buf, 0, &vec![0xC3u8; len]);
+            mpi.send(&w, 1, 7, &buf, len);
+        } else {
+            mpi.recv(&w, 0, 7, &buf, len);
+            assert_eq!(mpi.read(&buf, 0, len), vec![0xC3u8; len]);
+        }
+        mpi.free(buf);
+    });
+
+    let eps = eps.lock();
+    for (rank, ep) in eps.iter() {
+        // No rank stalled: the retransmit healed the loss long before the
+        // watchdog's grace period elapsed.
+        assert_eq!(ep.introspect.lock().stalls_detected, 0, "rank {rank}");
+        let pv = openmpi_core::pvar_snapshot(ep);
+        if *rank == 1 {
+            // The receiver owns the FIN_ACK: exactly one resend healed it.
+            assert_eq!(pv.get("rel.retransmits"), Some(1), "rank 1 resends once");
+            assert_eq!(pv.get("rel.gave_up"), Some(0));
+        } else {
+            assert_eq!(pv.get("rel.retransmits"), Some(0), "sender had no loss");
+        }
+        // All retransmit buffers drained before finalize.
+        assert_eq!(pv.get("queues.ctl_inflight"), Some(0));
+        assert_eq!(pv.get("queues.failed_peers"), Some(0));
+    }
+    // Exactly the one injected frame vanished.
+    assert_eq!(uni.tcp_net.stats().frames_injected, 1);
+}
+
+/// With the reliability layer disabled, a lost delivery-confirmation control
+/// frame leaves the sender stranded mid-rendezvous; the progress watchdog
+/// must detect it deterministically and name the protocol phase and peer in
+/// its diagnostic (the last-resort path the retransmit layer normally
+/// preempts).
 #[test]
 fn watchdog_diagnoses_dropped_fin_ack() {
     let stack = StackConfig {
         // Inline first fragments self-credit the TCP share, so dropping the
         // lone FIN_ACK strands the sender exactly one fragment short.
         inline_first_frag: true,
+        tcp_reliability: false,
         watchdog_interval: 8,
         watchdog_grace: 4,
         ..StackConfig::best()
