@@ -22,6 +22,10 @@
 //! ping-pong with N FIN_ACK control frames dropped off the wire: the
 //! emitted metrics then show the reliability layer absorbing the loss
 //! (`retransmits` == N, `gave_up` == 0) with the run completing normally.
+//! `--reg-bench` runs the repeated-buffer rendezvous benchmark with the
+//! registration cache off and on, prints the before/after JSON, and exits
+//! nonzero unless the cached run is strictly faster with nonzero hits;
+//! `--bench-out FILE` writes the same JSON to a file.
 
 use ompi_bench::{
     apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
@@ -60,6 +64,8 @@ fn main() {
     let mut introspect_out: Option<String> = None;
     let mut watchdog: u64 = 64;
     let mut loss: u64 = 0;
+    let mut reg_bench = false;
+    let mut bench_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -95,6 +101,14 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--reg-bench" => reg_bench = true,
+            "--bench-out" => {
+                bench_out = args.next();
+                if bench_out.is_none() {
+                    eprintln!("--bench-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
             _ if a.starts_with("--") => {
                 eprintln!("unknown flag `{a}`");
                 std::process::exit(2);
@@ -104,10 +118,11 @@ fn main() {
     }
     let selected: Vec<&str> = selected.iter().map(|s| s.as_str()).collect();
 
-    if selected.is_empty() && !emit_metrics && introspect_out.is_none() {
+    if selected.is_empty() && !emit_metrics && introspect_out.is_none() && !reg_bench {
         eprintln!(
             "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
              [--introspect-out FILE] [--watchdog N] [--loss N] \
+             [--reg-bench] [--bench-out FILE] \
              <experiment>... | all | paper | compare"
         );
         eprintln!("experiments:");
@@ -199,5 +214,37 @@ fn main() {
             eprintln!("[chrome trace written to {path}]");
         }
         eprintln!("[telemetry captured in {:.1?} wall time]", start.elapsed());
+    }
+
+    if reg_bench {
+        use ompi_bench::measure::{reg_cache_compare, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // 64 KiB messages, well past the eager limit, reusing the same
+        // buffers every round — the workload the pin-down cache targets.
+        let report = reg_cache_compare(&Setup::paper(StackConfig::default()), 64 << 10, 16);
+        let json = report.to_json();
+        println!("{json}");
+        if let Some(path) = bench_out {
+            std::fs::write(&path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[registration benchmark written to {path}]");
+        }
+        eprintln!(
+            "[reg-bench: {:.3}us (cache off) vs {:.3}us (cache on), {:.2}x, \
+             {} hits, in {:.1?} wall time]",
+            report.off.latency_us,
+            report.on.latency_us,
+            report.speedup(),
+            report.on.stats.hits,
+            start.elapsed()
+        );
+        if report.on.latency_us >= report.off.latency_us {
+            eprintln!("reg-bench FAILED: cache-on latency is not strictly lower");
+            std::process::exit(1);
+        }
+        if report.on.stats.hits == 0 {
+            eprintln!("reg-bench FAILED: cache reported zero hits");
+            std::process::exit(1);
+        }
     }
 }

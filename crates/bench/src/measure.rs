@@ -302,6 +302,122 @@ pub fn reliability_pingpong(setup: &Setup, len: usize, drops: u64) -> Telemetry 
     }
 }
 
+/// One side (cache off or on) of the registration-cache comparison.
+pub struct RegBenchSide {
+    /// Mean half-round-trip latency in µs.
+    pub latency_us: f64,
+    /// Rank 0's registration-cache counters at the end of the run.
+    pub stats: openmpi_core::RegStats,
+}
+
+impl RegBenchSide {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"latency_us\":{:.3},\"reg\":{{\"hits\":{},\"misses\":{},\
+             \"evictions\":{},\"mapped_bytes\":{}}}}}",
+            self.latency_us,
+            self.stats.hits,
+            self.stats.misses,
+            self.stats.evictions,
+            self.stats.mapped_bytes
+        )
+    }
+}
+
+/// Before/after report of the repeated-buffer rendezvous benchmark.
+pub struct RegBenchReport {
+    /// Message length in bytes (rendezvous-sized).
+    pub len: usize,
+    /// Timed round trips.
+    pub iters: usize,
+    /// Run with the registration cache disabled: every rendezvous pays the
+    /// full map + unmap cost.
+    pub off: RegBenchSide,
+    /// Run with the cache enabled: the same buffers hit after the first
+    /// iteration.
+    pub on: RegBenchSide,
+}
+
+impl RegBenchReport {
+    /// Latency ratio cache-off / cache-on (> 1 when the cache wins).
+    pub fn speedup(&self) -> f64 {
+        self.off.latency_us / self.on.latency_us
+    }
+
+    /// One JSON document with both sides and the speedup.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"regcache_rendezvous\",\"len\":{},\"iters\":{},\
+             \"cache_off\":{},\"cache_on\":{},\"speedup\":{:.3}}}",
+            self.len,
+            self.iters,
+            self.off.to_json(),
+            self.on.to_json(),
+            self.speedup()
+        )
+    }
+}
+
+fn reg_bench_side(setup: &Setup, len: usize, iters: usize, cache: bool) -> RegBenchSide {
+    let mut setup = setup.clone();
+    setup.stack.reg_cache = cache;
+    let lat = Arc::new(AtomicU64::new(0));
+    let stats: Arc<Mutex<Option<openmpi_core::RegStats>>> = Arc::new(Mutex::new(None));
+    let (l2, s2) = (lat.clone(), stats.clone());
+    setup
+        .universe()
+        .run_world(2, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let sbuf = mpi.alloc(len);
+            let rbuf = mpi.alloc(len);
+            mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+            // Deliberately no warm-up: the registration cost on a *reused*
+            // buffer is exactly what this benchmark measures.
+            mpi.barrier(&w);
+            let t0 = mpi.now();
+            for _ in 0..iters {
+                if mpi.rank() == 0 {
+                    mpi.send(&w, 1, 0, &sbuf, len);
+                    mpi.recv(&w, 1, 0, &rbuf, len);
+                } else {
+                    mpi.recv(&w, 0, 0, &rbuf, len);
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            }
+            if mpi.rank() == 0 {
+                l2.store(
+                    (mpi.now() - t0).as_ns() / (2 * iters as u64),
+                    Ordering::SeqCst,
+                );
+                *s2.lock() = Some(mpi.endpoint().reg_stats());
+            }
+        });
+    let stats = stats.lock().take().expect("rank 0 recorded its stats");
+    RegBenchSide {
+        latency_us: lat.load(Ordering::SeqCst) as f64 / 1_000.0,
+        stats,
+    }
+}
+
+/// The registration-cache benchmark: a rendezvous-sized ping-pong reusing
+/// the same send/receive buffers every iteration, run once with the
+/// pin-down cache off (every rendezvous pays [`elan4::NicConfig::map_cost`]
+/// plus the unmap shootdown) and once with it on (the mappings hit after
+/// the first round). The gap is the per-message registration cost the
+/// cache amortizes away.
+pub fn reg_cache_compare(setup: &Setup, len: usize, iters: usize) -> RegBenchReport {
+    assert!(
+        len > setup.stack.eager_limit,
+        "registration benchmark needs rendezvous-sized messages"
+    );
+    RegBenchReport {
+        len,
+        iters,
+        off: reg_bench_side(setup, len, iters, false),
+        on: reg_bench_side(setup, len, iters, true),
+    }
+}
+
 /// Everything the introspection stack yields from one watchdog-armed run:
 /// the job-wide pvar aggregation, each rank's raw snapshot, and any stall
 /// diagnostics the watchdog recorded.

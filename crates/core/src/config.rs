@@ -108,6 +108,15 @@ pub struct StackConfig {
     /// marked failed, and the affected request completes with an error
     /// status.
     pub tcp_max_retries: u32,
+    /// Registration (pin-down) cache: keep rendezvous/RMA MMU mappings
+    /// alive after their request completes and reuse them for repeated
+    /// buffers, deferring the charged unmap to LRU eviction
+    /// ([`crate::regcache`]).
+    pub reg_cache: bool,
+    /// Byte capacity of the registration cache.
+    pub reg_cache_bytes: usize,
+    /// Entry capacity of the registration cache.
+    pub reg_cache_entries: usize,
     /// Host-side layer costs.
     pub host: HostConfig,
     /// Copy-engine cost model.
@@ -180,6 +189,9 @@ impl Default for StackConfig {
             tcp_retransmit_timeout: Dur::from_us(500),
             tcp_retransmit_backoff: 2,
             tcp_max_retries: 4,
+            reg_cache: true,
+            reg_cache_bytes: 32 << 20,
+            reg_cache_entries: 128,
             host: HostConfig::default(),
             copy: CopyModel::default(),
         }
@@ -230,6 +242,12 @@ impl StackConfig {
                 "retransmit backoff multiplier must be >= 1"
             );
         }
+        if self.reg_cache {
+            assert!(
+                self.reg_cache_bytes > 0 && self.reg_cache_entries > 0,
+                "registration cache capacities must be positive when enabled"
+            );
+        }
     }
 }
 
@@ -248,6 +266,18 @@ mod tests {
         assert!(c.tcp_reliability);
         assert!(c.tcp_retransmit_timeout > Dur::ZERO);
         assert!(c.tcp_retransmit_backoff >= 1);
+        assert!(c.reg_cache);
+        assert!(c.reg_cache_bytes > 0 && c.reg_cache_entries > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registration cache capacities")]
+    fn zero_reg_cache_capacity_rejected() {
+        let c = StackConfig {
+            reg_cache_bytes: 0,
+            ..Default::default()
+        };
+        c.validate();
     }
 
     #[test]

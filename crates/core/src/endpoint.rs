@@ -87,6 +87,9 @@ pub struct Endpoint {
     pub trace: Mutex<crate::trace::TraceLog>,
     /// Telemetry counters + histograms (populated when `cfg.metrics` is set).
     pub metrics: Mutex<crate::metrics::Metrics>,
+    /// Registration (pin-down) cache for rendezvous/RMA MMU mappings. Its
+    /// lock is never held across a map/unmap (both advance virtual time).
+    pub reg: Mutex<crate::regcache::RegCache>,
     /// Runtime-writable knobs behind the cvar registry; the hot path reads
     /// these instead of the frozen [`StackConfig`] copies.
     pub tunables: crate::introspect::Tunables,
@@ -190,6 +193,11 @@ impl Endpoint {
 
         let trace_capacity = cfg.trace_capacity;
         let tunables = crate::introspect::Tunables::from_config(&cfg);
+        let reg = crate::regcache::RegCache::new(
+            cfg.reg_cache,
+            cfg.reg_cache_bytes,
+            cfg.reg_cache_entries,
+        );
         Arc::new(Endpoint {
             name,
             node,
@@ -208,6 +216,7 @@ impl Endpoint {
             instr: Mutex::new(Instr::default()),
             trace: Mutex::new(crate::trace::TraceLog::with_capacity(trace_capacity)),
             metrics: Mutex::new(crate::metrics::Metrics::default()),
+            reg: Mutex::new(reg),
             tunables,
             introspect: Mutex::new(crate::introspect::IntrospectState::default()),
             my_info,
@@ -431,9 +440,28 @@ impl Endpoint {
         }
     }
 
-    /// A copy of the endpoint's telemetry as of now.
+    /// A copy of the endpoint's telemetry as of now. Registration-cache
+    /// counters are merged in from the cache itself (their single source of
+    /// truth, maintained independently of the `telemetry.metrics` gate).
     pub fn metrics_snapshot(&self) -> crate::metrics::Metrics {
-        self.metrics.lock().clone()
+        let mut m = self.metrics.lock().clone();
+        let s = self.reg_stats();
+        m.counters.reg_hits = s.hits;
+        m.counters.reg_misses = s.misses;
+        m.counters.reg_evictions = s.evictions;
+        m.counters.reg_mapped_bytes = s.mapped_bytes;
+        m
+    }
+
+    /// Live registration-cache counters.
+    pub fn reg_stats(&self) -> crate::regcache::RegStats {
+        self.reg.lock().stats()
+    }
+
+    /// Live mappings in this rank's Elan4 MMU (leak checks in tests; after
+    /// [`Endpoint::finalize`] this is zero).
+    pub fn mapping_count(&self) -> usize {
+        self.ectx.mapping_count()
     }
 
     /// Record the PML-handoff timestamp (paper §6.3 instrumentation).
@@ -472,6 +500,16 @@ impl Endpoint {
             st.all_requests_done() && st.ctl_inflight.is_empty()
         });
         self.rte.barrier(proc, self.name.job);
+        // Every request is done, so no mapping is referenced any more:
+        // drain the registration cache (charged unmaps) and verify nothing
+        // leaked past a completion or failure path.
+        crate::regcache::drain(proc, self);
+        assert_eq!(
+            self.mapping_count(),
+            0,
+            "rank {} leaked MMU mappings past finalize",
+            self.name.rank
+        );
         // Stages 4 and 5: finalize and close every component, then release
         // the context back to the capability (disjoin).
         self.ptls.lock().shutdown();

@@ -254,6 +254,21 @@ pub const CVARS: &[CvarDef] = &[
         desc: "retransmissions before the frame is abandoned and the peer declared failed",
         writable: true,
     },
+    CvarDef {
+        name: "reg.cache",
+        desc: "registration (pin-down) cache: reuse rendezvous/RMA mappings across requests",
+        writable: true,
+    },
+    CvarDef {
+        name: "reg.cache_bytes",
+        desc: "byte capacity of the registration cache (evicts idle LRU mappings beyond it)",
+        writable: true,
+    },
+    CvarDef {
+        name: "reg.cache_entries",
+        desc: "entry capacity of the registration cache",
+        writable: true,
+    },
 ];
 
 fn scheme_name(s: RdmaScheme) -> &'static str {
@@ -302,6 +317,9 @@ pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
         "tcp.retransmit_timeout_ns" => CvarValue::U64(ep.tunables.retransmit_timeout().as_ns()),
         "tcp.retransmit_backoff" => CvarValue::U64(ep.tunables.retransmit_backoff() as u64),
         "tcp.max_retries" => CvarValue::U64(ep.tunables.retransmit_max_retries() as u64),
+        "reg.cache" => CvarValue::Bool(ep.reg.lock().enabled()),
+        "reg.cache_bytes" => CvarValue::U64(ep.reg.lock().cap_bytes() as u64),
+        "reg.cache_entries" => CvarValue::U64(ep.reg.lock().cap_entries() as u64),
         _ => return None,
     };
     Some(v)
@@ -360,6 +378,26 @@ pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), Str
             ep.tunables
                 .retransmit_max_retries
                 .store(v, Ordering::Relaxed);
+            Ok(())
+        }
+        ("reg.cache", CvarValue::Bool(b)) => {
+            // Disabling stops new insertions; existing entries drain through
+            // the normal release/eviction path.
+            ep.reg.lock().set_enabled(b);
+            Ok(())
+        }
+        ("reg.cache_bytes", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("reg.cache_bytes must be > 0".to_string());
+            }
+            ep.reg.lock().set_cap_bytes(v as usize);
+            Ok(())
+        }
+        ("reg.cache_entries", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("reg.cache_entries must be > 0".to_string());
+            }
+            ep.reg.lock().set_cap_entries(v as usize);
             Ok(())
         }
         (n, v) => {
@@ -498,6 +536,7 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
             ("rel.corrupt_frames", c.corrupt_frames),
             ("rel.ctl_acks_sent", c.ctl_acks_sent),
             ("rel.reqs_failed", c.reqs_failed),
+            ("rel.errs_surfaced", c.errs_surfaced),
         ] {
             vars.push((name.to_string(), v));
         }
@@ -507,6 +546,17 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
         hist_vars(&mut vars, "match_time", &m.match_time);
         hist_vars(&mut vars, "rndv_handshake", &m.rndv_handshake);
         hist_vars(&mut vars, "completion_time", &m.completion_time);
+    }
+
+    // Registration cache: authoritative stats live in the cache itself
+    // (counted even with telemetry off), not the Metrics tally.
+    {
+        let r = ep.reg_stats();
+        vars.push(("reg.hits".into(), r.hits));
+        vars.push(("reg.misses".into(), r.misses));
+        vars.push(("reg.evictions".into(), r.evictions));
+        vars.push(("reg.mapped_bytes".into(), r.mapped_bytes));
+        vars.push(("reg.entries".into(), r.entries));
     }
 
     // Watchdog state.

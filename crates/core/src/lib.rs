@@ -35,6 +35,7 @@ pub mod peer;
 pub mod proto;
 pub mod ptl;
 pub mod ptl_tcp;
+pub mod regcache;
 pub mod rma;
 pub mod state;
 pub mod trace;
@@ -52,6 +53,7 @@ pub use mpi::{Mpi, PersistentRequest, Status, ANY_SOURCE, ANY_TAG};
 pub use proto::{ReqKind, Request};
 pub use ptl::{PtlInfo, PtlKind, PtlRegistry, PtlStage, PtlTraffic};
 pub use ptl_tcp::{TcpConfig, TcpNet};
+pub use regcache::{RegCache, RegStats};
 pub use rma::Window;
 pub use state::MpiErrClass;
 pub use trace::{chrome_trace_json, TraceEvent, TraceLog};

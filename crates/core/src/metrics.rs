@@ -116,6 +116,21 @@ pub struct Counters {
     /// Requests completed with an error status instead of a payload
     /// (failed peer, no transport).
     pub reqs_failed: u64,
+    /// Request errors actually surfaced to the application through
+    /// `wait_result` / `waitany_result` / `waitall_result` / an
+    /// error-carrying `Status`. Bounded by [`Counters::reqs_failed`]; a
+    /// persistent gap means errors are being dropped on the floor.
+    pub errs_surfaced: u64,
+    /// Registration-cache hits (mapping reused). Maintained by
+    /// [`crate::regcache`] and merged into snapshots; always counted,
+    /// independent of the metrics gate.
+    pub reg_hits: u64,
+    /// Registration-cache misses (new mapping charged).
+    pub reg_misses: u64,
+    /// Idle cached mappings torn down by capacity pressure.
+    pub reg_evictions: u64,
+    /// Bytes currently covered by cached mappings.
+    pub reg_mapped_bytes: u64,
     /// Collective operations entered, indexed as [`COLL_OPS`].
     pub coll: [u64; 13],
 }
@@ -315,6 +330,8 @@ impl Metrics {
              \"control_sent\":{{{}}},\"progress_iterations\":{},\
              \"retransmits\":{},\"dup_suppressed\":{},\"gave_up\":{},\
              \"corrupt_frames\":{},\"ctl_acks_sent\":{},\"reqs_failed\":{},\
+             \"errs_surfaced\":{},\"reg_hits\":{},\"reg_misses\":{},\
+             \"reg_evictions\":{},\"reg_mapped_bytes\":{},\
              \"coll\":{{{}}}}},\
              \"histograms\":{{\"match_time\":{},\"rndv_handshake\":{},\"completion_time\":{}}}}}",
             c.eager_sent,
@@ -337,6 +354,11 @@ impl Metrics {
             c.corrupt_frames,
             c.ctl_acks_sent,
             c.reqs_failed,
+            c.errs_surfaced,
+            c.reg_hits,
+            c.reg_misses,
+            c.reg_evictions,
+            c.reg_mapped_bytes,
             coll.join(","),
             self.match_time.to_json(),
             self.rndv_handshake.to_json(),
@@ -422,8 +444,8 @@ mod tests {
         for _ in 0..8 {
             h.record_ns(1000); // [512,1024)
         }
-        h.record_ns(1 << 20); // [2^19, 2^20)
-                              // q=0 clamps to the first sample (the zero bucket).
+        h.record_ns((1 << 20) - 1); // [2^19, 2^20)
+                                    // q=0 clamps to the first sample (the zero bucket).
         assert_eq!(h.quantile_ns(0.0), Some(0));
         // q=1 must reach the last occupied bucket, never beyond max.
         assert_eq!(h.quantile_ns(1.0), Some(1 << 20));
@@ -458,6 +480,7 @@ mod tests {
         m.counters.coll[CollOp::Bcast as usize] = 2;
         m.counters.retransmits = 1;
         m.counters.corrupt_frames = 4;
+        m.counters.reg_hits = 7;
         m.match_time.record(Dur::from_ns(300));
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -470,6 +493,11 @@ mod tests {
         assert!(j.contains("\"corrupt_frames\":4"));
         assert!(j.contains("\"ctl_acks_sent\":0"));
         assert!(j.contains("\"reqs_failed\":0"));
+        assert!(j.contains("\"errs_surfaced\":0"));
+        assert!(j.contains("\"reg_hits\":7"));
+        assert!(j.contains("\"reg_misses\":0"));
+        assert!(j.contains("\"reg_evictions\":0"));
+        assert!(j.contains("\"reg_mapped_bytes\":0"));
         assert!(j.contains("\"match_time\":{\"count\":1"));
     }
 }

@@ -33,6 +33,10 @@ pub struct Status {
     pub tag: i32,
     /// Packed message length in bytes.
     pub len: usize,
+    /// `Some` when the stack completed the receive with an error instead
+    /// of a payload (MPI_ERR_IN_STATUS semantics). The other fields are
+    /// then best-effort: the request's selectors if it never matched.
+    pub error: Option<crate::state::MpiErrClass>,
 }
 
 /// Per-rank MPI handle. Owned by the rank's simulated process.
@@ -249,13 +253,20 @@ impl Mpi {
             ReqKind::Send => st.send_reqs.remove(&req.id).and_then(|r| r.error),
             ReqKind::Recv => st.recv_reqs.remove(&req.id).and_then(|r| r.error),
         };
+        drop(st);
         match err {
-            Some(e) => Err(e),
+            Some(e) => {
+                self.ep.metric(|m| m.counters.errs_surfaced += 1);
+                Err(e)
+            }
             None => Ok(()),
         }
     }
 
-    /// Block until a receive completes; returns its status.
+    /// Block until a receive completes; returns its status. A receive the
+    /// stack completed with an error (unreachable peer, retransmissions
+    /// exhausted) yields a status whose `error` field is set instead of a
+    /// panic; check it before trusting the payload.
     pub fn wait_status(&self, req: Request) -> Status {
         assert_eq!(req.kind, ReqKind::Recv, "wait_status is for receives");
         self.ep.wait_until(&self.proc, |st| {
@@ -266,37 +277,86 @@ impl Mpi {
             .recv_reqs
             .remove(&req.id)
             .expect("request already reaped");
-        if let Some(err) = r.error {
-            panic!(
-                "wait_status on a receive that failed with {} (use wait_result \
-                 to observe request errors)",
-                err.mpi_name()
-            );
+        drop(st);
+        if r.error.is_some() {
+            self.ep.metric(|m| m.counters.errs_surfaced += 1);
         }
-        let m = r.matched.expect("completed recv without a match");
-        Status {
-            source: m.src_rank as usize,
-            tag: m.tag,
-            len: m.msg_len,
+        match (&r.matched, r.error) {
+            (Some(m), error) => Status {
+                source: m.src_rank as usize,
+                tag: m.tag,
+                len: m.msg_len,
+                error,
+            },
+            // Failed before matching: fall back to the request's selectors
+            // (0 / ANY_TAG when wildcarded) so the caller still gets a
+            // well-formed status around the error class.
+            (None, error) => Status {
+                source: r.src_sel.map(|s| s as usize).unwrap_or(0),
+                tag: r.tag_sel.unwrap_or(ANY_TAG),
+                len: r.bytes_received,
+                error,
+            },
         }
     }
 
-    /// Nonblocking completion test.
+    /// Nonblocking completion test. A `true` return reaps the request (MPI
+    /// semantics): do not wait on it again.
     pub fn test(&self, req: Request) -> bool {
         proto::test(&self.proc, &self.ep, req)
     }
 
-    /// Wait for every request in order.
+    /// Wait for every request in order. Request errors are dropped, as with
+    /// MPI_STATUSES_IGNORE; use [`Mpi::waitall_result`] to observe them.
     pub fn waitall(&self, reqs: impl IntoIterator<Item = Request>) {
         for r in reqs {
             self.wait(r);
         }
     }
 
+    /// Wait for every request in order, surfacing per-request errors the
+    /// way MPI_ERR_IN_STATUS does: `Err` carries one entry per request (in
+    /// posting order) with the error class of each failed one.
+    pub fn waitall_result(
+        &self,
+        reqs: impl IntoIterator<Item = Request>,
+    ) -> Result<(), Vec<Option<crate::state::MpiErrClass>>> {
+        let mut errs = Vec::new();
+        let mut failed = false;
+        for r in reqs {
+            let e = self.wait_result(r).err();
+            failed |= e.is_some();
+            errs.push(e);
+        }
+        if failed {
+            Err(errs)
+        } else {
+            Ok(())
+        }
+    }
+
     /// Block until any request in the slice completes; returns its index
-    /// (and reaps that request — the others stay pending).
+    /// (and reaps that request — the others stay pending). Drops the
+    /// completed request's error, as with MPI_STATUS_IGNORE; use
+    /// [`Mpi::waitany_result`] to observe it.
     pub fn waitany(&self, reqs: &[Request]) -> usize {
         proto::waitany(&self.proc, &self.ep, reqs)
+    }
+
+    /// Like [`Mpi::waitany`], but also reports whether the completed
+    /// request finished with an error.
+    pub fn waitany_result(
+        &self,
+        reqs: &[Request],
+    ) -> (usize, Result<(), crate::state::MpiErrClass>) {
+        let (idx, err) = proto::waitany_result(&self.proc, &self.ep, reqs);
+        match err {
+            Some(e) => {
+                self.ep.metric(|m| m.counters.errs_surfaced += 1);
+                (idx, Err(e))
+            }
+            None => (idx, Ok(())),
+        }
     }
 
     /// Blocking send.
@@ -356,6 +416,7 @@ impl Mpi {
                 source: s as usize,
                 tag: t,
                 len: l,
+                error: None,
             })
     }
 
@@ -373,6 +434,7 @@ impl Mpi {
             source: s as usize,
             tag: t,
             len: l,
+            error: None,
         }
     }
 

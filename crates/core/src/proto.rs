@@ -230,8 +230,14 @@ pub fn post_send_mode(
     };
     let region = bounce.unwrap_or(buf);
     let src_e4 = if msg_len > 0 {
-        proc.advance(host.req_bookkeep); // MMU table update
-        Some(ep.ectx.map(&region))
+        proc.advance(host.req_bookkeep); // MMU table bookkeeping
+                                         // User buffers go through the pin-down cache; bounce buffers are
+                                         // freed on completion, so caching their mapping would go stale.
+        Some(if bounce.is_none() {
+            crate::regcache::acquire(proc, ep, &region)
+        } else {
+            ep.ectx.map(proc, &region)
+        })
     } else {
         None
     };
@@ -431,6 +437,16 @@ fn req_done(st: &EpState, req: Request) -> bool {
 
 /// Block until any of `reqs` completes; returns its index and reaps it.
 pub fn waitany(proc: &Proc, ep: &Arc<Endpoint>, reqs: &[Request]) -> usize {
+    waitany_result(proc, ep, reqs).0
+}
+
+/// Like [`waitany`], but also surfaces the reaped request's error class
+/// instead of silently dropping it.
+pub fn waitany_result(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    reqs: &[Request],
+) -> (usize, Option<MpiErrClass>) {
     assert!(!reqs.is_empty());
     let mut idx = 0;
     ep.wait_until(proc, |st| {
@@ -443,15 +459,11 @@ pub fn waitany(proc: &Proc, ep: &Arc<Endpoint>, reqs: &[Request]) -> usize {
         false
     });
     let mut st = ep.state.lock();
-    match reqs[idx].kind {
-        ReqKind::Send => {
-            st.send_reqs.remove(&reqs[idx].id);
-        }
-        ReqKind::Recv => {
-            st.recv_reqs.remove(&reqs[idx].id);
-        }
-    }
-    idx
+    let err = match reqs[idx].kind {
+        ReqKind::Send => st.send_reqs.remove(&reqs[idx].id).and_then(|r| r.error),
+        ReqKind::Recv => st.recv_reqs.remove(&reqs[idx].id).and_then(|r| r.error),
+    };
+    (idx, err)
 }
 
 /// Fletcher-16 cost: ~0.17 ns/B of host time.
@@ -459,7 +471,9 @@ fn checksum_cost(len: usize) -> qsim::Dur {
     qsim::Dur::for_bytes(len, 6000)
 }
 
-/// Nonblocking completion check (MPI_Test). Does not reap.
+/// Nonblocking completion check (MPI_Test). Reaps the request when it
+/// reports completion (MPI semantics: a successful test frees the request;
+/// a later `wait` on it is a no-op because missing requests count as done).
 pub fn test(proc: &Proc, ep: &Arc<Endpoint>, req: Request) -> bool {
     if matches!(
         ep.cfg.progress,
@@ -467,7 +481,19 @@ pub fn test(proc: &Proc, ep: &Arc<Endpoint>, req: Request) -> bool {
     ) {
         progress_pass(proc, ep);
     }
-    req_done(&ep.state.lock(), req)
+    let mut st = ep.state.lock();
+    if !req_done(&st, req) {
+        return false;
+    }
+    match req.kind {
+        ReqKind::Send => {
+            st.send_reqs.remove(&req.id);
+        }
+        ReqKind::Recv => {
+            st.recv_reqs.remove(&req.id);
+        }
+    }
+    true
 }
 
 // ---------------------------------------------------------------------------
@@ -786,17 +812,58 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     };
     let pull_elan = ep.cfg.scheme == RdmaScheme::Read && elan_share > 0;
 
-    // Expose the destination region when RDMA will land data here.
+    // Expose the destination region when RDMA will land data here. The
+    // mapping charges time, so it happens *outside* the state lock: read
+    // the region under the lock, register, then publish the result —
+    // tolerating the request having been raced to a mapping or failed in
+    // the meantime.
     let dst_e4 =
         if remainder > 0 && (pull_elan || (ep.cfg.scheme == RdmaScheme::Write && elan_share > 0)) {
-            let e4 = {
-                let mut st = ep.state.lock();
-                let r = st.recv_reqs.get_mut(&rid).unwrap();
-                if r.dst_e4.is_none() {
-                    let region = r.bounce.unwrap_or(r.buf);
-                    r.dst_e4 = Some(ep.ectx.map(&region));
+            let (have, region, cacheable) = {
+                let st = ep.state.lock();
+                let r = st.recv_reqs.get(&rid).unwrap();
+                (r.dst_e4, r.bounce.unwrap_or(r.buf), r.bounce.is_none())
+            };
+            let e4 = match have {
+                Some(e4) => e4,
+                None => {
+                    let fresh = if cacheable {
+                        crate::regcache::acquire(proc, ep, &region)
+                    } else {
+                        ep.ectx.map(proc, &region)
+                    };
+                    enum Publish {
+                        Stored,
+                        Raced(E4Addr),
+                        Gone,
+                    }
+                    let publish = {
+                        let mut st = ep.state.lock();
+                        match st.recv_reqs.get_mut(&rid) {
+                            Some(r) if !r.done => match r.dst_e4 {
+                                Some(other) => Publish::Raced(other),
+                                None => {
+                                    r.dst_e4 = Some(fresh);
+                                    Publish::Stored
+                                }
+                            },
+                            _ => Publish::Gone,
+                        }
+                    };
+                    match publish {
+                        Publish::Stored => fresh,
+                        Publish::Raced(other) => {
+                            crate::regcache::release(proc, ep, &region, fresh);
+                            other
+                        }
+                        Publish::Gone => {
+                            // Failed (or reaped) while we were mapping:
+                            // nothing left to pull into.
+                            crate::regcache::release(proc, ep, &region, fresh);
+                            return;
+                        }
+                    }
                 }
-                r.dst_e4.unwrap()
             };
             proc.advance(ep.cfg.host.req_bookkeep);
             Some(e4)
@@ -1147,14 +1214,14 @@ fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
         ep.write_buf(&buf, 0, &span);
         proc.advance(ep.cfg.copy.convertor(&conv, msg_len));
     }
-    let (e4, bounce, posted_at) = {
+    let (e4, bounce, buf, posted_at) = {
         let mut st = ep.state.lock();
         let r = st.recv_reqs.get_mut(&rid).unwrap();
         r.done = true;
-        (r.dst_e4.take(), r.bounce.take(), r.posted_at)
+        (r.dst_e4.take(), r.bounce.take(), r.buf, r.posted_at)
     };
     if let Some(e4) = e4 {
-        ep.ectx.unmap(e4);
+        crate::regcache::release(proc, ep, &bounce.unwrap_or(buf), e4);
     }
     if let Some(b) = bounce {
         ep.free(b);
@@ -1185,14 +1252,14 @@ fn maybe_complete_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
     if !finish {
         return;
     }
-    let (e4, bounce, posted_at) = {
+    let (e4, region, bounce, posted_at) = {
         let mut st = ep.state.lock();
         let r = st.send_reqs.get_mut(&sid).unwrap();
         r.done = true;
-        (r.src_e4.take(), r.bounce.take(), r.posted_at)
+        (r.src_e4.take(), r.src_region, r.bounce.take(), r.posted_at)
     };
     if let Some(e4) = e4 {
-        ep.ectx.unmap(e4);
+        crate::regcache::release(proc, ep, &region, e4);
     }
     if let Some(b) = bounce {
         ep.free(b);
@@ -1649,23 +1716,40 @@ pub(crate) fn fail_request(
                 } else {
                     r.done = true;
                     r.error = Some(err);
-                    Some((r.src_e4.take(), r.bounce.take()))
+                    Some((r.src_e4.take(), r.src_region, r.bounce.take()))
                 }
             }),
-            ReqKind::Recv => st.recv_reqs.get_mut(&id).and_then(|r| {
-                if r.done {
-                    None
-                } else {
-                    r.done = true;
-                    r.error = Some(err);
-                    Some((r.dst_e4.take(), r.bounce.take()))
-                }
-            }),
+            ReqKind::Recv => {
+                let cleanup = st.recv_reqs.get_mut(&id).and_then(|r| {
+                    if r.done {
+                        None
+                    } else {
+                        r.done = true;
+                        r.error = Some(err);
+                        let region = r.bounce.unwrap_or(r.buf);
+                        Some((r.dst_e4.take(), region, r.bounce.take(), r.ctx))
+                    }
+                });
+                // An unmatched recv failed here is still in its comm's
+                // posted list; drop it so matching never dereferences the
+                // request after the application reaps it.
+                cleanup.map(|(e4, region, bounce, ctx)| {
+                    if let Some(c) = st.comms.get_mut(&ctx) {
+                        c.posted.retain(|rid| *rid != id);
+                    }
+                    (e4, region, bounce)
+                })
+            }
         }
     };
-    let Some((e4, bounce)) = cleanup else { return };
+    let Some((e4, region, bounce)) = cleanup else {
+        return;
+    };
+    // Same resource discipline as the success path: cached mappings go
+    // back to the cache, everything else is unmapped — a failed request
+    // must not leak its registration.
     if let Some(e4) = e4 {
-        ep.ectx.unmap(e4);
+        crate::regcache::release(proc, ep, &region, e4);
     }
     if let Some(b) = bounce {
         ep.free(b);
@@ -1795,7 +1879,24 @@ fn give_up_on(proc: &Proc, ep: &Arc<Endpoint>, e: InflightCtl) {
         let recvs: Vec<u64> = st
             .recv_reqs
             .values()
-            .filter(|r| !r.done && r.matched.as_ref().map(|m| m.src == e.peer).unwrap_or(false))
+            .filter(|r| {
+                if r.done {
+                    return false;
+                }
+                match &r.matched {
+                    // In flight from the failed peer: it will never finish.
+                    Some(m) => m.src == e.peer,
+                    // Unmatched but selecting the failed peer by name: no
+                    // other sender can ever satisfy it, so complete it with
+                    // the error instead of letting it hang silently.
+                    None => r.src_sel.is_some_and(|s| {
+                        st.comms
+                            .get(&r.ctx)
+                            .and_then(|c| c.group.get(s as usize))
+                            .is_some_and(|name| *name == e.peer)
+                    }),
+                }
+            })
             .map(|r| r.id)
             .collect();
         (sends, recvs)

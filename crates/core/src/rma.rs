@@ -21,6 +21,10 @@ use crate::comm::Communicator;
 use crate::config::ProgressMode;
 use crate::mpi::Mpi;
 
+/// An outstanding RMA descriptor and the origin mapping (with its region,
+/// for the registration cache) to release once it completes.
+type PendingRma = (Arc<ElanEvent>, Option<(E4Addr, HostBuf)>);
+
 /// An exposed memory window (one per rank of the communicator).
 pub struct Window {
     comm: Communicator,
@@ -29,9 +33,8 @@ pub struct Window {
     local_e4: E4Addr,
     /// Exposed region of every rank: (vpid, e4 value, length).
     peers: Vec<(Vpid, u64, usize)>,
-    /// Outstanding RMA descriptors started in this epoch, with the origin
-    /// mapping to tear down once they complete.
-    pending: Vec<(Arc<ElanEvent>, Option<E4Addr>)>,
+    /// Outstanding RMA descriptors started in this epoch.
+    pending: Vec<PendingRma>,
 }
 
 impl Window {
@@ -62,8 +65,9 @@ impl Mpi {
             "RMA requires polling or interrupt progress"
         );
         // Register the region with the NIC (paper §4.2: the memory
-        // descriptor is expanded with an E4 address).
-        let local_e4 = self.endpoint().ectx.map(&buf);
+        // descriptor is expanded with an E4 address). Windows live until
+        // win_free, so the mapping is charged directly, not cached.
+        let local_e4 = self.endpoint().ectx.map(self.proc(), &buf);
         self.compute(self.endpoint().cfg.host.req_bookkeep);
 
         // Exchange (vpid, e4, len) with the group.
@@ -199,27 +203,29 @@ impl Mpi {
         let mut win = win;
         self.rma_flush(&mut win);
         self.barrier(&win.comm);
-        self.endpoint().ectx.unmap(win.local_e4);
+        self.endpoint().ectx.unmap(self.proc(), win.local_e4);
         let _ = win.buf; // ownership stays with the caller
     }
 
     // -- internals ----------------------------------------------------------
 
     /// Map the origin buffer for one op; windows' own buffers reuse the
-    /// window mapping.
+    /// window mapping, others go through the registration cache so a
+    /// repeated origin buffer pays the pin-down cost once.
     fn origin_mapping(
         &self,
         win: &Window,
         buf: &HostBuf,
         off: usize,
         len: usize,
-    ) -> (E4Addr, Option<E4Addr>) {
+    ) -> (E4Addr, Option<(E4Addr, HostBuf)>) {
         if buf.addr == win.buf.addr && off + len <= win.buf.len {
             (win.local_e4.offset(off), None)
         } else {
-            let e4 = self.endpoint().ectx.map(&buf.slice(off, len));
+            let region = buf.slice(off, len);
+            let e4 = crate::regcache::acquire(self.proc(), self.endpoint(), &region);
             self.compute(self.endpoint().cfg.host.req_bookkeep);
-            (e4, Some(e4))
+            (e4, Some((e4, region)))
         }
     }
 
@@ -248,8 +254,8 @@ impl Mpi {
                 }
             }
             event.free();
-            if let Some(e4) = unmap {
-                ep.ectx.unmap(e4);
+            if let Some((e4, region)) = unmap {
+                crate::regcache::release(self.proc(), &ep, &region, e4);
             }
         }
     }

@@ -51,6 +51,17 @@ pub struct NicConfig {
     pub tport_match: Dur,
     /// Eager/rendezvous switchover of the Tport protocol.
     pub tport_eager: usize,
+    /// Fixed host cost of establishing one MMU mapping: pinning the pages
+    /// and writing the translation into the NIC's MMU (syscall + command
+    /// port traffic, independent of length).
+    pub map_base: Dur,
+    /// Incremental mapping cost per 4 KiB page covered by the buffer
+    /// (page-table walk + per-entry MMU load).
+    pub map_per_page: Dur,
+    /// Tearing a mapping down: invalidating the NIC TLB entries and
+    /// unpinning (the shootdown makes unmap cheaper than map but never
+    /// free).
+    pub unmap_shootdown: Dur,
 }
 
 impl Default for NicConfig {
@@ -72,6 +83,9 @@ impl Default for NicConfig {
             queue_retry: Dur::from_us(1),
             tport_match: Dur::from_ns(350),
             tport_eager: 2048 - 32,
+            map_base: Dur::from_ns(700),
+            map_per_page: Dur::from_ns(150),
+            unmap_shootdown: Dur::from_ns(500),
         }
     }
 }
@@ -86,6 +100,14 @@ impl NicConfig {
     pub fn bus(&self, len: usize) -> Dur {
         Dur::for_bytes(len, self.bus_bytes_per_us)
     }
+
+    /// Cost of mapping a `len`-byte buffer into the NIC MMU: the fixed
+    /// pin/command cost plus a per-4KiB-page translation load. Zero-length
+    /// buffers still pin one page.
+    pub fn map_cost(&self, len: usize) -> Dur {
+        let pages = (len.max(1) as u64).div_ceil(0x1000);
+        self.map_base + self.map_per_page * pages
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +120,19 @@ mod tests {
         assert!(c.bus_bytes_per_us < 1300, "PCI-X is the bottleneck stage");
         assert_eq!(c.memcpy(2850).as_ns(), 1_000);
         assert_eq!(c.bus(1067).as_ns(), 1_000);
+    }
+
+    #[test]
+    fn map_cost_scales_with_pages() {
+        let c = NicConfig::default();
+        // One page minimum, even for tiny or empty buffers.
+        assert_eq!(c.map_cost(0), c.map_cost(1));
+        assert_eq!(c.map_cost(1), c.map_cost(0x1000));
+        // Each extra 4 KiB page adds exactly map_per_page.
+        let one = c.map_cost(0x1000);
+        let two = c.map_cost(0x1001);
+        assert_eq!(two.as_ns() - one.as_ns(), c.map_per_page.as_ns());
+        // Unmap (shootdown) is cheaper than any map.
+        assert!(c.unmap_shootdown < c.map_cost(1));
     }
 }

@@ -115,8 +115,13 @@ impl ElanCtx {
     }
 
     /// Map a buffer into Elan space (the "expanded memory descriptor" of
-    /// paper §4.2).
-    pub fn map(&self, buf: &HostBuf) -> E4Addr {
+    /// paper §4.2). Charges the calling process the registration cost —
+    /// pinning plus per-page MMU loads ([`NicConfig::map_cost`]) — before
+    /// the translation becomes visible.
+    ///
+    /// [`NicConfig::map_cost`]: crate::NicConfig::map_cost
+    pub fn map(&self, proc: &Proc, buf: &HostBuf) -> E4Addr {
+        proc.advance(self.cluster.cfg.map_cost(buf.len));
         let mut inner = self.cluster.inner.lock();
         inner
             .ctxs
@@ -127,7 +132,9 @@ impl ElanCtx {
     }
 
     /// Remove an Elan-space mapping; returns false if it was not mapped.
-    pub fn unmap(&self, addr: E4Addr) -> bool {
+    /// Charges the calling process the TLB-shootdown/unpin cost.
+    pub fn unmap(&self, proc: &Proc, addr: E4Addr) -> bool {
+        proc.advance(self.cluster.cfg.unmap_shootdown);
         let mut inner = self.cluster.inner.lock();
         inner
             .ctxs
@@ -135,6 +142,17 @@ impl ElanCtx {
             .expect("context detached")
             .mmu
             .unmap(addr)
+    }
+
+    /// Live mappings in this context's MMU (leak checks). A detached
+    /// context has no MMU state left, hence no mappings.
+    pub fn mapping_count(&self) -> usize {
+        let inner = self.cluster.inner.lock();
+        inner
+            .ctxs
+            .get(&self.vpid.raw())
+            .map(|c| c.mmu.mapping_count())
+            .unwrap_or(0)
     }
 
     // ---- queues ----------------------------------------------------------

@@ -5,11 +5,12 @@
 //! format RDMA descriptors carry (paper §4.2). Any NIC resolving an
 //! `E4Addr` consults the owning context's table; unmapped accesses fault.
 
+use std::collections::BTreeMap;
+
 use crate::types::{E4Addr, HostAddr, HostBuf, Vpid};
 
 #[derive(Clone, Debug)]
 struct Mapping {
-    va: u64,
     len: usize,
     host_off: usize,
 }
@@ -20,8 +21,9 @@ pub struct Mmu {
     vpid: Vpid,
     node: qsnet::NodeId,
     next_va: u64,
-    /// Sorted by `va`.
-    maps: Vec<Mapping>,
+    /// Keyed by starting `va`; VA ranges are disjoint, so a lookup is the
+    /// floor entry (`range(..=va).next_back()`) plus one bounds check.
+    maps: BTreeMap<u64, Mapping>,
 }
 
 /// An access through the MMU that does not hit a valid mapping.
@@ -55,7 +57,7 @@ impl Mmu {
             node,
             // Start away from zero so an uninitialized E4Addr faults.
             next_va: 0x1000,
-            maps: Vec::new(),
+            maps: BTreeMap::new(),
         }
     }
 
@@ -68,11 +70,13 @@ impl Mmu {
         let va = self.next_va;
         // Keep VA ranges disjoint even for zero-length maps.
         self.next_va += (buf.len as u64).max(1).next_multiple_of(0x1000);
-        self.maps.push(Mapping {
+        self.maps.insert(
             va,
-            len: buf.len,
-            host_off: buf.addr.off,
-        });
+            Mapping {
+                len: buf.len,
+                host_off: buf.addr.off,
+            },
+        );
         E4Addr {
             vpid: self.vpid,
             va,
@@ -81,22 +85,19 @@ impl Mmu {
 
     /// Remove the mapping that starts at `addr`.
     pub fn unmap(&mut self, addr: E4Addr) -> bool {
-        if let Some(i) = self.maps.iter().position(|m| m.va == addr.va) {
-            self.maps.remove(i);
-            true
-        } else {
-            false
-        }
+        self.maps.remove(&addr.va).is_some()
     }
 
     /// Translate an Elan-virtual range to a host address, checking bounds.
     pub fn translate(&self, addr: E4Addr, len: usize) -> Result<HostAddr, MmuFault> {
         debug_assert_eq!(addr.vpid, self.vpid);
-        for m in &self.maps {
-            if addr.va >= m.va && addr.va + len as u64 <= m.va + m.len as u64 {
+        // Ranges are disjoint, so only the mapping at or below `va` can
+        // contain the access.
+        if let Some((va, m)) = self.maps.range(..=addr.va).next_back() {
+            if addr.va + len as u64 <= va + m.len as u64 {
                 return Ok(HostAddr {
                     node: self.node,
-                    off: m.host_off + (addr.va - m.va) as usize,
+                    off: m.host_off + (addr.va - va) as usize,
                 });
             }
         }

@@ -130,14 +130,15 @@ fn rdma_write_moves_bytes() {
     let dst = b.alloc(8192);
     let pattern: Vec<u8> = (0..8192u32).map(|i| (i % 251) as u8).collect();
     a.write(&src, 0, &pattern);
-    let local = a.map(&src);
-    let remote = b.map(&dst);
 
     let done_t = Arc::new(AtomicU64::new(0));
     {
         let a = a.clone();
+        let b = b.clone();
         let dt = done_t.clone();
         sim.spawn("writer", move |p| {
+            let local = a.map(&p, &src);
+            let remote = b.map(&p, &dst);
             let ev = a.event_create(1);
             let sig = p.signal();
             ev.set_signal(sig.clone());
@@ -164,10 +165,10 @@ fn rdma_read_pulls_bytes() {
     let theirs = b.alloc(4096);
     let mine = a.alloc(4096);
     b.write(&theirs, 0, &vec![0xAB; 4096]);
-    let remote = b.map(&theirs);
-    let local = a.map(&mine);
 
     sim.spawn("reader", move |p| {
+        let remote = b.map(&p, &theirs);
+        let local = a.map(&p, &mine);
         let ev = a.event_create(1);
         let sig = p.signal();
         ev.set_signal(sig.clone());
@@ -190,11 +191,11 @@ fn rdma_read_slower_than_write_by_request_trip() {
         let b = Arc::new(ElanCtx::attach(&cl, 4).unwrap());
         let mine = a.alloc(256);
         let theirs = b.alloc(256);
-        let local = a.map(&mine);
-        let remote = b.map(&theirs);
         let t = Arc::new(AtomicU64::new(0));
         let t2 = t.clone();
         sim.spawn("p", move |p| {
+            let local = a.map(&p, &mine);
+            let remote = b.map(&p, &theirs);
             let ev = a.event_create(1);
             let sig = p.signal();
             ev.set_signal(sig.clone());
@@ -219,10 +220,10 @@ fn counted_event_fires_after_n_completions() {
     let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
     let mine = a.alloc(4 * 1024);
     let theirs = b.alloc(4 * 1024);
-    let local = a.map(&mine);
-    let remote = b.map(&theirs);
 
     sim.spawn("p", move |p| {
+        let local = a.map(&p, &mine);
+        let remote = b.map(&p, &theirs);
         let ev = a.event_create(3);
         let sig = p.signal();
         ev.set_signal(sig.clone());
@@ -257,8 +258,6 @@ fn chained_qdma_launches_on_event_fire() {
     let src = a.alloc(2048);
     let dst = b.alloc(2048);
     a.write(&src, 0, &[0x5A; 2048]);
-    let local = a.map(&src);
-    let remote = b.map(&dst);
 
     {
         let b = b.clone();
@@ -272,8 +271,11 @@ fn chained_qdma_launches_on_event_fire() {
     }
     {
         let a = a.clone();
+        let b = b.clone();
         sim.spawn("tx", move |p| {
             p.advance(Dur::from_ns(10));
+            let local = a.map(&p, &src);
+            let remote = b.map(&p, &dst);
             let ev = a.event_create(1);
             ev.chain_qdma(QdmaSpec {
                 dst: b_vpid,
@@ -599,9 +601,9 @@ fn counted_event_reset_and_reuse() {
     let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
     let mine = a.alloc(1024);
     let theirs = b.alloc(1024);
-    let local = a.map(&mine);
-    let remote = b.map(&theirs);
     sim.spawn("p", move |p| {
+        let local = a.map(&p, &mine);
+        let remote = b.map(&p, &theirs);
         let ev = a.event_create(2);
         let sig = p.signal();
         ev.set_signal(sig.clone());
@@ -632,10 +634,10 @@ fn rdma_to_unmapped_address_faults() {
     let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
     let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
     let mine = a.alloc(64);
-    let local = a.map(&mine);
     // Forge a remote address that was never mapped.
     let bogus = crate::E4Addr::from_raw(b.vpid(), 0xDEAD_0000);
     sim.spawn("p", move |p| {
+        let local = a.map(&p, &mine);
         a.rdma(&p, 0, DmaKind::Write, local, bogus, 64, None);
     });
     match sim.run() {

@@ -16,4 +16,9 @@ cargo test -q
 echo "== fault injection: reliability + dynamics/faults test groups"
 cargo test -q --test reliability --test dynamics_and_faults
 
+echo "== bench smoke: registration-cache before/after"
+# Exits nonzero unless the cached run is strictly faster with nonzero hits.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --reg-bench --bench-out BENCH_regcache.json
+
 echo "All checks passed."

@@ -74,6 +74,7 @@ fn exhausted_retries_fail_the_request_instead_of_panicking() {
             assert_eq!(pv.get("rel.reqs_failed"), Some(1), "send nacked");
         }
         assert_eq!(pv.get("queues.ctl_inflight"), Some(0), "buffers drained");
+        assert_eq!(ep.mapping_count(), 0, "failed request leaked a mapping");
     }
 }
 
