@@ -26,6 +26,13 @@
 //! registration cache off and on, prints the before/after JSON, and exits
 //! nonzero unless the cached run is strictly faster with nonzero hits;
 //! `--bench-out FILE` writes the same JSON to a file.
+//! `--bw-curve` measures streaming bandwidth across message sizes three
+//! ways — Open MPI with the chunked-RDMA pipeline, Open MPI forced onto
+//! the monolithic single-RDMA path, and MPICH-QsNet — with the
+//! registration cache off, prints the curve JSON (with the ompi-vs-mpich
+//! crossover size for both series), and exits nonzero unless the pipelined
+//! series is strictly faster at 256 KiB and 1 MiB; `--bench-out FILE`
+//! writes the same JSON to a file.
 
 use ompi_bench::{
     apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
@@ -65,6 +72,7 @@ fn main() {
     let mut watchdog: u64 = 64;
     let mut loss: u64 = 0;
     let mut reg_bench = false;
+    let mut bw_curve = false;
     let mut bench_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
@@ -102,6 +110,7 @@ fn main() {
                 }
             },
             "--reg-bench" => reg_bench = true,
+            "--bw-curve" => bw_curve = true,
             "--bench-out" => {
                 bench_out = args.next();
                 if bench_out.is_none() {
@@ -118,11 +127,11 @@ fn main() {
     }
     let selected: Vec<&str> = selected.iter().map(|s| s.as_str()).collect();
 
-    if selected.is_empty() && !emit_metrics && introspect_out.is_none() && !reg_bench {
+    if selected.is_empty() && !emit_metrics && introspect_out.is_none() && !reg_bench && !bw_curve {
         eprintln!(
             "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
              [--introspect-out FILE] [--watchdog N] [--loss N] \
-             [--reg-bench] [--bench-out FILE] \
+             [--reg-bench] [--bw-curve] [--bench-out FILE] \
              <experiment>... | all | paper | compare"
         );
         eprintln!("experiments:");
@@ -214,6 +223,76 @@ fn main() {
             eprintln!("[chrome trace written to {path}]");
         }
         eprintln!("[telemetry captured in {:.1?} wall time]", start.elapsed());
+    }
+
+    if bw_curve {
+        use ompi_bench::measure::{bw_curve, Setup};
+        use openmpi_core::{StackConfig, Transports};
+        let start = std::time::Instant::now();
+        // Rendezvous-sized messages from just below the pipeline floor up
+        // to multi-megabyte streams. Window 1: each message's registration
+        // sits on the critical path, which is what the pipeline attacks.
+        // Two rails: Open MPI stripes across both (pipelined chunks
+        // round-robin, the monolithic path splits per-rail) while the
+        // MPICH-QsNet Tport rides one rail, so the Open MPI series
+        // overtake the baseline once striping outweighs their per-message
+        // registration cost — the crossover the curve reports.
+        let sizes: &[usize] = &[
+            16 << 10,
+            32 << 10,
+            64 << 10,
+            128 << 10,
+            256 << 10,
+            512 << 10,
+            1 << 20,
+            2 << 20,
+            4 << 20,
+        ];
+        let setup = Setup {
+            nic: elan4::NicConfig::default(),
+            fabric: qsnet::FabricConfig {
+                rails: 2,
+                ..Default::default()
+            },
+            stack: StackConfig::default(),
+            transports: Transports {
+                elan_rails: 2,
+                tcp: false,
+            },
+        };
+        let report = bw_curve(&setup, sizes, 1, 8);
+        let json = report.to_json();
+        println!("{json}");
+        if let Some(path) = &bench_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[bandwidth curve written to {path}]");
+        }
+        eprintln!(
+            "[bw-curve: crossover vs mpich at {:?} pipelined / {:?} monolithic, \
+             in {:.1?} wall time]",
+            report.crossover(true),
+            report.crossover(false),
+            start.elapsed()
+        );
+        // The gate: with registration charged, chunking must win once the
+        // map cost is large enough to hide — 256 KiB and up.
+        let mut failed = false;
+        for gate_len in [256 << 10, 1 << 20] {
+            let p = report
+                .point(gate_len)
+                .expect("gate sizes are on the measured grid");
+            if p.pipelined <= p.monolithic {
+                eprintln!(
+                    "bw-curve FAILED: pipelined ({:.1} MB/s) not faster than \
+                     monolithic ({:.1} MB/s) at {} bytes",
+                    p.pipelined, p.monolithic, p.len
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
     }
 
     if reg_bench {

@@ -418,6 +418,97 @@ pub fn reg_cache_compare(setup: &Setup, len: usize, iters: usize) -> RegBenchRep
     }
 }
 
+/// One message size on the pipelined-rendezvous bandwidth curve.
+pub struct BwCurvePoint {
+    /// Message length in bytes.
+    pub len: usize,
+    /// Open MPI with the chunked-RDMA pipeline enabled, MB/s.
+    pub pipelined: f64,
+    /// Open MPI forced onto the monolithic single-RDMA path, MB/s.
+    pub monolithic: f64,
+    /// MPICH-QsNet baseline, MB/s.
+    pub mpich: f64,
+}
+
+/// Bandwidth-vs-size comparison of the pipelined and monolithic rendezvous
+/// against the MPICH-QsNet baseline.
+pub struct BwCurveReport {
+    /// Messages in flight per burst.
+    pub window: usize,
+    /// Bursts per point.
+    pub reps: usize,
+    /// One row per message size, ascending.
+    pub points: Vec<BwCurvePoint>,
+}
+
+impl BwCurveReport {
+    /// Smallest measured size at which the chosen Open MPI series matches
+    /// or beats the MPICH baseline; `None` if it never does.
+    pub fn crossover(&self, pipelined: bool) -> Option<usize> {
+        self.points
+            .iter()
+            .find(|p| (if pipelined { p.pipelined } else { p.monolithic }) >= p.mpich)
+            .map(|p| p.len)
+    }
+
+    /// The row for a specific message size, if it was measured.
+    pub fn point(&self, len: usize) -> Option<&BwCurvePoint> {
+        self.points.iter().find(|p| p.len == len)
+    }
+
+    /// One JSON document: the full curve plus both crossover points.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"len\":{},\"pipelined_mbs\":{:.3},\"monolithic_mbs\":{:.3},\
+                     \"mpich_mbs\":{:.3}}}",
+                    p.len, p.pipelined, p.monolithic, p.mpich
+                )
+            })
+            .collect();
+        let xo = |v: Option<usize>| v.map_or("null".to_string(), |n| n.to_string());
+        format!(
+            "{{\"bench\":\"bw_curve\",\"window\":{},\"reps\":{},\"points\":[{}],\
+             \"crossover_pipelined\":{},\"crossover_monolithic\":{}}}",
+            self.window,
+            self.reps,
+            rows.join(","),
+            xo(self.crossover(true)),
+            xo(self.crossover(false))
+        )
+    }
+}
+
+/// Measure the bandwidth curve: each size is run through Open MPI twice —
+/// pipeline enabled and pipeline disabled — and once through MPICH-QsNet.
+/// Both Open MPI series run with the registration cache **off**, so every
+/// message pays its full map cost; the gap between the two series is
+/// exactly the registration time the pipeline hides behind the wire.
+pub fn bw_curve(setup: &Setup, sizes: &[usize], window: usize, reps: usize) -> BwCurveReport {
+    let mut pipe_setup = setup.clone();
+    pipe_setup.stack.reg_cache = false;
+    pipe_setup.stack.pipeline_enable = true;
+    let mut mono_setup = pipe_setup.clone();
+    mono_setup.stack.pipeline_enable = false;
+    let points = sizes
+        .iter()
+        .map(|&len| BwCurvePoint {
+            len,
+            pipelined: ompi_bandwidth(&pipe_setup, len, window, reps),
+            monolithic: ompi_bandwidth(&mono_setup, len, window, reps),
+            mpich: mpich_bandwidth(&setup.nic, &setup.fabric, len, window, reps),
+        })
+        .collect();
+    BwCurveReport {
+        window,
+        reps,
+        points,
+    }
+}
+
 /// Everything the introspection stack yields from one watchdog-armed run:
 /// the job-wide pvar aggregation, each rank's raw snapshot, and any stall
 /// diagnostics the watchdog recorded.

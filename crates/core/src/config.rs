@@ -117,6 +117,18 @@ pub struct StackConfig {
     pub reg_cache_bytes: usize,
     /// Entry capacity of the registration cache.
     pub reg_cache_entries: usize,
+    /// Pipelined rendezvous: the DMA-issuing side splits its bulk share
+    /// into `pipeline_chunk`-sized pieces and registers chunk *i+1* while
+    /// chunk *i*'s RDMA is in flight, hiding the pin-down cost behind the
+    /// transfer (the MPICH2-over-InfiniBand optimization).
+    pub pipeline_enable: bool,
+    /// Bytes per pipeline chunk.
+    pub pipeline_chunk: usize,
+    /// Chunks allowed in flight per rail.
+    pub pipeline_depth: usize,
+    /// Elan shares shorter than this keep the monolithic single-RDMA path
+    /// (chunking overhead would outweigh the registration overlap).
+    pub pipeline_min_len: usize,
     /// Host-side layer costs.
     pub host: HostConfig,
     /// Copy-engine cost model.
@@ -192,6 +204,10 @@ impl Default for StackConfig {
             reg_cache: true,
             reg_cache_bytes: 32 << 20,
             reg_cache_entries: 128,
+            pipeline_enable: true,
+            pipeline_chunk: 32 << 10,
+            pipeline_depth: 4,
+            pipeline_min_len: 256 << 10,
             host: HostConfig::default(),
             copy: CopyModel::default(),
         }
@@ -248,6 +264,16 @@ impl StackConfig {
                 "registration cache capacities must be positive when enabled"
             );
         }
+        if self.pipeline_enable {
+            assert!(
+                self.pipeline_chunk > 0,
+                "pipeline chunk size must be positive when pipelining is enabled"
+            );
+            assert!(
+                self.pipeline_depth >= 1,
+                "pipeline depth must be >= 1 when pipelining is enabled"
+            );
+        }
     }
 }
 
@@ -268,6 +294,29 @@ mod tests {
         assert!(c.tcp_retransmit_backoff >= 1);
         assert!(c.reg_cache);
         assert!(c.reg_cache_bytes > 0 && c.reg_cache_entries > 0);
+        assert!(c.pipeline_enable);
+        assert!(c.pipeline_chunk > 0 && c.pipeline_depth >= 1);
+        assert!(c.pipeline_min_len >= c.pipeline_chunk);
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline depth must be >= 1")]
+    fn zero_pipeline_depth_rejected() {
+        let c = StackConfig {
+            pipeline_depth: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "pipeline chunk size must be positive")]
+    fn zero_pipeline_chunk_rejected() {
+        let c = StackConfig {
+            pipeline_chunk: 0,
+            ..Default::default()
+        };
+        c.validate();
     }
 
     #[test]

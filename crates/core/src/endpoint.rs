@@ -564,6 +564,14 @@ fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
                     worked = true;
                 }
             }
+            // Paced bulk work parks between dispatches; the thread must
+            // pump it, since nothing else polls in the thread modes.
+            if proto::tcp_push_pump(proc, ep) {
+                worked = true;
+            }
+            if proto::pipe_pump_all(proc, ep) {
+                worked = true;
+            }
         }
         if worked {
             continue;

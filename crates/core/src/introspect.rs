@@ -46,6 +46,10 @@ pub struct Tunables {
     retransmit_timeout_ns: AtomicU64,
     retransmit_backoff: AtomicU64,
     retransmit_max_retries: AtomicU64,
+    pipeline_enable: AtomicBool,
+    pipeline_chunk: AtomicUsize,
+    pipeline_depth: AtomicUsize,
+    pipeline_min_len: AtomicUsize,
     /// Progress ticks seen (progress passes + watchdog-timeout expiries).
     /// Lives here rather than in `Metrics` so the watchdog works with
     /// telemetry off.
@@ -64,8 +68,32 @@ impl Tunables {
             retransmit_timeout_ns: AtomicU64::new(cfg.tcp_retransmit_timeout.as_ns()),
             retransmit_backoff: AtomicU64::new(cfg.tcp_retransmit_backoff as u64),
             retransmit_max_retries: AtomicU64::new(cfg.tcp_max_retries as u64),
+            pipeline_enable: AtomicBool::new(cfg.pipeline_enable),
+            pipeline_chunk: AtomicUsize::new(cfg.pipeline_chunk),
+            pipeline_depth: AtomicUsize::new(cfg.pipeline_depth),
+            pipeline_min_len: AtomicUsize::new(cfg.pipeline_min_len),
             ticks: AtomicU64::new(0),
         }
+    }
+
+    /// Is the pipelined chunked-RDMA rendezvous enabled right now?
+    pub fn pipeline_enable(&self) -> bool {
+        self.pipeline_enable.load(Ordering::Relaxed)
+    }
+
+    /// Pipeline chunk size in bytes (clamped to >= 1).
+    pub fn pipeline_chunk(&self) -> usize {
+        self.pipeline_chunk.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Chunks allowed in flight per rail (clamped to >= 1).
+    pub fn pipeline_depth(&self) -> usize {
+        self.pipeline_depth.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Elan shares below this stay on the monolithic single-RDMA path.
+    pub fn pipeline_min_len(&self) -> usize {
+        self.pipeline_min_len.load(Ordering::Relaxed)
     }
 
     /// Current eager/rendezvous threshold in bytes.
@@ -269,6 +297,26 @@ pub const CVARS: &[CvarDef] = &[
         desc: "entry capacity of the registration cache",
         writable: true,
     },
+    CvarDef {
+        name: "pipe.enable",
+        desc: "pipelined chunked-RDMA rendezvous (overlap registration with transfer)",
+        writable: true,
+    },
+    CvarDef {
+        name: "pipe.chunk",
+        desc: "pipeline chunk size in bytes",
+        writable: true,
+    },
+    CvarDef {
+        name: "pipe.depth",
+        desc: "pipeline chunks allowed in flight per rail",
+        writable: true,
+    },
+    CvarDef {
+        name: "pipe.min_len",
+        desc: "Elan shares below this many bytes keep the monolithic RDMA path",
+        writable: true,
+    },
 ];
 
 fn scheme_name(s: RdmaScheme) -> &'static str {
@@ -320,6 +368,10 @@ pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
         "reg.cache" => CvarValue::Bool(ep.reg.lock().enabled()),
         "reg.cache_bytes" => CvarValue::U64(ep.reg.lock().cap_bytes() as u64),
         "reg.cache_entries" => CvarValue::U64(ep.reg.lock().cap_entries() as u64),
+        "pipe.enable" => CvarValue::Bool(ep.tunables.pipeline_enable()),
+        "pipe.chunk" => CvarValue::U64(ep.tunables.pipeline_chunk() as u64),
+        "pipe.depth" => CvarValue::U64(ep.tunables.pipeline_depth() as u64),
+        "pipe.min_len" => CvarValue::U64(ep.tunables.pipeline_min_len() as u64),
         _ => return None,
     };
     Some(v)
@@ -398,6 +450,34 @@ pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), Str
                 return Err("reg.cache_entries must be > 0".to_string());
             }
             ep.reg.lock().set_cap_entries(v as usize);
+            Ok(())
+        }
+        ("pipe.enable", CvarValue::Bool(b)) => {
+            ep.tunables.pipeline_enable.store(b, Ordering::Relaxed);
+            Ok(())
+        }
+        ("pipe.chunk", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("pipe.chunk must be > 0".to_string());
+            }
+            ep.tunables
+                .pipeline_chunk
+                .store(v as usize, Ordering::Relaxed);
+            Ok(())
+        }
+        ("pipe.depth", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("pipe.depth must be >= 1".to_string());
+            }
+            ep.tunables
+                .pipeline_depth
+                .store(v as usize, Ordering::Relaxed);
+            Ok(())
+        }
+        ("pipe.min_len", CvarValue::U64(v)) => {
+            ep.tunables
+                .pipeline_min_len
+                .store(v as usize, Ordering::Relaxed);
             Ok(())
         }
         (n, v) => {
@@ -498,7 +578,9 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
             .pending_dmas
             .iter()
             .map(|p| match &p.role {
-                DmaRole::Read { bytes, .. } | DmaRole::Write { bytes, .. } => *bytes,
+                DmaRole::Read { bytes, .. }
+                | DmaRole::Write { bytes, .. }
+                | DmaRole::Chunk { bytes, .. } => *bytes,
             })
             .sum();
         vars.push(("queues.send_reqs_live".into(), send_live as u64));
@@ -510,6 +592,8 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
         vars.push(("queues.comms".into(), st.comms.len() as u64));
         vars.push(("queues.ctl_inflight".into(), st.ctl_inflight.len() as u64));
         vars.push(("queues.failed_peers".into(), st.failed_peers.len() as u64));
+        vars.push(("queues.pipelines_live".into(), st.pipelines.len() as u64));
+        vars.push(("queues.tcp_pushes_live".into(), st.tcp_pushes.len() as u64));
     }
 
     // Telemetry counters: read from Metrics, never a second tally.
@@ -537,6 +621,12 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
             ("rel.ctl_acks_sent", c.ctl_acks_sent),
             ("rel.reqs_failed", c.reqs_failed),
             ("rel.errs_surfaced", c.errs_surfaced),
+            ("pipe.started", c.pipe_started),
+            ("pipe.fallback", c.pipe_fallback),
+            ("pipe.chunks_issued", c.pipe_chunks_issued),
+            ("pipe.chunks_landed", c.pipe_chunks_landed),
+            ("pipe.depth_hwm", c.pipe_depth_hwm),
+            ("pipe.reg_overlap_ns", c.pipe_reg_overlap_ns),
         ] {
             vars.push((name.to_string(), v));
         }
@@ -881,6 +971,15 @@ fn watchdog_scan(ep: &Endpoint, now: Time) -> Option<StallDiagnostic> {
                 DmaRole::Write { bytes, .. } => DmaSummary {
                     token: p.token,
                     role: "write",
+                    bytes: *bytes,
+                },
+                DmaRole::Chunk { bytes, is_read, .. } => DmaSummary {
+                    token: p.token,
+                    role: if *is_read {
+                        "chunk_read"
+                    } else {
+                        "chunk_write"
+                    },
                     bytes: *bytes,
                 },
             })

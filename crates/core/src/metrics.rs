@@ -131,6 +131,21 @@ pub struct Counters {
     pub reg_evictions: u64,
     /// Bytes currently covered by cached mappings.
     pub reg_mapped_bytes: u64,
+    /// Rendezvous bulk transfers that went through the pipelined chunk
+    /// engine.
+    pub pipe_started: u64,
+    /// Rendezvous bulk transfers eligible by scheme but kept monolithic
+    /// (pipelining disabled, or the share below `pipe.min_len`).
+    pub pipe_fallback: u64,
+    /// Pipeline chunks handed to the NIC.
+    pub pipe_chunks_issued: u64,
+    /// Pipeline chunk completions observed.
+    pub pipe_chunks_landed: u64,
+    /// Deepest any one pipeline's in-flight chunk count ever got.
+    pub pipe_depth_hwm: u64,
+    /// Registration time charged while at least one chunk of the same
+    /// pipeline was in flight — pin-down latency hidden behind the wire.
+    pub pipe_reg_overlap_ns: u64,
     /// Collective operations entered, indexed as [`COLL_OPS`].
     pub coll: [u64; 13],
 }
@@ -144,6 +159,11 @@ impl Counters {
     /// Raise the unexpected-queue high-water mark to `depth`.
     pub fn unexpected_depth(&mut self, depth: usize) {
         self.unexpected_hwm = self.unexpected_hwm.max(depth as u64);
+    }
+
+    /// Raise the pipeline in-flight high-water mark to `depth`.
+    pub fn pipe_depth(&mut self, depth: usize) {
+        self.pipe_depth_hwm = self.pipe_depth_hwm.max(depth as u64);
     }
 }
 
@@ -332,6 +352,9 @@ impl Metrics {
              \"corrupt_frames\":{},\"ctl_acks_sent\":{},\"reqs_failed\":{},\
              \"errs_surfaced\":{},\"reg_hits\":{},\"reg_misses\":{},\
              \"reg_evictions\":{},\"reg_mapped_bytes\":{},\
+             \"pipe_started\":{},\"pipe_fallback\":{},\
+             \"pipe_chunks_issued\":{},\"pipe_chunks_landed\":{},\
+             \"pipe_depth_hwm\":{},\"pipe_reg_overlap_ns\":{},\
              \"coll\":{{{}}}}},\
              \"histograms\":{{\"match_time\":{},\"rndv_handshake\":{},\"completion_time\":{}}}}}",
             c.eager_sent,
@@ -359,6 +382,12 @@ impl Metrics {
             c.reg_misses,
             c.reg_evictions,
             c.reg_mapped_bytes,
+            c.pipe_started,
+            c.pipe_fallback,
+            c.pipe_chunks_issued,
+            c.pipe_chunks_landed,
+            c.pipe_depth_hwm,
+            c.pipe_reg_overlap_ns,
             coll.join(","),
             self.match_time.to_json(),
             self.rndv_handshake.to_json(),
@@ -481,6 +510,9 @@ mod tests {
         m.counters.retransmits = 1;
         m.counters.corrupt_frames = 4;
         m.counters.reg_hits = 7;
+        m.counters.pipe_started = 2;
+        m.counters.pipe_chunks_issued = 9;
+        m.counters.pipe_depth(3);
         m.match_time.record(Dur::from_ns(300));
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -498,6 +530,12 @@ mod tests {
         assert!(j.contains("\"reg_misses\":0"));
         assert!(j.contains("\"reg_evictions\":0"));
         assert!(j.contains("\"reg_mapped_bytes\":0"));
+        assert!(j.contains("\"pipe_started\":2"));
+        assert!(j.contains("\"pipe_fallback\":0"));
+        assert!(j.contains("\"pipe_chunks_issued\":9"));
+        assert!(j.contains("\"pipe_chunks_landed\":0"));
+        assert!(j.contains("\"pipe_depth_hwm\":3"));
+        assert!(j.contains("\"pipe_reg_overlap_ns\":0"));
         assert!(j.contains("\"match_time\":{\"count\":1"));
     }
 }

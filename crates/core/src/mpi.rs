@@ -306,6 +306,15 @@ impl Mpi {
         proto::test(&self.proc, &self.ep, req)
     }
 
+    /// Fail a live request in place, taking the same teardown a NACK or an
+    /// internal protocol error would (mid-pipeline chunk mappings included).
+    /// Fault-path test hook, not part of the MPI surface: the peer is not
+    /// notified, so the test must degrade both ends itself.
+    #[doc(hidden)]
+    pub fn abort_request(&self, req: Request, err: crate::state::MpiErrClass) {
+        proto::fail_request(&self.proc, &self.ep, req.kind, req.id, err);
+    }
+
     /// Wait for every request in order. Request errors are dropped, as with
     /// MPI_STATUSES_IGNORE; use [`Mpi::waitall_result`] to observe them.
     pub fn waitall(&self, reqs: impl IntoIterator<Item = Request>) {

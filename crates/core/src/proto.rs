@@ -18,8 +18,8 @@ use crate::config::{CompletionMode, ProgressMode, RdmaScheme};
 use crate::endpoint::Endpoint;
 use crate::hdr::{Hdr, HdrType, MAX_INLINE};
 use crate::state::{
-    DmaRole, EpState, InflightCtl, MatchInfo, MpiErrClass, PendingDma, RecvReq, SendReq,
-    UnexpectedFrag,
+    DmaRole, EpState, InflightCtl, MatchInfo, MpiErrClass, PendingDma, PipeChunk, PipeState,
+    RecvReq, SendReq, TcpPush, UnexpectedFrag,
 };
 
 /// Payload room in one TCP frame after the 64-byte header.
@@ -229,7 +229,13 @@ pub fn post_send_mode(
         Some(b)
     };
     let region = bounce.unwrap_or(buf);
-    let src_e4 = if msg_len > 0 {
+    // The read scheme needs the whole source exposed up front: the receiver
+    // pulls straight out of it, and the remote side of an RDMA must be one
+    // contiguous mapping. The write scheme's source is only touched by our
+    // own descriptors, so its registration is deferred to the ACK — where
+    // the pipelined path registers it chunk by chunk, overlapped with the
+    // transfer, and the monolithic path acquires it lazily.
+    let src_e4 = if msg_len > 0 && ep.cfg.scheme == RdmaScheme::Read {
         proc.advance(host.req_bookkeep); // MMU table bookkeeping
                                          // User buffers go through the pin-down cache; bounce buffers are
                                          // freed on completion, so caching their mapping would go stale.
@@ -547,6 +553,13 @@ pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
         dma_done(proc, ep, p.token, p.role);
         any = true;
     }
+    // Paced bulk work: parked TCP pushes and pipeline windows with room.
+    if tcp_push_pump(proc, ep) {
+        any = true;
+    }
+    if pipe_pump_all(proc, ep) {
+        any = true;
+    }
     any
 }
 
@@ -811,65 +824,71 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
         return;
     };
     let pull_elan = ep.cfg.scheme == RdmaScheme::Read && elan_share > 0;
+    // Pipelined pull: the local destination is registered chunk by chunk by
+    // the chunk engine (overlapped with the pulls), so the full-region map
+    // below is skipped. The sender's side stays one contiguous mapping —
+    // the remote side of an RDMA must translate in a single mapping.
+    let pipe_read = pull_elan && pipe_eligible(ep, elan_share);
 
     // Expose the destination region when RDMA will land data here. The
     // mapping charges time, so it happens *outside* the state lock: read
     // the region under the lock, register, then publish the result —
     // tolerating the request having been raced to a mapping or failed in
     // the meantime.
-    let dst_e4 =
-        if remainder > 0 && (pull_elan || (ep.cfg.scheme == RdmaScheme::Write && elan_share > 0)) {
-            let (have, region, cacheable) = {
-                let st = ep.state.lock();
-                let r = st.recv_reqs.get(&rid).unwrap();
-                (r.dst_e4, r.bounce.unwrap_or(r.buf), r.bounce.is_none())
-            };
-            let e4 = match have {
-                Some(e4) => e4,
-                None => {
-                    let fresh = if cacheable {
-                        crate::regcache::acquire(proc, ep, &region)
-                    } else {
-                        ep.ectx.map(proc, &region)
-                    };
-                    enum Publish {
-                        Stored,
-                        Raced(E4Addr),
-                        Gone,
+    let dst_e4 = if remainder > 0
+        && ((pull_elan && !pipe_read) || (ep.cfg.scheme == RdmaScheme::Write && elan_share > 0))
+    {
+        let (have, region, cacheable) = {
+            let st = ep.state.lock();
+            let r = st.recv_reqs.get(&rid).unwrap();
+            (r.dst_e4, r.bounce.unwrap_or(r.buf), r.bounce.is_none())
+        };
+        let e4 = match have {
+            Some(e4) => e4,
+            None => {
+                let fresh = if cacheable {
+                    crate::regcache::acquire(proc, ep, &region)
+                } else {
+                    ep.ectx.map(proc, &region)
+                };
+                enum Publish {
+                    Stored,
+                    Raced(E4Addr),
+                    Gone,
+                }
+                let publish = {
+                    let mut st = ep.state.lock();
+                    match st.recv_reqs.get_mut(&rid) {
+                        Some(r) if !r.done => match r.dst_e4 {
+                            Some(other) => Publish::Raced(other),
+                            None => {
+                                r.dst_e4 = Some(fresh);
+                                Publish::Stored
+                            }
+                        },
+                        _ => Publish::Gone,
                     }
-                    let publish = {
-                        let mut st = ep.state.lock();
-                        match st.recv_reqs.get_mut(&rid) {
-                            Some(r) if !r.done => match r.dst_e4 {
-                                Some(other) => Publish::Raced(other),
-                                None => {
-                                    r.dst_e4 = Some(fresh);
-                                    Publish::Stored
-                                }
-                            },
-                            _ => Publish::Gone,
-                        }
-                    };
-                    match publish {
-                        Publish::Stored => fresh,
-                        Publish::Raced(other) => {
-                            crate::regcache::release(proc, ep, &region, fresh);
-                            other
-                        }
-                        Publish::Gone => {
-                            // Failed (or reaped) while we were mapping:
-                            // nothing left to pull into.
-                            crate::regcache::release(proc, ep, &region, fresh);
-                            return;
-                        }
+                };
+                match publish {
+                    Publish::Stored => fresh,
+                    Publish::Raced(other) => {
+                        crate::regcache::release(proc, ep, &region, fresh);
+                        other
+                    }
+                    Publish::Gone => {
+                        // Failed (or reaped) while we were mapping:
+                        // nothing left to pull into.
+                        crate::regcache::release(proc, ep, &region, fresh);
+                        return;
                     }
                 }
-            };
-            proc.advance(ep.cfg.host.req_bookkeep);
-            Some(e4)
-        } else {
-            None
+            }
         };
+        proc.advance(ep.cfg.host.req_bookkeep);
+        Some(e4)
+    } else {
+        None
+    };
 
     match ep.cfg.scheme {
         RdmaScheme::Read => {
@@ -879,22 +898,54 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                 // bytes in one control message (Fig. 4).
                 let src_e4 = E4Addr::from_raw(Vpid(hdr.e4_vpid), hdr.e4_va);
                 let credit = inline_len + elan_share;
-                issue_rdma(
-                    proc,
-                    ep,
-                    &peer,
-                    DmaKind::Read,
-                    dst_e4.unwrap().offset(inline_len),
-                    src_e4.offset(inline_len),
-                    elan_share,
-                    DmaRole::Read {
-                        recv_req: rid,
-                        bytes: elan_share,
-                        fin_ack: None,
-                    },
-                    make_fin_ack(hdr.send_req, credit),
-                );
-                ep.metric(|m| m.counters.rdma_read_batches += 1);
+                if pipe_read {
+                    // Chunked pull: register the landing region piece by
+                    // piece, overlapped with the in-flight pulls; the
+                    // FIN_ACK rides the final chunk.
+                    let dst = {
+                        let st = ep.state.lock();
+                        st.recv_reqs
+                            .get(&rid)
+                            .filter(|r| !r.done)
+                            .map(|r| (r.bounce.unwrap_or(r.buf), r.bounce.is_none()))
+                    };
+                    if let Some((region, cacheable)) = dst {
+                        ep.metric(|m| m.counters.rdma_read_batches += 1);
+                        pipe_start(
+                            proc,
+                            ep,
+                            true,
+                            rid,
+                            frag.from,
+                            src_e4.offset(inline_len),
+                            region,
+                            inline_len,
+                            elan_share,
+                            cacheable,
+                            make_fin_ack(hdr.send_req, credit),
+                        );
+                    }
+                } else {
+                    if ep.tunables.pipeline_enable() {
+                        ep.metric(|m| m.counters.pipe_fallback += 1);
+                    }
+                    issue_rdma(
+                        proc,
+                        ep,
+                        &peer,
+                        DmaKind::Read,
+                        dst_e4.unwrap().offset(inline_len),
+                        src_e4.offset(inline_len),
+                        elan_share,
+                        DmaRole::Read {
+                            recv_req: rid,
+                            bytes: elan_share,
+                            fin_ack: None,
+                        },
+                        make_fin_ack(hdr.send_req, credit),
+                    );
+                    ep.metric(|m| m.counters.rdma_read_batches += 1);
+                }
             } else if let Some(route) = first_route(ep, &peer) {
                 // Nothing to pull: acknowledge the rendezvous (and the
                 // inline bytes) immediately. An unroutable peer just means
@@ -970,7 +1021,7 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
     let range_start = hdr.offset as usize;
     let range_len = hdr.msg_len as usize;
 
-    let Some((peer, src_e4, src_region)) = ({
+    let Some((peer, src_e4, src_region, cacheable, msg_len)) = ({
         let mut st = ep.state.lock();
         match st.send_reqs.get_mut(&sid) {
             Some(r) => {
@@ -978,8 +1029,10 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
                 let dst = r.dst;
                 let src_e4 = r.src_e4;
                 let region = r.src_region;
+                let cacheable = r.bounce.is_none();
+                let msg_len = r.msg_len;
                 let peer = st.peers[&dst].clone();
-                Some((peer, src_e4, region))
+                Some((peer, src_e4, region, cacheable, msg_len))
             }
             None => None,
         }
@@ -987,6 +1040,15 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
         return;
     };
     first_receiver_contact(proc, ep, sid);
+
+    if range_start + range_len > msg_len {
+        // A protocol invariant broke: the ACK describes a transfer range
+        // outside the message. Abandon the request (and tell the receiver
+        // to do the same) instead of panicking the rank.
+        send_nack(proc, ep, &peer, 0, hdr.recv_req, MpiErrClass::Internal);
+        fail_request(proc, ep, ReqKind::Send, sid, MpiErrClass::Internal);
+        return;
+    }
 
     if range_len > 0 {
         proc.advance(host.sched);
@@ -1010,45 +1072,105 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
             let mut fin = Hdr::new(HdrType::Fin);
             fin.recv_req = hdr.recv_req;
             fin.offset = elan_share as u64;
-            issue_rdma(
-                proc,
-                ep,
-                &peer,
-                DmaKind::Write,
-                src_e4
-                    .expect("rendezvous send without a mapped source")
-                    .offset(range_start),
-                dst_e4.offset(range_start),
-                elan_share,
-                DmaRole::Write {
-                    send_req: sid,
-                    bytes: elan_share,
-                    fin: None,
-                },
-                fin,
-            );
-            ep.metric(|m| m.counters.rdma_write_batches += 1);
+            if src_e4.is_none() && pipe_eligible(ep, elan_share) {
+                // Chunked push: the source was left unregistered at post
+                // time; register it piece by piece, overlapped with the
+                // in-flight writes. The FIN rides the final chunk.
+                ep.metric(|m| m.counters.rdma_write_batches += 1);
+                pipe_start(
+                    proc,
+                    ep,
+                    false,
+                    sid,
+                    peer.name,
+                    dst_e4.offset(range_start),
+                    src_region,
+                    range_start,
+                    elan_share,
+                    cacheable,
+                    fin,
+                );
+            } else {
+                // Monolithic write: the whole source must be exposed. The
+                // write scheme defers the post-time map, so acquire it
+                // lazily here (also covering pipelining having been turned
+                // off between post and ACK), tolerating the request having
+                // been raced to a mapping or failed while registering.
+                if ep.tunables.pipeline_enable() {
+                    ep.metric(|m| m.counters.pipe_fallback += 1);
+                }
+                let src_e4 = match src_e4 {
+                    Some(e4) => e4,
+                    None => {
+                        proc.advance(host.req_bookkeep);
+                        let fresh = if cacheable {
+                            crate::regcache::acquire(proc, ep, &src_region)
+                        } else {
+                            ep.ectx.map(proc, &src_region)
+                        };
+                        let published = {
+                            let mut st = ep.state.lock();
+                            match st.send_reqs.get_mut(&sid) {
+                                Some(r) if !r.done => match r.src_e4 {
+                                    Some(other) => Some(other),
+                                    None => {
+                                        r.src_e4 = Some(fresh);
+                                        Some(fresh)
+                                    }
+                                },
+                                _ => None,
+                            }
+                        };
+                        match published {
+                            Some(e4) if e4 == fresh => e4,
+                            Some(other) => {
+                                crate::regcache::release(proc, ep, &src_region, fresh);
+                                other
+                            }
+                            None => {
+                                // Failed (or reaped) while we were mapping.
+                                crate::regcache::release(proc, ep, &src_region, fresh);
+                                return;
+                            }
+                        }
+                    }
+                };
+                issue_rdma(
+                    proc,
+                    ep,
+                    &peer,
+                    DmaKind::Write,
+                    src_e4.offset(range_start),
+                    dst_e4.offset(range_start),
+                    elan_share,
+                    DmaRole::Write {
+                        send_req: sid,
+                        bytes: elan_share,
+                        fin: None,
+                    },
+                    fin,
+                );
+                ep.metric(|m| m.counters.rdma_write_batches += 1);
+            }
         }
         if tcp_share > 0 {
-            // Push fragments over TCP; buffered semantics credit at issue.
+            // Push fragments over TCP, paced by the chunk engine's depth
+            // knob: `handle_ack` no longer fragments the whole share in one
+            // unbounded loop — the push is parked and drained a bounded
+            // burst per progress pass (buffered semantics still credit each
+            // fragment at issue).
             let start = range_start + elan_share;
-            let end = start + tcp_share;
-            let mut off = start;
-            while off < end {
-                let take = (end - off).min(TCP_FRAG_PAYLOAD);
-                let bytes = ep.read_buf(&src_region, off, take);
-                let mut fh = Hdr::new(HdrType::Frag);
-                fh.recv_req = hdr.recv_req;
-                fh.offset = off as u64;
-                proc.advance(host.hdr_build);
-                send_frame(proc, ep, &peer, Route::Tcp, fh, bytes);
-                ep.metric(|m| m.counters.frags_sent += 1);
-                off += take;
-            }
-            let mut st = ep.state.lock();
-            if let Some(r) = st.send_reqs.get_mut(&sid) {
-                r.bytes_confirmed += tcp_share;
-            }
+            let mut fh = Hdr::new(HdrType::Frag);
+            fh.recv_req = hdr.recv_req;
+            ep.state.lock().tcp_pushes.push(TcpPush {
+                send_req: sid,
+                peer: peer.name,
+                src_region,
+                frag_hdr: fh,
+                next_off: start,
+                end: start + tcp_share,
+            });
+            tcp_push_pump(proc, ep);
         }
     }
     maybe_complete_send(proc, ep, sid);
@@ -1072,7 +1194,9 @@ fn handle_frag(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payload: Vec<u8>) {
 /// trace span can be closed.
 fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
     let bytes = match &role {
-        DmaRole::Read { bytes, .. } | DmaRole::Write { bytes, .. } => *bytes,
+        DmaRole::Read { bytes, .. }
+        | DmaRole::Write { bytes, .. }
+        | DmaRole::Chunk { bytes, .. } => *bytes,
     };
     ep.trace(proc.now(), crate::trace::TraceEvent::DmaDone { bytes });
     ep.trace(
@@ -1117,6 +1241,13 @@ fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
                 }
             }
             credit_send(proc, ep, send_req, bytes);
+        }
+        DmaRole::Chunk {
+            req,
+            bytes,
+            is_read,
+        } => {
+            pipe_chunk_landed(proc, ep, req, token, bytes, is_read);
         }
     }
 }
@@ -1476,6 +1607,7 @@ fn issue_rdma(
                 bytes,
                 fin: Some((0, peer.name, control)),
             },
+            DmaRole::Chunk { .. } => unreachable!("pipelined chunks use pipe_issue_chunk"),
         };
     }
 
@@ -1551,6 +1683,583 @@ fn issue_rdma(
     }
 }
 
+// ---------------------------------------------------------------------------
+// pipelined rendezvous: chunked RDMA with registration/transfer overlap
+// ---------------------------------------------------------------------------
+
+/// Is an Elan bulk share worth pipelining? Gated on the runtime tunables:
+/// pipelining enabled, share at least `pipe.min_len`, and spanning more
+/// than one chunk (a single chunk is the monolithic path with extra
+/// bookkeeping).
+fn pipe_eligible(ep: &Arc<Endpoint>, elan_share: usize) -> bool {
+    ep.tunables.pipeline_enable()
+        && elan_share >= ep.tunables.pipeline_min_len()
+        && elan_share > ep.tunables.pipeline_chunk()
+}
+
+/// Begin a pipelined bulk transfer and issue its first window of chunks.
+/// `remote` addresses the first bulk byte on the peer — one contiguous peer
+/// mapping, because the remote side of an RDMA must translate within a
+/// single mapping; only the local, DMA-issuing side is chunked. `base_off`
+/// locates that byte in the local `region`.
+#[allow(clippy::too_many_arguments)]
+fn pipe_start(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    is_read: bool,
+    req: u64,
+    peer: ProcName,
+    remote: E4Addr,
+    region: HostBuf,
+    base_off: usize,
+    total: usize,
+    cacheable: bool,
+    fin: Hdr,
+) {
+    let rails = ep.transports.elan_rails.max(1);
+    let ps = PipeState {
+        is_read,
+        req,
+        peer,
+        remote,
+        region,
+        base_off,
+        total,
+        chunk: ep.tunables.pipeline_chunk(),
+        depth: ep.tunables.pipeline_depth(),
+        rails,
+        cacheable,
+        next_off: 0,
+        landed: 0,
+        inflight: Vec::new(),
+        per_rail: vec![0; rails],
+        staged_final: None,
+        fin,
+        next_rail: 0,
+    };
+    ep.state.lock().pipelines.insert(req, ps);
+    ep.metric(|m| m.counters.pipe_started += 1);
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SpanBegin {
+            id: req,
+            cat: "pipe",
+            name: "pipe_transfer",
+        },
+    );
+    pipe_pump(proc, ep, req);
+}
+
+/// One scheduling step the pump decided on (computed under the state lock,
+/// executed outside it — registration and descriptor issue both consume
+/// virtual time).
+enum PipeStep {
+    /// Register and issue the chunk at `off`.
+    Mid {
+        off: usize,
+        len: usize,
+        rail: usize,
+        overlap: bool,
+    },
+    /// Register the final chunk's mapping ahead of time (no descriptor).
+    Stage {
+        off: usize,
+        len: usize,
+        overlap: bool,
+    },
+    /// Issue the final chunk from its staged mapping, with the control.
+    Last {
+        off: usize,
+        len: usize,
+        rail: usize,
+        sub: HostBuf,
+        e4: E4Addr,
+    },
+    /// Window full (or waiting out the hold-back) — nothing to do.
+    Idle,
+}
+
+/// Round-robin rail choice honoring the per-rail in-flight cap.
+fn pipe_pick_rail(ps: &mut PipeState) -> Option<usize> {
+    for i in 0..ps.rails {
+        let r = (ps.next_rail + i) % ps.rails;
+        if ps.per_rail[r] < ps.depth {
+            ps.next_rail = (r + 1) % ps.rails;
+            return Some(r);
+        }
+    }
+    None
+}
+
+/// Keep one pipeline's window full: issue chunk descriptors while the
+/// per-rail in-flight window has room, registering each next chunk while
+/// earlier ones are on the wire — the overlap this engine exists for.
+///
+/// The final chunk carries the chained FIN/FIN_ACK, and chunks complete out
+/// of order across rails, so it is *held back* until every other chunk has
+/// landed (the peer must not see the control — and release its mapping —
+/// while data is still in flight). Its registration is staged ahead of
+/// time, so the hold-back tail costs one descriptor issue, not a map.
+/// Depth 1 on one rail degenerates to strictly sequential chunks with the
+/// same message semantics as the monolithic path.
+fn pipe_pump(proc: &Proc, ep: &Arc<Endpoint>, req: u64) -> bool {
+    let mut worked = false;
+    loop {
+        let (step, peer, info) = {
+            let mut st = ep.state.lock();
+            let Some(ps) = st.pipelines.get_mut(&req) else {
+                return worked;
+            };
+            let final_off = ps.final_off();
+            let step = if ps.next_off < final_off {
+                match pipe_pick_rail(ps) {
+                    Some(rail) => {
+                        let off = ps.next_off;
+                        let len = ps.chunk.min(final_off - off);
+                        ps.next_off += len;
+                        ps.per_rail[rail] += 1;
+                        PipeStep::Mid {
+                            off,
+                            len,
+                            rail,
+                            overlap: !ps.inflight.is_empty(),
+                        }
+                    }
+                    None => PipeStep::Idle,
+                }
+            } else if ps.next_off == final_off && ps.staged_final.is_none() {
+                PipeStep::Stage {
+                    off: final_off,
+                    len: ps.total - final_off,
+                    overlap: !ps.inflight.is_empty(),
+                }
+            } else if ps.next_off == final_off {
+                // The final chunk may launch once the chained control can
+                // no longer overtake data: either the window is empty, or
+                // everything still in flight rides ONE rail and the final
+                // chunk queues behind it (per-rail bus ordering makes its
+                // completion — and thus the chained FIN/FIN_ACK — strictly
+                // later).
+                let rail = match ps.inflight.as_slice() {
+                    [] => pipe_pick_rail(ps),
+                    [first, rest @ ..] if rest.iter().all(|c| c.rail == first.rail) => {
+                        (ps.per_rail[first.rail] < ps.depth).then_some(first.rail)
+                    }
+                    _ => None,
+                };
+                match rail {
+                    Some(rail) => {
+                        let (sub, e4) = ps.staged_final.take().unwrap();
+                        ps.next_off = ps.total;
+                        ps.per_rail[rail] += 1;
+                        PipeStep::Last {
+                            off: final_off,
+                            len: ps.total - final_off,
+                            rail,
+                            sub,
+                            e4,
+                        }
+                    }
+                    None => PipeStep::Idle,
+                }
+            } else {
+                PipeStep::Idle
+            };
+            let peer_name = ps.peer;
+            let info = (
+                ps.region,
+                ps.base_off,
+                ps.cacheable,
+                ps.remote,
+                ps.is_read,
+                ps.fin.clone(),
+            );
+            (step, st.peers.get(&peer_name).cloned(), info)
+        };
+        let Some(peer) = peer else { return worked };
+        let (region, base_off, cacheable, remote, is_read, fin) = info;
+        match step {
+            PipeStep::Idle => return worked,
+            PipeStep::Stage { off, len, overlap } => {
+                let sub = region.slice(base_off + off, len);
+                let e4 = pipe_register(proc, ep, &sub, cacheable, overlap);
+                let parked = {
+                    let mut st = ep.state.lock();
+                    match st.pipelines.get_mut(&req) {
+                        Some(ps) => {
+                            ps.staged_final = Some((sub, e4));
+                            true
+                        }
+                        None => false,
+                    }
+                };
+                if !parked {
+                    // Torn down while registering: nothing references the
+                    // staged mapping any more.
+                    crate::regcache::release(proc, ep, &sub, e4);
+                    return worked;
+                }
+                worked = true;
+            }
+            PipeStep::Mid {
+                off,
+                len,
+                rail,
+                overlap,
+            } => {
+                let sub = region.slice(base_off + off, len);
+                let e4 = pipe_register(proc, ep, &sub, cacheable, overlap);
+                pipe_issue_chunk(
+                    proc, ep, &peer, req, is_read, rail, sub, e4, remote, off, len, None,
+                );
+                worked = true;
+            }
+            PipeStep::Last {
+                off,
+                len,
+                rail,
+                sub,
+                e4,
+            } => {
+                pipe_issue_chunk(
+                    proc,
+                    ep,
+                    &peer,
+                    req,
+                    is_read,
+                    rail,
+                    sub,
+                    e4,
+                    remote,
+                    off,
+                    len,
+                    Some(fin),
+                );
+                worked = true;
+            }
+        }
+    }
+}
+
+/// Register one chunk's sub-buffer, charging the same request-bookkeeping
+/// cost the monolithic path pays per mapping. Registration time spent while
+/// other chunks are on the wire is the overlap the engine exists to win —
+/// count it.
+fn pipe_register(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    sub: &HostBuf,
+    cacheable: bool,
+    overlap: bool,
+) -> E4Addr {
+    let t0 = proc.now();
+    proc.advance(ep.cfg.host.req_bookkeep);
+    let e4 = if cacheable {
+        crate::regcache::acquire(proc, ep, sub)
+    } else {
+        ep.ectx.map(proc, sub)
+    };
+    if overlap {
+        let dt = proc.now().saturating_sub(t0);
+        ep.metric(|m| m.counters.pipe_reg_overlap_ns += dt.as_ns());
+    }
+    e4
+}
+
+/// Create the completion event, attach the chained control on the final
+/// chunk, publish the in-flight record, and fire one chunk descriptor.
+#[allow(clippy::too_many_arguments)]
+fn pipe_issue_chunk(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    peer: &crate::peer::PeerInfo,
+    req: u64,
+    is_read: bool,
+    rail: usize,
+    sub: HostBuf,
+    e4: E4Addr,
+    remote: E4Addr,
+    off: usize,
+    len: usize,
+    fin: Option<Hdr>,
+) {
+    let event = Arc::new(ep.ectx.event_create(1));
+    let e_peer = peer.elan.as_ref().expect("rdma to a peer without elan");
+    let last = fin.is_some();
+    if let Some(ctl) = fin {
+        if ep.cfg.chained_fin {
+            // The NIC fires the FIN/FIN_ACK off the final chunk without
+            // host involvement. It bypasses `send_frame`, so the control
+            // counter is bumped here.
+            ep.metric(|m| {
+                if let Some(i) = control_idx(ctl.kind) {
+                    m.counters.control(i);
+                }
+            });
+            event.chain_qdma(QdmaSpec {
+                dst: e_peer.vpid,
+                queue: e_peer.main_q,
+                data: ctl.frame(&[]),
+                rail: 0,
+            });
+        }
+        // Not chained: `pipe_chunk_landed` sends the control from the host
+        // when the final chunk lands (the header lives in the pipe state).
+    }
+    let token = ep.state.lock().alloc_dma_token();
+    match ep.cfg.completion {
+        CompletionMode::PollEvent => {
+            if let Some(bell) = ep.doorbell() {
+                event.set_signal(bell);
+            }
+            if ep.cfg.progress == ProgressMode::Interrupt {
+                event.arm_irq(true);
+            }
+        }
+        CompletionMode::SharedQueueCombined | CompletionMode::SharedQueueSeparate => {
+            // Chain a small QDMA into the shared completion queue (Fig. 6).
+            let my_elan = ep.my_info.elan.as_ref().unwrap();
+            let q = if ep.cfg.completion == CompletionMode::SharedQueueSeparate {
+                my_elan.comp_q.expect("two-queue mode without a comp queue")
+            } else {
+                my_elan.main_q
+            };
+            let mut tok_hdr = Hdr::new(HdrType::Completion);
+            tok_hdr.e4_va = token;
+            ep.metric(|m| m.counters.control(3));
+            event.chain_qdma(QdmaSpec {
+                dst: my_elan.vpid,
+                queue: q,
+                data: tok_hdr.frame(&[]),
+                rail: 0,
+            });
+        }
+    }
+    // Publish the chunk, tolerating the pipeline having been torn down
+    // while its mapping was acquired.
+    let depth_now = {
+        let mut st = ep.state.lock();
+        match st.pipelines.get_mut(&req) {
+            Some(ps) => {
+                ps.inflight.push(PipeChunk {
+                    token,
+                    sub,
+                    e4,
+                    rail,
+                });
+                Some(ps.inflight.len())
+            }
+            None => None,
+        }
+    };
+    let Some(depth_now) = depth_now else {
+        crate::regcache::release(proc, ep, &sub, e4);
+        event.free();
+        return;
+    };
+    ep.state.lock().pending_dmas.push(PendingDma {
+        token,
+        event: event.clone(),
+        role: DmaRole::Chunk {
+            req,
+            bytes: len,
+            is_read,
+        },
+    });
+    ep.metric(|m| {
+        m.counters.rdma_descriptors += 1;
+        m.counters.rdma_bytes += len as u64;
+        m.counters.pipe_chunks_issued += 1;
+        m.counters.pipe_depth(depth_now);
+    });
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::PipeChunk {
+            req,
+            off,
+            len,
+            last,
+        },
+    );
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::SpanBegin {
+            id: token,
+            cat: "rdma",
+            name: "rdma_burst",
+        },
+    );
+    let kind = if is_read {
+        DmaKind::Read
+    } else {
+        DmaKind::Write
+    };
+    ep.ectx.rdma(
+        proc,
+        rail,
+        kind,
+        e4,
+        remote.offset(off),
+        len,
+        Some(event.id()),
+    );
+}
+
+/// A pipelined chunk's completion fired: release its mapping, credit the
+/// owning request, forward the control message when the transfer finished
+/// un-chained, and refill the window. The pipeline record dies with its
+/// final chunk.
+fn pipe_chunk_landed(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    req: u64,
+    token: u64,
+    bytes: usize,
+    is_read: bool,
+) {
+    let (chunk, fin) = {
+        let mut st = ep.state.lock();
+        let Some(ps) = st.pipelines.get_mut(&req) else {
+            // Torn down by a failure path, which released the mappings.
+            return;
+        };
+        let chunk = ps
+            .inflight
+            .iter()
+            .position(|c| c.token == token)
+            .map(|i| ps.inflight.remove(i));
+        if let Some(c) = &chunk {
+            ps.per_rail[c.rail] -= 1;
+        }
+        ps.landed += bytes;
+        let finished = ps.landed >= ps.total && ps.inflight.is_empty();
+        let fin = if finished {
+            st.pipelines.remove(&req).map(|ps| (ps.peer, ps.fin))
+        } else {
+            None
+        };
+        (chunk, fin)
+    };
+    if let Some(c) = chunk {
+        // Cached chunk mappings go back to the pin-down cache; direct
+        // (bounce-buffer) mappings fall through to a charged unmap. Either
+        // way the mapping is gone before the credit below can complete the
+        // request and free the region.
+        crate::regcache::release(proc, ep, &c.sub, c.e4);
+    }
+    ep.metric(|m| m.counters.pipe_chunks_landed += 1);
+    let finished = fin.is_some();
+    if let Some((to, ctl)) = fin {
+        ep.trace(
+            proc.now(),
+            crate::trace::TraceEvent::SpanEnd {
+                id: req,
+                cat: "pipe",
+                name: "pipe_transfer",
+            },
+        );
+        if !ep.cfg.chained_fin {
+            // The control did not ride the final chunk: the host sends it,
+            // like the monolithic un-chained path.
+            let peer = {
+                let st = ep.state.lock();
+                st.peers.get(&to).cloned()
+            };
+            if let Some(peer) = peer {
+                if let Some(route) = first_route(ep, &peer) {
+                    proc.advance(ep.cfg.host.hdr_build);
+                    send_frame(proc, ep, &peer, route, ctl, Vec::new());
+                }
+            }
+        }
+    }
+    if is_read {
+        credit_recv(proc, ep, req, bytes);
+    } else {
+        credit_send(proc, ep, req, bytes);
+    }
+    if !finished {
+        pipe_pump(proc, ep, req);
+    }
+}
+
+/// Pump every live pipeline. A safety net for the thread-progress modes —
+/// chunk completions normally refill their own windows.
+pub(crate) fn pipe_pump_all(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
+    let ids: Vec<u64> = ep.state.lock().pipelines.keys().copied().collect();
+    let mut any = false;
+    for id in ids {
+        if pipe_pump(proc, ep, id) {
+            any = true;
+        }
+    }
+    any
+}
+
+/// Drain the parked TCP bulk pushes, at most `pipe.depth` fragments per
+/// push per call: the pacing that replaced `handle_ack`'s unbounded
+/// fragment loop. Returns true when fragments went out, so the polling
+/// wait loop keeps cycling until the pushes drain instead of blocking.
+pub(crate) fn tcp_push_pump(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
+    let host = ep.cfg.host.clone();
+    let burst_frags = ep.tunables.pipeline_depth();
+    let bursts: Vec<(u64, crate::peer::PeerInfo, Hdr, HostBuf, usize, usize)> = {
+        let mut st = ep.state.lock();
+        if st.tcp_pushes.is_empty() {
+            return false;
+        }
+        let mut out = Vec::new();
+        for i in 0..st.tcp_pushes.len() {
+            let (sid, peer_name, fh, region, start, end) = {
+                let p = &st.tcp_pushes[i];
+                (
+                    p.send_req,
+                    p.peer,
+                    p.frag_hdr.clone(),
+                    p.src_region,
+                    p.next_off,
+                    p.end,
+                )
+            };
+            let burst_end = end.min(start + burst_frags * TCP_FRAG_PAYLOAD);
+            if burst_end <= start {
+                continue;
+            }
+            let Some(peer) = st.peers.get(&peer_name).cloned() else {
+                continue;
+            };
+            st.tcp_pushes[i].next_off = burst_end;
+            out.push((sid, peer, fh, region, start, burst_end));
+        }
+        st.tcp_pushes.retain(|p| p.next_off < p.end);
+        out
+    };
+    if bursts.is_empty() {
+        return false;
+    }
+    for (sid, peer, fh_template, region, start, end) in bursts {
+        let mut off = start;
+        while off < end {
+            let take = (end - off).min(TCP_FRAG_PAYLOAD);
+            let bytes = ep.read_buf(&region, off, take);
+            let mut fh = fh_template.clone();
+            fh.offset = off as u64;
+            proc.advance(host.hdr_build);
+            send_frame(proc, ep, &peer, Route::Tcp, fh, bytes);
+            ep.metric(|m| m.counters.frags_sent += 1);
+            off += take;
+        }
+        {
+            let mut st = ep.state.lock();
+            if let Some(r) = st.send_reqs.get_mut(&sid) {
+                r.bytes_confirmed += end - start;
+            }
+        }
+        maybe_complete_send(proc, ep, sid);
+    }
+    true
+}
+
 /// Split `len` into per-rail `(offset, len)` chunks. Zero-length chunks are
 /// omitted (no zero-byte RDMA descriptors when `len < rails`), and
 /// `rails == 0` is treated as a single rail rather than dividing by zero.
@@ -1603,14 +2312,15 @@ fn err_code(err: MpiErrClass) -> u32 {
     match err {
         MpiErrClass::ProcFailed => 0,
         MpiErrClass::NoTransport => 1,
+        MpiErrClass::Internal => 2,
     }
 }
 
 fn err_from_code(code: u32) -> MpiErrClass {
-    if code == 1 {
-        MpiErrClass::NoTransport
-    } else {
-        MpiErrClass::ProcFailed
+    match code {
+        1 => MpiErrClass::NoTransport,
+        2 => MpiErrClass::Internal,
+        _ => MpiErrClass::ProcFailed,
     }
 }
 
@@ -1745,6 +2455,48 @@ pub(crate) fn fail_request(
     let Some((e4, region, bounce)) = cleanup else {
         return;
     };
+    // Tear down any pipelined transfer this request owned: forget its
+    // in-flight chunk completions (stale event fires are ignored), drop
+    // parked TCP pushes, and release every chunk mapping — a failed
+    // request must leave `mapping_count()` untouched.
+    let (chunks, staged) = {
+        let mut st = ep.state.lock();
+        if kind == ReqKind::Send {
+            st.tcp_pushes.retain(|p| p.send_req != id);
+        }
+        match st.pipelines.remove(&id) {
+            Some(ps) => {
+                let tokens: Vec<u64> = ps.inflight.iter().map(|c| c.token).collect();
+                let mut i = 0;
+                while i < st.pending_dmas.len() {
+                    if tokens.contains(&st.pending_dmas[i].token) {
+                        let p = st.pending_dmas.swap_remove(i);
+                        p.event.free();
+                    } else {
+                        i += 1;
+                    }
+                }
+                (ps.inflight, ps.staged_final)
+            }
+            None => (Vec::new(), None),
+        }
+    };
+    for c in &chunks {
+        crate::regcache::release(proc, ep, &c.sub, c.e4);
+    }
+    if let Some((sub, e4)) = staged {
+        crate::regcache::release(proc, ep, &sub, e4);
+    }
+    if !chunks.is_empty() || staged.is_some() {
+        ep.trace(
+            proc.now(),
+            crate::trace::TraceEvent::SpanEnd {
+                id,
+                cat: "pipe",
+                name: "pipe_transfer",
+            },
+        );
+    }
     // Same resource discipline as the success path: cached mappings go
     // back to the cache, everything else is unmapped — a failed request
     // must not leak its registration.
@@ -2033,7 +2785,11 @@ mod tests {
 
     #[test]
     fn nack_error_codes_roundtrip() {
-        for err in [MpiErrClass::ProcFailed, MpiErrClass::NoTransport] {
+        for err in [
+            MpiErrClass::ProcFailed,
+            MpiErrClass::NoTransport,
+            MpiErrClass::Internal,
+        ] {
             assert_eq!(err_from_code(err_code(err)), err);
         }
     }

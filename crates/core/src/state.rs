@@ -28,6 +28,10 @@ pub enum MpiErrClass {
     ProcFailed,
     /// No active transport can reach the peer (or carry its bulk data).
     NoTransport,
+    /// A protocol invariant broke (e.g. an ACK describing a transfer range
+    /// outside the message); the request is abandoned instead of panicking
+    /// the rank.
+    Internal,
 }
 
 impl MpiErrClass {
@@ -36,6 +40,7 @@ impl MpiErrClass {
         match self {
             MpiErrClass::ProcFailed => "MPI_ERR_PROC_FAILED",
             MpiErrClass::NoTransport => "MPI_ERR_UNREACHABLE",
+            MpiErrClass::Internal => "MPI_ERR_INTERN",
         }
     }
 }
@@ -273,6 +278,120 @@ pub enum DmaRole {
         /// FIN to send from the host if it was not chained.
         fin: Option<(usize, ProcName, Hdr)>,
     },
+    /// One chunk of a pipelined bulk transfer; completion is routed to the
+    /// chunk engine, which releases the chunk's mapping, credits the owning
+    /// request, and refills the in-flight window.
+    Chunk {
+        /// The owning request (recv for reads, send for writes).
+        req: u64,
+        /// Bytes this chunk moves.
+        bytes: usize,
+        /// Receiver-side RDMA read vs sender-side RDMA write.
+        is_read: bool,
+    },
+}
+
+/// One pipeline chunk whose RDMA is in flight: the per-chunk mapping to
+/// release when its completion lands (or when the request fails).
+pub struct PipeChunk {
+    /// Completion token of the chunk's descriptor.
+    pub token: u64,
+    /// The sub-buffer registered for this chunk.
+    pub sub: elan4::HostBuf,
+    /// Its Elan4 mapping.
+    pub e4: E4Addr,
+    /// Rail the chunk was issued on (per-rail depth accounting).
+    pub rail: usize,
+}
+
+/// Per-request state of a pipelined rendezvous bulk transfer (the chunk
+/// engine in [`crate::proto`]). Lives beside the request — request structs
+/// stay untouched — keyed by request id in [`EpState::pipelines`].
+pub struct PipeState {
+    /// `true` for receiver-side RDMA reads (read scheme), `false` for
+    /// sender-side RDMA writes (write scheme).
+    pub is_read: bool,
+    /// The local request being served (recv for reads, send for writes).
+    pub req: u64,
+    /// The peer on the far side.
+    pub peer: ProcName,
+    /// Remote address of the first bulk byte (one contiguous mapping on the
+    /// far side — only the local, DMA-issuing side is chunked).
+    pub remote: E4Addr,
+    /// The local packed region (user buffer or bounce buffer).
+    pub region: elan4::HostBuf,
+    /// Offset of the first bulk byte within `region` (inline bytes and any
+    /// TCP-routed range come before/after the Elan share).
+    pub base_off: usize,
+    /// Bulk bytes this pipeline moves.
+    pub total: usize,
+    /// Chunk size (frozen from the `pipe.chunk` cvar at start).
+    pub chunk: usize,
+    /// Chunks allowed in flight per rail (frozen from `pipe.depth`).
+    pub depth: usize,
+    /// Rails to stripe chunks across.
+    pub rails: usize,
+    /// Register chunks through the regcache (user buffers) or map them
+    /// directly (bounce buffers, which die with the request).
+    pub cacheable: bool,
+    /// Offset of the next chunk to issue, relative to the bulk start.
+    pub next_off: usize,
+    /// Bulk bytes whose completion landed.
+    pub landed: usize,
+    /// Chunks currently in flight.
+    pub inflight: Vec<PipeChunk>,
+    /// In-flight chunk count per rail.
+    pub per_rail: Vec<usize>,
+    /// The final chunk's mapping, registered ahead of time; its descriptor
+    /// is only issued once every other chunk has landed, so the chained
+    /// FIN/FIN_ACK cannot overtake an earlier chunk still in flight.
+    pub staged_final: Option<(elan4::HostBuf, E4Addr)>,
+    /// The FIN (write scheme) or FIN_ACK (read scheme) to attach to the
+    /// final chunk — chained as a QDMA or sent from the host on completion.
+    pub fin: Hdr,
+    /// Round-robin rail pointer.
+    pub next_rail: usize,
+}
+
+/// Upper bound on the control-carrying final chunk, in bytes. The final
+/// chunk is *held back* until every other chunk has landed (so the chained
+/// FIN/FIN_ACK cannot overtake data still in flight on another rail); that
+/// hold-back serializes the final chunk's wire time behind the whole
+/// transfer, so it is kept small — a few microseconds of tail, not a full
+/// `pipe.chunk`.
+pub const PIPE_FIN_TAIL: usize = 2048;
+
+impl PipeState {
+    /// Total chunks currently in flight (across rails).
+    pub fn inflight_total(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Offset at which the held-back, control-carrying final chunk starts.
+    /// Everything before it is streamed as ordinary pipelined chunks.
+    pub fn final_off(&self) -> usize {
+        let tail = self.chunk.min(PIPE_FIN_TAIL).min(self.total - 1).max(1);
+        self.total - tail
+    }
+}
+
+/// A paced TCP bulk push: the remainder of `handle_ack`'s TCP share that
+/// has not been fragmented onto the wire yet. Draining is bounded to
+/// `pipe.depth` fragments per progress pass so one large share cannot
+/// monopolize the progress loop.
+pub struct TcpPush {
+    /// The send request whose bytes are being pushed.
+    pub send_req: u64,
+    /// Destination process.
+    pub peer: ProcName,
+    /// Where the packed bytes live (user buffer or bounce buffer).
+    pub src_region: elan4::HostBuf,
+    /// Fragment header template (`offset` is rewritten per fragment).
+    pub frag_hdr: Hdr,
+    /// Next packed offset to push.
+    pub next_off: usize,
+    /// One past the last packed offset of the share.
+    pub end: usize,
 }
 
 /// A DMA whose completion the host still has to observe.
@@ -321,6 +440,11 @@ pub struct EpState {
     /// Peers declared failed after retransmission retries were exhausted.
     /// New sends to them error out immediately.
     pub failed_peers: HashSet<ProcName>,
+    /// Active pipelined bulk transfers, keyed by the owning request id
+    /// (request ids are unique across sends and receives).
+    pub pipelines: HashMap<u64, PipeState>,
+    /// TCP bulk pushes awaiting their next paced burst.
+    pub tcp_pushes: Vec<TcpPush>,
 }
 
 impl EpState {
@@ -341,6 +465,8 @@ impl EpState {
             ctl_inflight: Vec::new(),
             ctl_seen: HashMap::new(),
             failed_peers: HashSet::new(),
+            pipelines: HashMap::new(),
+            tcp_pushes: Vec::new(),
         }
     }
 

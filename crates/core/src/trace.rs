@@ -72,6 +72,17 @@ pub enum TraceEvent {
         /// Bytes credited.
         bytes: usize,
     },
+    /// A pipelined-rendezvous chunk was handed to the NIC.
+    PipeChunk {
+        /// The request the pipeline serves.
+        req: u64,
+        /// Chunk offset within the bulk share.
+        off: usize,
+        /// Chunk length in bytes.
+        len: usize,
+        /// The final chunk (carries the FIN/FIN_ACK).
+        last: bool,
+    },
     /// A control message was sent (ACK/FIN/FIN_ACK), by header kind name.
     ControlSent {
         /// `"Ack"`, `"Fin"` or `"FinAck"`.
@@ -152,6 +163,7 @@ impl TraceEvent {
             TraceEvent::Unexpected { .. } => "unexpected",
             TraceEvent::RdmaIssued { .. } => "rdma_issued",
             TraceEvent::DmaDone { .. } => "dma_done",
+            TraceEvent::PipeChunk { .. } => "pipe_chunk",
             TraceEvent::ControlSent { .. } => "control_sent",
             TraceEvent::Completed { .. } => "completed",
             TraceEvent::CtlRetransmit { .. } => "ctl_retransmit",
@@ -184,6 +196,14 @@ impl TraceEvent {
                 format!("{{\"read\":{read},\"bytes\":{bytes}}}")
             }
             TraceEvent::DmaDone { bytes } => format!("{{\"bytes\":{bytes}}}"),
+            TraceEvent::PipeChunk {
+                req,
+                off,
+                len,
+                last,
+            } => {
+                format!("{{\"req\":{req},\"off\":{off},\"len\":{len},\"last\":{last}}}")
+            }
             TraceEvent::ControlSent { kind } => {
                 format!("{{\"kind\":\"{}\"}}", escape_json(kind))
             }

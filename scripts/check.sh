@@ -21,4 +21,11 @@ echo "== bench smoke: registration-cache before/after"
 cargo run --release -q -p ompi-bench --bin harness -- \
     --reg-bench --bench-out BENCH_regcache.json
 
+echo "== bench smoke: pipelined-rendezvous bandwidth curve"
+# Exits nonzero unless the pipelined path is strictly faster than the
+# monolithic path at 256 KiB and 1 MiB (registration costs on the
+# critical path: cache off, window 1).
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --bw-curve --bench-out BENCH_pipeline.json
+
 echo "All checks passed."
