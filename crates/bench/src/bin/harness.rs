@@ -33,6 +33,19 @@
 //! crossover size for both series), and exits nonzero unless the pipelined
 //! series is strictly faster at 256 KiB and 1 MiB; `--bench-out FILE`
 //! writes the same JSON to a file.
+//! `--congestion-report` runs an 8-rank incast and prints the fabric's
+//! per-link congestion report (top-N hottest links, occupancy fraction,
+//! per-stage utilization) plus the `fab.*` pvar aggregation, naming the
+//! victim's ejection link; exits nonzero if the link table comes up empty.
+//! `--metrics-out FILE` writes the telemetry / congestion JSON documents
+//! produced this run to a file.
+//! `--sim-bench` times the discrete-event kernel itself on a reference
+//! ping-pong and prints its self-profile (events executed, events/s wall
+//! clock) as JSON; `--bench-out FILE` writes the same JSON to a file.
+//! `--stall-demo` forces a rendezvous stall (dropped FIN_ACK, reliability
+//! off), lets the watchdog abort the run, and prints the recovered
+//! post-mortem — stall diagnostics plus the flight-recorder dumps frozen
+//! at detection; `--flight-out FILE` writes the bundle to a file.
 
 use ompi_bench::{
     apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
@@ -74,6 +87,11 @@ fn main() {
     let mut reg_bench = false;
     let mut bw_curve = false;
     let mut bench_out: Option<String> = None;
+    let mut congestion_report = false;
+    let mut metrics_out: Option<String> = None;
+    let mut sim_bench_flag = false;
+    let mut stall_demo = false;
+    let mut flight_out: Option<String> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -111,6 +129,23 @@ fn main() {
             },
             "--reg-bench" => reg_bench = true,
             "--bw-curve" => bw_curve = true,
+            "--congestion-report" => congestion_report = true,
+            "--sim-bench" => sim_bench_flag = true,
+            "--stall-demo" => stall_demo = true,
+            "--metrics-out" => {
+                metrics_out = args.next();
+                if metrics_out.is_none() {
+                    eprintln!("--metrics-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--flight-out" => {
+                flight_out = args.next();
+                if flight_out.is_none() {
+                    eprintln!("--flight-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
             "--bench-out" => {
                 bench_out = args.next();
                 if bench_out.is_none() {
@@ -127,11 +162,21 @@ fn main() {
     }
     let selected: Vec<&str> = selected.iter().map(|s| s.as_str()).collect();
 
-    if selected.is_empty() && !emit_metrics && introspect_out.is_none() && !reg_bench && !bw_curve {
+    if selected.is_empty()
+        && !emit_metrics
+        && introspect_out.is_none()
+        && !reg_bench
+        && !bw_curve
+        && !congestion_report
+        && !sim_bench_flag
+        && !stall_demo
+    {
         eprintln!(
             "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
              [--introspect-out FILE] [--watchdog N] [--loss N] \
              [--reg-bench] [--bw-curve] [--bench-out FILE] \
+             [--congestion-report] [--metrics-out FILE] \
+             [--sim-bench] [--stall-demo] [--flight-out FILE] \
              <experiment>... | all | paper | compare"
         );
         eprintln!("experiments:");
@@ -177,6 +222,9 @@ fn main() {
         eprintln!("[{name} regenerated in {:.1?} wall time]", start.elapsed());
     }
 
+    // Documents destined for `--metrics-out`, keyed by section name.
+    let mut metrics_docs: Vec<(&str, String)> = Vec::new();
+
     if emit_metrics || introspect_out.is_some() {
         use ompi_bench::measure::{
             introspect_pingpong, reliability_pingpong, telemetry_pingpong, Setup,
@@ -214,15 +262,108 @@ fn main() {
             }
             None => telemetry_pingpong(&setup, 4, 16 << 10, 8),
         };
-        if emit_metrics {
-            println!("{}", telemetry.to_json());
+        // A non-zero drop count means the timeline is missing its oldest
+        // events — surfaced loudly instead of silently truncating.
+        for (rank, log) in &telemetry.traces {
+            if log.dropped() > 0 {
+                eprintln!(
+                    "[warning: rank {rank} trace ring dropped {} event(s); \
+                     raise telemetry.trace_capacity for a complete timeline]",
+                    log.dropped()
+                );
+            }
         }
+        let json = telemetry.to_json();
+        if emit_metrics {
+            println!("{json}");
+        }
+        metrics_docs.push(("telemetry", json));
         if let Some(path) = trace_out {
             std::fs::write(&path, telemetry.chrome_trace())
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             eprintln!("[chrome trace written to {path}]");
         }
         eprintln!("[telemetry captured in {:.1?} wall time]", start.elapsed());
+    }
+
+    if congestion_report {
+        use ompi_bench::measure::{incast_congestion, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // 8 ranks on the default QS-8A fat tree: ranks 1..8 flood rank 0
+        // with eager-sized messages, so every sender's traffic funnels into
+        // one ejection link — the congestion the report must name.
+        let capture = incast_congestion(&Setup::paper(StackConfig::default()), 8, 1 << 10, 32, 16);
+        print!("{}", capture.congestion.render());
+        let json = capture.to_json();
+        println!("{json}");
+        eprintln!(
+            "[congestion: hot rank {} via link {}, {} active link(s), \
+             in {:.1?} wall time]",
+            capture.hot_rank,
+            capture.hot_link().unwrap_or_else(|| "none".to_string()),
+            capture.congestion.links_active,
+            start.elapsed()
+        );
+        metrics_docs.push(("congestion", json));
+        if capture.congestion.links.is_empty() {
+            eprintln!("congestion-report FAILED: empty link table");
+            std::process::exit(1);
+        }
+    }
+
+    if sim_bench_flag {
+        use ompi_bench::measure::{sim_bench, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // Fixed reference workload: the event count is deterministic, so
+        // events/s tracks only the kernel's wall-clock speed.
+        let report = sim_bench(&Setup::paper(StackConfig::default()), 8, 16 << 10, 16);
+        let json = report.to_json();
+        println!("{json}");
+        if let Some(path) = &bench_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[simulator profile written to {path}]");
+        }
+        eprintln!(
+            "[sim-bench: {} events ({} calls, {} wakes) at {:.0} events/s, \
+             in {:.1?} wall time]",
+            report.report.events_processed,
+            report.report.calls_executed,
+            report.report.wakes_executed,
+            report.report.events_per_sec(),
+            start.elapsed()
+        );
+        if report.report.events_processed == 0 || report.report.wall_ns == 0 {
+            eprintln!("sim-bench FAILED: kernel profile came up empty");
+            std::process::exit(1);
+        }
+    }
+
+    if stall_demo {
+        use ompi_bench::measure::stall_flight_demo;
+        let start = std::time::Instant::now();
+        eprintln!(
+            "[stall-demo: forcing a rendezvous stall — the panic below is \
+             the watchdog firing, not a harness bug]"
+        );
+        let demo = stall_flight_demo();
+        let json = demo.to_json();
+        println!("{json}");
+        if let Some(path) = &flight_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[flight-recorder post-mortem written to {path}]");
+        }
+        eprintln!(
+            "[stall-demo: {} diagnostic(s), {} flight dump(s), in {:.1?} wall time]",
+            demo.diagnostics.len(),
+            demo.flight_dumps.len(),
+            start.elapsed()
+        );
+        if demo.flight_dumps.is_empty() {
+            eprintln!("stall-demo FAILED: no flight-recorder dump produced");
+            std::process::exit(1);
+        }
     }
 
     if bw_curve {
@@ -325,5 +466,18 @@ fn main() {
             eprintln!("reg-bench FAILED: cache reported zero hits");
             std::process::exit(1);
         }
+    }
+
+    if let Some(path) = metrics_out {
+        let body: Vec<String> = metrics_docs
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v}"))
+            .collect();
+        std::fs::write(&path, format!("{{{}}}", body.join(",")))
+            .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+        eprintln!(
+            "[{} metrics section(s) written to {path}]",
+            metrics_docs.len()
+        );
     }
 }

@@ -188,12 +188,16 @@ impl Telemetry {
         }
         out.push_str(&format!(
             "],\"sim\":{{\"end_time_ns\":{},\"events_processed\":{},\
-             \"procs_spawned\":{},\"max_queue_depth\":{},\"wakes_executed\":{}}}}}",
+             \"procs_spawned\":{},\"max_queue_depth\":{},\"wakes_executed\":{},\
+             \"calls_executed\":{},\"wall_ns\":{},\"events_per_sec\":{:.1}}}}}",
             self.report.end_time.as_ns(),
             self.report.events_processed,
             self.report.procs_spawned,
             self.report.max_queue_depth,
-            self.report.wakes_executed
+            self.report.wakes_executed,
+            self.report.calls_executed,
+            self.report.wall_ns,
+            self.report.events_per_sec()
         ));
         out
     }
@@ -627,6 +631,266 @@ pub fn introspect_pingpong(
         diagnostics: rows.into_iter().flat_map(|(.., d)| d).collect(),
     };
     (telemetry, introspect)
+}
+
+/// Everything captured from an instrumented N-to-1 incast: the fabric's
+/// own congestion report (per-link busy time, occupancy, queue depths),
+/// the cluster-wide pvar aggregation, each rank's raw snapshot, and the
+/// hottest rank as named by the `fab.ej.*` pvars.
+pub struct CongestionCapture {
+    /// The fabric's link-level congestion report at end of run.
+    pub congestion: qsnet::CongestionReport,
+    /// Min/max/sum per pvar across the job, with straggler identification.
+    pub cluster: ompi_rte::ClusterReport,
+    /// Each rank's raw pvar snapshot, indexed by rank.
+    pub snapshots: Vec<openmpi_core::PvarSnapshot>,
+    /// Rank whose ejection link burned the most busy time, per the
+    /// `fab.ej.busy_ns` pvar (the incast victim).
+    pub hot_rank: usize,
+}
+
+impl CongestionCapture {
+    /// Name of the hottest link in the fabric report, e.g. `r0.ej.n0`.
+    pub fn hot_link(&self) -> Option<String> {
+        self.congestion.hottest().map(|l| l.name())
+    }
+
+    /// One JSON document: fabric congestion report, hot rank/link, cluster
+    /// aggregation, and the raw per-rank snapshots feeding it.
+    pub fn to_json(&self) -> String {
+        let ranks: Vec<String> = self.snapshots.iter().map(|s| s.to_json()).collect();
+        format!(
+            "{{\"congestion\":{},\"hot_rank\":{},\"hot_link\":{},\
+             \"cluster\":{},\"ranks\":[{}]}}",
+            self.congestion.to_json(),
+            self.hot_rank,
+            self.hot_link()
+                .map_or("null".to_string(), |l| format!("\"{l}\"")),
+            self.cluster.to_json(),
+            ranks.join(",")
+        )
+    }
+}
+
+/// Run an N-to-1 incast (every rank floods rank 0) with the introspection
+/// plane active, and capture the fabric's congestion report alongside the
+/// pvar view of it. This is the workload where per-link accounting earns
+/// its keep: the victim's ejection link carries every sender's traffic, so
+/// its busy time is ~(N-1)× any single injection link's.
+pub fn incast_congestion(
+    setup: &Setup,
+    ranks: usize,
+    len: usize,
+    iters: usize,
+    top_n: usize,
+) -> CongestionCapture {
+    type Row = (u32, openmpi_core::PvarSnapshot);
+    let mut setup = setup.clone();
+    setup.stack.metrics = true;
+    let collected: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let cluster: Arc<Mutex<Option<ompi_rte::ClusterReport>>> = Arc::new(Mutex::new(None));
+    let fabric: Arc<Mutex<Option<Arc<qsnet::Fabric>>>> = Arc::new(Mutex::new(None));
+    let (c2, cl2, f2) = (collected.clone(), cluster.clone(), fabric.clone());
+    let report = setup
+        .universe()
+        .run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                let rbuf = mpi.alloc(len.max(1));
+                for _ in 0..iters {
+                    for _ in 1..ranks {
+                        mpi.recv(&w, openmpi_core::ANY_SOURCE, 0, &rbuf, len);
+                    }
+                }
+            } else {
+                let sbuf = mpi.alloc(len.max(1));
+                mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+                for _ in 0..iters {
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            }
+            mpi.barrier(&w);
+            let ep = mpi.endpoint();
+            let snap = openmpi_core::pvar_snapshot(ep);
+            ep.rte.pvar_publish(mpi.proc(), ep.name, &snap.vars);
+            if mpi.rank() == 0 {
+                let per_rank = ep.rte.pvar_collect(mpi.proc(), ep.name.job);
+                *cl2.lock() = Some(ompi_rte::ClusterReport::build(&per_rank));
+                *f2.lock() = Some(ep.cluster.fabric().clone());
+            }
+            c2.lock().push((mpi.rank() as u32, snap));
+        });
+    let mut rows = std::mem::take(&mut *collected.lock());
+    rows.sort_by_key(|(r, _)| *r);
+    let hot_rank = rows
+        .iter()
+        .max_by_key(|(_, s)| s.get("fab.ej.busy_ns").unwrap_or(0))
+        .map(|(r, _)| *r as usize)
+        .unwrap_or(0);
+    let fabric = fabric.lock().take().expect("rank 0 captured the fabric");
+    let cluster = cluster.lock().take().expect("rank 0 built the report");
+    CongestionCapture {
+        congestion: fabric.congestion_report(report.end_time, top_n),
+        cluster,
+        snapshots: rows.into_iter().map(|(_, s)| s).collect(),
+        hot_rank,
+    }
+}
+
+/// What the forced-stall demonstration recovers after the watchdog abort:
+/// the panic message, the structured diagnostics, and the flight-recorder
+/// dumps frozen at detection time.
+pub struct StallFlightDemo {
+    /// The watchdog's rendered panic message.
+    pub panic_msg: String,
+    /// Structured stall diagnostics (JSON objects, flight ring embedded).
+    pub diagnostics: Vec<String>,
+    /// Flight-recorder dumps (JSON objects) recorded on the stall.
+    pub flight_dumps: Vec<String>,
+}
+
+impl StallFlightDemo {
+    /// One JSON document bundling the post-mortem.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"demo\":\"stall_flight\",\"panic\":\"{}\",\
+             \"diagnostics\":[{}],\"flight_dumps\":[{}]}}",
+            openmpi_core::trace::escape_json(&self.panic_msg),
+            self.diagnostics.join(","),
+            self.flight_dumps.join(",")
+        )
+    }
+}
+
+/// Force a rendezvous stall (drop the lone FIN_ACK with the reliability
+/// layer disabled, TCP-only) and recover the post-mortem: the watchdog
+/// aborts the run, and the flight recorder's ring — dumped automatically at
+/// detection — shows the protocol events leading up to the wedge.
+pub fn stall_flight_demo() -> StallFlightDemo {
+    let stack = StackConfig {
+        inline_first_frag: true,
+        tcp_reliability: false,
+        watchdog_interval: 8,
+        watchdog_grace: 4,
+        ..StackConfig::best()
+    };
+    let uni = Universe::new(
+        NicConfig::default(),
+        FabricConfig::default(),
+        stack,
+        Transports {
+            elan_rails: 0,
+            tcp: true,
+        },
+    );
+    uni.tcp_net
+        .inject_drop(openmpi_core::hdr::HdrType::FinAck, 1);
+    type Captured = Vec<(u32, Arc<openmpi_core::Endpoint>)>;
+    let eps: Arc<Mutex<Captured>> = Arc::new(Mutex::new(Vec::new()));
+    let e2 = eps.clone();
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        uni.run_world(2, Placement::RoundRobin, move |mpi| {
+            e2.lock().push((mpi.rank() as u32, mpi.endpoint().clone()));
+            let w = mpi.world();
+            let len = 64 << 10;
+            let buf = mpi.alloc(len);
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 7, &buf, len);
+            } else {
+                mpi.recv(&w, 0, 7, &buf, len);
+            }
+            mpi.free(buf);
+        });
+    }));
+    let panic_msg = match result {
+        Ok(_) => String::new(),
+        Err(p) => p
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic".to_string()),
+    };
+    let mut rows = std::mem::take(&mut *eps.lock());
+    rows.sort_by_key(|(r, _)| *r);
+    let mut diagnostics = Vec::new();
+    let mut flight_dumps = Vec::new();
+    for (_, ep) in &rows {
+        let ins = ep.introspect.lock();
+        diagnostics.extend(ins.diagnostics.iter().map(|d| d.to_json()));
+        flight_dumps.extend(ins.flight_dumps.iter().cloned());
+    }
+    StallFlightDemo {
+        panic_msg,
+        diagnostics,
+        flight_dumps,
+    }
+}
+
+/// The simulator's own speed on a fixed reference workload.
+pub struct SimBenchReport {
+    /// World size of the reference workload.
+    pub ranks: usize,
+    /// Message length of the reference workload.
+    pub len: usize,
+    /// Ping-pong iterations of the reference workload.
+    pub iters: usize,
+    /// The kernel's report, including its self-profile.
+    pub report: qsim::Report,
+}
+
+impl SimBenchReport {
+    /// One JSON document: the kernel profile as a trackable baseline.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"bench\":\"sim_profile\",\"ranks\":{},\"len\":{},\"iters\":{},\
+             \"end_time_ns\":{},\"events_processed\":{},\"wakes_executed\":{},\
+             \"calls_executed\":{},\"procs_spawned\":{},\"max_queue_depth\":{},\
+             \"wall_ns\":{},\"events_per_sec\":{:.1}}}",
+            self.ranks,
+            self.len,
+            self.iters,
+            self.report.end_time.as_ns(),
+            self.report.events_processed,
+            self.report.wakes_executed,
+            self.report.calls_executed,
+            self.report.procs_spawned,
+            self.report.max_queue_depth,
+            self.report.wall_ns,
+            self.report.events_per_sec()
+        )
+    }
+}
+
+/// Benchmark the discrete-event kernel itself: an uninstrumented reference
+/// ping-pong whose event count is deterministic, timed in wall clock. The
+/// events-per-second figure is the baseline CI tracks for simulator
+/// regressions.
+pub fn sim_bench(setup: &Setup, ranks: usize, len: usize, iters: usize) -> SimBenchReport {
+    let report = setup
+        .universe()
+        .run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let sbuf = mpi.alloc(len.max(1));
+            let rbuf = mpi.alloc(len.max(1));
+            mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+            for _ in 0..iters {
+                if mpi.rank() == 0 {
+                    for peer in 1..ranks {
+                        mpi.send(&w, peer, 0, &sbuf, len);
+                        mpi.recv(&w, peer as i32, 0, &rbuf, len);
+                    }
+                } else {
+                    mpi.recv(&w, 0, 0, &rbuf, len);
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            }
+            mpi.barrier(&w);
+        });
+    SimBenchReport {
+        ranks,
+        len,
+        iters,
+        report,
+    }
 }
 
 /// MPICH-QsNet ping-pong latency in µs.

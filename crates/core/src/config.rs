@@ -83,6 +83,13 @@ pub struct StackConfig {
     /// counters and latency histograms. Off by default so the fast path
     /// does no extra locking.
     pub metrics: bool,
+    /// Post-mortem flight recorder ([`crate::flight::FlightRecorder`]): a
+    /// small always-on ring of recent protocol events, dumped as JSON when
+    /// the watchdog declares a stall or a request fails with an MPI error
+    /// class. On by default — it is far cheaper than full tracing.
+    pub flight_recorder: bool,
+    /// Ring capacity of the flight recorder.
+    pub flight_capacity: usize,
     /// Progress watchdog: scan for stalled requests every this many progress
     /// ticks. `0` (the default) disables the watchdog entirely.
     pub watchdog_interval: u64,
@@ -194,6 +201,8 @@ impl Default for StackConfig {
             trace: false,
             trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
             metrics: false,
+            flight_recorder: true,
+            flight_capacity: crate::flight::DEFAULT_FLIGHT_CAPACITY,
             watchdog_interval: 0,
             watchdog_grace: 4,
             watchdog_tick: Dur::from_us(200),
@@ -241,6 +250,12 @@ impl StackConfig {
             self.trace_capacity >= 1,
             "trace ring needs at least one slot"
         );
+        if self.flight_recorder {
+            assert!(
+                self.flight_capacity >= 1,
+                "flight recorder needs at least one slot"
+            );
+        }
         if self.watchdog_interval > 0 {
             assert!(self.watchdog_grace >= 1, "watchdog grace must be >= 1");
             assert!(

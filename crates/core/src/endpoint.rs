@@ -85,6 +85,10 @@ pub struct Endpoint {
     pub instr: Mutex<Instr>,
     /// Protocol event trace (populated when `cfg.trace` is set).
     pub trace: Mutex<crate::trace::TraceLog>,
+    /// Always-on post-mortem flight recorder (gated on the runtime-writable
+    /// `flight.enable` cvar, on by default). Leaf lock: may be taken while
+    /// holding any other endpoint lock.
+    pub flight: Mutex<crate::flight::FlightRecorder>,
     /// Telemetry counters + histograms (populated when `cfg.metrics` is set).
     pub metrics: Mutex<crate::metrics::Metrics>,
     /// Registration (pin-down) cache for rendezvous/RMA MMU mappings. Its
@@ -192,6 +196,7 @@ impl Endpoint {
         }
 
         let trace_capacity = cfg.trace_capacity;
+        let flight_capacity = cfg.flight_capacity;
         let tunables = crate::introspect::Tunables::from_config(&cfg);
         let reg = crate::regcache::RegCache::new(
             cfg.reg_cache,
@@ -215,6 +220,9 @@ impl Endpoint {
             doorbell: Mutex::new(None),
             instr: Mutex::new(Instr::default()),
             trace: Mutex::new(crate::trace::TraceLog::with_capacity(trace_capacity)),
+            flight: Mutex::new(crate::flight::FlightRecorder::with_capacity(
+                flight_capacity,
+            )),
             metrics: Mutex::new(crate::metrics::Metrics::default()),
             reg: Mutex::new(reg),
             tunables,
@@ -423,12 +431,24 @@ impl Endpoint {
         }
     }
 
-    /// Record a trace event (no-op unless tracing is enabled — gated on the
-    /// runtime-writable `telemetry.trace` cvar).
+    /// Record a trace event. The full ring is gated on the runtime-writable
+    /// `telemetry.trace` cvar; the same funnel also feeds the always-on
+    /// flight recorder (`flight.enable`) with the compact event subset, so
+    /// protocol code has a single instrumentation call site.
     pub fn trace(&self, now: Time, ev: crate::trace::TraceEvent) {
+        if self.tunables.flight_enable() {
+            if let Some(fe) = crate::flight::FlightEvent::from_trace(&ev) {
+                self.flight.lock().record(now, fe);
+            }
+        }
         if self.tunables.trace() {
             self.trace.lock().record(now, ev);
         }
+    }
+
+    /// Dump the flight recorder's retained tail as a JSON document.
+    pub fn flight_dump(&self, reason: &str, now: Time) -> String {
+        self.flight.lock().dump_json(self.name.rank, reason, now)
     }
 
     /// Update telemetry (no-op unless the runtime-writable

@@ -41,6 +41,7 @@ pub struct Tunables {
     eager_limit: AtomicUsize,
     metrics: AtomicBool,
     trace: AtomicBool,
+    flight_enable: AtomicBool,
     watchdog_interval: AtomicU64,
     watchdog_grace: AtomicU64,
     retransmit_timeout_ns: AtomicU64,
@@ -63,6 +64,7 @@ impl Tunables {
             eager_limit: AtomicUsize::new(cfg.eager_limit),
             metrics: AtomicBool::new(cfg.metrics),
             trace: AtomicBool::new(cfg.trace),
+            flight_enable: AtomicBool::new(cfg.flight_recorder),
             watchdog_interval: AtomicU64::new(cfg.watchdog_interval),
             watchdog_grace: AtomicU64::new(cfg.watchdog_grace as u64),
             retransmit_timeout_ns: AtomicU64::new(cfg.tcp_retransmit_timeout.as_ns()),
@@ -109,6 +111,11 @@ impl Tunables {
     /// Is protocol tracing enabled right now?
     pub fn trace(&self) -> bool {
         self.trace.load(Ordering::Relaxed)
+    }
+
+    /// Is the post-mortem flight recorder enabled right now?
+    pub fn flight_enable(&self) -> bool {
+        self.flight_enable.load(Ordering::Relaxed)
     }
 
     /// Progress ticks between watchdog scans; 0 = watchdog off.
@@ -248,6 +255,16 @@ pub const CVARS: &[CvarDef] = &[
         writable: false,
     },
     CvarDef {
+        name: "flight.enable",
+        desc: "always-on post-mortem flight recorder (dumped on stall or request failure)",
+        writable: true,
+    },
+    CvarDef {
+        name: "flight.capacity",
+        desc: "flight-recorder ring capacity (events)",
+        writable: false,
+    },
+    CvarDef {
         name: "watchdog.interval",
         desc: "progress ticks between watchdog scans; 0 disables",
         writable: true,
@@ -358,6 +375,8 @@ pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
         "telemetry.metrics" => CvarValue::Bool(ep.tunables.metrics()),
         "telemetry.trace" => CvarValue::Bool(ep.tunables.trace()),
         "telemetry.trace_capacity" => CvarValue::U64(ep.cfg.trace_capacity as u64),
+        "flight.enable" => CvarValue::Bool(ep.tunables.flight_enable()),
+        "flight.capacity" => CvarValue::U64(ep.cfg.flight_capacity as u64),
         "watchdog.interval" => CvarValue::U64(ep.tunables.watchdog_interval()),
         "watchdog.grace" => CvarValue::U64(ep.tunables.watchdog_grace()),
         "watchdog.tick_ns" => CvarValue::U64(ep.cfg.watchdog_tick.as_ns()),
@@ -397,6 +416,10 @@ pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), Str
         }
         ("telemetry.trace", CvarValue::Bool(b)) => {
             ep.tunables.trace.store(b, Ordering::Relaxed);
+            Ok(())
+        }
+        ("flight.enable", CvarValue::Bool(b)) => {
+            ep.tunables.flight_enable.store(b, Ordering::Relaxed);
             Ok(())
         }
         ("watchdog.interval", CvarValue::U64(v)) => {
@@ -655,6 +678,36 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
         vars.push(("watchdog.ticks".into(), ep.tunables.ticks()));
         vars.push(("watchdog.scans".into(), ins.scans));
         vars.push(("watchdog.stalls_detected".into(), ins.stalls_detected));
+        vars.push(("flight.dumps".into(), ins.flight_dumps.len() as u64));
+    }
+
+    // Trace-ring and flight-recorder health: a non-zero `trace.dropped`
+    // means the chrome trace is missing its oldest events.
+    {
+        let t = ep.trace.lock();
+        vars.push(("trace.retained".into(), t.len() as u64));
+        vars.push(("trace.dropped".into(), t.dropped()));
+    }
+    {
+        let f = ep.flight.lock();
+        vars.push(("flight.retained".into(), f.len() as u64));
+        vars.push(("flight.dropped".into(), f.dropped()));
+    }
+
+    // Fabric link occupancy for this rank's own endpoint links (injection
+    // and ejection), summed across rails. Switch-internal links are global
+    // shared state and are reported by the fabric's congestion report, not
+    // duplicated per rank.
+    {
+        let (inj, ej) = ep.cluster.fabric().node_link_totals(ep.node);
+        for (stage, t) in [("inj", inj), ("ej", ej)] {
+            vars.push((format!("fab.{stage}.busy_ns"), t.busy_ns));
+            vars.push((format!("fab.{stage}.payload_bytes"), t.payload_bytes));
+            vars.push((format!("fab.{stage}.wire_bytes"), t.wire_bytes));
+            vars.push((format!("fab.{stage}.packets"), t.packets));
+            vars.push((format!("fab.{stage}.retries"), t.retries));
+            vars.push((format!("fab.{stage}.queue_peak"), t.queue_peak));
+        }
     }
 
     PvarSnapshot {
@@ -680,6 +733,8 @@ pub struct IntrospectState {
     pub stalls_detected: u64,
     /// Structured diagnostics recorded on stall detection.
     pub diagnostics: Vec<StallDiagnostic>,
+    /// Flight-recorder dumps (JSON) emitted on stall or request failure.
+    pub flight_dumps: Vec<String>,
 }
 
 /// One stuck request inside a [`StallDiagnostic`].
@@ -742,6 +797,8 @@ pub struct StallDiagnostic {
     pub unexpected: Vec<UnexpectedSummary>,
     /// In-flight DMA descriptors the host has not reaped.
     pub pending_dmas: Vec<DmaSummary>,
+    /// Flight-recorder contents at detection time (JSON array of events).
+    pub flight: String,
 }
 
 impl StallDiagnostic {
@@ -788,13 +845,18 @@ impl StallDiagnostic {
             .collect();
         format!(
             "{{\"rank\":{},\"at_ns\":{},\"stuck\":[{}],\"posted_depth\":{},\
-             \"unexpected\":[{}],\"pending_dmas\":[{}]}}",
+             \"unexpected\":[{}],\"pending_dmas\":[{}],\"flight\":{}}}",
             self.rank,
             self.at_ns,
             stuck.join(","),
             self.posted_depth,
             unexpected.join(","),
-            dmas.join(",")
+            dmas.join(","),
+            if self.flight.is_empty() {
+                "[]"
+            } else {
+                &self.flight
+            }
         )
     }
 
@@ -819,6 +881,9 @@ impl StallDiagnostic {
             self.unexpected.len(),
             self.pending_dmas.len()
         ));
+        if !self.flight.is_empty() && self.flight != "[]" {
+            out.push_str("\n  flight recorder dumped (see JSON diagnostic)");
+        }
         out
     }
 }
@@ -943,6 +1008,21 @@ fn watchdog_scan(ep: &Endpoint, now: Time) -> Option<StallDiagnostic> {
             });
         }
     }
+    // Snapshot the flight recorder for the post-mortem: first record the
+    // stall itself, then freeze the ring's contents into the diagnostic.
+    // The flight lock is a leaf lock, safe under state + introspect.
+    let flight = {
+        let mut f = ep.flight.lock();
+        if ep.tunables.flight_enable() {
+            f.record(
+                now,
+                crate::flight::FlightEvent::Stall {
+                    stuck: stalled.len(),
+                },
+            );
+        }
+        f.events_json()
+    };
     let diag = StallDiagnostic {
         rank: ep.name.rank,
         at_ns: now.as_ns(),
@@ -984,8 +1064,14 @@ fn watchdog_scan(ep: &Endpoint, now: Time) -> Option<StallDiagnostic> {
                 },
             })
             .collect(),
+        flight,
     };
     ins.stalls_detected += stalled.len() as u64;
+    ins.flight_dumps.push(
+        ep.flight
+            .lock()
+            .dump_json(ep.name.rank, "watchdog stall", now),
+    );
     ins.diagnostics.push(diag.clone());
     Some(diag)
 }
@@ -1062,6 +1148,7 @@ mod tests {
                 role: "read",
                 bytes: 4096,
             }],
+            flight: "[]".to_string(),
         };
         let j = d.to_json();
         assert!(j.contains("\"rank\":3"));

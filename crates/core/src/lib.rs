@@ -27,6 +27,7 @@ pub mod coll;
 pub mod comm;
 pub mod config;
 pub mod endpoint;
+pub mod flight;
 pub mod hdr;
 pub mod introspect;
 pub mod metrics;
@@ -45,6 +46,7 @@ pub use coll::ReduceOp;
 pub use comm::Communicator;
 pub use config::{CompletionMode, HostConfig, ProgressMode, RdmaScheme, StackConfig};
 pub use endpoint::{Endpoint, Transports};
+pub use flight::{FlightEvent, FlightRecorder};
 pub use introspect::{
     cvar_read, cvar_write, cvars_json, pvar_snapshot, CvarValue, PvarSnapshot, StallDiagnostic,
 };

@@ -144,6 +144,12 @@ pub fn post_send_mode(
                 err: err.mpi_name(),
             },
         );
+        // Same post-mortem as the degraded completion path in
+        // `fail_request`: freeze the flight recorder at the failure.
+        if ep.tunables.flight_enable() {
+            let dump = ep.flight_dump(&format!("request failed: {}", err.mpi_name()), proc.now());
+            ep.introspect.lock().flight_dumps.push(dump);
+        }
         return Request {
             id,
             kind: ReqKind::Send,
@@ -2515,6 +2521,12 @@ pub(crate) fn fail_request(
             err: err.mpi_name(),
         },
     );
+    // Post-mortem: freeze the flight recorder at the moment of failure so
+    // the harness can explain *what led up to* the error, not just name it.
+    if ep.tunables.flight_enable() {
+        let dump = ep.flight_dump(&format!("request failed: {}", err.mpi_name()), proc.now());
+        ep.introspect.lock().flight_dumps.push(dump);
+    }
     notify_waiters(proc, ep);
 }
 

@@ -88,6 +88,8 @@ pub(crate) struct KernelState {
     pub max_queue_depth: usize,
     /// Process wakeups executed (vs. device-callback events).
     pub wakes_executed: u64,
+    /// Device-callback closures executed (the `Event::Call` category).
+    pub calls_executed: u64,
 }
 
 impl KernelState {
@@ -167,6 +169,22 @@ pub struct Report {
     /// Process wakeups among the executed events (the rest were device
     /// callbacks such as NIC state transitions).
     pub wakes_executed: u64,
+    /// Device-callback events among the executed events.
+    pub calls_executed: u64,
+    /// Wall-clock time the kernel spent driving the run, in nanoseconds.
+    pub wall_ns: u64,
+}
+
+impl Report {
+    /// Simulated events executed per wall-clock second — the headline
+    /// throughput figure for the simulator itself.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.events_processed as f64 * 1e9 / self.wall_ns as f64
+        }
+    }
 }
 
 /// A whole simulation: build, spawn root processes, then [`Simulation::run`].
@@ -196,6 +214,7 @@ impl Simulation {
                 next_signal_id: 0,
                 max_queue_depth: 0,
                 wakes_executed: 0,
+                calls_executed: 0,
             }),
             yield_tx,
             yield_rx: Mutex::new(yield_rx),
@@ -228,8 +247,13 @@ impl Simulation {
 
     /// Drive the simulation to completion.
     pub fn run(self) -> Result<Report, SimError> {
+        let started = std::time::Instant::now();
         let handle = self.handle();
         let result = self.main_loop(&handle);
+        let result = result.map(|mut report| {
+            report.wall_ns = started.elapsed().as_nanos() as u64;
+            report
+        });
         // Unblock any threads still parked so the process can exit, then join.
         {
             let st = self.shared.state.lock();
@@ -285,7 +309,10 @@ impl Simulation {
                 }
             };
             match next {
-                Some(Event::Call(f)) => f(handle),
+                Some(Event::Call(f)) => {
+                    self.shared.state.lock().calls_executed += 1;
+                    f(handle);
+                }
                 Some(Event::Wake(pid)) => {
                     self.shared.state.lock().wakes_executed += 1;
                     self.run_proc(pid, Go::Run)?;
@@ -317,6 +344,8 @@ impl Simulation {
                             procs_spawned: st.procs.len(),
                             max_queue_depth: st.max_queue_depth,
                             wakes_executed: st.wakes_executed,
+                            calls_executed: st.calls_executed,
+                            wall_ns: 0, // filled in by `run`
                         });
                     }
                     // Shut daemons down one at a time (preserves the

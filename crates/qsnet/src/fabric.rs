@@ -7,6 +7,7 @@
 //! link-level retransmission in hardware, so injected faults delay packets
 //! (and bump a retry counter) rather than losing them.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use qsim::Mutex;
@@ -70,6 +71,303 @@ struct RailState {
     rx_free: Vec<Time>,
 }
 
+/// Which stage of a route a link belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LinkKind {
+    /// Host NIC → leaf switch.
+    Injection,
+    /// Level-k switch → level-(k+1) switch (towards the tree root).
+    Up,
+    /// Level-(k+1) switch → level-k switch (towards the hosts).
+    Down,
+    /// Leaf switch → host NIC.
+    Ejection,
+}
+
+impl LinkKind {
+    /// Short wire name used in link labels and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            LinkKind::Injection => "inj",
+            LinkKind::Up => "up",
+            LinkKind::Down => "down",
+            LinkKind::Ejection => "ej",
+        }
+    }
+}
+
+/// Per-link running counters.
+#[derive(Default)]
+struct LinkAcct {
+    /// Nanoseconds the link spent serializing bytes (including retries).
+    busy_ns: u64,
+    payload_bytes: u64,
+    wire_bytes: u64,
+    packets: u64,
+    retries: u64,
+    /// High-water mark of packets simultaneously holding or waiting for
+    /// the link. Tracked only for endpoint links (the timing model has no
+    /// switch-internal queues: cut-through contention resolves at the
+    /// endpoints).
+    queue_peak: u64,
+    /// End times of busy intervals still in the future, for queue depth.
+    inflight: VecDeque<Time>,
+}
+
+impl LinkAcct {
+    fn charge(&mut self, busy_ns: u64, payload: u64, wire: u64) {
+        self.busy_ns += busy_ns;
+        self.payload_bytes += payload;
+        self.wire_bytes += wire;
+        self.packets += 1;
+    }
+
+    /// Record a packet asking for the link at `arrival` and releasing it at
+    /// `end`; returns the depth it observed (itself included).
+    fn enqueue(&mut self, arrival: Time, end: Time) -> u64 {
+        while self.inflight.front().is_some_and(|&e| e <= arrival) {
+            self.inflight.pop_front();
+        }
+        self.inflight.push_back(end);
+        let depth = self.inflight.len() as u64;
+        self.queue_peak = self.queue_peak.max(depth);
+        depth
+    }
+
+    /// Packets still holding or waiting for the link at `now`.
+    fn queue_now(&mut self, now: Time) -> u64 {
+        while self.inflight.front().is_some_and(|&e| e <= now) {
+            self.inflight.pop_front();
+        }
+        self.inflight.len() as u64
+    }
+}
+
+/// Per-rail link accounting: one record per injection/ejection link (per
+/// node) and per inter-switch link (per level, per switch).
+struct RailAcct {
+    inj: Vec<LinkAcct>,
+    ej: Vec<LinkAcct>,
+    /// `up[k-1][s]`: the uplink of level-k switch `s`, k in `1..levels`.
+    up: Vec<Vec<LinkAcct>>,
+    /// `down[k-1][s]`: the downlink into level-k switch `s`.
+    down: Vec<Vec<LinkAcct>>,
+}
+
+impl RailAcct {
+    fn new(topo: &FatTree) -> RailAcct {
+        let nodes = topo.nodes();
+        let mk = |n: usize| (0..n).map(|_| LinkAcct::default()).collect::<Vec<_>>();
+        let stages = (1..topo.levels())
+            .map(|k| mk(topo.switches_at(k)))
+            .collect::<Vec<_>>();
+        RailAcct {
+            inj: mk(nodes),
+            ej: mk(nodes),
+            up: stages.iter().map(|s| mk(s.len())).collect(),
+            down: stages,
+        }
+    }
+}
+
+/// Identity plus counters for one accounted link, as captured by
+/// [`Fabric::link_snapshot`].
+#[derive(Clone, Debug)]
+pub struct LinkSnapshot {
+    /// Rail the link belongs to.
+    pub rail: usize,
+    /// Route stage.
+    pub kind: LinkKind,
+    /// Switch level for `Up`/`Down` links (1 = leaf switch); 0 for
+    /// endpoint links.
+    pub level: u32,
+    /// Node id for `Injection`/`Ejection`; switch index within the level
+    /// for `Up`/`Down`.
+    pub index: usize,
+    /// Nanoseconds spent serializing bytes (including retransmissions).
+    pub busy_ns: u64,
+    /// Application payload carried.
+    pub payload_bytes: u64,
+    /// Payload plus per-packet overhead and retransmitted bytes.
+    pub wire_bytes: u64,
+    /// Packets carried.
+    pub packets: u64,
+    /// Hardware retransmissions on this link.
+    pub retries: u64,
+    /// Peak simultaneous holders/waiters (endpoint links only).
+    pub queue_peak: u64,
+    /// Holders/waiters at snapshot time (endpoint links only).
+    pub queue_now: u64,
+}
+
+impl LinkSnapshot {
+    /// Stable display name, e.g. `r0.inj.n3`, `r0.up.l1.s0`, `r0.ej.n0`.
+    pub fn name(&self) -> String {
+        match self.kind {
+            LinkKind::Injection | LinkKind::Ejection => {
+                format!("r{}.{}.n{}", self.rail, self.kind.label(), self.index)
+            }
+            LinkKind::Up | LinkKind::Down => format!(
+                "r{}.{}.l{}.s{}",
+                self.rail,
+                self.kind.label(),
+                self.level,
+                self.index
+            ),
+        }
+    }
+
+    /// Fraction of `elapsed_ns` the link spent busy.
+    pub fn occupancy(&self, elapsed_ns: u64) -> f64 {
+        if elapsed_ns == 0 {
+            0.0
+        } else {
+            self.busy_ns as f64 / elapsed_ns as f64
+        }
+    }
+
+    fn to_json(&self, elapsed_ns: u64) -> String {
+        format!(
+            "{{\"link\":\"{}\",\"rail\":{},\"kind\":\"{}\",\"level\":{},\
+             \"index\":{},\"busy_ns\":{},\"payload_bytes\":{},\
+             \"wire_bytes\":{},\"packets\":{},\"retries\":{},\
+             \"queue_peak\":{},\"queue_now\":{},\"occupancy\":{:.6}}}",
+            self.name(),
+            self.rail,
+            self.kind.label(),
+            self.level,
+            self.index,
+            self.busy_ns,
+            self.payload_bytes,
+            self.wire_bytes,
+            self.packets,
+            self.retries,
+            self.queue_peak,
+            self.queue_now,
+            self.occupancy(elapsed_ns),
+        )
+    }
+}
+
+/// One endpoint-facing link's counters summed across rails, for the pvar
+/// plane (`fab.inj.*` / `fab.ej.*`).
+#[derive(Clone, Debug, Default)]
+pub struct LinkTotals {
+    /// Nanoseconds busy.
+    pub busy_ns: u64,
+    /// Application payload carried.
+    pub payload_bytes: u64,
+    /// Payload plus overhead and retransmissions.
+    pub wire_bytes: u64,
+    /// Packets carried.
+    pub packets: u64,
+    /// Hardware retransmissions.
+    pub retries: u64,
+    /// Peak queue depth.
+    pub queue_peak: u64,
+}
+
+impl LinkTotals {
+    fn add(&mut self, a: &LinkAcct) {
+        self.busy_ns += a.busy_ns;
+        self.payload_bytes += a.payload_bytes;
+        self.wire_bytes += a.wire_bytes;
+        self.packets += a.packets;
+        self.retries += a.retries;
+        self.queue_peak = self.queue_peak.max(a.queue_peak);
+    }
+}
+
+/// Aggregate utilization of one route stage (all links of one kind/level).
+#[derive(Clone, Debug)]
+pub struct StageUtil {
+    /// Stage label: `inj`, `ej`, `up.l1`, `down.l2`, …
+    pub stage: String,
+    /// Links of this stage that carried at least one packet.
+    pub links_active: usize,
+    /// Total busy nanoseconds across the stage's active links.
+    pub busy_ns: u64,
+    /// Mean occupancy of the active links over the report window.
+    pub occupancy: f64,
+}
+
+/// Top-N hottest links plus per-stage utilization over `[0, at_ns]`.
+#[derive(Clone, Debug)]
+pub struct CongestionReport {
+    /// Virtual time the report was taken at (window is `[0, at_ns]`).
+    pub at_ns: u64,
+    /// Total links that carried at least one packet.
+    pub links_active: usize,
+    /// Hottest links, sorted by busy time descending, truncated to top-N.
+    pub links: Vec<LinkSnapshot>,
+    /// Per-stage utilization over every active link (not just top-N).
+    pub stages: Vec<StageUtil>,
+}
+
+impl CongestionReport {
+    /// The single busiest link, if any traffic flowed at all.
+    pub fn hottest(&self) -> Option<&LinkSnapshot> {
+        self.links.first()
+    }
+
+    /// JSON rendering of the report.
+    pub fn to_json(&self) -> String {
+        let links: Vec<String> = self.links.iter().map(|l| l.to_json(self.at_ns)).collect();
+        let stages: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"stage\":\"{}\",\"links_active\":{},\"busy_ns\":{},\
+                     \"occupancy\":{:.6}}}",
+                    s.stage, s.links_active, s.busy_ns, s.occupancy
+                )
+            })
+            .collect();
+        format!(
+            "{{\"at_ns\":{},\"links_active\":{},\"stages\":[{}],\"links\":[{}]}}",
+            self.at_ns,
+            self.links_active,
+            stages.join(","),
+            links.join(",")
+        )
+    }
+
+    /// Human-readable table for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "congestion report at t={}ns ({} active links)\n",
+            self.at_ns, self.links_active
+        ));
+        out.push_str("  stage     links  busy_ns      occupancy\n");
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<9} {:<6} {:<12} {:.1}%\n",
+                s.stage,
+                s.links_active,
+                s.busy_ns,
+                s.occupancy * 100.0
+            ));
+        }
+        out.push_str("  link            busy_ns      occ%   KiB      pkts  qpeak qnow retry\n");
+        for l in &self.links {
+            out.push_str(&format!(
+                "  {:<15} {:<12} {:<6.1} {:<8} {:<5} {:<5} {:<4} {}\n",
+                l.name(),
+                l.busy_ns,
+                l.occupancy(self.at_ns) * 100.0,
+                l.wire_bytes >> 10,
+                l.packets,
+                l.queue_peak,
+                l.queue_now,
+                l.retries
+            ));
+        }
+        out
+    }
+}
+
 #[derive(Default)]
 struct FaultState {
     /// (src, dst) -> number of upcoming packets to fault once each.
@@ -90,6 +388,7 @@ impl FaultState {
 
 struct FabricState {
     rails: Vec<RailState>,
+    acct: Vec<RailAcct>,
     stats: FabricStats,
     faults: FaultState,
 }
@@ -113,11 +412,13 @@ impl Fabric {
                 rx_free: vec![Time::ZERO; config.nodes],
             })
             .collect();
+        let acct = (0..config.rails).map(|_| RailAcct::new(&topo)).collect();
         Arc::new(Fabric {
             config,
             topo,
             state: Mutex::new(FabricState {
                 rails,
+                acct,
                 stats: FabricStats::default(),
                 faults: FaultState::default(),
             }),
@@ -225,6 +526,7 @@ impl Fabric {
         let pkt_delivered = rx_start + ser;
         rs.tx_free[src] = start + ser;
         rs.rx_free[dst] = pkt_delivered;
+        let tx_free = rs.tx_free[src];
 
         st.stats.packets += 1;
         st.stats.payload_bytes += payload as u64;
@@ -233,6 +535,29 @@ impl Fabric {
             st.stats.retries += 1;
             st.stats.wire_bytes += wire_len as u64;
         }
+
+        // Per-link accounting. A faulted packet crossed the injection link
+        // twice (transmit, NAK, retransmit), so it is charged double there;
+        // the switches and the ejection link only ever see the good copy.
+        let ser_ns = ser.as_ns();
+        let (payload, wire) = (payload as u64, wire_len as u64);
+        let acct = &mut st.acct[rail];
+        let inj = &mut acct.inj[src];
+        if faulted {
+            inj.charge(2 * ser_ns, payload, 2 * wire);
+            inj.retries += 1;
+        } else {
+            inj.charge(ser_ns, payload, wire);
+        }
+        inj.enqueue(not_before, tx_free);
+        for k in 1..self.topo.nca_level(src, dst) {
+            acct.up[(k - 1) as usize][self.topo.subtree(src, k)].charge(ser_ns, payload, wire);
+            acct.down[(k - 1) as usize][self.topo.subtree(dst, k)].charge(ser_ns, payload, wire);
+        }
+        let ej = &mut acct.ej[dst];
+        ej.charge(ser_ns, payload, wire);
+        ej.enqueue(head_arrival, pkt_delivered);
+
         pkt_delivered
     }
 }
@@ -261,9 +586,19 @@ impl Fabric {
         let mut st = self.state.lock();
         let start = not_before.max(st.rails[rail].tx_free[src]);
         st.rails[rail].tx_free[src] = start + ser;
+        let tx_free = st.rails[rail].tx_free[src];
+        let ser_ns = ser.as_ns();
+        let (payload_u, wire) = (payload as u64, wire_len as u64);
         let mut out = Vec::with_capacity(dsts.len());
+        // The source injects once; the Elite switches replicate at the
+        // nearest common ancestor, so uplinks are charged once (to the
+        // highest level any destination needs) and downlinks per branch.
+        let mut max_nca = 0;
+        let mut down_seen: Vec<(u32, usize)> = Vec::new();
         for &dst in dsts {
             let hops = self.topo.switch_hops(src, dst);
+            let nca = self.topo.nca_level(src, dst);
+            max_nca = max_nca.max(nca);
             let head_arrival = start + self.config.hop_latency * hops as u64;
             let rx_start = head_arrival.max(st.rails[rail].rx_free[dst]);
             let delivered = rx_start + ser;
@@ -272,8 +607,136 @@ impl Fabric {
             st.stats.packets += 1;
             st.stats.payload_bytes += payload as u64;
             st.stats.wire_bytes += wire_len as u64;
+            let acct = &mut st.acct[rail];
+            // Destinations sharing a subtree share the downlink into it:
+            // the switches replicate below it, so charge it once.
+            for k in 1..nca {
+                let s = self.topo.subtree(dst, k);
+                if !down_seen.contains(&(k, s)) {
+                    down_seen.push((k, s));
+                    acct.down[(k - 1) as usize][s].charge(ser_ns, payload_u, wire);
+                }
+            }
+            let ej = &mut acct.ej[dst];
+            ej.charge(ser_ns, payload_u, wire);
+            ej.enqueue(head_arrival, delivered);
+        }
+        let acct = &mut st.acct[rail];
+        let inj = &mut acct.inj[src];
+        inj.charge(ser_ns, payload_u, wire);
+        inj.enqueue(not_before, tx_free);
+        for k in 1..max_nca {
+            acct.up[(k - 1) as usize][self.topo.subtree(src, k)].charge(ser_ns, payload_u, wire);
         }
         out
+    }
+}
+
+impl Fabric {
+    /// Counters for every link that carried at least one packet, ordered
+    /// by rail, then stage (injection, up, down, ejection), then index.
+    /// `now` bounds the report window and prices current queue depth.
+    pub fn link_snapshot(&self, now: Time) -> Vec<LinkSnapshot> {
+        let mut st = self.state.lock();
+        let mut out = Vec::new();
+        for rail in 0..self.config.rails {
+            let acct = &mut st.acct[rail];
+            let push = |kind: LinkKind,
+                        level: u32,
+                        index: usize,
+                        a: &mut LinkAcct,
+                        out: &mut Vec<LinkSnapshot>| {
+                if a.packets == 0 {
+                    return;
+                }
+                let queue_now = a.queue_now(now);
+                out.push(LinkSnapshot {
+                    rail,
+                    kind,
+                    level,
+                    index,
+                    busy_ns: a.busy_ns,
+                    payload_bytes: a.payload_bytes,
+                    wire_bytes: a.wire_bytes,
+                    packets: a.packets,
+                    retries: a.retries,
+                    queue_peak: a.queue_peak,
+                    queue_now,
+                });
+            };
+            for (n, a) in acct.inj.iter_mut().enumerate() {
+                push(LinkKind::Injection, 0, n, a, &mut out);
+            }
+            for (k, stage) in acct.up.iter_mut().enumerate() {
+                for (s, a) in stage.iter_mut().enumerate() {
+                    push(LinkKind::Up, k as u32 + 1, s, a, &mut out);
+                }
+            }
+            for (k, stage) in acct.down.iter_mut().enumerate() {
+                for (s, a) in stage.iter_mut().enumerate() {
+                    push(LinkKind::Down, k as u32 + 1, s, a, &mut out);
+                }
+            }
+            for (n, a) in acct.ej.iter_mut().enumerate() {
+                push(LinkKind::Ejection, 0, n, a, &mut out);
+            }
+        }
+        out
+    }
+
+    /// One node's injection and ejection link totals summed across rails —
+    /// the numbers each endpoint exports as `fab.inj.*` / `fab.ej.*` pvars.
+    pub fn node_link_totals(&self, node: NodeId) -> (LinkTotals, LinkTotals) {
+        assert!(node < self.config.nodes, "node out of range");
+        let st = self.state.lock();
+        let mut inj = LinkTotals::default();
+        let mut ej = LinkTotals::default();
+        for acct in &st.acct {
+            inj.add(&acct.inj[node]);
+            ej.add(&acct.ej[node]);
+        }
+        (inj, ej)
+    }
+
+    /// Build the congestion report over `[0, now]`: the `top_n` hottest
+    /// links by busy time plus per-stage utilization.
+    pub fn congestion_report(&self, now: Time, top_n: usize) -> CongestionReport {
+        let links = self.link_snapshot(now);
+        let at_ns = now.as_ns();
+        let mut stages: Vec<StageUtil> = Vec::new();
+        for l in &links {
+            let stage = match l.kind {
+                LinkKind::Injection | LinkKind::Ejection => l.kind.label().to_string(),
+                LinkKind::Up | LinkKind::Down => format!("{}.l{}", l.kind.label(), l.level),
+            };
+            match stages.iter_mut().find(|s| s.stage == stage) {
+                Some(s) => {
+                    s.links_active += 1;
+                    s.busy_ns += l.busy_ns;
+                }
+                None => stages.push(StageUtil {
+                    stage,
+                    links_active: 1,
+                    busy_ns: l.busy_ns,
+                    occupancy: 0.0,
+                }),
+            }
+        }
+        for s in &mut stages {
+            if at_ns > 0 && s.links_active > 0 {
+                s.occupancy = s.busy_ns as f64 / (at_ns * s.links_active as u64) as f64;
+            }
+        }
+        let links_active = links.len();
+        let mut sorted = links;
+        sorted.sort_by(|a, b| b.busy_ns.cmp(&a.busy_ns).then(a.name().cmp(&b.name())));
+        sorted.truncate(top_n);
+        CongestionReport {
+            at_ns,
+            links_active,
+            links: sorted,
+            stages,
+        }
     }
 }
 
@@ -460,6 +923,163 @@ mod bcast_tests {
         // Node 1 shares the leaf switch (1 hop); node 4 crosses the top
         // (3 hops): 2 extra hops at 40ns each.
         assert_eq!(d[1].as_ns() - d[0].as_ns(), 80);
+    }
+}
+
+#[cfg(test)]
+mod link_tests {
+    use super::*;
+
+    const FAR: Time = Time::from_ns(1 << 40);
+
+    #[test]
+    fn incast_concentrates_busy_time_on_the_ejection_link() {
+        let f = Fabric::new(FabricConfig::default());
+        // 7 sources each push 4 MTU packets at node 0 simultaneously.
+        for src in 1..8usize {
+            for _ in 0..4 {
+                f.packet_delivery(0, src, 0, 2048, Time::ZERO);
+            }
+        }
+        let links = f.link_snapshot(FAR);
+        let busy = |kind: LinkKind, index: usize| {
+            links
+                .iter()
+                .find(|l| l.kind == kind && l.index == index)
+                .map(|l| l.busy_ns)
+                .unwrap_or(0)
+        };
+        let ej0 = busy(LinkKind::Ejection, 0);
+        for src in 1..8usize {
+            assert_eq!(ej0, 7 * busy(LinkKind::Injection, src), "src {src}");
+        }
+        // The victim's receive FIFO backs up; every source injects freely.
+        let ej = links
+            .iter()
+            .find(|l| l.kind == LinkKind::Ejection && l.index == 0)
+            .unwrap();
+        assert!(ej.queue_peak >= 7, "queue_peak {}", ej.queue_peak);
+        assert_eq!(ej.queue_now, 0, "drained by the time of the snapshot");
+        let rep = f.congestion_report(FAR, 3);
+        assert_eq!(rep.hottest().unwrap().name(), "r0.ej.n0");
+    }
+
+    #[test]
+    fn link_bytes_reconcile_with_fabric_stats() {
+        let f = Fabric::new(FabricConfig::default());
+        for (src, dst, len) in [
+            (0usize, 1usize, 100usize),
+            (2, 7, 2048),
+            (5, 4, 1),
+            (3, 0, 999),
+        ] {
+            f.packet_delivery(0, src, dst, len, Time::ZERO);
+        }
+        let stats = f.stats();
+        let links = f.link_snapshot(FAR);
+        let sum = |kind: LinkKind, field: fn(&LinkSnapshot) -> u64| {
+            links
+                .iter()
+                .filter(|l| l.kind == kind)
+                .map(field)
+                .sum::<u64>()
+        };
+        assert_eq!(
+            sum(LinkKind::Injection, |l| l.payload_bytes),
+            stats.payload_bytes
+        );
+        assert_eq!(
+            sum(LinkKind::Ejection, |l| l.payload_bytes),
+            stats.payload_bytes
+        );
+        assert_eq!(sum(LinkKind::Injection, |l| l.wire_bytes), stats.wire_bytes);
+        assert_eq!(sum(LinkKind::Injection, |l| l.packets), stats.packets);
+    }
+
+    #[test]
+    fn switch_links_charged_only_on_cross_leaf_routes() {
+        let f = Fabric::new(FabricConfig::default());
+        f.packet_delivery(0, 0, 1, 512, Time::ZERO); // same leaf: no switch links
+        let links = f.link_snapshot(FAR);
+        assert!(links.iter().all(|l| l.kind != LinkKind::Up));
+
+        f.packet_delivery(0, 0, 4, 512, Time::ZERO); // crosses the spine
+        let links = f.link_snapshot(FAR);
+        let up = links.iter().find(|l| l.kind == LinkKind::Up).unwrap();
+        assert_eq!((up.level, up.index, up.packets), (1, 0, 1));
+        assert_eq!(up.name(), "r0.up.l1.s0");
+        let down = links.iter().find(|l| l.kind == LinkKind::Down).unwrap();
+        assert_eq!((down.level, down.index, down.packets), (1, 1, 1));
+    }
+
+    #[test]
+    fn faulted_packet_doubles_injection_charges_only() {
+        let f = Fabric::new(FabricConfig::default());
+        f.inject_drops(0, 1, 1);
+        f.packet_delivery(0, 0, 1, 512, Time::ZERO);
+        let links = f.link_snapshot(FAR);
+        let inj = links
+            .iter()
+            .find(|l| l.kind == LinkKind::Injection)
+            .unwrap();
+        let ej = links.iter().find(|l| l.kind == LinkKind::Ejection).unwrap();
+        assert_eq!(inj.retries, 1);
+        assert_eq!(inj.busy_ns, 2 * ej.busy_ns);
+        assert_eq!(inj.wire_bytes, 2 * ej.wire_bytes);
+        assert_eq!(ej.retries, 0);
+        let (inj_tot, ej_tot) = f.node_link_totals(0);
+        assert_eq!(inj_tot.retries, 1);
+        assert_eq!(inj_tot.busy_ns, inj.busy_ns);
+        assert_eq!(ej_tot.packets, 0, "node 0 received nothing");
+    }
+
+    #[test]
+    fn bcast_charges_source_once_and_each_branch() {
+        let f = Fabric::new(FabricConfig::default());
+        f.bcast_delivery(0, 0, &[1, 2, 4, 5], 1024, Time::ZERO);
+        let links = f.link_snapshot(FAR);
+        let find = |kind: LinkKind, index: usize| {
+            links
+                .iter()
+                .find(|l| l.kind == kind && l.index == index)
+                .unwrap()
+        };
+        assert_eq!(find(LinkKind::Injection, 0).packets, 1);
+        for dst in [1usize, 2, 4, 5] {
+            assert_eq!(find(LinkKind::Ejection, dst).packets, 1);
+        }
+        // Replication happens at the spine: one uplink transit, one
+        // downlink transit into the far leaf switch.
+        assert_eq!(find(LinkKind::Up, 0).packets, 1);
+        assert_eq!(find(LinkKind::Down, 1).packets, 1);
+    }
+
+    #[test]
+    fn congestion_report_renders_stages_and_json() {
+        let f = Fabric::new(FabricConfig::default());
+        for src in 1..4usize {
+            f.packet_delivery(0, src, 0, 2048, Time::ZERO);
+        }
+        let rep = f.congestion_report(Time::from_ns(10_000), 8);
+        let json = rep.to_json();
+        assert!(json.contains("\"link\":\"r0.ej.n0\""), "{json}");
+        assert!(json.contains("\"stage\":\"inj\""), "{json}");
+        assert!(json.contains("\"occupancy\":"), "{json}");
+        let text = rep.render();
+        assert!(text.contains("r0.ej.n0"), "{text}");
+        let hottest = rep.hottest().unwrap();
+        assert!(hottest.occupancy(rep.at_ns) > 0.0);
+        assert!(hottest.occupancy(rep.at_ns) <= 1.0);
+    }
+
+    #[test]
+    fn empty_fabric_reports_no_links() {
+        let f = Fabric::new(FabricConfig::default());
+        assert!(f.link_snapshot(FAR).is_empty());
+        let rep = f.congestion_report(Time::ZERO, 5);
+        assert!(rep.hottest().is_none());
+        assert_eq!(rep.links_active, 0);
+        assert!(rep.to_json().contains("\"links\":[]"));
     }
 }
 

@@ -14,5 +14,8 @@
 mod fabric;
 mod topology;
 
-pub use fabric::{Fabric, FabricConfig, FabricStats};
+pub use fabric::{
+    CongestionReport, Fabric, FabricConfig, FabricStats, LinkKind, LinkSnapshot, LinkTotals,
+    StageUtil,
+};
 pub use topology::{FatTree, NodeId};

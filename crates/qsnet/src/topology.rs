@@ -85,6 +85,24 @@ impl FatTree {
         }
     }
 
+    /// Index of the level-`level` subtree (switch) containing `node`.
+    /// Level 1 is the leaf switch; each level divides the node space by
+    /// another factor of the radix.
+    ///
+    /// # Panics
+    /// If `node` is out of range or `level == 0`.
+    pub fn subtree(&self, node: NodeId, level: u32) -> usize {
+        assert!(node < self.nodes, "node out of range");
+        assert!(level >= 1, "subtree level starts at 1");
+        node / self.radix.pow(level)
+    }
+
+    /// Number of switches at `level` (1 = leaf switches).
+    pub fn switches_at(&self, level: u32) -> usize {
+        assert!(level >= 1, "subtree level starts at 1");
+        self.nodes.div_ceil(self.radix.pow(level))
+    }
+
     /// Worst-case switch hops in this tree (diameter).
     pub fn diameter(&self) -> u32 {
         if self.nodes == 1 {
@@ -113,6 +131,21 @@ mod tests {
         assert_eq!(t.switch_hops(7, 1), 3);
         assert_eq!(t.switch_hops(5, 5), 0);
         assert_eq!(t.diameter(), 3);
+    }
+
+    #[test]
+    fn subtree_indexing() {
+        let t = FatTree::qs8a();
+        assert_eq!(t.switches_at(1), 2);
+        assert_eq!(t.subtree(0, 1), 0);
+        assert_eq!(t.subtree(3, 1), 0);
+        assert_eq!(t.subtree(4, 1), 1);
+        assert_eq!(t.subtree(7, 1), 1);
+        let t = FatTree::new(4, 64);
+        assert_eq!(t.switches_at(1), 16);
+        assert_eq!(t.switches_at(2), 4);
+        assert_eq!(t.subtree(63, 2), 3);
+        assert_eq!(t.subtree(17, 1), 4);
     }
 
     #[test]

@@ -28,4 +28,21 @@ echo "== bench smoke: pipelined-rendezvous bandwidth curve"
 cargo run --release -q -p ompi-bench --bin harness -- \
     --bw-curve --bench-out BENCH_pipeline.json
 
+echo "== bench smoke: simulator self-profile"
+# Events/s on a fixed reference workload — the baseline CI tracks for
+# kernel regressions. Exits nonzero if the profile comes up empty.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --sim-bench --bench-out BENCH_sim.json
+
+echo "== observability demo: incast congestion report"
+# 8-rank incast; exits nonzero if the per-link table comes up empty.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --congestion-report --metrics-out congestion.json > /dev/null
+
+echo "== observability demo: forced stall + flight-recorder dump"
+# Exits nonzero unless the watchdog abort produces a flight dump.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --stall-demo --flight-out flight_dump.json > /dev/null 2>stall_demo.log \
+    || { cat stall_demo.log; exit 1; }
+
 echo "All checks passed."
