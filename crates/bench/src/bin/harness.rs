@@ -46,6 +46,21 @@
 //! off), lets the watchdog abort the run, and prints the recovered
 //! post-mortem — stall diagnostics plus the flight-recorder dumps frozen
 //! at detection; `--flight-out FILE` writes the bundle to a file.
+//! `--critpath` runs a 1 MiB pipelined-rendezvous ping-pong, merges both
+//! ranks' trace rings by global message id, and prints the critical-path
+//! report — each message's latency decomposed into named stages
+//! (match-wait, handshake, wire, registration, host gap, fin-wait) that
+//! sum to the measured total — plus the per-size-bucket table; exits
+//! nonzero unless the stages reconcile within 5% and the merged Chrome
+//! trace carries cross-rank flow arrows; `--critpath-out FILE` writes the
+//! report JSON.
+//! `--timeline` runs an 8-rank incast with the periodic pvar sampler on
+//! and prints every rank's time-series ring; exits nonzero unless the
+//! victim's ejection-queue series shows the congestion ramp;
+//! `--timeline-out FILE` writes the timeline JSON.
+//! `--list-introspect` dumps the full control/performance-variable
+//! registry (name, type, default, writability, current value,
+//! description) as JSON and exits.
 
 use ompi_bench::{
     apps_scaling, coll_bcast, fig10a, fig10b, fig10c, fig10d, fig7a, fig7b, fig8, fig9, io_scaling,
@@ -92,6 +107,11 @@ fn main() {
     let mut sim_bench_flag = false;
     let mut stall_demo = false;
     let mut flight_out: Option<String> = None;
+    let mut critpath = false;
+    let mut critpath_out: Option<String> = None;
+    let mut timeline_flag = false;
+    let mut timeline_out: Option<String> = None;
+    let mut list_introspect = false;
     let mut selected: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -132,6 +152,23 @@ fn main() {
             "--congestion-report" => congestion_report = true,
             "--sim-bench" => sim_bench_flag = true,
             "--stall-demo" => stall_demo = true,
+            "--critpath" => critpath = true,
+            "--timeline" => timeline_flag = true,
+            "--list-introspect" => list_introspect = true,
+            "--critpath-out" => {
+                critpath_out = args.next();
+                if critpath_out.is_none() {
+                    eprintln!("--critpath-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+            "--timeline-out" => {
+                timeline_out = args.next();
+                if timeline_out.is_none() {
+                    eprintln!("--timeline-out needs a file path");
+                    std::process::exit(2);
+                }
+            }
             "--metrics-out" => {
                 metrics_out = args.next();
                 if metrics_out.is_none() {
@@ -170,6 +207,9 @@ fn main() {
         && !congestion_report
         && !sim_bench_flag
         && !stall_demo
+        && !critpath
+        && !timeline_flag
+        && !list_introspect
     {
         eprintln!(
             "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
@@ -177,6 +217,8 @@ fn main() {
              [--reg-bench] [--bw-curve] [--bench-out FILE] \
              [--congestion-report] [--metrics-out FILE] \
              [--sim-bench] [--stall-demo] [--flight-out FILE] \
+             [--critpath] [--critpath-out FILE] \
+             [--timeline] [--timeline-out FILE] [--list-introspect] \
              <experiment>... | all | paper | compare"
         );
         eprintln!("experiments:");
@@ -362,6 +404,122 @@ fn main() {
         );
         if demo.flight_dumps.is_empty() {
             eprintln!("stall-demo FAILED: no flight-recorder dump produced");
+            std::process::exit(1);
+        }
+    }
+
+    if critpath {
+        use ompi_bench::measure::{critpath_pingpong, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // 1 MiB messages: past the pipeline floor, so each send runs the
+        // full chunked rendezvous whose stages the report decomposes.
+        let capture = critpath_pingpong(&Setup::paper(StackConfig::default()), 1 << 20, 4);
+        print!("{}", capture.report.render());
+        let json = capture.to_json();
+        println!("{json}");
+        if let Some(path) = &critpath_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[critical-path report written to {path}]");
+        }
+        metrics_docs.push(("critpath", json));
+        eprintln!(
+            "[critpath: {} message(s) decomposed across {} size bucket(s), \
+             in {:.1?} wall time]",
+            capture.report.msgs.len(),
+            capture.report.buckets.len(),
+            start.elapsed()
+        );
+        // The gates: a 1 MiB rendezvous must decompose into at least four
+        // named stages that reconcile with the measured total, and the
+        // merged Chrome trace must link the two ranks with flow arrows.
+        let mut failed = false;
+        let big: Vec<_> = capture
+            .report
+            .msgs
+            .iter()
+            .filter(|m| !m.eager && m.len == 1 << 20)
+            .collect();
+        if big.is_empty() {
+            eprintln!("critpath FAILED: no 1 MiB rendezvous message in the report");
+            failed = true;
+        }
+        for m in &big {
+            let nonzero = m.stages.iter().filter(|(_, ns)| *ns > 0).count();
+            if nonzero < 4 {
+                eprintln!(
+                    "critpath FAILED: gid {:#x} decomposed into only {nonzero} \
+                     nonzero stage(s): {:?}",
+                    m.gid, m.stages
+                );
+                failed = true;
+            }
+            let sum = m.stage_sum_ns();
+            if (sum.abs_diff(m.total_ns)) * 20 > m.total_ns {
+                eprintln!(
+                    "critpath FAILED: gid {:#x} stages sum to {sum}ns, \
+                     total is {}ns (off by more than 5%)",
+                    m.gid, m.total_ns
+                );
+                failed = true;
+            }
+        }
+        let chrome = capture.chrome_trace();
+        if !chrome.contains("\"ph\":\"s\"") || !chrome.contains("\"ph\":\"f\"") {
+            eprintln!("critpath FAILED: merged Chrome trace has no cross-rank flow events");
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
+    if timeline_flag {
+        use ompi_bench::measure::{timeline_incast, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // 8 ranks, eager-sized messages: the senders flood without waiting
+        // for a handshake, so every packet converges on rank 0's ejection
+        // link at once and the periodic sampler sees its queue depth ramp
+        // while the incast is in full swing.
+        let capture = timeline_incast(&Setup::paper(StackConfig::default()), 8, 1 << 10, 32);
+        let json = capture.to_json();
+        println!("{json}");
+        if let Some(path) = &timeline_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[timeline written to {path}]");
+        }
+        metrics_docs.push(("timeline", json));
+        let victim = capture.victim_samples();
+        eprintln!(
+            "[timeline: {} sample(s) on the victim, peak ej queue {}, \
+             in {:.1?} wall time]",
+            victim.len(),
+            capture.victim_max_ej_queue(),
+            start.elapsed()
+        );
+        if victim.is_empty() {
+            eprintln!("timeline FAILED: sampler produced no samples on the victim");
+            std::process::exit(1);
+        }
+        if capture.victim_max_ej_queue() < 2 {
+            eprintln!(
+                "timeline FAILED: victim ejection queue never exceeded 1 \
+                 (no congestion ramp visible)"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if list_introspect {
+        use ompi_bench::measure::{introspect_registry, Setup};
+        use openmpi_core::StackConfig;
+        // A 1-rank world is enough: the registry is per-endpoint and the
+        // values reported are the live ones after config application.
+        let json = introspect_registry(&Setup::paper(StackConfig::default()));
+        println!("{json}");
+        if !json.contains("\"cvars\":[{") || !json.contains("\"pvars\":[{") {
+            eprintln!("list-introspect FAILED: registry dump came up empty");
             std::process::exit(1);
         }
     }

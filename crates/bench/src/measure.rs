@@ -737,6 +737,189 @@ pub fn incast_congestion(
     }
 }
 
+/// Everything captured from a critical-path instrumented run: the merged
+/// per-message stage decomposition and the raw per-rank trace rings (for
+/// the cross-rank Chrome trace).
+pub struct CritPathCapture {
+    /// Per-message and per-size-bucket stage breakdown.
+    pub report: openmpi_core::CritPathReport,
+    /// Per-rank trace rings (rank, log), feeding the merged Chrome trace.
+    pub traces: Vec<(u32, TraceLog)>,
+}
+
+impl CritPathCapture {
+    /// All ranks' spans merged into one Chrome trace-event JSON document,
+    /// with cross-rank flow arrows linking sender and receiver spans.
+    pub fn chrome_trace(&self) -> String {
+        let refs: Vec<(u32, &TraceLog)> = self.traces.iter().map(|(r, l)| (*r, l)).collect();
+        openmpi_core::chrome_trace_json(&refs)
+    }
+
+    /// The critical-path report as JSON.
+    pub fn to_json(&self) -> String {
+        self.report.to_json()
+    }
+}
+
+/// Run a 2-rank ping-pong with tracing and fabric busy-interval recording
+/// on, merge both ranks' trace rings by gid, and decompose each message's
+/// end-to-end latency into named protocol stages. At 1 MiB with pipelining
+/// this shows where the rendezvous actually spends its time: match wait,
+/// handshake, wire occupancy, registration the pipeline failed to hide,
+/// and the FIN exchange.
+pub fn critpath_pingpong(setup: &Setup, len: usize, iters: usize) -> CritPathCapture {
+    type Row = (u32, TraceLog, Vec<(u64, u64)>);
+    let mut setup = setup.clone();
+    setup.stack.metrics = true;
+    setup.stack.trace = true;
+    let uni = setup.universe();
+    // Record link busy windows from t=0 so the wire stages can be
+    // cross-checked against what the ejection link actually serialized.
+    uni.cluster.fabric().record_intervals(1 << 16);
+    let collected: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let c2 = collected.clone();
+    uni.run_world(2, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let sbuf = mpi.alloc(len.max(1));
+        let rbuf = mpi.alloc(len.max(1));
+        mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+        for _ in 0..iters {
+            if mpi.rank() == 0 {
+                mpi.send(&w, 1, 0, &sbuf, len);
+                mpi.recv(&w, 1, 0, &rbuf, len);
+            } else {
+                mpi.recv(&w, 0, 0, &rbuf, len);
+                mpi.send(&w, 0, 0, &sbuf, len);
+            }
+        }
+        mpi.barrier(&w);
+        let ep = mpi.endpoint();
+        let (_inj, ej) = ep.cluster.fabric().node_busy_intervals(ep.node);
+        c2.lock()
+            .push((mpi.rank() as u32, ep.trace.lock().clone(), ej));
+    });
+    let mut rows = std::mem::take(&mut *collected.lock());
+    rows.sort_by_key(|(r, ..)| *r);
+    let ej_busy: Vec<(u32, Vec<(u64, u64)>)> =
+        rows.iter().map(|(r, _, ej)| (*r, ej.clone())).collect();
+    let traces: Vec<(u32, TraceLog)> = rows.into_iter().map(|(r, l, _)| (r, l)).collect();
+    let refs: Vec<(u32, &TraceLog)> = traces.iter().map(|(r, l)| (*r, l)).collect();
+    let report = openmpi_core::critpath::analyze(&refs, &ej_busy);
+    CritPathCapture { report, traces }
+}
+
+/// Everything captured from a timeline-sampled incast: each rank's retained
+/// sample ring and the victim rank (the incast target).
+pub struct TimelineCapture {
+    /// Per-rank `(rank, dropped, samples)` rows, ordered by rank.
+    pub ranks: Vec<(u32, u64, Vec<openmpi_core::introspect::TimelineSample>)>,
+    /// The incast target whose ejection queue the samples should show
+    /// ramping (always rank 0 for this workload).
+    pub victim: usize,
+}
+
+impl TimelineCapture {
+    /// The victim rank's samples, oldest first.
+    pub fn victim_samples(&self) -> &[openmpi_core::introspect::TimelineSample] {
+        &self.ranks[self.victim].2
+    }
+
+    /// Peak ejection-link queue depth the victim's samples observed.
+    pub fn victim_max_ej_queue(&self) -> u64 {
+        self.victim_samples()
+            .iter()
+            .map(|s| s.ej_queue)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One JSON document: the victim rank plus every rank's timeline.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .ranks
+            .iter()
+            .map(|(rank, dropped, samples)| {
+                let s: Vec<String> = samples.iter().map(|s| s.to_json()).collect();
+                format!(
+                    "{{\"rank\":{},\"dropped\":{},\"samples\":[{}]}}",
+                    rank,
+                    dropped,
+                    s.join(",")
+                )
+            })
+            .collect();
+        format!(
+            "{{\"victim\":{},\"ranks\":[{}]}}",
+            self.victim,
+            rows.join(",")
+        )
+    }
+}
+
+/// Run an N-to-1 incast with the periodic timeline sampler on (interval
+/// `sample_ns` of virtual time) and collect every rank's sample ring. The
+/// victim's `ej_queue` series shows the congestion building as every
+/// sender's traffic converges on one ejection link — the time-series view
+/// of what `incast_congestion` reports as end-of-run totals.
+pub fn timeline_incast(setup: &Setup, ranks: usize, len: usize, iters: usize) -> TimelineCapture {
+    type Row = (u32, u64, Vec<openmpi_core::introspect::TimelineSample>);
+    let mut setup = setup.clone();
+    setup.stack.metrics = true;
+    // Sample roughly every wire-time of one message so the ramp is visible.
+    let sample_ns = (len as u64).max(1_000) / 3;
+    setup.stack.timeline_interval = Dur::from_ns(sample_ns);
+    let collected: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+    let c2 = collected.clone();
+    setup
+        .universe()
+        .run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            if mpi.rank() == 0 {
+                let rbuf = mpi.alloc(len.max(1));
+                for _ in 0..iters {
+                    for _ in 1..ranks {
+                        mpi.recv(&w, openmpi_core::ANY_SOURCE, 0, &rbuf, len);
+                    }
+                }
+            } else {
+                let sbuf = mpi.alloc(len.max(1));
+                mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+                for _ in 0..iters {
+                    mpi.send(&w, 0, 0, &sbuf, len);
+                }
+            }
+            mpi.barrier(&w);
+            let ep = mpi.endpoint();
+            let tl = ep.timeline.lock();
+            c2.lock().push((
+                mpi.rank() as u32,
+                tl.dropped(),
+                tl.samples().cloned().collect(),
+            ));
+        });
+    let mut rows = std::mem::take(&mut *collected.lock());
+    rows.sort_by_key(|(r, ..)| *r);
+    TimelineCapture {
+        ranks: rows,
+        victim: 0,
+    }
+}
+
+/// Boot a 1-rank world and dump its full control/performance-variable
+/// registry (name, type, default, writability, live value, description)
+/// as one JSON document — the MPI_T-style discovery surface.
+pub fn introspect_registry(setup: &Setup) -> String {
+    let out: Arc<Mutex<String>> = Arc::new(Mutex::new(String::new()));
+    let o2 = out.clone();
+    setup
+        .universe()
+        .run_world(1, Placement::RoundRobin, move |mpi| {
+            *o2.lock() = openmpi_core::introspect::registry_json(mpi.endpoint());
+        });
+    let v = std::mem::take(&mut *out.lock());
+    v
+}
+
 /// What the forced-stall demonstration recovers after the watchdog abort:
 /// the panic message, the structured diagnostics, and the flight-recorder
 /// dumps frozen at detection time.

@@ -67,30 +67,65 @@ impl Mpi {
             .metric(|m| m.counters.coll[op as usize] += 1);
     }
 
+    /// Run one collective body with causal attribution: count it and, at
+    /// the outermost nesting level, open a `coll` trace span whose id tags
+    /// (via [`crate::endpoint::Endpoint::cur_coll`]) every message the
+    /// collective posts, so a merged trace links fan-in/fan-out hops back
+    /// to the operation. Composed collectives stay attributed to the outer
+    /// operation: the inner primitive only adds its counter.
+    fn with_coll<R>(&self, op: CollOp, f: impl FnOnce() -> R) -> R {
+        self.coll_count(op);
+        let cid = self.endpoint().coll_enter();
+        if let Some(id) = cid {
+            self.endpoint().trace(
+                self.proc().now(),
+                crate::trace::TraceEvent::SpanBegin {
+                    id,
+                    cat: "coll",
+                    name: op.name(),
+                },
+            );
+        }
+        let out = f();
+        if let Some(id) = cid {
+            self.endpoint().trace(
+                self.proc().now(),
+                crate::trace::TraceEvent::SpanEnd {
+                    id,
+                    cat: "coll",
+                    name: op.name(),
+                },
+            );
+        }
+        self.endpoint().coll_exit();
+        out
+    }
+
     /// Dissemination barrier: ceil(log2(n)) rounds.
     pub fn barrier(&self, comm: &Communicator) {
-        self.coll_count(CollOp::Barrier);
-        let c = comm.coll_plane();
-        let n = c.size();
-        if n <= 1 {
-            return;
-        }
-        let me = c.rank();
-        let buf = self.alloc(1);
-        let mut k = 1;
-        let mut round = 0;
-        while k < n {
-            let to = (me + k) % n;
-            let from = (me + n - k) % n;
-            let tag = TAG_BARRIER * 1000 + round;
-            let rr = self.irecv(&c, from as i32, tag, &buf, 0);
-            let sr = self.isend(&c, to, tag, &buf, 0);
-            self.wait(sr);
-            self.wait(rr);
-            k <<= 1;
-            round += 1;
-        }
-        self.free(buf);
+        self.with_coll(CollOp::Barrier, || {
+            let c = comm.coll_plane();
+            let n = c.size();
+            if n <= 1 {
+                return;
+            }
+            let me = c.rank();
+            let buf = self.alloc(1);
+            let mut k = 1;
+            let mut round = 0;
+            while k < n {
+                let to = (me + k) % n;
+                let from = (me + n - k) % n;
+                let tag = TAG_BARRIER * 1000 + round;
+                let rr = self.irecv(&c, from as i32, tag, &buf, 0);
+                let sr = self.isend(&c, to, tag, &buf, 0);
+                self.wait(sr);
+                self.wait(rr);
+                k <<= 1;
+                round += 1;
+            }
+            self.free(buf);
+        })
     }
 
     /// Broadcast `len` bytes of `buf` from `root`. Uses the Elan4 hardware
@@ -106,58 +141,60 @@ impl Mpi {
         if c.hw_coll && self.endpoint().transports.elan_rails > 0 {
             return self.bcast_hw(&c, root, buf, len);
         }
-        self.coll_count(CollOp::Bcast);
-        // Virtual rank with the root at 0.
-        let vrank = (c.rank() + n - root) % n;
-        let mut mask = 1usize;
-        // Receive once from the parent...
-        while mask < n {
-            if vrank & mask != 0 {
-                let parent = (vrank - mask + root) % n;
-                self.recv(&c, parent as i32, TAG_BCAST, buf, len);
-                break;
+        self.with_coll(CollOp::Bcast, || {
+            // Virtual rank with the root at 0.
+            let vrank = (c.rank() + n - root) % n;
+            let mut mask = 1usize;
+            // Receive once from the parent...
+            while mask < n {
+                if vrank & mask != 0 {
+                    let parent = (vrank - mask + root) % n;
+                    self.recv(&c, parent as i32, TAG_BCAST, buf, len);
+                    break;
+                }
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
-        // ...then forward down the tree.
-        mask >>= 1;
-        while mask > 0 {
-            if vrank + mask < n {
-                let child = (vrank + mask + root) % n;
-                self.send(&c, child, TAG_BCAST, buf, len);
-            }
+            // ...then forward down the tree.
             mask >>= 1;
-        }
+            while mask > 0 {
+                if vrank + mask < n {
+                    let child = (vrank + mask + root) % n;
+                    self.send(&c, child, TAG_BCAST, buf, len);
+                }
+                mask >>= 1;
+            }
+        })
     }
 
     /// Hardware broadcast: the root chunks the payload into ≤1984-byte
     /// eager fragments, each delivered to every member with a single NIC
     /// injection; members receive them as ordinary matched messages.
     fn bcast_hw(&self, c: &Communicator, root: usize, buf: &elan4::HostBuf, len: usize) {
-        self.coll_count(CollOp::BcastHw);
-        const CHUNK: usize = crate::hdr::MAX_INLINE;
-        let chunks = len.div_ceil(CHUNK).max(1);
-        if c.rank() == root {
-            for i in 0..chunks {
-                let off = i * CHUNK;
-                let take = (len - off).min(CHUNK);
-                let data = self.read(buf, off, take);
-                crate::proto::post_bcast_eager(
-                    self.proc(),
-                    self.endpoint(),
-                    c,
-                    TAG_BCAST_HW,
-                    &data,
-                );
+        self.with_coll(CollOp::BcastHw, || {
+            const CHUNK: usize = crate::hdr::MAX_INLINE;
+            let chunks = len.div_ceil(CHUNK).max(1);
+            if c.rank() == root {
+                for i in 0..chunks {
+                    let off = i * CHUNK;
+                    let take = (len - off).min(CHUNK);
+                    let data = self.read(buf, off, take);
+                    crate::proto::post_bcast_eager(
+                        self.proc(),
+                        self.endpoint(),
+                        c,
+                        TAG_BCAST_HW,
+                        &data,
+                    );
+                }
+            } else {
+                for i in 0..chunks {
+                    let off = i * CHUNK;
+                    let take = (len - off).min(CHUNK);
+                    let slot = buf.slice(off, take.max(1));
+                    self.recv(c, root as i32, TAG_BCAST_HW, &slot, take);
+                }
             }
-        } else {
-            for i in 0..chunks {
-                let off = i * CHUNK;
-                let take = (len - off).min(CHUNK);
-                let slot = buf.slice(off, take.max(1));
-                self.recv(c, root as i32, TAG_BCAST_HW, &slot, take);
-            }
-        }
+        })
     }
 
     /// Scatter: block `i` of `send` (root only) lands in every rank `i`'s
@@ -170,25 +207,26 @@ impl Mpi {
         recv: &elan4::HostBuf,
         block: usize,
     ) {
-        self.coll_count(CollOp::Scatter);
-        let c = comm.coll_plane();
-        let n = c.size();
-        if c.rank() == root {
-            let send = send.expect("root must supply a send buffer");
-            assert!(send.len >= n * block, "scatter buffer too small");
-            let own = self.read(send, root * block, block);
-            self.write(recv, 0, &own);
-            let reqs: Vec<_> = (0..n)
-                .filter(|&r| r != root)
-                .map(|r| {
-                    let slot = send.slice(r * block, block);
-                    self.isend(&c, r, TAG_SCATTER, &slot, block)
-                })
-                .collect();
-            self.waitall(reqs);
-        } else {
-            self.recv(&c, root as i32, TAG_SCATTER, recv, block);
-        }
+        self.with_coll(CollOp::Scatter, || {
+            let c = comm.coll_plane();
+            let n = c.size();
+            if c.rank() == root {
+                let send = send.expect("root must supply a send buffer");
+                assert!(send.len >= n * block, "scatter buffer too small");
+                let own = self.read(send, root * block, block);
+                self.write(recv, 0, &own);
+                let reqs: Vec<_> = (0..n)
+                    .filter(|&r| r != root)
+                    .map(|r| {
+                        let slot = send.slice(r * block, block);
+                        self.isend(&c, r, TAG_SCATTER, &slot, block)
+                    })
+                    .collect();
+                self.waitall(reqs);
+            } else {
+                self.recv(&c, root as i32, TAG_SCATTER, recv, block);
+            }
+        })
     }
 
     /// Broadcast a variable-length byte vector (length prefix + payload).
@@ -222,39 +260,41 @@ impl Mpi {
         buf: &elan4::HostBuf,
         len: usize,
     ) {
-        self.coll_count(CollOp::Reduce);
-        let c = comm.coll_plane();
-        let n = c.size();
-        if n <= 1 {
-            return;
-        }
-        let vrank = (c.rank() + n - root) % n;
-        let tmp = self.alloc(len.max(1));
-        let mut mask = 1usize;
-        while mask < n {
-            if vrank & mask != 0 {
-                let parent = (vrank - mask + root) % n;
-                self.send(&c, parent, TAG_REDUCE, buf, len);
-                break;
+        self.with_coll(CollOp::Reduce, || {
+            let c = comm.coll_plane();
+            let n = c.size();
+            if n <= 1 {
+                return;
             }
-            if vrank + mask < n {
-                let child = (vrank + mask + root) % n;
-                self.recv(&c, child as i32, TAG_REDUCE, &tmp, len);
-                let mut acc = self.read(buf, 0, len);
-                let other = self.read(&tmp, 0, len);
-                op.apply(&mut acc, &other);
-                self.write(buf, 0, &acc);
+            let vrank = (c.rank() + n - root) % n;
+            let tmp = self.alloc(len.max(1));
+            let mut mask = 1usize;
+            while mask < n {
+                if vrank & mask != 0 {
+                    let parent = (vrank - mask + root) % n;
+                    self.send(&c, parent, TAG_REDUCE, buf, len);
+                    break;
+                }
+                if vrank + mask < n {
+                    let child = (vrank + mask + root) % n;
+                    self.recv(&c, child as i32, TAG_REDUCE, &tmp, len);
+                    let mut acc = self.read(buf, 0, len);
+                    let other = self.read(&tmp, 0, len);
+                    op.apply(&mut acc, &other);
+                    self.write(buf, 0, &acc);
+                }
+                mask <<= 1;
             }
-            mask <<= 1;
-        }
-        self.free(tmp);
+            self.free(tmp);
+        })
     }
 
     /// Reduce-to-all: reduce to rank 0 then broadcast.
     pub fn allreduce(&self, comm: &Communicator, op: ReduceOp, buf: &elan4::HostBuf, len: usize) {
-        self.coll_count(CollOp::Allreduce);
-        self.reduce(comm, 0, op, buf, len);
-        self.bcast(comm, 0, buf, len);
+        self.with_coll(CollOp::Allreduce, || {
+            self.reduce(comm, 0, op, buf, len);
+            self.bcast(comm, 0, buf, len);
+        })
     }
 
     /// Gather `len` bytes from every rank into `recv` (root only), ordered
@@ -267,26 +307,27 @@ impl Mpi {
         len: usize,
         recv: Option<&elan4::HostBuf>,
     ) {
-        self.coll_count(CollOp::Gather);
-        let c = comm.coll_plane();
-        let n = c.size();
-        if c.rank() == root {
-            let recv = recv.expect("root must supply a receive buffer");
-            assert!(recv.len >= n * len, "gather buffer too small");
-            let data = self.read(sbuf, 0, len);
-            self.write(recv, root * len, &data);
-            let mut reqs = Vec::new();
-            for r in 0..n {
-                if r == root {
-                    continue;
+        self.with_coll(CollOp::Gather, || {
+            let c = comm.coll_plane();
+            let n = c.size();
+            if c.rank() == root {
+                let recv = recv.expect("root must supply a receive buffer");
+                assert!(recv.len >= n * len, "gather buffer too small");
+                let data = self.read(sbuf, 0, len);
+                self.write(recv, root * len, &data);
+                let mut reqs = Vec::new();
+                for r in 0..n {
+                    if r == root {
+                        continue;
+                    }
+                    let slot = recv.slice(r * len, len);
+                    reqs.push(self.irecv(&c, r as i32, TAG_GATHER, &slot, len));
                 }
-                let slot = recv.slice(r * len, len);
-                reqs.push(self.irecv(&c, r as i32, TAG_GATHER, &slot, len));
+                self.waitall(reqs);
+            } else {
+                self.send(&c, root, TAG_GATHER, sbuf, len);
             }
-            self.waitall(reqs);
-        } else {
-            self.send(&c, root, TAG_GATHER, sbuf, len);
-        }
+        })
     }
 
     /// All-gather via gather + broadcast.
@@ -297,11 +338,10 @@ impl Mpi {
         len: usize,
         recv: &elan4::HostBuf,
     ) {
-        self.coll_count(CollOp::Allgather);
-        let c = comm.coll_plane();
-        let _ = &c;
-        self.gather(comm, 0, sbuf, len, Some(recv));
-        self.bcast(comm, 0, recv, comm.size() * len);
+        self.with_coll(CollOp::Allgather, || {
+            self.gather(comm, 0, sbuf, len, Some(recv));
+            self.bcast(comm, 0, recv, comm.size() * len);
+        })
     }
 
     /// All-gather of small variable payloads (equal length per rank derived
@@ -328,27 +368,28 @@ impl Mpi {
         recv: &elan4::HostBuf,
         block: usize,
     ) {
-        self.coll_count(CollOp::Alltoall);
-        let c = comm.coll_plane();
-        let n = c.size();
-        let me = c.rank();
-        assert!(send.len >= n * block && recv.len >= n * block);
-        // Local block.
-        let own = self.read(send, me * block, block);
-        self.write(recv, me * block, &own);
-        // Exchange with every other rank, staggered to avoid hot spots.
-        for step in 1..n {
-            let to = (me + step) % n;
-            let from = (me + n - step) % n;
-            let sslice = send.slice(to * block, block);
-            let rslice = recv.slice(from * block, block);
-            let tag = TAG_ALLTOALL * 1000 + step as i32;
-            let rr = self.irecv(&c, from as i32, tag, &rslice, block);
-            let sr = self.isend(&c, to, tag, &sslice, block);
-            self.wait(sr);
-            self.wait(rr);
-        }
-        let _ = TAG_ALLGATHER;
+        self.with_coll(CollOp::Alltoall, || {
+            let c = comm.coll_plane();
+            let n = c.size();
+            let me = c.rank();
+            assert!(send.len >= n * block && recv.len >= n * block);
+            // Local block.
+            let own = self.read(send, me * block, block);
+            self.write(recv, me * block, &own);
+            // Exchange with every other rank, staggered to avoid hot spots.
+            for step in 1..n {
+                let to = (me + step) % n;
+                let from = (me + n - step) % n;
+                let sslice = send.slice(to * block, block);
+                let rslice = recv.slice(from * block, block);
+                let tag = TAG_ALLTOALL * 1000 + step as i32;
+                let rr = self.irecv(&c, from as i32, tag, &rslice, block);
+                let sr = self.isend(&c, to, tag, &sslice, block);
+                self.wait(sr);
+                self.wait(rr);
+            }
+            let _ = TAG_ALLGATHER;
+        })
     }
 }
 
@@ -360,25 +401,26 @@ impl Mpi {
     /// reduction of ranks `0..=r`. Linear chain: receive from the left,
     /// fold, forward to the right.
     pub fn scan(&self, comm: &Communicator, op: ReduceOp, buf: &elan4::HostBuf, len: usize) {
-        self.coll_count(CollOp::Scan);
-        let c = comm.coll_plane();
-        let n = c.size();
-        let me = c.rank();
-        if n <= 1 {
-            return;
-        }
-        if me > 0 {
-            let tmp = self.alloc(len.max(1));
-            self.recv(&c, (me - 1) as i32, TAG_SCAN, &tmp, len);
-            let mut acc = self.read(buf, 0, len);
-            let left = self.read(&tmp, 0, len);
-            op.apply(&mut acc, &left);
-            self.write(buf, 0, &acc);
-            self.free(tmp);
-        }
-        if me < n - 1 {
-            self.send(&c, me + 1, TAG_SCAN, buf, len);
-        }
+        self.with_coll(CollOp::Scan, || {
+            let c = comm.coll_plane();
+            let n = c.size();
+            let me = c.rank();
+            if n <= 1 {
+                return;
+            }
+            if me > 0 {
+                let tmp = self.alloc(len.max(1));
+                self.recv(&c, (me - 1) as i32, TAG_SCAN, &tmp, len);
+                let mut acc = self.read(buf, 0, len);
+                let left = self.read(&tmp, 0, len);
+                op.apply(&mut acc, &left);
+                self.write(buf, 0, &acc);
+                self.free(tmp);
+            }
+            if me < n - 1 {
+                self.send(&c, me + 1, TAG_SCAN, buf, len);
+            }
+        })
     }
 
     /// Reduce-scatter with equal blocks: element-wise reduction of every
@@ -392,23 +434,24 @@ impl Mpi {
         recv: &elan4::HostBuf,
         block: usize,
     ) {
-        self.coll_count(CollOp::ReduceScatter);
-        let c = comm.coll_plane();
-        let n = c.size();
-        assert!(send.len >= n * block && recv.len >= block);
-        // Reduce to rank 0, then scatter — simple and correct; a pairwise
-        // exchange would halve the traffic but the collective layer is not
-        // what the paper evaluates.
-        let work = self.alloc((n * block).max(1));
-        let data = self.read(send, 0, n * block);
-        self.write(&work, 0, &data);
-        self.reduce(comm, 0, op, &work, n * block);
-        if c.rank() == 0 {
-            self.scatter(comm, 0, Some(&work), recv, block);
-        } else {
-            self.scatter(comm, 0, None, recv, block);
-        }
-        self.free(work);
+        self.with_coll(CollOp::ReduceScatter, || {
+            let c = comm.coll_plane();
+            let n = c.size();
+            assert!(send.len >= n * block && recv.len >= block);
+            // Reduce to rank 0, then scatter — simple and correct; a pairwise
+            // exchange would halve the traffic but the collective layer is not
+            // what the paper evaluates.
+            let work = self.alloc((n * block).max(1));
+            let data = self.read(send, 0, n * block);
+            self.write(&work, 0, &data);
+            self.reduce(comm, 0, op, &work, n * block);
+            if c.rank() == 0 {
+                self.scatter(comm, 0, Some(&work), recv, block);
+            } else {
+                self.scatter(comm, 0, None, recv, block);
+            }
+            self.free(work);
+        })
     }
 
     /// Variable-length gather: each rank contributes `len` bytes; the root
@@ -419,7 +462,15 @@ impl Mpi {
         root: usize,
         data: &[u8],
     ) -> Option<(Vec<usize>, Vec<u8>)> {
-        self.coll_count(CollOp::Gatherv);
+        self.with_coll(CollOp::Gatherv, || self.gatherv_inner(comm, root, data))
+    }
+
+    fn gatherv_inner(
+        &self,
+        comm: &Communicator,
+        root: usize,
+        data: &[u8],
+    ) -> Option<(Vec<usize>, Vec<u8>)> {
         let c = comm.coll_plane();
         let n = c.size();
         // Gather the lengths first.
@@ -493,7 +544,10 @@ impl Mpi {
     /// vector received from each rank, in rank order. Lengths need not be
     /// agreed beforehand — receivers probe for them.
     pub fn alltoallv(&self, comm: &Communicator, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
-        self.coll_count(CollOp::Alltoallv);
+        self.with_coll(CollOp::Alltoallv, || self.alltoallv_inner(comm, sends))
+    }
+
+    fn alltoallv_inner(&self, comm: &Communicator, sends: &[Vec<u8>]) -> Vec<Vec<u8>> {
         let c = comm.coll_plane();
         let n = c.size();
         let me = c.rank();

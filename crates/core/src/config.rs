@@ -136,6 +136,13 @@ pub struct StackConfig {
     /// Elan shares shorter than this keep the monolithic single-RDMA path
     /// (chunking overhead would outweigh the registration overlap).
     pub pipeline_min_len: usize,
+    /// Time-series sampler: snapshot queue depths / link occupancy into the
+    /// endpoint's [`crate::introspect::Timeline`] every this much simulated
+    /// time. `Dur::ZERO` (the default) disables sampling.
+    pub timeline_interval: Dur,
+    /// Ring capacity of the timeline sampler; when full, the oldest samples
+    /// are evicted and counted.
+    pub timeline_capacity: usize,
     /// Host-side layer costs.
     pub host: HostConfig,
     /// Copy-engine cost model.
@@ -217,6 +224,8 @@ impl Default for StackConfig {
             pipeline_chunk: 32 << 10,
             pipeline_depth: 4,
             pipeline_min_len: 256 << 10,
+            timeline_interval: Dur::ZERO,
+            timeline_capacity: 1024,
             host: HostConfig::default(),
             copy: CopyModel::default(),
         }
@@ -287,6 +296,12 @@ impl StackConfig {
             assert!(
                 self.pipeline_depth >= 1,
                 "pipeline depth must be >= 1 when pipelining is enabled"
+            );
+        }
+        if self.timeline_interval > Dur::ZERO {
+            assert!(
+                self.timeline_capacity >= 1,
+                "timeline ring needs at least one slot when sampling is enabled"
             );
         }
     }

@@ -8,6 +8,7 @@
 //! asynchronous progress threads over the shared completion queue
 //! (paper §4.3).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use elan4::{Cluster, ElanCtx, HostBuf, RxQueue};
@@ -100,6 +101,18 @@ pub struct Endpoint {
     /// Watchdog bookkeeping and recorded stall diagnostics. May be locked
     /// while holding the state lock, never the reverse.
     pub introspect: Mutex<crate::introspect::IntrospectState>,
+    /// Periodic time-series snapshots of queue depths / link occupancy
+    /// (gated on the `timeline.interval_ns` cvar). Leaf lock.
+    pub timeline: Mutex<crate::introspect::Timeline>,
+    /// Collective-operation ids: `coll_seq` allocates, `coll_depth` tracks
+    /// nesting (bcast inside allreduce keeps the outer id), and `cur_coll`
+    /// is the id point-to-point sends stamp on their trace events (0 when
+    /// outside any collective).
+    pub coll_seq: AtomicU64,
+    /// Nesting depth of in-progress collectives on this rank.
+    pub coll_depth: AtomicU64,
+    /// Id of the outermost in-progress collective (0 = none).
+    pub cur_coll_id: AtomicU64,
     /// This rank's published addressing.
     pub my_info: PeerInfo,
 }
@@ -197,6 +210,7 @@ impl Endpoint {
 
         let trace_capacity = cfg.trace_capacity;
         let flight_capacity = cfg.flight_capacity;
+        let timeline_capacity = cfg.timeline_capacity;
         let tunables = crate::introspect::Tunables::from_config(&cfg);
         let reg = crate::regcache::RegCache::new(
             cfg.reg_cache,
@@ -227,6 +241,12 @@ impl Endpoint {
             reg: Mutex::new(reg),
             tunables,
             introspect: Mutex::new(crate::introspect::IntrospectState::default()),
+            timeline: Mutex::new(crate::introspect::Timeline::with_capacity(
+                timeline_capacity,
+            )),
+            coll_seq: AtomicU64::new(0),
+            coll_depth: AtomicU64::new(0),
+            cur_coll_id: AtomicU64::new(0),
             my_info,
         })
     }
@@ -348,6 +368,7 @@ impl Endpoint {
     /// A bounded wait expired: service the timers that bounded it.
     fn timers_tick(self: &Arc<Self>, proc: &Proc) {
         crate::introspect::watchdog_tick(proc, self);
+        crate::introspect::timeline_tick(proc, self);
         proto::reliability_tick(proc, self);
     }
 
@@ -449,6 +470,37 @@ impl Endpoint {
     /// Dump the flight recorder's retained tail as a JSON document.
     pub fn flight_dump(&self, reason: &str, now: Time) -> String {
         self.flight.lock().dump_json(self.name.rank, reason, now)
+    }
+
+    /// This rank's timeline samples as a JSON document.
+    pub fn timeline_json(&self) -> String {
+        self.timeline.lock().to_json(self.name.rank)
+    }
+
+    /// Enter a collective: allocates a fresh collective id at the outermost
+    /// nesting level (returned for the span), keeps the enclosing id for
+    /// nested collectives (e.g. the bcast inside an allreduce).
+    pub fn coll_enter(&self) -> Option<u64> {
+        if self.coll_depth.fetch_add(1, Ordering::Relaxed) == 0 {
+            let cid = self.coll_seq.fetch_add(1, Ordering::Relaxed) + 1;
+            self.cur_coll_id.store(cid, Ordering::Relaxed);
+            Some(cid)
+        } else {
+            None
+        }
+    }
+
+    /// Leave a collective; clears the current id at the outermost level.
+    pub fn coll_exit(&self) {
+        if self.coll_depth.fetch_sub(1, Ordering::Relaxed) == 1 {
+            self.cur_coll_id.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Id of the collective currently in progress on this rank (0 = none);
+    /// stamped on `SendPosted` trace events for fan-in/fan-out attribution.
+    pub fn cur_coll(&self) -> u64 {
+        self.cur_coll_id.load(Ordering::Relaxed)
     }
 
     /// Update telemetry (no-op unless the runtime-writable
@@ -601,6 +653,7 @@ fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
                 TimedWait::Signaled => proc.advance(ep.cluster.cfg().poll_check),
                 TimedWait::TimedOut => {
                     crate::introspect::watchdog_tick(proc, ep);
+                    crate::introspect::timeline_tick(proc, ep);
                     proto::reliability_tick(proc, ep);
                 }
                 TimedWait::Shutdown => break,

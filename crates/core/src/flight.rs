@@ -29,6 +29,8 @@ pub enum FlightEvent {
     Send {
         /// Request id.
         req: u64,
+        /// Global message id ([`crate::hdr::msg_gid`]).
+        gid: u64,
         /// Destination rank.
         dst: u32,
         /// Message length.
@@ -45,6 +47,8 @@ pub enum FlightEvent {
     Match {
         /// The receive request.
         req: u64,
+        /// Global message id.
+        gid: u64,
         /// Sender rank.
         src: u32,
         /// Total message length.
@@ -57,6 +61,8 @@ pub enum FlightEvent {
     },
     /// RDMA descriptors were issued.
     Rdma {
+        /// Global message id the batch serves.
+        gid: u64,
         /// Read (receiver pulls) or write (sender pushes).
         read: bool,
         /// Bytes covered.
@@ -64,11 +70,15 @@ pub enum FlightEvent {
     },
     /// A local DMA completion was reaped.
     DmaDone {
+        /// Global message id the descriptor served.
+        gid: u64,
         /// Bytes credited.
         bytes: usize,
     },
     /// A control message was sent.
     Control {
+        /// Global message id the frame belongs to; 0 when unattributed.
+        gid: u64,
         /// `"Ack"`, `"Fin"` or `"FinAck"`.
         kind: &'static str,
     },
@@ -93,6 +103,8 @@ pub enum FlightEvent {
     Complete {
         /// Request id.
         req: u64,
+        /// Global message id.
+        gid: u64,
         /// Send (true) or receive (false).
         send: bool,
     },
@@ -118,45 +130,71 @@ impl FlightEvent {
         Some(match ev {
             TraceEvent::SendPosted {
                 req,
+                gid,
                 dst,
                 len,
                 eager,
                 ..
             } => FlightEvent::Send {
                 req: *req,
+                gid: *gid,
                 dst: *dst,
                 len: *len,
                 eager: *eager,
             },
             TraceEvent::RecvPosted { req } => FlightEvent::Recv { req: *req },
-            TraceEvent::Matched { req, src, len, .. } => FlightEvent::Match {
+            TraceEvent::Matched {
+                req, gid, src, len, ..
+            } => FlightEvent::Match {
                 req: *req,
+                gid: *gid,
                 src: *src,
                 len: *len,
             },
             TraceEvent::Unexpected { src, .. } => FlightEvent::Unexpected { src: *src },
-            TraceEvent::RdmaIssued { read, bytes } => FlightEvent::Rdma {
+            TraceEvent::RdmaIssued { gid, read, bytes } => FlightEvent::Rdma {
+                gid: *gid,
                 read: *read,
                 bytes: *bytes,
             },
-            TraceEvent::DmaDone { bytes } => FlightEvent::DmaDone { bytes: *bytes },
-            TraceEvent::ControlSent { kind } => FlightEvent::Control { kind },
+            TraceEvent::DmaDone { gid, bytes } => FlightEvent::DmaDone {
+                gid: *gid,
+                bytes: *bytes,
+            },
+            TraceEvent::ControlSent { gid, kind } => FlightEvent::Control { gid: *gid, kind },
             TraceEvent::CtlRetransmit { kind, attempt, .. } => FlightEvent::Retransmit {
                 kind,
                 attempt: *attempt,
             },
             TraceEvent::CtlGaveUp { kind, .. } => FlightEvent::GaveUp { kind },
             TraceEvent::CorruptFrame { len } => FlightEvent::Corrupt { len: *len },
-            TraceEvent::Completed { req, send } => FlightEvent::Complete {
+            TraceEvent::Completed { req, gid, send } => FlightEvent::Complete {
                 req: *req,
+                gid: *gid,
                 send: *send,
             },
             TraceEvent::ReqFailed { req, err, .. } => FlightEvent::ReqFailed { req: *req, err },
             TraceEvent::PipeChunk { .. }
+            | TraceEvent::Registered { .. }
             | TraceEvent::CtlDuplicate { .. }
             | TraceEvent::SpanBegin { .. }
             | TraceEvent::SpanEnd { .. } => return None,
         })
+    }
+
+    /// The global message id an event is attributed to, when it carries one
+    /// and it is non-zero. Used to reconstruct a single message's lifecycle
+    /// out of the ring (e.g. for stall diagnostics).
+    pub fn gid(&self) -> Option<u64> {
+        match self {
+            FlightEvent::Send { gid, .. }
+            | FlightEvent::Match { gid, .. }
+            | FlightEvent::Rdma { gid, .. }
+            | FlightEvent::DmaDone { gid, .. }
+            | FlightEvent::Control { gid, .. }
+            | FlightEvent::Complete { gid, .. } => (*gid != 0).then_some(*gid),
+            _ => None,
+        }
     }
 
     /// Short event name used in the JSON dump.
@@ -182,24 +220,33 @@ impl FlightEvent {
         match self {
             FlightEvent::Send {
                 req,
+                gid,
                 dst,
                 len,
                 eager,
-            } => format!(",\"req\":{req},\"dst\":{dst},\"len\":{len},\"eager\":{eager}"),
+            } => format!(
+                ",\"req\":{req},\"gid\":{gid},\"dst\":{dst},\"len\":{len},\"eager\":{eager}"
+            ),
             FlightEvent::Recv { req } => format!(",\"req\":{req}"),
-            FlightEvent::Match { req, src, len } => {
-                format!(",\"req\":{req},\"src\":{src},\"len\":{len}")
+            FlightEvent::Match { req, gid, src, len } => {
+                format!(",\"req\":{req},\"gid\":{gid},\"src\":{src},\"len\":{len}")
             }
             FlightEvent::Unexpected { src } => format!(",\"src\":{src}"),
-            FlightEvent::Rdma { read, bytes } => format!(",\"read\":{read},\"bytes\":{bytes}"),
-            FlightEvent::DmaDone { bytes } => format!(",\"bytes\":{bytes}"),
-            FlightEvent::Control { kind } => format!(",\"kind\":\"{}\"", escape_json(kind)),
+            FlightEvent::Rdma { gid, read, bytes } => {
+                format!(",\"gid\":{gid},\"read\":{read},\"bytes\":{bytes}")
+            }
+            FlightEvent::DmaDone { gid, bytes } => format!(",\"gid\":{gid},\"bytes\":{bytes}"),
+            FlightEvent::Control { gid, kind } => {
+                format!(",\"gid\":{gid},\"kind\":\"{}\"", escape_json(kind))
+            }
             FlightEvent::Retransmit { kind, attempt } => {
                 format!(",\"kind\":\"{}\",\"attempt\":{attempt}", escape_json(kind))
             }
             FlightEvent::GaveUp { kind } => format!(",\"kind\":\"{}\"", escape_json(kind)),
             FlightEvent::Corrupt { len } => format!(",\"len\":{len}"),
-            FlightEvent::Complete { req, send } => format!(",\"req\":{req},\"send\":{send}"),
+            FlightEvent::Complete { req, gid, send } => {
+                format!(",\"req\":{req},\"gid\":{gid},\"send\":{send}")
+            }
             FlightEvent::ReqFailed { req, err } => {
                 format!(",\"req\":{req},\"err\":\"{}\"", escape_json(err))
             }
@@ -318,6 +365,8 @@ mod tests {
     fn trace_mapping_keeps_protocol_events_and_drops_noise() {
         let ev = TraceEvent::SendPosted {
             req: 9,
+            gid: 77,
+            coll: 0,
             dst: 1,
             tag: 5,
             len: 4096,
@@ -327,11 +376,13 @@ mod tests {
             FlightEvent::from_trace(&ev),
             Some(FlightEvent::Send {
                 req: 9,
+                gid: 77,
                 dst: 1,
                 len: 4096,
                 eager: false
             })
         );
+        assert_eq!(FlightEvent::from_trace(&ev).unwrap().gid(), Some(77));
         assert_eq!(
             FlightEvent::from_trace(&TraceEvent::ReqFailed {
                 req: 2,
@@ -346,9 +397,18 @@ mod tests {
         assert_eq!(
             FlightEvent::from_trace(&TraceEvent::PipeChunk {
                 req: 1,
+                gid: 77,
                 off: 0,
                 len: 8192,
                 last: false
+            }),
+            None
+        );
+        assert_eq!(
+            FlightEvent::from_trace(&TraceEvent::Registered {
+                gid: 77,
+                bytes: 8192,
+                cost_ns: 100
             }),
             None
         );
@@ -365,12 +425,18 @@ mod tests {
     #[test]
     fn dump_is_valid_shaped_json() {
         let mut fr = FlightRecorder::default();
-        fr.record(Time::from_ns(100), FlightEvent::Control { kind: "FinAck" });
+        fr.record(
+            Time::from_ns(100),
+            FlightEvent::Control {
+                gid: 5,
+                kind: "FinAck",
+            },
+        );
         fr.record(Time::from_ns(200), FlightEvent::Stall { stuck: 2 });
         let dump = fr.dump_json(3, "watchdog stall", Time::from_ns(250));
         assert!(dump.contains("\"rank\":3"));
         assert!(dump.contains("\"reason\":\"watchdog stall\""));
-        assert!(dump.contains("\"ev\":\"control\",\"kind\":\"FinAck\""));
+        assert!(dump.contains("\"ev\":\"control\",\"gid\":5,\"kind\":\"FinAck\""));
         assert!(dump.contains("\"ev\":\"stall\",\"stuck\":2"));
         assert!(dump.contains("\"dropped\":0"));
     }

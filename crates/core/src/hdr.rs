@@ -227,6 +227,34 @@ impl Hdr {
     }
 }
 
+/// Globally unique message id: `(job, sender world rank, send request)`
+/// packed into one u64. Every fragment of one logical message — eager or
+/// rendezvous, on any rank — maps to the same gid, so trace and flight
+/// events can be causally stitched across the whole cluster.
+///
+/// The id is *derived*, not carried as a new wire field: the first fragment
+/// already carries `send_req`, and the receiving PTL knows the sender's
+/// identity out of band (`frag.from`), so both sides compute the same value.
+/// Control frames (ACK/FIN/FIN_ACK/Completion) resolve it from local request
+/// state instead — the reliability layer reuses their ctx/src_rank fields
+/// for sequencing, so those bytes cannot be trusted for identity.
+///
+/// Layout: `job[8] | rank[16] | send_req[40]`. Request ids start at 1, so a
+/// valid gid is never 0; 0 means "unattributed" in trace events.
+pub fn msg_gid(job: u32, rank: u32, send_req: u64) -> u64 {
+    ((job as u64 & 0xFF) << 56) | ((rank as u64 & 0xFFFF) << 40) | (send_req & 0xFF_FFFF_FFFF)
+}
+
+/// The sender world rank packed in a [`msg_gid`].
+pub fn gid_rank(gid: u64) -> u32 {
+    ((gid >> 40) & 0xFFFF) as u32
+}
+
+/// The sender-side request id packed in a [`msg_gid`].
+pub fn gid_send_req(gid: u64) -> u64 {
+    gid & 0xFF_FFFF_FFFF
+}
+
 /// Fletcher-16 checksum (the cheap end-to-end integrity check; LA-MPI
 /// heritage — paper §3's reliable-delivery requirement).
 pub fn fletcher16(data: &[u8]) -> u16 {
@@ -305,6 +333,19 @@ mod tests {
             HdrDecodeError::BadKind(0xAB).to_string(),
             "corrupt header type 171"
         );
+    }
+
+    #[test]
+    fn gid_packs_and_unpacks_identity() {
+        let g = msg_gid(3, 511, 0x1234_5678);
+        assert_eq!(gid_rank(g), 511);
+        assert_eq!(gid_send_req(g), 0x1234_5678);
+        // Same request id on different ranks (or jobs) never collides.
+        assert_ne!(msg_gid(0, 0, 7), msg_gid(0, 1, 7));
+        assert_ne!(msg_gid(0, 0, 7), msg_gid(1, 0, 7));
+        // Request ids start at 1, so a real gid is never the "unattributed"
+        // sentinel.
+        assert_ne!(msg_gid(0, 0, 1), 0);
     }
 
     #[test]

@@ -51,6 +51,10 @@ pub struct Tunables {
     pipeline_chunk: AtomicUsize,
     pipeline_depth: AtomicUsize,
     pipeline_min_len: AtomicUsize,
+    timeline_interval_ns: AtomicU64,
+    /// Virtual time of the last timeline sample; `u64::MAX` = never sampled,
+    /// so the first due check fires immediately once sampling is enabled.
+    timeline_last_ns: AtomicU64,
     /// Progress ticks seen (progress passes + watchdog-timeout expiries).
     /// Lives here rather than in `Metrics` so the watchdog works with
     /// telemetry off.
@@ -74,6 +78,8 @@ impl Tunables {
             pipeline_chunk: AtomicUsize::new(cfg.pipeline_chunk),
             pipeline_depth: AtomicUsize::new(cfg.pipeline_depth),
             pipeline_min_len: AtomicUsize::new(cfg.pipeline_min_len),
+            timeline_interval_ns: AtomicU64::new(cfg.timeline_interval.as_ns()),
+            timeline_last_ns: AtomicU64::new(u64::MAX),
             ticks: AtomicU64::new(0),
         }
     }
@@ -96,6 +102,26 @@ impl Tunables {
     /// Elan shares below this stay on the monolithic single-RDMA path.
     pub fn pipeline_min_len(&self) -> usize {
         self.pipeline_min_len.load(Ordering::Relaxed)
+    }
+
+    /// Virtual-time gap between timeline samples; 0 = sampler off.
+    pub fn timeline_interval_ns(&self) -> u64 {
+        self.timeline_interval_ns.load(Ordering::Relaxed)
+    }
+
+    /// Is a timeline sample due at `now_ns`? Updates the last-sample stamp
+    /// when it is, so each interval yields exactly one sample.
+    pub fn timeline_due(&self, now_ns: u64) -> bool {
+        let interval = self.timeline_interval_ns();
+        if interval == 0 {
+            return false;
+        }
+        let last = self.timeline_last_ns.load(Ordering::Relaxed);
+        if last != u64::MAX && now_ns.saturating_sub(last) < interval {
+            return false;
+        }
+        self.timeline_last_ns.store(now_ns, Ordering::Relaxed);
+        true
     }
 
     /// Current eager/rendezvous threshold in bytes.
@@ -334,6 +360,16 @@ pub const CVARS: &[CvarDef] = &[
         desc: "Elan shares below this many bytes keep the monolithic RDMA path",
         writable: true,
     },
+    CvarDef {
+        name: "timeline.interval_ns",
+        desc: "virtual-time gap between time-series telemetry samples; 0 disables",
+        writable: true,
+    },
+    CvarDef {
+        name: "timeline.capacity",
+        desc: "timeline sample-ring capacity",
+        writable: false,
+    },
 ];
 
 fn scheme_name(s: RdmaScheme) -> &'static str {
@@ -391,6 +427,8 @@ pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
         "pipe.chunk" => CvarValue::U64(ep.tunables.pipeline_chunk() as u64),
         "pipe.depth" => CvarValue::U64(ep.tunables.pipeline_depth() as u64),
         "pipe.min_len" => CvarValue::U64(ep.tunables.pipeline_min_len() as u64),
+        "timeline.interval_ns" => CvarValue::U64(ep.tunables.timeline_interval_ns()),
+        "timeline.capacity" => CvarValue::U64(ep.cfg.timeline_capacity as u64),
         _ => return None,
     };
     Some(v)
@@ -503,6 +541,10 @@ pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), Str
                 .store(v as usize, Ordering::Relaxed);
             Ok(())
         }
+        ("timeline.interval_ns", CvarValue::U64(v)) => {
+            ep.tunables.timeline_interval_ns.store(v, Ordering::Relaxed);
+            Ok(())
+        }
         (n, v) => {
             if let Some(def) = CVARS.iter().find(|d| d.name == n) {
                 if def.writable {
@@ -534,6 +576,90 @@ pub fn cvars_json(ep: &Endpoint) -> String {
         })
         .collect();
     format!("{{{}}}", rows.join(","))
+}
+
+/// The value a cvar takes under [`StackConfig::default`]; `None` for
+/// unknown names. Lets tooling show how far a running stack has been tuned
+/// away from stock without carrying a second table.
+pub fn cvar_default(name: &str) -> Option<CvarValue> {
+    let d = StackConfig::default();
+    let v = match name {
+        "pml.eager_limit" => CvarValue::U64(d.eager_limit as u64),
+        "pml.rdma_scheme" => CvarValue::Str(scheme_name(d.scheme).to_string()),
+        "pml.inline_first_frag" => CvarValue::Bool(d.inline_first_frag),
+        "pml.chained_fin" => CvarValue::Bool(d.chained_fin),
+        "pml.force_rendezvous" => CvarValue::Bool(d.force_rendezvous),
+        "ptl.completion_mode" => CvarValue::Str(completion_name(d.completion).to_string()),
+        "ptl.progress_mode" => CvarValue::Str(progress_name(d.progress).to_string()),
+        "ptl.qslots" => CvarValue::U64(d.qslots as u64),
+        "ptl.integrity_check" => CvarValue::Bool(d.integrity_check),
+        "telemetry.metrics" => CvarValue::Bool(d.metrics),
+        "telemetry.trace" => CvarValue::Bool(d.trace),
+        "telemetry.trace_capacity" => CvarValue::U64(d.trace_capacity as u64),
+        "flight.enable" => CvarValue::Bool(d.flight_recorder),
+        "flight.capacity" => CvarValue::U64(d.flight_capacity as u64),
+        "watchdog.interval" => CvarValue::U64(d.watchdog_interval),
+        "watchdog.grace" => CvarValue::U64(d.watchdog_grace as u64),
+        "watchdog.tick_ns" => CvarValue::U64(d.watchdog_tick.as_ns()),
+        "tcp.reliability" => CvarValue::Bool(d.tcp_reliability),
+        "tcp.retransmit_timeout_ns" => CvarValue::U64(d.tcp_retransmit_timeout.as_ns()),
+        "tcp.retransmit_backoff" => CvarValue::U64(d.tcp_retransmit_backoff as u64),
+        "tcp.max_retries" => CvarValue::U64(d.tcp_max_retries as u64),
+        "reg.cache" => CvarValue::Bool(d.reg_cache),
+        "reg.cache_bytes" => CvarValue::U64(d.reg_cache_bytes as u64),
+        "reg.cache_entries" => CvarValue::U64(d.reg_cache_entries as u64),
+        "pipe.enable" => CvarValue::Bool(d.pipeline_enable),
+        "pipe.chunk" => CvarValue::U64(d.pipeline_chunk as u64),
+        "pipe.depth" => CvarValue::U64(d.pipeline_depth as u64),
+        "pipe.min_len" => CvarValue::U64(d.pipeline_min_len as u64),
+        "timeline.interval_ns" => CvarValue::U64(d.timeline_interval.as_ns()),
+        "timeline.capacity" => CvarValue::U64(d.timeline_capacity as u64),
+        _ => return None,
+    };
+    Some(v)
+}
+
+fn cvar_type_name(v: &CvarValue) -> &'static str {
+    match v {
+        CvarValue::Bool(_) => "bool",
+        CvarValue::U64(_) => "u64",
+        CvarValue::Str(_) => "enum",
+    }
+}
+
+/// The full introspection registry of one endpoint as JSON: every cvar
+/// (name, type, default, writability, live value, description) and every
+/// pvar (name, live value). This is the `--list-introspect` document — the
+/// MPI_T equivalent of `ompi_info --all`.
+pub fn registry_json(ep: &Endpoint) -> String {
+    let cvars: Vec<String> = CVARS
+        .iter()
+        .map(|d| {
+            let v = cvar_read(ep, d.name).expect("registry entry must be readable");
+            let default = cvar_default(d.name).expect("registry entry must have a default");
+            format!(
+                "{{\"name\":\"{}\",\"type\":\"{}\",\"default\":{},\"writable\":{},\
+                 \"value\":{},\"desc\":\"{}\"}}",
+                d.name,
+                cvar_type_name(&v),
+                default.to_json(),
+                d.writable,
+                v.to_json(),
+                d.desc
+            )
+        })
+        .collect();
+    let pvars: Vec<String> = pvar_snapshot(ep)
+        .vars
+        .iter()
+        .map(|(n, v)| format!("{{\"name\":\"{n}\",\"type\":\"u64\",\"value\":{v}}}"))
+        .collect();
+    format!(
+        "{{\"rank\":{},\"cvars\":[{}],\"pvars\":[{}]}}",
+        ep.name.rank,
+        cvars.join(","),
+        pvars.join(",")
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -693,6 +819,11 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
         vars.push(("flight.retained".into(), f.len() as u64));
         vars.push(("flight.dropped".into(), f.dropped()));
     }
+    {
+        let tl = ep.timeline.lock();
+        vars.push(("timeline.retained".into(), tl.len() as u64));
+        vars.push(("timeline.dropped".into(), tl.dropped()));
+    }
 
     // Fabric link occupancy for this rank's own endpoint links (injection
     // and ejection), summed across rails. Switch-internal links are global
@@ -714,6 +845,157 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
         rank: ep.name.rank,
         vars,
     }
+}
+
+// ---------------------------------------------------------------------------
+// time-series telemetry: the periodic pvar sampler
+// ---------------------------------------------------------------------------
+
+/// One periodic snapshot of the stack's hot gauges, taken on the simulated
+/// clock by [`timeline_tick`]. A row in the timeline, not an event: queue
+/// *depths* and cumulative link occupancy at an instant, so plotting
+/// consecutive samples shows ramps (e.g. an incast victim's ejection queue
+/// building) that endpoint-lifetime aggregates average away.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimelineSample {
+    /// Virtual time of the sample (ns).
+    pub t_ns: u64,
+    /// Posted-receive depth summed over communicators.
+    pub posted_depth: u64,
+    /// Unexpected-queue depth summed over communicators.
+    pub unexpected_depth: u64,
+    /// DMA descriptors in flight (host has not reaped completion).
+    pub pending_dmas: u64,
+    /// Chunked-rendezvous pipelines live.
+    pub pipelines_live: u64,
+    /// Reliability-tracked control frames awaiting CTL_ACK.
+    pub ctl_inflight: u64,
+    /// Cumulative injection-link busy time across rails (ns).
+    pub inj_busy_ns: u64,
+    /// Cumulative ejection-link busy time across rails (ns).
+    pub ej_busy_ns: u64,
+    /// Packets queued at this node's injection links right now.
+    pub inj_queue: u64,
+    /// Packets queued at this node's ejection links right now.
+    pub ej_queue: u64,
+}
+
+impl TimelineSample {
+    /// One sample as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"t_ns\":{},\"posted_depth\":{},\"unexpected_depth\":{},\
+             \"pending_dmas\":{},\"pipelines_live\":{},\"ctl_inflight\":{},\
+             \"inj_busy_ns\":{},\"ej_busy_ns\":{},\"inj_queue\":{},\"ej_queue\":{}}}",
+            self.t_ns,
+            self.posted_depth,
+            self.unexpected_depth,
+            self.pending_dmas,
+            self.pipelines_live,
+            self.ctl_inflight,
+            self.inj_busy_ns,
+            self.ej_busy_ns,
+            self.inj_queue,
+            self.ej_queue
+        )
+    }
+}
+
+/// Bounded ring of [`TimelineSample`]s, guarded by the endpoint's timeline
+/// lock (a leaf lock, like the flight recorder's). When full, the oldest
+/// sample is evicted and counted, keeping the most recent history.
+pub struct Timeline {
+    samples: std::collections::VecDeque<TimelineSample>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Timeline {
+    /// An empty ring holding at most `capacity` samples (min 1).
+    pub fn with_capacity(capacity: usize) -> Timeline {
+        Timeline {
+            samples: std::collections::VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Append one sample, evicting the oldest when full.
+    pub fn push(&mut self, s: TimelineSample) {
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+            self.dropped += 1;
+        }
+        self.samples.push_back(s);
+    }
+
+    /// Samples currently retained.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when nothing has been sampled (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained samples, oldest first.
+    pub fn samples(&self) -> impl Iterator<Item = &TimelineSample> {
+        self.samples.iter()
+    }
+
+    /// The retained timeline as one JSON document:
+    /// `{"rank":r,"dropped":n,"samples":[...]}`.
+    pub fn to_json(&self, rank: usize) -> String {
+        let rows: Vec<String> = self.samples.iter().map(|s| s.to_json()).collect();
+        format!(
+            "{{\"rank\":{},\"dropped\":{},\"samples\":[{}]}}",
+            rank,
+            self.dropped,
+            rows.join(",")
+        )
+    }
+}
+
+/// Take a timeline sample if one is due (`timeline.interval_ns` of virtual
+/// time elapsed since the last). Called from every progress pass and timer
+/// tick; a cheap atomic check when sampling is off. Locks: state, then
+/// fabric, then timeline — each taken and released in turn, none nested.
+pub fn timeline_tick(proc: &Proc, ep: &Arc<Endpoint>) {
+    let now = proc.now();
+    if !ep.tunables.timeline_due(now.as_ns()) {
+        return;
+    }
+    let (posted, unexpected, dmas, pipes, ctl) = {
+        let st = ep.state.lock();
+        (
+            st.comms.values().map(|c| c.posted.len()).sum::<usize>(),
+            st.comms.values().map(|c| c.unexpected.len()).sum::<usize>(),
+            st.pending_dmas.len(),
+            st.pipelines.len(),
+            st.ctl_inflight.len(),
+        )
+    };
+    let fabric = ep.cluster.fabric();
+    let (inj, ej) = fabric.node_link_totals(ep.node);
+    let (inj_queue, ej_queue) = fabric.node_queue_now(ep.node, now);
+    ep.timeline.lock().push(TimelineSample {
+        t_ns: now.as_ns(),
+        posted_depth: posted as u64,
+        unexpected_depth: unexpected as u64,
+        pending_dmas: dmas as u64,
+        pipelines_live: pipes as u64,
+        ctl_inflight: ctl as u64,
+        inj_busy_ns: inj.busy_ns,
+        ej_busy_ns: ej.busy_ns,
+        inj_queue,
+        ej_queue,
+    });
 }
 
 // ---------------------------------------------------------------------------
@@ -742,6 +1024,9 @@ pub struct IntrospectState {
 pub struct StuckReq {
     /// Request id.
     pub id: u64,
+    /// Global message id ([`crate::hdr::msg_gid`]); 0 when the request never
+    /// progressed far enough to be attributed (e.g. an unmatched receive).
+    pub gid: u64,
     /// `"send"` or `"recv"`.
     pub kind: &'static str,
     /// Peer description (destination rank for sends, source for receives).
@@ -754,8 +1039,53 @@ pub struct StuckReq {
     pub bytes_total: usize,
     /// Protocol phase the request is wedged in.
     pub phase: String,
+    /// Lifecycle stage that never completed, inferred from the message's
+    /// causal event chain in the flight recorder.
+    pub stalled_stage: String,
+    /// The message's reconstructed lifecycle: every flight-recorder event
+    /// carrying this gid, as a JSON array of timestamped events.
+    pub lifecycle: String,
     /// Consecutive scans without a state transition.
     pub stale_scans: u64,
+}
+
+/// Infer which lifecycle stage a stalled message is wedged in from its
+/// retained flight events (this rank's view of the causal chain). Byte
+/// accounting beats last-event order: DMA completions may interleave with
+/// later issues, so the question is whether issued bytes all landed.
+fn stalled_stage(evs: &[&crate::flight::FlightEvent]) -> String {
+    use crate::flight::FlightEvent as F;
+    let (mut issued, mut landed) = (0usize, 0usize);
+    let (mut sent, mut matched, mut rdma, mut complete) = (false, false, false, false);
+    for e in evs {
+        match e {
+            F::Send { .. } => sent = true,
+            F::Match { .. } => matched = true,
+            F::Rdma { bytes, .. } => {
+                rdma = true;
+                issued += bytes;
+            }
+            F::DmaDone { bytes, .. } => landed += bytes,
+            F::Complete { .. } => complete = true,
+            _ => {}
+        }
+    }
+    if complete {
+        "complete: lifecycle finished on this rank (peer side stalled)".to_string()
+    } else if rdma && landed < issued {
+        format!(
+            "wire: RDMA issued, {}/{} bytes never landed",
+            landed, issued
+        )
+    } else if rdma {
+        "fin-wait: payload landed, final control exchange never arrived".to_string()
+    } else if matched {
+        "handshake: matched, bulk transfer never started".to_string()
+    } else if sent {
+        "match-wait: posted, peer never matched or acknowledged".to_string()
+    } else {
+        "unattributed: no lifecycle events retained for this message".to_string()
+    }
 }
 
 /// A pending DMA descriptor summarized for a diagnostic.
@@ -809,16 +1139,24 @@ impl StallDiagnostic {
             .iter()
             .map(|s| {
                 format!(
-                    "{{\"id\":{},\"kind\":\"{}\",\"peer\":\"{}\",\"tag\":\"{}\",\
+                    "{{\"id\":{},\"gid\":{},\"kind\":\"{}\",\"peer\":\"{}\",\"tag\":\"{}\",\
                      \"bytes_done\":{},\"bytes_total\":{},\"phase\":\"{}\",\
+                     \"stalled_stage\":\"{}\",\"lifecycle\":{},\
                      \"stale_scans\":{}}}",
                     s.id,
+                    s.gid,
                     s.kind,
                     s.peer,
                     s.tag,
                     s.bytes_done,
                     s.bytes_total,
                     s.phase,
+                    crate::trace::escape_json(&s.stalled_stage),
+                    if s.lifecycle.is_empty() {
+                        "[]"
+                    } else {
+                        &s.lifecycle
+                    },
                     s.stale_scans
                 )
             })
@@ -870,9 +1208,18 @@ impl StallDiagnostic {
         );
         for s in &self.stuck {
             out.push_str(&format!(
-                "\n  {} req {} -> peer {} tag {}: {}/{} bytes, phase [{}], \
-                 no transition for {} scans",
-                s.kind, s.id, s.peer, s.tag, s.bytes_done, s.bytes_total, s.phase, s.stale_scans
+                "\n  {} req {} (gid {:#x}) -> peer {} tag {}: {}/{} bytes, phase [{}], \
+                 stalled at [{}], no transition for {} scans",
+                s.kind,
+                s.id,
+                s.gid,
+                s.peer,
+                s.tag,
+                s.bytes_done,
+                s.bytes_total,
+                s.phase,
+                s.stalled_stage,
+                s.stale_scans
             ));
         }
         out.push_str(&format!(
@@ -964,18 +1311,41 @@ fn watchdog_scan(ep: &Endpoint, now: Time) -> Option<StallDiagnostic> {
         return None;
     }
 
-    // Build the structured dump.
+    // Build the structured dump. Reconstruct each stuck message's causal
+    // chain from the flight ring (leaf lock: snapshot and release) so the
+    // diagnostic names the exact stage that never completed, not just the
+    // request's current protocol phase.
+    let flight_events: Vec<(Time, crate::flight::FlightEvent)> =
+        ep.flight.lock().events().cloned().collect();
+    let lifecycle_of = |gid: u64| -> (String, String) {
+        let evs: Vec<&crate::flight::FlightEvent> = flight_events
+            .iter()
+            .filter(|(_, e)| gid != 0 && e.gid() == Some(gid))
+            .map(|(_, e)| e)
+            .collect();
+        let stage = stalled_stage(&evs);
+        let rows: Vec<String> = flight_events
+            .iter()
+            .filter(|(_, e)| gid != 0 && e.gid() == Some(gid))
+            .map(|(t, e)| e.to_json(*t))
+            .collect();
+        (stage, format!("[{}]", rows.join(",")))
+    };
     let mut stuck = Vec::new();
     for (id, stale) in &stalled {
         if let Some(r) = st.send_reqs.get(id) {
+            let (stage, lifecycle) = lifecycle_of(r.gid);
             stuck.push(StuckReq {
                 id: *id,
+                gid: r.gid,
                 kind: "send",
                 peer: format!("rank {}", r.dst_rank),
                 tag: r.tag.to_string(),
                 bytes_done: r.bytes_confirmed,
                 bytes_total: r.msg_len,
                 phase: send_phase(ep.cfg.scheme, r.rndv_acked),
+                stalled_stage: stage,
+                lifecycle,
                 stale_scans: *stale,
             });
         } else if let Some(r) = st.recv_reqs.get(id) {
@@ -991,8 +1361,11 @@ fn watchdog_scan(ep: &Endpoint, now: Time) -> Option<StallDiagnostic> {
                     0,
                 ),
             };
+            let gid = r.matched.as_ref().map(|m| m.gid).unwrap_or(0);
+            let (stage, lifecycle) = lifecycle_of(gid);
             stuck.push(StuckReq {
                 id: *id,
+                gid,
                 kind: "recv",
                 peer,
                 tag,
@@ -1004,6 +1377,8 @@ fn watchdog_scan(ep: &Endpoint, now: Time) -> Option<StallDiagnostic> {
                     ep.tunables.eager_limit(),
                     r.matched.as_ref().map(|m| m.msg_len).unwrap_or(0),
                 ),
+                stalled_stage: stage,
+                lifecycle,
                 stale_scans: *stale,
             });
         }
@@ -1128,12 +1503,15 @@ mod tests {
             at_ns: 12_345,
             stuck: vec![StuckReq {
                 id: 7,
+                gid: 0x0100_0000_0000_0007,
                 kind: "send",
                 peer: "rank 1".to_string(),
                 tag: "42".to_string(),
                 bytes_done: 1984,
                 bytes_total: 100_000,
                 phase: send_phase(RdmaScheme::Read, true),
+                stalled_stage: "wire: RDMA issued, 1984/100000 bytes never landed".to_string(),
+                lifecycle: "[{\"t_ns\":1,\"ev\":\"send\"}]".to_string(),
                 stale_scans: 4,
             }],
             posted_depth: 1,
@@ -1154,9 +1532,87 @@ mod tests {
         assert!(j.contains("\"rank\":3"));
         assert!(j.contains("rdma-read+fin_ack"));
         assert!(j.contains("\"pending_dmas\":[{\"token\":5"));
+        assert!(j.contains("\"gid\":72057594037927943"));
+        assert!(j.contains("\"stalled_stage\":\"wire: RDMA issued"));
+        assert!(j.contains("\"lifecycle\":[{\"t_ns\":1,\"ev\":\"send\"}]"));
         let r = d.render();
         assert!(r.contains("rank 3 stalled"));
         assert!(r.contains("peer rank 1"));
         assert!(r.contains("phase [rdma-read+fin_ack"));
+        assert!(r.contains("stalled at [wire: RDMA issued"));
+    }
+
+    #[test]
+    fn stalled_stage_orders_lifecycle_inferences() {
+        use crate::flight::FlightEvent as F;
+        let send = F::Send {
+            req: 1,
+            gid: 9,
+            dst: 1,
+            len: 100,
+            eager: false,
+        };
+        let mtch = F::Match {
+            req: 2,
+            gid: 9,
+            src: 0,
+            len: 100,
+        };
+        let rdma = F::Rdma {
+            gid: 9,
+            read: true,
+            bytes: 100,
+        };
+        let done = F::DmaDone { gid: 9, bytes: 100 };
+        let comp = F::Complete {
+            req: 2,
+            gid: 9,
+            send: false,
+        };
+        assert!(stalled_stage(&[]).contains("unattributed"));
+        assert!(stalled_stage(&[&send]).contains("match-wait"));
+        assert!(stalled_stage(&[&send, &mtch]).contains("handshake"));
+        assert!(stalled_stage(&[&send, &mtch, &rdma]).contains("wire"));
+        assert!(stalled_stage(&[&send, &mtch, &rdma, &done]).contains("fin-wait"));
+        assert!(stalled_stage(&[&send, &mtch, &rdma, &done, &comp]).contains("complete"));
+    }
+
+    #[test]
+    fn timeline_ring_bounds_and_serializes() {
+        let mut tl = Timeline::with_capacity(2);
+        for i in 0..3u64 {
+            tl.push(TimelineSample {
+                t_ns: i * 1000,
+                ej_queue: i,
+                ..Default::default()
+            });
+        }
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.dropped(), 1);
+        let j = tl.to_json(4);
+        assert!(j.starts_with("{\"rank\":4,\"dropped\":1,\"samples\":["));
+        assert!(j.contains("\"t_ns\":1000"));
+        assert!(j.contains("\"t_ns\":2000"));
+        assert!(!j.contains("\"t_ns\":0,"));
+        assert!(j.contains("\"ej_queue\":2"));
+    }
+
+    #[test]
+    fn cvar_defaults_cover_the_whole_registry() {
+        for d in CVARS {
+            let v = cvar_default(d.name);
+            assert!(v.is_some(), "no default for cvar {}", d.name);
+        }
+        assert_eq!(cvar_default("no.such.cvar"), None);
+        // The default table reflects StackConfig::default(), not a copy.
+        let cfg = StackConfig::default();
+        assert_eq!(
+            cvar_default("pml.eager_limit"),
+            Some(CvarValue::U64(cfg.eager_limit as u64))
+        );
+        assert_eq!(
+            cvar_default("timeline.interval_ns"),
+            Some(CvarValue::U64(cfg.timeline_interval.as_ns()))
+        );
     }
 }

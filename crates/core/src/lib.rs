@@ -26,6 +26,7 @@
 pub mod coll;
 pub mod comm;
 pub mod config;
+pub mod critpath;
 pub mod endpoint;
 pub mod flight;
 pub mod hdr;
@@ -45,6 +46,7 @@ pub mod universe;
 pub use coll::ReduceOp;
 pub use comm::Communicator;
 pub use config::{CompletionMode, HostConfig, ProgressMode, RdmaScheme, StackConfig};
+pub use critpath::{BucketStats, CritPathReport, MsgPath};
 pub use endpoint::{Endpoint, Transports};
 pub use flight::{FlightEvent, FlightRecorder};
 pub use introspect::{

@@ -98,6 +98,10 @@ pub fn post_send_mode(
         let peer_failed = st.failed_peers.contains(&dst);
         (id, seq, peer, peer_failed)
     };
+    // The globally unique message id: derived, not carried on the wire —
+    // the first fragment already identifies (sender, send_req), and control
+    // frames resolve it from local request state.
+    let gid = crate::hdr::msg_gid(ep.name.job.0, ep.name.rank as u32, id);
 
     let eager = !sync && !ep.cfg.force_rendezvous && msg_len <= ep.tunables.eager_limit();
     // Graceful degradation: a send to a failed or unreachable peer completes
@@ -119,6 +123,7 @@ pub fn post_send_mode(
             id,
             SendReq {
                 id,
+                gid,
                 ctx: comm.ctx,
                 dst,
                 dst_rank: dst_rank as u32,
@@ -172,6 +177,8 @@ pub fn post_send_mode(
         proc.now(),
         crate::trace::TraceEvent::SendPosted {
             req: id,
+            gid,
+            coll: ep.cur_coll(),
             dst: dst_rank as u32,
             tag,
             len: msg_len,
@@ -194,6 +201,7 @@ pub fn post_send_mode(
             id,
             SendReq {
                 id,
+                gid,
                 ctx: comm.ctx,
                 dst,
                 dst_rank: dst_rank as u32,
@@ -242,14 +250,24 @@ pub fn post_send_mode(
     // the pipelined path registers it chunk by chunk, overlapped with the
     // transfer, and the monolithic path acquires it lazily.
     let src_e4 = if msg_len > 0 && ep.cfg.scheme == RdmaScheme::Read {
+        let t0 = proc.now();
         proc.advance(host.req_bookkeep); // MMU table bookkeeping
                                          // User buffers go through the pin-down cache; bounce buffers are
                                          // freed on completion, so caching their mapping would go stale.
-        Some(if bounce.is_none() {
+        let e4 = if bounce.is_none() {
             crate::regcache::acquire(proc, ep, &region)
         } else {
             ep.ectx.map(proc, &region)
-        })
+        };
+        ep.trace(
+            proc.now(),
+            crate::trace::TraceEvent::Registered {
+                gid,
+                bytes: msg_len,
+                cost_ns: proc.now().saturating_sub(t0).as_ns(),
+            },
+        );
+        Some(e4)
     } else {
         None
     };
@@ -279,6 +297,7 @@ pub fn post_send_mode(
         id,
         SendReq {
             id,
+            gid,
             ctx: comm.ctx,
             dst,
             dst_rank: dst_rank as u32,
@@ -516,6 +535,7 @@ pub fn test(proc: &Proc, ep: &Arc<Endpoint>, req: Request) -> bool {
 /// true if any work was done.
 pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
     crate::introspect::watchdog_tick(proc, ep);
+    crate::introspect::timeline_tick(proc, ep);
     reliability_tick(proc, ep);
     ep.metric(|m| m.counters.progress_iterations += 1);
     let mut any = false;
@@ -754,6 +774,14 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     let hdr = frag.hdr;
     let msg_len = hdr.msg_len as usize;
     let inline_len = hdr.payload_len as usize;
+    // Reconstruct the sender's globally unique message id from the first
+    // fragment: the sending process identity plus its request token. A
+    // hardware-broadcast fragment carries send_req 0 and stays unattributed.
+    let gid = if hdr.send_req != 0 {
+        crate::hdr::msg_gid(frag.from.job.0, frag.from.rank as u32, hdr.send_req)
+    } else {
+        0
+    };
 
     // Record the match and copy the inline bytes.
     let recv_posted_at = {
@@ -766,6 +794,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
             r.conv.packed_len()
         );
         r.matched = Some(MatchInfo {
+            gid,
             src_rank: hdr.src_rank,
             src: frag.from,
             tag: hdr.tag,
@@ -787,6 +816,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
         proc.now(),
         crate::trace::TraceEvent::Matched {
             req: rid,
+            gid,
             src: hdr.src_rank,
             tag: hdr.tag,
             len: msg_len,
@@ -852,11 +882,20 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
         let e4 = match have {
             Some(e4) => e4,
             None => {
+                let t0 = proc.now();
                 let fresh = if cacheable {
                     crate::regcache::acquire(proc, ep, &region)
                 } else {
                     ep.ectx.map(proc, &region)
                 };
+                ep.trace(
+                    proc.now(),
+                    crate::trace::TraceEvent::Registered {
+                        gid,
+                        bytes: remainder,
+                        cost_ns: proc.now().saturating_sub(t0).as_ns(),
+                    },
+                );
                 enum Publish {
                     Stored,
                     Raced(E4Addr),
@@ -922,6 +961,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                             ep,
                             true,
                             rid,
+                            gid,
                             frag.from,
                             src_e4.offset(inline_len),
                             region,
@@ -939,6 +979,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                         proc,
                         ep,
                         &peer,
+                        gid,
                         DmaKind::Read,
                         dst_e4.unwrap().offset(inline_len),
                         src_e4.offset(inline_len),
@@ -967,7 +1008,10 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                 );
                 ep.trace(
                     proc.now(),
-                    crate::trace::TraceEvent::ControlSent { kind: "FinAck" },
+                    crate::trace::TraceEvent::ControlSent {
+                        gid,
+                        kind: "FinAck",
+                    },
                 );
             }
             if tcp_share > 0 {
@@ -1001,7 +1045,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                 send_frame(proc, ep, &peer, route, ack, Vec::new());
                 ep.trace(
                     proc.now(),
-                    crate::trace::TraceEvent::ControlSent { kind: "Ack" },
+                    crate::trace::TraceEvent::ControlSent { gid, kind: "Ack" },
                 );
             }
         }
@@ -1027,7 +1071,7 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
     let range_start = hdr.offset as usize;
     let range_len = hdr.msg_len as usize;
 
-    let Some((peer, src_e4, src_region, cacheable, msg_len)) = ({
+    let Some((peer, src_e4, src_region, cacheable, msg_len, gid)) = ({
         let mut st = ep.state.lock();
         match st.send_reqs.get_mut(&sid) {
             Some(r) => {
@@ -1037,8 +1081,9 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
                 let region = r.src_region;
                 let cacheable = r.bounce.is_none();
                 let msg_len = r.msg_len;
+                let gid = r.gid;
                 let peer = st.peers[&dst].clone();
-                Some((peer, src_e4, region, cacheable, msg_len))
+                Some((peer, src_e4, region, cacheable, msg_len, gid))
             }
             None => None,
         }
@@ -1088,6 +1133,7 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
                     ep,
                     false,
                     sid,
+                    gid,
                     peer.name,
                     dst_e4.offset(range_start),
                     src_region,
@@ -1108,12 +1154,21 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
                 let src_e4 = match src_e4 {
                     Some(e4) => e4,
                     None => {
+                        let t0 = proc.now();
                         proc.advance(host.req_bookkeep);
                         let fresh = if cacheable {
                             crate::regcache::acquire(proc, ep, &src_region)
                         } else {
                             ep.ectx.map(proc, &src_region)
                         };
+                        ep.trace(
+                            proc.now(),
+                            crate::trace::TraceEvent::Registered {
+                                gid,
+                                bytes: elan_share,
+                                cost_ns: proc.now().saturating_sub(t0).as_ns(),
+                            },
+                        );
                         let published = {
                             let mut st = ep.state.lock();
                             match st.send_reqs.get_mut(&sid) {
@@ -1145,6 +1200,7 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
                     proc,
                     ep,
                     &peer,
+                    gid,
                     DmaKind::Write,
                     src_e4.offset(range_start),
                     dst_e4.offset(range_start),
@@ -1204,7 +1260,21 @@ fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
         | DmaRole::Write { bytes, .. }
         | DmaRole::Chunk { bytes, .. } => *bytes,
     };
-    ep.trace(proc.now(), crate::trace::TraceEvent::DmaDone { bytes });
+    // Attribute the completion to its message: the role names the owning
+    // request, whose state carries the globally unique id.
+    let gid = {
+        let st = ep.state.lock();
+        match &role {
+            DmaRole::Read { recv_req, .. } => req_gid(&st, false, *recv_req),
+            DmaRole::Write { send_req, .. } => req_gid(&st, true, *send_req),
+            DmaRole::Chunk { req, is_read, .. } => st
+                .pipelines
+                .get(req)
+                .map(|p| p.gid)
+                .unwrap_or_else(|| req_gid(&st, !*is_read, *req)),
+        }
+    };
+    ep.trace(proc.now(), crate::trace::TraceEvent::DmaDone { gid, bytes });
     ep.trace(
         proc.now(),
         crate::trace::TraceEvent::SpanEnd {
@@ -1261,6 +1331,21 @@ fn dma_done(proc: &Proc, ep: &Arc<Endpoint>, token: u64, role: DmaRole) {
 // ---------------------------------------------------------------------------
 // credits & completion
 // ---------------------------------------------------------------------------
+
+/// Resolve a live request's globally unique message id from local state:
+/// a send carries it from post time; a receive learns it at match time.
+/// 0 = unattributed (reaped request, or an unmatched receive).
+fn req_gid(st: &EpState, send: bool, id: u64) -> u64 {
+    if send {
+        st.send_reqs.get(&id).map(|r| r.gid).unwrap_or(0)
+    } else {
+        st.recv_reqs
+            .get(&id)
+            .and_then(|r| r.matched.as_ref())
+            .map(|m| m.gid)
+            .unwrap_or(0)
+    }
+}
 
 fn credit_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, bytes: usize) {
     {
@@ -1351,11 +1436,12 @@ fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
         ep.write_buf(&buf, 0, &span);
         proc.advance(ep.cfg.copy.convertor(&conv, msg_len));
     }
-    let (e4, bounce, buf, posted_at) = {
+    let (e4, bounce, buf, posted_at, gid) = {
         let mut st = ep.state.lock();
         let r = st.recv_reqs.get_mut(&rid).unwrap();
         r.done = true;
-        (r.dst_e4.take(), r.bounce.take(), r.buf, r.posted_at)
+        let gid = r.matched.as_ref().map(|m| m.gid).unwrap_or(0);
+        (r.dst_e4.take(), r.bounce.take(), r.buf, r.posted_at, gid)
     };
     if let Some(e4) = e4 {
         crate::regcache::release(proc, ep, &bounce.unwrap_or(buf), e4);
@@ -1372,6 +1458,7 @@ fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
         proc.now(),
         crate::trace::TraceEvent::Completed {
             req: rid,
+            gid,
             send: false,
         },
     );
@@ -1389,11 +1476,17 @@ fn maybe_complete_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
     if !finish {
         return;
     }
-    let (e4, region, bounce, posted_at) = {
+    let (e4, region, bounce, posted_at, gid) = {
         let mut st = ep.state.lock();
         let r = st.send_reqs.get_mut(&sid).unwrap();
         r.done = true;
-        (r.src_e4.take(), r.src_region, r.bounce.take(), r.posted_at)
+        (
+            r.src_e4.take(),
+            r.src_region,
+            r.bounce.take(),
+            r.posted_at,
+            r.gid,
+        )
     };
     if let Some(e4) = e4 {
         crate::regcache::release(proc, ep, &region, e4);
@@ -1410,6 +1503,7 @@ fn maybe_complete_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
         proc.now(),
         crate::trace::TraceEvent::Completed {
             req: sid,
+            gid,
             send: true,
         },
     );
@@ -1567,6 +1661,7 @@ fn issue_rdma(
     proc: &Proc,
     ep: &Arc<Endpoint>,
     peer: &crate::peer::PeerInfo,
+    gid: u64,
     kind: DmaKind,
     local: E4Addr,
     remote: E4Addr,
@@ -1662,6 +1757,7 @@ fn issue_rdma(
     ep.trace(
         proc.now(),
         crate::trace::TraceEvent::RdmaIssued {
+            gid,
             read: kind == DmaKind::Read,
             bytes: len,
         },
@@ -1714,6 +1810,7 @@ fn pipe_start(
     ep: &Arc<Endpoint>,
     is_read: bool,
     req: u64,
+    gid: u64,
     peer: ProcName,
     remote: E4Addr,
     region: HostBuf,
@@ -1726,6 +1823,7 @@ fn pipe_start(
     let ps = PipeState {
         is_read,
         req,
+        gid,
         peer,
         remote,
         region,
@@ -1879,16 +1977,17 @@ fn pipe_pump(proc: &Proc, ep: &Arc<Endpoint>, req: u64) -> bool {
                 ps.remote,
                 ps.is_read,
                 ps.fin.clone(),
+                ps.gid,
             );
             (step, st.peers.get(&peer_name).cloned(), info)
         };
         let Some(peer) = peer else { return worked };
-        let (region, base_off, cacheable, remote, is_read, fin) = info;
+        let (region, base_off, cacheable, remote, is_read, fin, gid) = info;
         match step {
             PipeStep::Idle => return worked,
             PipeStep::Stage { off, len, overlap } => {
                 let sub = region.slice(base_off + off, len);
-                let e4 = pipe_register(proc, ep, &sub, cacheable, overlap);
+                let e4 = pipe_register(proc, ep, gid, &sub, cacheable, overlap);
                 let parked = {
                     let mut st = ep.state.lock();
                     match st.pipelines.get_mut(&req) {
@@ -1914,7 +2013,7 @@ fn pipe_pump(proc: &Proc, ep: &Arc<Endpoint>, req: u64) -> bool {
                 overlap,
             } => {
                 let sub = region.slice(base_off + off, len);
-                let e4 = pipe_register(proc, ep, &sub, cacheable, overlap);
+                let e4 = pipe_register(proc, ep, gid, &sub, cacheable, overlap);
                 pipe_issue_chunk(
                     proc, ep, &peer, req, is_read, rail, sub, e4, remote, off, len, None,
                 );
@@ -1954,6 +2053,7 @@ fn pipe_pump(proc: &Proc, ep: &Arc<Endpoint>, req: u64) -> bool {
 fn pipe_register(
     proc: &Proc,
     ep: &Arc<Endpoint>,
+    gid: u64,
     sub: &HostBuf,
     cacheable: bool,
     overlap: bool,
@@ -1969,6 +2069,14 @@ fn pipe_register(
         let dt = proc.now().saturating_sub(t0);
         ep.metric(|m| m.counters.pipe_reg_overlap_ns += dt.as_ns());
     }
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::Registered {
+            gid,
+            bytes: sub.len,
+            cost_ns: proc.now().saturating_sub(t0).as_ns(),
+        },
+    );
     e4
 }
 
@@ -2053,12 +2161,12 @@ fn pipe_issue_chunk(
                     e4,
                     rail,
                 });
-                Some(ps.inflight.len())
+                Some((ps.inflight.len(), ps.gid))
             }
             None => None,
         }
     };
-    let Some(depth_now) = depth_now else {
+    let Some((depth_now, gid)) = depth_now else {
         crate::regcache::release(proc, ep, &sub, e4);
         event.free();
         return;
@@ -2082,6 +2190,7 @@ fn pipe_issue_chunk(
         proc.now(),
         crate::trace::TraceEvent::PipeChunk {
             req,
+            gid,
             off,
             len,
             last,

@@ -69,6 +69,9 @@ pub struct InflightCtl {
 pub struct SendReq {
     /// Request token (appears in wire headers).
     pub id: u64,
+    /// Globally unique message id ([`crate::hdr::msg_gid`]); stamps every
+    /// trace/flight event of this logical message on both ranks.
+    pub gid: u64,
     /// Communicator context id.
     pub ctx: u32,
     /// Destination process.
@@ -137,6 +140,9 @@ pub struct RecvReq {
 /// What a receive matched against.
 #[derive(Clone, Debug)]
 pub struct MatchInfo {
+    /// Globally unique message id, reconstructed at match time from the
+    /// sender's identity and request token ([`crate::hdr::msg_gid`]).
+    pub gid: u64,
     /// Sender's rank within the communicator.
     pub src_rank: u32,
     /// Sender's process name.
@@ -313,6 +319,9 @@ pub struct PipeState {
     pub is_read: bool,
     /// The local request being served (recv for reads, send for writes).
     pub req: u64,
+    /// Globally unique message id of the message being piped (causal
+    /// attribution of per-chunk events).
+    pub gid: u64,
     /// The peer on the far side.
     pub peer: ProcName,
     /// Remote address of the first bulk byte (one contiguous mapping on the

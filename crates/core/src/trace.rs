@@ -28,6 +28,11 @@ pub enum TraceEvent {
     SendPosted {
         /// Request id.
         req: u64,
+        /// Global message id ([`crate::hdr::msg_gid`]).
+        gid: u64,
+        /// Enclosing collective-operation id on this rank; 0 when the send
+        /// was posted outside any collective.
+        coll: u64,
         /// Destination rank.
         dst: u32,
         /// MPI tag.
@@ -46,6 +51,8 @@ pub enum TraceEvent {
     Matched {
         /// The receive request.
         req: u64,
+        /// Global message id, computed from the fragment's origin.
+        gid: u64,
         /// Sender rank.
         src: u32,
         /// Matched tag.
@@ -60,8 +67,20 @@ pub enum TraceEvent {
         /// Tag of the fragment.
         tag: i32,
     },
+    /// A buffer region was registered (pinned) for a message's transfer.
+    Registered {
+        /// Global message id the registration serves.
+        gid: u64,
+        /// Bytes covered by the mapping.
+        bytes: usize,
+        /// Virtual nanoseconds the registration cost (0 on a cache hit);
+        /// the pin occupied `[t - cost_ns, t]`.
+        cost_ns: u64,
+    },
     /// RDMA descriptors were issued for a message's remainder.
     RdmaIssued {
+        /// Global message id the batch serves.
+        gid: u64,
         /// Read (receiver pulls) or write (sender pushes).
         read: bool,
         /// Bytes covered by the batch.
@@ -69,6 +88,8 @@ pub enum TraceEvent {
     },
     /// A local DMA completion was observed by the host.
     DmaDone {
+        /// Global message id the descriptor served.
+        gid: u64,
         /// Bytes credited.
         bytes: usize,
     },
@@ -76,6 +97,8 @@ pub enum TraceEvent {
     PipeChunk {
         /// The request the pipeline serves.
         req: u64,
+        /// Global message id the pipeline serves.
+        gid: u64,
         /// Chunk offset within the bulk share.
         off: usize,
         /// Chunk length in bytes.
@@ -85,6 +108,9 @@ pub enum TraceEvent {
     },
     /// A control message was sent (ACK/FIN/FIN_ACK), by header kind name.
     ControlSent {
+        /// Global message id the control frame belongs to; 0 when the
+        /// frame serves no single message.
+        gid: u64,
         /// `"Ack"`, `"Fin"` or `"FinAck"`.
         kind: &'static str,
     },
@@ -92,6 +118,8 @@ pub enum TraceEvent {
     Completed {
         /// The request id.
         req: u64,
+        /// Global message id.
+        gid: u64,
         /// Send (true) or receive (false).
         send: bool,
     },
@@ -161,6 +189,7 @@ impl TraceEvent {
             TraceEvent::RecvPosted { .. } => "recv_posted",
             TraceEvent::Matched { .. } => "matched",
             TraceEvent::Unexpected { .. } => "unexpected",
+            TraceEvent::Registered { .. } => "registered",
             TraceEvent::RdmaIssued { .. } => "rdma_issued",
             TraceEvent::DmaDone { .. } => "dma_done",
             TraceEvent::PipeChunk { .. } => "pipe_chunk",
@@ -180,35 +209,54 @@ impl TraceEvent {
         match self {
             TraceEvent::SendPosted {
                 req,
+                gid,
+                coll,
                 dst,
                 tag,
                 len,
                 eager,
             } => format!(
-                "{{\"req\":{req},\"dst\":{dst},\"tag\":{tag},\"len\":{len},\"eager\":{eager}}}"
+                "{{\"req\":{req},\"gid\":{gid},\"coll\":{coll},\"dst\":{dst},\
+                 \"tag\":{tag},\"len\":{len},\"eager\":{eager}}}"
             ),
             TraceEvent::RecvPosted { req } => format!("{{\"req\":{req}}}"),
-            TraceEvent::Matched { req, src, tag, len } => {
-                format!("{{\"req\":{req},\"src\":{src},\"tag\":{tag},\"len\":{len}}}")
+            TraceEvent::Matched {
+                req,
+                gid,
+                src,
+                tag,
+                len,
+            } => {
+                format!("{{\"req\":{req},\"gid\":{gid},\"src\":{src},\"tag\":{tag},\"len\":{len}}}")
             }
             TraceEvent::Unexpected { src, tag } => format!("{{\"src\":{src},\"tag\":{tag}}}"),
-            TraceEvent::RdmaIssued { read, bytes } => {
-                format!("{{\"read\":{read},\"bytes\":{bytes}}}")
+            TraceEvent::Registered {
+                gid,
+                bytes,
+                cost_ns,
+            } => {
+                format!("{{\"gid\":{gid},\"bytes\":{bytes},\"cost_ns\":{cost_ns}}}")
             }
-            TraceEvent::DmaDone { bytes } => format!("{{\"bytes\":{bytes}}}"),
+            TraceEvent::RdmaIssued { gid, read, bytes } => {
+                format!("{{\"gid\":{gid},\"read\":{read},\"bytes\":{bytes}}}")
+            }
+            TraceEvent::DmaDone { gid, bytes } => format!("{{\"gid\":{gid},\"bytes\":{bytes}}}"),
             TraceEvent::PipeChunk {
                 req,
+                gid,
                 off,
                 len,
                 last,
             } => {
-                format!("{{\"req\":{req},\"off\":{off},\"len\":{len},\"last\":{last}}}")
+                format!(
+                    "{{\"req\":{req},\"gid\":{gid},\"off\":{off},\"len\":{len},\"last\":{last}}}"
+                )
             }
-            TraceEvent::ControlSent { kind } => {
-                format!("{{\"kind\":\"{}\"}}", escape_json(kind))
+            TraceEvent::ControlSent { gid, kind } => {
+                format!("{{\"gid\":{gid},\"kind\":\"{}\"}}", escape_json(kind))
             }
-            TraceEvent::Completed { req, send } => {
-                format!("{{\"req\":{req},\"send\":{send}}}")
+            TraceEvent::Completed { req, gid, send } => {
+                format!("{{\"req\":{req},\"gid\":{gid},\"send\":{send}}}")
             }
             TraceEvent::CtlRetransmit {
                 kind,
@@ -339,41 +387,94 @@ pub fn escape_json(s: &str) -> String {
     out
 }
 
+/// Namespace an async span id by the rank that recorded it: ranks allocate
+/// span ids independently (request ids, DMA tokens), so a merged multi-rank
+/// export would otherwise pair a begin on rank 0 with an end on rank 1 that
+/// happens to share the `(cat, id)`. 16 bits of rank above 48 bits of local
+/// id — the same packing the reliability layer uses for `rel` span ids.
+fn rank_span_id(rank: u32, id: u64) -> u64 {
+    ((rank as u64) << 48) | (id & 0xFFFF_FFFF_FFFF)
+}
+
 /// Render per-rank trace logs as one Chrome trace-event JSON document.
 ///
 /// Point events become instants (`ph:"i"`); spans become async begin/end
-/// pairs (`ph:"b"`/`"e"`) correlated by category + id, which Perfetto and
-/// `chrome://tracing` draw as bars on the rank's timeline. Timestamps are
+/// pairs (`ph:"b"`/`"e"`) correlated by category + id (namespaced per rank
+/// by [`rank_span_id`]), which Perfetto and `chrome://tracing` draw as bars
+/// on the rank's timeline. Gid-carrying lifecycle events additionally emit
+/// *flow* events (`ph:"s"`/`"t"`/`"f"`, cat `msgflow`, id = gid), so a
+/// merged multi-rank trace draws an arrow from the sender's post through
+/// the receiver's match to the receiver's completion. Timestamps are
 /// virtual microseconds; `pid` and `tid` are the rank.
 pub fn chrome_trace_json(logs: &[(u32, &TraceLog)]) -> String {
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     let mut first = true;
+    let push = |s: String, first: &mut bool, out: &mut String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push_str(&s);
+    };
     for (rank, log) in logs {
         for (t, ev) in log.events() {
-            if !first {
-                out.push(',');
-            }
-            first = false;
             let ts = t.as_ns() as f64 / 1000.0;
             match ev {
-                TraceEvent::SpanBegin { id, cat, name } => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"id\":{id},\
-                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}",
-                    escape_json(name),
-                    escape_json(cat)
-                )),
-                TraceEvent::SpanEnd { id, cat, name } => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"id\":{id},\
-                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}",
-                    escape_json(name),
-                    escape_json(cat)
-                )),
-                _ => out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"cat\":\"proto\",\"ph\":\"i\",\"s\":\"t\",\
-                     \"ts\":{ts},\"pid\":{rank},\"tid\":{rank},\"args\":{}}}",
-                    escape_json(ev.name()),
-                    ev.args_json()
-                )),
+                TraceEvent::SpanBegin { id, cat, name } => push(
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"b\",\"id\":{},\
+                         \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}",
+                        escape_json(name),
+                        escape_json(cat),
+                        rank_span_id(*rank, *id)
+                    ),
+                    &mut first,
+                    &mut out,
+                ),
+                TraceEvent::SpanEnd { id, cat, name } => push(
+                    format!(
+                        "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"e\",\"id\":{},\
+                         \"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}",
+                        escape_json(name),
+                        escape_json(cat),
+                        rank_span_id(*rank, *id)
+                    ),
+                    &mut first,
+                    &mut out,
+                ),
+                _ => {
+                    push(
+                        format!(
+                            "{{\"name\":\"{}\",\"cat\":\"proto\",\"ph\":\"i\",\"s\":\"t\",\
+                             \"ts\":{ts},\"pid\":{rank},\"tid\":{rank},\"args\":{}}}",
+                            escape_json(ev.name()),
+                            ev.args_json()
+                        ),
+                        &mut first,
+                        &mut out,
+                    );
+                    // Cross-rank causality: the sender's post starts a flow
+                    // on the message's gid, the receiver's match steps it,
+                    // and the receiver's completion finishes it.
+                    let flow = match ev {
+                        TraceEvent::SendPosted { gid, .. } if *gid != 0 => Some(("s", "", *gid)),
+                        TraceEvent::Matched { gid, .. } if *gid != 0 => Some(("t", "", *gid)),
+                        TraceEvent::Completed {
+                            gid, send: false, ..
+                        } if *gid != 0 => Some(("f", ",\"bp\":\"e\"", *gid)),
+                        _ => None,
+                    };
+                    if let Some((ph, extra, gid)) = flow {
+                        push(
+                            format!(
+                                "{{\"name\":\"msg\",\"cat\":\"msgflow\",\"ph\":\"{ph}\"{extra},\
+                                 \"id\":{gid},\"ts\":{ts},\"pid\":{rank},\"tid\":{rank}}}"
+                            ),
+                            &mut first,
+                            &mut out,
+                        );
+                    }
+                }
             }
         }
     }
@@ -393,6 +494,8 @@ mod tests {
             Time::from_ns(1500),
             TraceEvent::SendPosted {
                 req: 1,
+                gid: 0x0100_0000_0001,
+                coll: 0,
                 dst: 1,
                 tag: 0,
                 len: 64,
@@ -401,7 +504,11 @@ mod tests {
         );
         log.record(
             Time::from_ns(2500),
-            TraceEvent::Completed { req: 1, send: true },
+            TraceEvent::Completed {
+                req: 1,
+                gid: 0x0100_0000_0001,
+                send: true,
+            },
         );
         assert_eq!(log.len(), 2);
         let lines = log.dump();
@@ -439,7 +546,13 @@ mod tests {
                 name: "rndv_handshake",
             },
         );
-        log.record(Time::from_ns(2000), TraceEvent::DmaDone { bytes: 4096 });
+        log.record(
+            Time::from_ns(2000),
+            TraceEvent::DmaDone {
+                gid: 0,
+                bytes: 4096,
+            },
+        );
         log.record(
             Time::from_ns(3000),
             TraceEvent::SpanEnd {
@@ -454,6 +567,100 @@ mod tests {
         assert!(json.contains("\"ph\":\"e\",\"id\":7"));
         assert!(json.contains("\"ph\":\"i\""));
         assert!(json.contains("\"ts\":1"));
+    }
+
+    #[test]
+    fn chrome_export_namespaces_span_ids_per_rank() {
+        // Two ranks opening spans with the same local (cat, id) must not
+        // pair up in a merged export.
+        let mut a = TraceLog::default();
+        a.record(
+            Time::from_ns(100),
+            TraceEvent::SpanBegin {
+                id: 7,
+                cat: "rdma",
+                name: "rdma_burst",
+            },
+        );
+        let mut b = TraceLog::default();
+        b.record(
+            Time::from_ns(200),
+            TraceEvent::SpanEnd {
+                id: 7,
+                cat: "rdma",
+                name: "rdma_burst",
+            },
+        );
+        let json = chrome_trace_json(&[(0, &a), (1, &b)]);
+        let id0 = rank_span_id(0, 7);
+        let id1 = rank_span_id(1, 7);
+        assert_ne!(id0, id1);
+        assert!(
+            json.contains(&format!("\"ph\":\"b\",\"id\":{id0}")),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!("\"ph\":\"e\",\"id\":{id1}")),
+            "{json}"
+        );
+        // The raw colliding id appears under neither rank's begin/end.
+        assert_eq!(json.matches(&format!("\"id\":{id0}")).count(), 1);
+    }
+
+    #[test]
+    fn chrome_export_emits_cross_rank_flow_events() {
+        let gid = crate::hdr::msg_gid(0, 0, 1);
+        let mut sender = TraceLog::default();
+        sender.record(
+            Time::from_ns(100),
+            TraceEvent::SendPosted {
+                req: 1,
+                gid,
+                coll: 0,
+                dst: 1,
+                tag: 5,
+                len: 1 << 20,
+                eager: false,
+            },
+        );
+        let mut receiver = TraceLog::default();
+        receiver.record(
+            Time::from_ns(900),
+            TraceEvent::Matched {
+                req: 2,
+                gid,
+                src: 0,
+                tag: 5,
+                len: 1 << 20,
+            },
+        );
+        receiver.record(
+            Time::from_ns(5000),
+            TraceEvent::Completed {
+                req: 2,
+                gid,
+                send: false,
+            },
+        );
+        let json = chrome_trace_json(&[(0, &sender), (1, &receiver)]);
+        assert!(
+            json.contains(&format!(
+                "\"cat\":\"msgflow\",\"ph\":\"s\",\"id\":{gid},\"ts\":0.1,\"pid\":0"
+            )),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!(
+                "\"cat\":\"msgflow\",\"ph\":\"t\",\"id\":{gid},\"ts\":0.9,\"pid\":1"
+            )),
+            "{json}"
+        );
+        assert!(
+            json.contains(&format!(
+                "\"cat\":\"msgflow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{gid},\"ts\":5,\"pid\":1"
+            )),
+            "{json}"
+        );
     }
 
     #[test]

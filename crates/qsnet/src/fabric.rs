@@ -368,6 +368,54 @@ impl CongestionReport {
     }
 }
 
+/// A list of link busy windows as `(start_ns, end_ns)` pairs.
+pub type BusyWindows = Vec<(u64, u64)>;
+
+/// Optional per-node busy-interval log for endpoint links, merged across
+/// rails. Off by default (the hot path only pays an `Option` check); the
+/// critical-path analyzer turns it on to cross-check per-message queueing
+/// time against actual link occupancy windows.
+struct IntervalLog {
+    capacity: usize,
+    /// Per-node injection-link busy windows `(start_ns, end_ns)`.
+    inj: Vec<VecDeque<(u64, u64)>>,
+    /// Per-node ejection-link busy windows `(start_ns, end_ns)`.
+    ej: Vec<VecDeque<(u64, u64)>>,
+}
+
+impl IntervalLog {
+    fn new(nodes: usize, capacity: usize) -> IntervalLog {
+        IntervalLog {
+            capacity: capacity.max(1),
+            inj: vec![VecDeque::new(); nodes],
+            ej: vec![VecDeque::new(); nodes],
+        }
+    }
+
+    fn push(ring: &mut VecDeque<(u64, u64)>, capacity: usize, iv: (u64, u64)) {
+        if ring.len() == capacity {
+            ring.pop_front();
+        }
+        ring.push_back(iv);
+    }
+
+    fn record_inj(&mut self, node: NodeId, start: Time, end: Time) {
+        Self::push(
+            &mut self.inj[node],
+            self.capacity,
+            (start.as_ns(), end.as_ns()),
+        );
+    }
+
+    fn record_ej(&mut self, node: NodeId, start: Time, end: Time) {
+        Self::push(
+            &mut self.ej[node],
+            self.capacity,
+            (start.as_ns(), end.as_ns()),
+        );
+    }
+}
+
 #[derive(Default)]
 struct FaultState {
     /// (src, dst) -> number of upcoming packets to fault once each.
@@ -391,6 +439,7 @@ struct FabricState {
     acct: Vec<RailAcct>,
     stats: FabricStats,
     faults: FaultState,
+    intervals: Option<IntervalLog>,
 }
 
 /// The simulated QsNetII fabric shared by every NIC in the cluster.
@@ -421,6 +470,7 @@ impl Fabric {
                 acct,
                 stats: FabricStats::default(),
                 faults: FaultState::default(),
+                intervals: None,
             }),
         })
     }
@@ -513,7 +563,8 @@ impl Fabric {
         let mut st = self.state.lock();
         let faulted = st.faults.take_drop(src, dst);
         let rs = &mut st.rails[rail];
-        let mut start = not_before.max(rs.tx_free[src]);
+        let tx_start = not_before.max(rs.tx_free[src]);
+        let mut start = tx_start;
         if faulted {
             // Hardware-level retransmission: the packet occupies the link,
             // is NAKed, and goes again after the retry delay.
@@ -557,6 +608,11 @@ impl Fabric {
         let ej = &mut acct.ej[dst];
         ej.charge(ser_ns, payload, wire);
         ej.enqueue(head_arrival, pkt_delivered);
+
+        if let Some(log) = st.intervals.as_mut() {
+            log.record_inj(src, tx_start, tx_free);
+            log.record_ej(dst, rx_start, pkt_delivered);
+        }
 
         pkt_delivered
     }
@@ -628,6 +684,12 @@ impl Fabric {
         for k in 1..max_nca {
             acct.up[(k - 1) as usize][self.topo.subtree(src, k)].charge(ser_ns, payload_u, wire);
         }
+        if let Some(log) = st.intervals.as_mut() {
+            log.record_inj(src, start, tx_free);
+            for (&dst, &delivered) in dsts.iter().zip(out.iter()) {
+                log.record_ej(dst, Time::from_ns(delivered.as_ns() - ser_ns), delivered);
+            }
+        }
         out
     }
 }
@@ -696,6 +758,47 @@ impl Fabric {
             ej.add(&acct.ej[node]);
         }
         (inj, ej)
+    }
+
+    /// Packets currently holding or waiting for one node's endpoint links
+    /// at `now`, summed across rails: `(injection, ejection)`. This is the
+    /// instantaneous queue depth the timeline sampler plots — on an incast
+    /// victim the ejection number ramps while the burst drains.
+    pub fn node_queue_now(&self, node: NodeId, now: Time) -> (u64, u64) {
+        assert!(node < self.config.nodes, "node out of range");
+        let mut st = self.state.lock();
+        let (mut inj, mut ej) = (0, 0);
+        for acct in &mut st.acct {
+            inj += acct.inj[node].queue_now(now);
+            ej += acct.ej[node].queue_now(now);
+        }
+        (inj, ej)
+    }
+
+    /// Start recording per-node endpoint-link busy intervals (merged across
+    /// rails), keeping at most `capacity` windows per link. Idempotent;
+    /// re-enabling with a new capacity clears the recorded windows.
+    pub fn record_intervals(&self, capacity: usize) {
+        let mut st = self.state.lock();
+        st.intervals = Some(IntervalLog::new(self.config.nodes, capacity));
+    }
+
+    /// One node's recorded endpoint-link busy windows as
+    /// `(injection, ejection)` lists of `(start_ns, end_ns)`, each sorted by
+    /// start time. Empty unless [`Fabric::record_intervals`] was called.
+    pub fn node_busy_intervals(&self, node: NodeId) -> (BusyWindows, BusyWindows) {
+        assert!(node < self.config.nodes, "node out of range");
+        let st = self.state.lock();
+        match &st.intervals {
+            Some(log) => {
+                let mut inj: BusyWindows = log.inj[node].iter().copied().collect();
+                let mut ej: BusyWindows = log.ej[node].iter().copied().collect();
+                inj.sort_unstable();
+                ej.sort_unstable();
+                (inj, ej)
+            }
+            None => (Vec::new(), Vec::new()),
+        }
     }
 
     /// Build the congestion report over `[0, now]`: the `top_n` hottest
@@ -1070,6 +1173,38 @@ mod link_tests {
         let hottest = rep.hottest().unwrap();
         assert!(hottest.occupancy(rep.at_ns) > 0.0);
         assert!(hottest.occupancy(rep.at_ns) <= 1.0);
+    }
+
+    #[test]
+    fn busy_intervals_and_queue_now_track_the_ejection_link() {
+        let f = Fabric::new(FabricConfig::default());
+        f.record_intervals(64);
+        let mut last = Time::ZERO;
+        for src in 1..4usize {
+            last = last.max(f.packet_delivery(0, src, 0, 2048, Time::ZERO));
+        }
+        // Mid-drain the victim's ejection queue is non-empty; after the
+        // last delivery it is empty again.
+        let ser = Dur::for_bytes(2048 + 16, 1300);
+        let (_, ej_mid) = f.node_queue_now(0, Time::from_ns(ser.as_ns() / 2));
+        assert!(ej_mid >= 2, "ej queue mid-drain: {ej_mid}");
+        let (inj_end, ej_end) = f.node_queue_now(0, last);
+        assert_eq!((inj_end, ej_end), (0, 0));
+        // Three recorded ejection windows, back to back, none overlapping.
+        let (inj_iv, ej_iv) = f.node_busy_intervals(0);
+        assert!(inj_iv.is_empty(), "node 0 injected nothing");
+        assert_eq!(ej_iv.len(), 3);
+        for w in ej_iv.windows(2) {
+            assert!(w[0].1 <= w[1].0, "ejection windows overlap: {w:?}");
+        }
+        assert_eq!(ej_iv.last().unwrap().1, last.as_ns());
+        // Senders recorded their injection windows.
+        let (src_inj, _) = f.node_busy_intervals(1);
+        assert_eq!(src_inj.len(), 1);
+        // Without recording enabled, nothing is retained.
+        let f2 = Fabric::new(FabricConfig::default());
+        f2.packet_delivery(0, 1, 0, 512, Time::ZERO);
+        assert_eq!(f2.node_busy_intervals(0), (Vec::new(), Vec::new()));
     }
 
     #[test]

@@ -45,4 +45,24 @@ cargo run --release -q -p ompi-bench --bin harness -- \
     --stall-demo --flight-out flight_dump.json > /dev/null 2>stall_demo.log \
     || { cat stall_demo.log; exit 1; }
 
+echo "== observability demo: cross-rank critical-path report"
+# 1 MiB pipelined rendezvous; exits nonzero unless the per-message stage
+# decomposition reconciles with the measured total and the merged Chrome
+# trace carries cross-rank flow events.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --critpath --critpath-out critpath.json > /dev/null
+test -s critpath.json
+
+echo "== observability demo: incast timeline (periodic pvar sampler)"
+# 8-rank incast with the time-series sampler on; exits nonzero unless the
+# victim's ejection-queue ramp is visible in the samples.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --timeline --timeline-out timeline.json > /dev/null
+test -s timeline.json
+
+echo "== introspection registry dump"
+# Exits nonzero if the cvar/pvar registry comes up empty.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --list-introspect > /dev/null
+
 echo "All checks passed."

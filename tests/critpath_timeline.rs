@@ -1,0 +1,116 @@
+//! Cross-rank critical-path analysis and time-series telemetry: the merged
+//! trace decomposes a pipelined rendezvous into named stages that reconcile
+//! with the measured total, and the periodic pvar sampler captures the
+//! victim's queue ramp under an incast.
+
+use ompi_bench::measure::{critpath_pingpong, introspect_registry, timeline_incast, Setup};
+use openmpi_core::StackConfig;
+
+/// A 1 MiB pipelined rendezvous ping-pong: every message's critical path
+/// decomposes into at least four named stages whose sum equals the
+/// measured end-to-end latency exactly, and the wire stage reconciles
+/// against the receiver's recorded ejection-link busy windows.
+#[test]
+fn pipelined_rendezvous_stages_reconcile_with_the_total() {
+    let cap = critpath_pingpong(&Setup::paper(StackConfig::default()), 1 << 20, 4);
+    let big: Vec<_> = cap
+        .report
+        .msgs
+        .iter()
+        .filter(|m| !m.eager && m.len == 1 << 20)
+        .collect();
+    assert!(
+        big.len() >= 8,
+        "expected both directions of 4 round trips, got {}",
+        big.len()
+    );
+    for m in &big {
+        assert_eq!(
+            m.stage_sum_ns(),
+            m.total_ns,
+            "stages must partition the total exactly: {:?}",
+            m.stages
+        );
+        let nonzero = m.stages.iter().filter(|(_, ns)| *ns > 0).count();
+        assert!(
+            nonzero >= 4,
+            "gid {:#x} decomposed into only {nonzero} nonzero stages: {:?}",
+            m.gid,
+            m.stages
+        );
+        // The bulk dominates a 1 MiB transfer, and the cross-check against
+        // the fabric's busy intervals prices most of it as real wire time.
+        assert!(
+            m.stage_ns("wire") > m.total_ns / 2,
+            "stages: {:?}",
+            m.stages
+        );
+        assert!(
+            m.queue_overlap_ns > 0,
+            "recorded ejection busy windows never overlapped the wire stage"
+        );
+        // Sender and receiver alternate by direction, so both ranks appear.
+        assert_ne!(m.sender, m.receiver);
+    }
+    // The per-size aggregation files every 1 MiB message in one bucket.
+    let bucket = cap
+        .report
+        .buckets
+        .iter()
+        .find(|b| b.lo == 1 << 20)
+        .expect("1 MiB bucket exists");
+    assert_eq!(bucket.msgs, big.len());
+    assert_eq!(bucket.total_ns, big.iter().map(|m| m.total_ns).sum::<u64>());
+
+    // The merged Chrome trace carries cross-rank flow arrows binding the
+    // sender's span to the receiver's completion span.
+    let chrome = cap.chrome_trace();
+    assert!(chrome.contains("\"ph\":\"s\""), "flow start events missing");
+    assert!(
+        chrome.contains("\"ph\":\"f\""),
+        "flow finish events missing"
+    );
+}
+
+/// An 8-rank eager incast with the timeline sampler on: the victim's
+/// ejection-queue series starts shallow and ramps as every sender's
+/// packets converge on its one ejection link.
+#[test]
+fn incast_timeline_shows_the_victims_ejection_queue_ramp() {
+    let cap = timeline_incast(&Setup::paper(StackConfig::default()), 8, 1 << 10, 32);
+    let victim = cap.victim_samples();
+    assert!(!victim.is_empty(), "sampler produced no samples");
+    let peak = cap.victim_max_ej_queue();
+    assert!(peak >= 2, "no congestion visible: peak ej queue {peak}");
+    // The ramp: sampling starts before the flood piles up, so the first
+    // sample sits below the peak, and busy time grows monotonically.
+    assert!(victim[0].ej_queue < peak);
+    for w in victim.windows(2) {
+        assert!(w[1].t_ns > w[0].t_ns, "samples must advance in time");
+        assert!(w[1].ej_busy_ns >= w[0].ej_busy_ns);
+    }
+    // Senders stay uncongested: their ejection links only carry control
+    // traffic, so no sender's queue ever rivals the victim's.
+    for (rank, _, samples) in cap.ranks.iter().skip(1) {
+        let m = samples.iter().map(|s| s.ej_queue).max().unwrap_or(0);
+        assert!(m < peak, "rank {rank} ej queue {m} rivals the victim");
+    }
+}
+
+/// The registry dump lists every cvar with name/type/default/writability
+/// and every pvar with its live value — the MPI_T discovery surface.
+#[test]
+fn registry_dump_lists_cvars_and_pvars() {
+    let json = introspect_registry(&Setup::paper(StackConfig::default()));
+    for needle in [
+        "\"cvars\":[{",
+        "\"pvars\":[{",
+        "\"name\":\"pml.eager_limit\"",
+        "\"name\":\"timeline.interval_ns\"",
+        "\"writable\":true",
+        "\"writable\":false",
+        "\"default\":",
+    ] {
+        assert!(json.contains(needle), "registry dump missing {needle}");
+    }
+}
