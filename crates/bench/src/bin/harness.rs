@@ -54,6 +54,14 @@
 //! nonzero unless the stages reconcile within 5% and the merged Chrome
 //! trace carries cross-rank flow arrows; `--critpath-out FILE` writes the
 //! report JSON.
+//! `--flow-bench` runs the end-to-end flow-control benchmark — 8-rank
+//! incast, all-to-all burst, and unexpected-message flood, each with
+//! credit-based flow control off and on, plus an uncongested 1 KiB
+//! ping-pong pricing the credit machinery — and prints the report JSON;
+//! exits nonzero unless flow-on beats flow-off on incast completion time,
+//! bounds the victim's ejection-queue peak below the flow-off run, and
+//! keeps the ping-pong within 5% of the flow-off latency; `--bench-out
+//! FILE` writes the same JSON (the CI artifact `BENCH_flow.json`).
 //! `--timeline` runs an 8-rank incast with the periodic pvar sampler on
 //! and prints every rank's time-series ring; exits nonzero unless the
 //! victim's ejection-queue series shows the congestion ramp;
@@ -101,6 +109,7 @@ fn main() {
     let mut loss: u64 = 0;
     let mut reg_bench = false;
     let mut bw_curve = false;
+    let mut flow_bench_flag = false;
     let mut bench_out: Option<String> = None;
     let mut congestion_report = false;
     let mut metrics_out: Option<String> = None;
@@ -149,6 +158,7 @@ fn main() {
             },
             "--reg-bench" => reg_bench = true,
             "--bw-curve" => bw_curve = true,
+            "--flow-bench" => flow_bench_flag = true,
             "--congestion-report" => congestion_report = true,
             "--sim-bench" => sim_bench_flag = true,
             "--stall-demo" => stall_demo = true,
@@ -204,6 +214,7 @@ fn main() {
         && introspect_out.is_none()
         && !reg_bench
         && !bw_curve
+        && !flow_bench_flag
         && !congestion_report
         && !sim_bench_flag
         && !stall_demo
@@ -214,7 +225,7 @@ fn main() {
         eprintln!(
             "usage: harness [--csv|--md] [--emit-metrics] [--trace-out FILE] \
              [--introspect-out FILE] [--watchdog N] [--loss N] \
-             [--reg-bench] [--bw-curve] [--bench-out FILE] \
+             [--reg-bench] [--bw-curve] [--flow-bench] [--bench-out FILE] \
              [--congestion-report] [--metrics-out FILE] \
              [--sim-bench] [--stall-demo] [--flight-out FILE] \
              [--critpath] [--critpath-out FILE] \
@@ -588,6 +599,64 @@ fn main() {
                 );
                 failed = true;
             }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
+    if flow_bench_flag {
+        use ompi_bench::measure::{flow_bench, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // Three congestion scenarios with flow control off and on, plus the
+        // uncongested ping-pong pricing the credit machinery's overhead.
+        let report = flow_bench(&Setup::paper(StackConfig::default()));
+        let json = report.to_json();
+        println!("{json}");
+        if let Some(path) = &bench_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[flow benchmark written to {path}]");
+        }
+        eprintln!(
+            "[flow-bench: incast {:.0}us (off) vs {:.0}us (on), victim ej peak \
+             {} -> {}, pool fallbacks {} -> {}, pingpong ratio {:.3}, \
+             in {:.1?} wall time]",
+            report.incast.0.completion_ns as f64 / 1_000.0,
+            report.incast.1.completion_ns as f64 / 1_000.0,
+            report.incast.0.victim_ej_queue_peak,
+            report.incast.1.victim_ej_queue_peak,
+            report.incast.0.pool_fallbacks,
+            report.incast.1.pool_fallbacks,
+            report.pingpong_ratio(),
+            start.elapsed()
+        );
+        // The gates: flow-on must pay for itself under congestion and cost
+        // nothing measurable without it.
+        let mut failed = false;
+        if report.incast.1.completion_ns >= report.incast.0.completion_ns {
+            eprintln!(
+                "flow-bench FAILED: flow-on incast ({}ns) not faster than \
+                 flow-off ({}ns)",
+                report.incast.1.completion_ns, report.incast.0.completion_ns
+            );
+            failed = true;
+        }
+        if report.incast.1.victim_ej_queue_peak >= report.incast.0.victim_ej_queue_peak {
+            eprintln!(
+                "flow-bench FAILED: flow-on victim ejection peak ({}) not below \
+                 flow-off ({})",
+                report.incast.1.victim_ej_queue_peak, report.incast.0.victim_ej_queue_peak
+            );
+            failed = true;
+        }
+        if report.pingpong_ratio() > 1.05 {
+            eprintln!(
+                "flow-bench FAILED: flow-on ping-pong ({:.3}us) regresses \
+                 flow-off ({:.3}us) by more than 5%",
+                report.pingpong_on_us, report.pingpong_off_us
+            );
+            failed = true;
         }
         if failed {
             std::process::exit(1);

@@ -737,6 +737,252 @@ pub fn incast_congestion(
     }
 }
 
+/// One flow-control scenario's observables: completion time, message rate,
+/// the victim's ejection-link peak queue depth, and the flow/pool counters
+/// that explain the difference between the flow-off and flow-on runs.
+#[derive(Clone, Debug)]
+pub struct FlowScenario {
+    /// Scenario label, e.g. `incast.off`.
+    pub name: String,
+    /// Virtual end time of the whole run, ns.
+    pub completion_ns: u64,
+    /// Messages delivered (receives completed) across the job.
+    pub msgs: u64,
+    /// Delivered messages per virtual second.
+    pub msgs_per_sec: f64,
+    /// Peak queue depth on the victim's ejection link (rank 0's node).
+    pub victim_ej_queue_peak: u64,
+    /// Bounce-pool misses: unexpected payloads that fell back to a charged
+    /// per-message allocation.
+    pub pool_fallbacks: u64,
+    /// Bounce-pool hits.
+    pub pool_hits: u64,
+    /// Sends parked on zero credits.
+    pub sends_queued: u64,
+    /// Explicit credit-return frames (piggybacks excluded).
+    pub credit_frames: u64,
+    /// Credit grants deferred because the ejection queue was backed up.
+    pub grant_deferrals: u64,
+    /// QDMA deposits that found the destination queue full and retried.
+    pub qdma_overflows: u64,
+}
+
+impl FlowScenario {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"completion_ns\":{},\"msgs\":{},\
+             \"msgs_per_sec\":{:.1},\"victim_ej_queue_peak\":{},\
+             \"pool_fallbacks\":{},\"pool_hits\":{},\"sends_queued\":{},\
+             \"credit_frames\":{},\"grant_deferrals\":{},\"qdma_overflows\":{}}}",
+            self.name,
+            self.completion_ns,
+            self.msgs,
+            self.msgs_per_sec,
+            self.victim_ej_queue_peak,
+            self.pool_fallbacks,
+            self.pool_hits,
+            self.sends_queued,
+            self.credit_frames,
+            self.grant_deferrals,
+            self.qdma_overflows,
+        )
+    }
+}
+
+/// The traffic pattern a flow-control scenario drives.
+#[derive(Copy, Clone, Debug)]
+pub enum FlowWorkload {
+    /// Ranks 1..N each flood `msgs` eager messages at rank 0, which sits in
+    /// compute for `delay_ns` first — every message arrives unexpected and
+    /// stages in the bounce pool.
+    Incast { msgs: usize, delay_ns: u64 },
+    /// Every rank sends `msgs` eager messages to every other rank.
+    AllToAll { msgs: usize },
+    /// Rank 1 floods `msgs` unexpected eager messages at a rank 0 that only
+    /// starts receiving after `delay_ns` — the single-sender pool-exhaustion
+    /// case.
+    Flood { msgs: usize, delay_ns: u64 },
+}
+
+/// Run one flow-control scenario and capture its observables.
+pub fn flow_scenario(
+    setup: &Setup,
+    ranks: usize,
+    len: usize,
+    flow_on: bool,
+    workload: FlowWorkload,
+) -> FlowScenario {
+    let mut setup = setup.clone();
+    setup.stack.metrics = true;
+    setup.stack.flow_enable = flow_on;
+    let metrics: Arc<Mutex<Vec<Metrics>>> = Arc::new(Mutex::new(Vec::new()));
+    let victim_peak = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let overflows = Arc::new(AtomicU64::new(0));
+    let (m2, v2, d2, o2) = (
+        metrics.clone(),
+        victim_peak.clone(),
+        delivered.clone(),
+        overflows.clone(),
+    );
+    let report = setup
+        .universe()
+        .run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            match workload {
+                FlowWorkload::Incast { msgs, delay_ns }
+                | FlowWorkload::Flood { msgs, delay_ns } => {
+                    let senders = match workload {
+                        FlowWorkload::Flood { .. } => 1,
+                        _ => ranks - 1,
+                    };
+                    if mpi.rank() == 0 {
+                        mpi.compute(Dur::from_ns(delay_ns));
+                        let rbuf = mpi.alloc(len.max(1));
+                        for _ in 0..senders * msgs {
+                            mpi.recv(&w, openmpi_core::ANY_SOURCE, 0, &rbuf, len);
+                            d2.fetch_add(1, Ordering::Relaxed);
+                        }
+                        mpi.free(rbuf);
+                    } else if mpi.rank() <= senders {
+                        let sbuf = mpi.alloc(len.max(1));
+                        mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+                        let reqs: Vec<_> =
+                            (0..msgs).map(|_| mpi.isend(&w, 0, 0, &sbuf, len)).collect();
+                        mpi.waitall(reqs);
+                        mpi.free(sbuf);
+                    }
+                }
+                FlowWorkload::AllToAll { msgs } => {
+                    let sbuf = mpi.alloc(len.max(1));
+                    let rbuf = mpi.alloc(len.max(1));
+                    mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+                    let reqs: Vec<_> = (0..ranks)
+                        .filter(|&dst| dst != mpi.rank())
+                        .flat_map(|dst| (0..msgs).map(move |_| (dst, 0)))
+                        .map(|(dst, tag)| mpi.isend(&w, dst, tag, &sbuf, len))
+                        .collect();
+                    for _ in 0..(ranks - 1) * msgs {
+                        mpi.recv(&w, openmpi_core::ANY_SOURCE, 0, &rbuf, len);
+                        d2.fetch_add(1, Ordering::Relaxed);
+                    }
+                    mpi.waitall(reqs);
+                    mpi.free(sbuf);
+                    mpi.free(rbuf);
+                }
+            }
+            mpi.barrier(&w);
+            let ep = mpi.endpoint();
+            if mpi.rank() == 0 {
+                let (_, ej) = ep.cluster.fabric().node_link_totals(ep.node);
+                v2.store(ej.queue_peak, Ordering::SeqCst);
+                o2.store(ep.cluster.stats().queue_overflows, Ordering::SeqCst);
+            }
+            m2.lock().push(ep.metrics_snapshot());
+        });
+    let rows = std::mem::take(&mut *metrics.lock());
+    let sum = |f: fn(&openmpi_core::metrics::Counters) -> u64| -> u64 {
+        rows.iter().map(|m| f(&m.counters)).sum()
+    };
+    let completion_ns = report.end_time.as_ns();
+    let msgs = delivered.load(Ordering::SeqCst);
+    let name = format!(
+        "{}.{}",
+        match workload {
+            FlowWorkload::Incast { .. } => "incast",
+            FlowWorkload::AllToAll { .. } => "alltoall",
+            FlowWorkload::Flood { .. } => "flood",
+        },
+        if flow_on { "on" } else { "off" }
+    );
+    FlowScenario {
+        name,
+        completion_ns,
+        msgs,
+        msgs_per_sec: if completion_ns == 0 {
+            0.0
+        } else {
+            msgs as f64 * 1e9 / completion_ns as f64
+        },
+        victim_ej_queue_peak: victim_peak.load(Ordering::SeqCst),
+        pool_fallbacks: sum(|c| c.flow_pool_fallbacks),
+        pool_hits: sum(|c| c.flow_pool_hits),
+        sends_queued: sum(|c| c.flow_sends_queued),
+        credit_frames: sum(|c| c.flow_credit_frames),
+        grant_deferrals: sum(|c| c.flow_grant_deferrals),
+        qdma_overflows: overflows.load(Ordering::SeqCst),
+    }
+}
+
+/// The full flow-control benchmark: three congestion scenarios, each run
+/// with flow control off and on, plus the uncongested ping-pong that prices
+/// the credit machinery's overhead.
+pub struct FlowBenchReport {
+    /// N-to-1 incast, `(off, on)`.
+    pub incast: (FlowScenario, FlowScenario),
+    /// All-to-all burst, `(off, on)`.
+    pub alltoall: (FlowScenario, FlowScenario),
+    /// Single-sender unexpected-message flood, `(off, on)`.
+    pub flood: (FlowScenario, FlowScenario),
+    /// 1 KiB half-RTT with flow control off, µs.
+    pub pingpong_off_us: f64,
+    /// 1 KiB half-RTT with flow control on, µs.
+    pub pingpong_on_us: f64,
+}
+
+impl FlowBenchReport {
+    /// Flow-on ping-pong latency as a fraction of flow-off (1.0 = free).
+    pub fn pingpong_ratio(&self) -> f64 {
+        if self.pingpong_off_us == 0.0 {
+            1.0
+        } else {
+            self.pingpong_on_us / self.pingpong_off_us
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let pair = |p: &(FlowScenario, FlowScenario)| {
+            format!("{{\"off\":{},\"on\":{}}}", p.0.to_json(), p.1.to_json())
+        };
+        format!(
+            "{{\"incast\":{},\"alltoall\":{},\"flood\":{},\
+             \"pingpong_off_us\":{:.3},\"pingpong_on_us\":{:.3},\
+             \"pingpong_ratio\":{:.4}}}",
+            pair(&self.incast),
+            pair(&self.alltoall),
+            pair(&self.flood),
+            self.pingpong_off_us,
+            self.pingpong_on_us,
+            self.pingpong_ratio(),
+        )
+    }
+}
+
+/// Run the whole flow-control benchmark on the paper testbed.
+pub fn flow_bench(setup: &Setup) -> FlowBenchReport {
+    let incast = FlowWorkload::Incast {
+        msgs: 48,
+        delay_ns: 400_000,
+    };
+    let alltoall = FlowWorkload::AllToAll { msgs: 12 };
+    let flood = FlowWorkload::Flood {
+        msgs: 256,
+        delay_ns: 400_000,
+    };
+    let run = |flow_on: bool, wl: FlowWorkload| flow_scenario(setup, 8, 1 << 10, flow_on, wl);
+    let mut off = setup.clone();
+    off.stack.flow_enable = false;
+    let mut on = setup.clone();
+    on.stack.flow_enable = true;
+    FlowBenchReport {
+        incast: (run(false, incast), run(true, incast)),
+        alltoall: (run(false, alltoall), run(true, alltoall)),
+        flood: (run(false, flood), run(true, flood)),
+        pingpong_off_us: ompi_latency(&off, 1 << 10),
+        pingpong_on_us: ompi_latency(&on, 1 << 10),
+    }
+}
+
 /// Everything captured from a critical-path instrumented run: the merged
 /// per-message stage decomposition and the raw per-rank trace rings (for
 /// the cross-rank Chrome trace).

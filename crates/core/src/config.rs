@@ -136,6 +136,34 @@ pub struct StackConfig {
     /// Elan shares shorter than this keep the monolithic single-RDMA path
     /// (chunking overhead would outweigh the registration overlap).
     pub pipeline_min_len: usize,
+    /// End-to-end credit-based flow control for eager/unexpected messages
+    /// (the MPICH2-over-InfiniBand scheme): each peer grants
+    /// `flow_credits` sends up front, every eager send consumes one, and
+    /// credits travel back piggybacked on ACK/FIN_ACK frames (an explicit
+    /// CREDIT_RETURN frame fires only when the receiver is hoarding).
+    /// Senders out of credits queue locally instead of flooding the
+    /// victim's receive queue. Off by default: the paper's stack has no
+    /// end-to-end limit, and the incast benchmarks compare both settings.
+    pub flow_enable: bool,
+    /// Per-peer initial credit grant. `0` (the default) auto-scales at
+    /// `Endpoint::init` so the whole job's worst-case in-flight eager
+    /// traffic fits the receiver's bounce pool:
+    /// `clamp(flow_bounce_pool / max(1, nprocs - 1), 2, 16)`.
+    pub flow_credits: usize,
+    /// Slots in the preallocated receive-side bounce pool (each slot is
+    /// one QDMA payload, [`crate::hdr::SLOT_LEN`] bytes). Unexpected
+    /// eager payloads stage here instead of a per-message allocation;
+    /// when the pool is dry the fallback allocation is charged
+    /// [`HostConfig::bounce_alloc`].
+    pub flow_bounce_pool: usize,
+    /// Endpoint-wide cap on outstanding RDMA descriptors (all rails, all
+    /// requests). `0` means uncapped. Only enforced while `flow_enable`
+    /// is on — the GASNet elan-conduit NETWORKDEPTH throttle.
+    pub flow_dma_cap: usize,
+    /// Defer credit grants while the local ejection-link queue is at
+    /// least this deep (fabric feedback into the credit loop). `0`
+    /// disables the feedback.
+    pub flow_ej_backoff: usize,
     /// Time-series sampler: snapshot queue depths / link occupancy into the
     /// endpoint's [`crate::introspect::Timeline`] every this much simulated
     /// time. `Dur::ZERO` (the default) disables sampling.
@@ -169,6 +197,11 @@ pub struct HostConfig {
     pub inline_copy_setup: Dur,
     /// Fixed receiver-side cost of copying payload out of a queue slot.
     pub unpack_setup: Dur,
+    /// Allocating (and first-touching) a bounce region for an unexpected
+    /// payload when the preallocated pool is exhausted — the cost the
+    /// GASNet elan-conduit avoids by preallocating its bounce buffers.
+    /// Charged only on the pool-miss path.
+    pub bounce_alloc: Dur,
     /// Progress-thread to application-thread wakeup (condvar handoff).
     pub thread_handoff: Dur,
     /// Extra per-wakeup penalty when two progress threads contend for CPU
@@ -186,6 +219,7 @@ impl Default for HostConfig {
             sched: Dur::from_ns(100),
             inline_copy_setup: Dur::from_ns(600),
             unpack_setup: Dur::from_ns(150),
+            bounce_alloc: Dur::from_ns(2_000),
             thread_handoff: Dur::from_ns(4_000),
             thread_contention: Dur::from_ns(2_300),
         }
@@ -224,6 +258,11 @@ impl Default for StackConfig {
             pipeline_chunk: 32 << 10,
             pipeline_depth: 4,
             pipeline_min_len: 256 << 10,
+            flow_enable: false,
+            flow_credits: 0,
+            flow_bounce_pool: 64,
+            flow_dma_cap: 32,
+            flow_ej_backoff: 0,
             timeline_interval: Dur::ZERO,
             timeline_capacity: 1024,
             host: HostConfig::default(),
@@ -298,6 +337,16 @@ impl StackConfig {
                 "pipeline depth must be >= 1 when pipelining is enabled"
             );
         }
+        if self.flow_enable {
+            assert!(
+                self.flow_bounce_pool >= 1,
+                "flow control needs at least one bounce-pool slot"
+            );
+            assert!(
+                self.flow_credits <= self.flow_bounce_pool,
+                "per-peer flow credits cannot exceed the bounce pool (one sender could overrun it)"
+            );
+        }
         if self.timeline_interval > Dur::ZERO {
             assert!(
                 self.timeline_capacity >= 1,
@@ -344,6 +393,42 @@ mod tests {
     fn zero_pipeline_chunk_rejected() {
         let c = StackConfig {
             pipeline_chunk: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn flow_defaults_are_off_but_sized() {
+        let c = StackConfig::default();
+        assert!(!c.flow_enable);
+        assert_eq!(c.flow_credits, 0, "0 means auto-scale at init");
+        assert!(c.flow_bounce_pool >= 1);
+        let on = StackConfig {
+            flow_enable: true,
+            ..Default::default()
+        };
+        on.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "bounce-pool slot")]
+    fn zero_bounce_pool_rejected_when_flow_on() {
+        let c = StackConfig {
+            flow_enable: true,
+            flow_bounce_pool: 0,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the bounce pool")]
+    fn oversubscribed_credits_rejected() {
+        let c = StackConfig {
+            flow_enable: true,
+            flow_credits: 65,
+            flow_bounce_pool: 64,
             ..Default::default()
         };
         c.validate();

@@ -10,6 +10,8 @@
 //! Stage model for a rendezvous message (boundaries are event times, clamped
 //! monotone, so the stages sum to the measured total *exactly*):
 //!
+//! - `queued` — send posted until flow control released it (credit-parked
+//!   sends only; absent when the send left immediately).
 //! - `match_wait` — send posted until the receiver matched the RTS. Covers
 //!   the wire flight of the first fragment and any time it sat unexpected.
 //! - `handshake` — match until the first RDMA descriptor/chunk was issued.
@@ -162,7 +164,7 @@ impl CritPathReport {
     pub fn render(&self) -> String {
         let mut out = String::from("critical-path breakdown by message size\n");
         out.push_str(
-            "  bytes            msgs  total_ns     match%  hshake% wire%  reg%   gap%   fin%\n",
+            "  bytes            msgs  total_ns     qued%  match%  hshake% wire%  reg%   gap%   fin%\n",
         );
         for b in &self.buckets {
             let pct = |name: &str| {
@@ -179,11 +181,12 @@ impl CritPathReport {
                 }
             };
             out.push_str(&format!(
-                "  [{:>7},{:>7}) {:<5} {:<12} {:<7.1} {:<7.1} {:<6.1} {:<6.1} {:<6.1} {:.1}\n",
+                "  [{:>7},{:>7}) {:<5} {:<12} {:<6.1} {:<7.1} {:<7.1} {:<6.1} {:<6.1} {:<6.1} {:.1}\n",
                 b.lo,
                 b.hi,
                 b.msgs,
                 b.total_ns,
+                pct("queued"),
                 pct("match_wait"),
                 pct("handshake"),
                 pct("wire") + pct("delivery"),
@@ -210,6 +213,7 @@ fn decompose(gid: u64, m: &MsgEvents, ej_busy: &HashMap<u32, Vec<(u64, u64)>>) -
     let (mut sender, mut receiver) = (0u32, 0u32);
     let (mut len, mut eager, mut coll) = (0usize, false, 0u64);
     let mut tm = None; // first match
+    let mut tsent = None; // credit-parked send released by flow control
     let mut tend = 0u64; // last completion
     let mut saw_complete = false;
     let mut reg: Vec<(u64, u64)> = Vec::new(); // registration windows
@@ -232,6 +236,9 @@ fn decompose(gid: u64, m: &MsgEvents, ej_busy: &HashMap<u32, Vec<(u64, u64)>>) -
                 tm = Some(*t);
                 receiver = *rank;
             }
+            TraceEvent::FlowSent { .. } if tsent.is_none() => {
+                tsent = Some(*t);
+            }
             TraceEvent::Registered { cost_ns, .. } => {
                 reg.push((t.saturating_sub(*cost_ns), *t));
             }
@@ -253,7 +260,16 @@ fn decompose(gid: u64, m: &MsgEvents, ej_busy: &HashMap<u32, Vec<(u64, u64)>>) -
     let tm = tm.unwrap_or(tend).clamp(t0, tend);
 
     let mut stages: Vec<(&'static str, u64)> = Vec::new();
-    stages.push(("match_wait", tm - t0));
+    // The `queued` stage appears only for credit-parked sends, so the
+    // flow-off decomposition is byte-identical to the historical one.
+    match tsent {
+        Some(tq) => {
+            let tq = tq.clamp(t0, tm);
+            stages.push(("queued", tq - t0));
+            stages.push(("match_wait", tm - tq));
+        }
+        None => stages.push(("match_wait", tm - t0)),
+    }
     let mut queue_overlap_ns = 0;
     if eager || xfer.is_empty() {
         stages.push(("delivery", tend - tm));
@@ -341,6 +357,8 @@ pub fn analyze(logs: &[(u32, &TraceLog)], ej_busy: &[(u32, Vec<(u64, u64)>)]) ->
                 | TraceEvent::PipeChunk { gid, .. }
                 | TraceEvent::DmaDone { gid, .. }
                 | TraceEvent::ControlSent { gid, .. }
+                | TraceEvent::FlowQueued { gid, .. }
+                | TraceEvent::FlowSent { gid, .. }
                 | TraceEvent::Completed { gid, .. } => *gid,
                 _ => 0,
             };
@@ -585,6 +603,55 @@ mod tests {
         assert_eq!(m.total_ns, 450);
         assert_eq!(m.stage_ns("match_wait"), 400);
         assert_eq!(m.stage_ns("delivery"), 50);
+        assert_eq!(m.stage_sum_ns(), m.total_ns);
+    }
+
+    #[test]
+    fn credit_parked_sends_grow_a_queued_stage() {
+        let gid = crate::hdr::msg_gid(0, 4, 3);
+        let rep = analyze_events(&[
+            ev(
+                4,
+                100,
+                TraceEvent::SendPosted {
+                    req: 3,
+                    gid,
+                    coll: 0,
+                    dst: 5,
+                    tag: 2,
+                    len: 512,
+                    eager: true,
+                },
+            ),
+            // Parked on zero credits at post time, released 700ns later.
+            ev(4, 100, TraceEvent::FlowQueued { req: 3, gid }),
+            ev(4, 800, TraceEvent::FlowSent { req: 3, gid }),
+            ev(
+                5,
+                1200,
+                TraceEvent::Matched {
+                    req: 9,
+                    gid,
+                    src: 4,
+                    tag: 2,
+                    len: 512,
+                },
+            ),
+            ev(
+                5,
+                1300,
+                TraceEvent::Completed {
+                    req: 9,
+                    gid,
+                    send: false,
+                },
+            ),
+        ]);
+        assert_eq!(rep.msgs.len(), 1);
+        let m = &rep.msgs[0];
+        assert_eq!(m.stage_ns("queued"), 700);
+        assert_eq!(m.stage_ns("match_wait"), 400);
+        assert_eq!(m.stage_ns("delivery"), 100);
         assert_eq!(m.stage_sum_ns(), m.total_ns);
     }
 

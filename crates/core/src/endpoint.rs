@@ -208,10 +208,34 @@ impl Endpoint {
             ptls.activate(PtlKind::Tcp).expect("initialized component");
         }
 
+        // Preallocate the unexpected-message bounce pool: eager payloads of
+        // unmatched messages stage in these fixed slots instead of a
+        // per-message allocation; a pool miss falls back to the allocator and
+        // charges `host.bounce_alloc` (GASNet's elan-conduit bounce-buffer
+        // strategy). Always active, so the flow-off path of the incast bench
+        // measures exactly this exhaustion cost.
+        if cfg.flow_bounce_pool > 0 {
+            let slot_len = cfg.eager_limit.max(1);
+            let slots: Vec<HostBuf> = (0..cfg.flow_bounce_pool)
+                .map(|_| ectx.alloc(slot_len))
+                .collect();
+            state.bounce_pool.seed(slots, slot_len);
+        }
+
         let trace_capacity = cfg.trace_capacity;
         let flight_capacity = cfg.flight_capacity;
         let timeline_capacity = cfg.timeline_capacity;
         let tunables = crate::introspect::Tunables::from_config(&cfg);
+        // A configured credit window of 0 means auto-scale: split the bounce
+        // pool across the peers that can send to us, so even an all-to-all
+        // burst of unexpected eager messages fits in preallocated staging.
+        if cfg.flow_enable && cfg.flow_credits == 0 {
+            let peers = job_size.saturating_sub(1).max(1);
+            let auto = (cfg.flow_bounce_pool / peers)
+                .clamp(2, 16)
+                .min(cfg.flow_bounce_pool.max(1));
+            tunables.set_flow_credits(auto);
+        }
         let reg = crate::regcache::RegCache::new(
             cfg.reg_cache,
             cfg.reg_cache_bytes,
@@ -536,6 +560,19 @@ impl Endpoint {
         self.ectx.mapping_count()
     }
 
+    /// Bounce-pool slots currently staging unexpected payloads (leak checks
+    /// in tests; after [`Endpoint::finalize`] this is zero).
+    pub fn bounce_in_use(&self) -> usize {
+        self.state.lock().bounce_pool.in_use()
+    }
+
+    /// Packets holding or waiting for this node's ejection links at `now`.
+    /// The flow-control pump reads this (never under the state lock) to
+    /// defer credit grants while our receive side is backed up.
+    pub fn ejection_depth(&self, now: Time) -> u64 {
+        self.cluster.fabric().node_ej_queue_now(self.node, now)
+    }
+
     /// Record the PML-handoff timestamp (paper §6.3 instrumentation).
     pub fn instr_mark_rx(&self, now: Time) {
         self.instr.lock().last_rx = Some(now);
@@ -572,6 +609,32 @@ impl Endpoint {
             st.all_requests_done() && st.ctl_inflight.is_empty()
         });
         self.rte.barrier(proc, self.name.job);
+        // A message that was never received (e.g. its receive was aborted)
+        // can still sit unexpected with its payload staged in the bounce
+        // pool: release those stages, then drain the pool — the drain
+        // asserts every slot came back, catching any leak past a
+        // completion or failure path.
+        let (slots, leaked) = {
+            let mut st = self.state.lock();
+            let mut stages: Vec<HostBuf> = Vec::new();
+            for c in st.comms.values_mut() {
+                for f in c.unexpected.iter_mut().chain(c.out_of_order.iter_mut()) {
+                    if let Some(s) = f.stage.take() {
+                        stages.push(s);
+                    }
+                }
+            }
+            let mut leaked = Vec::new();
+            for s in stages {
+                if !st.bounce_pool.release(s) {
+                    leaked.push(s);
+                }
+            }
+            (st.bounce_pool.drain(), leaked)
+        };
+        for b in slots.into_iter().chain(leaked) {
+            self.free(b);
+        }
         // Every request is done, so no mapping is referenced any more:
         // drain the registration cache (charged unmaps) and verify nothing
         // leaked past a completion or failure path.
@@ -642,6 +705,12 @@ fn progress_thread(proc: &Proc, ep: &Arc<Endpoint>, sel: QueueSel) {
                 worked = true;
             }
             if proto::pipe_pump_all(proc, ep) {
+                worked = true;
+            }
+            // Credit-parked sends wake on credit returns dispatched above;
+            // the pump also issues explicit credit-return frames when
+            // piggyback opportunities ran dry.
+            if proto::flow_pump(proc, ep) {
                 worked = true;
             }
         }

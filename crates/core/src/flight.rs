@@ -177,6 +177,8 @@ impl FlightEvent {
             TraceEvent::PipeChunk { .. }
             | TraceEvent::Registered { .. }
             | TraceEvent::CtlDuplicate { .. }
+            | TraceEvent::FlowQueued { .. }
+            | TraceEvent::FlowSent { .. }
             | TraceEvent::SpanBegin { .. }
             | TraceEvent::SpanEnd { .. } => return None,
         })

@@ -39,6 +39,12 @@ pub enum HdrType {
     /// had no route) and names the peer-owned request that will never see
     /// its control frame, so the peer can error it out instead of hanging.
     Nack = 9,
+    /// Explicit flow-control credit grant (`seq` = credits returned). Only
+    /// sent when the receiver is hoarding more than half the peer's credit
+    /// window with no reverse control traffic to piggyback on — normally
+    /// credits ride inside ACK (`seq` high bits) and FIN_ACK (`e4_vpid`)
+    /// frames at zero wire cost.
+    CreditReturn = 10,
 }
 
 impl HdrType {
@@ -54,6 +60,7 @@ impl HdrType {
             7 => HdrType::Completion,
             8 => HdrType::CtlAck,
             9 => HdrType::Nack,
+            10 => HdrType::CreditReturn,
             _ => return None,
         })
     }
@@ -70,6 +77,7 @@ impl HdrType {
             HdrType::Completion => "Completion",
             HdrType::CtlAck => "CtlAck",
             HdrType::Nack => "Nack",
+            HdrType::CreditReturn => "CreditReturn",
         }
     }
 }
@@ -255,6 +263,28 @@ pub fn gid_send_req(gid: u64) -> u64 {
     gid & 0xFF_FFFF_FFFF
 }
 
+/// Flow-control credits piggyback on the ACK's `seq` field, which only
+/// needs its low 16 bits for the inline-payload byte count (the inline
+/// share is at most [`MAX_INLINE`] = 1984 bytes). The high 16 bits carry
+/// the credit grant; [`ack_inline_len`]/[`ack_credits`] split them back
+/// apart. FIN_ACK frames carry credits in `e4_vpid` instead (that field
+/// is unused on a FIN_ACK — the sender already tore down or never made a
+/// remote mapping by the time it arrives).
+pub fn pack_ack_seq(inline_len: u32, credits: u16) -> u32 {
+    debug_assert!(inline_len <= 0xFFFF);
+    (inline_len & 0xFFFF) | ((credits as u32) << 16)
+}
+
+/// The inline-payload byte count packed in an ACK `seq`.
+pub fn ack_inline_len(seq: u32) -> u32 {
+    seq & 0xFFFF
+}
+
+/// The piggybacked credit grant packed in an ACK `seq`.
+pub fn ack_credits(seq: u32) -> u16 {
+    (seq >> 16) as u16
+}
+
 /// Fletcher-16 checksum (the cheap end-to-end integrity check; LA-MPI
 /// heritage — paper §3's reliable-delivery requirement).
 pub fn fletcher16(data: &[u8]) -> u16 {
@@ -350,22 +380,33 @@ mod tests {
 
     #[test]
     fn kind_roundtrip_and_names() {
-        for v in 1u8..=9 {
+        for v in 1u8..=10 {
             let k = HdrType::from_u8(v).unwrap();
             assert_eq!(k as u8, v);
             assert!(!k.name().is_empty());
         }
         assert_eq!(HdrType::from_u8(0), None);
-        assert_eq!(HdrType::from_u8(10), None);
+        assert_eq!(HdrType::from_u8(11), None);
         assert_eq!(HdrType::CtlAck.name(), "CtlAck");
         assert_eq!(HdrType::Nack.name(), "Nack");
+        assert_eq!(HdrType::CreditReturn.name(), "CreditReturn");
+    }
+
+    #[test]
+    fn ack_seq_packs_inline_len_and_credits() {
+        let seq = pack_ack_seq(1984, 7);
+        assert_eq!(ack_inline_len(seq), 1984);
+        assert_eq!(ack_credits(seq), 7);
+        // No credits leaves the legacy encoding untouched.
+        assert_eq!(pack_ack_seq(1024, 0), 1024);
+        assert_eq!(ack_credits(pack_ack_seq(0, u16::MAX)), u16::MAX);
     }
 
     #[cfg(feature = "proptest")]
     proptest! {
         #[test]
         fn roundtrip_random(
-            kind in 1u8..=9,
+            kind in 1u8..=10,
             ctx in any::<u32>(),
             src in any::<u32>(),
             tag in any::<i32>(),

@@ -51,6 +51,11 @@ pub struct Tunables {
     pipeline_chunk: AtomicUsize,
     pipeline_depth: AtomicUsize,
     pipeline_min_len: AtomicUsize,
+    flow_enable: AtomicBool,
+    /// Per-peer eager credit window. Seeded from config; a configured 0
+    /// (auto-scale) is resolved against the job size at endpoint init.
+    flow_credits: AtomicUsize,
+    flow_dma_cap: AtomicUsize,
     timeline_interval_ns: AtomicU64,
     /// Virtual time of the last timeline sample; `u64::MAX` = never sampled,
     /// so the first due check fires immediately once sampling is enabled.
@@ -78,6 +83,9 @@ impl Tunables {
             pipeline_chunk: AtomicUsize::new(cfg.pipeline_chunk),
             pipeline_depth: AtomicUsize::new(cfg.pipeline_depth),
             pipeline_min_len: AtomicUsize::new(cfg.pipeline_min_len),
+            flow_enable: AtomicBool::new(cfg.flow_enable),
+            flow_credits: AtomicUsize::new(cfg.flow_credits),
+            flow_dma_cap: AtomicUsize::new(cfg.flow_dma_cap),
             timeline_interval_ns: AtomicU64::new(cfg.timeline_interval.as_ns()),
             timeline_last_ns: AtomicU64::new(u64::MAX),
             ticks: AtomicU64::new(0),
@@ -102,6 +110,27 @@ impl Tunables {
     /// Elan shares below this stay on the monolithic single-RDMA path.
     pub fn pipeline_min_len(&self) -> usize {
         self.pipeline_min_len.load(Ordering::Relaxed)
+    }
+
+    /// Is end-to-end injection flow control enabled right now?
+    pub fn flow_enable(&self) -> bool {
+        self.flow_enable.load(Ordering::Relaxed)
+    }
+
+    /// Per-peer eager credit window (resolved; never 0 once the endpoint
+    /// has initialized with flow control on).
+    pub fn flow_credits(&self) -> usize {
+        self.flow_credits.load(Ordering::Relaxed)
+    }
+
+    /// Resolve the auto-scaled credit window at endpoint init.
+    pub(crate) fn set_flow_credits(&self, v: usize) {
+        self.flow_credits.store(v, Ordering::Relaxed);
+    }
+
+    /// Endpoint-wide outstanding-DMA descriptor cap; 0 = uncapped.
+    pub fn flow_dma_cap(&self) -> usize {
+        self.flow_dma_cap.load(Ordering::Relaxed)
     }
 
     /// Virtual-time gap between timeline samples; 0 = sampler off.
@@ -361,6 +390,26 @@ pub const CVARS: &[CvarDef] = &[
         writable: true,
     },
     CvarDef {
+        name: "flow.enable",
+        desc: "end-to-end injection flow control: per-peer eager credits + DMA cap",
+        writable: true,
+    },
+    CvarDef {
+        name: "flow.credits",
+        desc: "per-peer eager credit window (config 0 auto-scales to the job size at init)",
+        writable: true,
+    },
+    CvarDef {
+        name: "flow.dma_cap",
+        desc: "endpoint-wide outstanding RDMA descriptor cap; 0 = uncapped",
+        writable: true,
+    },
+    CvarDef {
+        name: "flow.bounce_pool",
+        desc: "preallocated bounce-buffer pool slots for unexpected-message staging",
+        writable: false,
+    },
+    CvarDef {
         name: "timeline.interval_ns",
         desc: "virtual-time gap between time-series telemetry samples; 0 disables",
         writable: true,
@@ -427,6 +476,10 @@ pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
         "pipe.chunk" => CvarValue::U64(ep.tunables.pipeline_chunk() as u64),
         "pipe.depth" => CvarValue::U64(ep.tunables.pipeline_depth() as u64),
         "pipe.min_len" => CvarValue::U64(ep.tunables.pipeline_min_len() as u64),
+        "flow.enable" => CvarValue::Bool(ep.tunables.flow_enable()),
+        "flow.credits" => CvarValue::U64(ep.tunables.flow_credits() as u64),
+        "flow.dma_cap" => CvarValue::U64(ep.tunables.flow_dma_cap() as u64),
+        "flow.bounce_pool" => CvarValue::U64(ep.cfg.flow_bounce_pool as u64),
         "timeline.interval_ns" => CvarValue::U64(ep.tunables.timeline_interval_ns()),
         "timeline.capacity" => CvarValue::U64(ep.cfg.timeline_capacity as u64),
         _ => return None,
@@ -541,6 +594,31 @@ pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), Str
                 .store(v as usize, Ordering::Relaxed);
             Ok(())
         }
+        ("flow.enable", CvarValue::Bool(b)) => {
+            ep.tunables.flow_enable.store(b, Ordering::Relaxed);
+            Ok(())
+        }
+        ("flow.credits", CvarValue::U64(v)) => {
+            if v == 0 {
+                return Err("flow.credits must be >= 1 (0 auto-scales at init only)".to_string());
+            }
+            if v as usize > ep.cfg.flow_bounce_pool {
+                return Err(format!(
+                    "flow.credits {v} exceeds the bounce pool ({} slots)",
+                    ep.cfg.flow_bounce_pool
+                ));
+            }
+            ep.tunables
+                .flow_credits
+                .store(v as usize, Ordering::Relaxed);
+            Ok(())
+        }
+        ("flow.dma_cap", CvarValue::U64(v)) => {
+            ep.tunables
+                .flow_dma_cap
+                .store(v as usize, Ordering::Relaxed);
+            Ok(())
+        }
         ("timeline.interval_ns", CvarValue::U64(v)) => {
             ep.tunables.timeline_interval_ns.store(v, Ordering::Relaxed);
             Ok(())
@@ -612,6 +690,10 @@ pub fn cvar_default(name: &str) -> Option<CvarValue> {
         "pipe.chunk" => CvarValue::U64(d.pipeline_chunk as u64),
         "pipe.depth" => CvarValue::U64(d.pipeline_depth as u64),
         "pipe.min_len" => CvarValue::U64(d.pipeline_min_len as u64),
+        "flow.enable" => CvarValue::Bool(d.flow_enable),
+        "flow.credits" => CvarValue::U64(d.flow_credits as u64),
+        "flow.dma_cap" => CvarValue::U64(d.flow_dma_cap as u64),
+        "flow.bounce_pool" => CvarValue::U64(d.flow_bounce_pool as u64),
         "timeline.interval_ns" => CvarValue::U64(d.timeline_interval.as_ns()),
         "timeline.capacity" => CvarValue::U64(d.timeline_capacity as u64),
         _ => return None,
@@ -743,6 +825,16 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
         vars.push(("queues.failed_peers".into(), st.failed_peers.len() as u64));
         vars.push(("queues.pipelines_live".into(), st.pipelines.len() as u64));
         vars.push(("queues.tcp_pushes_live".into(), st.tcp_pushes.len() as u64));
+        let credits_avail: usize = st.flow.values().map(|fp| fp.credits).sum();
+        let pending_ret: usize = st.flow.values().map(|fp| fp.pending_return).sum();
+        vars.push(("queues.flow_queued".into(), st.flow_queued_total() as u64));
+        vars.push(("flow.credits_available".into(), credits_avail as u64));
+        vars.push(("flow.pending_return".into(), pending_ret as u64));
+        vars.push(("flow.pool_in_use".into(), st.bounce_pool.in_use() as u64));
+        vars.push((
+            "flow.pool_capacity".into(),
+            st.bounce_pool.capacity() as u64,
+        ));
     }
 
     // Telemetry counters: read from Metrics, never a second tally.
@@ -776,6 +868,16 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
             ("pipe.chunks_landed", c.pipe_chunks_landed),
             ("pipe.depth_hwm", c.pipe_depth_hwm),
             ("pipe.reg_overlap_ns", c.pipe_reg_overlap_ns),
+            ("flow.sends_queued", c.flow_sends_queued),
+            ("flow.queued_ns", c.flow_queued_ns),
+            ("flow.credits_consumed", c.flow_credits_consumed),
+            ("flow.credits_returned", c.flow_credits_returned),
+            ("flow.credit_frames", c.flow_credit_frames),
+            ("flow.piggybacked", c.flow_piggybacked),
+            ("flow.grant_deferrals", c.flow_grant_deferrals),
+            ("flow.dma_waits", c.flow_dma_waits),
+            ("flow.pool_hits", c.flow_pool_hits),
+            ("flow.pool_fallbacks", c.flow_pool_fallbacks),
         ] {
             vars.push((name.to_string(), v));
         }

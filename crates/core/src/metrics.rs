@@ -67,7 +67,7 @@ impl CollOp {
 }
 
 /// Control-message kinds tallied by [`Counters::control_sent`].
-pub const CONTROL_KINDS: [&str; 4] = ["ack", "fin", "fin_ack", "completion"];
+pub const CONTROL_KINDS: [&str; 5] = ["ack", "fin", "fin_ack", "completion", "credit"];
 
 /// Behavioural counters for one endpoint.
 #[derive(Clone, Debug, Default)]
@@ -96,9 +96,9 @@ pub struct Counters {
     pub frags_sent: u64,
     /// Chained-QDMA completion tokens observed on the shared queue.
     pub chained_completions: u64,
-    /// Control messages by kind: `[ack, fin, fin_ack, completion]`,
+    /// Control messages by kind: `[ack, fin, fin_ack, completion, credit]`,
     /// indexed as [`CONTROL_KINDS`]. Includes NIC-fired chained messages.
-    pub control_sent: [u64; 4],
+    pub control_sent: [u64; 5],
     /// Progress-engine sweeps (polling passes and progress-thread loops).
     pub progress_iterations: u64,
     /// Control frames retransmitted after a reliability timeout.
@@ -146,6 +146,28 @@ pub struct Counters {
     /// Registration time charged while at least one chunk of the same
     /// pipeline was in flight — pin-down latency hidden behind the wire.
     pub pipe_reg_overlap_ns: u64,
+    /// Eager sends parked locally because the peer was out of credits.
+    pub flow_sends_queued: u64,
+    /// Total virtual time sends spent parked in flow queues.
+    pub flow_queued_ns: u64,
+    /// Credits consumed by local eager sends.
+    pub flow_credits_consumed: u64,
+    /// Credits received back from peers (piggybacked + explicit).
+    pub flow_credits_returned: u64,
+    /// Explicit CREDIT_RETURN frames sent (the starvation escape hatch).
+    pub flow_credit_frames: u64,
+    /// Credits that rode along on ACK/FIN_ACK frames at zero wire cost.
+    pub flow_piggybacked: u64,
+    /// Credit grants deferred because the local ejection-link queue was
+    /// above `flow.ej_backoff` (fabric feedback into the credit loop).
+    pub flow_grant_deferrals: u64,
+    /// Sends that blocked on the endpoint-wide outstanding-DMA cap.
+    pub flow_dma_waits: u64,
+    /// Unexpected payloads staged in a preallocated bounce-pool slot.
+    pub flow_pool_hits: u64,
+    /// Unexpected payloads that fell back to a charged per-message
+    /// allocation because the pool was dry (or the region oversize).
+    pub flow_pool_fallbacks: u64,
     /// Collective operations entered, indexed as [`COLL_OPS`].
     pub coll: [u64; 13],
 }
@@ -355,6 +377,11 @@ impl Metrics {
              \"pipe_started\":{},\"pipe_fallback\":{},\
              \"pipe_chunks_issued\":{},\"pipe_chunks_landed\":{},\
              \"pipe_depth_hwm\":{},\"pipe_reg_overlap_ns\":{},\
+             \"flow_sends_queued\":{},\"flow_queued_ns\":{},\
+             \"flow_credits_consumed\":{},\"flow_credits_returned\":{},\
+             \"flow_credit_frames\":{},\"flow_piggybacked\":{},\
+             \"flow_grant_deferrals\":{},\"flow_dma_waits\":{},\
+             \"flow_pool_hits\":{},\"flow_pool_fallbacks\":{},\
              \"coll\":{{{}}}}},\
              \"histograms\":{{\"match_time\":{},\"rndv_handshake\":{},\"completion_time\":{}}}}}",
             c.eager_sent,
@@ -388,6 +415,16 @@ impl Metrics {
             c.pipe_chunks_landed,
             c.pipe_depth_hwm,
             c.pipe_reg_overlap_ns,
+            c.flow_sends_queued,
+            c.flow_queued_ns,
+            c.flow_credits_consumed,
+            c.flow_credits_returned,
+            c.flow_credit_frames,
+            c.flow_piggybacked,
+            c.flow_grant_deferrals,
+            c.flow_dma_waits,
+            c.flow_pool_hits,
+            c.flow_pool_fallbacks,
             coll.join(","),
             self.match_time.to_json(),
             self.rndv_handshake.to_json(),
@@ -513,6 +550,11 @@ mod tests {
         m.counters.pipe_started = 2;
         m.counters.pipe_chunks_issued = 9;
         m.counters.pipe_depth(3);
+        m.counters.control(4);
+        m.counters.flow_sends_queued = 5;
+        m.counters.flow_credits_consumed = 12;
+        m.counters.flow_piggybacked = 6;
+        m.counters.flow_pool_hits = 11;
         m.match_time.record(Dur::from_ns(300));
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -536,6 +578,17 @@ mod tests {
         assert!(j.contains("\"pipe_chunks_landed\":0"));
         assert!(j.contains("\"pipe_depth_hwm\":3"));
         assert!(j.contains("\"pipe_reg_overlap_ns\":0"));
+        assert!(j.contains("\"credit\":1"));
+        assert!(j.contains("\"flow_sends_queued\":5"));
+        assert!(j.contains("\"flow_queued_ns\":0"));
+        assert!(j.contains("\"flow_credits_consumed\":12"));
+        assert!(j.contains("\"flow_credits_returned\":0"));
+        assert!(j.contains("\"flow_credit_frames\":0"));
+        assert!(j.contains("\"flow_piggybacked\":6"));
+        assert!(j.contains("\"flow_grant_deferrals\":0"));
+        assert!(j.contains("\"flow_dma_waits\":0"));
+        assert!(j.contains("\"flow_pool_hits\":11"));
+        assert!(j.contains("\"flow_pool_fallbacks\":0"));
         assert!(j.contains("\"match_time\":{\"count\":1"));
     }
 }

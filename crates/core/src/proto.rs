@@ -19,7 +19,7 @@ use crate::endpoint::Endpoint;
 use crate::hdr::{Hdr, HdrType, MAX_INLINE};
 use crate::state::{
     DmaRole, EpState, InflightCtl, MatchInfo, MpiErrClass, PendingDma, PipeChunk, PipeState,
-    RecvReq, SendReq, TcpPush, UnexpectedFrag,
+    QueuedSend, RecvReq, SendReq, TcpPush, UnexpectedFrag,
 };
 
 /// Payload room in one TCP frame after the 64-byte header.
@@ -89,14 +89,19 @@ pub fn post_send_mode(
     let dst = comm.group[dst_rank];
     ensure_peer(proc, ep, dst);
 
-    let (id, seq, peer, peer_failed) = {
+    let (id, seq, peer, peer_failed, stale_comm) = {
         let mut st = ep.state.lock();
         let id = st.alloc_req_id();
-        let c = st.comms.get_mut(&comm.ctx).expect("unknown communicator");
-        let seq = c.alloc_send_seq(dst_rank as u32);
+        // A stale communicator handle degrades the request instead of
+        // aborting the rank (the seq is then meaningless, but so is the
+        // send).
+        let (seq, stale_comm) = match st.comms.get_mut(&comm.ctx) {
+            Some(c) => (c.alloc_send_seq(dst_rank as u32), false),
+            None => (0, true),
+        };
         let peer = st.peers[&dst].clone();
         let peer_failed = st.failed_peers.contains(&dst);
-        (id, seq, peer, peer_failed)
+        (id, seq, peer, peer_failed, stale_comm)
     };
     // The globally unique message id: derived, not carried on the wire —
     // the first fragment already identifies (sender, send_req), and control
@@ -108,13 +113,15 @@ pub fn post_send_mode(
     // immediately with an error status instead of panicking the rank. The
     // ordering seq allocated above leaves a gap, which is harmless — no
     // frame from us can reach that peer anyway.
-    let route = if peer_failed {
+    let route = if peer_failed || stale_comm {
         None
     } else {
         first_route(ep, &peer)
     };
     let Some(route) = route else {
-        let err = if peer_failed {
+        let err = if stale_comm {
+            MpiErrClass::Internal
+        } else if peer_failed {
             MpiErrClass::ProcFailed
         } else {
             MpiErrClass::NoTransport
@@ -195,7 +202,47 @@ pub fn post_send_mode(
         let payload = read_packed(ep, &buf, &conv, None, 0, msg_len);
         charge_pack(proc, ep, payload.len());
         proc.advance(host.hdr_build);
-        send_frame(proc, ep, &peer, route, hdr, payload);
+        // End-to-end flow control: an eager send consumes one credit from
+        // the peer's window; with the window exhausted (or older sends
+        // already waiting — FIFO per peer) the frame parks locally until
+        // credits return, instead of flooding the peer's receive queue.
+        // Self-sends loop back without touching the fabric and are exempt.
+        let parked = if ep.tunables.flow_enable() && dst != ep.name {
+            let init = ep.tunables.flow_credits();
+            let mut st = ep.state.lock();
+            let fp = st.flow_entry(dst, init);
+            if fp.credits == 0 || !fp.queued.is_empty() {
+                fp.queued.push_back(QueuedSend {
+                    sid: id,
+                    gid,
+                    hdr: hdr.clone(),
+                    payload: payload.clone(),
+                    queued_at: proc.now(),
+                });
+                true
+            } else {
+                fp.credits -= 1;
+                fp.consumed += 1;
+                false
+            }
+        } else {
+            false
+        };
+        if parked {
+            ep.metric(|m| {
+                m.counters.flow_sends_queued += 1;
+                m.counters.eager_sent += 1;
+            });
+            ep.trace(
+                proc.now(),
+                crate::trace::TraceEvent::FlowQueued { req: id, gid },
+            );
+        } else {
+            if ep.tunables.flow_enable() && dst != ep.name {
+                ep.metric(|m| m.counters.flow_credits_consumed += 1);
+            }
+            send_frame(proc, ep, &peer, route, hdr, payload);
+        }
         let mut st = ep.state.lock();
         st.send_reqs.insert(
             id,
@@ -211,23 +258,37 @@ pub fn post_send_mode(
                 src_e4: None,
                 src_region: buf,
                 bounce: None,
-                bytes_confirmed: msg_len,
-                done: true,
+                bytes_confirmed: if parked { 0 } else { msg_len },
+                done: !parked,
                 posted_at,
                 rndv_acked: false,
                 error: None,
             },
         );
         drop(st);
-        ep.metric(|m| {
-            m.counters.eager_sent += 1;
-            m.completion_time
-                .record(proc.now().saturating_sub(posted_at));
-        });
+        if !parked {
+            ep.metric(|m| {
+                m.counters.eager_sent += 1;
+                m.completion_time
+                    .record(proc.now().saturating_sub(posted_at));
+            });
+        }
         return Request {
             id,
             kind: ReqKind::Send,
         };
+    }
+    // The endpoint-wide outstanding-DMA cap (the GASNet elan-conduit
+    // NETWORKDEPTH throttle): a rendezvous post waits for descriptor room
+    // before adding more. Only the application thread blocks here — the
+    // progress path enforces the same cap inside the chunk engine.
+    let dma_cap = ep.tunables.flow_dma_cap();
+    if ep.tunables.flow_enable() && dma_cap > 0 {
+        let needs_wait = ep.state.lock().pending_dmas.len() >= dma_cap;
+        if needs_wait {
+            ep.wait_until(proc, |st| st.pending_dmas.len() < dma_cap);
+            ep.metric(|m| m.counters.flow_dma_waits += 1);
+        }
     }
 
     // Rendezvous: expose the packed source region for RDMA (paper §4.2 —
@@ -235,7 +296,7 @@ pub fn post_send_mode(
     let bounce = if conv.is_contiguous() || msg_len == 0 {
         None
     } else {
-        let b = ep.alloc(msg_len.max(1));
+        let b = flow_bounce_alloc(proc, ep, msg_len.max(1), false);
         let span = ep.read_buf(&buf, 0, conv.span());
         let packed = conv.pack(&span);
         ep.write_buf(&b, 0, &packed);
@@ -350,9 +411,9 @@ pub fn post_recv(
     let bounce = if conv.is_contiguous() || cap == 0 {
         None
     } else {
-        Some(ep.alloc(cap.max(1)))
+        Some(flow_bounce_alloc(proc, ep, cap.max(1), false))
     };
-    let (id, hit) = {
+    let (id, hit, stale_comm) = {
         let mut st = ep.state.lock();
         let id = st.alloc_req_id();
         st.recv_reqs.insert(
@@ -375,19 +436,23 @@ pub fn post_recv(
         );
         // Check the unexpected queue before exposing the request.
         let hit = st.match_unexpected(comm.ctx, src, tag);
+        let mut stale_comm = false;
         if hit.is_none() {
-            st.comms
-                .get_mut(&comm.ctx)
-                .expect("unknown communicator")
-                .posted
-                .push(id);
+            // A stale communicator handle degrades the request instead of
+            // aborting the rank.
+            match st.comms.get_mut(&comm.ctx) {
+                Some(c) => c.posted.push(id),
+                None => stale_comm = true,
+            }
         }
-        (id, hit)
+        (id, hit, stale_comm)
     };
     proc.advance(host.pml_match);
     ep.metric(|m| m.counters.recvs_posted += 1);
     ep.trace(proc.now(), crate::trace::TraceEvent::RecvPosted { req: id });
-    if let Some(frag) = hit {
+    if stale_comm {
+        fail_request(proc, ep, ReqKind::Recv, id, MpiErrClass::Internal);
+    } else if let Some(frag) = hit {
         matched(proc, ep, id, frag);
     }
     Request {
@@ -416,13 +481,19 @@ pub fn post_bcast_eager(
 
     let targets: Vec<(Vpid, elan4::QueueId, Vec<u8>)> = {
         let mut st = ep.state.lock();
+        if !st.comms.contains_key(&comm.ctx) {
+            // Stale communicator handle: nothing to broadcast into.
+            return;
+        }
         let members: Vec<ProcName> = comm.group.clone();
         let mut out = Vec::with_capacity(members.len() - 1);
         for (rank, who) in members.iter().enumerate() {
             if rank == comm.my_rank {
                 continue;
             }
-            let c = st.comms.get_mut(&comm.ctx).expect("unknown communicator");
+            let Some(c) = st.comms.get_mut(&comm.ctx) else {
+                break;
+            };
             let seq = c.alloc_send_seq(rank as u32);
             let mut hdr = Hdr::new(HdrType::Eager);
             hdr.ctx = comm.ctx;
@@ -586,6 +657,11 @@ pub fn progress_pass(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
     if pipe_pump_all(proc, ep) {
         any = true;
     }
+    // Flow control: drain credit-starved send queues and flush hoarded
+    // credit returns.
+    if flow_pump(proc, ep) {
+        any = true;
+    }
     any
 }
 
@@ -657,7 +733,21 @@ pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
         }
         HdrType::Ack => handle_ack(proc, ep, hdr),
         HdrType::Fin => credit_recv(proc, ep, hdr.recv_req, hdr.offset as usize),
-        HdrType::FinAck => credit_send(proc, ep, hdr.send_req, hdr.offset as usize),
+        HdrType::FinAck => {
+            // Piggybacked flow credits ride in `e4_vpid` (unused on a
+            // FIN_ACK); hand them back before the byte credit completes
+            // (and possibly reaps) the send.
+            if hdr.e4_vpid > 0 {
+                let peer = {
+                    let st = ep.state.lock();
+                    st.send_reqs.get(&hdr.send_req).map(|r| r.dst)
+                };
+                if let Some(peer) = peer {
+                    flow_credits_in(proc, ep, peer, hdr.e4_vpid as usize, true);
+                }
+            }
+            credit_send(proc, ep, hdr.send_req, hdr.offset as usize)
+        }
         HdrType::Frag => handle_frag(proc, ep, hdr, payload),
         HdrType::Completion => {
             ep.metric(|m| m.counters.chained_completions += 1);
@@ -676,6 +766,16 @@ pub fn dispatch(proc: &Proc, ep: &Arc<Endpoint>, frame: Vec<u8>) {
         }
         HdrType::CtlAck => handle_ctl_ack(proc, ep, hdr),
         HdrType::Nack => handle_nack(proc, ep, hdr),
+        HdrType::CreditReturn => {
+            // Explicit credit grant: `seq` carries the count, ctx/src_rank
+            // the granting peer (same encoding the reliability layer
+            // stamps, so both routes agree).
+            let origin = ProcName {
+                job: ompi_rte::JobId(hdr.ctx),
+                rank: hdr.src_rank as usize,
+            };
+            flow_credits_in(proc, ep, origin, hdr.seq as usize, false);
+        }
     }
 }
 
@@ -684,6 +784,7 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
     proc.advance(ep.cfg.host.pml_match);
     let ctx = hdr.ctx;
     let mut work: Vec<(u64, UnexpectedFrag)> = Vec::new();
+    let mut stage_fallbacks = 0usize;
     {
         let mut st = ep.state.lock();
         if !st.comms.contains_key(&ctx) {
@@ -692,7 +793,11 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
             st.early_frames.push((hdr, payload));
             return;
         }
-        let comm = st.comms.get_mut(&ctx).unwrap();
+        // Re-checked under the same lock hold, but routed through let-else
+        // so a torn-down communicator degrades instead of aborting.
+        let Some(comm) = st.comms.get_mut(&ctx) else {
+            return;
+        };
         let from = comm.group[hdr.src_rank as usize];
         let now = proc.now();
         if !comm.is_in_order(&hdr) {
@@ -700,6 +805,7 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
             comm.out_of_order.push(UnexpectedFrag {
                 hdr,
                 payload,
+                stage: None,
                 from,
                 ptl: 0,
                 arrival: stamp,
@@ -716,22 +822,30 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
             UnexpectedFrag {
                 hdr,
                 payload,
+                stage: None,
                 from,
                 ptl: 0,
                 arrival: stamp,
                 arrived_at: now,
             },
             &mut work,
+            &mut stage_fallbacks,
         );
         // Earlier out-of-order arrivals may now be in sequence.
-        loop {
-            let comm = st.comms.get_mut(&ctx).unwrap();
+        while let Some(comm) = st.comms.get_mut(&ctx) {
             let Some(next) = comm.take_ready_out_of_order() else {
                 break;
             };
             comm.advance_recv_seq(next.hdr.src_rank);
-            queue_or_match(&mut st, ep, now, next, &mut work);
+            queue_or_match(&mut st, ep, now, next, &mut work, &mut stage_fallbacks);
         }
+    }
+    // Pool-miss penalty, charged outside the state lock: each fallback is
+    // a per-message bounce allocation (+ first touch) on the critical
+    // receive path — exactly the cost the preallocated pool exists to
+    // avoid (GASNet elan-conduit heritage).
+    for _ in 0..stage_fallbacks {
+        proc.advance(ep.cfg.host.bounce_alloc);
     }
     for (rid, frag) in work {
         matched(proc, ep, rid, frag);
@@ -739,12 +853,17 @@ pub(crate) fn handle_match_frame(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr, payl
 }
 
 /// Try to match `frag` against posted receives; park it if nothing matches.
+/// A parked payload is staged into a bounce region — a preallocated pool
+/// slot when one is free (the common, cheap case), otherwise a per-message
+/// fallback whose allocation cost the caller charges once per increment of
+/// `stage_fallbacks` (charging cannot happen here: the state lock is held).
 fn queue_or_match(
     st: &mut EpState,
     ep: &Arc<Endpoint>,
     now: qsim::Time,
-    frag: UnexpectedFrag,
+    mut frag: UnexpectedFrag,
     work: &mut Vec<(u64, UnexpectedFrag)>,
+    stage_fallbacks: &mut usize,
 ) {
     match st.match_posted(frag.hdr.ctx, &frag.hdr) {
         Some(rid) => work.push((rid, frag)),
@@ -756,8 +875,27 @@ fn queue_or_match(
                     tag: frag.hdr.tag,
                 },
             );
+            if !frag.payload.is_empty() && frag.stage.is_none() {
+                match st.bounce_pool.acquire(frag.payload.len()) {
+                    Some(slot) => {
+                        frag.stage = Some(slot);
+                        ep.metric(|m| m.counters.flow_pool_hits += 1);
+                    }
+                    None => {
+                        *stage_fallbacks += 1;
+                        ep.metric(|m| m.counters.flow_pool_fallbacks += 1);
+                    }
+                }
+            }
             let ctx = frag.hdr.ctx;
-            let comm = st.comms.get_mut(&ctx).unwrap();
+            let Some(comm) = st.comms.get_mut(&ctx) else {
+                // Communicator torn down mid-dispatch: drop the fragment,
+                // returning its stage to the pool.
+                if let Some(slot) = frag.stage.take() {
+                    st.bounce_pool.release(slot);
+                }
+                return;
+            };
             comm.unexpected.push(frag);
             let depth = comm.unexpected.len();
             ep.metric(|m| {
@@ -786,7 +924,18 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     // Record the match and copy the inline bytes.
     let recv_posted_at = {
         let mut st = ep.state.lock();
-        let r = st.recv_reqs.get_mut(&rid).expect("matched a reaped recv");
+        let Some(r) = st.recv_reqs.get_mut(&rid) else {
+            // The receive was failed or reaped between match and delivery:
+            // nothing to land into. Return any staging slot; the sender's
+            // request is cleaned up by its own completion or failure path.
+            if let Some(slot) = frag.stage {
+                if !st.bounce_pool.release(slot) {
+                    drop(st);
+                    ep.free(slot);
+                }
+            }
+            return;
+        };
         assert!(
             msg_len <= r.conv.packed_len(),
             "message truncation: incoming {} bytes into a {}-byte receive",
@@ -825,18 +974,29 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     if inline_len > 0 {
         {
             let st = ep.state.lock();
-            write_packed(ep, &st.recv_reqs[&rid], 0, &frag.payload);
+            if let Some(r) = st.recv_reqs.get(&rid) {
+                write_packed(ep, r, 0, &frag.payload);
+            }
         }
         charge_unpack(proc, ep, inline_len);
-        ep.state
-            .lock()
-            .recv_reqs
-            .get_mut(&rid)
-            .unwrap()
-            .bytes_received += inline_len;
+        if let Some(r) = ep.state.lock().recv_reqs.get_mut(&rid) {
+            r.bytes_received += inline_len;
+        }
+    }
+    // Delivery: the payload now lives in the application buffer, so the
+    // staging slot is reusable.
+    if let Some(slot) = frag.stage {
+        flow_bounce_free(ep, slot);
     }
 
     if hdr.kind == HdrType::Eager {
+        // End-to-end crediting happens at *delivery*, not arrival: only a
+        // matched-and-copied message has truly vacated its receiver-side
+        // buffering. The credit rides the next control frame toward the
+        // sender, or an explicit return once enough accumulate.
+        if ep.tunables.flow_enable() && hdr.send_req != 0 && frag.from != ep.name {
+            flow_note_delivered(ep, frag.from);
+        }
         maybe_complete_recv(proc, ep, rid);
         return;
     }
@@ -874,10 +1034,15 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
     let dst_e4 = if remainder > 0
         && ((pull_elan && !pipe_read) || (ep.cfg.scheme == RdmaScheme::Write && elan_share > 0))
     {
-        let (have, region, cacheable) = {
+        let info = {
             let st = ep.state.lock();
-            let r = st.recv_reqs.get(&rid).unwrap();
-            (r.dst_e4, r.bounce.unwrap_or(r.buf), r.bounce.is_none())
+            st.recv_reqs
+                .get(&rid)
+                .map(|r| (r.dst_e4, r.bounce.unwrap_or(r.buf), r.bounce.is_none()))
+        };
+        let Some((have, region, cacheable)) = info else {
+            // Failed while the match was in flight.
+            return;
         };
         let e4 = match have {
             Some(e4) => e4,
@@ -968,7 +1133,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                             inline_len,
                             elan_share,
                             cacheable,
-                            make_fin_ack(hdr.send_req, credit),
+                            fin_ack_with_credits(ep, frag.from, hdr.send_req, credit),
                         );
                     }
                 } else {
@@ -989,7 +1154,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                             bytes: elan_share,
                             fin_ack: None,
                         },
-                        make_fin_ack(hdr.send_req, credit),
+                        fin_ack_with_credits(ep, frag.from, hdr.send_req, credit),
                     );
                     ep.metric(|m| m.counters.rdma_read_batches += 1);
                 }
@@ -1003,7 +1168,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                     ep,
                     &peer,
                     route,
-                    make_fin_ack(hdr.send_req, inline_len),
+                    fin_ack_with_credits(ep, frag.from, hdr.send_req, inline_len),
                     Vec::new(),
                 );
                 ep.trace(
@@ -1022,6 +1187,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
                 ack.recv_req = rid;
                 ack.offset = (inline_len + elan_share) as u64;
                 ack.msg_len = tcp_share as u64;
+                stamp_ack_credits(ep, frag.from, &mut ack);
                 proc.advance(ep.cfg.host.hdr_build);
                 send_frame(proc, ep, &peer, Route::Tcp, ack, Vec::new());
             }
@@ -1036,6 +1202,7 @@ fn matched(proc: &Proc, ep: &Arc<Endpoint>, rid: u64, frag: UnexpectedFrag) {
             ack.offset = inline_len as u64;
             ack.msg_len = remainder as u64;
             ack.seq = inline_len as u32;
+            stamp_ack_credits(ep, frag.from, &mut ack);
             if let Some(e4) = dst_e4 {
                 ack.e4_va = e4.value();
                 ack.e4_vpid = e4.owner().raw();
@@ -1067,7 +1234,10 @@ fn ctx_of(ep: &Arc<Endpoint>, rid: u64) -> u32 {
 fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
     let host = ep.cfg.host.clone();
     let sid = hdr.send_req;
-    let credit = hdr.seq as usize;
+    // `seq` packs the inline-byte credit in its low half and piggybacked
+    // flow-control credits in its high half.
+    let credit = crate::hdr::ack_inline_len(hdr.seq) as usize;
+    let piggyback = crate::hdr::ack_credits(hdr.seq);
     let range_start = hdr.offset as usize;
     let range_len = hdr.msg_len as usize;
 
@@ -1091,6 +1261,9 @@ fn handle_ack(proc: &Proc, ep: &Arc<Endpoint>, hdr: Hdr) {
         return;
     };
     first_receiver_contact(proc, ep, sid);
+    if piggyback > 0 {
+        flow_credits_in(proc, ep, peer.name, piggyback as usize, true);
+    }
 
     if range_start + range_len > msg_len {
         // A protocol invariant broke: the ACK describes a transfer range
@@ -1422,32 +1595,42 @@ fn maybe_complete_recv(proc: &Proc, ep: &Arc<Endpoint>, rid: u64) {
     // Unpack the bounce buffer for non-contiguous receives.
     let unpack = {
         let st = ep.state.lock();
-        let r = &st.recv_reqs[&rid];
-        r.bounce.map(|b| (b, r.matched.as_ref().unwrap().msg_len))
+        st.recv_reqs.get(&rid).and_then(|r| {
+            r.bounce
+                .map(|b| (b, r.matched.as_ref().map(|m| m.msg_len).unwrap_or(0)))
+        })
     };
     if let Some((bounce, msg_len)) = unpack {
-        let (packed, conv, buf) = {
+        let pieces = {
             let st = ep.state.lock();
-            let r = &st.recv_reqs[&rid];
-            (ep.read_buf(&bounce, 0, msg_len), r.conv.clone(), r.buf)
+            st.recv_reqs
+                .get(&rid)
+                .map(|r| (ep.read_buf(&bounce, 0, msg_len), r.conv.clone(), r.buf))
         };
-        let mut span = ep.read_buf(&buf, 0, conv.span());
-        conv.unpack_range(&packed, 0, &mut span);
-        ep.write_buf(&buf, 0, &span);
-        proc.advance(ep.cfg.copy.convertor(&conv, msg_len));
+        if let Some((packed, conv, buf)) = pieces {
+            let mut span = ep.read_buf(&buf, 0, conv.span());
+            conv.unpack_range(&packed, 0, &mut span);
+            ep.write_buf(&buf, 0, &span);
+            proc.advance(ep.cfg.copy.convertor(&conv, msg_len));
+        }
     }
-    let (e4, bounce, buf, posted_at, gid) = {
+    let finished = {
         let mut st = ep.state.lock();
-        let r = st.recv_reqs.get_mut(&rid).unwrap();
-        r.done = true;
-        let gid = r.matched.as_ref().map(|m| m.gid).unwrap_or(0);
-        (r.dst_e4.take(), r.bounce.take(), r.buf, r.posted_at, gid)
+        st.recv_reqs.get_mut(&rid).map(|r| {
+            r.done = true;
+            let gid = r.matched.as_ref().map(|m| m.gid).unwrap_or(0);
+            (r.dst_e4.take(), r.bounce.take(), r.buf, r.posted_at, gid)
+        })
+    };
+    let Some((e4, bounce, buf, posted_at, gid)) = finished else {
+        // Reaped concurrently (e.g. raced with a failure path).
+        return;
     };
     if let Some(e4) = e4 {
         crate::regcache::release(proc, ep, &bounce.unwrap_or(buf), e4);
     }
     if let Some(b) = bounce {
-        ep.free(b);
+        flow_bounce_free(ep, b);
     }
     proc.advance(ep.cfg.host.req_bookkeep);
     ep.metric(|m| {
@@ -1476,23 +1659,28 @@ fn maybe_complete_send(proc: &Proc, ep: &Arc<Endpoint>, sid: u64) {
     if !finish {
         return;
     }
-    let (e4, region, bounce, posted_at, gid) = {
+    let finished = {
         let mut st = ep.state.lock();
-        let r = st.send_reqs.get_mut(&sid).unwrap();
-        r.done = true;
-        (
-            r.src_e4.take(),
-            r.src_region,
-            r.bounce.take(),
-            r.posted_at,
-            r.gid,
-        )
+        st.send_reqs.get_mut(&sid).map(|r| {
+            r.done = true;
+            (
+                r.src_e4.take(),
+                r.src_region,
+                r.bounce.take(),
+                r.posted_at,
+                r.gid,
+            )
+        })
+    };
+    let Some((e4, region, bounce, posted_at, gid)) = finished else {
+        // Reaped concurrently (e.g. raced with a failure path).
+        return;
     };
     if let Some(e4) = e4 {
         crate::regcache::release(proc, ep, &region, e4);
     }
     if let Some(b) = bounce {
-        ep.free(b);
+        flow_bounce_free(ep, b);
     }
     proc.advance(ep.cfg.host.req_bookkeep);
     ep.metric(|m| {
@@ -1909,13 +2097,21 @@ fn pipe_pick_rail(ps: &mut PipeState) -> Option<usize> {
 fn pipe_pump(proc: &Proc, ep: &Arc<Endpoint>, req: u64) -> bool {
     let mut worked = false;
     loop {
+        let dma_cap = ep.tunables.flow_dma_cap();
         let (step, peer, info) = {
             let mut st = ep.state.lock();
+            // Endpoint-wide outstanding-DMA cap: when flow control is on,
+            // a full descriptor window idles the pump (non-blocking — the
+            // next completion or progress pass refills it).
+            let throttled =
+                ep.tunables.flow_enable() && dma_cap > 0 && st.pending_dmas.len() >= dma_cap;
             let Some(ps) = st.pipelines.get_mut(&req) else {
                 return worked;
             };
             let final_off = ps.final_off();
-            let step = if ps.next_off < final_off {
+            let step = if throttled {
+                PipeStep::Idle
+            } else if ps.next_off < final_off {
                 match pipe_pick_rail(ps) {
                     Some(rail) => {
                         let off = ps.next_off;
@@ -2402,6 +2598,10 @@ fn control_idx(kind: HdrType) -> Option<usize> {
         HdrType::Fin => Some(1),
         HdrType::FinAck => Some(2),
         HdrType::Completion => Some(3),
+        // Losing a credit return would wedge the sender's window shut, so
+        // explicit returns ride the retransmit buffer like the rest of the
+        // control plane.
+        HdrType::CreditReturn => Some(4),
         _ => None,
     }
 }
@@ -2411,6 +2611,287 @@ fn make_fin_ack(send_req: u64, credit: usize) -> Hdr {
     h.send_req = send_req;
     h.offset = credit as u64;
     h
+}
+
+// ---------------------------------------------------------------------------
+// end-to-end flow control: per-peer send credits + bounce-buffer pool
+// ---------------------------------------------------------------------------
+//
+// Eager traffic has no end-to-end limit in the base protocol: every sender
+// fires QDMAs as fast as the host can post them, and an incast receiver
+// drowns — its NIC queue overflows and every unexpected message costs a
+// fresh per-message bounce allocation. The scheme here is the classic
+// receiver-granted credit window (cf. MVAPICH on InfiniBand and the GASNet
+// elan conduit's NETWORKDEPTH throttle): each peer may have at most
+// `flow.credits` undelivered eager messages in flight; a credit returns
+// when the *receiver has matched and copied out* the message, piggybacked
+// on whatever control frame next travels back (ACK / FIN_ACK) or — when
+// the reverse direction is silent — in an explicit CREDIT_RETURN frame
+// once half the window has accumulated. Senders without credits park the
+// built frame locally (`FlowPeer::queued`) and the request stays
+// incomplete, which is the backpressure.
+
+/// Acquire a bounce region: a preallocated pool slot when one fits (the
+/// cheap, steady-state case), else a per-message allocation. Callers on
+/// the unexpected-message path charge `host.bounce_alloc` for fallbacks;
+/// posted-receive/send staging passes `charge_fallback = false` because
+/// the base protocol already allocated per message there.
+fn flow_bounce_alloc(
+    proc: &Proc,
+    ep: &Arc<Endpoint>,
+    len: usize,
+    charge_fallback: bool,
+) -> HostBuf {
+    let slot = ep.state.lock().bounce_pool.acquire(len);
+    match slot {
+        Some(b) => {
+            ep.metric(|m| m.counters.flow_pool_hits += 1);
+            b
+        }
+        None => {
+            ep.metric(|m| m.counters.flow_pool_fallbacks += 1);
+            if charge_fallback {
+                proc.advance(ep.cfg.host.bounce_alloc);
+            }
+            ep.alloc(len)
+        }
+    }
+}
+
+/// Return a bounce region to wherever it came from: the pool when it is a
+/// pool slot, the allocator otherwise.
+fn flow_bounce_free(ep: &Arc<Endpoint>, buf: HostBuf) {
+    let pooled = ep.state.lock().bounce_pool.release(buf);
+    if !pooled {
+        ep.free(buf);
+    }
+}
+
+/// Receiver side: an eager message was delivered (matched + copied out),
+/// so one unit of receiver-side buffering is free again. The credit is
+/// *noted*, not sent — it rides the next control frame toward that peer,
+/// or an explicit return once enough accumulate (see `flow_pump`).
+fn flow_note_delivered(ep: &Arc<Endpoint>, peer: ProcName) {
+    let init = ep.tunables.flow_credits();
+    let mut st = ep.state.lock();
+    let fp = st.flow_entry(peer, init);
+    fp.pending_return += 1;
+    fp.delivered += 1;
+}
+
+/// Take every credit currently owed to `peer`, for piggybacking on an
+/// outgoing control frame (capped at what a u16 carries; the remainder
+/// stays pending). Zero when flow control is off — the packed fields then
+/// carry exactly the legacy values.
+fn flow_take_pending(ep: &Arc<Endpoint>, peer: ProcName) -> u16 {
+    if !ep.tunables.flow_enable() {
+        return 0;
+    }
+    let mut st = ep.state.lock();
+    let Some(fp) = st.flow.get_mut(&peer) else {
+        return 0;
+    };
+    let take = fp.pending_return.min(u16::MAX as usize);
+    fp.pending_return -= take;
+    take as u16
+}
+
+/// Build a FIN_ACK stamped with any credits owed to `peer`: `e4_vpid` is
+/// meaningless on a FIN_ACK (no address travels), so the credits ride
+/// there for free.
+fn fin_ack_with_credits(ep: &Arc<Endpoint>, peer: ProcName, send_req: u64, credit: usize) -> Hdr {
+    let mut h = make_fin_ack(send_req, credit);
+    let pb = flow_take_pending(ep, peer);
+    if pb > 0 {
+        h.e4_vpid = pb as u32;
+        ep.metric(|m| m.counters.flow_piggybacked += 1);
+    }
+    h
+}
+
+/// Re-pack an ACK's `seq` so its high half carries any credits owed to
+/// `peer` (the low half keeps the inline-byte credit already stored).
+fn stamp_ack_credits(ep: &Arc<Endpoint>, peer: ProcName, ack: &mut Hdr) {
+    let inline = ack.seq;
+    let pb = flow_take_pending(ep, peer);
+    if pb > 0 {
+        ep.metric(|m| m.counters.flow_piggybacked += 1);
+    }
+    ack.seq = crate::hdr::pack_ack_seq(inline, pb);
+}
+
+/// Sender side: `n` credits came back from `peer` (piggybacked or via an
+/// explicit CREDIT_RETURN). Restock the window and drain any sends parked
+/// on it.
+fn flow_credits_in(proc: &Proc, ep: &Arc<Endpoint>, peer: ProcName, n: usize, _piggyback: bool) {
+    if n == 0 || !ep.tunables.flow_enable() {
+        return;
+    }
+    let init = ep.tunables.flow_credits();
+    {
+        let mut st = ep.state.lock();
+        let fp = st.flow_entry(peer, init);
+        fp.credits += n;
+        fp.returned += n as u64;
+    }
+    ep.metric(|m| m.counters.flow_credits_returned += n as u64);
+    flow_drain_peer(proc, ep, peer);
+}
+
+/// Send parked eager frames to `peer` while its credit window has room,
+/// in FIFO order (MPI ordering: `hdr.seq` was assigned at post time, and
+/// the receiver's in-order check would park anything sent out of order
+/// anyway). Each drained send completes like a normal buffered eager send.
+fn flow_drain_peer(proc: &Proc, ep: &Arc<Endpoint>, peer: ProcName) -> bool {
+    let batch: Vec<QueuedSend> = {
+        let mut st = ep.state.lock();
+        match st.flow.get_mut(&peer) {
+            Some(fp) => {
+                let mut out = Vec::new();
+                while fp.credits > 0 && !fp.queued.is_empty() {
+                    fp.credits -= 1;
+                    fp.consumed += 1;
+                    out.push(fp.queued.pop_front().expect("checked non-empty"));
+                }
+                out
+            }
+            None => Vec::new(),
+        }
+    };
+    if batch.is_empty() {
+        return false;
+    }
+    let peer_info = ep.state.lock().peers.get(&peer).cloned();
+    let Some(pi) = peer_info else {
+        for q in batch {
+            fail_request(proc, ep, ReqKind::Send, q.sid, MpiErrClass::ProcFailed);
+        }
+        return true;
+    };
+    for q in batch {
+        let waited = proc.now().saturating_sub(q.queued_at);
+        ep.metric(|m| {
+            m.counters.flow_credits_consumed += 1;
+            m.counters.flow_queued_ns += waited.as_ns();
+        });
+        ep.trace(
+            proc.now(),
+            crate::trace::TraceEvent::FlowSent {
+                req: q.sid,
+                gid: q.gid,
+            },
+        );
+        let Some(route) = first_route(ep, &pi) else {
+            fail_request(proc, ep, ReqKind::Send, q.sid, MpiErrClass::NoTransport);
+            continue;
+        };
+        proc.advance(ep.cfg.host.hdr_build);
+        send_frame(proc, ep, &pi, route, q.hdr, q.payload);
+        // Buffered eager semantics: on the wire = locally complete.
+        {
+            let mut st = ep.state.lock();
+            if let Some(r) = st.send_reqs.get_mut(&q.sid) {
+                r.bytes_confirmed = r.msg_len;
+            }
+        }
+        maybe_complete_send(proc, ep, q.sid);
+    }
+    true
+}
+
+/// Explicit credit return: the reverse direction is silent (pure eager
+/// floods generate no ACK/FIN_ACK back toward the sender), so the credits
+/// travel in their own control frame. Origin identity rides ctx/src_rank
+/// — the same fields the reliability layer stamps, with the same values —
+/// and the count rides `seq`.
+fn send_credit_return(proc: &Proc, ep: &Arc<Endpoint>, to: ProcName, n: usize) {
+    let peer = ep.state.lock().peers.get(&to).cloned();
+    let restore = |ep: &Arc<Endpoint>| {
+        if let Some(fp) = ep.state.lock().flow.get_mut(&to) {
+            fp.pending_return += n;
+        }
+    };
+    let Some(peer) = peer else {
+        restore(ep);
+        return;
+    };
+    let Some(route) = first_route(ep, &peer) else {
+        restore(ep);
+        return;
+    };
+    let mut h = Hdr::new(HdrType::CreditReturn);
+    h.ctx = ep.name.job.0;
+    h.src_rank = ep.name.rank as u32;
+    h.seq = n as u32;
+    proc.advance(ep.cfg.host.hdr_build);
+    send_frame(proc, ep, &peer, route, h, Vec::new());
+    ep.metric(|m| m.counters.flow_credit_frames += 1);
+    ep.trace(
+        proc.now(),
+        crate::trace::TraceEvent::ControlSent {
+            gid: 0,
+            kind: "CreditReturn",
+        },
+    );
+}
+
+/// One flow-control progress step, run from every progress pass: drain
+/// send queues whose windows re-opened, and flush hoarded credit returns
+/// (at least half a window's worth) for peers with no reverse traffic to
+/// piggyback on. Credit grants defer while the local ejection queue is
+/// backed up past `flow.ej_backoff` — the fabric's congestion signal
+/// feeding the end-to-end window — and retry on a later pass, so deferral
+/// can stall but never deadlock.
+pub(crate) fn flow_pump(proc: &Proc, ep: &Arc<Endpoint>) -> bool {
+    if !ep.tunables.flow_enable() {
+        return false;
+    }
+    let mut any = false;
+    let drainable: Vec<ProcName> = {
+        let st = ep.state.lock();
+        st.flow
+            .iter()
+            .filter(|(_, fp)| fp.credits > 0 && !fp.queued.is_empty())
+            .map(|(p, _)| *p)
+            .collect()
+    };
+    for p in drainable {
+        if flow_drain_peer(proc, ep, p) {
+            any = true;
+        }
+    }
+    let threshold = (ep.tunables.flow_credits() / 2).max(1);
+    let backoff = ep.cfg.flow_ej_backoff;
+    let congested = backoff > 0 && ep.ejection_depth(proc.now()) >= backoff as u64;
+    let returns: Vec<(ProcName, usize)> = {
+        let mut st = ep.state.lock();
+        let due: Vec<ProcName> = st
+            .flow
+            .iter()
+            .filter(|(_, fp)| fp.pending_return >= threshold)
+            .map(|(p, _)| *p)
+            .collect();
+        if !due.is_empty() && congested {
+            // Congested ejection link: granting more credits now would
+            // invite more injection straight into the hot spot.
+            ep.metric(|m| m.counters.flow_grant_deferrals += 1);
+            Vec::new()
+        } else {
+            due.into_iter()
+                .map(|p| {
+                    let fp = st.flow.get_mut(&p).expect("peer listed above");
+                    let n = fp.pending_return;
+                    fp.pending_return = 0;
+                    (p, n)
+                })
+                .collect()
+        }
+    };
+    for (p, n) in returns {
+        send_credit_return(proc, ep, p, n);
+        any = true;
+    }
+    any
 }
 
 // ---------------------------------------------------------------------------
@@ -2535,15 +3016,26 @@ pub(crate) fn fail_request(
     let cleanup = {
         let mut st = ep.state.lock();
         match kind {
-            ReqKind::Send => st.send_reqs.get_mut(&id).and_then(|r| {
-                if r.done {
-                    None
-                } else {
-                    r.done = true;
-                    r.error = Some(err);
-                    Some((r.src_e4.take(), r.src_region, r.bounce.take()))
-                }
-            }),
+            ReqKind::Send => {
+                let info = st.send_reqs.get_mut(&id).and_then(|r| {
+                    if r.done {
+                        None
+                    } else {
+                        r.done = true;
+                        r.error = Some(err);
+                        Some((r.src_e4.take(), r.src_region, r.bounce.take(), r.dst))
+                    }
+                });
+                info.map(|(e4, region, bounce, dst)| {
+                    // A credit-starved send still parked in the flow queue
+                    // never went on the wire; the parked frame dies with
+                    // the request.
+                    if let Some(fp) = st.flow.get_mut(&dst) {
+                        fp.queued.retain(|q| q.sid != id);
+                    }
+                    (e4, region, bounce)
+                })
+            }
             ReqKind::Recv => {
                 let cleanup = st.recv_reqs.get_mut(&id).and_then(|r| {
                     if r.done {
@@ -2619,7 +3111,7 @@ pub(crate) fn fail_request(
         crate::regcache::release(proc, ep, &region, e4);
     }
     if let Some(b) = bounce {
-        ep.free(b);
+        flow_bounce_free(ep, b);
     }
     ep.metric(|m| m.counters.reqs_failed += 1);
     ep.trace(
@@ -2779,6 +3271,48 @@ fn give_up_on(proc: &Proc, ep: &Arc<Endpoint>, e: InflightCtl) {
     }
     for id in recvs {
         fail_request(proc, ep, ReqKind::Recv, id, MpiErrClass::ProcFailed);
+    }
+    // Purge the failed peer's parked receive-side state: its unexpected
+    // fragments will never match a receive that completes, and each one
+    // staged in the bounce pool pins a slot other peers need. Failing the
+    // per-request sends above already emptied its flow queue; the peer's
+    // credit entry goes with it.
+    let leaked = {
+        let mut st = ep.state.lock();
+        st.flow.remove(&e.peer);
+        let mut stages: Vec<HostBuf> = Vec::new();
+        for c in st.comms.values_mut() {
+            c.unexpected.retain_mut(|f| {
+                if f.from == e.peer {
+                    if let Some(s) = f.stage.take() {
+                        stages.push(s);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+            c.out_of_order.retain_mut(|f| {
+                if f.from == e.peer {
+                    if let Some(s) = f.stage.take() {
+                        stages.push(s);
+                    }
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        let mut leaked = Vec::new();
+        for s in stages {
+            if !st.bounce_pool.release(s) {
+                leaked.push(s);
+            }
+        }
+        leaked
+    };
+    for b in leaked {
+        ep.free(b);
     }
     // The retransmit buffer shrank even if no request was degraded:
     // finalize may now be able to proceed.

@@ -4,7 +4,7 @@
 //! virtual time is consumed at this layer (costs are charged by the caller
 //! from the [`crate::config::HostConfig`] model).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 
 use elan4::E4Addr;
 use ompi_datatype::Convertor;
@@ -165,6 +165,12 @@ pub struct UnexpectedFrag {
     pub hdr: Hdr,
     /// Inline payload bytes.
     pub payload: Vec<u8>,
+    /// Bounce region backing the parked payload: a slot from the
+    /// preallocated [`BouncePool`] (or a charged fallback allocation when
+    /// the pool is dry). `None` for payload-free fragments. Released when
+    /// the fragment is consumed by a match, purged for a failed peer, or
+    /// drained at finalize.
+    pub stage: Option<elan4::HostBuf>,
     /// Sending process.
     pub from: ProcName,
     /// Transport the fragment arrived on.
@@ -173,6 +179,151 @@ pub struct UnexpectedFrag {
     pub arrival: u64,
     /// Virtual arrival time (telemetry: match-latency samples).
     pub arrived_at: Time,
+}
+
+/// An eager send parked locally because its peer is out of flow credits.
+/// The header (including the ordering `seq`) was fully built at post time,
+/// so draining the queue FIFO preserves MPI ordering.
+pub struct QueuedSend {
+    /// The owning send request.
+    pub sid: u64,
+    /// Globally unique message id (trace attribution).
+    pub gid: u64,
+    /// The wire header, ready to go.
+    pub hdr: Hdr,
+    /// Packed payload bytes.
+    pub payload: Vec<u8>,
+    /// Virtual time the send was parked (feeds `flow.queued_ns`).
+    pub queued_at: Time,
+}
+
+/// Per-peer credit state of the end-to-end flow-control scheme. Both the
+/// sender view (`credits`, `queued`) and the receiver view
+/// (`pending_return`) live here — each side only touches its half.
+pub struct FlowPeer {
+    /// Sends we may still issue to this peer before blocking.
+    pub credits: usize,
+    /// Eager sends parked until credits return (FIFO).
+    pub queued: VecDeque<QueuedSend>,
+    /// Credits consumed by local sends to this peer (monotonic).
+    pub consumed: u64,
+    /// Credits returned by this peer (monotonic); the invariant
+    /// `consumed == returned + (initial - credits)` holds at quiescence.
+    pub returned: u64,
+    /// Receiver side: credits owed back to this peer (its messages we
+    /// have delivered but not yet re-granted). Piggybacked on the next
+    /// ACK/FIN_ACK toward the peer, or flushed by an explicit
+    /// CREDIT_RETURN frame when it piles up past half the window.
+    pub pending_return: usize,
+    /// Receiver side: messages from this peer delivered to their final
+    /// buffer (monotonic, for invariant checks).
+    pub delivered: u64,
+}
+
+impl FlowPeer {
+    /// Fresh state with the initial credit grant.
+    pub fn new(initial: usize) -> Self {
+        FlowPeer {
+            credits: initial,
+            queued: VecDeque::new(),
+            consumed: 0,
+            returned: 0,
+            pending_return: 0,
+            delivered: 0,
+        }
+    }
+}
+
+/// Preallocated, fixed-slot bounce pool for unexpected-message payloads
+/// and small request bounce buffers (the GASNet elan-conduit trick: pay
+/// the allocation once at init, not per message). Slots are uniform
+/// ([`crate::hdr::SLOT_LEN`] bytes); `acquire` hands out a slice of a free
+/// slot and `release` recognizes pool slots by their base address, so
+/// callers can treat pool slots and fallback allocations uniformly.
+pub struct BouncePool {
+    /// Free slots (full-length).
+    free: Vec<elan4::HostBuf>,
+    /// Uniform slot length.
+    slot_len: usize,
+    /// Base addresses of every pool slot (membership test for `release`).
+    slots: HashSet<elan4::HostAddr>,
+    /// Slots currently handed out.
+    in_use: usize,
+}
+
+impl BouncePool {
+    /// An empty (unseeded) pool; every acquire misses until `seed`.
+    pub fn new() -> Self {
+        BouncePool {
+            free: Vec::new(),
+            slot_len: 0,
+            slots: HashSet::new(),
+            in_use: 0,
+        }
+    }
+
+    /// Install the preallocated slots (called once at endpoint init).
+    pub fn seed(&mut self, bufs: Vec<elan4::HostBuf>, slot_len: usize) {
+        self.slot_len = slot_len;
+        for b in &bufs {
+            self.slots.insert(b.addr);
+        }
+        self.free = bufs;
+    }
+
+    /// Hand out a `len`-byte slice of a free slot, or `None` when the pool
+    /// is dry or `len` exceeds the slot size (caller falls back to a real
+    /// allocation and is charged for it).
+    pub fn acquire(&mut self, len: usize) -> Option<elan4::HostBuf> {
+        if len > self.slot_len {
+            return None;
+        }
+        let slot = self.free.pop()?;
+        self.in_use += 1;
+        Some(slot.slice(0, len.max(1)))
+    }
+
+    /// Return a region. `true` if it was a pool slot (now free again);
+    /// `false` means it was a fallback allocation the caller must free.
+    pub fn release(&mut self, buf: elan4::HostBuf) -> bool {
+        if !self.slots.contains(&buf.addr) {
+            return false;
+        }
+        self.in_use -= 1;
+        self.free.push(elan4::HostBuf {
+            addr: buf.addr,
+            len: self.slot_len,
+        });
+        true
+    }
+
+    /// Slots currently handed out (must be 0 at finalize).
+    pub fn in_use(&self) -> usize {
+        self.in_use
+    }
+
+    /// Total pool slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Free slots right now.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Take every slot back for freeing at finalize.
+    pub fn drain(&mut self) -> Vec<elan4::HostBuf> {
+        assert_eq!(self.in_use, 0, "bounce pool drained with slots in use");
+        self.slots.clear();
+        std::mem::take(&mut self.free)
+    }
+}
+
+impl Default for BouncePool {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Matching and ordering state for one communicator.
@@ -454,6 +605,12 @@ pub struct EpState {
     pub pipelines: HashMap<u64, PipeState>,
     /// TCP bulk pushes awaiting their next paced burst.
     pub tcp_pushes: Vec<TcpPush>,
+    /// Per-peer credit/backpressure state (lazily created on first
+    /// eager traffic with a peer).
+    pub flow: BTreeMap<ProcName, FlowPeer>,
+    /// Preallocated bounce slots for unexpected payloads and small
+    /// bounce buffers.
+    pub bounce_pool: BouncePool,
 }
 
 impl EpState {
@@ -476,7 +633,21 @@ impl EpState {
             failed_peers: HashSet::new(),
             pipelines: HashMap::new(),
             tcp_pushes: Vec::new(),
+            flow: BTreeMap::new(),
+            bounce_pool: BouncePool::new(),
         }
+    }
+
+    /// Per-peer flow state, created with `initial` credits on first use.
+    pub fn flow_entry(&mut self, peer: ProcName, initial: usize) -> &mut FlowPeer {
+        self.flow
+            .entry(peer)
+            .or_insert_with(|| FlowPeer::new(initial))
+    }
+
+    /// Eager sends parked across all peers (the `queues.flow_queued` pvar).
+    pub fn flow_queued_total(&self) -> usize {
+        self.flow.values().map(|f| f.queued.len()).sum()
     }
 
     /// Allocate a request id.
@@ -654,6 +825,7 @@ mod tests {
             let f = UnexpectedFrag {
                 hdr: mk_hdr(1, tag, 0),
                 payload: vec![tag as u8],
+                stage: None,
                 from: name(1),
                 ptl: 0,
                 arrival: stamp,
@@ -686,6 +858,7 @@ mod tests {
         comm.out_of_order.push(UnexpectedFrag {
             hdr: mk_hdr(1, 0, 1),
             payload: vec![],
+            stage: None,
             from: name(1),
             ptl: 0,
             arrival: 0,
@@ -695,6 +868,48 @@ mod tests {
         comm.advance_recv_seq(1); // seq 0 processed
         let f = comm.take_ready_out_of_order().unwrap();
         assert_eq!(f.hdr.seq, 1);
+    }
+
+    #[test]
+    fn bounce_pool_round_trips_slots_and_rejects_oversize() {
+        let mut p = BouncePool::new();
+        assert!(p.acquire(16).is_none(), "unseeded pool always misses");
+        let slot = |off| elan4::HostBuf {
+            addr: elan4::HostAddr { node: 0, off },
+            len: 2048,
+        };
+        p.seed(vec![slot(0), slot(2048)], 2048);
+        assert_eq!(p.capacity(), 2);
+        assert!(p.acquire(4096).is_none(), "oversize goes to fallback");
+        let a = p.acquire(100).unwrap();
+        assert_eq!(a.len, 100);
+        let b = p.acquire(0).unwrap();
+        assert_eq!(b.len, 1, "zero-len acquire still reserves a slot");
+        assert!(p.acquire(1).is_none(), "pool dry");
+        assert_eq!(p.in_use(), 2);
+        let foreign = elan4::HostBuf {
+            addr: elan4::HostAddr {
+                node: 0,
+                off: 1 << 20,
+            },
+            len: 64,
+        };
+        assert!(!p.release(foreign), "fallback allocs are not pool slots");
+        assert!(p.release(a));
+        assert!(p.release(b));
+        assert_eq!(p.in_use(), 0);
+        let c = p.acquire(2048).unwrap();
+        assert_eq!(c.len, 2048, "released slot regains full length");
+        assert!(p.release(c));
+        assert_eq!(p.drain().len(), 2);
+    }
+
+    #[test]
+    fn flow_entry_seeds_initial_credits_once() {
+        let mut st = EpState::new();
+        st.flow_entry(name(1), 8).credits -= 3;
+        assert_eq!(st.flow_entry(name(1), 8).credits, 5);
+        assert_eq!(st.flow_queued_total(), 0);
     }
 
     #[test]

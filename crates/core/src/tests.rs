@@ -1397,3 +1397,290 @@ fn rma_under_interrupt_progress() {
         mpi.win_free(win);
     });
 }
+
+// ---- end-to-end flow control -----------------------------------------------
+
+/// Run an N-to-1 eager incast with the receiver asleep for the opening
+/// burst; returns (completion_ns, victim ej queue peak, pool fallbacks
+/// summed over ranks, resolved per-peer credits).
+fn incast_run(flow_on: bool) -> (u64, u64, u64, u64) {
+    let mut cfg = StackConfig::best();
+    cfg.metrics = true;
+    cfg.flow_enable = flow_on;
+    let (ranks, msgs, len) = (8usize, 32usize, 1024usize);
+    let peak = Arc::new(AtomicU64::new(0));
+    let fallbacks = Arc::new(AtomicU64::new(0));
+    let credits = Arc::new(AtomicU64::new(0));
+    let (p2, f2, c2) = (peak.clone(), fallbacks.clone(), credits.clone());
+    let uni = Universe::paper_testbed(cfg);
+    let report = uni.run_world(ranks, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        if mpi.rank() == 0 {
+            // Sleep through the opening burst so every message arrives
+            // unexpected and stages in the bounce pool.
+            mpi.compute(qsim::Dur::from_ns(300_000));
+            let rbuf = mpi.alloc(len);
+            for _ in 0..(ranks - 1) * msgs {
+                mpi.recv(&w, ANY_SOURCE, 0, &rbuf, len);
+            }
+        } else {
+            let sbuf = mpi.alloc(len);
+            mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+            let reqs: Vec<_> = (0..msgs).map(|_| mpi.isend(&w, 0, 0, &sbuf, len)).collect();
+            mpi.waitall(reqs);
+        }
+        mpi.barrier(&w);
+        let ep = mpi.endpoint();
+        if mpi.rank() == 0 {
+            let (_, ej) = ep.cluster.fabric().node_link_totals(ep.node);
+            p2.store(ej.queue_peak, Ordering::SeqCst);
+            c2.store(ep.tunables.flow_credits() as u64, Ordering::SeqCst);
+        }
+        f2.fetch_add(
+            ep.metrics_snapshot().counters.flow_pool_fallbacks,
+            Ordering::SeqCst,
+        );
+    });
+    (
+        report.end_time.as_ns(),
+        peak.load(Ordering::SeqCst),
+        fallbacks.load(Ordering::SeqCst),
+        credits.load(Ordering::SeqCst),
+    )
+}
+
+#[test]
+fn incast_flow_control_bounds_victim_queue_and_wins() {
+    let (t_off, peak_off, fb_off, _) = incast_run(false);
+    let (t_on, peak_on, fb_on, credits) = incast_run(true);
+    // Pool exhaustion is the flow-off cost: 224 unexpected messages against
+    // 64 preallocated slots must overflow into charged fallbacks.
+    assert!(
+        fb_off > 0,
+        "flow-off incast never exhausted the bounce pool"
+    );
+    assert_eq!(fb_on, 0, "flow-on incast overran the bounce pool");
+    // The end-to-end window caps in-flight eager traffic at senders *
+    // credits, which the victim's ejection link peak must respect (small
+    // slack for barrier/control frames sharing the link).
+    assert!(credits >= 2, "auto-scaled credits {credits} out of range");
+    let bound = 7 * credits + 8;
+    assert!(
+        peak_on <= bound,
+        "victim ej peak {peak_on} exceeds credit bound {bound}"
+    );
+    assert!(
+        peak_on < peak_off,
+        "flow-on ej peak {peak_on} not below flow-off {peak_off}"
+    );
+    assert!(
+        t_on < t_off,
+        "flow-on incast ({t_on}ns) not faster than flow-off ({t_off}ns)"
+    );
+}
+
+#[test]
+fn flow_credit_invariant_over_random_interleavings() {
+    // Proptest-style: seeded LCG drives per-rank send/recv/compute
+    // interleavings; the credit ledger must reconcile at quiescence.
+    type Row = (usize, usize, usize, u64, u64, u64, usize);
+    for seed in [1u64, 7, 23] {
+        let mut cfg = StackConfig::best();
+        cfg.metrics = true;
+        cfg.flow_enable = true;
+        cfg.flow_credits = 3; // tiny window: parking on every burst
+        let (ranks, msgs) = (4usize, 10usize);
+        let rows: Arc<Mutex<Vec<Row>>> = Arc::new(Mutex::new(Vec::new()));
+        let r2 = rows.clone();
+        let uni = Universe::paper_testbed(cfg);
+        uni.run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let me = mpi.rank();
+            let mut x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(me as u64 + 1);
+            let mut rng = move || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                x >> 33
+            };
+            let sbuf = mpi.alloc(1984);
+            let rbuf = mpi.alloc(1984);
+            mpi.write(&sbuf, 0, &pattern(1984, me as u8));
+            // Shuffle the (peer, iteration) send plan.
+            let mut plan: Vec<usize> = (0..ranks)
+                .filter(|&d| d != me)
+                .flat_map(|d| std::iter::repeat_n(d, msgs))
+                .collect();
+            for i in (1..plan.len()).rev() {
+                plan.swap(i, rng() as usize % (i + 1));
+            }
+            let total_recvs = (ranks - 1) * msgs;
+            let mut recvs_done = 0;
+            let mut sends = Vec::new();
+            for &dst in &plan {
+                let len = (rng() % 1984) as usize;
+                sends.push(mpi.isend(&w, dst, 0, &sbuf, len));
+                match rng() % 3 {
+                    0 if recvs_done < total_recvs => {
+                        mpi.recv(&w, ANY_SOURCE, 0, &rbuf, 1984);
+                        recvs_done += 1;
+                    }
+                    1 => mpi.compute(qsim::Dur::from_ns(rng() % 5_000)),
+                    _ => {}
+                }
+            }
+            while recvs_done < total_recvs {
+                mpi.recv(&w, ANY_SOURCE, 0, &rbuf, 1984);
+                recvs_done += 1;
+            }
+            mpi.waitall(sends);
+            mpi.barrier(&w);
+            let ep = mpi.endpoint();
+            let st = ep.state.lock();
+            for (peer, fp) in st.flow.iter() {
+                assert!(
+                    fp.queued.is_empty(),
+                    "rank {me}: sends still parked for rank {} at quiescence",
+                    peer.rank
+                );
+                r2.lock().push((
+                    me,
+                    peer.rank,
+                    fp.credits,
+                    fp.consumed,
+                    fp.returned,
+                    fp.delivered,
+                    fp.pending_return,
+                ));
+            }
+        });
+        let rows = rows.lock();
+        let initial = 3u64;
+        let find = |a: usize, b: usize| rows.iter().find(|r| r.0 == a && r.1 == b);
+        for &(rank, peer, credits, consumed, returned, delivered, pending) in rows.iter() {
+            // The ledger: every consumed credit is either returned or still
+            // held out of the window (in flight / awaiting grant).
+            assert_eq!(
+                consumed,
+                returned + (initial - credits as u64),
+                "seed {seed}: rank {rank} -> {peer} ledger off \
+                 (consumed {consumed}, returned {returned}, credits {credits})"
+            );
+            assert!(
+                credits as u64 <= initial,
+                "seed {seed}: rank {rank} over-granted by rank {peer}"
+            );
+            assert!(pending as u64 <= delivered, "pending exceeds deliveries");
+            // Cross-rank: the peer can only have delivered what we sent
+            // under credit, and can only have granted what it delivered.
+            if let Some(&(_, _, _, _, _, peer_delivered, _)) = find(peer, rank) {
+                assert!(
+                    peer_delivered <= consumed,
+                    "seed {seed}: rank {peer} delivered {peer_delivered} from \
+                     rank {rank}, which only consumed {consumed} credits"
+                );
+                assert!(
+                    returned <= peer_delivered,
+                    "seed {seed}: rank {rank} got {returned} credits back from \
+                     rank {peer}, which only delivered {peer_delivered}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn credit_starved_peer_does_not_block_traffic_to_others() {
+    let mut cfg = StackConfig::best();
+    cfg.metrics = true;
+    cfg.flow_enable = true;
+    cfg.flow_credits = 4;
+    let sleep_ns = 2_000_000u64;
+    let queued = Arc::new(AtomicU64::new(0));
+    let pp_done = Arc::new(AtomicU64::new(0));
+    let (q2, p2) = (queued.clone(), pp_done.clone());
+    let uni = Universe::paper_testbed(cfg);
+    uni.run_world(3, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let buf = mpi.alloc(512);
+        mpi.write(&buf, 0, &pattern(512, mpi.rank() as u8));
+        match mpi.rank() {
+            0 => {
+                // Slow receiver: rank 1's flood must park, starved of
+                // credits, until this compute ends.
+                mpi.compute(qsim::Dur::from_ns(sleep_ns));
+                let rbuf = mpi.alloc(512);
+                for _ in 0..40 {
+                    mpi.recv(&w, 1, 0, &rbuf, 512);
+                }
+            }
+            1 => {
+                let reqs: Vec<_> = (0..40).map(|_| mpi.isend(&w, 0, 0, &buf, 512)).collect();
+                // Credits to rank 0 are exhausted; traffic to rank 2 must
+                // keep flowing regardless.
+                let rbuf = mpi.alloc(512);
+                for _ in 0..8 {
+                    mpi.send(&w, 2, 1, &buf, 512);
+                    mpi.recv(&w, 2, 1, &rbuf, 512);
+                }
+                p2.store(mpi.now().as_ns(), Ordering::SeqCst);
+                mpi.waitall(reqs);
+                q2.store(
+                    mpi.endpoint().metrics_snapshot().counters.flow_sends_queued,
+                    Ordering::SeqCst,
+                );
+            }
+            _ => {
+                let rbuf = mpi.alloc(512);
+                for _ in 0..8 {
+                    mpi.recv(&w, 1, 1, &rbuf, 512);
+                    mpi.send(&w, 1, 1, &buf, 512);
+                }
+            }
+        }
+        mpi.barrier(&w);
+    });
+    assert!(
+        queued.load(Ordering::SeqCst) > 0,
+        "the flood never exhausted rank 1's credits to rank 0"
+    );
+    let done = pp_done.load(Ordering::SeqCst);
+    assert!(
+        done < sleep_ns,
+        "rank 1 <-> rank 2 ping-pong ({done}ns) stalled behind the parked \
+         flood to the sleeping rank 0"
+    );
+}
+
+#[test]
+fn late_eager_message_after_aborted_recv_is_dropped_cleanly() {
+    let mut cfg = StackConfig::best();
+    cfg.flow_enable = true;
+    let uni = Universe::paper_testbed(cfg);
+    uni.run_world(2, Placement::RoundRobin, |mpi| {
+        let w = mpi.world();
+        let buf = mpi.alloc(512);
+        if mpi.rank() == 0 {
+            let r = mpi.irecv(&w, 1, 5, &buf, 512);
+            mpi.abort_request(r, crate::state::MpiErrClass::Internal);
+            assert!(mpi.wait_result(r).is_err(), "aborted recv must report");
+            mpi.barrier(&w);
+            // The sender's message lands unexpected (its match was
+            // reaped), staged in the bounce pool until finalize.
+            mpi.barrier(&w);
+            assert_eq!(mpi.endpoint().bounce_in_use(), 1, "payload not staged");
+        } else {
+            mpi.barrier(&w);
+            mpi.write(&buf, 0, &pattern(512, 9));
+            mpi.send(&w, 0, 5, &buf, 512);
+            mpi.barrier(&w);
+        }
+        // Finalize must release the orphaned stage and the pool itself
+        // without tripping the in-use assertion or leaking mappings.
+        mpi.finalize();
+        assert_eq!(mpi.endpoint().bounce_in_use(), 0);
+        assert_eq!(mpi.endpoint().mapping_count(), 0);
+    });
+}

@@ -160,6 +160,21 @@ pub enum TraceEvent {
         /// Raw frame length in bytes.
         len: usize,
     },
+    /// An eager send parked in the flow-control queue: the peer's credit
+    /// window was exhausted (or older sends were already waiting).
+    FlowQueued {
+        /// The send request id.
+        req: u64,
+        /// Global message id.
+        gid: u64,
+    },
+    /// A previously parked send went on the wire after credits returned.
+    FlowSent {
+        /// The send request id.
+        req: u64,
+        /// Global message id.
+        gid: u64,
+    },
     /// A multi-event interval opened (rendezvous handshake, RDMA burst).
     SpanBegin {
         /// Correlates with the matching [`TraceEvent::SpanEnd`]. Unique per
@@ -200,6 +215,8 @@ impl TraceEvent {
             TraceEvent::CtlGaveUp { .. } => "ctl_gave_up",
             TraceEvent::ReqFailed { .. } => "req_failed",
             TraceEvent::CorruptFrame { .. } => "corrupt_frame",
+            TraceEvent::FlowQueued { .. } => "flow_queued",
+            TraceEvent::FlowSent { .. } => "flow_sent",
             TraceEvent::SpanBegin { name, .. } | TraceEvent::SpanEnd { name, .. } => name,
         }
     }
@@ -285,6 +302,9 @@ impl TraceEvent {
                 )
             }
             TraceEvent::CorruptFrame { len } => format!("{{\"len\":{len}}}"),
+            TraceEvent::FlowQueued { req, gid } | TraceEvent::FlowSent { req, gid } => {
+                format!("{{\"req\":{req},\"gid\":{gid}}}")
+            }
             TraceEvent::SpanBegin { id, .. } | TraceEvent::SpanEnd { id, .. } => {
                 format!("{{\"span\":{id}}}")
             }

@@ -30,7 +30,7 @@ use qsim::{Dur, Proc, Signal};
 pub struct JobId(pub u32);
 
 /// A process name: job + rank within the job.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct ProcName {
     /// The job this process belongs to.
     pub job: JobId,

@@ -28,6 +28,14 @@ echo "== bench smoke: pipelined-rendezvous bandwidth curve"
 cargo run --release -q -p ompi-bench --bin harness -- \
     --bw-curve --bench-out BENCH_pipeline.json
 
+echo "== bench smoke: end-to-end flow control"
+# Incast / all-to-all / unexpected-flood with credit-based flow control
+# off and on. Exits nonzero unless flow-on beats flow-off on incast
+# completion time, bounds the victim's ejection-queue peak below the
+# flow-off run, and keeps the uncongested ping-pong within 5%.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --flow-bench --bench-out BENCH_flow.json
+
 echo "== bench smoke: simulator self-profile"
 # Events/s on a fixed reference workload — the baseline CI tracks for
 # kernel regressions. Exits nonzero if the profile comes up empty.
