@@ -114,6 +114,9 @@ fn main() {
     let mut congestion_report = false;
     let mut metrics_out: Option<String> = None;
     let mut sim_bench_flag = false;
+    let mut sim_floor: f64 = 0.0;
+    let mut rank_sweep_flag = false;
+    let mut sweep_budget_ms: u64 = 60_000;
     let mut stall_demo = false;
     let mut flight_out: Option<String> = None;
     let mut critpath = false;
@@ -161,6 +164,21 @@ fn main() {
             "--flow-bench" => flow_bench_flag = true,
             "--congestion-report" => congestion_report = true,
             "--sim-bench" => sim_bench_flag = true,
+            "--sim-floor" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => sim_floor = n,
+                None => {
+                    eprintln!("--sim-floor needs an events/s number");
+                    std::process::exit(2);
+                }
+            },
+            "--rank-sweep" => rank_sweep_flag = true,
+            "--sweep-budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => sweep_budget_ms = n,
+                None => {
+                    eprintln!("--sweep-budget-ms needs a millisecond count");
+                    std::process::exit(2);
+                }
+            },
             "--stall-demo" => stall_demo = true,
             "--critpath" => critpath = true,
             "--timeline" => timeline_flag = true,
@@ -217,6 +235,7 @@ fn main() {
         && !flow_bench_flag
         && !congestion_report
         && !sim_bench_flag
+        && !rank_sweep_flag
         && !stall_demo
         && !critpath
         && !timeline_flag
@@ -227,7 +246,9 @@ fn main() {
              [--introspect-out FILE] [--watchdog N] [--loss N] \
              [--reg-bench] [--bw-curve] [--flow-bench] [--bench-out FILE] \
              [--congestion-report] [--metrics-out FILE] \
-             [--sim-bench] [--stall-demo] [--flight-out FILE] \
+             [--sim-bench] [--sim-floor EVENTS_PER_SEC] \
+             [--rank-sweep] [--sweep-budget-ms N] \
+             [--stall-demo] [--flight-out FILE] \
              [--critpath] [--critpath-out FILE] \
              [--timeline] [--timeline-out FILE] [--list-introspect] \
              <experiment>... | all | paper | compare"
@@ -379,16 +400,84 @@ fn main() {
             eprintln!("[simulator profile written to {path}]");
         }
         eprintln!(
-            "[sim-bench: {} events ({} calls, {} wakes) at {:.0} events/s, \
-             in {:.1?} wall time]",
+            "[sim-bench: {} events ({} calls, {} wakes, {} stale) at \
+             {:.0} events/s, determinism {}, in {:.1?} wall time]",
             report.report.events_processed,
             report.report.calls_executed,
             report.report.wakes_executed,
+            report.report.stale_wakes,
             report.report.events_per_sec(),
+            if report.determinism_ok {
+                "ok"
+            } else {
+                "BROKEN"
+            },
             start.elapsed()
         );
         if report.report.events_processed == 0 || report.report.wall_ns == 0 {
             eprintln!("sim-bench FAILED: kernel profile came up empty");
+            std::process::exit(1);
+        }
+        if !report.determinism_ok {
+            eprintln!(
+                "sim-bench FAILED: schedule fingerprints diverged across \
+                 repeat runs / queue implementations"
+            );
+            std::process::exit(1);
+        }
+        if sim_floor > 0.0 && report.report.events_per_sec() < sim_floor {
+            eprintln!(
+                "sim-bench FAILED: {:.0} events/s is below the floor of {:.0}",
+                report.report.events_per_sec(),
+                sim_floor
+            );
+            std::process::exit(1);
+        }
+    }
+
+    if rank_sweep_flag {
+        use ompi_bench::measure::{rank_sweep, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // Scaling sweep up to a 1024-rank collective: 4 barrier rounds per
+        // world size, the whole sweep budgeted in wall clock.
+        let report = rank_sweep(
+            &Setup::paper(StackConfig::default()),
+            &[64, 256, 1024],
+            4,
+            sweep_budget_ms,
+        );
+        let json = report.to_json();
+        println!("{json}");
+        if let Some(path) = &bench_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[rank sweep written to {path}]");
+        }
+        for p in &report.points {
+            eprintln!(
+                "[rank-sweep: {} ranks, {} events in {:.1} ms wall \
+                 ({:.0} events/s)]",
+                p.ranks,
+                p.report.events_processed,
+                p.report.wall_ns as f64 / 1e6,
+                p.report.events_per_sec()
+            );
+        }
+        eprintln!(
+            "[rank-sweep: total {:.1} ms against a {} ms budget, in {:.1?}]",
+            report.total_wall_ms,
+            report.budget_ms,
+            start.elapsed()
+        );
+        if report.points.iter().any(|p| p.report.events_processed == 0) {
+            eprintln!("rank-sweep FAILED: a point came up empty");
+            std::process::exit(1);
+        }
+        if !report.within_budget() {
+            eprintln!(
+                "rank-sweep FAILED: {:.1} ms exceeds the {} ms wall budget",
+                report.total_wall_ms, report.budget_ms
+            );
             std::process::exit(1);
         }
     }

@@ -189,13 +189,17 @@ impl Telemetry {
         out.push_str(&format!(
             "],\"sim\":{{\"end_time_ns\":{},\"events_processed\":{},\
              \"procs_spawned\":{},\"max_queue_depth\":{},\"wakes_executed\":{},\
-             \"calls_executed\":{},\"wall_ns\":{},\"events_per_sec\":{:.1}}}}}",
+             \"calls_executed\":{},\"stale_wakes\":{},\"sched_past\":{},\
+             \"schedule_hash\":\"{:#018x}\",\"wall_ns\":{},\"events_per_sec\":{:.1}}}}}",
             self.report.end_time.as_ns(),
             self.report.events_processed,
             self.report.procs_spawned,
             self.report.max_queue_depth,
             self.report.wakes_executed,
             self.report.calls_executed,
+            self.report.stale_wakes,
+            self.report.sched_past,
+            self.report.schedule_hash,
             self.report.wall_ns,
             self.report.events_per_sec()
         ));
@@ -1262,8 +1266,29 @@ pub struct SimBenchReport {
     pub len: usize,
     /// Ping-pong iterations of the reference workload.
     pub iters: usize,
-    /// The kernel's report, including its self-profile.
+    /// The kernel's report for the measured (calendar-queue, warm) run.
     pub report: qsim::Report,
+    /// Schedule fingerprints agree across a repeat calendar run and the
+    /// reference `BTreeMap`-queue run: same `(end_time, events_processed,
+    /// schedule_hash, ...)` for the same program.
+    pub determinism_ok: bool,
+    /// Wall time of the reference BTree-queue run (for old-vs-new
+    /// comparison in the profile JSON; cold-start noise included).
+    pub btree_wall_ns: u64,
+}
+
+/// The determinism fingerprint of a run: everything in the kernel report
+/// except wall-clock time.
+fn schedule_fingerprint(r: &qsim::Report) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.end_time.as_ns(),
+        r.events_processed,
+        r.schedule_hash,
+        r.wakes_executed,
+        r.calls_executed,
+        r.stale_wakes,
+        r.sched_past,
+    )
 }
 
 impl SimBenchReport {
@@ -1272,8 +1297,10 @@ impl SimBenchReport {
         format!(
             "{{\"bench\":\"sim_profile\",\"ranks\":{},\"len\":{},\"iters\":{},\
              \"end_time_ns\":{},\"events_processed\":{},\"wakes_executed\":{},\
-             \"calls_executed\":{},\"procs_spawned\":{},\"max_queue_depth\":{},\
-             \"wall_ns\":{},\"events_per_sec\":{:.1}}}",
+             \"calls_executed\":{},\"stale_wakes\":{},\"sched_past\":{},\
+             \"schedule_hash\":\"{:#018x}\",\"determinism_ok\":{},\
+             \"procs_spawned\":{},\"max_queue_depth\":{},\
+             \"wall_ns\":{},\"btree_wall_ns\":{},\"events_per_sec\":{:.1}}}",
             self.ranks,
             self.len,
             self.iters,
@@ -1281,9 +1308,14 @@ impl SimBenchReport {
             self.report.events_processed,
             self.report.wakes_executed,
             self.report.calls_executed,
+            self.report.stale_wakes,
+            self.report.sched_past,
+            self.report.schedule_hash,
+            self.determinism_ok,
             self.report.procs_spawned,
             self.report.max_queue_depth,
             self.report.wall_ns,
+            self.btree_wall_ns,
             self.report.events_per_sec()
         )
     }
@@ -1293,32 +1325,144 @@ impl SimBenchReport {
 /// ping-pong whose event count is deterministic, timed in wall clock. The
 /// events-per-second figure is the baseline CI tracks for simulator
 /// regressions.
+///
+/// Three runs of the identical program: first on the reference
+/// `BTreeMap` queue, then twice on the calendar queue. The first two double
+/// as warm-up (scheduler and allocator cold-start would otherwise dominate
+/// a single ~5 ms run) and as the determinism cross-check — all three must
+/// produce bit-identical schedule fingerprints; the last calendar run is
+/// the timed one.
 pub fn sim_bench(setup: &Setup, ranks: usize, len: usize, iters: usize) -> SimBenchReport {
-    let report = setup
-        .universe()
-        .run_world(ranks, Placement::RoundRobin, move |mpi| {
-            let w = mpi.world();
-            let sbuf = mpi.alloc(len.max(1));
-            let rbuf = mpi.alloc(len.max(1));
-            mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
-            for _ in 0..iters {
-                if mpi.rank() == 0 {
-                    for peer in 1..ranks {
-                        mpi.send(&w, peer, 0, &sbuf, len);
-                        mpi.recv(&w, peer as i32, 0, &rbuf, len);
+    let run = |kind: qsim::QueueKind| -> qsim::Report {
+        qsim::set_default_queue_kind(kind);
+        let report = setup
+            .universe()
+            .run_world(ranks, Placement::RoundRobin, move |mpi| {
+                let w = mpi.world();
+                let sbuf = mpi.alloc(len.max(1));
+                let rbuf = mpi.alloc(len.max(1));
+                mpi.write(&sbuf, 0, &pattern(len, mpi.rank() as u8));
+                for _ in 0..iters {
+                    if mpi.rank() == 0 {
+                        for peer in 1..ranks {
+                            mpi.send(&w, peer, 0, &sbuf, len);
+                            mpi.recv(&w, peer as i32, 0, &rbuf, len);
+                        }
+                    } else {
+                        mpi.recv(&w, 0, 0, &rbuf, len);
+                        mpi.send(&w, 0, 0, &sbuf, len);
                     }
-                } else {
-                    mpi.recv(&w, 0, 0, &rbuf, len);
-                    mpi.send(&w, 0, 0, &sbuf, len);
                 }
-            }
-            mpi.barrier(&w);
-        });
+                mpi.barrier(&w);
+            });
+        qsim::set_default_queue_kind(qsim::QueueKind::Calendar);
+        report
+    };
+    let reference = run(qsim::QueueKind::BTree);
+    let repeat = run(qsim::QueueKind::Calendar);
+    let report = run(qsim::QueueKind::Calendar);
+    let determinism_ok = schedule_fingerprint(&report) == schedule_fingerprint(&reference)
+        && schedule_fingerprint(&report) == schedule_fingerprint(&repeat);
     SimBenchReport {
         ranks,
         len,
         iters,
         report,
+        determinism_ok,
+        btree_wall_ns: reference.wall_ns,
+    }
+}
+
+/// One point of a [`rank_sweep`].
+pub struct RankSweepPoint {
+    /// World size of this point.
+    pub ranks: usize,
+    /// Kernel report for the run.
+    pub report: qsim::Report,
+}
+
+/// Wall-clock-budgeted scaling sweep: a fixed number of barrier rounds at
+/// growing world sizes (one OS thread per rank — the point is that the
+/// kernel makes thousand-rank collectives routine, not heroic).
+pub struct RankSweepReport {
+    /// Barrier rounds per point.
+    pub iters: usize,
+    /// The wall-clock budget the whole sweep must fit in, in milliseconds.
+    pub budget_ms: u64,
+    /// Total wall time actually spent, in milliseconds.
+    pub total_wall_ms: f64,
+    /// The per-world-size results.
+    pub points: Vec<RankSweepPoint>,
+}
+
+impl RankSweepReport {
+    /// Whether the sweep finished inside its wall-clock budget.
+    pub fn within_budget(&self) -> bool {
+        self.total_wall_ms <= self.budget_ms as f64
+    }
+
+    /// One JSON document: events/s and wall time per world size.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"ranks\":{},\"events_processed\":{},\"wakes_executed\":{},\
+                     \"stale_wakes\":{},\"end_time_ns\":{},\"wall_ms\":{:.1},\
+                     \"events_per_sec\":{:.1}}}",
+                    p.ranks,
+                    p.report.events_processed,
+                    p.report.wakes_executed,
+                    p.report.stale_wakes,
+                    p.report.end_time.as_ns(),
+                    p.report.wall_ns as f64 / 1e6,
+                    p.report.events_per_sec()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"rank_sweep\",\"iters\":{},\"budget_ms\":{},\
+             \"total_wall_ms\":{:.1},\"within_budget\":{},\"points\":[{}]}}",
+            self.iters,
+            self.budget_ms,
+            self.total_wall_ms,
+            self.within_budget(),
+            points.join(",")
+        )
+    }
+}
+
+/// Run `iters` barrier rounds at each world size in `rank_counts`, sizing
+/// the fabric to the world (one node per rank), and check the whole sweep
+/// fits in `budget_ms` of wall clock.
+pub fn rank_sweep(
+    setup: &Setup,
+    rank_counts: &[usize],
+    iters: usize,
+    budget_ms: u64,
+) -> RankSweepReport {
+    let mut points = Vec::new();
+    let mut total_wall_ns = 0u64;
+    for &ranks in rank_counts {
+        let mut setup = setup.clone();
+        setup.fabric.nodes = ranks;
+        let report = setup
+            .universe()
+            .run_world(ranks, Placement::RoundRobin, move |mpi| {
+                let w = mpi.world();
+                for _ in 0..iters {
+                    mpi.barrier(&w);
+                }
+            });
+        total_wall_ns += report.wall_ns;
+        points.push(RankSweepPoint { ranks, report });
+    }
+    RankSweepReport {
+        iters,
+        budget_ms,
+        total_wall_ms: total_wall_ns as f64 / 1e6,
+        points,
     }
 }
 

@@ -271,8 +271,11 @@ pub fn gid_send_req(gid: u64) -> u64 {
 /// is unused on a FIN_ACK — the sender already tore down or never made a
 /// remote mapping by the time it arrives).
 pub fn pack_ack_seq(inline_len: u32, credits: u16) -> u32 {
-    debug_assert!(inline_len <= 0xFFFF);
-    (inline_len & 0xFFFF) | ((credits as u32) << 16)
+    // Saturate rather than mask: a (buggy) oversized inline length must not
+    // bleed into the high bits and corrupt the credit grant, and a
+    // saturated length is at least visibly wrong on the receive side
+    // (> MAX_INLINE) instead of silently aliasing a small value.
+    inline_len.min(0xFFFF) | ((credits as u32) << 16)
 }
 
 /// The inline-payload byte count packed in an ACK `seq`.
@@ -327,6 +330,30 @@ mod tests {
         h.checksum = 0xBEEF;
         let parsed = Hdr::from_bytes(&h.to_bytes());
         assert_eq!(parsed, h);
+    }
+
+    #[test]
+    fn ack_seq_packs_at_max_inline_boundary() {
+        // The largest legitimate inline length must round-trip exactly,
+        // with the credit grant intact in the high bits.
+        let seq = pack_ack_seq(MAX_INLINE as u32, 0xABCD);
+        assert_eq!(ack_inline_len(seq), MAX_INLINE as u32);
+        assert_eq!(ack_credits(seq), 0xABCD);
+        let seq = pack_ack_seq(0xFFFF, u16::MAX);
+        assert_eq!(ack_inline_len(seq), 0xFFFF);
+        assert_eq!(ack_credits(seq), u16::MAX);
+    }
+
+    #[test]
+    fn oversized_inline_len_saturates_and_keeps_credits() {
+        // Release-build guard: a length past 16 bits saturates instead of
+        // bleeding into (and corrupting) the piggybacked credit grant.
+        let seq = pack_ack_seq(0x1_0000, 7);
+        assert_eq!(ack_inline_len(seq), 0xFFFF);
+        assert_eq!(ack_credits(seq), 7);
+        let seq = pack_ack_seq(u32::MAX, 12345);
+        assert_eq!(ack_inline_len(seq), 0xFFFF);
+        assert_eq!(ack_credits(seq), 12345);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! One-slot thread handoff gates.
+//!
+//! A [`Gate`] replaces the per-process `mpsc` channel pair of the original
+//! kernel: the owning thread blocks in [`Gate::wait`] and any other thread
+//! hands it a [`Go`] command with [`Gate::wake`]. The command is a latch —
+//! a wake delivered before the owner waits (or even before the owner thread
+//! has started) is not lost, and `Shutdown` overrides a pending `Run`
+//! during teardown, which is the only time two wakes can race.
+//!
+//! The point of the custom primitive is cost: a handoff is one atomic store
+//! plus one `unpark`, where the old channel-based design paid a send *and*
+//! a receive on two different channels (four mutex/condvar operations) per
+//! dispatched wake.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::thread::Thread;
+
+use crate::kernel::Go;
+use crate::sync::Mutex;
+
+const CMD_NONE: u32 = 0;
+const CMD_RUN: u32 = 1;
+const CMD_SHUTDOWN: u32 = 2;
+
+/// A single-owner wakeup slot carrying a [`Go`] command.
+pub(crate) struct Gate {
+    cmd: AtomicU32,
+    /// The owning thread, registered once when that thread starts. `wake`
+    /// before registration just leaves the command latched.
+    owner: Mutex<Option<Thread>>,
+}
+
+impl Gate {
+    pub(crate) fn new() -> Gate {
+        Gate {
+            cmd: AtomicU32::new(CMD_NONE),
+            owner: Mutex::new(None),
+        }
+    }
+
+    /// Claim this gate for the calling thread. Must be called by the owner
+    /// before its first [`Gate::wait`].
+    pub(crate) fn register(&self) {
+        *self.owner.lock() = Some(std::thread::current());
+    }
+
+    /// Block the owning thread until a command arrives.
+    pub(crate) fn wait(&self) -> Go {
+        loop {
+            match self.cmd.swap(CMD_NONE, Ordering::AcqRel) {
+                CMD_NONE => std::thread::park(),
+                CMD_RUN => return Go::Run,
+                _ => return Go::Shutdown,
+            }
+        }
+    }
+
+    /// Latch `go` and unpark the owner (if it has registered yet; if not,
+    /// the latched command is consumed by its first `wait`).
+    pub(crate) fn wake(&self, go: Go) {
+        let cmd = match go {
+            Go::Run => CMD_RUN,
+            Go::Shutdown => CMD_SHUTDOWN,
+        };
+        self.cmd.store(cmd, Ordering::Release);
+        let owner = self.owner.lock().clone();
+        if let Some(t) = owner {
+            t.unpark();
+        }
+    }
+}

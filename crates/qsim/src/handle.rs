@@ -23,9 +23,13 @@ impl SimHandle {
         SimHandle { shared }
     }
 
-    /// Current virtual time.
+    /// Current virtual time (lock-free: reads the kernel's clock mirror).
     pub fn now(&self) -> Time {
-        self.shared.state.lock().now
+        Time::from_ns(
+            self.shared
+                .now_ns
+                .load(std::sync::atomic::Ordering::Acquire),
+        )
     }
 
     /// Run `f` after `delay` of virtual time.
@@ -35,10 +39,11 @@ impl SimHandle {
         st.push_event(at, Event::Call(Box::new(f)));
     }
 
-    /// Run `f` at the absolute virtual time `at` (which must not be in the past).
+    /// Run `f` at the absolute virtual time `at`. A past `at` is clamped to
+    /// the current time (and counted in the report's `sched_past`): the
+    /// virtual clock never moves backwards.
     pub fn call_at(&self, at: Time, f: impl FnOnce(&SimHandle) + Send + 'static) {
         let mut st = self.shared.state.lock();
-        let at = at.max(st.now);
         st.push_event(at, Event::Call(Box::new(f)));
     }
 }
@@ -69,8 +74,10 @@ mod tests {
                 o2.lock().push(s2.now().as_ns());
             });
         });
-        sim.run().unwrap();
+        let report = sim.run().unwrap();
         assert_eq!(*order.lock(), vec![5_000]);
+        // The clamp is counted, not silent.
+        assert_eq!(report.sched_past, 1);
     }
 
     #[test]

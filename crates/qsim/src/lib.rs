@@ -29,9 +29,11 @@
 
 #![warn(missing_docs)]
 
+mod gate;
 mod handle;
 mod kernel;
 mod proc;
+mod queue;
 pub mod rng;
 mod signal;
 mod sync;
@@ -40,6 +42,7 @@ mod time;
 pub use handle::SimHandle;
 pub use kernel::{ProcId, Report, SimError, Simulation};
 pub use proc::Proc;
+pub use queue::{default_queue_kind, set_default_queue_kind, QueueKind};
 pub use rng::Pcg32;
 pub use signal::{Signal, TimedWait, Wait};
 pub use sync::{Mailbox, MailboxTx, Mutex, MutexGuard};
@@ -206,6 +209,89 @@ mod tests {
         });
         sim.run().unwrap();
         assert_eq!(ticks.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn past_scheduled_event_cannot_move_time_backwards() {
+        // Regression: `push_event` used to accept past timestamps in release
+        // builds (debug_assert only), letting the dispatch loop rewind the
+        // virtual clock. Now the event is clamped to `now` and counted.
+        let sim = Simulation::new();
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let h = sim.handle();
+        let t2 = times.clone();
+        h.call_after(Dur::from_us(5), move |s| {
+            let t3 = t2.clone();
+            // Attempt to schedule 4µs into the past.
+            s.call_at(Time::from_ns(1_000), move |s2| {
+                t3.lock().push(s2.now().as_ns());
+            });
+            let t4 = t2.clone();
+            s.call_after(Dur::from_ns(10), move |s2| {
+                t4.lock().push(s2.now().as_ns());
+            });
+        });
+        let report = sim.run().unwrap();
+        // The past event fired at now (5µs), not at 1µs, and later events
+        // still see a monotone clock.
+        assert_eq!(*times.lock(), vec![5_000, 5_010]);
+        assert_eq!(report.sched_past, 1);
+        assert_eq!(report.end_time, Time::from_ns(5_010));
+    }
+
+    #[test]
+    fn stale_wakes_are_counted_separately() {
+        // A wait_timeout whose signal lands at exactly the timer deadline:
+        // the notify queues a second wake behind the timer wake, the process
+        // returns `Signaled` and finishes, and the leftover wake pops as a
+        // stale no-op. It must be counted in `stale_wakes`, not inflate
+        // `wakes_executed` or the headline events/s.
+        let sim = Simulation::new();
+        let sig_slot: Arc<Mutex<Option<Signal>>> = Arc::new(Mutex::new(None));
+        let ss = sig_slot.clone();
+        let h = sim.handle();
+        h.call_after(Dur::from_us(5), move |s| {
+            ss.lock().as_ref().unwrap().notify(s);
+        });
+        let ss2 = sig_slot.clone();
+        sim.spawn("p", move |p| {
+            let s = p.signal();
+            *ss2.lock() = Some(s.clone());
+            assert_eq!(p.wait_timeout(&s, Dur::from_us(5)), TimedWait::Signaled);
+        });
+        let report = sim.run().unwrap();
+        assert_eq!(report.stale_wakes, 1);
+        assert_eq!(report.wakes_executed, 2); // spawn wake + timer wake
+        assert_eq!(report.calls_executed, 1);
+        assert_eq!(report.events_processed, 4);
+    }
+
+    #[test]
+    fn daemons_shut_down_in_spawn_order() {
+        let sim = Simulation::new();
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..3u32 {
+            let o = order.clone();
+            sim.spawn_daemon(&format!("d{i}"), move |p| {
+                let s = p.signal();
+                match p.wait(&s) {
+                    Wait::Shutdown => o.lock().push(i),
+                    Wait::Signaled => panic!("unexpected signal"),
+                }
+            });
+        }
+        sim.spawn("main", |p| p.advance(Dur::from_us(1)));
+        sim.run().unwrap();
+        assert_eq!(*order.lock(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dropping_unrun_simulation_joins_threads() {
+        // A simulation dropped without `run` must release the parked process
+        // threads instead of leaking them.
+        let sim = Simulation::new();
+        sim.spawn("p", |p| p.advance(Dur::from_us(1)));
+        drop(sim);
     }
 
     #[test]

@@ -2,13 +2,12 @@
 //! time: advancing the clock, creating and waiting on signals, spawning
 //! further processes.
 
-use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use std::sync::mpsc::Receiver;
-
+use crate::gate::Gate;
 use crate::handle::SimHandle;
-use crate::kernel::{spawn_proc, Event, Go, ParkKind, ProcId, Shared, YieldMsg};
+use crate::kernel::{drive, spawn_proc, Driven, Event, Go, ParkKind, ProcId, Shared};
 use crate::signal::{Signal, SignalInner, TimedWait, Wait};
 use crate::time::{Dur, Time};
 
@@ -16,16 +15,12 @@ use crate::time::{Dur, Time};
 pub struct Proc {
     pid: ProcId,
     shared: Arc<Shared>,
-    go_rx: Receiver<Go>,
+    gate: Arc<Gate>,
 }
 
 impl Proc {
-    pub(crate) fn new(pid: ProcId, shared: Arc<Shared>, go_rx: Receiver<Go>) -> Self {
-        Proc { pid, shared, go_rx }
-    }
-
-    pub(crate) fn initial_go(&self) -> Go {
-        self.go_rx.recv().unwrap_or(Go::Shutdown)
+    pub(crate) fn new(pid: ProcId, shared: Arc<Shared>, gate: Arc<Gate>) -> Self {
+        Proc { pid, shared, gate }
     }
 
     /// This process's id.
@@ -40,7 +35,7 @@ impl Proc {
 
     /// Current virtual time.
     pub fn now(&self) -> Time {
-        self.shared.state.lock().now
+        Time::from_ns(self.shared.now_ns.load(Ordering::Acquire))
     }
 
     /// Model `d` of computation: the process gives up control and resumes
@@ -50,7 +45,7 @@ impl Proc {
             let mut st = self.shared.state.lock();
             let at = st.now + d;
             st.push_event(at, Event::Wake(self.pid));
-            st.procs[self.pid.index()].park = ParkKind::Timer;
+            st.procs.get_mut(self.pid.index()).park = ParkKind::Timer;
             at
         };
         loop {
@@ -63,7 +58,7 @@ impl Proc {
                     // A stale wake (e.g. the leftover timer of an earlier
                     // `wait_timeout` that raced its signal): our own wake is
                     // still queued, so just park again until it arrives.
-                    st.procs[self.pid.index()].park = ParkKind::Timer;
+                    st.procs.get_mut(self.pid.index()).park = ParkKind::Timer;
                 }
                 // Forced shutdown while sleeping: unwind this thread. The
                 // kernel treats the unwind as process completion during
@@ -105,7 +100,7 @@ impl Proc {
                 if st.shutdown {
                     return Wait::Shutdown;
                 }
-                st.procs[self.pid.index()].park = ParkKind::Signal(s.inner.id);
+                st.procs.get_mut(self.pid.index()).park = ParkKind::Signal(s.inner.id);
             }
             match self.park() {
                 Go::Run => continue,
@@ -140,9 +135,7 @@ impl Proc {
                 return TimedWait::Shutdown;
             }
             let at = st.now + timeout;
-            let key = (at, st.seq);
-            st.push_event(at, Event::Wake(self.pid));
-            key
+            st.push_event(at, Event::Wake(self.pid))
         };
         loop {
             {
@@ -151,23 +144,23 @@ impl Proc {
                     .pending
                     .swap(false, std::sync::atomic::Ordering::Relaxed)
                 {
-                    st.queue.remove(&key);
+                    st.queue.cancel(key);
                     return TimedWait::Signaled;
                 }
                 if st.shutdown {
-                    st.queue.remove(&key);
+                    st.queue.cancel(key);
                     return TimedWait::Shutdown;
                 }
-                if !st.queue.contains_key(&key) {
+                if !st.queue.contains(key) {
                     // Our timer fired and nothing else woke us up.
                     return TimedWait::TimedOut;
                 }
-                st.procs[self.pid.index()].park = ParkKind::Signal(s.inner.id);
+                st.procs.get_mut(self.pid.index()).park = ParkKind::Signal(s.inner.id);
             }
             match self.park() {
                 Go::Run => continue,
                 Go::Shutdown => {
-                    self.shared.state.lock().queue.remove(&key);
+                    self.shared.state.lock().queue.cancel(key);
                     return TimedWait::Shutdown;
                 }
             }
@@ -199,12 +192,15 @@ impl Proc {
         self.sim().call_after(delay, f);
     }
 
+    /// Give up control: keep the driver token and dispatch events on this
+    /// thread until either our own wake comes up (free resume, no context
+    /// switch) or control transfers elsewhere and we block on our gate.
     fn park(&self) -> Go {
-        self.shared
-            .yield_tx
-            .send(YieldMsg::Parked(self.pid))
-            .expect("kernel gone");
-        self.go_rx.recv().unwrap_or(Go::Shutdown)
+        match drive(&self.shared, Some(self.pid)) {
+            Driven::Resume => Go::Run,
+            Driven::Transferred => self.gate.wait(),
+            Driven::Ended => Go::Shutdown,
+        }
     }
 }
 

@@ -37,7 +37,7 @@ impl Signal {
 
     pub(crate) fn notify_locked(&self, st: &mut KernelState) {
         self.inner.pending.store(true, Ordering::Relaxed);
-        let slot = &mut st.procs[self.inner.owner.index()];
+        let slot = st.procs.get_mut(self.inner.owner.index());
         if !slot.finished && slot.park == ParkKind::Signal(self.inner.id) {
             slot.park = ParkKind::Timer; // wake is now queued
             let at = st.now;

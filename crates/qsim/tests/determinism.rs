@@ -1,0 +1,177 @@
+//! Scheduler determinism: the same program must produce the same schedule —
+//! across repeated runs, and across event-queue implementations (the
+//! calendar queue vs. the reference `BTreeMap`). Equality is checked on
+//! `(end_time, events_processed)` and on the kernel's per-event schedule
+//! hash, which folds every dispatched `(time, kind, proc)` triple.
+
+use qsim::{Dur, Pcg32, QueueKind, Report, SimError, Simulation, TimedWait, Wait};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A workload exercising every scheduling primitive: timed advances with
+/// PRNG-jittered delays, signal ping-pong, watchdog-style `wait_timeout`
+/// loops, nested spawns, device callbacks, and a daemon.
+fn mixed_workload(sim: &Simulation) {
+    // Signal ping-pong pairs with jittered compute.
+    for pair in 0..3u64 {
+        let a_sig: Arc<qsim::Mutex<Option<qsim::Signal>>> = Arc::new(qsim::Mutex::new(None));
+        let b_sig: Arc<qsim::Mutex<Option<qsim::Signal>>> = Arc::new(qsim::Mutex::new(None));
+        let (a2, b2) = (a_sig.clone(), b_sig.clone());
+        sim.spawn(&format!("a{pair}"), move |p| {
+            let mut rng = Pcg32::new(0x5EED + pair);
+            let s = p.signal();
+            *a2.lock() = Some(s.clone());
+            for _ in 0..150 {
+                p.advance(Dur::from_ns(100 + (rng.next_u32() % 700) as u64));
+                loop {
+                    if let Some(bs) = b2.lock().as_ref() {
+                        bs.notify(&p.sim());
+                        break;
+                    }
+                    p.advance(Dur::from_ns(50));
+                }
+                p.wait(&s).expect_signaled();
+            }
+        });
+        let (a3, b3) = (a_sig, b_sig);
+        sim.spawn(&format!("b{pair}"), move |p| {
+            let mut rng = Pcg32::new(0xB0B + pair);
+            let s = p.signal();
+            *b3.lock() = Some(s.clone());
+            for _ in 0..150 {
+                p.wait(&s).expect_signaled();
+                p.advance(Dur::from_ns(80 + (rng.next_u32() % 300) as u64));
+                a3.lock().as_ref().unwrap().notify(&p.sim());
+            }
+        });
+    }
+    // A watchdog-style timeout loop ended by a late notification.
+    let w_sig: Arc<qsim::Mutex<Option<qsim::Signal>>> = Arc::new(qsim::Mutex::new(None));
+    let w2 = w_sig.clone();
+    sim.spawn("watchdog", move |p| {
+        let s = p.signal();
+        *w2.lock() = Some(s.clone());
+        loop {
+            match p.wait_timeout(&s, Dur::from_us(10)) {
+                TimedWait::Signaled => break,
+                TimedWait::TimedOut => {}
+                TimedWait::Shutdown => panic!("unexpected shutdown"),
+            }
+        }
+    });
+    let h = sim.handle();
+    h.call_after(Dur::from_us(95), move |sim| {
+        w_sig.lock().as_ref().unwrap().notify(sim);
+    });
+    // Nested spawns at staggered times, each with device callbacks.
+    sim.spawn("spawner", |p| {
+        for i in 0..5u64 {
+            p.advance(Dur::from_us(2 * (i + 1)));
+            p.spawn(&format!("child{i}"), move |c| {
+                let done = Arc::new(AtomicU64::new(0));
+                let d2 = done.clone();
+                c.call_after(Dur::from_ns(300 + 17 * i), move |_| {
+                    d2.store(1, Ordering::SeqCst);
+                });
+                c.advance(Dur::from_us(1));
+                assert_eq!(done.load(Ordering::SeqCst), 1);
+            });
+        }
+    });
+    // A daemon parked until shutdown (a daemon must not keep timer events
+    // queued, or the run would never drain the queue and complete).
+    sim.spawn_daemon("daemon", |p| {
+        let s = p.signal();
+        match p.wait(&s) {
+            Wait::Shutdown => {}
+            Wait::Signaled => panic!("nobody notifies the daemon"),
+        }
+    });
+}
+
+fn run_workload(kind: QueueKind) -> Report {
+    let sim = Simulation::with_queue(kind);
+    mixed_workload(&sim);
+    sim.run().unwrap()
+}
+
+fn fingerprint(r: &Report) -> (u64, u64, u64, u64, u64) {
+    (
+        r.end_time.as_ns(),
+        r.events_processed,
+        r.schedule_hash,
+        r.wakes_executed,
+        r.calls_executed,
+    )
+}
+
+#[test]
+fn repeated_runs_produce_identical_schedules() {
+    let first = run_workload(QueueKind::Calendar);
+    assert!(
+        first.events_processed > 1500,
+        "workload too small to trust: {} events",
+        first.events_processed
+    );
+    for _ in 0..3 {
+        let again = run_workload(QueueKind::Calendar);
+        assert_eq!(fingerprint(&first), fingerprint(&again));
+    }
+}
+
+#[test]
+fn calendar_and_btree_queues_produce_identical_schedules() {
+    let cal = run_workload(QueueKind::Calendar);
+    let btree = run_workload(QueueKind::BTree);
+    assert_eq!(
+        fingerprint(&cal),
+        fingerprint(&btree),
+        "queue implementations diverged on the same program"
+    );
+    assert_eq!(cal.stale_wakes, btree.stale_wakes);
+    assert_eq!(cal.sched_past, btree.sched_past);
+}
+
+#[test]
+fn deadlock_reports_all_parked_procs_under_new_dispatch() {
+    let sim = Simulation::new();
+    for i in 0..3u32 {
+        sim.spawn(&format!("stuck{i}"), |p| {
+            let s = p.signal();
+            p.wait(&s).expect_signaled();
+        });
+    }
+    sim.spawn("finishes", |p| p.advance(Dur::from_us(1)));
+    match sim.run() {
+        Err(SimError::Deadlock { parked }) => {
+            assert_eq!(parked, vec!["stuck0", "stuck1", "stuck2"]);
+        }
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn daemon_shutdown_is_deterministic() {
+    // Shutdown order (spawn order) must not depend on wall-clock timing.
+    fn order() -> Vec<u32> {
+        let sim = Simulation::new();
+        let order = Arc::new(qsim::Mutex::new(Vec::new()));
+        for i in 0..4u32 {
+            let o = order.clone();
+            sim.spawn_daemon(&format!("d{i}"), move |p| {
+                let s = p.signal();
+                match p.wait(&s) {
+                    Wait::Shutdown => o.lock().push(i),
+                    Wait::Signaled => panic!("unexpected signal"),
+                }
+            });
+        }
+        sim.spawn("main", |p| p.advance(Dur::from_us(3)));
+        sim.run().unwrap();
+        let v = order.lock().clone();
+        v
+    }
+    let first = order();
+    assert_eq!(first, vec![0, 1, 2, 3]);
+    assert_eq!(first, order());
+}

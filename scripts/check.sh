@@ -38,9 +38,18 @@ cargo run --release -q -p ompi-bench --bin harness -- \
 
 echo "== bench smoke: simulator self-profile"
 # Events/s on a fixed reference workload — the baseline CI tracks for
-# kernel regressions. Exits nonzero if the profile comes up empty.
+# kernel regressions. Exits nonzero if the profile comes up empty, if the
+# schedule fingerprint diverges across repeat runs or between the calendar
+# and reference BTree queues, or if throughput falls below the floor
+# (4x the pre-rewrite 148,370 events/s baseline).
 cargo run --release -q -p ompi-bench --bin harness -- \
-    --sim-bench --bench-out BENCH_sim.json
+    --sim-bench --sim-floor 593480 --bench-out BENCH_sim.json
+
+echo "== bench smoke: wall-clock-budgeted 1024-rank collective sweep"
+# Barrier rounds at 64/256/1024 ranks; exits nonzero if any point comes up
+# empty or the whole sweep blows its wall-clock budget.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --rank-sweep --sweep-budget-ms 60000 --bench-out BENCH_sweep.json
 
 echo "== observability demo: incast congestion report"
 # 8-rank incast; exits nonzero if the per-link table comes up empty.
