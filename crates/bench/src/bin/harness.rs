@@ -42,6 +42,14 @@
 //! `--sim-bench` times the discrete-event kernel itself on a reference
 //! ping-pong and prints its self-profile (events executed, events/s wall
 //! clock) as JSON; `--bench-out FILE` writes the same JSON to a file.
+//! `--coll-curve` sweeps barrier / bcast / allreduce latency at 64, 256,
+//! and 1024 ranks, host-driven vs NIC-offloaded (the chained event
+//! programs behind `coll.nic_offload`), prints the curve JSON, and exits
+//! nonzero unless the offloaded path strictly beats the host path for
+//! every collective at 256 and 1024 ranks; `--bench-out FILE` writes the
+//! same JSON (the CI artifact `BENCH_coll.json`).
+//! `--sweep-floor N` makes `--rank-sweep` also fail if any point falls
+//! below N simulator events/s of wall-clock throughput.
 //! `--stall-demo` forces a rendezvous stall (dropped FIN_ACK, reliability
 //! off), lets the watchdog abort the run, and prints the recovered
 //! post-mortem — stall diagnostics plus the flight-recorder dumps frozen
@@ -117,6 +125,8 @@ fn main() {
     let mut sim_floor: f64 = 0.0;
     let mut rank_sweep_flag = false;
     let mut sweep_budget_ms: u64 = 60_000;
+    let mut sweep_floor: f64 = 0.0;
+    let mut coll_curve_flag = false;
     let mut stall_demo = false;
     let mut flight_out: Option<String> = None;
     let mut critpath = false;
@@ -172,6 +182,14 @@ fn main() {
                 }
             },
             "--rank-sweep" => rank_sweep_flag = true,
+            "--sweep-floor" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => sweep_floor = n,
+                None => {
+                    eprintln!("--sweep-floor needs an events/s number");
+                    std::process::exit(2);
+                }
+            },
+            "--coll-curve" => coll_curve_flag = true,
             "--sweep-budget-ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => sweep_budget_ms = n,
                 None => {
@@ -236,6 +254,7 @@ fn main() {
         && !congestion_report
         && !sim_bench_flag
         && !rank_sweep_flag
+        && !coll_curve_flag
         && !stall_demo
         && !critpath
         && !timeline_flag
@@ -247,7 +266,8 @@ fn main() {
              [--reg-bench] [--bw-curve] [--flow-bench] [--bench-out FILE] \
              [--congestion-report] [--metrics-out FILE] \
              [--sim-bench] [--sim-floor EVENTS_PER_SEC] \
-             [--rank-sweep] [--sweep-budget-ms N] \
+             [--rank-sweep] [--sweep-budget-ms N] [--sweep-floor EVENTS_PER_SEC] \
+             [--coll-curve] \
              [--stall-demo] [--flight-out FILE] \
              [--critpath] [--critpath-out FILE] \
              [--timeline] [--timeline-out FILE] [--list-introspect] \
@@ -478,6 +498,83 @@ fn main() {
                 "rank-sweep FAILED: {:.1} ms exceeds the {} ms wall budget",
                 report.total_wall_ms, report.budget_ms
             );
+            std::process::exit(1);
+        }
+        if sweep_floor > 0.0 {
+            // Per-point throughput floor: the 1024-rank point is the
+            // binding one — smaller worlds only run faster.
+            let mut failed = false;
+            for p in &report.points {
+                if p.report.events_per_sec() < sweep_floor {
+                    eprintln!(
+                        "rank-sweep FAILED: {} ranks ran at {:.0} events/s, \
+                         below the floor of {:.0}",
+                        p.ranks,
+                        p.report.events_per_sec(),
+                        sweep_floor
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if coll_curve_flag {
+        use ompi_bench::measure::{coll_curve, Setup};
+        use openmpi_core::StackConfig;
+        let start = std::time::Instant::now();
+        // Barrier / bcast / allreduce at growing world sizes, 512-byte
+        // payloads (inside the NIC event-program ceiling), each timed
+        // host-driven and NIC-offloaded on an identical fabric.
+        let report = coll_curve(
+            &Setup::paper(StackConfig::default()),
+            &[64, 256, 1024],
+            512,
+            8,
+        );
+        let json = report.to_json();
+        println!("{json}");
+        if let Some(path) = &bench_out {
+            std::fs::write(path, &json).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("[collective curve written to {path}]");
+        }
+        for p in &report.points {
+            eprintln!(
+                "[coll-curve: {} ranks {:>9}: host {:.1}us, nic {:.1}us ({:.2}x)]",
+                p.ranks,
+                p.coll,
+                p.host_us,
+                p.nic_us,
+                p.speedup()
+            );
+        }
+        eprintln!(
+            "[coll-curve: 18 cells in {:.1?} wall time]",
+            start.elapsed()
+        );
+        // The gate: once the tree is deep enough that host wakeups dominate
+        // — 256 ranks and up — the NIC-resident program must win outright
+        // for every collective.
+        let mut failed = false;
+        for ranks in [256usize, 1024] {
+            for coll in ["barrier", "bcast", "allreduce"] {
+                let p = report
+                    .point(ranks, coll)
+                    .expect("gate cells are on the measured grid");
+                if p.nic_us >= p.host_us {
+                    eprintln!(
+                        "coll-curve FAILED: NIC-offloaded {coll} ({:.1}us) not \
+                         faster than host-driven ({:.1}us) at {ranks} ranks",
+                        p.nic_us, p.host_us
+                    );
+                    failed = true;
+                }
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -1466,6 +1466,176 @@ pub fn rank_sweep(
     }
 }
 
+/// One measured cell of the collective-latency curve: a collective at a
+/// world size, timed twice — host-driven trees vs the NIC-resident event
+/// program.
+pub struct CollCurvePoint {
+    /// World size of this point.
+    pub ranks: usize,
+    /// Which collective: `"barrier"`, `"bcast"`, or `"allreduce"`.
+    pub coll: &'static str,
+    /// Mean per-operation completion latency on the host-driven path, µs.
+    pub host_us: f64,
+    /// Same workload with `coll.nic_offload` on, µs.
+    pub nic_us: f64,
+}
+
+impl CollCurvePoint {
+    /// Host latency over NIC latency — above 1.0 the offload pays.
+    pub fn speedup(&self) -> f64 {
+        if self.nic_us > 0.0 {
+            self.host_us / self.nic_us
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The collective-offload scaling curve: barrier, bcast, and allreduce at
+/// each world size, NIC-offloaded vs host-driven (the CI artifact
+/// `BENCH_coll.json`).
+pub struct CollCurveReport {
+    /// Payload bytes per bcast / allreduce (barrier carries none).
+    pub payload: usize,
+    /// Timed operations per cell (after warm-up).
+    pub iters: usize,
+    /// One entry per (world size, collective) pair.
+    pub points: Vec<CollCurvePoint>,
+    /// Total wall time spent measuring, in milliseconds.
+    pub total_wall_ms: f64,
+}
+
+impl CollCurveReport {
+    /// Look up the cell for a world size and collective name.
+    pub fn point(&self, ranks: usize, coll: &str) -> Option<&CollCurvePoint> {
+        self.points
+            .iter()
+            .find(|p| p.ranks == ranks && p.coll == coll)
+    }
+
+    /// One JSON document: both series per collective per world size.
+    pub fn to_json(&self) -> String {
+        let points: Vec<String> = self
+            .points
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"ranks\":{},\"coll\":\"{}\",\"host_us\":{:.3},\
+                     \"nic_us\":{:.3},\"speedup\":{:.3}}}",
+                    p.ranks,
+                    p.coll,
+                    p.host_us,
+                    p.nic_us,
+                    p.speedup()
+                )
+            })
+            .collect();
+        format!(
+            "{{\"bench\":\"coll_curve\",\"payload\":{},\"iters\":{},\
+             \"total_wall_ms\":{:.1},\"points\":[{}]}}",
+            self.payload,
+            self.iters,
+            self.total_wall_ms,
+            points.join(",")
+        )
+    }
+}
+
+/// Time barrier, bcast, and allreduce in one world: each phase warms up
+/// (which also builds and caches the NIC program, keeping the one-time
+/// event-table exchange out of the timed region), syncs, then runs `iters`
+/// operations. Completion is the *slowest* rank's elapsed time — for a
+/// broadcast the root returns as soon as the NIC accepts the descriptors,
+/// so only a leaf sees the true finish.
+fn coll_curve_cell(
+    setup: &Setup,
+    ranks: usize,
+    payload: usize,
+    iters: usize,
+    nic: bool,
+) -> [f64; 3] {
+    let mut setup = setup.clone();
+    setup.fabric.nodes = ranks;
+    setup.stack.coll_nic_offload = nic;
+    if !nic {
+        // Host baseline: binomial trees only, hardware rail off too.
+        setup.stack.coll_hw_bcast = false;
+    }
+    let max_ns: Arc<Vec<AtomicU64>> = Arc::new((0..3).map(|_| AtomicU64::new(0)).collect());
+    let m2 = max_ns.clone();
+    setup
+        .universe()
+        .run_world(ranks, Placement::RoundRobin, move |mpi| {
+            let w = mpi.world();
+            let buf = mpi.alloc(payload.max(1));
+            mpi.write(&buf, 0, &pattern(payload, mpi.rank() as u8));
+
+            // Barrier.
+            for _ in 0..2 {
+                mpi.barrier(&w);
+            }
+            let t0 = mpi.now();
+            for _ in 0..iters {
+                mpi.barrier(&w);
+            }
+            m2[0].fetch_max((mpi.now() - t0).as_ns(), Ordering::SeqCst);
+
+            // Broadcast from rank 0.
+            for _ in 0..2 {
+                mpi.bcast(&w, 0, &buf, payload);
+            }
+            mpi.barrier(&w);
+            let t0 = mpi.now();
+            for _ in 0..iters {
+                mpi.bcast(&w, 0, &buf, payload);
+            }
+            m2[1].fetch_max((mpi.now() - t0).as_ns(), Ordering::SeqCst);
+
+            // Allreduce (commutative sum, NIC-combinable).
+            for _ in 0..2 {
+                mpi.allreduce(&w, openmpi_core::ReduceOp::SumU64, &buf, payload);
+            }
+            mpi.barrier(&w);
+            let t0 = mpi.now();
+            for _ in 0..iters {
+                mpi.allreduce(&w, openmpi_core::ReduceOp::SumU64, &buf, payload);
+            }
+            m2[2].fetch_max((mpi.now() - t0).as_ns(), Ordering::SeqCst);
+        });
+    let cell = |i: usize| max_ns[i].load(Ordering::SeqCst) as f64 / iters as f64 / 1_000.0;
+    [cell(0), cell(1), cell(2)]
+}
+
+/// Sweep barrier / bcast / allreduce latency across world sizes, each
+/// measured host-driven and NIC-offloaded on an identical fabric.
+pub fn coll_curve(
+    setup: &Setup,
+    rank_counts: &[usize],
+    payload: usize,
+    iters: usize,
+) -> CollCurveReport {
+    let start = std::time::Instant::now();
+    let mut points = Vec::new();
+    for &ranks in rank_counts {
+        let host = coll_curve_cell(setup, ranks, payload, iters, false);
+        let nic = coll_curve_cell(setup, ranks, payload, iters, true);
+        for (i, coll) in ["barrier", "bcast", "allreduce"].into_iter().enumerate() {
+            points.push(CollCurvePoint {
+                ranks,
+                coll,
+                host_us: host[i],
+                nic_us: nic[i],
+            });
+        }
+    }
+    CollCurveReport {
+        payload,
+        iters,
+        points,
+        total_wall_ms: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
 /// MPICH-QsNet ping-pong latency in µs.
 pub fn mpich_latency(nic: &NicConfig, fabric: &FabricConfig, len: usize) -> f64 {
     let cluster = Cluster::new(nic.clone(), fabric.clone());

@@ -5,6 +5,10 @@
 //! All collective traffic flows on the communicator's collective context so
 //! it can never match application receives.
 
+use std::sync::Arc;
+
+use elan4::{EventId, NicReduce, QdmaSpec, Vpid};
+
 use crate::comm::Communicator;
 use crate::metrics::CollOp;
 use crate::mpi::Mpi;
@@ -101,7 +105,9 @@ impl Mpi {
         out
     }
 
-    /// Dissemination barrier: ceil(log2(n)) rounds.
+    /// Barrier: a NIC-resident event-tree program when the communicator is
+    /// eligible for offload, otherwise a host-driven dissemination barrier
+    /// (ceil(log2(n)) rounds).
     pub fn barrier(&self, comm: &Communicator) {
         self.with_coll(CollOp::Barrier, || {
             let c = comm.coll_plane();
@@ -109,23 +115,39 @@ impl Mpi {
             if n <= 1 {
                 return;
             }
-            let me = c.rank();
-            let buf = self.alloc(1);
-            let mut k = 1;
-            let mut round = 0;
-            while k < n {
-                let to = (me + k) % n;
-                let from = (me + n - k) % n;
-                let tag = TAG_BARRIER * 1000 + round;
-                let rr = self.irecv(&c, from as i32, tag, &buf, 0);
-                let sr = self.isend(&c, to, tag, &buf, 0);
-                self.wait(sr);
-                self.wait(rr);
-                k <<= 1;
-                round += 1;
+            if self.endpoint().tunables.coll_nic_offload() {
+                if self.nic_eligible(&c) {
+                    if let Some(prog) = self.nic_program(&c, NicCollKind::Barrier, None, 0) {
+                        return self.run_nic_barrier(&prog);
+                    }
+                }
+                self.nic_fallback();
             }
-            self.free(buf);
+            self.host_barrier(&c, TAG_BARRIER);
         })
+    }
+
+    /// Host-driven dissemination barrier over point-to-point, with tags
+    /// drawn from `tag_base * 1000 + round`. Also the synchronization step
+    /// of NIC-program setup (which must not recurse into `barrier`).
+    fn host_barrier(&self, c: &Communicator, tag_base: i32) {
+        let n = c.size();
+        let me = c.rank();
+        let buf = self.alloc(1);
+        let mut k = 1;
+        let mut round = 0;
+        while k < n {
+            let to = (me + k) % n;
+            let from = (me + n - k) % n;
+            let tag = tag_base * 1000 + round;
+            let rr = self.irecv(c, from as i32, tag, &buf, 0);
+            let sr = self.isend(c, to, tag, &buf, 0);
+            self.wait(sr);
+            self.wait(rr);
+            k <<= 1;
+            round += 1;
+        }
+        self.free(buf);
     }
 
     /// Broadcast `len` bytes of `buf` from `root`. Uses the Elan4 hardware
@@ -138,7 +160,20 @@ impl Mpi {
         if n <= 1 {
             return;
         }
-        if c.hw_coll && self.endpoint().transports.elan_rails > 0 {
+        if self.endpoint().tunables.coll_nic_offload() {
+            if self.nic_eligible(&c) && len <= NIC_COLL_MAX {
+                if let Some(prog) = self.nic_program(&c, NicCollKind::Bcast, None, root) {
+                    return self.with_coll(CollOp::Bcast, || {
+                        self.run_nic_bcast(&c, &prog, root, buf, len)
+                    });
+                }
+            }
+            self.nic_fallback();
+        }
+        if c.hw_coll
+            && self.endpoint().transports.elan_rails > 0
+            && self.endpoint().tunables.coll_hw_bcast()
+        {
             return self.bcast_hw(&c, root, buf, len);
         }
         self.with_coll(CollOp::Bcast, || {
@@ -170,6 +205,7 @@ impl Mpi {
     /// eager fragments, each delivered to every member with a single NIC
     /// injection; members receive them as ordinary matched messages.
     fn bcast_hw(&self, c: &Communicator, root: usize, buf: &elan4::HostBuf, len: usize) {
+        self.endpoint().metric(|m| m.counters.coll_hw_bcasts += 1);
         self.with_coll(CollOp::BcastHw, || {
             const CHUNK: usize = crate::hdr::MAX_INLINE;
             let chunks = len.div_ceil(CHUNK).max(1);
@@ -289,9 +325,24 @@ impl Mpi {
         })
     }
 
-    /// Reduce-to-all: reduce to rank 0 then broadcast.
+    /// Reduce-to-all: a NIC-resident combining tree when eligible (the NIC
+    /// reduces on the way up and broadcasts the result on the way down),
+    /// otherwise reduce to rank 0 then broadcast.
     pub fn allreduce(&self, comm: &Communicator, op: ReduceOp, buf: &elan4::HostBuf, len: usize) {
         self.with_coll(CollOp::Allreduce, || {
+            if self.endpoint().tunables.coll_nic_offload() {
+                let c = comm.coll_plane();
+                if self.nic_eligible(&c) && len <= NIC_COLL_MAX && len.is_multiple_of(8) {
+                    if let Some(nic_op) = op.nic_reduce() {
+                        if let Some(prog) =
+                            self.nic_program(&c, NicCollKind::Allreduce, Some(nic_op), 0)
+                        {
+                            return self.run_nic_allreduce(&prog, buf, len);
+                        }
+                    }
+                }
+                self.nic_fallback();
+            }
             self.reduce(comm, 0, op, buf, len);
             self.bcast(comm, 0, buf, len);
         })
@@ -579,5 +630,405 @@ impl Mpi {
             self.free(b);
         }
         out
+    }
+}
+
+/// Setup tag for the NIC-program event-id exchange.
+const TAG_NICPROG: i32 = 12;
+/// Tag base for the host barrier that closes NIC-program setup.
+const TAG_NICPROG_SYNC: i32 = 13;
+
+/// NIC payloads ride in single event-write QDMAs, so an offloaded bcast or
+/// allreduce frame is capped at the QDMA limit.
+const NIC_COLL_MAX: usize = 2048;
+
+impl ReduceOp {
+    /// The NIC-side reduction implementing this operator, if the NIC thread
+    /// processor supports it. Only commutative/associative 64-bit-lane ops
+    /// qualify; anything else keeps the collective on the host path.
+    fn nic_reduce(&self) -> Option<NicReduce> {
+        match self {
+            ReduceOp::SumF64 => Some(NicReduce::SumF64),
+            ReduceOp::MaxF64 => Some(NicReduce::MaxF64),
+            ReduceOp::SumU64 => Some(NicReduce::SumU64),
+        }
+    }
+}
+
+/// Which collective a NIC-resident event program implements.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NicCollKind {
+    /// Pure synchronization: empty payloads up and down the tree.
+    Barrier,
+    /// Root seeds its children's down events; the up tree stays dormant.
+    Bcast,
+    /// Combining tree: partials reduce on the way up, the result fans out
+    /// on the way down.
+    Allreduce,
+}
+
+impl NicCollKind {
+    fn name(&self) -> &'static str {
+        match self {
+            NicCollKind::Barrier => "barrier",
+            NicCollKind::Bcast => "bcast",
+            NicCollKind::Allreduce => "allreduce",
+        }
+    }
+}
+
+/// Cache key for one compiled NIC program. Payload length is deliberately
+/// absent: the event wiring is payload-agnostic, so one program serves every
+/// message size a communicator throws at it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ProgKey {
+    /// The communicator's collective context id.
+    pub coll_ctx: u32,
+    /// Which collective the program implements.
+    pub kind: NicCollKind,
+    /// NIC reduction (allreduce programs only).
+    pub op: Option<NicReduce>,
+    /// Tree fan-out the program was compiled for.
+    pub radix: usize,
+    /// Root rank the tree is rotated around.
+    pub root: usize,
+}
+
+/// One rank's slice of a compiled NIC collective program: two counted
+/// events whose chains encode the tree, armed once and reused for every
+/// subsequent call (auto-reset re-arms the counts on the NIC).
+pub struct NicProgram {
+    /// Trace identity (unique per rank).
+    prog_id: u64,
+    /// Fan-in event: children's arrivals plus this rank's own entry. Fires
+    /// when the whole subtree has entered; carries the combined payload.
+    up: elan4::ElanEvent,
+    /// Fan-out event: one arrival from the parent releases this rank and
+    /// forwards the payload to its children.
+    down: elan4::ElanEvent,
+    /// This rank's position in virtual-rank space (root at 0).
+    vr: usize,
+    /// Direct children as (vpid, down-event id) — the bcast root seeds
+    /// these directly with QDMAs.
+    children: Vec<(Vpid, EventId)>,
+}
+
+/// Cached outcome of NIC-program compilation for one [`ProgKey`]. A
+/// `Fallback` entry pins the decision so ineligible communicators don't
+/// rescan their peer list on every call.
+#[derive(Clone)]
+pub enum CachedProg {
+    /// Program armed and reusable.
+    Ready(Arc<NicProgram>),
+    /// Offload impossible for this key (e.g. a TCP-only member).
+    Fallback,
+}
+
+impl Mpi {
+    /// Structural eligibility for NIC offload: a synchronously-created
+    /// group (shared virtual address space, like the hardware broadcast
+    /// gate of paper §4.1), an Elan rail to run on, and a non-trivial
+    /// group. Per-call payload limits are checked at the call sites.
+    fn nic_eligible(&self, c: &Communicator) -> bool {
+        c.hw_coll && self.endpoint().transports.elan_rails > 0 && c.size() > 1
+    }
+
+    /// Telemetry: offload was requested (`coll.nic_offload` on) but this
+    /// call ran on the host path instead.
+    fn nic_fallback(&self) {
+        self.endpoint()
+            .metric(|m| m.counters.coll_nic_fallbacks += 1);
+    }
+
+    /// Look up (or compile) the NIC program for `key`. Every member of the
+    /// communicator must call this with the same arguments — compilation
+    /// performs a setup exchange — which holds because all inputs to the
+    /// decision (cvars, group shape, modex contents) are job-uniform.
+    fn nic_program(
+        &self,
+        c: &Communicator,
+        kind: NicCollKind,
+        op: Option<NicReduce>,
+        root: usize,
+    ) -> Option<Arc<NicProgram>> {
+        let ep = self.endpoint();
+        let radix = ep.tunables.coll_tree_radix();
+        let key = ProgKey {
+            coll_ctx: c.ctx,
+            kind,
+            op,
+            radix,
+            root,
+        };
+        if let Some(cached) = ep.nic_progs.lock().get(&key) {
+            return match cached {
+                CachedProg::Ready(p) => Some(p.clone()),
+                CachedProg::Fallback => None,
+            };
+        }
+        let built = self.build_nic_program(c, kind, op, radix, root);
+        let entry = match &built {
+            Some(p) => CachedProg::Ready(p.clone()),
+            None => CachedProg::Fallback,
+        };
+        ep.nic_progs.lock().insert(key, entry);
+        built
+    }
+
+    /// Compile one rank's slice of a NIC collective program: create the up
+    /// and down events, exchange event ids through comm-rank 0, arm the
+    /// chains that encode a radix-`radix` tree rotated around `root`, and
+    /// synchronize so no rank enters a program a peer has not armed yet.
+    ///
+    /// Returns `None` when any member lacks Elan addressing (a TCP-only
+    /// route cannot host a counted event); the decision is identical on
+    /// every rank, so no rank blocks in the exchange.
+    fn build_nic_program(
+        &self,
+        c: &Communicator,
+        kind: NicCollKind,
+        op: Option<NicReduce>,
+        radix: usize,
+        root: usize,
+    ) -> Option<Arc<NicProgram>> {
+        let ep = self.endpoint();
+        let n = c.size();
+        let vpids: Option<Vec<Vpid>> = {
+            let st = ep.state.lock();
+            c.group
+                .iter()
+                .map(|p| st.peers.get(p).and_then(|pi| pi.elan.map(|e| e.vpid)))
+                .collect()
+        };
+        let vpids = vpids?;
+
+        let me = c.rank();
+        let vr = (me + n - root) % n;
+        let to_rank = |v: usize| (v + root) % n;
+        let child_vrs: Vec<usize> = (1..=radix)
+            .map(|i| radix * vr + i)
+            .filter(|&cv| cv < n)
+            .collect();
+        let nchildren = child_vrs.len();
+
+        // Fan-in: every child's arrival plus this rank's own entry; the
+        // auto-reset re-arms the count on the NIC so the program survives
+        // back-to-back calls without a host round-trip.
+        let up = ep.ectx.event_create((nchildren + 1) as u32);
+        up.set_auto_reset((nchildren + 1) as u32);
+        if let Some(o) = op {
+            up.set_combine(o);
+        }
+        let down = ep.ectx.event_create(1);
+        down.set_auto_reset(1);
+
+        let table = self.exchange_event_table(c, up.id(), down.id());
+
+        let rail = 0;
+        if vr > 0 {
+            let p = to_rank((vr - 1) / radix);
+            up.chain_qdma(QdmaSpec::forward_to_event(vpids[p], table[p].0, rail));
+            for &cv in &child_vrs {
+                let cr = to_rank(cv);
+                down.chain_qdma(QdmaSpec::forward_to_event(vpids[cr], table[cr].1, rail));
+            }
+        } else {
+            // The root's fan-in completing IS the collective completing;
+            // its chains launch the fan-out phase directly.
+            for &cv in &child_vrs {
+                let cr = to_rank(cv);
+                up.chain_qdma(QdmaSpec::forward_to_event(vpids[cr], table[cr].1, rail));
+            }
+        }
+        let children = child_vrs
+            .iter()
+            .map(|&cv| {
+                let cr = to_rank(cv);
+                (vpids[cr], table[cr].1)
+            })
+            .collect();
+
+        // No rank may enter until every rank's chains are armed: a host
+        // barrier on a dedicated tag closes the setup phase.
+        self.host_barrier(c, TAG_NICPROG_SYNC);
+
+        let prog_id = ((c.ctx as u64) << 32) | up.id().0 as u64;
+        ep.metric(|m| m.counters.coll_nic_programs += 1);
+        ep.trace(
+            self.proc().now(),
+            crate::trace::TraceEvent::NicProgArmed {
+                prog: prog_id,
+                kind: kind.name(),
+                radix,
+                members: n,
+            },
+        );
+        Some(Arc::new(NicProgram {
+            prog_id,
+            up,
+            down,
+            vr,
+            children,
+        }))
+    }
+
+    /// Gather every rank's (up, down) event ids through comm-rank 0 and
+    /// redistribute the full table. Raw tagged point-to-point — this runs
+    /// underneath the collectives, so it must not call one.
+    fn exchange_event_table(
+        &self,
+        c: &Communicator,
+        up: EventId,
+        down: EventId,
+    ) -> Vec<(EventId, EventId)> {
+        let n = c.size();
+        let me = c.rank();
+        let mut mine = Vec::with_capacity(8);
+        mine.extend_from_slice(&up.0.to_le_bytes());
+        mine.extend_from_slice(&down.0.to_le_bytes());
+        let bytes = if me == 0 {
+            let mut table = vec![0u8; 8 * n];
+            table[..8].copy_from_slice(&mine);
+            let tmp = self.alloc(8);
+            for r in 1..n {
+                self.recv(c, r as i32, TAG_NICPROG, &tmp, 8);
+                table[8 * r..8 * r + 8].copy_from_slice(&self.read(&tmp, 0, 8));
+            }
+            self.free(tmp);
+            let tbuf = self.alloc(8 * n);
+            self.write(&tbuf, 0, &table);
+            let reqs: Vec<_> = (1..n)
+                .map(|r| self.isend(c, r, TAG_NICPROG, &tbuf, 8 * n))
+                .collect();
+            self.waitall(reqs);
+            self.free(tbuf);
+            table
+        } else {
+            let sbuf = self.alloc(8);
+            self.write(&sbuf, 0, &mine);
+            self.send(c, 0, TAG_NICPROG, &sbuf, 8);
+            self.free(sbuf);
+            let rbuf = self.alloc(8 * n);
+            self.recv(c, 0, TAG_NICPROG, &rbuf, 8 * n);
+            let table = self.read(&rbuf, 0, 8 * n);
+            self.free(rbuf);
+            table
+        };
+        bytes
+            .chunks_exact(8)
+            .map(|ch| {
+                (
+                    EventId(u32::from_le_bytes(ch[0..4].try_into().unwrap())),
+                    EventId(u32::from_le_bytes(ch[4..8].try_into().unwrap())),
+                )
+            })
+            .collect()
+    }
+
+    /// Block until `ev` fires: the single host wakeup of an offloaded
+    /// collective. Every inter-rank hop of the program is NIC-to-NIC, so
+    /// nothing here needs the host progress engine — sleeping on the event
+    /// signal cannot deadlock.
+    fn wait_nic_event(&self, ev: &elan4::ElanEvent) {
+        let proc = self.proc();
+        let sig = proc.signal();
+        ev.set_signal(sig.clone());
+        loop {
+            if ev.take_fired(proc) {
+                return;
+            }
+            match proc.wait(&sig) {
+                qsim::Wait::Signaled => {}
+                qsim::Wait::Shutdown => panic!("simulation shut down inside a NIC collective"),
+            }
+        }
+    }
+
+    /// Consume a non-root rank's own fan-in fire. Its `up` event fired on
+    /// the NIC to forward partials upward; by the time `down` released the
+    /// host that fire has long latched, and draining it keeps the payload
+    /// FIFO from growing across calls.
+    fn drain_own_up(&self, prog: &NicProgram) {
+        let _ = prog.up.take_fired_ready();
+        let _ = prog.up.take_payload();
+    }
+
+    fn nic_coll_complete(&self, prog: &NicProgram, kind: NicCollKind) {
+        let ep = self.endpoint();
+        ep.metric(|m| m.counters.coll_nic_offloaded += 1);
+        ep.trace(
+            self.proc().now(),
+            crate::trace::TraceEvent::NicCollComplete {
+                prog: prog.prog_id,
+                coll: ep.cur_coll(),
+                kind: kind.name(),
+            },
+        );
+    }
+
+    /// Enter an armed barrier program: one PIO store, then sleep until the
+    /// tree has drained back down to this rank.
+    fn run_nic_barrier(&self, prog: &NicProgram) {
+        let ep = self.endpoint();
+        ep.ectx.set_event(self.proc(), prog.up.id(), None);
+        if prog.vr == 0 {
+            self.wait_nic_event(&prog.up);
+            let _ = prog.up.take_payload();
+        } else {
+            self.wait_nic_event(&prog.down);
+            let _ = prog.down.take_payload();
+            self.drain_own_up(prog);
+        }
+        self.nic_coll_complete(prog, NicCollKind::Barrier);
+    }
+
+    /// Broadcast through an armed program: the root QDMAs the frame into
+    /// each direct child's down event and returns (fire-and-forget, like
+    /// the eager send it replaces); descendants relay NIC-to-NIC. Payloads
+    /// queue in fire order at each hop, so back-to-back broadcasts from a
+    /// non-blocking root pipeline safely.
+    fn run_nic_bcast(
+        &self,
+        c: &Communicator,
+        prog: &NicProgram,
+        root: usize,
+        buf: &elan4::HostBuf,
+        len: usize,
+    ) {
+        let ep = self.endpoint();
+        if c.rank() == root {
+            let data = self.read(buf, 0, len);
+            for (vpid, ev) in &prog.children {
+                ep.ectx
+                    .qdma_to_event(self.proc(), 0, *vpid, *ev, data.clone());
+            }
+        } else {
+            self.wait_nic_event(&prog.down);
+            let out = prog.down.take_payload();
+            assert_eq!(out.len(), len, "NIC bcast payload length mismatch");
+            self.write(buf, 0, &out);
+        }
+        self.nic_coll_complete(prog, NicCollKind::Bcast);
+    }
+
+    /// Allreduce through an armed combining-tree program: enter with this
+    /// rank's contribution (the NIC folds it into the fan-in event), sleep,
+    /// and read the full reduction from the event that released us.
+    fn run_nic_allreduce(&self, prog: &NicProgram, buf: &elan4::HostBuf, len: usize) {
+        let ep = self.endpoint();
+        let data = self.read(buf, 0, len);
+        ep.ectx.set_event(self.proc(), prog.up.id(), Some(data));
+        let result = if prog.vr == 0 {
+            self.wait_nic_event(&prog.up);
+            prog.up.take_payload()
+        } else {
+            self.wait_nic_event(&prog.down);
+            let out = prog.down.take_payload();
+            self.drain_own_up(prog);
+            out
+        };
+        assert_eq!(result.len(), len, "NIC allreduce payload length mismatch");
+        self.write(buf, 0, &result);
+        self.nic_coll_complete(prog, NicCollKind::Allreduce);
     }
 }

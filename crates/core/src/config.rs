@@ -164,6 +164,21 @@ pub struct StackConfig {
     /// least this deep (fabric feedback into the credit loop). `0`
     /// disables the feedback.
     pub flow_ej_backoff: usize,
+    /// Compile barrier/bcast/allreduce into NIC-resident chained event
+    /// programs: once every rank has armed the program, each inter-hop
+    /// transfer is NIC→NIC (a child's arriving QDMA decrements the parent's
+    /// counted event, which fires the next chained QDMA) with exactly one
+    /// host wakeup per rank at completion. Falls back to the host-driven
+    /// trees for TCP-only routes, non-commutative reduce ops, payloads over
+    /// the QDMA limit, and communicators without hardware-collective
+    /// support. Must be set uniformly across the job.
+    pub coll_nic_offload: bool,
+    /// Fan-out of the NIC-offloaded reduction/broadcast tree (>= 2).
+    pub coll_tree_radix: usize,
+    /// Let eligible broadcasts use the hardware broadcast rail
+    /// (`ElanCtx::hw_bcast`) when the communicator spans a full
+    /// rail-connected set; off, they take the binomial point-to-point tree.
+    pub coll_hw_bcast: bool,
     /// Time-series sampler: snapshot queue depths / link occupancy into the
     /// endpoint's [`crate::introspect::Timeline`] every this much simulated
     /// time. `Dur::ZERO` (the default) disables sampling.
@@ -263,6 +278,9 @@ impl Default for StackConfig {
             flow_bounce_pool: 64,
             flow_dma_cap: 32,
             flow_ej_backoff: 0,
+            coll_nic_offload: false,
+            coll_tree_radix: 4,
+            coll_hw_bcast: true,
             timeline_interval: Dur::ZERO,
             timeline_capacity: 1024,
             host: HostConfig::default(),
@@ -347,6 +365,10 @@ impl StackConfig {
                 "per-peer flow credits cannot exceed the bounce pool (one sender could overrun it)"
             );
         }
+        assert!(
+            self.coll_tree_radix >= 2,
+            "collective tree radix must be >= 2"
+        );
         if self.timeline_interval > Dur::ZERO {
             assert!(
                 self.timeline_capacity >= 1,
@@ -429,6 +451,24 @@ mod tests {
             flow_enable: true,
             flow_credits: 65,
             flow_bounce_pool: 64,
+            ..Default::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    fn coll_defaults_are_conservative() {
+        let c = StackConfig::default();
+        assert!(!c.coll_nic_offload, "offload is opt-in");
+        assert_eq!(c.coll_tree_radix, 4);
+        assert!(c.coll_hw_bcast);
+    }
+
+    #[test]
+    #[should_panic(expected = "collective tree radix must be >= 2")]
+    fn degenerate_tree_radix_rejected() {
+        let c = StackConfig {
+            coll_tree_radix: 1,
             ..Default::default()
         };
         c.validate();

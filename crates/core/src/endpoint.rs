@@ -113,6 +113,11 @@ pub struct Endpoint {
     pub coll_depth: AtomicU64,
     /// Id of the outermost in-progress collective (0 = none).
     pub cur_coll_id: AtomicU64,
+    /// Compiled NIC-resident collective event programs, keyed by
+    /// communicator + shape and reused across calls ([`crate::coll`]).
+    /// Lives on the endpoint (not the communicator) because communicator
+    /// handles are cloned per call. Leaf lock, never held across waits.
+    pub nic_progs: Mutex<std::collections::HashMap<crate::coll::ProgKey, crate::coll::CachedProg>>,
     /// This rank's published addressing.
     pub my_info: PeerInfo,
 }
@@ -271,6 +276,7 @@ impl Endpoint {
             coll_seq: AtomicU64::new(0),
             coll_depth: AtomicU64::new(0),
             cur_coll_id: AtomicU64::new(0),
+            nic_progs: Mutex::new(std::collections::HashMap::new()),
             my_info,
         })
     }

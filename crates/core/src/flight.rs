@@ -179,6 +179,8 @@ impl FlightEvent {
             | TraceEvent::CtlDuplicate { .. }
             | TraceEvent::FlowQueued { .. }
             | TraceEvent::FlowSent { .. }
+            | TraceEvent::NicProgArmed { .. }
+            | TraceEvent::NicCollComplete { .. }
             | TraceEvent::SpanBegin { .. }
             | TraceEvent::SpanEnd { .. } => return None,
         })

@@ -56,6 +56,9 @@ pub struct Tunables {
     /// (auto-scale) is resolved against the job size at endpoint init.
     flow_credits: AtomicUsize,
     flow_dma_cap: AtomicUsize,
+    coll_nic_offload: AtomicBool,
+    coll_tree_radix: AtomicUsize,
+    coll_hw_bcast: AtomicBool,
     timeline_interval_ns: AtomicU64,
     /// Virtual time of the last timeline sample; `u64::MAX` = never sampled,
     /// so the first due check fires immediately once sampling is enabled.
@@ -86,6 +89,9 @@ impl Tunables {
             flow_enable: AtomicBool::new(cfg.flow_enable),
             flow_credits: AtomicUsize::new(cfg.flow_credits),
             flow_dma_cap: AtomicUsize::new(cfg.flow_dma_cap),
+            coll_nic_offload: AtomicBool::new(cfg.coll_nic_offload),
+            coll_tree_radix: AtomicUsize::new(cfg.coll_tree_radix),
+            coll_hw_bcast: AtomicBool::new(cfg.coll_hw_bcast),
             timeline_interval_ns: AtomicU64::new(cfg.timeline_interval.as_ns()),
             timeline_last_ns: AtomicU64::new(u64::MAX),
             ticks: AtomicU64::new(0),
@@ -131,6 +137,21 @@ impl Tunables {
     /// Endpoint-wide outstanding-DMA descriptor cap; 0 = uncapped.
     pub fn flow_dma_cap(&self) -> usize {
         self.flow_dma_cap.load(Ordering::Relaxed)
+    }
+
+    /// Are NIC-offloaded chained-event collectives enabled right now?
+    pub fn coll_nic_offload(&self) -> bool {
+        self.coll_nic_offload.load(Ordering::Relaxed)
+    }
+
+    /// Fan-out of the NIC-offloaded collective tree (clamped to >= 2).
+    pub fn coll_tree_radix(&self) -> usize {
+        self.coll_tree_radix.load(Ordering::Relaxed).max(2)
+    }
+
+    /// May eligible broadcasts use the hardware broadcast rail?
+    pub fn coll_hw_bcast(&self) -> bool {
+        self.coll_hw_bcast.load(Ordering::Relaxed)
     }
 
     /// Virtual-time gap between timeline samples; 0 = sampler off.
@@ -410,6 +431,21 @@ pub const CVARS: &[CvarDef] = &[
         writable: false,
     },
     CvarDef {
+        name: "coll.nic_offload",
+        desc: "compile barrier/bcast/allreduce into NIC-resident chained event programs",
+        writable: true,
+    },
+    CvarDef {
+        name: "coll.tree_radix",
+        desc: "fan-out of the NIC-offloaded collective tree (>= 2)",
+        writable: true,
+    },
+    CvarDef {
+        name: "coll.hw_bcast",
+        desc: "let eligible broadcasts use the hardware broadcast rail",
+        writable: true,
+    },
+    CvarDef {
         name: "timeline.interval_ns",
         desc: "virtual-time gap between time-series telemetry samples; 0 disables",
         writable: true,
@@ -480,6 +516,9 @@ pub fn cvar_read(ep: &Endpoint, name: &str) -> Option<CvarValue> {
         "flow.credits" => CvarValue::U64(ep.tunables.flow_credits() as u64),
         "flow.dma_cap" => CvarValue::U64(ep.tunables.flow_dma_cap() as u64),
         "flow.bounce_pool" => CvarValue::U64(ep.cfg.flow_bounce_pool as u64),
+        "coll.nic_offload" => CvarValue::Bool(ep.tunables.coll_nic_offload()),
+        "coll.tree_radix" => CvarValue::U64(ep.tunables.coll_tree_radix() as u64),
+        "coll.hw_bcast" => CvarValue::Bool(ep.tunables.coll_hw_bcast()),
         "timeline.interval_ns" => CvarValue::U64(ep.tunables.timeline_interval_ns()),
         "timeline.capacity" => CvarValue::U64(ep.cfg.timeline_capacity as u64),
         _ => return None,
@@ -619,6 +658,26 @@ pub fn cvar_write(ep: &Endpoint, name: &str, value: CvarValue) -> Result<(), Str
                 .store(v as usize, Ordering::Relaxed);
             Ok(())
         }
+        ("coll.nic_offload", CvarValue::Bool(b)) => {
+            // Armed programs are keyed by communicator/shape, so flipping
+            // this mid-run only steers *future* collectives; it must still
+            // be set uniformly across the job before the next collective.
+            ep.tunables.coll_nic_offload.store(b, Ordering::Relaxed);
+            Ok(())
+        }
+        ("coll.tree_radix", CvarValue::U64(v)) => {
+            if v < 2 {
+                return Err("coll.tree_radix must be >= 2".to_string());
+            }
+            ep.tunables
+                .coll_tree_radix
+                .store(v as usize, Ordering::Relaxed);
+            Ok(())
+        }
+        ("coll.hw_bcast", CvarValue::Bool(b)) => {
+            ep.tunables.coll_hw_bcast.store(b, Ordering::Relaxed);
+            Ok(())
+        }
         ("timeline.interval_ns", CvarValue::U64(v)) => {
             ep.tunables.timeline_interval_ns.store(v, Ordering::Relaxed);
             Ok(())
@@ -694,6 +753,9 @@ pub fn cvar_default(name: &str) -> Option<CvarValue> {
         "flow.credits" => CvarValue::U64(d.flow_credits as u64),
         "flow.dma_cap" => CvarValue::U64(d.flow_dma_cap as u64),
         "flow.bounce_pool" => CvarValue::U64(d.flow_bounce_pool as u64),
+        "coll.nic_offload" => CvarValue::Bool(d.coll_nic_offload),
+        "coll.tree_radix" => CvarValue::U64(d.coll_tree_radix as u64),
+        "coll.hw_bcast" => CvarValue::Bool(d.coll_hw_bcast),
         "timeline.interval_ns" => CvarValue::U64(d.timeline_interval.as_ns()),
         "timeline.capacity" => CvarValue::U64(d.timeline_capacity as u64),
         _ => return None,
@@ -878,11 +940,18 @@ pub fn pvar_snapshot(ep: &Endpoint) -> PvarSnapshot {
             ("flow.dma_waits", c.flow_dma_waits),
             ("flow.pool_hits", c.flow_pool_hits),
             ("flow.pool_fallbacks", c.flow_pool_fallbacks),
+            ("coll.nic_programs", c.coll_nic_programs),
+            ("coll.nic_offloaded", c.coll_nic_offloaded),
+            ("coll.nic_fallbacks", c.coll_nic_fallbacks),
+            ("coll.hw_bcasts", c.coll_hw_bcasts),
         ] {
             vars.push((name.to_string(), v));
         }
         for (kind, v) in crate::metrics::CONTROL_KINDS.iter().zip(c.control_sent) {
             vars.push((format!("control.{kind}"), v));
+        }
+        for (op, v) in crate::metrics::COLL_OPS.iter().zip(c.coll) {
+            vars.push((format!("coll.ops.{}", op.name()), v));
         }
         hist_vars(&mut vars, "match_time", &m.match_time);
         hist_vars(&mut vars, "rndv_handshake", &m.rndv_handshake);

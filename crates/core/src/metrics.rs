@@ -170,6 +170,16 @@ pub struct Counters {
     pub flow_pool_fallbacks: u64,
     /// Collective operations entered, indexed as [`COLL_OPS`].
     pub coll: [u64; 13],
+    /// NIC-resident collective event programs compiled and armed (one per
+    /// distinct communicator/shape, reused across calls).
+    pub coll_nic_programs: u64,
+    /// Collectives that ran on a NIC-resident chained-event program.
+    pub coll_nic_offloaded: u64,
+    /// Collectives that wanted NIC offload but fell back to the host-driven
+    /// path (TCP-only routes, unsupported op, oversize payload, ...).
+    pub coll_nic_fallbacks: u64,
+    /// Broadcasts sent over the hardware broadcast rail.
+    pub coll_hw_bcasts: u64,
 }
 
 impl Counters {
@@ -382,6 +392,8 @@ impl Metrics {
              \"flow_credit_frames\":{},\"flow_piggybacked\":{},\
              \"flow_grant_deferrals\":{},\"flow_dma_waits\":{},\
              \"flow_pool_hits\":{},\"flow_pool_fallbacks\":{},\
+             \"coll_nic_programs\":{},\"coll_nic_offloaded\":{},\
+             \"coll_nic_fallbacks\":{},\"coll_hw_bcasts\":{},\
              \"coll\":{{{}}}}},\
              \"histograms\":{{\"match_time\":{},\"rndv_handshake\":{},\"completion_time\":{}}}}}",
             c.eager_sent,
@@ -425,6 +437,10 @@ impl Metrics {
             c.flow_dma_waits,
             c.flow_pool_hits,
             c.flow_pool_fallbacks,
+            c.coll_nic_programs,
+            c.coll_nic_offloaded,
+            c.coll_nic_fallbacks,
+            c.coll_hw_bcasts,
             coll.join(","),
             self.match_time.to_json(),
             self.rndv_handshake.to_json(),
@@ -555,6 +571,8 @@ mod tests {
         m.counters.flow_credits_consumed = 12;
         m.counters.flow_piggybacked = 6;
         m.counters.flow_pool_hits = 11;
+        m.counters.coll_nic_programs = 1;
+        m.counters.coll_nic_offloaded = 8;
         m.match_time.record(Dur::from_ns(300));
         let j = m.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -589,6 +607,10 @@ mod tests {
         assert!(j.contains("\"flow_dma_waits\":0"));
         assert!(j.contains("\"flow_pool_hits\":11"));
         assert!(j.contains("\"flow_pool_fallbacks\":0"));
+        assert!(j.contains("\"coll_nic_programs\":1"));
+        assert!(j.contains("\"coll_nic_offloaded\":8"));
+        assert!(j.contains("\"coll_nic_fallbacks\":0"));
+        assert!(j.contains("\"coll_hw_bcasts\":0"));
         assert!(j.contains("\"match_time\":{\"count\":1"));
     }
 }

@@ -1873,12 +1873,12 @@ fn issue_rdma(
                 m.counters.control(i);
             }
         });
-        event.chain_qdma(QdmaSpec {
-            dst: e_peer.vpid,
-            queue: e_peer.main_q,
-            data: control.frame(&[]),
-            rail: 0,
-        });
+        event.chain_qdma(QdmaSpec::to_queue(
+            e_peer.vpid,
+            e_peer.main_q,
+            control.frame(&[]),
+            0,
+        ));
     } else {
         // The host sends the control message after observing completion.
         role = match role {
@@ -1923,12 +1923,7 @@ fn issue_rdma(
             let mut tok_hdr = Hdr::new(HdrType::Completion);
             tok_hdr.e4_va = token;
             ep.metric(|m| m.counters.control(3));
-            event.chain_qdma(QdmaSpec {
-                dst: my_elan.vpid,
-                queue: q,
-                data: tok_hdr.frame(&[]),
-                rail: 0,
-            });
+            event.chain_qdma(QdmaSpec::to_queue(my_elan.vpid, q, tok_hdr.frame(&[]), 0));
         }
     }
 
@@ -2306,12 +2301,12 @@ fn pipe_issue_chunk(
                     m.counters.control(i);
                 }
             });
-            event.chain_qdma(QdmaSpec {
-                dst: e_peer.vpid,
-                queue: e_peer.main_q,
-                data: ctl.frame(&[]),
-                rail: 0,
-            });
+            event.chain_qdma(QdmaSpec::to_queue(
+                e_peer.vpid,
+                e_peer.main_q,
+                ctl.frame(&[]),
+                0,
+            ));
         }
         // Not chained: `pipe_chunk_landed` sends the control from the host
         // when the final chunk lands (the header lives in the pipe state).
@@ -2337,12 +2332,7 @@ fn pipe_issue_chunk(
             let mut tok_hdr = Hdr::new(HdrType::Completion);
             tok_hdr.e4_va = token;
             ep.metric(|m| m.counters.control(3));
-            event.chain_qdma(QdmaSpec {
-                dst: my_elan.vpid,
-                queue: q,
-                data: tok_hdr.frame(&[]),
-                rail: 0,
-            });
+            event.chain_qdma(QdmaSpec::to_queue(my_elan.vpid, q, tok_hdr.frame(&[]), 0));
         }
     }
     // Publish the chunk, tolerating the pipeline having been torn down

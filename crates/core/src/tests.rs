@@ -1684,3 +1684,329 @@ fn late_eager_message_after_aborted_recv_is_dropped_cleanly() {
         assert_eq!(mpi.endpoint().mapping_count(), 0);
     });
 }
+
+// ---------------------------------------------------------------------------
+// NIC-resident collectives
+// ---------------------------------------------------------------------------
+
+fn nic_coll_cfg() -> StackConfig {
+    let mut cfg = StackConfig::best();
+    cfg.coll_nic_offload = true;
+    cfg.metrics = true;
+    cfg
+}
+
+#[test]
+fn nic_offloaded_collectives_match_host_results() {
+    let uni = Universe::paper_testbed(nic_coll_cfg());
+    let rows: Arc<Mutex<Vec<(usize, crate::metrics::Metrics)>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = rows.clone();
+    uni.run_world(8, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank();
+        let n = mpi.size();
+        mpi.barrier(&w);
+        // Broadcasts from rotating roots, sizes spanning 0..=QDMA max.
+        for (i, len) in [0usize, 1, 8, 777, 2048].into_iter().enumerate() {
+            let root = i % n;
+            let b = mpi.alloc(len.max(1));
+            if me == root {
+                mpi.write(&b, 0, &pattern(len, i as u8));
+            }
+            mpi.bcast(&w, root, &b, len);
+            assert_eq!(
+                mpi.read(&b, 0, len),
+                pattern(len, i as u8),
+                "bcast len {len}"
+            );
+            mpi.free(b);
+        }
+        // Allreduce through every NIC-supported operator.
+        let s = (n * (n - 1) / 2) as u64;
+        let b = mpi.alloc(16);
+        mpi.write(&b, 0, &(me as f64).to_le_bytes());
+        mpi.write(&b, 8, &((me * 3) as f64).to_le_bytes());
+        mpi.allreduce(&w, crate::coll::ReduceOp::SumF64, &b, 16);
+        let lane0 = f64::from_le_bytes(mpi.read(&b, 0, 8).try_into().unwrap());
+        let lane1 = f64::from_le_bytes(mpi.read(&b, 8, 8).try_into().unwrap());
+        assert_eq!(lane0, s as f64, "sum lane 0");
+        assert_eq!(lane1, (3 * s) as f64, "sum lane 1");
+        mpi.write(&b, 0, &((me as f64) * 1.5).to_le_bytes());
+        mpi.allreduce(&w, crate::coll::ReduceOp::MaxF64, &b, 8);
+        let mx = f64::from_le_bytes(mpi.read(&b, 0, 8).try_into().unwrap());
+        assert_eq!(mx, (n - 1) as f64 * 1.5, "max");
+        mpi.write(&b, 0, &(me as u64 + 7).to_le_bytes());
+        mpi.allreduce(&w, crate::coll::ReduceOp::SumU64, &b, 8);
+        let su = u64::from_le_bytes(mpi.read(&b, 0, 8).try_into().unwrap());
+        assert_eq!(su, s + 7 * n as u64, "u64 sum");
+        mpi.free(b);
+        mpi.barrier(&w);
+        r2.lock().push((me, mpi.endpoint().metrics_snapshot()));
+    });
+    assert!(
+        uni.cluster.stats().event_writes > 0,
+        "offloaded collectives must hop NIC-to-NIC via event writes"
+    );
+    let rows = rows.lock();
+    assert_eq!(rows.len(), 8);
+    for (rank, m) in rows.iter() {
+        // 2 barriers + 5 bcasts + 3 allreduces, every one offloaded.
+        assert_eq!(m.counters.coll_nic_offloaded, 10, "rank {rank} offloaded");
+        assert_eq!(m.counters.coll_nic_fallbacks, 0, "rank {rank} fallbacks");
+        // 1 barrier + 5 bcast roots + 3 allreduce ops = 9 cached programs.
+        assert_eq!(m.counters.coll_nic_programs, 9, "rank {rank} programs");
+    }
+}
+
+#[test]
+fn nic_bcast_bytes_pipelines_without_payload_mixups() {
+    // bcast_bytes issues two back-to-back broadcasts (length, then payload)
+    // and the NIC root never blocks between them: successive frames must
+    // queue in fire order at every hop, not overwrite each other.
+    let uni = Universe::paper_testbed(nic_coll_cfg());
+    uni.run_world(8, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        for round in 0..10u8 {
+            let root = (round as usize) % 4;
+            let len = 100 + round as usize * 37;
+            let data = if mpi.rank() == root {
+                pattern(len, round)
+            } else {
+                Vec::new()
+            };
+            let out = mpi.bcast_bytes(&w, root, data);
+            assert_eq!(out, pattern(len, round), "round {round}");
+        }
+    });
+}
+
+#[test]
+fn nic_offload_falls_back_when_ineligible() {
+    let uni = Universe::paper_testbed(nic_coll_cfg());
+    let rows: Arc<Mutex<Vec<(usize, crate::metrics::Metrics)>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = rows.clone();
+    uni.run_world(4, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank();
+        // Oversize broadcast: beyond the single-QDMA payload cap, so it
+        // must take the host path (hardware-rail eager chunks) and still
+        // deliver correct bytes.
+        let len = 4096;
+        let b = mpi.alloc(len);
+        if me == 0 {
+            mpi.write(&b, 0, &pattern(len, 3));
+        }
+        mpi.bcast(&w, 0, &b, len);
+        assert_eq!(mpi.read(&b, 0, len), pattern(len, 3), "oversize bcast");
+        mpi.free(b);
+        // A split communicator loses the synchronous-creation guarantee
+        // (hw_coll = false): its collectives stay host-driven.
+        let sub = mpi.comm_split(&w, (me % 2) as i32, me as i32).unwrap();
+        mpi.barrier(&sub);
+        let sb = mpi.alloc(8);
+        mpi.write(&sb, 0, &(me as u64).to_le_bytes());
+        mpi.allreduce(&sub, crate::coll::ReduceOp::SumU64, &sb, 8);
+        let expect: u64 = (0..4).filter(|r| r % 2 == me % 2).map(|r| r as u64).sum();
+        assert_eq!(
+            u64::from_le_bytes(mpi.read(&sb, 0, 8).try_into().unwrap()),
+            expect,
+            "split allreduce"
+        );
+        mpi.free(sb);
+        r2.lock().push((me, mpi.endpoint().metrics_snapshot()));
+    });
+    for (rank, m) in rows.lock().iter() {
+        assert!(
+            m.counters.coll_nic_fallbacks >= 3,
+            "rank {rank}: oversize bcast + split barrier + split allreduce \
+             must all count as fallbacks, got {}",
+            m.counters.coll_nic_fallbacks
+        );
+    }
+}
+
+#[test]
+fn hw_bcast_cvar_gates_the_rail() {
+    // Gate closed: eligible broadcasts run the binomial tree, the hardware
+    // rail stays untouched, data still arrives.
+    let mut cfg = StackConfig::best();
+    cfg.coll_hw_bcast = false;
+    cfg.metrics = true;
+    let uni = Universe::paper_testbed(cfg);
+    let rows: Arc<Mutex<Vec<crate::metrics::Metrics>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = rows.clone();
+    uni.run_world(8, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let b = mpi.alloc(1024);
+        if mpi.rank() == 0 {
+            mpi.write(&b, 0, &pattern(1024, 5));
+        }
+        mpi.bcast(&w, 0, &b, 1024);
+        assert_eq!(mpi.read(&b, 0, 1024), pattern(1024, 5));
+        r2.lock().push(mpi.endpoint().metrics_snapshot());
+    });
+    assert_eq!(
+        uni.cluster.stats().hw_bcasts,
+        0,
+        "coll.hw_bcast=false must keep the broadcast off the rail"
+    );
+    for m in rows.lock().iter() {
+        assert_eq!(m.counters.coll_hw_bcasts, 0);
+    }
+
+    // Gate open (the default): the same broadcast uses the rail.
+    let mut cfg = StackConfig::best();
+    cfg.metrics = true;
+    let uni = Universe::paper_testbed(cfg);
+    let rows: Arc<Mutex<Vec<crate::metrics::Metrics>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = rows.clone();
+    uni.run_world(8, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let b = mpi.alloc(1024);
+        if mpi.rank() == 0 {
+            mpi.write(&b, 0, &pattern(1024, 5));
+        }
+        mpi.bcast(&w, 0, &b, 1024);
+        assert_eq!(mpi.read(&b, 0, 1024), pattern(1024, 5));
+        r2.lock().push(mpi.endpoint().metrics_snapshot());
+    });
+    assert!(
+        uni.cluster.stats().hw_bcasts > 0,
+        "rail unused with gate open"
+    );
+    let hw_counts: u64 = rows.lock().iter().map(|m| m.counters.coll_hw_bcasts).sum();
+    assert!(hw_counts > 0, "root must count its hw bcast");
+}
+
+#[test]
+fn partial_communicator_bcast_avoids_hw_rail() {
+    // A split communicator spans only part of the rail-connected set; the
+    // hardware broadcast gate (and the NIC-offload gate) must both refuse
+    // it even though the cvars are on.
+    let mut cfg = nic_coll_cfg();
+    cfg.metrics = true;
+    let uni = Universe::paper_testbed(cfg);
+    uni.run_world(8, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank();
+        let sub = mpi.comm_split(&w, (me % 2) as i32, me as i32).unwrap();
+        let b = mpi.alloc(512);
+        if sub.rank() == 0 {
+            mpi.write(&b, 0, &pattern(512, (me % 2) as u8));
+        }
+        mpi.bcast(&sub, 0, &b, 512);
+        assert_eq!(mpi.read(&b, 0, 512), pattern(512, (me % 2) as u8));
+        mpi.free(b);
+    });
+    assert_eq!(
+        uni.cluster.stats().hw_bcasts,
+        0,
+        "partial communicator must fall back off the hardware rail"
+    );
+}
+
+#[test]
+fn long_tail_collectives_match_scalar_reference_and_attribute_spans() {
+    let mut cfg = StackConfig::best();
+    cfg.metrics = true;
+    cfg.trace = true;
+    cfg.trace_capacity = 65536;
+    let uni = Universe::paper_testbed(cfg);
+    let rows: Arc<Mutex<Vec<(usize, crate::trace::TraceLog)>>> = Arc::new(Mutex::new(Vec::new()));
+    let r2 = rows.clone();
+    uni.run_world(6, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let me = mpi.rank();
+        let n = mpi.size();
+        // alltoallv: distinct length and content per (src, dst) pair.
+        let sends: Vec<Vec<u8>> = (0..n)
+            .map(|d| vec![(me * 16 + d) as u8; (me * 7 + d) % 13])
+            .collect();
+        let got = mpi.alltoallv(&w, &sends);
+        for (s, v) in got.iter().enumerate() {
+            assert_eq!(*v, vec![(s * 16 + me) as u8; (s * 7 + me) % 13], "from {s}");
+        }
+        // scan: prefix sums of (rank + 1).
+        let b = mpi.alloc(8);
+        mpi.write(&b, 0, &(me as u64 + 1).to_le_bytes());
+        mpi.scan(&w, crate::coll::ReduceOp::SumU64, &b, 8);
+        let expect: u64 = (0..=me).map(|r| r as u64 + 1).sum();
+        assert_eq!(
+            u64::from_le_bytes(mpi.read(&b, 0, 8).try_into().unwrap()),
+            expect,
+            "scan prefix"
+        );
+        mpi.free(b);
+        // reduce_scatter: lane j of rank r's send is r + 10 j.
+        let block = 8;
+        let send = mpi.alloc(block * n);
+        let recv = mpi.alloc(block);
+        for j in 0..n {
+            mpi.write(&send, j * 8, &(me as u64 + 10 * j as u64).to_le_bytes());
+        }
+        mpi.reduce_scatter(&w, crate::coll::ReduceOp::SumU64, &send, &recv, block);
+        let expect: u64 = (0..n).map(|r| r as u64 + 10 * me as u64).sum();
+        assert_eq!(
+            u64::from_le_bytes(mpi.read(&recv, 0, 8).try_into().unwrap()),
+            expect,
+            "reduce_scatter block"
+        );
+        mpi.free(send);
+        mpi.free(recv);
+        // gatherv: rank r contributes 3r+1 bytes of known content to root 2.
+        let data: Vec<u8> = (0..me * 3 + 1).map(|k| (me * 5 + k) as u8).collect();
+        let res = mpi.gatherv(&w, 2, &data);
+        if me == 2 {
+            let (offsets, bytes) = res.expect("root gets the concatenation");
+            assert_eq!(offsets.len(), n + 1);
+            for r in 0..n {
+                let expect: Vec<u8> = (0..r * 3 + 1).map(|k| (r * 5 + k) as u8).collect();
+                assert_eq!(
+                    &bytes[offsets[r]..offsets[r + 1]],
+                    &expect[..],
+                    "rank {r} slot"
+                );
+            }
+        } else {
+            assert!(res.is_none(), "non-root gets nothing");
+        }
+        r2.lock().push((me, mpi.endpoint().trace.lock().clone()));
+    });
+    // Composed collectives must attribute every `coll` span to the
+    // outermost operation: the primitives they delegate to (gather, reduce,
+    // scatter, bcast) never open spans of their own.
+    let allowed = ["alltoallv", "scan", "reduce_scatter", "gatherv"];
+    let rows = rows.lock();
+    assert_eq!(rows.len(), 6);
+    for (rank, t) in rows.iter() {
+        assert_eq!(t.dropped(), 0, "rank {rank}: ring must hold the whole run");
+        let mut depth = 0usize;
+        let mut names = Vec::new();
+        for (_, ev) in t.events() {
+            match ev {
+                crate::trace::TraceEvent::SpanBegin { cat, name, .. } if *cat == "coll" => {
+                    assert_eq!(depth, 0, "rank {rank}: nested coll span {name}");
+                    depth += 1;
+                    names.push(*name);
+                }
+                crate::trace::TraceEvent::SpanEnd { cat, .. } if *cat == "coll" => {
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "rank {rank}: unbalanced coll spans");
+        for nm in &names {
+            assert!(
+                allowed.contains(nm),
+                "rank {rank}: span '{nm}' leaked from inside a composed collective"
+            );
+        }
+        for want in allowed {
+            assert!(
+                names.contains(&want),
+                "rank {rank}: no span for outermost op {want}"
+            );
+        }
+    }
+}

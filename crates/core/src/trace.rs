@@ -175,6 +175,29 @@ pub enum TraceEvent {
         /// Global message id.
         gid: u64,
     },
+    /// A NIC-resident collective event program was compiled and armed on
+    /// this rank (chained counted events + QDMAs; see docs/COLLECTIVES.md).
+    NicProgArmed {
+        /// Program id, unique per endpoint.
+        prog: u64,
+        /// `"barrier"`, `"bcast"` or `"allreduce"`.
+        kind: &'static str,
+        /// Tree fan-out the program was compiled with.
+        radix: usize,
+        /// Communicator size the program spans.
+        members: usize,
+    },
+    /// A collective completed on a NIC-resident program: the single host
+    /// wakeup of this rank for the whole operation.
+    NicCollComplete {
+        /// Program id from the matching [`TraceEvent::NicProgArmed`].
+        prog: u64,
+        /// Collective-operation id on this rank (pairs with the `coll`
+        /// field of [`TraceEvent::SendPosted`]).
+        coll: u64,
+        /// `"barrier"`, `"bcast"` or `"allreduce"`.
+        kind: &'static str,
+    },
     /// A multi-event interval opened (rendezvous handshake, RDMA burst).
     SpanBegin {
         /// Correlates with the matching [`TraceEvent::SpanEnd`]. Unique per
@@ -217,6 +240,8 @@ impl TraceEvent {
             TraceEvent::CorruptFrame { .. } => "corrupt_frame",
             TraceEvent::FlowQueued { .. } => "flow_queued",
             TraceEvent::FlowSent { .. } => "flow_sent",
+            TraceEvent::NicProgArmed { .. } => "nic_prog_armed",
+            TraceEvent::NicCollComplete { .. } => "nic_coll_complete",
             TraceEvent::SpanBegin { name, .. } | TraceEvent::SpanEnd { name, .. } => name,
         }
     }
@@ -304,6 +329,21 @@ impl TraceEvent {
             TraceEvent::CorruptFrame { len } => format!("{{\"len\":{len}}}"),
             TraceEvent::FlowQueued { req, gid } | TraceEvent::FlowSent { req, gid } => {
                 format!("{{\"req\":{req},\"gid\":{gid}}}")
+            }
+            TraceEvent::NicProgArmed {
+                prog,
+                kind,
+                radix,
+                members,
+            } => format!(
+                "{{\"prog\":{prog},\"kind\":\"{}\",\"radix\":{radix},\"members\":{members}}}",
+                escape_json(kind)
+            ),
+            TraceEvent::NicCollComplete { prog, coll, kind } => {
+                format!(
+                    "{{\"prog\":{prog},\"coll\":{coll},\"kind\":\"{}\"}}",
+                    escape_json(kind)
+                )
             }
             TraceEvent::SpanBegin { id, .. } | TraceEvent::SpanEnd { id, .. } => {
                 format!("{{\"span\":{id}}}")

@@ -19,18 +19,107 @@ use crate::config::NicConfig;
 use crate::mmu::Mmu;
 use crate::types::{DmaKind, E4Addr, EventId, HostAddr, QueueId, Vpid};
 
+/// Where a QDMA lands on the destination NIC.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QdmaTarget {
+    /// Deposit into a receive queue slot (the classic QDMA).
+    Queue(QueueId),
+    /// Write a remote counted event: the arrival decrements the event and
+    /// hands the payload to its combine buffer — no queue slot, no host.
+    /// This is the inter-hop primitive of NIC-resident collectives.
+    Event(EventId),
+}
+
 /// A small message to be queued (QDMA) — possibly launched from a chained
 /// event without host involvement.
 #[derive(Clone, Debug)]
 pub struct QdmaSpec {
     /// Destination context.
     pub dst: Vpid,
-    /// Destination receive queue.
-    pub queue: QueueId,
+    /// Destination receive queue or counted event.
+    pub target: QdmaTarget,
     /// Message bytes (≤ 2 KB).
     pub data: Vec<u8>,
     /// Rail to inject on.
     pub rail: usize,
+    /// For chained specs: replace `data` at launch time with the payload
+    /// captured by the firing event (forwarding combined partials up a
+    /// reduction tree, or a broadcast payload down one).
+    pub payload_from_event: bool,
+}
+
+impl QdmaSpec {
+    /// A QDMA into a receive queue.
+    pub fn to_queue(dst: Vpid, queue: QueueId, data: Vec<u8>, rail: usize) -> QdmaSpec {
+        QdmaSpec {
+            dst,
+            target: QdmaTarget::Queue(queue),
+            data,
+            rail,
+            payload_from_event: false,
+        }
+    }
+
+    /// A QDMA that writes a remote counted event, carrying `data` into its
+    /// combine buffer.
+    pub fn to_event(dst: Vpid, event: EventId, data: Vec<u8>, rail: usize) -> QdmaSpec {
+        QdmaSpec {
+            dst,
+            target: QdmaTarget::Event(event),
+            data,
+            rail,
+            payload_from_event: false,
+        }
+    }
+
+    /// A chained event-write whose payload is resolved when the chaining
+    /// event fires (the firing event's captured payload is forwarded).
+    pub fn forward_to_event(dst: Vpid, event: EventId, rail: usize) -> QdmaSpec {
+        QdmaSpec {
+            dst,
+            target: QdmaTarget::Event(event),
+            data: Vec::new(),
+            rail,
+            payload_from_event: true,
+        }
+    }
+}
+
+/// Reduction the NIC thread processor applies when combining event-write
+/// payloads (64-bit little-endian lanes). Only commutative/associative ops
+/// are offloadable; anything else stays on the host path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NicReduce {
+    /// Lane-wise `f64` sum.
+    SumF64,
+    /// Lane-wise `f64` max.
+    MaxF64,
+    /// Lane-wise wrapping `u64` sum.
+    SumU64,
+}
+
+/// Combine `data` into `acc` lane-by-lane. An empty accumulator adopts the
+/// payload unchanged (the first contribution seeds it).
+fn nic_combine(acc: &mut Vec<u8>, data: &[u8], op: NicReduce) {
+    if acc.is_empty() {
+        acc.extend_from_slice(data);
+        return;
+    }
+    assert_eq!(acc.len(), data.len(), "NIC combine length mismatch");
+    for (a, d) in acc.chunks_exact_mut(8).zip(data.chunks_exact(8)) {
+        let x = <[u8; 8]>::try_from(&*a).unwrap();
+        let y = <[u8; 8]>::try_from(d).unwrap();
+        let out = match op {
+            NicReduce::SumF64 => (f64::from_le_bytes(x) + f64::from_le_bytes(y)).to_le_bytes(),
+            NicReduce::MaxF64 => f64::from_le_bytes(x)
+                .max(f64::from_le_bytes(y))
+                .to_le_bytes(),
+            NicReduce::SumU64 => u64::from_le_bytes(x)
+                .wrapping_add(u64::from_le_bytes(y))
+                .to_le_bytes(),
+        };
+        a.copy_from_slice(&out);
+    }
 }
 
 pub(crate) struct QueueState {
@@ -51,6 +140,20 @@ pub(crate) struct EventState {
     pub irq_armed: bool,
     pub chained: Vec<QdmaSpec>,
     pub freed: bool,
+    /// Re-arm the count by this much on every fire. This is what makes a
+    /// standing collective program reusable across iterations: arrivals for
+    /// the next round simply pre-decrement the re-armed count.
+    pub auto_reset: Option<i64>,
+    /// NIC-side reduction applied to arriving event-write payloads.
+    pub combine: Option<NicReduce>,
+    /// Payloads combined since the last fire.
+    pub accum: Vec<u8>,
+    /// Payloads captured at each fire, oldest first (forwarded by chained
+    /// specs with `payload_from_event`, consumed in order by the host). A
+    /// FIFO rather than a latest-wins word: pipelined rounds of a standing
+    /// program may fire an event again before the host drains the previous
+    /// payload.
+    pub fired_payloads: VecDeque<Vec<u8>>,
 }
 
 pub(crate) struct CtxState {
@@ -91,6 +194,9 @@ pub struct ClusterStats {
     pub rdma_bytes: u64,
     /// Chained commands launched by fired events.
     pub chained_launches: u64,
+    /// QDMA deposits that targeted a remote counted event (collective
+    /// program hops) instead of a receive queue.
+    pub event_writes: u64,
     /// Host interrupts generated.
     pub interrupts: u64,
     /// Deposits that found a full queue (each retries).
@@ -334,8 +440,25 @@ impl Cluster {
         });
     }
 
-    /// Place a QDMA payload into the destination queue, retrying while full.
+    /// Place a QDMA payload at its destination: a queue slot (retrying
+    /// while full) or a remote counted event (the collective-program hop).
     fn deposit(self: &Arc<Self>, sim: &SimHandle, mut spec: QdmaSpec) {
+        let qid = match spec.target {
+            QdmaTarget::Event(ev) => {
+                // Event writes bypass the queue machinery entirely: the
+                // deposit engine writes the event word (and its combine
+                // buffer), which may fire further chained commands.
+                self.inner.lock().stats.event_writes += 1;
+                let payload = if spec.data.is_empty() {
+                    None
+                } else {
+                    Some(spec.data)
+                };
+                self.event_complete_with_data(sim, spec.dst, ev, payload);
+                return;
+            }
+            QdmaTarget::Queue(q) => q,
+        };
         let mut inner = self.inner.lock();
         if inner.corrupt_deposits > 0 && spec.data.len() > 64 {
             inner.corrupt_deposits -= 1;
@@ -351,7 +474,7 @@ impl Cluster {
             // (paper §4.1).
             return;
         };
-        let Some(Some(q)) = ctx.queues.get_mut(spec.queue.0 as usize) else {
+        let Some(Some(q)) = ctx.queues.get_mut(qid.0 as usize) else {
             return;
         };
         assert!(
@@ -546,12 +669,7 @@ impl Cluster {
         for ((vpid, qid, data), delivered) in targets.into_iter().zip(deliveries) {
             let me = self.clone();
             let dst_node = vpid.node(cfg.ctxs_per_node);
-            let spec = QdmaSpec {
-                dst: vpid,
-                queue: qid,
-                data,
-                rail,
-            };
+            let spec = QdmaSpec::to_queue(vpid, qid, data, rail);
             sim.call_at(delivered, move |s| {
                 let deposit_at = {
                     let mut inner = me.inner.lock();
@@ -567,6 +685,21 @@ impl Cluster {
     /// Decrement an event's count; on reaching zero: latch the fire, notify
     /// the host (optionally via interrupt), and launch any chained QDMA.
     pub(crate) fn event_complete(self: &Arc<Self>, sim: &SimHandle, vpid: Vpid, ev: EventId) {
+        self.event_complete_with_data(sim, vpid, ev, None);
+    }
+
+    /// [`Cluster::event_complete`] carrying an arriving event-write payload.
+    /// The payload is folded into the event's combine buffer (or adopted
+    /// verbatim when no reduction is configured); on fire the buffer is
+    /// captured for the host and for chained payload-forwarding specs, and
+    /// an auto-reset event re-arms its count for the next round.
+    pub(crate) fn event_complete_with_data(
+        self: &Arc<Self>,
+        sim: &SimHandle,
+        vpid: Vpid,
+        ev: EventId,
+        data: Option<Vec<u8>>,
+    ) {
         let mut inner = self.inner.lock();
         let irq_latency = self.cfg.irq_latency;
         let chain_latency = self.cfg.chain_latency;
@@ -577,11 +710,22 @@ impl Cluster {
         if st.freed {
             return;
         }
+        if let Some(d) = data {
+            match st.combine {
+                Some(op) => nic_combine(&mut st.accum, &d, op),
+                None => st.accum = d,
+            }
+        }
         st.count -= 1;
         if st.count > 0 {
             return;
         }
         st.fired += 1;
+        if let Some(rearm) = st.auto_reset {
+            st.count += rearm;
+        }
+        let payload = std::mem::take(&mut st.accum);
+        st.fired_payloads.push_back(payload.clone());
         let signal = st.signal.clone();
         let irq = st.irq_armed;
         let chained = st.chained.clone();
@@ -597,9 +741,12 @@ impl Cluster {
                 sig.notify(sim);
             }
         }
-        for spec in chained {
+        for mut spec in chained {
             // Chained commands launch on the NIC without crossing the I/O
             // bus: no PIO, just the chain launch latency.
+            if spec.payload_from_event {
+                spec.data = payload.clone();
+            }
             let me = self.clone();
             let at = sim.now() + chain_latency;
             sim.call_at(at, move |s| {

@@ -203,14 +203,30 @@ impl ElanCtx {
         // cmd_process is charged as command-processor occupancy inside the
         // cluster engines, not as a latency offset here.
         let start = proc.now();
-        let spec = QdmaSpec {
-            dst,
-            queue: qid,
-            data,
-            rail,
-        };
+        let spec = QdmaSpec::to_queue(dst, qid, data, rail);
         self.cluster
             .qdma_from_nic(&proc.sim(), start, self.vpid, spec, local_event);
+    }
+
+    /// Post a QDMA that writes a *remote counted event*: the arrival
+    /// decrements `event` in `dst`'s context, carrying `data` into its
+    /// combine buffer. One PIO write on the calling process; no receive
+    /// queue is touched. This is how a host injects itself into a standing
+    /// NIC collective program on another rank.
+    pub fn qdma_to_event(
+        &self,
+        proc: &Proc,
+        rail: usize,
+        dst: Vpid,
+        event: EventId,
+        data: Vec<u8>,
+    ) {
+        assert!(data.len() <= 2048, "QDMA messages are at most 2KB");
+        proc.advance(self.cluster.cfg.pio_cmd);
+        let start = proc.now();
+        let spec = QdmaSpec::to_event(dst, event, data, rail);
+        self.cluster
+            .qdma_from_nic(&proc.sim(), start, self.vpid, spec, None);
     }
 
     /// Hardware broadcast: deliver one ≤2 KB frame to the queues of many
@@ -281,12 +297,26 @@ impl ElanCtx {
             irq_armed: false,
             chained: Vec::new(),
             freed: false,
+            auto_reset: None,
+            combine: None,
+            accum: Vec::new(),
+            fired_payloads: std::collections::VecDeque::new(),
         });
         ElanEvent {
             cluster: self.cluster.clone(),
             vpid: self.vpid,
             id,
         }
+    }
+
+    /// Host-side event trigger (a PIO store to the event word): decrement a
+    /// *local* event, optionally contributing `data` to its combine buffer.
+    /// This is how the host "enters" an armed NIC collective program —
+    /// after this single store, every further hop is NIC→NIC.
+    pub fn set_event(&self, proc: &Proc, event: EventId, data: Option<Vec<u8>>) {
+        proc.advance(self.cluster.cfg.pio_cmd);
+        self.cluster
+            .event_complete_with_data(&proc.sim(), self.vpid, event, data);
     }
 }
 
@@ -420,6 +450,29 @@ impl ElanEvent {
     /// completion queue instead.
     pub fn reset(&self, count: u32) {
         self.with_state(|e| e.count = count as i64);
+    }
+
+    /// Make the event self-re-arming: every fire adds `count` back, so a
+    /// standing collective program survives round after round without the
+    /// host racing the NIC to reset it. Early arrivals for the next round
+    /// simply pre-decrement the re-armed count.
+    pub fn set_auto_reset(&self, count: u32) {
+        self.with_state(|e| e.auto_reset = Some(count as i64));
+    }
+
+    /// Configure the NIC-side reduction applied to arriving event-write
+    /// payloads (64-bit LE lanes). Without one, the latest payload wins —
+    /// the broadcast-forwarding mode.
+    pub fn set_combine(&self, op: crate::cluster::NicReduce) {
+        self.with_state(|e| e.combine = Some(op));
+    }
+
+    /// Pop the oldest unconsumed fire payload (the combined partials of a
+    /// reduction round, or a forwarded broadcast frame). Payloads queue in
+    /// fire order, so pipelined rounds of a standing program never clobber
+    /// a frame the host has not drained yet.
+    pub fn take_payload(&self) -> Vec<u8> {
+        self.with_state(|e| e.fired_payloads.pop_front().unwrap_or_default())
     }
 
     /// Notify `sig` when the event fires (host-event observation).

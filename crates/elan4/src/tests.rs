@@ -277,12 +277,12 @@ fn chained_qdma_launches_on_event_fire() {
             let local = a.map(&p, &src);
             let remote = b.map(&p, &dst);
             let ev = a.event_create(1);
-            ev.chain_qdma(QdmaSpec {
-                dst: b_vpid,
-                queue: crate::QueueId(0),
-                data: vec![0xF1, 0x4E],
-                rail: 0,
-            });
+            ev.chain_qdma(QdmaSpec::to_queue(
+                b_vpid,
+                crate::QueueId(0),
+                vec![0xF1, 0x4E],
+                0,
+            ));
             a.rdma(&p, 0, DmaKind::Write, local, remote, 2048, Some(ev.id()));
         });
     }
@@ -625,6 +625,117 @@ fn counted_event_reset_and_reuse() {
     });
     sim.run().unwrap();
     assert_eq!(cl.stats().rdmas, 6);
+}
+
+#[test]
+fn event_write_qdma_decrements_remote_event() {
+    // A child's arriving QDMA decrements the parent's counted event; when
+    // the count hits zero a chained QDMA launches — all NIC→NIC.
+    let cl = cluster();
+    let sim = Simulation::new();
+    let parent = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let child = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let observer = Arc::new(ElanCtx::attach(&cl, 2).unwrap());
+    let pv = parent.vpid();
+    let ov = observer.vpid();
+    {
+        let observer = observer.clone();
+        sim.spawn("observer", move |p| {
+            let q = observer.create_queue(4, 2048);
+            let sig = p.signal();
+            q.set_signal(sig.clone());
+            let fin = q.wait_pop(&p, &sig, Dur::from_ns(100)).unwrap();
+            assert_eq!(fin, vec![0xCC; 8]);
+        });
+    }
+    {
+        let parent = parent.clone();
+        let child = child.clone();
+        sim.spawn("tree", move |p| {
+            let up = parent.event_create(2);
+            up.chain_qdma(QdmaSpec::to_queue(ov, crate::QueueId(0), vec![0xCC; 8], 0));
+            // One NIC-side arrival + one host enter.
+            child.qdma_to_event(&p, 0, pv, up.id(), Vec::new());
+            parent.set_event(&p, up.id(), None);
+            p.advance(Dur::from_us(50));
+            assert!(up.take_fired_ready());
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(cl.stats().event_writes, 1);
+    assert_eq!(cl.stats().chained_launches, 1);
+}
+
+#[test]
+fn auto_reset_event_survives_multiple_rounds() {
+    let cl = cluster();
+    let sim = Simulation::new();
+    let a = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let b = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let av = a.vpid();
+    sim.spawn("rounds", move |p| {
+        let ev = a.event_create(2);
+        ev.set_auto_reset(2);
+        let sig = p.signal();
+        ev.set_signal(sig.clone());
+        for round in 0..3 {
+            b.qdma_to_event(&p, 0, av, ev.id(), Vec::new());
+            a.set_event(&p, ev.id(), None);
+            loop {
+                if ev.take_fired_ready() {
+                    break;
+                }
+                p.wait(&sig).expect_signaled();
+            }
+            let _ = round;
+        }
+        // No extra fires latched: the count re-armed each round.
+        assert!(!ev.take_fired_ready());
+    });
+    sim.run().unwrap();
+    assert_eq!(cl.stats().event_writes, 3);
+}
+
+#[test]
+fn event_combine_accumulates_and_forwards_payload() {
+    // Two contributions sum on the NIC; the fire forwards the combined
+    // payload to another context's event, whose host reads it back.
+    let cl = cluster();
+    let sim = Simulation::new();
+    let mid = Arc::new(ElanCtx::attach(&cl, 0).unwrap());
+    let leaf = Arc::new(ElanCtx::attach(&cl, 1).unwrap());
+    let root = Arc::new(ElanCtx::attach(&cl, 2).unwrap());
+    let mid_v = mid.vpid();
+    let root_v = root.vpid();
+    let root_ev = root.event_create(1);
+    let root_id = root_ev.id();
+    {
+        let mid = mid.clone();
+        let leaf = leaf.clone();
+        sim.spawn("combine", move |p| {
+            let up = mid.event_create(2);
+            up.set_combine(crate::NicReduce::SumU64);
+            up.chain_qdma(QdmaSpec::forward_to_event(root_v, root_id, 0));
+            leaf.qdma_to_event(&p, 0, mid_v, up.id(), 5u64.to_le_bytes().to_vec());
+            mid.set_event(&p, up.id(), Some(37u64.to_le_bytes().to_vec()));
+        });
+    }
+    {
+        sim.spawn("root", move |p| {
+            let sig = p.signal();
+            root_ev.set_signal(sig.clone());
+            loop {
+                if root_ev.take_fired_ready() {
+                    break;
+                }
+                p.wait(&sig).expect_signaled();
+            }
+            let payload = root_ev.take_payload();
+            assert_eq!(u64::from_le_bytes(payload.try_into().unwrap()), 42);
+        });
+    }
+    sim.run().unwrap();
+    assert_eq!(cl.stats().event_writes, 2);
 }
 
 #[test]

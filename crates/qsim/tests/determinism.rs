@@ -132,6 +132,76 @@ fn calendar_and_btree_queues_produce_identical_schedules() {
     assert_eq!(cal.sched_past, btree.sched_past);
 }
 
+/// A 256-rank NIC-offloaded allreduce on the full MPI stack: every
+/// inter-hop transfer is a NIC-chained event (QDMA deposit → counted-event
+/// fire → chained QDMA), so the schedule folds device callbacks, signal
+/// wakeups, and per-rank progress threads at scale. The queue being swapped
+/// underneath must not change a single dispatched triple.
+fn nic_allreduce_run(kind: QueueKind) -> Report {
+    use openmpi_core::{Placement, ReduceOp, StackConfig, Transports, Universe};
+    let mut cfg = StackConfig::best();
+    cfg.coll_nic_offload = true;
+    let uni = Universe::new(
+        elan4::NicConfig::default(),
+        qsnet::FabricConfig {
+            nodes: 256,
+            ..Default::default()
+        },
+        cfg,
+        Transports::default(),
+    );
+    let sim = Simulation::with_queue(kind);
+    const N: usize = 256;
+    const LANES: usize = 8;
+    uni.launch_world(&sim, N, Placement::RoundRobin, move |mpi| {
+        let w = mpi.world();
+        let buf = mpi.alloc(LANES * 8);
+        let mut bytes = Vec::with_capacity(LANES * 8);
+        for _ in 0..LANES {
+            bytes.extend_from_slice(&(mpi.rank() as u64 + 1).to_le_bytes());
+        }
+        mpi.write(&buf, 0, &bytes);
+        mpi.allreduce(&w, ReduceOp::SumU64, &buf, LANES * 8);
+        let out = mpi.read(&buf, 0, LANES * 8);
+        let expect = (N as u64 * (N as u64 + 1)) / 2;
+        for lane in 0..LANES {
+            let v = u64::from_le_bytes(out[lane * 8..lane * 8 + 8].try_into().unwrap());
+            assert_eq!(v, expect, "rank {} lane {lane} reduced wrong", mpi.rank());
+        }
+    });
+    let report = sim.run().unwrap();
+    assert!(
+        uni.cluster.stats().event_writes > 0,
+        "allreduce never touched the NIC event path — the cross-check \
+         would not be exercising chained events"
+    );
+    report
+}
+
+#[test]
+fn nic_offloaded_allreduce_schedules_identically_across_queues() {
+    let cal = nic_allreduce_run(QueueKind::Calendar);
+    assert!(
+        cal.events_processed > 10_000,
+        "256-rank allreduce too small to trust: {} events",
+        cal.events_processed
+    );
+    let again = nic_allreduce_run(QueueKind::Calendar);
+    assert_eq!(
+        fingerprint(&cal),
+        fingerprint(&again),
+        "repeat run diverged on the NIC-offloaded collective"
+    );
+    let btree = nic_allreduce_run(QueueKind::BTree);
+    assert_eq!(
+        fingerprint(&cal),
+        fingerprint(&btree),
+        "queue implementations diverged on the NIC-offloaded collective"
+    );
+    assert_eq!(cal.stale_wakes, btree.stale_wakes);
+    assert_eq!(cal.sched_past, btree.sched_past);
+}
+
 #[test]
 fn deadlock_reports_all_parked_procs_under_new_dispatch() {
     let sim = Simulation::new();

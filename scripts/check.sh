@@ -47,9 +47,20 @@ cargo run --release -q -p ompi-bench --bin harness -- \
 
 echo "== bench smoke: wall-clock-budgeted 1024-rank collective sweep"
 # Barrier rounds at 64/256/1024 ranks; exits nonzero if any point comes up
-# empty or the whole sweep blows its wall-clock budget.
+# empty, the whole sweep blows its wall-clock budget, or any point falls
+# below the per-point events/s floor (the 1024-rank point is the binding
+# one: 150,000 against a 216,983 baseline).
 cargo run --release -q -p ompi-bench --bin harness -- \
-    --rank-sweep --sweep-budget-ms 60000 --bench-out BENCH_sweep.json
+    --rank-sweep --sweep-budget-ms 60000 --sweep-floor 150000 \
+    --bench-out BENCH_sweep.json
+
+echo "== bench smoke: NIC-offloaded collective latency curve"
+# Barrier / bcast / allreduce at 64/256/1024 ranks, host-driven trees vs
+# the NIC-resident chained event programs. Exits nonzero unless the
+# offloaded path strictly beats the host path for every collective at 256
+# and 1024 ranks.
+cargo run --release -q -p ompi-bench --bin harness -- \
+    --coll-curve --bench-out BENCH_coll.json
 
 echo "== observability demo: incast congestion report"
 # 8-rank incast; exits nonzero if the per-link table comes up empty.
